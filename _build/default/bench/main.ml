@@ -1,0 +1,316 @@
+(* Benchmark harness: one Bechamel test per experiment of DESIGN.md's
+   index (measuring the machinery that regenerates each figure), plus
+   the ablation benches for the design choices DESIGN.md calls out.
+
+   Run with: dune exec bench/main.exe                                 *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+module M = Numerics.Matrix
+module Alg = Aaa.Algorithm
+module Arch = Aaa.Architecture
+module Dur = Aaa.Durations
+
+(* ------------------------------------------------------------------ *)
+(* shared fixtures (built once; benchmarks measure the runs) *)
+
+let dc_design =
+  Lifecycle.Design.pid_loop ~name:"dc_motor"
+    ~plant:(Control.Plants.dc_motor Control.Plants.default_dc_motor)
+    ~x0:[| 0.; 0. |]
+    ~gains:{ Control.Pid.kp = 60.; ki = 80.; kd = 0. }
+    ~ts:0.05 ~reference:1. ~horizon:2.0 ()
+
+let dc_durations ?(operators = [ "P0" ]) ~frac () =
+  let ts = 0.05 in
+  let d = Dur.create () in
+  let set op share =
+    List.iter (fun operator -> Dur.set d ~op ~operator (share *. frac *. ts)) operators
+  in
+  set "reference" 0.05;
+  set "sample_y" 0.2;
+  set "pid" 0.6;
+  set "hold_u" 0.15;
+  d
+
+let two_proc = Arch.bus_topology ~latency:0.0005 ~time_per_word:0.0005 [ "P0"; "P1" ]
+
+let dc_impl =
+  Lifecycle.Methodology.implement ~design:dc_design ~architecture:two_proc
+    ~durations:(dc_durations ~operators:[ "P0"; "P1" ] ~frac:0.6 ())
+    ()
+
+let single_impl =
+  Lifecycle.Methodology.implement ~design:dc_design ~architecture:(Arch.single ())
+    ~durations:(dc_durations ~frac:0.6 ())
+    ()
+
+let fj8_procs = List.init 4 (fun i -> Printf.sprintf "P%d" i)
+let fj8, fj8_dur = Aaa.Workloads.fork_join ~branches:8 ~operators:fj8_procs ()
+let fj8_arch = Arch.bus_topology ~latency:0.005 ~time_per_word:0.002 fj8_procs
+
+(* ------------------------------------------------------------------ *)
+(* experiment benches (one per figure/experiment id) *)
+
+let bench_fig1_latencies =
+  Test.make ~name:"fig1_latencies"
+    (Staged.stage (fun () ->
+         let trace =
+           Exec.Machine.run
+             ~config:{ Exec.Machine.default_config with iterations = 50 }
+             dc_impl.Lifecycle.Methodology.executive
+         in
+         ignore (Exec.Machine.sampling_latencies trace)))
+
+let bench_fig2_ideal_sim =
+  Test.make ~name:"fig2_ideal_sim"
+    (Staged.stage (fun () -> ignore (Lifecycle.Methodology.simulate_ideal dc_design)))
+
+let bench_fig3_delay_graph_sim =
+  Test.make ~name:"fig3_delay_graph_sim"
+    (Staged.stage (fun () ->
+         ignore (Lifecycle.Methodology.simulate_implemented dc_design single_impl)))
+
+let bench_fig4_sequencing =
+  Test.make ~name:"fig4_sequencing"
+    (Staged.stage (fun () ->
+         let built = dc_design.Lifecycle.Design.build () in
+         ignore
+           (Translator.Cosim.attach_delay_graph ~graph:built.Lifecycle.Design.graph
+              ~schedule:single_impl.Lifecycle.Methodology.schedule
+              ~binding:single_impl.Lifecycle.Methodology.binding ())))
+
+let cond_schedule =
+  (* mode + two conditioned branches, for the Fig. 5 machinery *)
+  let alg = Alg.create ~name:"cond" ~period:0.1 in
+  let mode = Alg.add_op alg ~name:"mode" ~kind:Alg.Sensor ~outputs:[| 1 |] () in
+  Alg.set_condition_source alg ~var:"m" (mode, 0);
+  let _ =
+    Alg.add_op alg ~name:"cheap" ~kind:Alg.Compute ~cond:{ Alg.var = "m"; value = 0 } ()
+  in
+  let _ =
+    Alg.add_op alg ~name:"costly" ~kind:Alg.Compute ~cond:{ Alg.var = "m"; value = 1 } ()
+  in
+  let d = Dur.create () in
+  Dur.set d ~op:"mode" ~operator:"P0" 0.002;
+  Dur.set d ~op:"cheap" ~operator:"P0" 0.002;
+  Dur.set d ~op:"costly" ~operator:"P0" 0.03;
+  Aaa.Adequation.run ~algorithm:alg ~architecture:(Arch.single ()) ~durations:d ()
+
+let bench_fig5_conditioning =
+  Test.make ~name:"fig5_conditioning"
+    (Staged.stage (fun () ->
+         let exe = Aaa.Codegen.generate cond_schedule in
+         let config =
+           {
+             Exec.Machine.default_config with
+             iterations = 100;
+             condition = (fun ~iteration ~var:_ -> iteration mod 2);
+           }
+         in
+         ignore (Exec.Machine.run ~config exe)))
+
+let bench_sync_block =
+  Test.make ~name:"sync_block"
+    (Staged.stage (fun () ->
+         (* two clocks joined by a synchronization block, ~900 events *)
+         let module G = Dataflow.Graph in
+         let module E = Dataflow.Eventlib in
+         let g = G.create () in
+         let c1 = G.add g (E.clock ~period:0.01 ()) in
+         let c2 = G.add g (E.clock ~period:0.013 ()) in
+         let sync = G.add g (E.synchronization ~inputs:2 ()) in
+         let count = G.add g (E.event_counter ()) in
+         G.connect_event g ~src:(c1, 0) ~dst:(sync, 0);
+         G.connect_event g ~src:(c2, 0) ~dst:(sync, 1);
+         G.connect_event g ~src:(sync, 0) ~dst:(count, 0);
+         let e = Sim.Engine.create g in
+         Sim.Engine.run ~t_end:5. e))
+
+let bench_latency_sweep_point =
+  Test.make ~name:"latency_sweep"
+    (Staged.stage (fun () ->
+         ignore
+           (Lifecycle.Methodology.evaluate ~design:dc_design ~architecture:(Arch.single ())
+              ~durations:(dc_durations ~frac:0.5 ())
+              ())))
+
+let bench_jitter_sweep_point =
+  Test.make ~name:"jitter_sweep"
+    (Staged.stage (fun () ->
+         let mode =
+           Translator.Delay_graph.Jittered
+             { law = Exec.Timing_law.Uniform; bcet_frac = 0.5; seed = 3 }
+         in
+         ignore (Lifecycle.Methodology.simulate_implemented ~mode dc_design single_impl)))
+
+let bench_adequation =
+  Test.make ~name:"adequation_sweep"
+    (Staged.stage (fun () ->
+         ignore
+           (Aaa.Adequation.run ~algorithm:fj8 ~architecture:fj8_arch ~durations:fj8_dur ())))
+
+let bench_lifecycle_suspension =
+  (* one full lifecycle evaluation of a 4-state loop *)
+  let plant =
+    let sys = Control.Plants.quarter_car Control.Plants.default_quarter_car in
+    Control.Lti.make ~domain:Control.Lti.Continuous ~a:sys.Control.Lti.a
+      ~b:(M.block sys.Control.Lti.b 0 0 4 1) ~c:(M.identity 4) ~d:(M.zeros 4 1)
+  in
+  let k =
+    Lifecycle.Calibrate.lqr_gain ~plant ~ts:0.05
+      ~q:(M.scale 1e4 (M.identity 4))
+      ~r:(M.of_arrays [| [| 1e-4 |] |])
+      ()
+  in
+  let design =
+    Lifecycle.Design.state_feedback_loop ~name:"suspension" ~plant ~x0:[| 0.05; 0.; 0.; 0. |]
+      ~k ~ts:0.05 ~horizon:1.0 ()
+  in
+  let arch = Arch.bus_topology ~latency:0.001 ~time_per_word:0.0005 [ "w"; "b" ] in
+  let durations =
+    let d = Dur.create () in
+    for i = 0 to 3 do
+      Dur.set d ~op:(Printf.sprintf "sample_x%d" i) ~operator:"w" 0.0024
+    done;
+    Dur.set d ~op:"sfb" ~operator:"b" 0.0238;
+    Dur.set d ~op:"hold_u" ~operator:"b" 0.0024;
+    d
+  in
+  Test.make ~name:"lifecycle_suspension"
+    (Staged.stage (fun () ->
+         ignore (Lifecycle.Methodology.evaluate ~design ~architecture:arch ~durations ())))
+
+let bench_codegen_exec =
+  Test.make ~name:"codegen_exec"
+    (Staged.stage (fun () ->
+         let exe = Aaa.Codegen.generate dc_impl.Lifecycle.Methodology.schedule in
+         ignore
+           (Exec.Machine.run
+              ~config:
+                { Exec.Machine.default_config with iterations = 100; comm_jitter_frac = 0.3 }
+              exe)))
+
+(* ------------------------------------------------------------------ *)
+(* ablation benches (design choices called out in DESIGN.md) *)
+
+let bench_ablation_strategy_pressure =
+  Test.make ~name:"ablation_adequation_pressure"
+    (Staged.stage (fun () ->
+         ignore
+           (Aaa.Adequation.run ~strategy:Aaa.Adequation.Pressure ~algorithm:fj8
+              ~architecture:fj8_arch ~durations:fj8_dur ())))
+
+let bench_ablation_strategy_eft =
+  Test.make ~name:"ablation_adequation_eft"
+    (Staged.stage (fun () ->
+         ignore
+           (Aaa.Adequation.run ~strategy:Aaa.Adequation.Earliest_finish ~algorithm:fj8
+              ~architecture:fj8_arch ~durations:fj8_dur ())))
+
+let bench_ablation_refine =
+  Test.make ~name:"ablation_adequation_refine"
+    (Staged.stage (fun () ->
+         let initial =
+           Aaa.Adequation.run ~algorithm:fj8 ~architecture:fj8_arch ~durations:fj8_dur ()
+         in
+         ignore
+           (Aaa.Adequation.refine ~iterations:50 ~algorithm:fj8 ~architecture:fj8_arch
+              ~durations:fj8_dur ~initial ())))
+
+let bench_sdx_roundtrip =
+  let app =
+    {
+      Aaa.Sdx.algorithm = fj8;
+      architecture = fj8_arch;
+      durations = fj8_dur;
+      pins = [];
+    }
+  in
+  Test.make ~name:"sdx_roundtrip"
+    (Staged.stage (fun () -> ignore (Aaa.Sdx.parse (Aaa.Sdx.print app))))
+
+let bench_ablation_ode_rk4 =
+  Test.make ~name:"ablation_engine_rk4"
+    (Staged.stage (fun () ->
+         ignore (Lifecycle.Methodology.simulate_ideal ~meth:Numerics.Ode.Rk4 dc_design)))
+
+let bench_ablation_ode_rkf45 =
+  Test.make ~name:"ablation_engine_rkf45"
+    (Staged.stage (fun () ->
+         ignore
+           (Lifecycle.Methodology.simulate_ideal ~meth:Numerics.Ode.default_method dc_design)))
+
+let bench_ablation_delay_static =
+  Test.make ~name:"ablation_delay_static"
+    (Staged.stage (fun () ->
+         ignore
+           (Lifecycle.Methodology.simulate_implemented ~mode:Translator.Delay_graph.Static_wcet
+              dc_design single_impl)))
+
+let bench_ablation_delay_jittered =
+  Test.make ~name:"ablation_delay_jittered"
+    (Staged.stage (fun () ->
+         ignore
+           (Lifecycle.Methodology.simulate_implemented
+              ~mode:
+                (Translator.Delay_graph.Jittered
+                   { law = Exec.Timing_law.Uniform; bcet_frac = 0.4; seed = 11 })
+              dc_design single_impl)))
+
+(* ------------------------------------------------------------------ *)
+
+let tests =
+  [
+    bench_fig1_latencies;
+    bench_fig2_ideal_sim;
+    bench_fig3_delay_graph_sim;
+    bench_fig4_sequencing;
+    bench_fig5_conditioning;
+    bench_sync_block;
+    bench_latency_sweep_point;
+    bench_jitter_sweep_point;
+    bench_adequation;
+    bench_lifecycle_suspension;
+    bench_codegen_exec;
+    bench_ablation_strategy_pressure;
+    bench_ablation_strategy_eft;
+    bench_ablation_refine;
+    bench_sdx_roundtrip;
+    bench_ablation_ode_rk4;
+    bench_ablation_ode_rkf45;
+    bench_ablation_delay_static;
+    bench_ablation_delay_jittered;
+  ]
+
+let () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  Printf.printf "%-34s %16s %10s\n" "benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 62 '-');
+  List.iter
+    (fun test ->
+      let name = Test.Elt.name (List.hd (Test.elements test)) in
+      let raw = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun _label samples ->
+          let est = Analyze.one ols Instance.monotonic_clock samples in
+          match Analyze.OLS.estimates est with
+          | Some [ t_ns ] ->
+              let pretty =
+                if t_ns >= 1e9 then Printf.sprintf "%.3f  s" (t_ns /. 1e9)
+                else if t_ns >= 1e6 then Printf.sprintf "%.3f ms" (t_ns /. 1e6)
+                else if t_ns >= 1e3 then Printf.sprintf "%.3f us" (t_ns /. 1e3)
+                else Printf.sprintf "%.1f ns" t_ns
+              in
+              let r2 =
+                match Analyze.OLS.r_square est with
+                | Some r -> Printf.sprintf "%.4f" r
+                | None -> "-"
+              in
+              Printf.printf "%-34s %16s %10s\n" name pretty r2
+          | Some _ | None -> Printf.printf "%-34s %16s %10s\n" name "(no estimate)" "-")
+        raw)
+    tests

@@ -1,0 +1,1 @@
+bin/experiments.ml: Aaa Arg Array Cmd Cmdliner Control Dataflow Exec Float Format Lifecycle List Numerics Option Printf Sim String Term Translator

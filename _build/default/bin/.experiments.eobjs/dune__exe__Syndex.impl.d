@@ -1,0 +1,1 @@
+bin/syndex.ml: Aaa Arg Cmd Cmdliner Exec Filename Format Fun Lifecycle List Printf Term Translator

@@ -1,0 +1,360 @@
+(* syndex — a standalone CLI over the AAA toolchain: load an SDX
+   application file, run the adequation, and inspect the result
+   (Gantt chart, generated executive, Graphviz exports, simulated
+   execution).  The command-line counterpart of the SynDEx GUI.
+
+   Examples:
+     syndex show examples/data/dc_motor.sdx
+     syndex adequation examples/data/dc_motor.sdx --gantt --executive
+     syndex adequation file.sdx --strategy eft --refine 200 --dot out
+     syndex execute examples/data/dc_motor.sdx --iterations 100 --law uniform
+*)
+
+open Cmdliner
+
+let load_app path =
+  try Ok (Aaa.Sdx.load path) with
+  | Failure msg -> Error msg
+  | Sys_error msg -> Error msg
+
+let strategy_conv =
+  let parse = function
+    | "pressure" -> Ok Aaa.Adequation.Pressure
+    | "eft" -> Ok Aaa.Adequation.Earliest_finish
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S (pressure|eft)" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with Aaa.Adequation.Pressure -> "pressure" | Earliest_finish -> "eft")
+  in
+  Arg.conv (parse, print)
+
+let law_conv =
+  let parse = function
+    | "wcet" -> Ok Exec.Timing_law.Wcet
+    | "bcet" -> Ok Exec.Timing_law.Bcet
+    | "uniform" -> Ok Exec.Timing_law.Uniform
+    | "triangular" -> Ok (Exec.Timing_law.Triangular 0.25)
+    | "gaussian" -> Ok (Exec.Timing_law.Gaussian { mean_frac = 0.5; sigma_frac = 0.2 })
+    | s -> Error (`Msg (Printf.sprintf "unknown law %S (wcet|bcet|uniform|triangular|gaussian)" s))
+  in
+  let print ppf _ = Format.pp_print_string ppf "<law>" in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.sdx" ~doc:"Application file.")
+
+let run_adequation app strategy refine_iters =
+  let sched =
+    Aaa.Adequation.run ~strategy ~pins:app.Aaa.Sdx.pins ~algorithm:app.Aaa.Sdx.algorithm
+      ~architecture:app.Aaa.Sdx.architecture ~durations:app.Aaa.Sdx.durations ()
+  in
+  if refine_iters > 0 then
+    Aaa.Adequation.refine ~iterations:refine_iters ~algorithm:app.Aaa.Sdx.algorithm
+      ~architecture:app.Aaa.Sdx.architecture ~durations:app.Aaa.Sdx.durations
+      ~initial:sched ()
+  else sched
+
+(* ------------------------------------------------------------------ *)
+
+let show_cmd =
+  let action path =
+    match load_app path with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok app ->
+        let alg = app.Aaa.Sdx.algorithm in
+        Printf.printf "algorithm %S: %d operations, %d dependencies, period %g s\n"
+          (Aaa.Algorithm.name alg) (Aaa.Algorithm.op_count alg)
+          (List.length (Aaa.Algorithm.dependencies alg))
+          (Aaa.Algorithm.period alg);
+        Printf.printf "architecture %S: %d operators, %d media\n"
+          (Aaa.Architecture.name app.Aaa.Sdx.architecture)
+          (Aaa.Architecture.operator_count app.Aaa.Sdx.architecture)
+          (Aaa.Architecture.medium_count app.Aaa.Sdx.architecture);
+        Printf.printf "pins: %d\n\n%s" (List.length app.Aaa.Sdx.pins) (Aaa.Sdx.print app);
+        0
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Parse an application file and print its normalised form")
+    Term.(const action $ file_arg)
+
+let adequation_cmd =
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Aaa.Adequation.Pressure
+      & info [ "strategy" ] ~docv:"S" ~doc:"Ranking strategy: pressure or eft.")
+  in
+  let refine_iters =
+    Arg.(
+      value & opt int 0
+      & info [ "refine" ] ~docv:"N" ~doc:"Local-search refinement iterations (0 = off).")
+  in
+  let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print the ASCII Gantt chart.") in
+  let executive =
+    Arg.(value & flag & info [ "executive" ] ~doc:"Print the generated executive.")
+  in
+  let dot_prefix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"PREFIX"
+          ~doc:"Write PREFIX.algorithm.dot, PREFIX.architecture.dot, PREFIX.schedule.dot.")
+  in
+  let save_schedule =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-schedule" ] ~docv:"FILE"
+          ~doc:"Save the resulting schedule so later runs can reload it.")
+  in
+  let generate_c =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "generate-c" ] ~docv:"DIR"
+          ~doc:"Emit the distributed executive as C sources under DIR.")
+  in
+  let action path strategy refine_iters gantt executive dot_prefix save_schedule generate_c =
+    match load_app path with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok app -> (
+        match run_adequation app strategy refine_iters with
+        | exception Aaa.Adequation.Infeasible msg ->
+            Printf.eprintf "infeasible: %s\n" msg;
+            1
+        | sched ->
+            (match save_schedule with
+            | Some out ->
+                Aaa.Schedule_io.save sched out;
+                Printf.printf "wrote %s\n" out
+            | None -> ());
+            (match generate_c with
+            | Some dir ->
+                Aaa.Cgen.write (Aaa.Codegen.generate sched) ~dir;
+                List.iter
+                  (fun (f, _) -> Printf.printf "wrote %s\n" (Filename.concat dir f))
+                  (Aaa.Cgen.emit (Aaa.Codegen.generate sched))
+            | None -> ());
+            Format.printf "%a@." Aaa.Schedule.pp sched;
+            let tm = Translator.Temporal_model.of_schedule sched in
+            Format.printf "%a@." Translator.Temporal_model.pp_static tm;
+            if gantt then print_string (Aaa.Gantt.render sched);
+            if executive then
+              print_string (Aaa.Codegen.to_string (Aaa.Codegen.generate sched));
+            (match dot_prefix with
+            | Some prefix ->
+                let write suffix content =
+                  let path = prefix ^ "." ^ suffix ^ ".dot" in
+                  let oc = open_out path in
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () -> output_string oc content);
+                  Printf.printf "wrote %s\n" path
+                in
+                write "algorithm" (Aaa.Adot.algorithm app.Aaa.Sdx.algorithm);
+                write "architecture" (Aaa.Adot.architecture app.Aaa.Sdx.architecture);
+                write "schedule" (Aaa.Adot.schedule sched)
+            | None -> ());
+            0)
+  in
+  Cmd.v
+    (Cmd.info "adequation" ~doc:"Run the adequation on an application file")
+    Term.(
+      const action $ file_arg $ strategy $ refine_iters $ gantt $ executive $ dot_prefix
+      $ save_schedule $ generate_c)
+
+let execute_cmd =
+  let iterations =
+    Arg.(value & opt int 100 & info [ "iterations" ] ~docv:"N" ~doc:"Periods to execute.")
+  in
+  let law =
+    Arg.(
+      value
+      & opt law_conv Exec.Timing_law.Uniform
+      & info [ "law" ] ~docv:"LAW" ~doc:"Execution-time law.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let schedule_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:"Reload a schedule saved by 'adequation --save-schedule' instead of re-running \
+                the adequation.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the per-iteration latency table as CSV.")
+  in
+  let action path iterations law seed schedule_file csv =
+    match load_app path with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok app -> (
+        let schedule () =
+          match schedule_file with
+          | Some file ->
+              Aaa.Schedule_io.load ~algorithm:app.Aaa.Sdx.algorithm
+                ~architecture:app.Aaa.Sdx.architecture file
+          | None -> run_adequation app Aaa.Adequation.Pressure 0
+        in
+        match schedule () with
+        | exception Aaa.Adequation.Infeasible msg ->
+            Printf.eprintf "infeasible: %s\n" msg;
+            1
+        | exception Failure msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | sched ->
+            let exe = Aaa.Codegen.generate sched in
+            let config =
+              {
+                Exec.Machine.default_config with
+                iterations;
+                law;
+                seed;
+                durations = Some app.Aaa.Sdx.durations;
+              }
+            in
+            let trace = Exec.Machine.run ~config exe in
+            Printf.printf
+              "executed %d iterations: order conformant = %b, overruns = %d\n\n" iterations
+              (Exec.Machine.order_conformant trace)
+              trace.Exec.Machine.overruns;
+            Printf.printf "%-20s %10s %10s %10s %10s\n" "operation" "mean" "min" "max"
+              "jitter";
+            List.iter
+              (fun (s : Translator.Temporal_model.series) ->
+                Printf.printf "%-20s %10.6f %10.6f %10.6f %10.6f\n"
+                  (Aaa.Algorithm.op_name app.Aaa.Sdx.algorithm s.Translator.Temporal_model.op)
+                  s.Translator.Temporal_model.mean s.Translator.Temporal_model.lmin
+                  s.Translator.Temporal_model.lmax s.Translator.Temporal_model.jitter)
+              (Translator.Temporal_model.sampling_series trace
+              @ Translator.Temporal_model.actuation_series trace);
+            (match csv with
+            | Some out ->
+                let oc = open_out out in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> output_string oc (Exec.Machine.latencies_csv trace));
+                Printf.printf "wrote %s\n" out
+            | None -> ());
+            0)
+  in
+  Cmd.v
+    (Cmd.info "execute"
+       ~doc:"Run the adequation, generate the executive and execute it on the simulated machine")
+    Term.(const action $ file_arg $ iterations $ law $ seed $ schedule_file $ csv)
+
+let lifecycle_cmd =
+  let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print the ASCII Gantt chart.") in
+  let montecarlo =
+    Arg.(
+      value & opt int 0
+      & info [ "montecarlo" ] ~docv:"N"
+          ~doc:"Also run N jittered co-simulations and print the cost distribution.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Write a full markdown report to FILE.")
+  in
+  let sweep =
+    Arg.(
+      value & opt int 0
+      & info [ "sweep" ] ~docv:"N"
+          ~doc:"Also sweep the WCET scale over N points between 0.1x and 1x the file's \
+                durations and print the cost curve.")
+  in
+  let action path gantt montecarlo_runs report_path sweep_points =
+    match (try Ok (Lifecycle.Diagram.load path) with Failure m | Sys_error m -> Error m) with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok file -> (
+        match
+          Lifecycle.Methodology.evaluate ~pins:file.Lifecycle.Diagram.pins
+            ~design:file.Lifecycle.Diagram.design
+            ~architecture:file.Lifecycle.Diagram.architecture
+            ~durations:file.Lifecycle.Diagram.durations ()
+        with
+        | exception Aaa.Adequation.Infeasible msg ->
+            Printf.eprintf "infeasible: %s\n" msg;
+            1
+        | comparison ->
+            print_string
+              (Lifecycle.Report.comparison file.Lifecycle.Diagram.design comparison);
+            if gantt then
+              print_string
+                (Aaa.Gantt.render
+                   comparison.Lifecycle.Methodology.implementation
+                     .Lifecycle.Methodology.schedule);
+            let montecarlo_summary =
+              if montecarlo_runs > 0 then
+                Some
+                  (Lifecycle.Montecarlo.run ~runs:montecarlo_runs
+                     ~design:file.Lifecycle.Diagram.design
+                     ~implementation:comparison.Lifecycle.Methodology.implementation ())
+              else None
+            in
+            (match montecarlo_summary with
+            | Some s -> Format.printf "%a@." Lifecycle.Montecarlo.pp s
+            | None -> ());
+            if sweep_points > 1 then begin
+              Printf.printf "\nWCET-scale sweep:\n%-10s %-12s %-10s\n" "scale" "impl cost"
+                "degr %";
+              let points =
+                Lifecycle.Sweep.latency
+                  ~fractions:
+                    (List.init sweep_points (fun i ->
+                         0.1 +. (0.9 *. float_of_int i /. float_of_int (sweep_points - 1))))
+                  ~design:file.Lifecycle.Diagram.design
+                  ~architecture:file.Lifecycle.Diagram.architecture
+                  ~durations_of:(fun f ->
+                    Aaa.Durations.scale file.Lifecycle.Diagram.durations f)
+                  ()
+              in
+              List.iter
+                (fun (p : Lifecycle.Sweep.point) ->
+                  Printf.printf "%-10.2f %-12.6g %-10.2f\n" p.Lifecycle.Sweep.parameter
+                    p.Lifecycle.Sweep.implemented_cost p.Lifecycle.Sweep.degradation_pct)
+                points
+            end;
+            (match report_path with
+            | Some out ->
+                let trace =
+                  Lifecycle.Methodology.execute file.Lifecycle.Diagram.design
+                    comparison.Lifecycle.Methodology.implementation
+                in
+                let doc =
+                  Lifecycle.Report.markdown ?montecarlo:montecarlo_summary ~trace
+                    file.Lifecycle.Diagram.design comparison
+                in
+                let oc = open_out out in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> output_string oc doc);
+                Printf.printf "wrote %s\n" out
+            | None -> ());
+            0)
+  in
+  Cmd.v
+    (Cmd.info "lifecycle"
+       ~doc:
+         "Run the whole methodology (ideal sim, extraction, adequation, delay-aware \
+          co-simulation) from a lifecycle diagram file")
+    Term.(const action $ file_arg $ gantt $ montecarlo $ report $ sweep)
+
+let () =
+  let doc = "system-level CAD for distributed real-time embedded control (SynDEx-style)" in
+  let info = Cmd.info "syndex" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ show_cmd; adequation_cmd; execute_cmd; lifecycle_cmd ]))

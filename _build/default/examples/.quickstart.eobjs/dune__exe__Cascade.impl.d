@@ -1,0 +1,1 @@
+examples/cascade.ml: Array Control Dataflow List Numerics Printf Sim

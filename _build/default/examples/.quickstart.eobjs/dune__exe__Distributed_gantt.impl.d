@@ -1,0 +1,1 @@
+examples/distributed_gantt.ml: Aaa Array Exec List Printf

@@ -1,0 +1,1 @@
+examples/hybrid.ml: Array Control Dataflow Float List Numerics Printf Sim

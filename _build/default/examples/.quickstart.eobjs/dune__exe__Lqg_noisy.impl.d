@@ -1,0 +1,1 @@
+examples/lqg_noisy.ml: Aaa Control Lifecycle Numerics Printf

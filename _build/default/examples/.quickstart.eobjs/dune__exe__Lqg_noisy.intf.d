@@ -1,0 +1,1 @@
+examples/lqg_noisy.mli:

@@ -1,0 +1,1 @@
+examples/pendulum.ml: Aaa Array Control Dataflow Exec Float Fun Lifecycle List Numerics Printf Sim Translator

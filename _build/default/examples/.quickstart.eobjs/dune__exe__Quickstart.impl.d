@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aaa Control Exec Lifecycle List Printf Sim Translator

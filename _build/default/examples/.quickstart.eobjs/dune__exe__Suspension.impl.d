@@ -1,0 +1,1 @@
+examples/suspension.ml: Aaa Array Control Dataflow Float Lifecycle Numerics Printf Translator

@@ -1,0 +1,1 @@
+examples/two_loops.ml: Aaa Control Dataflow Lifecycle List Numerics Option Printf Sim Translator

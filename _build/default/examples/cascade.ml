@@ -1,0 +1,153 @@
+(* Multi-rate cascade control, simulated with event dividers.
+
+   A DC motor with position output is controlled two ways:
+   - a single position PID at 20 ms;
+   - a cascade: fast inner speed loop (P, 10 ms) + slow outer position
+     loop (PI, 50 ms = inner clock divided by 5).
+
+   The outer loop's activation clock is the inner clock through an
+   Eventlib.divider block — multi-rate sampling in the Scicos style
+   (one base clock, derived sub-clocks).  The cascade rejects a load
+   torque disturbance much faster than the single loop: the inner loop
+   reacts within 10 ms where the single loop waits for the position
+   error to build up.
+
+   (The AAA extraction currently targets single-rate control laws, so
+   this example exercises the hybrid simulator only.)
+
+   Run with: dune exec examples/cascade.exe *)
+
+module G = Dataflow.Graph
+module C = Dataflow.Clib
+module E = Dataflow.Eventlib
+module M = Numerics.Matrix
+
+(* DC motor with position: states [omega; current; theta],
+   inputs [voltage; load torque], outputs [theta; omega] *)
+let motor_with_position =
+  let p = Control.Plants.default_dc_motor in
+  let a =
+    M.of_arrays
+      [|
+        [| -.p.Control.Plants.b_friction /. p.Control.Plants.j;
+           p.Control.Plants.kt /. p.Control.Plants.j; 0. |];
+        [| -.p.Control.Plants.ke /. p.Control.Plants.l_arm;
+           -.p.Control.Plants.r_arm /. p.Control.Plants.l_arm; 0. |];
+        [| 1.; 0.; 0. |];
+      |]
+  in
+  let b =
+    M.of_arrays
+      [|
+        [| 0.; 1. /. p.Control.Plants.j |];
+        [| 1. /. p.Control.Plants.l_arm; 0. |];
+        [| 0.; 0. |];
+      |]
+  in
+  let c = M.of_arrays [| [| 0.; 0.; 1. |]; [| 1.; 0.; 0. |] |] in
+  Control.Lti.make ~domain:Control.Lti.Continuous ~a ~b ~c ~d:(M.zeros 2 2)
+
+(* a -0.02 N·m load torque hitting at t = 3 s *)
+let load () = C.step_source ~name:"load" ~at:3. ~after:(-0.02) ()
+
+let simulate_cascade () =
+  let g = G.create () in
+  let plant =
+    G.add g
+      (C.lti_continuous ~name:"motor" ~split_inputs:true ~split_outputs:true
+         ~x0:[| 0.; 0.; 0. |] motor_with_position)
+  in
+  let disturbance = G.add g (load ()) in
+  G.connect_data g ~src:(disturbance, 0) ~dst:(plant, 1);
+  (* fast inner loop at 10 ms *)
+  let ts_inner = 0.01 in
+  let clock = G.add g (E.clock ~period:ts_inner ()) in
+  let sample_omega = G.add g (C.sample_hold ~name:"sample_omega" 1) in
+  G.connect_data g ~src:(plant, 1) ~dst:(sample_omega, 0);
+  let inner =
+    G.add g
+      (C.pid ~name:"inner_p"
+         (Control.Pid.create ~gains:{ Control.Pid.kp = 8.; ki = 0.; kd = 0. } ~ts:ts_inner ()))
+  in
+  let hold_u = G.add g (C.sample_hold ~name:"hold_u" 1) in
+  G.connect_data g ~src:(inner, 0) ~dst:(hold_u, 0);
+  G.connect_data g ~src:(hold_u, 0) ~dst:(plant, 0);
+  (* slow outer loop: inner clock divided by 5 → 50 ms *)
+  let divider = G.add g (E.divider ~factor:5 ()) in
+  G.connect_event g ~src:(clock, 0) ~dst:(divider, 0);
+  let sample_theta = G.add g (C.sample_hold ~name:"sample_theta" 1) in
+  G.connect_data g ~src:(plant, 0) ~dst:(sample_theta, 0);
+  let reference = G.add g (C.constant ~name:"theta_ref" [| 1. |]) in
+  let outer =
+    G.add g
+      (C.pid ~name:"outer_pi"
+         (Control.Pid.create ~gains:{ Control.Pid.kp = 6.; ki = 2.; kd = 0. } ~ts:0.05 ()))
+  in
+  G.connect_data g ~src:(reference, 0) ~dst:(outer, 0);
+  G.connect_data g ~src:(sample_theta, 0) ~dst:(outer, 1);
+  (* inner setpoint = outer output *)
+  G.connect_data g ~src:(outer, 0) ~dst:(inner, 0);
+  G.connect_data g ~src:(sample_omega, 0) ~dst:(inner, 1);
+  (* clocking: fast blocks on the base clock, slow blocks on the divided one *)
+  List.iter (fun b -> G.connect_event g ~src:(clock, 0) ~dst:(b, 0)) [ sample_omega; inner; hold_u ];
+  List.iter (fun b -> G.connect_event g ~src:(divider, 0) ~dst:(b, 0)) [ sample_theta; outer ];
+  let e = Sim.Engine.create g in
+  Sim.Engine.add_probe e ~name:"theta" ~block:plant ~port:0;
+  Sim.Engine.run ~t_end:6. e;
+  (Sim.Engine.probe_component e "theta" 0, Sim.Engine.activations e ~block:outer)
+
+let simulate_single () =
+  let g = G.create () in
+  let plant =
+    G.add g
+      (C.lti_continuous ~name:"motor" ~split_inputs:true ~split_outputs:true
+         ~x0:[| 0.; 0.; 0. |] motor_with_position)
+  in
+  let disturbance = G.add g (load ()) in
+  G.connect_data g ~src:(disturbance, 0) ~dst:(plant, 1);
+  let ts = 0.02 in
+  let clock = G.add g (E.clock ~period:ts ()) in
+  let sample_theta = G.add g (C.sample_hold ~name:"sample_theta" 1) in
+  G.connect_data g ~src:(plant, 0) ~dst:(sample_theta, 0);
+  let reference = G.add g (C.constant ~name:"theta_ref" [| 1. |]) in
+  let pid =
+    G.add g
+      (C.pid ~name:"position_pid"
+         (Control.Pid.create ~gains:{ Control.Pid.kp = 25.; ki = 8.; kd = 3. } ~ts ()))
+  in
+  G.connect_data g ~src:(reference, 0) ~dst:(pid, 0);
+  G.connect_data g ~src:(sample_theta, 0) ~dst:(pid, 1);
+  let hold_u = G.add g (C.sample_hold ~name:"hold_u" 1) in
+  G.connect_data g ~src:(pid, 0) ~dst:(hold_u, 0);
+  G.connect_data g ~src:(hold_u, 0) ~dst:(plant, 0);
+  List.iter (fun b -> G.connect_event g ~src:(clock, 0) ~dst:(b, 0)) [ sample_theta; pid; hold_u ];
+  let e = Sim.Engine.create g in
+  Sim.Engine.add_probe e ~name:"theta" ~block:plant ~port:0;
+  Sim.Engine.run ~t_end:6. e;
+  Sim.Engine.probe_component e "theta" 0
+
+let () =
+  Printf.printf "=== multi-rate cascade vs single-loop position control ===\n\n";
+  let cascade_theta, outer_activations = simulate_cascade () in
+  let single_theta = simulate_single () in
+  let disturbance_window (tr : Control.Metrics.trace) =
+    (* IAE over the disturbance-recovery window [3, 6] s *)
+    let keep = List.filteri (fun i _ -> tr.Control.Metrics.times.(i) >= 3.) in
+    Control.Metrics.of_arrays
+      (Array.of_list (keep (Array.to_list tr.Control.Metrics.times)))
+      (Array.of_list (keep (Array.to_list tr.Control.Metrics.values)))
+  in
+  Printf.printf "outer loop ran %d times in 6 s (every 5th inner tick: %d expected)\n"
+    (List.length outer_activations)
+    (1 + int_of_float (6. /. 0.05));
+  Printf.printf "\n%-22s %-14s %-20s\n" "controller" "tracking IAE" "disturbance IAE [3,6]s";
+  Printf.printf "%-22s %-14.4f %-20.4f\n" "single PID (20 ms)"
+    (Control.Metrics.iae ~reference:1. single_theta)
+    (Control.Metrics.iae ~reference:1. (disturbance_window single_theta));
+  Printf.printf "%-22s %-14.4f %-20.4f\n" "cascade (10/50 ms)"
+    (Control.Metrics.iae ~reference:1. cascade_theta)
+    (Control.Metrics.iae ~reference:1. (disturbance_window cascade_theta));
+  Printf.printf
+    "\nThe inner speed loop absorbs the load torque within its 10 ms period,\n\
+     long before the position error accumulates — the classic cascade payoff,\n\
+     simulated with one base clock and an event divider.\n"

@@ -1,0 +1,72 @@
+(* Output-feedback (LQG) regulation with a noisy position sensor,
+   through the full design lifecycle.
+
+   The plant is a lightly damped mass-spring-damper whose *position
+   only* is measurable, through a noisy ADC.  The controller is an LQG
+   compensator: a steady-state Kalman predictor reconstructs the full
+   state from the noisy samples and an LQR gain computes the force.
+   The methodology applies unchanged: the observer-controller is one
+   compute operation in the extracted algorithm graph, mapped next to
+   the actuator ECU while the sensor lives on its own ECU.
+
+   Run with: dune exec examples/lqg_noisy.exe *)
+
+module M = Numerics.Matrix
+
+let ts = 0.02
+let horizon = 8.0
+let noise_sigma = 0.01 (* 1 cm RMS position noise *)
+
+(* m = 1 kg, k = 4 N/m, c = 0.4 N·s/m: ωn = 2 rad/s, ζ = 0.1 *)
+let plant = Control.Plants.mass_spring_damper ~m:1. ~k:4. ~c:0.4
+
+let sysd = Control.Discretize.discretize ~ts plant
+
+let k_lqr =
+  (Control.Lqr.dlqr_sys
+     ~q:(M.of_arrays [| [| 100.; 0. |]; [| 0.; 10. |] |])
+     ~r:(M.of_arrays [| [| 0.1 |] |])
+     sysd)
+    .Control.Lqr.k
+
+let kalman =
+  Control.Kalman.dkalman ~a:sysd.Control.Lti.a ~c:sysd.Control.Lti.c
+    ~qn:(M.scale 1e-4 (M.identity 2))
+    ~rn:(M.of_arrays [| [| noise_sigma *. noise_sigma |] |])
+    ()
+
+let design =
+  Lifecycle.Design.lqg_loop ~name:"msd_lqg" ~plant ~x0:[| 0.5; 0. |] ~sysd ~k:k_lqr
+    ~kalman ~ts ~horizon ~noise_sigma ~noise_seed:7 ()
+
+let architecture =
+  Aaa.Architecture.bus_topology ~latency:0.0005 ~time_per_word:0.0005
+    [ "sensor_ecu"; "control_ecu" ]
+
+let durations () =
+  let d = Aaa.Durations.create () in
+  Aaa.Durations.set d ~op:"sample_y0" ~operator:"sensor_ecu" 0.001;
+  Aaa.Durations.set d ~op:"lqg" ~operator:"control_ecu" 0.006;
+  Aaa.Durations.set d ~op:"hold_u" ~operator:"control_ecu" 0.001;
+  d
+
+let () =
+  Printf.printf "=== LQG with a noisy position sensor, over two ECUs ===\n\n";
+  Printf.printf "LQR gain K = [%g %g], Kalman gain converged in %d iterations\n\n"
+    (M.get k_lqr 0 0) (M.get k_lqr 0 1) kalman.Control.Kalman.iterations;
+  let c = Lifecycle.Methodology.evaluate ~design ~architecture ~durations:(durations ()) () in
+  print_string (Lifecycle.Report.comparison design c);
+  Printf.printf "\n%s\n" (Aaa.Gantt.render c.Lifecycle.Methodology.implementation.schedule);
+  (* how much does the noise itself cost?  rebuild without noise *)
+  let clean =
+    Lifecycle.Design.lqg_loop ~name:"msd_lqg_clean" ~plant ~x0:[| 0.5; 0. |] ~sysd ~k:k_lqr
+      ~kalman ~ts ~horizon ~noise_sigma:0. ()
+  in
+  let clean_cost = clean.Lifecycle.Design.cost (Lifecycle.Methodology.simulate_ideal clean) in
+  Printf.printf "ideal cost without sensor noise : %.6g\n" clean_cost;
+  Printf.printf "ideal cost with noise (filtered): %.6g\n" c.Lifecycle.Methodology.ideal_cost;
+  Printf.printf
+    "\nThe Kalman predictor absorbs most of the measurement noise; the\n\
+     remaining implementation degradation (%.2f %%) is the timing effect the\n\
+     graph of delays exposes.\n"
+    c.Lifecycle.Methodology.degradation_pct

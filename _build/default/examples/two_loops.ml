@@ -1,0 +1,140 @@
+(* Two independent control loops sharing one computing architecture —
+   the situation the paper's introduction describes: "the different
+   components of the computing architecture are shared between
+   different activities".
+
+   Loop A: DC-motor speed control (PID, Ts = 50 ms) — the activity we
+   care about.
+   Loop B: a fast mass-spring-damper regulation whose computations are
+   heavy — the "other activity" sharing the processor.
+
+   Three evaluations of loop A's cost:
+     1. ideal (stroboscopic) — what the control engineer designed;
+     2. implemented, loop A alone on the processor;
+     3. implemented, loops A and B sharing the processor — B's
+        operations push A's actuation later in every period.
+
+   Run with: dune exec examples/two_loops.exe *)
+
+module G = Dataflow.Graph
+module C = Dataflow.Clib
+module Arch = Aaa.Architecture
+module Dur = Aaa.Durations
+
+let ts = 0.05
+
+(* one diagram holding both loops; [with_b] controls whether loop B's
+   blocks exist, so the same builder covers scenarios 2 and 3 *)
+let build ~with_b () =
+  let g = G.create () in
+  (* loop A: DC motor + PID *)
+  let plant_a =
+    G.add g
+      (C.lti_continuous ~name:"motor" ~x0:[| 0.; 0. |]
+         (Control.Plants.dc_motor Control.Plants.default_dc_motor))
+  in
+  let ref_a = G.add g (C.constant ~name:"ref_a" [| 1. |]) in
+  let sample_a = G.add g (C.sample_hold ~name:"sample_a" 1) in
+  let pid_a =
+    G.add g
+      (C.pid ~name:"pid_a"
+         (Control.Pid.create ~gains:{ Control.Pid.kp = 60.; ki = 80.; kd = 0. } ~ts ()))
+  in
+  let hold_a = G.add g (C.sample_hold ~name:"hold_a" 1) in
+  G.connect_data g ~src:(plant_a, 0) ~dst:(sample_a, 0);
+  G.connect_data g ~src:(ref_a, 0) ~dst:(pid_a, 0);
+  G.connect_data g ~src:(sample_a, 0) ~dst:(pid_a, 1);
+  G.connect_data g ~src:(pid_a, 0) ~dst:(hold_a, 0);
+  G.connect_data g ~src:(hold_a, 0) ~dst:(plant_a, 0);
+  let loop_a = [ ref_a; sample_a; pid_a; hold_a ] in
+  let clocked_a = [ sample_a; pid_a; hold_a ] in
+  (* loop B: mass-spring-damper with a heavy state-feedback filter *)
+  let loop_b, clocked_b =
+    if not with_b then ([], [])
+    else begin
+      let plant_b =
+        G.add g
+          (C.lti_continuous ~name:"msd" ~split_outputs:true ~x0:[| 0.3; 0. |]
+             (Control.Lti.make ~domain:Control.Lti.Continuous
+                ~a:(Numerics.Matrix.of_arrays [| [| 0.; 1. |]; [| -4.; -0.4 |] |])
+                ~b:(Numerics.Matrix.of_arrays [| [| 0. |]; [| 1. |] |])
+                ~c:(Numerics.Matrix.identity 2)
+                ~d:(Numerics.Matrix.zeros 2 1)))
+      in
+      let s0 = G.add g (C.sample_hold ~name:"sample_b0" 1) in
+      let s1 = G.add g (C.sample_hold ~name:"sample_b1" 1) in
+      G.connect_data g ~src:(plant_b, 0) ~dst:(s0, 0);
+      G.connect_data g ~src:(plant_b, 1) ~dst:(s1, 0);
+      let sfb =
+        G.add g (C.state_feedback ~name:"sfb_b" (Numerics.Matrix.of_arrays [| [| 8.; 3. |] |]))
+      in
+      G.connect_data g ~src:(s0, 0) ~dst:(sfb, 0);
+      G.connect_data g ~src:(s1, 0) ~dst:(sfb, 1);
+      let hold_b = G.add g (C.sample_hold ~name:"hold_b" 1) in
+      G.connect_data g ~src:(sfb, 0) ~dst:(hold_b, 0);
+      G.connect_data g ~src:(hold_b, 0) ~dst:(plant_b, 0);
+      ([ s0; s1; sfb; hold_b ], [ s0; s1; sfb; hold_b ])
+    end
+  in
+  {
+    Lifecycle.Design.graph = g;
+    clocked = clocked_a @ clocked_b;
+    members = loop_a @ loop_b;
+    memories = [];
+    probes = [ ("y", (plant_a, 0)); ("u", (hold_a, 0)) ];
+    condition_feed = None;
+    customize_algorithm = None;
+  }
+
+let design ~with_b =
+  Lifecycle.Design.make
+    ~name:(if with_b then "two_loops" else "loop_a_alone")
+    ~ts ~horizon:10.
+    ~cost:(fun e -> Control.Metrics.iae ~reference:1. (Sim.Engine.probe_component e "y" 0))
+    (build ~with_b)
+
+let durations ~with_b () =
+  let d = Dur.create () in
+  let set op wcet = Dur.set d ~op ~operator:"mcu" wcet in
+  set "ref_a" 0.0005;
+  set "sample_a" 0.002;
+  set "pid_a" 0.006;
+  set "hold_a" 0.002;
+  if with_b then begin
+    (* loop B's heavy computation eats half the period *)
+    set "sample_b0" 0.002;
+    set "sample_b1" 0.002;
+    set "sfb_b" 0.022;
+    set "hold_b" 0.002
+  end;
+  d
+
+let () =
+  Printf.printf "=== two control loops sharing one processor ===\n\n";
+  let arch = Arch.single ~proc_name:"mcu" () in
+  let eval ~with_b =
+    Lifecycle.Methodology.evaluate ~design:(design ~with_b) ~architecture:arch
+      ~durations:(durations ~with_b ()) ()
+  in
+  let alone = eval ~with_b:false in
+  let shared = eval ~with_b:true in
+  Printf.printf "loop A ideal cost            : %.5f\n" alone.Lifecycle.Methodology.ideal_cost;
+  Printf.printf "loop A implemented, alone    : %.5f (%+.1f %%)\n"
+    alone.Lifecycle.Methodology.implemented_cost alone.Lifecycle.Methodology.degradation_pct;
+  Printf.printf "loop A implemented, with B   : %.5f (%+.1f %%)\n\n"
+    shared.Lifecycle.Methodology.implemented_cost shared.Lifecycle.Methodology.degradation_pct;
+  Printf.printf "schedule with both loops (B's operations interleave with A's):\n%s\n"
+    (Aaa.Gantt.render shared.Lifecycle.Methodology.implementation.schedule);
+  let static s = s.Lifecycle.Methodology.implementation.Lifecycle.Methodology.static in
+  Printf.printf "loop A actuation latency: alone %.4f s, sharing %.4f s (of Ts = %.2f s)\n"
+    (List.assoc
+       (Option.get (Aaa.Algorithm.find_op alone.Lifecycle.Methodology.implementation.algorithm "hold_a"))
+       (static alone).Translator.Temporal_model.actuation_offsets)
+    (List.assoc
+       (Option.get (Aaa.Algorithm.find_op shared.Lifecycle.Methodology.implementation.algorithm "hold_a"))
+       (static shared).Translator.Temporal_model.actuation_offsets)
+    ts;
+  Printf.printf
+    "\nThe interference of the co-hosted activity is exactly what the paper's\n\
+     methodology exposes before implementation: loop B's computations delay\n\
+     loop A's actuation, degrading a loop whose own code did not change.\n"

@@ -1,0 +1,1 @@
+lib/aaa/adequation.ml: Algorithm Architecture Array Durations Float Fun Hashtbl List Numerics Option Printf Schedule String

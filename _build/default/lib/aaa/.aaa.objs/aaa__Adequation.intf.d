@@ -1,0 +1,1 @@
+lib/aaa/adequation.mli: Algorithm Architecture Durations Schedule

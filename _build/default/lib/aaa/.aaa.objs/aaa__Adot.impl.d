@@ -1,0 +1,1 @@
+lib/aaa/adot.ml: Algorithm Architecture Array Buffer List Printf Schedule String

@@ -1,0 +1,1 @@
+lib/aaa/adot.mli: Algorithm Architecture Schedule

@@ -1,0 +1,1 @@
+lib/aaa/algorithm.ml: Array Fun List Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/aaa/algorithm.mli:

@@ -1,0 +1,1 @@
+lib/aaa/architecture.ml: Array Fun List Printf Queue String

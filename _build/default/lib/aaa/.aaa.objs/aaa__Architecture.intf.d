@@ -1,0 +1,1 @@
+lib/aaa/architecture.mli:

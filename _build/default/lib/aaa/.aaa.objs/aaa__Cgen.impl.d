@@ -1,0 +1,1 @@
+lib/aaa/cgen.ml: Algorithm Architecture Array Buffer Codegen Filename Fun Hashtbl List Printf Schedule String

@@ -1,0 +1,1 @@
+lib/aaa/cgen.mli: Codegen

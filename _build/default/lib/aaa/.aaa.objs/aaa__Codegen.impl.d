@@ -1,0 +1,1 @@
+lib/aaa/codegen.ml: Algorithm Architecture Buffer Float Int List Printf Schedule

@@ -1,0 +1,1 @@
+lib/aaa/codegen.mli: Algorithm Architecture Schedule

@@ -1,0 +1,1 @@
+lib/aaa/durations.ml: Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/aaa/gantt.ml: Algorithm Architecture Buffer Bytes Int List Printf Schedule String

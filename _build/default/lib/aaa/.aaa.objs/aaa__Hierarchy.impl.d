@@ -1,0 +1,1 @@
+lib/aaa/hierarchy.ml: Algorithm Array Hashtbl List Printf String

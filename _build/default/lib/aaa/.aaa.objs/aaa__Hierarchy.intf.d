@@ -1,0 +1,1 @@
+lib/aaa/hierarchy.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/aaa/schedule.ml: Algorithm Architecture Float Format Hashtbl Int List Printf

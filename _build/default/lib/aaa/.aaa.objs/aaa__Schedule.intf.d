@@ -1,0 +1,1 @@
+lib/aaa/schedule.mli: Algorithm Architecture Format

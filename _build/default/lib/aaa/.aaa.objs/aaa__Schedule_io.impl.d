@@ -1,0 +1,1 @@
+lib/aaa/schedule_io.ml: Algorithm Architecture Fun List Printf Schedule Sexp String

@@ -1,0 +1,1 @@
+lib/aaa/schedule_io.mli: Algorithm Architecture Schedule Sexp

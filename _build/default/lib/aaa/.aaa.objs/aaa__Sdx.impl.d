@@ -1,0 +1,1 @@
+lib/aaa/sdx.ml: Algorithm Architecture Array Durations Fun List Option Printf Sexp

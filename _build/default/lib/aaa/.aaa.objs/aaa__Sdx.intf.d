@@ -1,0 +1,1 @@
+lib/aaa/sdx.mli: Algorithm Architecture Durations Sexp

@@ -1,0 +1,1 @@
+lib/aaa/sexp.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/aaa/workloads.ml: Algorithm Array Durations List Numerics Printf

@@ -1,0 +1,1 @@
+lib/aaa/workloads.mli: Algorithm Durations Numerics

@@ -1,0 +1,106 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let algorithm ?(graph_name = "algorithm") alg =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" graph_name);
+  List.iter
+    (fun (op : Algorithm.op_id) ->
+      let shape =
+        match Algorithm.op_kind alg op with
+        | Algorithm.Sensor -> "invhouse"
+        | Algorithm.Actuator -> "house"
+        | Algorithm.Memory -> "box"
+        | Algorithm.Compute -> "ellipse"
+      in
+      let label =
+        let base = escape (Algorithm.op_name alg op) in
+        match Algorithm.op_cond alg op with
+        | Some { Algorithm.var; value } -> Printf.sprintf "%s\\n[%s=%d]" base var value
+        | None -> base
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  op%d [label=\"%s\", shape=%s];\n" (op :> int) label shape))
+    (Algorithm.ops alg);
+  List.iter
+    (fun (((src : Algorithm.op_id), sp), ((dst : Algorithm.op_id), dp)) ->
+      let width = (Algorithm.op_outputs alg src).(sp) in
+      Buffer.add_string buf
+        (Printf.sprintf "  op%d -> op%d [label=\"%d:%d (w%d)\"];\n" (src :> int)
+           (dst :> int) sp dp width))
+    (Algorithm.dependencies alg);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let architecture ?(graph_name = "architecture") arch =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" graph_name);
+  List.iter
+    (fun (operator : Architecture.operator_id) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  p%d [label=\"%s\", shape=box];\n" (operator :> int)
+           (escape (Architecture.operator_name arch operator))))
+    (Architecture.operators arch);
+  List.iter
+    (fun (medium : Architecture.medium_id) ->
+      let kind =
+        match Architecture.medium_kind arch medium with
+        | Architecture.Bus -> "bus"
+        | Architecture.Point_to_point -> "link"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  m%d [label=\"%s\\n(%s)\", shape=diamond];\n" (medium :> int)
+           (escape (Architecture.medium_name arch medium))
+           kind);
+      List.iter
+        (fun (operator : Architecture.operator_id) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  p%d -- m%d;\n" (operator :> int) (medium :> int)))
+        (Architecture.medium_endpoints arch medium))
+    (Architecture.media arch);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let schedule ?(graph_name = "schedule") sched =
+  let alg = sched.Schedule.algorithm in
+  let arch = sched.Schedule.architecture in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=TB;\n" graph_name);
+  List.iter
+    (fun (operator : Architecture.operator_id) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_p%d {\n    label=\"%s\";\n" (operator :> int)
+           (escape (Architecture.operator_name arch operator)));
+      let slots = Schedule.on_operator sched operator in
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "    op%d [label=\"%s\\n[%.4g, %.4g]\"];\n"
+               (s.Schedule.cs_op :> int)
+               (escape (Algorithm.op_name alg s.Schedule.cs_op))
+               s.Schedule.cs_start
+               (s.Schedule.cs_start +. s.Schedule.cs_duration)))
+        slots;
+      (* invisible edges impose vertical execution order *)
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+            Buffer.add_string buf
+              (Printf.sprintf "    op%d -> op%d [style=invis];\n"
+                 (a.Schedule.cs_op :> int)
+                 (b.Schedule.cs_op :> int));
+            chain rest
+        | [ _ ] | [] -> ()
+      in
+      chain slots;
+      Buffer.add_string buf "  }\n")
+    (Architecture.operators arch);
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  op%d -> op%d [color=red, label=\"%s @%.4g\"];\n"
+           (fst c.Schedule.cm_src :> int)
+           (fst c.Schedule.cm_dst :> int)
+           (escape (Architecture.medium_name arch c.Schedule.cm_medium))
+           c.Schedule.cm_start))
+    sched.Schedule.comm;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Graphviz export of AAA artefacts: algorithm graphs, architecture
+    graphs and schedules (clustered by operator) — the visual
+    counterparts of SynDEx's three main windows. *)
+
+val algorithm : ?graph_name:string -> Algorithm.t -> string
+(** Operations as nodes (shape by kind: sensors as invhouses,
+    actuators as houses, memories as boxes, computations as ellipses;
+    conditioned operations annotated with [var=value]), dependencies
+    as edges labelled with their width. *)
+
+val architecture : ?graph_name:string -> Architecture.t -> string
+(** Operators as boxes, media as diamonds linked to their endpoint
+    operators. *)
+
+val schedule : ?graph_name:string -> Schedule.t -> string
+(** One cluster per operator containing its slots in execution order
+    (labels carry start/finish times), dependency edges across
+    clusters via the transfers. *)

@@ -1,0 +1,209 @@
+type op_kind = Sensor | Actuator | Compute | Memory
+
+type op_id = int
+
+type condition = { var : string; value : int }
+
+type op = {
+  o_name : string;
+  o_kind : op_kind;
+  o_inputs : int array;
+  o_outputs : int array;
+  o_cond : condition option;
+}
+
+type t = {
+  g_name : string;
+  g_period : float;
+  mutable g_ops : op array;
+  mutable dep_in : (op_id * int) option array array; (* per op, per input port *)
+  mutable cond_sources : (string * (op_id * int)) list;
+}
+
+let create ~name ~period =
+  if period <= 0. then invalid_arg "Algorithm.create: non-positive period";
+  { g_name = name; g_period = period; g_ops = [||]; dep_in = [||]; cond_sources = [] }
+
+let name g = g.g_name
+let period g = g.g_period
+let op_count g = Array.length g.g_ops
+let ops g = List.init (op_count g) Fun.id
+
+let check_id g id =
+  if id < 0 || id >= op_count g then invalid_arg "Algorithm: unknown operation id"
+
+let op g id =
+  check_id g id;
+  g.g_ops.(id)
+
+let op_name g id = (op g id).o_name
+let op_kind g id = (op g id).o_kind
+let op_cond g id = (op g id).o_cond
+let op_inputs g id = Array.copy (op g id).o_inputs
+let op_outputs g id = Array.copy (op g id).o_outputs
+
+let find_op g name =
+  let rec go i =
+    if i >= op_count g then None
+    else if String.equal g.g_ops.(i).o_name name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let add_op g ~name ~kind ?(inputs = [||]) ?(outputs = [||]) ?cond () =
+  if find_op g name <> None then
+    invalid_arg (Printf.sprintf "Algorithm.add_op: duplicate operation %S" name);
+  Array.iter (fun w -> if w <= 0 then invalid_arg "Algorithm.add_op: non-positive width") inputs;
+  Array.iter (fun w -> if w <= 0 then invalid_arg "Algorithm.add_op: non-positive width") outputs;
+  (match kind with
+  | Memory ->
+      if Array.length inputs <> Array.length outputs then
+        invalid_arg "Algorithm.add_op: memory operation needs matching input/output ports"
+  | Sensor | Actuator | Compute -> ());
+  let o = { o_name = name; o_kind = kind; o_inputs = inputs; o_outputs = outputs; o_cond = cond } in
+  g.g_ops <- Array.append g.g_ops [| o |];
+  g.dep_in <- Array.append g.dep_in [| Array.make (Array.length inputs) None |];
+  op_count g - 1
+
+let depend g ~src:(so, sp) ~dst:(dok, dp) =
+  check_id g so;
+  check_id g dok;
+  let sop = g.g_ops.(so) and dop = g.g_ops.(dok) in
+  if sp < 0 || sp >= Array.length sop.o_outputs then
+    invalid_arg (Printf.sprintf "Algorithm.depend: %S has no output %d" sop.o_name sp);
+  if dp < 0 || dp >= Array.length dop.o_inputs then
+    invalid_arg (Printf.sprintf "Algorithm.depend: %S has no input %d" dop.o_name dp);
+  if sop.o_outputs.(sp) <> dop.o_inputs.(dp) then
+    invalid_arg
+      (Printf.sprintf "Algorithm.depend: width mismatch %S.%d -> %S.%d" sop.o_name sp
+         dop.o_name dp);
+  (match g.dep_in.(dok).(dp) with
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Algorithm.depend: input %S.%d already wired" dop.o_name dp)
+  | None -> ());
+  g.dep_in.(dok).(dp) <- Some (so, sp)
+
+let set_op_condition g id cond =
+  check_id g id;
+  let o = g.g_ops.(id) in
+  (match o.o_cond with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Algorithm.set_op_condition: %S already conditioned" o.o_name)
+  | None -> ());
+  g.g_ops.(id) <- { o with o_cond = Some cond }
+
+let set_condition_source g ~var (id, port) =
+  check_id g id;
+  let o = g.g_ops.(id) in
+  if port < 0 || port >= Array.length o.o_outputs then
+    invalid_arg "Algorithm.set_condition_source: port out of range";
+  if o.o_outputs.(port) <> 1 then
+    invalid_arg "Algorithm.set_condition_source: condition port must have width 1";
+  if List.mem_assoc var g.cond_sources then
+    invalid_arg (Printf.sprintf "Algorithm.set_condition_source: %S already declared" var);
+  g.cond_sources <- (var, (id, port)) :: g.cond_sources
+
+let condition_source g ~var = List.assoc_opt var g.cond_sources
+
+let dep_source g id port =
+  check_id g id;
+  if port < 0 || port >= Array.length g.dep_in.(id) then
+    invalid_arg "Algorithm.dep_source: port out of range";
+  g.dep_in.(id).(port)
+
+let dependencies g =
+  let acc = ref [] in
+  for dst = op_count g - 1 downto 0 do
+    Array.iteri
+      (fun dp src -> match src with Some s -> acc := (s, (dst, dp)) :: !acc | None -> ())
+      g.dep_in.(dst)
+  done;
+  !acc
+
+let predecessors g id =
+  check_id g id;
+  Array.to_list g.dep_in.(id)
+  |> List.filter_map (fun src -> Option.map fst src)
+  |> List.sort_uniq compare
+
+let successors g id =
+  check_id g id;
+  List.filter_map
+    (fun ((so, _), (dok, _)) -> if so = id then Some dok else None)
+    (dependencies g)
+  |> List.sort_uniq compare
+
+let by_kind g kind =
+  List.filter (fun id -> g.g_ops.(id).o_kind = kind) (ops g)
+
+let sensors g = by_kind g Sensor
+let actuators g = by_kind g Actuator
+
+(* Topological sort of intra-iteration dependencies.  Edges leaving a
+   Memory operation are excluded: a memory's output carries the value
+   of the previous iteration, so consuming it does not order the
+   consumer after the memory within the current iteration. *)
+let topological_order g =
+  let n = op_count g in
+  let indegree = Array.make n 0 in
+  let succs = Array.make n [] in
+  List.iter
+    (fun ((so, _), (dok, _)) ->
+      if so <> dok && g.g_ops.(so).o_kind <> Memory then begin
+        succs.(so) <- dok :: succs.(so);
+        indegree.(dok) <- indegree.(dok) + 1
+      end)
+    (dependencies g);
+  let queue = Queue.create () in
+  for id = 0 to n - 1 do
+    if indegree.(id) = 0 then Queue.add id queue
+  done;
+  let order = ref [] and visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    incr visited;
+    List.iter
+      (fun succ ->
+        indegree.(succ) <- indegree.(succ) - 1;
+        if indegree.(succ) = 0 then Queue.add succ queue)
+      succs.(id)
+  done;
+  if !visited <> n then begin
+    let stuck =
+      List.filter (fun id -> indegree.(id) > 0) (List.init n Fun.id)
+      |> List.map (fun id -> g.g_ops.(id).o_name)
+      |> String.concat ", "
+    in
+    invalid_arg ("Algorithm: dependency cycle through " ^ stuck)
+  end;
+  List.rev !order
+
+let validate g =
+  for id = 0 to op_count g - 1 do
+    Array.iteri
+      (fun dp src ->
+        if src = None then
+          invalid_arg
+            (Printf.sprintf "Algorithm: input %S.%d is not wired" g.g_ops.(id).o_name dp))
+      g.dep_in.(id)
+  done;
+  List.iter
+    (fun id ->
+      match g.g_ops.(id).o_cond with
+      | None -> ()
+      | Some { var; _ } -> (
+          match condition_source g ~var with
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Algorithm: conditioning variable %S has no source" var)
+          | Some (src, _) -> (
+              match g.g_ops.(src).o_cond with
+              | Some c when String.equal c.var var ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Algorithm: source of condition %S is conditioned on itself" var)
+              | Some _ | None -> ())))
+    (ops g);
+  ignore (topological_order g)

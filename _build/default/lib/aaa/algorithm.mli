@@ -1,0 +1,100 @@
+(** SynDEx-style algorithm graphs.
+
+    An algorithm is a data-flow graph of {e operations} repeated
+    indefinitely with the sampling period of the control law.  Sensor
+    operations acquire controller inputs (measures), actuator
+    operations apply controller outputs (controls), computation
+    operations transform data, and memory operations carry values from
+    one iteration to the next (inter-iteration delays).
+
+    Operations may be {e conditioned} (paper §3.2.2): an operation
+    tagged with condition [(var, value)] only executes at iterations
+    where the conditioning variable [var] (produced by some operation
+    output declared with {!set_condition_source}) equals [value].
+    Alternative branches of the same [var] occupy the same schedule
+    window, and their differing execution times are precisely the
+    jitter source the paper's Fig. 5 translation captures. *)
+
+type op_kind =
+  | Sensor  (** controller input acquisition — defines [I_j(k)] *)
+  | Actuator  (** controller output application — defines [O_j(k)] *)
+  | Compute  (** internal computation *)
+  | Memory  (** inter-iteration delay; its output is available at
+                iteration start, its input is stored for the next one *)
+
+type op_id = private int
+
+type condition = { var : string; value : int }
+
+type t
+(** Mutable algorithm graph under construction. *)
+
+val create : name:string -> period:float -> t
+(** [period] is the real-time constraint: one iteration of the graph
+    must execute every [period] seconds.  Raises on [period <= 0]. *)
+
+val name : t -> string
+val period : t -> float
+
+val add_op :
+  t ->
+  name:string ->
+  kind:op_kind ->
+  ?inputs:int array ->
+  ?outputs:int array ->
+  ?cond:condition ->
+  unit ->
+  op_id
+(** Adds an operation with the given regular data ports (widths in
+    scalar words, used for communication costing).  Names must be
+    unique within the graph.  Raises [Invalid_argument] otherwise. *)
+
+val depend : t -> src:op_id * int -> dst:op_id * int -> unit
+(** Adds a data dependency from an output port to an input port.
+    Input ports accept exactly one incoming dependency.  Width
+    mismatch or double wiring raises. *)
+
+val set_op_condition : t -> op_id -> condition -> unit
+(** Conditions an existing operation after creation (used by the
+    Scicos→SynDEx translator, which discovers conditioning after the
+    structural extraction).  Raises if the operation already carries a
+    condition. *)
+
+val set_condition_source : t -> var:string -> op_id * int -> unit
+(** Declares which (operation, output port) computes a conditioning
+    variable; the port must have width 1.  Required for every [var]
+    used in a {!condition}. *)
+
+val condition_source : t -> var:string -> (op_id * int) option
+
+val op_count : t -> int
+val ops : t -> op_id list
+val op_name : t -> op_id -> string
+val op_kind : t -> op_id -> op_kind
+val op_cond : t -> op_id -> condition option
+val op_inputs : t -> op_id -> int array
+val op_outputs : t -> op_id -> int array
+val find_op : t -> string -> op_id option
+
+val dep_source : t -> op_id -> int -> (op_id * int) option
+val dependencies : t -> ((op_id * int) * (op_id * int)) list
+val successors : t -> op_id -> op_id list
+val predecessors : t -> op_id -> op_id list
+
+val sensors : t -> op_id list
+(** Sensor operations in insertion order — index [j] is the paper's
+    input [j]. *)
+
+val actuators : t -> op_id list
+
+val validate : t -> unit
+(** Checks: every input port wired; no dependency cycle (memory
+    outputs break cycles because they carry previous-iteration
+    values); every conditioning variable has a declared source; the
+    condition source of an operation is not itself conditioned on the
+    same variable.  Raises [Invalid_argument]. *)
+
+val topological_order : t -> op_id list
+(** Operations ordered along intra-iteration dependencies (edges out
+    of Memory operations are ignored, as their values pre-exist).
+    Raises if a cycle exists. *)

@@ -1,0 +1,31 @@
+(** C source emission from a generated executive — the final step of
+    SynDEx's flow ("to automatically generate the corresponding
+    code", paper §1).
+
+    {!emit} produces a set of C translation units:
+    - [scilife_runtime.h] — the small runtime API the generated code
+      is written against (periodic release, channel send/receive);
+      the target integrator supplies its implementation (POSIX,
+      RTOS, bare metal…);
+    - [channels.h] — one enumerator and one buffer per inter-operator
+      transfer;
+    - [ops.h] — extern prototypes of the application functions, one
+      per operation, with [const double *] inputs and [double *]
+      outputs in port order;
+    - one [operator_<name>.c] per operator — its infinite loop in the
+      schedule's total order, receives before the consumers, sends
+      right after the producers, conditioned operations wrapped in
+      [if] on their conditioning variable's buffer.
+
+    The generated sources are self-consistent C99: the test suite
+    compiles them against a stub runtime with [cc -c] when a compiler
+    is available. *)
+
+val emit : Codegen.t -> (string * string) list
+(** [(filename, content)] pairs, runtime and headers first.  Operation
+    and operator names are mangled to C identifiers (non-alphanumeric
+    characters become ['_']); a collision after mangling raises
+    [Invalid_argument]. *)
+
+val write : Codegen.t -> dir:string -> unit
+(** Writes every emitted file under [dir] (which must exist). *)

@@ -1,0 +1,140 @@
+type instr =
+  | Wait_period
+  | Exec of Algorithm.op_id
+  | Send of Schedule.comm_slot
+  | Recv of Schedule.comm_slot
+
+type t = {
+  schedule : Schedule.t;
+  programs : (Architecture.operator_id * instr list) list;
+  media_programs : (Architecture.medium_id * Schedule.comm_slot list) list;
+}
+
+let generate sched =
+  let programs =
+    List.map
+      (fun operator ->
+        let execs =
+          List.map
+            (fun s -> (s.Schedule.cs_start, 1, Exec s.Schedule.cs_op))
+            (Schedule.on_operator sched operator)
+        in
+        (* The producer posts the first hop; the consumer receives the
+           last hop; intermediate hops are relayed by the media alone.
+           A send is ordered at its *producer's completion* (the data
+           is available then — the transfer's own start also includes
+           medium waiting, which must not hold the processor), and at
+           equal times sends go before computations so a post is never
+           delayed by an unrelated execution. *)
+        let sends =
+          List.filter_map
+            (fun c ->
+              if c.Schedule.cm_hop = 0 && c.Schedule.cm_from = operator then begin
+                let producer = Schedule.slot_of sched (fst c.Schedule.cm_src) in
+                Some (producer.Schedule.cs_start +. producer.Schedule.cs_duration, 1, Send c)
+              end
+              else None)
+            sched.Schedule.comm
+        in
+        let execs = List.map (fun (t, _, i) -> (t, 2, i)) execs in
+        let recvs =
+          List.filter_map
+            (fun c ->
+              if
+                c.Schedule.cm_to = operator
+                && Schedule.operator_of sched (fst c.Schedule.cm_dst) = operator
+              then Some (c.Schedule.cm_start +. c.Schedule.cm_duration, 0, Recv c)
+              else None)
+            sched.Schedule.comm
+        in
+        let body =
+          List.sort
+            (fun (t1, k1, _) (t2, k2, _) ->
+              if t1 <> t2 then Float.compare t1 t2 else Int.compare k1 k2)
+            (execs @ sends @ recvs)
+          |> List.map (fun (_, _, i) -> i)
+        in
+        (* zero-duration producers tie with their own send: make sure
+           every send still follows its producing execution *)
+        let body =
+          let rec fix acc = function
+            | [] -> List.rev acc
+            | Send c :: rest when not (List.mem (Exec (fst c.Schedule.cm_src)) acc) ->
+                (* move the send right after the producer's exec *)
+                let rec insert = function
+                  | Exec op :: tail when op = fst c.Schedule.cm_src ->
+                      Exec op :: Send c :: tail
+                  | instr :: tail -> instr :: insert tail
+                  | [] -> [ Send c ] (* producer on another operator: keep *)
+                in
+                fix acc (insert rest)
+            | instr :: rest -> fix (instr :: acc) rest
+          in
+          fix [] body
+        in
+        (operator, Wait_period :: body))
+      (Architecture.operators sched.Schedule.architecture)
+  in
+  let media_programs =
+    List.map
+      (fun medium -> (medium, Schedule.on_medium sched medium))
+      (Architecture.media sched.Schedule.architecture)
+  in
+  { schedule = sched; programs; media_programs }
+
+let program_of exe operator =
+  match List.assoc_opt operator exe.programs with
+  | Some p -> p
+  | None -> invalid_arg "Codegen.program_of: unknown operator"
+
+let media_program_of exe medium =
+  match List.assoc_opt medium exe.media_programs with
+  | Some p -> p
+  | None -> invalid_arg "Codegen.media_program_of: unknown medium"
+
+let to_string exe =
+  let sched = exe.schedule in
+  let alg = sched.Schedule.algorithm in
+  let arch = sched.Schedule.architecture in
+  let buf = Buffer.create 1024 in
+  let describe_comm c =
+    Printf.sprintf "%s.%d -> %s%s via %s"
+      (Algorithm.op_name alg (fst c.Schedule.cm_src))
+      (snd c.Schedule.cm_src)
+      (Algorithm.op_name alg (fst c.Schedule.cm_dst))
+      (if snd c.Schedule.cm_dst = -1 then "[cond]"
+       else Printf.sprintf ".%d" (snd c.Schedule.cm_dst))
+      (Architecture.medium_name arch c.Schedule.cm_medium)
+  in
+  List.iter
+    (fun (operator, body) ->
+      Buffer.add_string buf
+        (Printf.sprintf "processor %s:\n  loop forever:\n" (Architecture.operator_name arch operator));
+      List.iter
+        (fun i ->
+          let line =
+            match i with
+            | Wait_period -> "wait_period"
+            | Exec op -> (
+                let base = Printf.sprintf "exec %s" (Algorithm.op_name alg op) in
+                match Algorithm.op_cond alg op with
+                | None -> base
+                | Some { Algorithm.var; value } ->
+                    Printf.sprintf "if %s = %d then %s" var value base)
+            | Send c -> Printf.sprintf "send %s" (describe_comm c)
+            | Recv c -> Printf.sprintf "recv %s" (describe_comm c)
+          in
+          Buffer.add_string buf ("    " ^ line ^ "\n"))
+        body;
+      Buffer.add_string buf "  end loop\n\n")
+    exe.programs;
+  List.iter
+    (fun (medium, transfers) ->
+      Buffer.add_string buf
+        (Printf.sprintf "medium %s:\n  loop forever:\n" (Architecture.medium_name arch medium));
+      List.iter
+        (fun c -> Buffer.add_string buf ("    transfer " ^ describe_comm c ^ "\n"))
+        transfers;
+      Buffer.add_string buf "  end loop\n\n")
+    exe.media_programs;
+  Buffer.contents buf

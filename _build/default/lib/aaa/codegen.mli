@@ -1,0 +1,47 @@
+(** Generation of the distributed real-time executive from a schedule.
+
+    Mirrors SynDEx's macro-code generation: each operator receives a
+    sequential program — an infinite loop over one iteration of the
+    schedule — whose computation order is the schedule's total order
+    on that operator, with [Send]/[Recv] synchronisation operations
+    inserted around every inter-operator transfer; each medium
+    receives the totally ordered sequence of transfers it must carry.
+    The synchronisation discipline (a transfer starts only when its
+    data has been posted and the medium is free, in the static order;
+    a [Recv] blocks until its transfer completes) guarantees the
+    execution respects the schedule's total order and is deadlock-free
+    for valid schedules — which {!Exec.Machine} verifies empirically. *)
+
+type instr =
+  | Wait_period
+      (** block until the next periodic release ([k·Ts]) *)
+  | Exec of Algorithm.op_id
+      (** run one operation (skipped at run time when its condition
+          does not hold) *)
+  | Send of Schedule.comm_slot
+      (** post the data of a transfer leaving this operator
+          (non-blocking; the medium performs the transfer) *)
+  | Recv of Schedule.comm_slot
+      (** block until the incoming transfer completes *)
+
+type t = {
+  schedule : Schedule.t;
+  programs : (Architecture.operator_id * instr list) list;
+      (** one program per operator; the body of the infinite loop,
+          beginning with [Wait_period] *)
+  media_programs : (Architecture.medium_id * Schedule.comm_slot list) list;
+      (** per-medium transfer order *)
+}
+
+val generate : Schedule.t -> t
+(** Builds the executive.  Instructions on an operator are ordered by
+    schedule time; at equal times receives come first, then
+    computations, then sends. *)
+
+val program_of : t -> Architecture.operator_id -> instr list
+val media_program_of : t -> Architecture.medium_id -> Schedule.comm_slot list
+
+val to_string : t -> string
+(** Human-readable macro-code listing, one section per operator and
+    per medium (conditioned operations render as [if var=v then
+    exec ...]). *)

@@ -1,0 +1,77 @@
+type entry = { mutable wcet : float; mutable bcet : float option }
+
+type t = (string * string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let set table ~op ~operator value =
+  if value < 0. then invalid_arg "Durations.set: negative WCET";
+  match Hashtbl.find_opt table (op, operator) with
+  | Some entry ->
+      entry.wcet <- value;
+      (match entry.bcet with
+      | Some b when b > value -> entry.bcet <- None
+      | Some _ | None -> ())
+  | None -> Hashtbl.replace table (op, operator) { wcet = value; bcet = None }
+
+let set_bcet table ~op ~operator value =
+  if value < 0. then invalid_arg "Durations.set_bcet: negative BCET";
+  match Hashtbl.find_opt table (op, operator) with
+  | None -> invalid_arg "Durations.set_bcet: set the WCET first"
+  | Some entry ->
+      if value > entry.wcet then invalid_arg "Durations.set_bcet: BCET exceeds WCET";
+      entry.bcet <- Some value
+
+let set_everywhere table ~op ~operators value =
+  List.iter (fun operator -> set table ~op ~operator value) operators
+
+let wcet table ~op ~operator =
+  Option.map (fun e -> e.wcet) (Hashtbl.find_opt table (op, operator))
+
+let bcet table ~op ~operator =
+  Option.map
+    (fun e -> match e.bcet with Some b -> b | None -> e.wcet)
+    (Hashtbl.find_opt table (op, operator))
+
+let can_run table ~op ~operator = Hashtbl.mem table (op, operator)
+
+let fold table ~init ~f =
+  Hashtbl.fold
+    (fun (op, operator) entry acc ->
+      let bcet = match entry.bcet with Some b -> b | None -> entry.wcet in
+      f ~op ~operator ~wcet:entry.wcet ~bcet acc)
+    table init
+
+let scale table factor =
+  if factor <= 0. then invalid_arg "Durations.scale: non-positive factor";
+  let scaled = create () in
+  fold table ~init:() ~f:(fun ~op ~operator ~wcet ~bcet () ->
+      set scaled ~op ~operator (wcet *. factor);
+      if bcet < wcet then set_bcet scaled ~op ~operator (bcet *. factor));
+  scaled
+
+let of_measurements ?(margin = 0.2) rows =
+  if margin < 0. then invalid_arg "Durations.of_measurements: negative margin";
+  let table = create () in
+  List.iter
+    (fun (op, operator, samples) ->
+      match samples with
+      | [] -> invalid_arg "Durations.of_measurements: empty sample list"
+      | first :: rest ->
+          List.iter
+            (fun s ->
+              if s < 0. then invalid_arg "Durations.of_measurements: negative sample")
+            samples;
+          let worst = List.fold_left Float.max first rest in
+          let best = List.fold_left Float.min first rest in
+          set table ~op ~operator (worst *. (1. +. margin));
+          set_bcet table ~op ~operator best)
+    rows;
+  table
+
+let average_wcet table ~op ~operators =
+  let values = List.filter_map (fun operator -> wcet table ~op ~operator) operators in
+  match values with
+  | [] -> None
+  | _ :: _ ->
+      Some (List.fold_left ( +. ) 0. values /. float_of_int (List.length values))

@@ -1,0 +1,54 @@
+(** Execution-time characterisation tables.
+
+    For each (operation, operator) pair, a worst-case execution time
+    (WCET) — the value the adequation heuristic and the generated
+    static schedule rely on — and optionally a best-case execution
+    time (BCET, defaulting to the WCET) that execution simulation uses
+    to draw actual durations.  An absent entry means the operation
+    cannot run on that operator (e.g. an ASIC hosting exactly one
+    operation). *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> op:string -> operator:string -> float -> unit
+(** Sets the WCET of [op] on [operator].  Raises on negative values. *)
+
+val set_bcet : t -> op:string -> operator:string -> float -> unit
+(** Sets the BCET.  Must be set after the WCET and be ≤ it. *)
+
+val set_everywhere : t -> op:string -> operators:string list -> float -> unit
+(** Same WCET on all the given operators. *)
+
+val wcet : t -> op:string -> operator:string -> float option
+(** [None] when the operation cannot execute on the operator. *)
+
+val bcet : t -> op:string -> operator:string -> float option
+(** Defaults to the WCET when no BCET was set. *)
+
+val can_run : t -> op:string -> operator:string -> bool
+
+val of_measurements : ?margin:float -> (string * string * float list) list -> t
+(** Builds a table from execution-time measurements
+    [(op, operator, samples)]: the WCET is the largest sample
+    inflated by [margin] (default 20 %, the usual safety factor of a
+    measurement-based characterisation) and the BCET is the smallest
+    sample.  Raises [Invalid_argument] on empty sample lists or
+    negative samples. *)
+
+val fold :
+  t -> init:'acc -> f:(op:string -> operator:string -> wcet:float -> bcet:float -> 'acc -> 'acc) -> 'acc
+(** Folds over every declared (operation, operator) entry (order
+    unspecified); [bcet] is the effective one (defaulting to the
+    WCET). *)
+
+val scale : t -> float -> t
+(** A fresh table with every WCET and BCET multiplied by the factor —
+    the "same software on a k× slower platform" transformation used by
+    latency sweeps.  Raises on non-positive factors. *)
+
+val average_wcet : t -> op:string -> operators:string list -> float option
+(** Mean WCET over the operators able to run [op] — the
+    operator-independent estimate used for critical-path levels.
+    [None] if no operator can run it. *)

@@ -1,0 +1,64 @@
+let render ?(width = 72) sched =
+  if width < 10 then invalid_arg "Gantt.render: width too small";
+  let makespan = sched.Schedule.makespan in
+  let scale t = if makespan <= 0. then 0 else int_of_float (t /. makespan *. float_of_int width) in
+  let buf = Buffer.create 1024 in
+  let label_width =
+    List.fold_left
+      (fun acc operator ->
+        Int.max acc
+          (String.length (Architecture.operator_name sched.Schedule.architecture operator)))
+      0
+      (Architecture.operators sched.Schedule.architecture)
+    |> fun w ->
+    List.fold_left
+      (fun acc medium ->
+        Int.max acc
+          (String.length (Architecture.medium_name sched.Schedule.architecture medium)))
+      w
+      (Architecture.media sched.Schedule.architecture)
+  in
+  let row name slots =
+    (* slots: (start, finish, text) *)
+    let cells = Bytes.make width '.' in
+    List.iter
+      (fun (start, finish, text) ->
+        let a = Int.min (width - 1) (scale start) in
+        let b = Int.min width (Int.max (a + 1) (scale finish)) in
+        for i = a to b - 1 do
+          Bytes.set cells i '#'
+        done;
+        (* overlay the name inside the bar when it fits *)
+        String.iteri
+          (fun i ch -> if a + i < b - 0 && a + i < width then Bytes.set cells (a + i) ch)
+          (String.sub text 0 (Int.min (String.length text) (Int.max 0 (b - a)))))
+      slots;
+    Buffer.add_string buf (Printf.sprintf "%-*s |%s|\n" label_width name (Bytes.to_string cells))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s  0%*s%.6g\n" label_width "" (width - 1) "t=" makespan);
+  List.iter
+    (fun operator ->
+      let slots =
+        List.map
+          (fun s ->
+            ( s.Schedule.cs_start,
+              s.Schedule.cs_start +. s.Schedule.cs_duration,
+              Algorithm.op_name sched.Schedule.algorithm s.Schedule.cs_op ))
+          (Schedule.on_operator sched operator)
+      in
+      row (Architecture.operator_name sched.Schedule.architecture operator) slots)
+    (Architecture.operators sched.Schedule.architecture);
+  List.iter
+    (fun medium ->
+      let slots =
+        List.map
+          (fun c ->
+            ( c.Schedule.cm_start,
+              c.Schedule.cm_start +. c.Schedule.cm_duration,
+              Algorithm.op_name sched.Schedule.algorithm (fst c.Schedule.cm_src) ))
+          (Schedule.on_medium sched medium)
+      in
+      row (Architecture.medium_name sched.Schedule.architecture medium) slots)
+    (Architecture.media sched.Schedule.architecture);
+  Buffer.contents buf

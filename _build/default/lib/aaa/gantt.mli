@@ -1,0 +1,7 @@
+(** ASCII Gantt charts of schedules — the visual output SynDEx shows
+    after an adequation, rendered for terminals. *)
+
+val render : ?width:int -> Schedule.t -> string
+(** One row per operator and per medium; slot names are printed inside
+    their time extent.  [width] is the number of character cells for
+    the whole makespan (default 72). *)

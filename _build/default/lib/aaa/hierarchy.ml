@@ -1,0 +1,175 @@
+type definition =
+  | Atom of {
+      a_kind : Algorithm.op_kind;
+      a_inputs : (string * int) list;
+      a_outputs : (string * int) list;
+      a_cond : Algorithm.condition option;
+    }
+  | Subsystem of {
+      s_inputs : (string * int) list;
+      s_outputs : (string * int) list;
+      s_elements : (string * string) list;
+      s_links : ((string * string) * (string * string)) list;
+    }
+
+type spec = {
+  sp_name : string;
+  sp_period : float;
+  mutable sp_defs : (string * definition) list;
+}
+
+let boundary = ""
+
+let create ~name ~period =
+  if period <= 0. then invalid_arg "Hierarchy.create: non-positive period";
+  { sp_name = name; sp_period = period; sp_defs = [] }
+
+let check_ports what ports =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (p, w) ->
+      if w <= 0 then invalid_arg (Printf.sprintf "Hierarchy: non-positive width on %s" what);
+      if Hashtbl.mem seen p then
+        invalid_arg (Printf.sprintf "Hierarchy: duplicate port %S on %s" p what);
+      Hashtbl.replace seen p ())
+    ports
+
+let add_definition spec name definition =
+  if List.mem_assoc name spec.sp_defs then
+    invalid_arg (Printf.sprintf "Hierarchy: duplicate definition %S" name);
+  if String.equal name boundary then invalid_arg "Hierarchy: empty definition name";
+  spec.sp_defs <- spec.sp_defs @ [ (name, definition) ]
+
+let define_atom spec ~name ~kind ?(inputs = []) ?(outputs = []) ?cond () =
+  check_ports name inputs;
+  check_ports name outputs;
+  add_definition spec name (Atom { a_kind = kind; a_inputs = inputs; a_outputs = outputs; a_cond = cond })
+
+let define_subsystem spec ~name ?(inputs = []) ?(outputs = []) ~elements ~links () =
+  check_ports name inputs;
+  check_ports name outputs;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (instance, _) ->
+      if String.equal instance boundary then
+        invalid_arg "Hierarchy: instance name may not be the boundary marker";
+      if Hashtbl.mem seen instance then
+        invalid_arg (Printf.sprintf "Hierarchy: duplicate instance %S in %S" instance name);
+      Hashtbl.replace seen instance ())
+    elements;
+  add_definition spec name
+    (Subsystem { s_inputs = inputs; s_outputs = outputs; s_elements = elements; s_links = links })
+
+let find_def spec name =
+  match List.assoc_opt name spec.sp_defs with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Hierarchy: unknown definition %S" name)
+
+(* During expansion, each (path, port) endpoint eventually resolves to
+   a flat operation port.  Boundary ports create forwarding entries
+   resolved transitively afterwards. *)
+type endpoint = { ep_path : string; ep_port : string }
+
+let flatten spec ~root =
+  (match find_def spec root with
+  | Subsystem { s_inputs = []; s_outputs = []; _ } -> ()
+  | Subsystem _ -> invalid_arg "Hierarchy.flatten: root definition has boundary ports"
+  | Atom _ -> invalid_arg "Hierarchy.flatten: root must be a subsystem");
+  let algorithm = Algorithm.create ~name:spec.sp_name ~period:spec.sp_period in
+  (* flat op table: path -> (op id, input ports, output ports) *)
+  let atoms : (string, Algorithm.op_id * (string * int) list * (string * int) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  (* raw links collected over all levels, with path-qualified endpoints *)
+  let links : (endpoint * endpoint) list ref = ref [] in
+  let join path name = if String.equal path "" then name else path ^ "/" ^ name in
+  let rec expand ~stack path def_name =
+    if List.mem def_name stack then
+      invalid_arg
+        (Printf.sprintf "Hierarchy: recursive instantiation of %S (via %s)" def_name
+           (String.concat " -> " stack));
+    match find_def spec def_name with
+    | Atom { a_kind; a_inputs; a_outputs; a_cond } ->
+        let op =
+          Algorithm.add_op algorithm ~name:path ~kind:a_kind
+            ~inputs:(Array.of_list (List.map snd a_inputs))
+            ~outputs:(Array.of_list (List.map snd a_outputs))
+            ?cond:a_cond ()
+        in
+        Hashtbl.replace atoms path (op, a_inputs, a_outputs)
+    | Subsystem { s_elements; s_links; _ } ->
+        List.iter
+          (fun (instance, child_def) ->
+            expand ~stack:(def_name :: stack) (join path instance) child_def)
+          s_elements;
+        List.iter
+          (fun ((src_el, src_port), (dst_el, dst_port)) ->
+            let qualify el =
+              if String.equal el boundary then path else join path el
+            in
+            links :=
+              ( { ep_path = qualify src_el; ep_port = src_port },
+                { ep_path = qualify dst_el; ep_port = dst_port } )
+              :: !links)
+          s_links
+  in
+  expand ~stack:[] "" root;
+  (* Boundary forwarding: links whose endpoint names a subsystem path
+     (not an atom) forward through that subsystem's interface.  For
+     every atom input port, walk backward through forwarding links
+     until the producing atom output is found. *)
+  let is_atom ep = Hashtbl.mem atoms ep.ep_path in
+  let all_links = !links in
+  let backward_to ep =
+    List.filter_map
+      (fun (s, d) -> if d.ep_path = ep.ep_path && d.ep_port = ep.ep_port then Some s else None)
+      all_links
+  in
+  let port_index ports name =
+    let rec go i = function
+      | [] -> None
+      | (p, _) :: rest -> if String.equal p name then Some i else go (i + 1) rest
+    in
+    go 0 ports
+  in
+  Hashtbl.iter
+    (fun path (op, a_inputs, _) ->
+      List.iteri
+        (fun idx (port_name, width) ->
+          let rec find_producer ep depth =
+            if depth > 1000 then
+              invalid_arg "Hierarchy: forwarding loop while resolving producers";
+            match backward_to ep with
+            | [] ->
+                invalid_arg
+                  (Printf.sprintf "Hierarchy: input %s.%s is not wired" ep.ep_path ep.ep_port)
+            | [ src ] -> if is_atom src then src else find_producer src (depth + 1)
+            | _ :: _ :: _ ->
+                invalid_arg
+                  (Printf.sprintf "Hierarchy: input %s.%s has several sources" ep.ep_path
+                     ep.ep_port)
+          in
+          let producer = find_producer { ep_path = path; ep_port = port_name } 0 in
+          let src_op, _, src_outputs =
+            match Hashtbl.find_opt atoms producer.ep_path with
+            | Some x -> x
+            | None -> assert false
+          in
+          let sp =
+            match port_index src_outputs producer.ep_port with
+            | Some i -> i
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Hierarchy: %S has no output port %S" producer.ep_path
+                     producer.ep_port)
+          in
+          let src_width = List.nth src_outputs sp |> snd in
+          if src_width <> width then
+            invalid_arg
+              (Printf.sprintf "Hierarchy: width mismatch %s.%s (%d) -> %s.%s (%d)"
+                 producer.ep_path producer.ep_port src_width path port_name width);
+          Algorithm.depend algorithm ~src:(src_op, sp) ~dst:(op, idx))
+        a_inputs)
+    atoms;
+  Algorithm.validate algorithm;
+  algorithm

@@ -1,0 +1,64 @@
+(** Hierarchical algorithm specifications, SynDEx style.
+
+    SynDEx algorithms are specified as a hierarchy of {e definitions}:
+    leaf operations (atoms) and subsystems containing instances of
+    other definitions, wired through named ports.  The adequation
+    works on the {e flattened} graph; this module provides the
+    specification layer and the flattening transformation (the
+    "seamless flow of graphs transformations" of Grandpierre–Sorel
+    cited by the paper).
+
+    Ports are referenced as [(element, port)] where [element] is an
+    instance name inside the enclosing definition, or [boundary] to
+    denote the enclosing definition's own interface. *)
+
+type spec
+(** A mutable collection of definitions. *)
+
+val create : name:string -> period:float -> spec
+
+val boundary : string
+(** The reserved element name ([""]) denoting the enclosing
+    definition's own ports inside [links]. *)
+
+val define_atom :
+  spec ->
+  name:string ->
+  kind:Algorithm.op_kind ->
+  ?inputs:(string * int) list ->
+  ?outputs:(string * int) list ->
+  ?cond:Algorithm.condition ->
+  unit ->
+  unit
+(** Declares a leaf definition with named, sized ports.  Definition
+    names must be unique in the spec. *)
+
+val define_subsystem :
+  spec ->
+  name:string ->
+  ?inputs:(string * int) list ->
+  ?outputs:(string * int) list ->
+  elements:(string * string) list ->
+  links:((string * string) * (string * string)) list ->
+  unit ->
+  unit
+(** Declares a composite definition: [elements] is the list of
+    [(instance name, definition name)] it contains; [links] wires
+    [(element, port) → (element, port)], using {!boundary} as element
+    name to connect the subsystem's own inputs (as sources) and
+    outputs (as destinations). *)
+
+val flatten : spec -> root:string -> Algorithm.t
+(** Expands the [root] definition (which must have no boundary ports)
+    into a flat {!Algorithm.t}.  Instance paths become operation names
+    joined with ["/"] (e.g. ["left_wheel/sense"]).  Checks performed:
+    - every referenced definition exists; no recursive instantiation;
+    - link ports exist with matching widths;
+    - after expansion, every operation input is wired (via
+      {!Algorithm.validate}).
+    Raises [Invalid_argument] with a diagnostic otherwise.
+
+    Conditioning: atoms may carry a condition; after flattening,
+    declare each variable's source with
+    {!Algorithm.set_condition_source} using the path-mangled names
+    (e.g. ["controller/mode"]). *)

@@ -1,0 +1,227 @@
+type comp_slot = {
+  cs_op : Algorithm.op_id;
+  cs_operator : Architecture.operator_id;
+  cs_start : float;
+  cs_duration : float;
+}
+
+type comm_slot = {
+  cm_src : Algorithm.op_id * int;
+  cm_dst : Algorithm.op_id * int;
+  cm_medium : Architecture.medium_id;
+  cm_from : Architecture.operator_id;
+  cm_to : Architecture.operator_id;
+  cm_hop : int;
+  cm_start : float;
+  cm_duration : float;
+}
+
+type t = {
+  algorithm : Algorithm.t;
+  architecture : Architecture.t;
+  comp : comp_slot list;
+  comm : comm_slot list;
+  makespan : float;
+}
+
+let eps = 1e-9
+
+let slot_of sched op =
+  match List.find_opt (fun s -> s.cs_op = op) sched.comp with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Schedule: operation %S is not scheduled"
+           (Algorithm.op_name sched.algorithm op))
+
+let operator_of sched op = (slot_of sched op).cs_operator
+
+let on_operator sched operator =
+  List.filter (fun s -> s.cs_operator = operator) sched.comp
+
+let on_medium sched medium = List.filter (fun c -> c.cm_medium = medium) sched.comm
+
+let check_no_overlap_comp name slots =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        if a.cs_start +. a.cs_duration > b.cs_start +. eps then
+          invalid_arg (Printf.sprintf "Schedule: overlapping computations on %s" name);
+        go rest
+    | [ _ ] | [] -> ()
+  in
+  go slots
+
+let check_no_overlap_comm name slots =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        if a.cm_start +. a.cm_duration > b.cm_start +. eps then
+          invalid_arg (Printf.sprintf "Schedule: overlapping transfers on %s" name);
+        go rest
+    | [ _ ] | [] -> ()
+  in
+  go slots
+
+(* The (possibly multi-hop) transfer chain of one dependency, in hop
+   order.  Raises when absent or malformed. *)
+let transfer_chain sched ((src, sp), (dst, dp)) ~from_operator ~to_operator =
+  let hops =
+    List.filter (fun c -> c.cm_src = (src, sp) && c.cm_dst = (dst, dp)) sched.comm
+    |> List.sort (fun a b -> Int.compare a.cm_hop b.cm_hop)
+  in
+  let describe () =
+    Printf.sprintf "%S -> %S"
+      (Algorithm.op_name sched.algorithm src)
+      (Algorithm.op_name sched.algorithm dst)
+  in
+  (match hops with
+  | [] -> invalid_arg (Printf.sprintf "Schedule: missing transfer %s" (describe ()))
+  | first :: _ ->
+      if first.cm_hop <> 0 || first.cm_from <> from_operator then
+        invalid_arg
+          (Printf.sprintf "Schedule: transfer %s does not leave the producer" (describe ())));
+  let rec check_chain = function
+    | a :: (b :: _ as rest) ->
+        if b.cm_hop <> a.cm_hop + 1 || b.cm_from <> a.cm_to then
+          invalid_arg (Printf.sprintf "Schedule: broken transfer route %s" (describe ()));
+        if b.cm_start +. eps < a.cm_start +. a.cm_duration then
+          invalid_arg
+            (Printf.sprintf "Schedule: hop of %s starts before the previous one ends"
+               (describe ()));
+        check_chain rest
+    | [ last ] ->
+        if last.cm_to <> to_operator then
+          invalid_arg
+            (Printf.sprintf "Schedule: transfer %s does not reach the consumer" (describe ()))
+    | [] -> assert false
+  in
+  check_chain hops;
+  hops
+
+(* Data arrival time of dependency (src -> dst) given the slots.  A
+   Memory source carries the previous iteration's value: it is
+   available locally at iteration start, and when the consumer sits on
+   another operator the transfer happens after the memory is written —
+   it wraps around to serve the *next* iteration — so only its
+   existence is checked, not its completion time. *)
+let arrival sched ((src, sp), (dst, dp)) =
+  let src_slot = slot_of sched src in
+  let dst_slot = slot_of sched dst in
+  let is_memory = Algorithm.op_kind sched.algorithm src = Algorithm.Memory in
+  if src_slot.cs_operator = dst_slot.cs_operator then
+    if is_memory then 0. else src_slot.cs_start +. src_slot.cs_duration
+  else begin
+    let hops =
+      transfer_chain sched
+        ((src, sp), (dst, dp))
+        ~from_operator:src_slot.cs_operator ~to_operator:dst_slot.cs_operator
+    in
+    let first = List.hd hops in
+    let produced = src_slot.cs_start +. src_slot.cs_duration in
+    if first.cm_start +. eps < produced then
+      invalid_arg
+        (Printf.sprintf "Schedule: transfer of %S output starts before it is produced"
+           (Algorithm.op_name sched.algorithm src));
+    if is_memory then 0.
+    else
+      let last = List.nth hops (List.length hops - 1) in
+      last.cm_start +. last.cm_duration
+  end
+
+let validate sched =
+  Algorithm.validate sched.algorithm;
+  Architecture.validate sched.architecture;
+  (* every operation exactly once *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem seen s.cs_op then
+        invalid_arg
+          (Printf.sprintf "Schedule: operation %S scheduled twice"
+             (Algorithm.op_name sched.algorithm s.cs_op));
+      Hashtbl.replace seen s.cs_op ())
+    sched.comp;
+  List.iter
+    (fun op ->
+      if not (Hashtbl.mem seen op) then
+        invalid_arg
+          (Printf.sprintf "Schedule: operation %S missing"
+             (Algorithm.op_name sched.algorithm op)))
+    (Algorithm.ops sched.algorithm);
+  (* resource exclusivity *)
+  List.iter
+    (fun operator ->
+      check_no_overlap_comp
+        (Architecture.operator_name sched.architecture operator)
+        (on_operator sched operator))
+    (Architecture.operators sched.architecture);
+  List.iter
+    (fun medium ->
+      check_no_overlap_comm
+        (Architecture.medium_name sched.architecture medium)
+        (on_medium sched medium))
+    (Architecture.media sched.architecture);
+  (* precedence *)
+  List.iter
+    (fun ((src, sp), (dst, dp)) ->
+      let dst_slot = slot_of sched dst in
+      let t_arr = arrival sched ((src, sp), (dst, dp)) in
+      if dst_slot.cs_start +. eps < t_arr then
+        invalid_arg
+          (Printf.sprintf "Schedule: %S starts at %g before its input from %S arrives at %g"
+             (Algorithm.op_name sched.algorithm dst)
+             dst_slot.cs_start
+             (Algorithm.op_name sched.algorithm src)
+             t_arr))
+    (Algorithm.dependencies sched.algorithm)
+
+let make ~algorithm ~architecture ~comp ~comm =
+  let comp = List.sort (fun a b -> Float.compare a.cs_start b.cs_start) comp in
+  let comm = List.sort (fun a b -> Float.compare a.cm_start b.cm_start) comm in
+  let makespan =
+    List.fold_left (fun acc s -> Float.max acc (s.cs_start +. s.cs_duration)) 0. comp
+    |> fun m ->
+    List.fold_left (fun acc c -> Float.max acc (c.cm_start +. c.cm_duration)) m comm
+  in
+  let sched = { algorithm; architecture; comp; comm; makespan } in
+  validate sched;
+  sched
+
+let completions_of_kind sched ids =
+  List.map
+    (fun op ->
+      let s = slot_of sched op in
+      (op, s.cs_start +. s.cs_duration))
+    ids
+
+let sensor_completions sched = completions_of_kind sched (Algorithm.sensors sched.algorithm)
+let actuator_completions sched = completions_of_kind sched (Algorithm.actuators sched.algorithm)
+
+let fits_period sched = sched.makespan <= Algorithm.period sched.algorithm +. eps
+
+let pp ppf sched =
+  Format.fprintf ppf "@[<v>schedule of %S on %S (makespan %.6g, period %g)@,"
+    (Algorithm.name sched.algorithm)
+    (Architecture.name sched.architecture)
+    sched.makespan
+    (Algorithm.period sched.algorithm);
+  List.iter
+    (fun operator ->
+      Format.fprintf ppf "%s:@," (Architecture.operator_name sched.architecture operator);
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "  [%.6g, %.6g] %s@," s.cs_start (s.cs_start +. s.cs_duration)
+            (Algorithm.op_name sched.algorithm s.cs_op))
+        (on_operator sched operator))
+    (Architecture.operators sched.architecture);
+  List.iter
+    (fun medium ->
+      Format.fprintf ppf "%s:@," (Architecture.medium_name sched.architecture medium);
+      List.iter
+        (fun c ->
+          Format.fprintf ppf "  [%.6g, %.6g] %s -> %s@," c.cm_start
+            (c.cm_start +. c.cm_duration)
+            (Algorithm.op_name sched.algorithm (fst c.cm_src))
+            (Algorithm.op_name sched.algorithm (fst c.cm_dst)))
+        (on_medium sched medium))
+    (Architecture.media sched.architecture);
+  Format.fprintf ppf "@]"

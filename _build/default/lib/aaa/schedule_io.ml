@@ -1,0 +1,131 @@
+let fail fmt = Printf.ksprintf failwith fmt
+
+let fl x = Sexp.Atom (Printf.sprintf "%.17g" x)
+
+let to_sexp (sched : Schedule.t) =
+  let alg = sched.Schedule.algorithm in
+  let arch = sched.Schedule.architecture in
+  let comp_form (s : Schedule.comp_slot) =
+    Sexp.List
+      [
+        Sexp.Atom "slot";
+        Sexp.Atom (Algorithm.op_name alg s.Schedule.cs_op);
+        Sexp.Atom (Architecture.operator_name arch s.Schedule.cs_operator);
+        fl s.Schedule.cs_start;
+        fl s.Schedule.cs_duration;
+      ]
+  in
+  let comm_form (c : Schedule.comm_slot) =
+    Sexp.List
+      [
+        Sexp.Atom "transfer";
+        Sexp.Atom (Algorithm.op_name alg (fst c.Schedule.cm_src));
+        Sexp.Atom (string_of_int (snd c.Schedule.cm_src));
+        Sexp.Atom (Algorithm.op_name alg (fst c.Schedule.cm_dst));
+        Sexp.Atom (string_of_int (snd c.Schedule.cm_dst));
+        Sexp.Atom (Architecture.medium_name arch c.Schedule.cm_medium);
+        Sexp.Atom (Architecture.operator_name arch c.Schedule.cm_from);
+        Sexp.Atom (Architecture.operator_name arch c.Schedule.cm_to);
+        Sexp.Atom (string_of_int c.Schedule.cm_hop);
+        fl c.Schedule.cm_start;
+        fl c.Schedule.cm_duration;
+      ]
+  in
+  Sexp.List
+    (Sexp.Atom "schedule"
+     :: Sexp.List [ Sexp.Atom "algorithm"; Sexp.Atom (Algorithm.name alg) ]
+     :: Sexp.List [ Sexp.Atom "architecture"; Sexp.Atom (Architecture.name arch) ]
+     :: (List.map comp_form sched.Schedule.comp @ List.map comm_form sched.Schedule.comm))
+
+let print sched = Sexp.to_string (to_sexp sched) ^ "\n"
+
+let parse ~algorithm ~architecture text =
+  let op_of name =
+    match Algorithm.find_op algorithm name with
+    | Some op -> op
+    | None -> fail "Schedule_io: unknown operation %S" name
+  in
+  let operator_of name =
+    match Architecture.find_operator architecture name with
+    | Some operator -> operator
+    | None -> fail "Schedule_io: unknown operator %S" name
+  in
+  let medium_of name =
+    match Architecture.find_medium architecture name with
+    | Some medium -> medium
+    | None -> fail "Schedule_io: unknown medium %S" name
+  in
+  let float_atom a =
+    match float_of_string_opt a with
+    | Some f -> f
+    | None -> fail "Schedule_io: %S is not a number" a
+  in
+  let int_atom a =
+    match int_of_string_opt a with
+    | Some i -> i
+    | None -> fail "Schedule_io: %S is not an integer" a
+  in
+  match Sexp.parse text with
+  | [ Sexp.List (Sexp.Atom "schedule" :: items) ] ->
+      (* names recorded at save time must match the graphs given now *)
+      (match Sexp.keyed "algorithm" items with
+      | Some [ Sexp.Atom n ] when String.equal n (Algorithm.name algorithm) -> ()
+      | Some [ Sexp.Atom n ] ->
+          fail "Schedule_io: schedule was saved for algorithm %S, not %S" n
+            (Algorithm.name algorithm)
+      | Some _ | None -> fail "Schedule_io: missing (algorithm name)");
+      (match Sexp.keyed "architecture" items with
+      | Some [ Sexp.Atom n ] when String.equal n (Architecture.name architecture) -> ()
+      | Some [ Sexp.Atom n ] ->
+          fail "Schedule_io: schedule was saved for architecture %S, not %S" n
+            (Architecture.name architecture)
+      | Some _ | None -> fail "Schedule_io: missing (architecture name)");
+      let comp =
+        List.map
+          (fun row ->
+            match row with
+            | [ Sexp.Atom op; Sexp.Atom operator; Sexp.Atom start; Sexp.Atom duration ] ->
+                {
+                  Schedule.cs_op = op_of op;
+                  cs_operator = operator_of operator;
+                  cs_start = float_atom start;
+                  cs_duration = float_atom duration;
+                }
+            | _ -> fail "Schedule_io: (slot op operator start duration) expected")
+          (Sexp.keyed_all "slot" items)
+      in
+      let comm =
+        List.map
+          (fun row ->
+            match row with
+            | [
+             Sexp.Atom src; Sexp.Atom sp; Sexp.Atom dst; Sexp.Atom dp; Sexp.Atom medium;
+             Sexp.Atom from_; Sexp.Atom to_; Sexp.Atom hop; Sexp.Atom start;
+             Sexp.Atom duration;
+            ] ->
+                {
+                  Schedule.cm_src = (op_of src, int_atom sp);
+                  cm_dst = (op_of dst, int_atom dp);
+                  cm_medium = medium_of medium;
+                  cm_from = operator_of from_;
+                  cm_to = operator_of to_;
+                  cm_hop = int_atom hop;
+                  cm_start = float_atom start;
+                  cm_duration = float_atom duration;
+                }
+            | _ -> fail "Schedule_io: malformed (transfer ...) row")
+          (Sexp.keyed_all "transfer" items)
+      in
+      (* Schedule.make revalidates everything *)
+      Schedule.make ~algorithm ~architecture ~comp ~comm
+  | _ -> fail "Schedule_io: expected a single (schedule ...) form"
+
+let save sched path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (print sched))
+
+let load ~algorithm ~architecture path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse ~algorithm ~architecture (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,22 @@
+(** Saving and restoring adequation results.
+
+    A schedule is only meaningful against its algorithm and
+    architecture, so the serialised form embeds references by {e name}
+    and loading takes the same application the adequation ran on (the
+    usual tool flow: adequate once, save, then generate/execute in
+    later runs).  Loaded schedules are re-validated, so a stale file
+    against a modified application fails loudly rather than silently
+    misbehaving. *)
+
+val to_sexp : Schedule.t -> Sexp.t
+val print : Schedule.t -> string
+
+val parse :
+  algorithm:Algorithm.t -> architecture:Architecture.t -> string -> Schedule.t
+(** Parses a schedule saved by {!print} and revalidates it against the
+    given graphs.  Raises [Failure] on syntax errors and
+    [Invalid_argument] when the schedule does not fit the graphs
+    (unknown names, violated precedence/exclusivity, …). *)
+
+val save : Schedule.t -> string -> unit
+val load : algorithm:Algorithm.t -> architecture:Architecture.t -> string -> Schedule.t

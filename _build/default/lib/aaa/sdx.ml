@@ -1,0 +1,317 @@
+type t = {
+  algorithm : Algorithm.t;
+  architecture : Architecture.t;
+  durations : Durations.t;
+  pins : (string * string) list;
+}
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let kind_of_string = function
+  | "sensor" -> Algorithm.Sensor
+  | "actuator" -> Algorithm.Actuator
+  | "compute" -> Algorithm.Compute
+  | "memory" -> Algorithm.Memory
+  | k -> fail "Sdx: unknown operation kind %S" k
+
+let string_of_kind = function
+  | Algorithm.Sensor -> "sensor"
+  | Algorithm.Actuator -> "actuator"
+  | Algorithm.Compute -> "compute"
+  | Algorithm.Memory -> "memory"
+
+(* ------------------------------------------------------------------ *)
+(* parsing *)
+
+let parse_algorithm items =
+  let name = Sexp.atom_of "name" items in
+  let period = Sexp.float_of "period" items in
+  let algorithm = Algorithm.create ~name ~period in
+  let op_of_name n =
+    match Algorithm.find_op algorithm n with
+    | Some op -> op
+    | None -> fail "Sdx: unknown operation %S" n
+  in
+  List.iter
+    (fun op_items ->
+      let name = Sexp.atom_of "name" op_items in
+      let kind = kind_of_string (Sexp.atom_of "kind" op_items) in
+      let widths key =
+        match Sexp.keyed key op_items with
+        | Some ws -> Array.of_list (Sexp.int_atoms ws)
+        | None -> [||]
+      in
+      let cond =
+        match Sexp.keyed "when" op_items with
+        | Some [ Sexp.Atom var; Sexp.Atom value ] -> (
+            match int_of_string_opt value with
+            | Some v -> Some { Algorithm.var; value = v }
+            | None -> fail "Sdx: condition value %S is not an integer" value)
+        | Some _ -> fail "Sdx: (when var value) expected in operation %S" name
+        | None -> None
+      in
+      ignore
+        (Algorithm.add_op algorithm ~name ~kind ~inputs:(widths "inputs")
+           ~outputs:(widths "outputs") ?cond ()))
+    (Sexp.keyed_all "operation" items);
+  List.iter
+    (fun dep_items ->
+      match (Sexp.keyed "from" dep_items, Sexp.keyed "to" dep_items) with
+      | ( Some [ Sexp.Atom src; Sexp.Atom sp ],
+          Some [ Sexp.Atom dst; Sexp.Atom dp ] ) ->
+          Algorithm.depend algorithm
+            ~src:(op_of_name src, int_of_string sp)
+            ~dst:(op_of_name dst, int_of_string dp)
+      | _ -> fail "Sdx: dependency needs (from op port) and (to op port)")
+    (Sexp.keyed_all "dependency" items);
+  List.iter
+    (fun cs_items ->
+      match (Sexp.keyed "var" cs_items, Sexp.keyed "from" cs_items) with
+      | Some [ Sexp.Atom var ], Some [ Sexp.Atom src; Sexp.Atom sp ] ->
+          Algorithm.set_condition_source algorithm ~var (op_of_name src, int_of_string sp)
+      | _ -> fail "Sdx: condition-source needs (var v) and (from op port)")
+    (Sexp.keyed_all "condition-source" items);
+  Algorithm.validate algorithm;
+  algorithm
+
+let parse_architecture items =
+  let name = Sexp.atom_of "name" items in
+  let architecture = Architecture.create ~name in
+  List.iter
+    (fun op_items ->
+      match op_items with
+      | [ Sexp.Atom n ] -> ignore (Architecture.add_operator architecture ~name:n)
+      | _ -> fail "Sdx: (operator name) expected")
+    (Sexp.keyed_all "operator" items);
+  let operator_of n =
+    match Architecture.find_operator architecture n with
+    | Some op -> op
+    | None -> fail "Sdx: unknown operator %S" n
+  in
+  let add_medium kind m_items =
+    let name = Sexp.atom_of "name" m_items in
+    let latency = Sexp.float_of "latency" m_items in
+    let rate = Sexp.float_of "rate" m_items in
+    let endpoints =
+      match Sexp.keyed "connects" m_items with
+      | Some atoms -> List.map (fun e -> operator_of (Sexp.atom e)) atoms
+      | None -> fail "Sdx: medium %S needs (connects ...)" name
+    in
+    ignore
+      (Architecture.add_medium architecture ~name ~kind ~latency ~time_per_word:rate
+         endpoints)
+  in
+  List.iter (add_medium Architecture.Bus) (Sexp.keyed_all "bus" items);
+  List.iter (add_medium Architecture.Point_to_point) (Sexp.keyed_all "link" items);
+  Architecture.validate architecture;
+  architecture
+
+let parse_durations architecture items =
+  let durations = Durations.create () in
+  let all_operators =
+    List.map (Architecture.operator_name architecture) (Architecture.operators architecture)
+  in
+  let entry setter row =
+    match row with
+    | [ Sexp.Atom op; Sexp.Atom operator; Sexp.Atom value ] -> (
+        let v =
+          match float_of_string_opt value with
+          | Some v -> v
+          | None -> fail "Sdx: duration %S is not a number" value
+        in
+        match operator with
+        | "*" -> List.iter (fun operator -> setter ~op ~operator v) all_operators
+        | _ ->
+            if not (List.mem operator all_operators) then
+              fail "Sdx: unknown operator %S in durations" operator;
+            setter ~op ~operator v)
+    | _ -> fail "Sdx: duration entries are (wcet|bcet op operator value)"
+  in
+  List.iter (entry (fun ~op ~operator v -> Durations.set durations ~op ~operator v))
+    (Sexp.keyed_all "wcet" items);
+  List.iter
+    (entry (fun ~op ~operator v -> Durations.set_bcet durations ~op ~operator v))
+    (Sexp.keyed_all "bcet" items);
+  durations
+
+let parse_pins items =
+  List.map
+    (fun row ->
+      match row with
+      | [ Sexp.Atom op; Sexp.Atom operator ] -> (op, operator)
+      | _ -> fail "Sdx: pins are (pin operation operator)")
+    (Sexp.keyed_all "pin" items)
+
+let parse text =
+  match Sexp.parse text with
+  | [ Sexp.List (Sexp.Atom "application" :: sections) ] ->
+      let algorithm =
+        match Sexp.keyed "algorithm" sections with
+        | Some items -> parse_algorithm items
+        | None -> fail "Sdx: missing (algorithm ...) section"
+      in
+      let architecture =
+        match Sexp.keyed "architecture" sections with
+        | Some items -> parse_architecture items
+        | None -> fail "Sdx: missing (architecture ...) section"
+      in
+      let durations =
+        match Sexp.keyed "durations" sections with
+        | Some items -> parse_durations architecture items
+        | None -> Durations.create ()
+      in
+      let pins =
+        match Sexp.keyed "pins" sections with
+        | Some items -> parse_pins items
+        | None -> []
+      in
+      { algorithm; architecture; durations; pins }
+  | _ -> fail "Sdx: expected a single (application ...) form"
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* printing *)
+
+let print { algorithm; architecture; durations; pins } =
+  let open Sexp in
+  let key k atoms = List (Atom k :: atoms) in
+  let op_form op =
+    let widths k ws =
+      if Array.length ws = 0 then []
+      else [ key k (Array.to_list (Array.map (fun w -> Atom (string_of_int w)) ws)) ]
+    in
+    let cond =
+      match Algorithm.op_cond algorithm op with
+      | Some { Algorithm.var; value } -> [ key "when" [ Atom var; Atom (string_of_int value) ] ]
+      | None -> []
+    in
+    List
+      ([
+         Atom "operation";
+         key "name" [ Atom (Algorithm.op_name algorithm op) ];
+         key "kind" [ Atom (string_of_kind (Algorithm.op_kind algorithm op)) ];
+       ]
+      @ widths "inputs" (Algorithm.op_inputs algorithm op)
+      @ widths "outputs" (Algorithm.op_outputs algorithm op)
+      @ cond)
+  in
+  let dep_form ((src, sp), (dst, dp)) =
+    List
+      [
+        Atom "dependency";
+        key "from" [ Atom (Algorithm.op_name algorithm src); Atom (string_of_int sp) ];
+        key "to" [ Atom (Algorithm.op_name algorithm dst); Atom (string_of_int dp) ];
+      ]
+  in
+  let cond_sources =
+    (* reconstruct declared condition variables from the operations *)
+    List.sort_uniq compare
+      (List.filter_map
+         (fun op ->
+           Option.map (fun c -> c.Algorithm.var) (Algorithm.op_cond algorithm op))
+         (Algorithm.ops algorithm))
+    |> List.filter_map (fun var ->
+           Option.map
+             (fun (src, sp) ->
+               List
+                 [
+                   Atom "condition-source";
+                   key "var" [ Atom var ];
+                   key "from"
+                     [ Atom (Algorithm.op_name algorithm src); Atom (string_of_int sp) ];
+                 ])
+             (Algorithm.condition_source algorithm ~var))
+  in
+  let algorithm_form =
+    List
+      ([
+         Atom "algorithm";
+         key "name" [ Atom (Algorithm.name algorithm) ];
+         key "period" [ Atom (Printf.sprintf "%.17g" (Algorithm.period algorithm)) ];
+       ]
+      @ List.map op_form (Algorithm.ops algorithm)
+      @ List.map dep_form (Algorithm.dependencies algorithm)
+      @ cond_sources)
+  in
+  let medium_form medium =
+    let kind_atom =
+      match Architecture.medium_kind architecture medium with
+      | Architecture.Bus -> "bus"
+      | Architecture.Point_to_point -> "link"
+    in
+    let endpoints = Architecture.medium_endpoints architecture medium in
+    let latency = Architecture.comm_duration architecture medium ~words:0 in
+    let rate = Architecture.comm_duration architecture medium ~words:1 -. latency in
+    List
+      [
+        Atom kind_atom;
+        key "name" [ Atom (Architecture.medium_name architecture medium) ];
+        key "latency" [ Atom (Printf.sprintf "%.17g" latency) ];
+        key "rate" [ Atom (Printf.sprintf "%.17g" rate) ];
+        key "connects"
+          (List.map
+             (fun op -> Atom (Architecture.operator_name architecture op))
+             endpoints);
+      ]
+  in
+  let architecture_form =
+    List
+      ([ Atom "architecture"; key "name" [ Atom (Architecture.name architecture) ] ]
+      @ List.map
+          (fun op ->
+            List [ Atom "operator"; Atom (Architecture.operator_name architecture op) ])
+          (Architecture.operators architecture)
+      @ List.map medium_form (Architecture.media architecture))
+  in
+  let duration_forms =
+    List.concat_map
+      (fun op ->
+        let op_name = Algorithm.op_name algorithm op in
+        List.concat_map
+          (fun operator ->
+            let operator_name = Architecture.operator_name architecture operator in
+            match Durations.wcet durations ~op:op_name ~operator:operator_name with
+            | None -> []
+            | Some w ->
+                let wcet_row =
+                  List
+                    [
+                      Atom "wcet"; Atom op_name; Atom operator_name;
+                      Atom (Printf.sprintf "%.17g" w);
+                    ]
+                in
+                let bcet_rows =
+                  match Durations.bcet durations ~op:op_name ~operator:operator_name with
+                  | Some b when b < w ->
+                      [
+                        List
+                          [
+                            Atom "bcet"; Atom op_name; Atom operator_name;
+                            Atom (Printf.sprintf "%.17g" b);
+                          ];
+                      ]
+                  | Some _ | None -> []
+                in
+                wcet_row :: bcet_rows)
+          (Architecture.operators architecture))
+      (Algorithm.ops algorithm)
+  in
+  let pin_forms =
+    List.map (fun (op, operator) -> List [ Atom "pin"; Atom op; Atom operator ]) pins
+  in
+  let application =
+    List
+      ([ Atom "application"; algorithm_form; architecture_form ]
+      @ (if duration_forms = [] then [] else [ List (Atom "durations" :: duration_forms) ])
+      @ if pin_forms = [] then [] else [ List (Atom "pins" :: pin_forms) ])
+  in
+  Sexp.to_string application ^ "\n"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (print t))

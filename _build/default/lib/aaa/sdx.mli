@@ -1,0 +1,61 @@
+(** SDX application files: a textual format carrying an algorithm
+    graph, an architecture graph, the duration tables and optional
+    pins — the equivalent of SynDEx's [.sdx] application files, so
+    adequations can be run from data rather than code (see the
+    [syndex] CLI in [bin/]).
+
+    Syntax (s-expressions, [";"] comments):
+
+    {v
+    (application
+      (algorithm (name dc_motor) (period 0.05)
+        (operation (name sample_y) (kind sensor) (outputs 1))
+        (operation (name pid) (kind compute) (inputs 1 1) (outputs 1)
+                   (when mode 1))                 ; optional condition
+        (operation (name hold_u) (kind actuator) (inputs 1))
+        (dependency (from sample_y 0) (to pid 1))
+        (dependency (from pid 0) (to hold_u 0))
+        (condition-source (var mode) (from pid 0))) ; optional
+      (architecture (name two_ecu)
+        (operator ecu0)
+        (operator ecu1)
+        (bus (name can) (latency 0.001) (rate 0.0005) (connects ecu0 ecu1))
+        (link (name direct) (latency 0) (rate 1e-4) (connects ecu0 ecu1)))
+      (durations
+        (wcet sample_y ecu0 0.004)
+        (wcet pid * 0.012)          ; * = every operator
+        (bcet pid ecu0 0.005))
+      (pins (pin sample_y ecu0)))
+    v} *)
+
+type t = {
+  algorithm : Algorithm.t;
+  architecture : Architecture.t;
+  durations : Durations.t;
+  pins : (string * string) list;
+}
+
+val parse : string -> t
+(** Parses an application from SDX text.  Raises [Failure] with a
+    descriptive message on syntax or semantic errors (unknown
+    operation kinds, dangling names, …); the returned algorithm and
+    architecture are validated. *)
+
+val load : string -> t
+(** {!parse} on a file's contents. *)
+
+val print : t -> string
+(** Renders an application back to SDX text; [parse (print t)]
+    reconstructs the same graphs (round-trip is tested). *)
+
+val save : t -> string -> unit
+
+(** {2 Section parsers}
+
+    Exposed so other file formats (e.g. the lifecycle diagram files of
+    {!Lifecycle.Diagram}) can embed the same [(architecture …)],
+    [(durations …)] and [(pins …)] sections. *)
+
+val parse_architecture : Sexp.t list -> Architecture.t
+val parse_durations : Architecture.t -> Sexp.t list -> Durations.t
+val parse_pins : Sexp.t list -> (string * string) list

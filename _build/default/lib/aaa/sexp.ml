@@ -1,0 +1,139 @@
+type t = Atom of string | List of t list
+
+let parse input =
+  let n = String.length input in
+  let line = ref 1 in
+  let fail msg = failwith (Printf.sprintf "Sexp: line %d: %s" !line msg) in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () =
+    (if !pos < n && input.[!pos] = '\n' then incr line);
+    incr pos
+  in
+  let rec skip_blank () =
+    match peek () with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+        advance ();
+        skip_blank ()
+    | Some ';' ->
+        let rec to_eol () =
+          match peek () with
+          | Some '\n' | None -> ()
+          | Some _ ->
+              advance ();
+              to_eol ()
+        in
+        to_eol ();
+        skip_blank ()
+    | Some _ | None -> ()
+  in
+  let is_atom_char c =
+    match c with ' ' | '\t' | '\r' | '\n' | '(' | ')' | ';' -> false | _ -> true
+  in
+  let read_atom () =
+    let start = !pos in
+    while (match peek () with Some c -> is_atom_char c | None -> false) do
+      advance ()
+    done;
+    String.sub input start (!pos - start)
+  in
+  let rec read_exp () =
+    skip_blank ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '(' ->
+        advance ();
+        let rec items acc =
+          skip_blank ();
+          match peek () with
+          | None -> fail "unclosed parenthesis"
+          | Some ')' ->
+              advance ();
+              List.rev acc
+          | Some _ -> items (read_exp () :: acc)
+        in
+        List (items [])
+    | Some ')' -> fail "unexpected ')'"
+    | Some _ -> Atom (read_atom ())
+  in
+  let rec top acc =
+    skip_blank ();
+    match peek () with
+    | None -> List.rev acc
+    | Some ')' -> fail "unexpected ')' at top level"
+    | Some _ -> top (read_exp () :: acc)
+  in
+  top []
+
+let rec flat_width = function
+  | Atom a -> String.length a
+  | List items -> 2 + List.fold_left (fun acc e -> acc + 1 + flat_width e) 0 items
+
+let to_string ?(indent = 2) exp =
+  let buf = Buffer.create 256 in
+  let rec go depth exp =
+    match exp with
+    | Atom a -> Buffer.add_string buf a
+    | List items when flat_width exp <= 72 - (depth * indent) ->
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i e ->
+            if i > 0 then Buffer.add_char buf ' ';
+            go depth e)
+          items;
+        Buffer.add_char buf ')'
+    | List [] -> Buffer.add_string buf "()"
+    | List (head :: rest) ->
+        Buffer.add_char buf '(';
+        go depth head;
+        List.iter
+          (fun e ->
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (String.make ((depth + 1) * indent) ' ');
+            go (depth + 1) e)
+          rest;
+        Buffer.add_char buf ')'
+  in
+  go 0 exp;
+  Buffer.contents buf
+
+let context_fail what exp =
+  let rendered =
+    match exp with
+    | Some e -> to_string e
+    | None -> "(missing)"
+  in
+  failwith (Printf.sprintf "Sexp: expected %s, got %s" what rendered)
+
+let atom = function Atom a -> a | List _ as e -> context_fail "an atom" (Some e)
+let list = function List l -> l | Atom _ as e -> context_fail "a list" (Some e)
+
+let keyed key items =
+  List.find_map
+    (function List (Atom k :: rest) when String.equal k key -> Some rest | _ -> None)
+    items
+
+let keyed_all key items =
+  List.filter_map
+    (function List (Atom k :: rest) when String.equal k key -> Some rest | _ -> None)
+    items
+
+let atom_of key items =
+  match keyed key items with
+  | Some [ Atom a ] -> a
+  | Some _ | None -> failwith (Printf.sprintf "Sexp: expected single atom under (%s ...)" key)
+
+let float_of key items =
+  let a = atom_of key items in
+  match float_of_string_opt a with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "Sexp: %S under (%s ...) is not a number" a key)
+
+let int_atoms items =
+  List.map
+    (fun e ->
+      let a = atom e in
+      match int_of_string_opt a with
+      | Some i -> i
+      | None -> failwith (Printf.sprintf "Sexp: %S is not an integer" a))
+    items

@@ -1,0 +1,38 @@
+(** Minimal s-expressions: the concrete syntax carrier for the
+    {!Sdx} application-file format.
+
+    Grammar: atoms are runs of characters other than whitespace,
+    parentheses and [";"]; lists are parenthesised; [";"] starts a
+    comment running to the end of the line.  No string quoting — SDX
+    names never need it. *)
+
+type t = Atom of string | List of t list
+
+val parse : string -> t list
+(** Parses a sequence of top-level s-expressions.  Raises
+    [Failure] with a line-numbered message on syntax errors
+    (unbalanced parentheses, stray [")"]). *)
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-prints with the given indentation width (default 2);
+    short lists stay on one line. *)
+
+(** {2 Accessors} (raising [Failure] with context on shape errors) *)
+
+val atom : t -> string
+val list : t -> t list
+
+val keyed : string -> t list -> t list option
+(** [keyed k items] finds the first [List (Atom k :: rest)] among
+    [items] and returns [rest]. *)
+
+val keyed_all : string -> t list -> t list list
+(** All occurrences, in order. *)
+
+val atom_of : string -> t list -> string
+(** [atom_of k items] is the single atom under key [k]; raises when
+    missing or not a single atom. *)
+
+val float_of : string -> t list -> float
+val int_atoms : t list -> int list
+(** Parses every element as an integer atom. *)

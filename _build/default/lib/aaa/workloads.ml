@@ -1,0 +1,94 @@
+let declare durations algorithm ~operators wcet_of =
+  List.iter
+    (fun op ->
+      Durations.set_everywhere durations
+        ~op:(Algorithm.op_name algorithm op)
+        ~operators (wcet_of op))
+    (Algorithm.ops algorithm)
+
+let chain ?(period = 1.) ?(wcet = 0.01) ~stages ~operators () =
+  if stages < 2 then invalid_arg "Workloads.chain: need at least sensor and actuator";
+  let alg = Algorithm.create ~name:(Printf.sprintf "chain_%d" stages) ~period in
+  let ops =
+    List.init stages (fun i ->
+        let kind =
+          if i = 0 then Algorithm.Sensor
+          else if i = stages - 1 then Algorithm.Actuator
+          else Algorithm.Compute
+        in
+        let inputs = if i = 0 then [||] else [| 1 |] in
+        let outputs = if i = stages - 1 then [||] else [| 1 |] in
+        Algorithm.add_op alg ~name:(Printf.sprintf "stage%d" i) ~kind ~inputs ~outputs ())
+  in
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+        Algorithm.depend alg ~src:(a, 0) ~dst:(b, 0);
+        link rest
+    | [ _ ] | [] -> ()
+  in
+  link ops;
+  let d = Durations.create () in
+  declare d alg ~operators (fun _ -> wcet);
+  (alg, d)
+
+let fork_join ?(period = 1.) ?(sensor_wcet = 0.02) ?(branch_wcet = 0.12)
+    ?(fusion_wcet = 0.05) ~branches ~operators () =
+  if branches < 1 then invalid_arg "Workloads.fork_join: need at least one branch";
+  let alg = Algorithm.create ~name:(Printf.sprintf "forkjoin_%d" branches) ~period in
+  let sensor = Algorithm.add_op alg ~name:"adc" ~kind:Algorithm.Sensor ~outputs:[| 4 |] () in
+  let fusion =
+    Algorithm.add_op alg ~name:"fusion" ~kind:Algorithm.Compute
+      ~inputs:(Array.make branches 2) ~outputs:[| 1 |] ()
+  in
+  for i = 0 to branches - 1 do
+    let f =
+      Algorithm.add_op alg ~name:(Printf.sprintf "filter%d" i) ~kind:Algorithm.Compute
+        ~inputs:[| 4 |] ~outputs:[| 2 |] ()
+    in
+    Algorithm.depend alg ~src:(sensor, 0) ~dst:(f, 0);
+    Algorithm.depend alg ~src:(f, 0) ~dst:(fusion, i)
+  done;
+  let act = Algorithm.add_op alg ~name:"dac" ~kind:Algorithm.Actuator ~inputs:[| 1 |] () in
+  Algorithm.depend alg ~src:(fusion, 0) ~dst:(act, 0);
+  let d = Durations.create () in
+  declare d alg ~operators (fun op ->
+      match Algorithm.op_name alg op with
+      | "adc" | "dac" -> sensor_wcet
+      | "fusion" -> fusion_wcet
+      | _ -> branch_wcet);
+  (alg, d)
+
+let layered ~rng ~layers ~width ?(wcet_min = 0.001) ?(wcet_max = 0.021) ~operators () =
+  if layers < 2 then invalid_arg "Workloads.layered: need at least two layers";
+  if width < 1 then invalid_arg "Workloads.layered: need at least one operation per layer";
+  if wcet_min < 0. || wcet_max < wcet_min then invalid_arg "Workloads.layered: WCET range";
+  let alg = Algorithm.create ~name:"layered" ~period:10. in
+  let prev = ref [] in
+  for layer = 0 to layers - 1 do
+    let ops =
+      List.init width (fun i ->
+          let kind =
+            if layer = 0 then Algorithm.Sensor
+            else if layer = layers - 1 then Algorithm.Actuator
+            else Algorithm.Compute
+          in
+          let inputs = if layer = 0 then [||] else [| 1 |] in
+          let outputs = if layer = layers - 1 then [||] else [| 1 |] in
+          Algorithm.add_op alg
+            ~name:(Printf.sprintf "op_%d_%d" layer i)
+            ~kind ~inputs ~outputs ())
+    in
+    (match !prev with
+    | [] -> ()
+    | sources ->
+        List.iter
+          (fun op ->
+            let src = List.nth sources (Numerics.Rng.int rng (List.length sources)) in
+            Algorithm.depend alg ~src:(src, 0) ~dst:(op, 0))
+          ops);
+    prev := ops
+  done;
+  let d = Durations.create () in
+  declare d alg ~operators (fun _ ->
+      if wcet_max > wcet_min then Numerics.Rng.uniform rng wcet_min wcet_max else wcet_min);
+  (alg, d)

@@ -1,0 +1,44 @@
+(** Synthetic algorithm-graph generators, used by the benchmarks, the
+    experiments and the property-based tests (and handy for sizing an
+    architecture before the real control law exists).
+
+    Every generator returns the algorithm together with a durations
+    table declaring each operation on all the given [operators] (same
+    WCET everywhere — heterogeneous tables can be edited
+    afterwards). *)
+
+val chain :
+  ?period:float ->
+  ?wcet:float ->
+  stages:int ->
+  operators:string list ->
+  unit ->
+  Algorithm.t * Durations.t
+(** A sensor → [stages − 2] computations → actuator pipeline, all
+    widths 1, uniform WCET (default 0.01).  [stages >= 2]. *)
+
+val fork_join :
+  ?period:float ->
+  ?sensor_wcet:float ->
+  ?branch_wcet:float ->
+  ?fusion_wcet:float ->
+  branches:int ->
+  operators:string list ->
+  unit ->
+  Algorithm.t * Durations.t
+(** The classic adc → N parallel filters → fusion → dac workload used
+    by the adequation experiments (defaults: 0.02/0.12/0.05). *)
+
+val layered :
+  rng:Numerics.Rng.t ->
+  layers:int ->
+  width:int ->
+  ?wcet_min:float ->
+  ?wcet_max:float ->
+  operators:string list ->
+  unit ->
+  Algorithm.t * Durations.t
+(** A random layered DAG: [width] operations per layer, each consuming
+    one random output of the previous layer; first layer sensors, last
+    layer actuators; WCETs uniform in [\[wcet_min, wcet_max\]]
+    (defaults 0.001 and 0.021).  [layers >= 2]. *)

@@ -1,0 +1,1 @@
+lib/control/discretize.ml: Lti Numerics

@@ -1,0 +1,1 @@
+lib/control/discretize.mli: Lti

@@ -1,0 +1,1 @@
+lib/control/freq.ml: Array Complex Float List Lti Numerics Option

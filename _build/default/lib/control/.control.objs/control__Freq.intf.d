@@ -1,0 +1,1 @@
+lib/control/freq.mli: Complex Lti Numerics

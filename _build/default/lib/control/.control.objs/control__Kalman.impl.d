@@ -1,0 +1,1 @@
+lib/control/kalman.ml: Array Lti Numerics

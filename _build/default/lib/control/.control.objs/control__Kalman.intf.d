@@ -1,0 +1,1 @@
+lib/control/kalman.mli: Lti Numerics

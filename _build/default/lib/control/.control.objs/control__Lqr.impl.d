@@ -1,0 +1,1 @@
+lib/control/lqr.ml: Array Lti Numerics

@@ -1,0 +1,1 @@
+lib/control/lti.ml: Float Format Numerics Printf

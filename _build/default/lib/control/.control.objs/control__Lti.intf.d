@@ -1,0 +1,1 @@
+lib/control/lti.mli: Complex Format Numerics

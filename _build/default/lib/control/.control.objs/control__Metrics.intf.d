@@ -1,0 +1,1 @@
+lib/control/metrics.mli:

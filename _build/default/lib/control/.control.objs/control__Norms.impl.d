@@ -1,0 +1,1 @@
+lib/control/norms.ml: Complex Float Freq List Lti Numerics

@@ -1,0 +1,1 @@
+lib/control/norms.mli: Lti

@@ -1,0 +1,1 @@
+lib/control/place.ml: Array Lti Numerics

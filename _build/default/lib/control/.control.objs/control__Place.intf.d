@@ -1,0 +1,1 @@
+lib/control/place.mli: Lti Numerics

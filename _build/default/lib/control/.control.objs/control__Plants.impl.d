@@ -1,0 +1,1 @@
+lib/control/plants.ml: Lti Numerics

@@ -1,0 +1,1 @@
+lib/control/plants.mli: Lti Numerics

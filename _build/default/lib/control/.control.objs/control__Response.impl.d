@@ -1,0 +1,1 @@
+lib/control/response.ml: Array Float Lti Metrics Numerics

@@ -1,0 +1,1 @@
+lib/control/response.mli: Lti Metrics Numerics

@@ -1,0 +1,1 @@
+lib/control/tf.ml: Array Float Format Lti Numerics

@@ -1,0 +1,70 @@
+module M = Numerics.Matrix
+
+type scheme = Zoh | Tustin | Forward_euler | Backward_euler
+
+let require_continuous op (sys : Lti.t) =
+  match sys.domain with
+  | Lti.Continuous -> ()
+  | Lti.Discrete _ -> invalid_arg ("Discretize." ^ op ^ ": system already discrete")
+
+let discretize ?(scheme = Zoh) ~ts (sys : Lti.t) =
+  require_continuous "discretize" sys;
+  if ts <= 0. then invalid_arg "Discretize.discretize: non-positive ts";
+  let n = Lti.state_dim sys in
+  let id = M.identity n in
+  let ad, bd, c, d =
+    match scheme with
+    | Zoh ->
+        let ad, bd = Numerics.Expm.zoh sys.a sys.b ts in
+        (ad, bd, sys.c, sys.d)
+    | Forward_euler -> (M.add id (M.scale ts sys.a), M.scale ts sys.b, sys.c, sys.d)
+    | Backward_euler ->
+        let inv = Numerics.Linalg.inv (M.sub id (M.scale ts sys.a)) in
+        (inv, M.mul inv (M.scale ts sys.b), sys.c, sys.d)
+    | Tustin ->
+        (* Ad = (I + h/2·A)(I − h/2·A)⁻¹; Bd = (I − h/2·A)⁻¹·h·B;
+           C and D adjusted so the sampled I/O map matches the bilinear
+           transform of the transfer function. *)
+        let half = ts /. 2. in
+        let minus = M.sub id (M.scale half sys.a) in
+        let plus = M.add id (M.scale half sys.a) in
+        let minus_inv = Numerics.Linalg.inv minus in
+        let ad = M.mul plus minus_inv in
+        let bd = M.mul minus_inv (M.scale ts sys.b) in
+        let c = M.mul sys.c minus_inv in
+        let d = M.add sys.d (M.scale half (M.mul c sys.b)) in
+        (ad, bd, c, d)
+  in
+  Lti.make ~domain:(Lti.Discrete ts) ~a:ad ~b:bd ~c ~d
+
+let zoh_with_delay ~ts ~delay (sys : Lti.t) =
+  require_continuous "zoh_with_delay" sys;
+  if ts <= 0. then invalid_arg "Discretize.zoh_with_delay: non-positive ts";
+  if delay < 0. || delay > ts then
+    invalid_arg "Discretize.zoh_with_delay: delay must satisfy 0 <= delay <= ts";
+  let n = Lti.state_dim sys and m = Lti.input_dim sys in
+  (* Over one period the old control acts for [delay], the new one for
+     [ts − delay]:
+       x(k+1) = Φ·x(k) + Γ1·u(k−1) + Γ0·u(k)
+     with Φ = e^{A·Ts}, Γ1 = e^{A(Ts−τ)}·∫₀^τ e^{As}ds·B,
+     Γ0 = ∫₀^{Ts−τ} e^{As}ds·B. *)
+  let phi, _ = Numerics.Expm.zoh sys.a sys.b ts in
+  let gamma0 =
+    if ts -. delay <= 0. then M.zeros n m
+    else snd (Numerics.Expm.zoh sys.a sys.b (ts -. delay))
+  in
+  let gamma1 =
+    if delay <= 0. then M.zeros n m
+    else
+      let exp_rest = Numerics.Expm.expm (M.scale (ts -. delay) sys.a) in
+      let _, int_tau = Numerics.Expm.zoh sys.a sys.b delay in
+      M.mul exp_rest int_tau
+  in
+  (* Augmented state [x; u_prev]. *)
+  let a =
+    M.vcat (M.hcat phi gamma1) (M.zeros m (n + m))
+  in
+  let b = M.vcat gamma0 (M.identity m) in
+  let c = M.hcat sys.c (M.zeros (Lti.output_dim sys) m) in
+  let d = sys.d in
+  Lti.make ~domain:(Lti.Discrete ts) ~a ~b ~c ~d

@@ -1,0 +1,24 @@
+(** Discretisation of continuous-time LTI systems.
+
+    The third design step of the paper's lifecycle: control laws "are
+    next discretized in order to allow their digital execution". *)
+
+type scheme =
+  | Zoh  (** exact zero-order hold (matrix exponential) *)
+  | Tustin  (** bilinear transform *)
+  | Forward_euler  (** [Ad = I + Ts·A] — cheap, conditionally stable *)
+  | Backward_euler  (** [Ad = (I − Ts·A)⁻¹] *)
+
+val discretize : ?scheme:scheme -> ts:float -> Lti.t -> Lti.t
+(** Discretises a continuous system with sampling period [ts]
+    (default scheme: {!Zoh}).  Raises [Invalid_argument] on a discrete
+    input or non-positive [ts]; Tustin/backward Euler raise
+    [Numerics.Linalg.Singular] when [(I ∓ Ts/2·A)] is singular. *)
+
+val zoh_with_delay : ts:float -> delay:float -> Lti.t -> Lti.t
+(** Exact ZOH discretisation of a continuous system whose input is
+    delayed by [delay] with [0 <= delay <= ts]: the classic
+    Åström–Wittenmark augmentation that appends the previous control
+    value to the state.  This is the model-based view of actuation
+    latency used by the calibration phase.  State layout:
+    [[x; u_prev]]. *)

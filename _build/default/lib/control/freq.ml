@@ -1,0 +1,150 @@
+module CM = Numerics.Cmatrix
+
+(* evaluation point on the analysis contour *)
+let eval_point (sys : Lti.t) w =
+  match sys.domain with
+  | Lti.Continuous -> { Complex.re = 0.; im = w }
+  | Lti.Discrete ts -> Complex.polar 1. (w *. ts)
+
+let response_mimo (sys : Lti.t) w =
+  let n = Lti.state_dim sys in
+  let s = eval_point sys w in
+  let si_minus_a = CM.sub (CM.scalar s n) (CM.of_real sys.a) in
+  let c = CM.of_real sys.c and b = CM.of_real sys.b and d = CM.of_real sys.d in
+  if n = 0 then d
+  else CM.add (CM.mul c (CM.solve_mat si_minus_a b)) d
+
+let response sys w =
+  if Lti.input_dim sys <> 1 || Lti.output_dim sys <> 1 then
+    invalid_arg "Freq.response: SISO systems only";
+  CM.get (response_mimo sys w) 0 0
+
+type bode_point = { omega : float; magnitude_db : float; phase_deg : float }
+
+let nyquist_cap (sys : Lti.t) w_max =
+  match sys.domain with
+  | Lti.Continuous -> w_max
+  | Lti.Discrete ts -> Float.min w_max (0.999 *. Float.pi /. ts)
+
+let log_grid ~n ~w_min ~w_max =
+  let ratio = Float.log (w_max /. w_min) /. float_of_int (n - 1) in
+  List.init n (fun i -> w_min *. Float.exp (float_of_int i *. ratio))
+
+let bode ?(n = 200) ?(w_min = 1e-2) ?(w_max = 1e3) sys =
+  if n < 2 then invalid_arg "Freq.bode: need at least two points";
+  if w_min <= 0. || w_max <= w_min then invalid_arg "Freq.bode: bad frequency range";
+  let w_max = nyquist_cap sys w_max in
+  let points = log_grid ~n ~w_min ~w_max in
+  (* unwrap the phase so margins can bisect across the -180° line *)
+  let prev_phase = ref None in
+  List.map
+    (fun w ->
+      let g = response sys w in
+      let mag = Complex.norm g in
+      let raw = Complex.arg g *. 180. /. Float.pi in
+      let phase =
+        match !prev_phase with
+        | None -> raw
+        | Some p ->
+            let rec adjust x =
+              if x -. p > 180. then adjust (x -. 360.)
+              else if p -. x > 180. then adjust (x +. 360.)
+              else x
+            in
+            adjust raw
+      in
+      prev_phase := Some phase;
+      { omega = w; magnitude_db = 20. *. Float.log10 mag; phase_deg = phase })
+    points
+
+type margins = {
+  gain_margin_db : float option;
+  phase_margin_deg : float option;
+  gain_crossover : float option;
+  phase_crossover : float option;
+  delay_margin : float option;
+}
+
+(* bisection for f(w) = 0 between wa and wb where signs differ *)
+let bisect f wa wb =
+  let rec go wa wb fa n =
+    if n = 0 then (wa +. wb) /. 2.
+    else
+      let mid = sqrt (wa *. wb) (* geometric mid on a log axis *) in
+      let fm = f mid in
+      if (fa < 0.) = (fm < 0.) then go mid wb fm (n - 1) else go wa mid fa (n - 1)
+  in
+  go wa wb (f wa) 60
+
+let margins ?(n = 400) ?(w_min = 1e-3) ?(w_max = 1e4) sys =
+  let pts = Array.of_list (bode ~n ~w_min ~w_max sys) in
+  let mag_db w = 20. *. Float.log10 (Complex.norm (response sys w)) in
+  (* gain crossover: |G| = 1 (0 dB), refined by bisection on |G| *)
+  let gain_crossover =
+    let rec go i =
+      if i >= Array.length pts - 1 then None
+      else
+        let a = pts.(i).magnitude_db and b = pts.(i + 1).magnitude_db in
+        if (a >= 0.) <> (b >= 0.) then
+          Some (bisect mag_db pts.(i).omega pts.(i + 1).omega)
+        else go (i + 1)
+    in
+    go 0
+  in
+  (* phase crossover: unwrapped phase = -180°, refined on the grid by
+     linear interpolation (phase recomputation would rewrap) *)
+  let phase_crossover =
+    let rec go i =
+      if i >= Array.length pts - 1 then None
+      else
+        let a = pts.(i).phase_deg +. 180. and b = pts.(i + 1).phase_deg +. 180. in
+        if (a >= 0.) <> (b >= 0.) then
+          let frac = a /. (a -. b) in
+          Some (pts.(i).omega *. ((pts.(i + 1).omega /. pts.(i).omega) ** frac))
+        else go (i + 1)
+    in
+    go 0
+  in
+  let phase_margin_deg =
+    Option.map
+      (fun wc ->
+        (* find the unwrapped phase at wc by interpolating the grid *)
+        let rec locate i =
+          if i >= Array.length pts - 1 then pts.(Array.length pts - 1).phase_deg
+          else if pts.(i + 1).omega >= wc then
+            let p0 = pts.(i) and p1 = pts.(i + 1) in
+            let frac = Float.log (wc /. p0.omega) /. Float.log (p1.omega /. p0.omega) in
+            p0.phase_deg +. (frac *. (p1.phase_deg -. p0.phase_deg))
+          else locate (i + 1)
+        in
+        180. +. locate 0)
+      gain_crossover
+  in
+  let gain_margin_db =
+    Option.map (fun w180 -> -.mag_db w180) phase_crossover
+  in
+  let delay_margin =
+    match (phase_margin_deg, gain_crossover) with
+    | Some pm, Some wc when wc > 0. -> Some (pm *. Float.pi /. 180. /. wc)
+    | (Some _ | None), _ -> None
+  in
+  { gain_margin_db; phase_margin_deg; gain_crossover; phase_crossover; delay_margin }
+
+let dc_gain sys =
+  match response_mimo sys 0. with
+  | g -> CM.norm_inf g
+  | exception CM.Singular -> Float.infinity
+
+let nyquist ?(n = 200) ?(w_min = 1e-2) ?(w_max = 1e3) sys =
+  if n < 2 then invalid_arg "Freq.nyquist: need at least two points";
+  if w_min <= 0. || w_max <= w_min then invalid_arg "Freq.nyquist: bad frequency range";
+  let w_max = nyquist_cap sys w_max in
+  List.map (fun w -> (w, response sys w)) (log_grid ~n ~w_min ~w_max)
+
+let sensitivity_peak ?(n = 400) ?(w_min = 1e-3) ?(w_max = 1e4) sys =
+  List.fold_left
+    (fun (best, w_best) (w, l) ->
+      let s = 1. /. Complex.norm (Complex.add Complex.one l) in
+      if s > best then (s, w) else (best, w_best))
+    (0., w_min)
+    (nyquist ~n ~w_min ~w_max sys)

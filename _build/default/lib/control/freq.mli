@@ -1,0 +1,63 @@
+(** Frequency-domain analysis of LTI systems: frequency response,
+    Bode data and classical stability margins.
+
+    The connection to the paper: an I/O latency [τ] consumes
+    [ω_c·τ] radians of phase at the gain-crossover frequency, so the
+    {e delay margin} [PM/ω_c] computed here predicts the latency at
+    which a loop goes unstable — the quantity the latency-sweep
+    co-simulation measures empirically.  Comparing both is a strong
+    cross-validation of the simulator (see the [margin] experiment). *)
+
+val response : Lti.t -> float -> Complex.t
+(** [response sys w] is the SISO frequency response at angular
+    frequency [w] (rad/s): [G(jω)] for continuous systems,
+    [G(e^{jωTs})] for discrete ones.  Raises [Invalid_argument] on
+    MIMO systems; raises [Numerics.Cmatrix.Singular] at poles on the
+    evaluation contour. *)
+
+val response_mimo : Lti.t -> float -> Numerics.Cmatrix.t
+(** Full [p×m] response matrix at one frequency. *)
+
+type bode_point = {
+  omega : float;  (** rad/s *)
+  magnitude_db : float;
+  phase_deg : float;  (** unwrapped, continuous across points *)
+}
+
+val bode : ?n:int -> ?w_min:float -> ?w_max:float -> Lti.t -> bode_point list
+(** Log-spaced Bode data with unwrapped phase.  Defaults: 200 points
+    over [\[1e-2, 1e3\]] rad/s (capped below the Nyquist rate for
+    discrete systems). *)
+
+type margins = {
+  gain_margin_db : float option;
+      (** at the phase crossover (-180°); [None] when the phase never
+          crosses -180° (infinite gain margin) *)
+  phase_margin_deg : float option;
+      (** at the gain crossover (0 dB); [None] when the gain never
+          crosses 0 dB *)
+  gain_crossover : float option;  (** ω_c (rad/s) *)
+  phase_crossover : float option;  (** ω_180 (rad/s) *)
+  delay_margin : float option;
+      (** [PM/ω_c] in seconds — the pure I/O delay that destroys the
+          phase margin *)
+}
+
+val margins : ?n:int -> ?w_min:float -> ?w_max:float -> Lti.t -> margins
+(** Classical margins of the {e open-loop} transfer [sys], located by
+    bisection between Bode grid points. *)
+
+val dc_gain : Lti.t -> float
+(** Response magnitude at ω → 0 ([G(0)] or [G(1)]); [infinity] for
+    integrating systems. *)
+
+val nyquist : ?n:int -> ?w_min:float -> ?w_max:float -> Lti.t -> (float * Complex.t) list
+(** The Nyquist locus [(ω, L(jω))] on a log grid (same defaults as
+    {!bode}). *)
+
+val sensitivity_peak : ?n:int -> ?w_min:float -> ?w_max:float -> Lti.t -> float * float
+(** [(Ms, ω_peak)] of the open loop: the peak of [|1/(1 + L(jω))|]
+    over the grid.  [1/Ms] is the {e modulus margin} — the distance of
+    the Nyquist curve to the critical point −1, a single number
+    bounding both classical margins (GM ≥ Ms/(Ms−1),
+    PM ≥ 2·asin(1/2Ms)). *)

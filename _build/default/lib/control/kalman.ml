@@ -1,0 +1,50 @@
+module M = Numerics.Matrix
+
+type result = { l : M.t; p : M.t; iterations : int }
+
+let dkalman ?(max_iter = 10_000) ?(tol = 1e-10) ~a ~c ~qn ~rn () =
+  if not (M.is_square a) then invalid_arg "Kalman.dkalman: A not square";
+  let n = M.rows a in
+  if M.cols c <> n then invalid_arg "Kalman.dkalman: C cols mismatch";
+  let p_out = M.rows c in
+  if M.rows qn <> n || M.cols qn <> n then invalid_arg "Kalman.dkalman: Qn shape";
+  if M.rows rn <> p_out || M.cols rn <> p_out then invalid_arg "Kalman.dkalman: Rn shape";
+  let at = M.transpose a and ct = M.transpose c in
+  let gain p =
+    (* L = A·P·Cᵀ (C·P·Cᵀ + Rn)⁻¹ *)
+    let pct = M.mul p ct in
+    let innov = M.add (M.mul c pct) rn in
+    M.transpose (Numerics.Linalg.solve_mat (M.transpose innov) (M.transpose (M.mul a pct)))
+  in
+  let rec iterate p i =
+    if i > max_iter then failwith "Kalman.dkalman: Riccati iteration did not converge";
+    let l = gain p in
+    let p' = M.add qn (M.mul (M.sub a (M.mul l c)) (M.mul p at)) in
+    if M.norm_inf (M.sub p' p) <= tol *. (1. +. M.norm_inf p') then
+      { l = gain p'; p = p'; iterations = i }
+    else iterate p' (i + 1)
+  in
+  iterate qn 1
+
+type observer = { sys : Lti.t; l : M.t; mutable xhat : float array }
+
+let observer (sys : Lti.t) (res : result) =
+  (match sys.domain with
+  | Lti.Discrete _ -> ()
+  | Lti.Continuous -> invalid_arg "Kalman.observer: continuous system");
+  { sys; l = res.l; xhat = Array.make (Lti.state_dim sys) 0. }
+
+let estimate o = Array.copy o.xhat
+
+let update o ~u ~y =
+  let predicted_y = Lti.output o.sys o.xhat u in
+  let innovation = Numerics.Vec.sub y predicted_y in
+  let next =
+    Numerics.Vec.add (Lti.step_discrete o.sys o.xhat u) (M.mul_vec o.l innovation)
+  in
+  o.xhat <- next;
+  Array.copy next
+
+let reset o x =
+  if Array.length x <> Lti.state_dim o.sys then invalid_arg "Kalman.reset: dimension";
+  o.xhat <- Array.copy x

@@ -1,0 +1,39 @@
+(** Steady-state Kalman filter (discrete time).
+
+    For [x(k+1) = A·x + B·u + w], [y = C·x + v] with process noise
+    covariance [Qn] and measurement noise covariance [Rn], computes the
+    stationary predictor gain [L] by iterating the filter Riccati
+    equation — the dual of {!Lqr.dlqr}. *)
+
+type result = {
+  l : Numerics.Matrix.t;  (** predictor gain ([n×p]) *)
+  p : Numerics.Matrix.t;  (** stationary error covariance *)
+  iterations : int;
+}
+
+val dkalman :
+  ?max_iter:int ->
+  ?tol:float ->
+  a:Numerics.Matrix.t ->
+  c:Numerics.Matrix.t ->
+  qn:Numerics.Matrix.t ->
+  rn:Numerics.Matrix.t ->
+  unit ->
+  result
+(** Raises [Failure] on non-convergence, [Invalid_argument] on shape
+    mismatch. *)
+
+type observer
+(** Running state estimator [x̂(k+1) = A·x̂ + B·u + L·(y − C·x̂)]. *)
+
+val observer : Lti.t -> result -> observer
+(** Builds an estimator for a discrete system (raises on continuous). *)
+
+val estimate : observer -> float array
+(** Current state estimate. *)
+
+val update : observer -> u:float array -> y:float array -> float array
+(** Advances the estimator one period; returns the new estimate. *)
+
+val reset : observer -> float array -> unit
+(** Forces the estimate. *)

@@ -1,0 +1,43 @@
+module M = Numerics.Matrix
+
+type result = { k : M.t; p : M.t; iterations : int }
+
+let dlqr ?(max_iter = 10_000) ?(tol = 1e-10) ~a ~b ~q ~r () =
+  let n = M.rows a in
+  if not (M.is_square a) then invalid_arg "Lqr.dlqr: A not square";
+  if M.rows b <> n then invalid_arg "Lqr.dlqr: B rows mismatch";
+  if M.rows q <> n || M.cols q <> n then invalid_arg "Lqr.dlqr: Q shape mismatch";
+  let m = M.cols b in
+  if M.rows r <> m || M.cols r <> m then invalid_arg "Lqr.dlqr: R shape mismatch";
+  let at = M.transpose a and bt = M.transpose b in
+  let gain p =
+    (* K = (R + BᵀPB)⁻¹ BᵀPA *)
+    let btp = M.mul bt p in
+    Numerics.Linalg.solve_mat (M.add r (M.mul btp b)) (M.mul btp a)
+  in
+  let rec iterate p i =
+    if i > max_iter then failwith "Lqr.dlqr: Riccati iteration did not converge";
+    let k = gain p in
+    (* P' = Q + Aᵀ P (A − B·K) — the Joseph-free simplification is
+       adequate at these scales *)
+    let p' = M.add q (M.mul (M.mul at p) (M.sub a (M.mul b k))) in
+    if M.norm_inf (M.sub p' p) <= tol *. (1. +. M.norm_inf p') then
+      { k = gain p'; p = p'; iterations = i }
+    else iterate p' (i + 1)
+  in
+  iterate q 1
+
+let dlqr_sys ?max_iter ?tol ~q ~r (sys : Lti.t) =
+  match sys.domain with
+  | Lti.Discrete _ -> dlqr ?max_iter ?tol ~a:sys.a ~b:sys.b ~q ~r ()
+  | Lti.Continuous -> invalid_arg "Lqr.dlqr_sys: continuous system (discretize first)"
+
+let closed_loop sys res = Lti.feedback_gain sys res.k
+
+let quadratic_cost ~q ~r ~states ~inputs =
+  if Array.length states <> Array.length inputs then
+    invalid_arg "Lqr.quadratic_cost: trace length mismatch";
+  let quad w v = Numerics.Vec.dot v (M.mul_vec w v) in
+  let cost = ref 0. in
+  Array.iteri (fun i x -> cost := !cost +. quad q x +. quad r inputs.(i)) states;
+  !cost

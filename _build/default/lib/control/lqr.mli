@@ -1,0 +1,45 @@
+(** Linear-quadratic regulator synthesis by Riccati iteration.
+
+    Discrete-time: minimises [Σ xᵀQx + uᵀRu] subject to
+    [x(k+1) = A·x(k) + B·u(k)], giving [u = −K·x].  The steady-state
+    solution is obtained by iterating the Riccati difference equation
+    to a fixed point, which converges for stabilisable [(A,B)] and
+    detectable [(A,√Q)]. *)
+
+type result = {
+  k : Numerics.Matrix.t;  (** state-feedback gain, [u = −K·x] *)
+  p : Numerics.Matrix.t;  (** Riccati solution (cost-to-go matrix) *)
+  iterations : int;  (** iterations until convergence *)
+}
+
+val dlqr :
+  ?max_iter:int ->
+  ?tol:float ->
+  a:Numerics.Matrix.t ->
+  b:Numerics.Matrix.t ->
+  q:Numerics.Matrix.t ->
+  r:Numerics.Matrix.t ->
+  unit ->
+  result
+(** Discrete LQR.  [max_iter] defaults to 10_000, [tol] (on the
+    ∞-norm of successive [P]) to [1e-10].  Raises [Failure] if the
+    iteration does not converge and [Invalid_argument] on dimension
+    mismatch. *)
+
+val dlqr_sys : ?max_iter:int -> ?tol:float -> q:Numerics.Matrix.t -> r:Numerics.Matrix.t -> Lti.t -> result
+(** {!dlqr} applied to a discrete {!Lti.t}.  Raises on a continuous
+    system. *)
+
+val closed_loop : Lti.t -> result -> Lti.t
+(** [closed_loop sys res] is the autonomous closed loop
+    [A − B·K] (see {!Lti.feedback_gain}). *)
+
+val quadratic_cost :
+  q:Numerics.Matrix.t ->
+  r:Numerics.Matrix.t ->
+  states:float array array ->
+  inputs:float array array ->
+  float
+(** Empirical cost [Σ_k x_kᵀQx_k + u_kᵀRu_k] of a simulated
+    trajectory; the standard comparison metric between ideal and
+    implemented control runs. *)

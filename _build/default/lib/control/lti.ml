@@ -1,0 +1,109 @@
+module M = Numerics.Matrix
+
+type domain = Continuous | Discrete of float
+
+type t = { a : M.t; b : M.t; c : M.t; d : M.t; domain : domain }
+
+let make ~domain ~a ~b ~c ~d =
+  if not (M.is_square a) then invalid_arg "Lti.make: A not square";
+  let n = M.rows a in
+  if M.rows b <> n then invalid_arg "Lti.make: B rows <> state dim";
+  if M.cols c <> n then invalid_arg "Lti.make: C cols <> state dim";
+  if M.rows d <> M.rows c then invalid_arg "Lti.make: D rows <> output dim";
+  if M.cols d <> M.cols b then invalid_arg "Lti.make: D cols <> input dim";
+  (match domain with
+  | Discrete ts when ts <= 0. -> invalid_arg "Lti.make: non-positive sampling period"
+  | Discrete _ | Continuous -> ());
+  { a; b; c; d; domain }
+
+let state_dim sys = M.rows sys.a
+let input_dim sys = M.cols sys.b
+let output_dim sys = M.rows sys.c
+
+let output sys x u =
+  Numerics.Vec.add (M.mul_vec sys.c x) (M.mul_vec sys.d u)
+
+let deriv sys x u = Numerics.Vec.add (M.mul_vec sys.a x) (M.mul_vec sys.b u)
+
+let step_discrete sys x u =
+  match sys.domain with
+  | Discrete _ -> deriv sys x u
+  | Continuous -> invalid_arg "Lti.step_discrete: continuous system"
+
+let rhs sys ~u =
+  match sys.domain with
+  | Continuous -> fun t x -> deriv sys x (u t)
+  | Discrete _ -> invalid_arg "Lti.rhs: discrete system"
+
+let poles sys = Numerics.Linalg.eigenvalues sys.a
+
+let is_stable sys =
+  match sys.domain with
+  | Continuous -> Numerics.Linalg.is_stable_continuous sys.a
+  | Discrete _ -> Numerics.Linalg.is_stable_discrete sys.a
+
+let controllability sys =
+  let n = state_dim sys in
+  let rec build acc power k =
+    if k >= n then acc
+    else
+      let power = M.mul sys.a power in
+      build (M.hcat acc power) power (k + 1)
+  in
+  build sys.b sys.b 1
+
+let observability sys =
+  let n = state_dim sys in
+  let rec build acc power k =
+    if k >= n then acc
+    else
+      let power = M.mul power sys.a in
+      build (M.vcat acc power) power (k + 1)
+  in
+  build sys.c sys.c 1
+
+let full_row_rank ?(eps = 1e-9) m =
+  (* m has at least as many columns as rows here; test det(m·mᵀ) *)
+  let gram = M.mul m (M.transpose m) in
+  Float.abs (Numerics.Linalg.det gram) > eps
+
+let is_controllable ?eps sys = full_row_rank ?eps (controllability sys)
+let is_observable ?eps sys = full_row_rank ?eps (M.transpose (observability sys))
+
+let same_domain g h =
+  match (g.domain, h.domain) with
+  | Continuous, Continuous -> true
+  | Discrete t1, Discrete t2 -> Float.abs (t1 -. t2) < 1e-12
+  | Continuous, Discrete _ | Discrete _, Continuous -> false
+
+let series g h =
+  if not (same_domain g h) then invalid_arg "Lti.series: domain mismatch";
+  if input_dim h <> output_dim g then invalid_arg "Lti.series: dimension mismatch";
+  let ng = state_dim g and nh = state_dim h in
+  let a =
+    M.vcat
+      (M.hcat g.a (M.zeros ng nh))
+      (M.hcat (M.mul h.b g.c) h.a)
+  in
+  let b = M.vcat g.b (M.mul h.b g.d) in
+  let c = M.hcat (M.mul h.d g.c) h.c in
+  let d = M.mul h.d g.d in
+  make ~domain:g.domain ~a ~b ~c ~d
+
+let feedback_gain sys k =
+  if M.rows k <> input_dim sys || M.cols k <> state_dim sys then
+    invalid_arg "Lti.feedback_gain: gain dimension mismatch";
+  make ~domain:sys.domain
+    ~a:(M.sub sys.a (M.mul sys.b k))
+    ~b:sys.b
+    ~c:(M.sub sys.c (M.mul sys.d k))
+    ~d:sys.d
+
+let pp ppf sys =
+  let dom =
+    match sys.domain with
+    | Continuous -> "continuous"
+    | Discrete ts -> Printf.sprintf "discrete (Ts=%g)" ts
+  in
+  Format.fprintf ppf "@[<v>%s system, n=%d m=%d p=%d@,A =@,%a@,B =@,%a@]" dom
+    (state_dim sys) (input_dim sys) (output_dim sys) M.pp sys.a M.pp sys.b

@@ -1,0 +1,82 @@
+(** Linear time-invariant state-space systems.
+
+    A system is the quadruple [(A, B, C, D)] of
+
+    {v
+      dx/dt = A·x + B·u        (continuous)   or
+      x(k+1) = A·x(k) + B·u(k) (discrete)
+      y      = C·x + D·u
+    v}
+
+    The same record is used for both domains; {!domain} records which
+    one is meant so that mixing them is caught early. *)
+
+type domain = Continuous | Discrete of float
+(** [Discrete ts] carries the sampling period. *)
+
+type t = private {
+  a : Numerics.Matrix.t;
+  b : Numerics.Matrix.t;
+  c : Numerics.Matrix.t;
+  d : Numerics.Matrix.t;
+  domain : domain;
+}
+
+val make :
+  domain:domain ->
+  a:Numerics.Matrix.t ->
+  b:Numerics.Matrix.t ->
+  c:Numerics.Matrix.t ->
+  d:Numerics.Matrix.t ->
+  t
+(** Validates all dimension constraints ([A] square, [B]/[C]/[D]
+    conformable) and, for [Discrete ts], that [ts > 0].  Raises
+    [Invalid_argument] otherwise. *)
+
+val state_dim : t -> int
+val input_dim : t -> int
+val output_dim : t -> int
+
+val output : t -> float array -> float array -> float array
+(** [output sys x u] is [C·x + D·u]. *)
+
+val deriv : t -> float array -> float array -> float array
+(** [deriv sys x u] is [A·x + B·u] — the vector field of a continuous
+    system (also the next state of a discrete one). *)
+
+val step_discrete : t -> float array -> float array -> float array
+(** Next state of a discrete system.  Raises [Invalid_argument] on a
+    continuous system. *)
+
+val rhs : t -> u:(float -> float array) -> Numerics.Ode.rhs
+(** [rhs sys ~u] is the ODE right-hand side of a continuous system
+    driven by the input signal [u].  Raises on a discrete system. *)
+
+val is_stable : t -> bool
+(** Hurwitz (continuous) or Schur (discrete) stability of [A]. *)
+
+val poles : t -> Complex.t list
+(** Eigenvalues of [A]. *)
+
+val controllability : t -> Numerics.Matrix.t
+(** Controllability matrix [[B  AB  …  Aⁿ⁻¹B]]. *)
+
+val observability : t -> Numerics.Matrix.t
+(** Observability matrix [[C; CA; …; CAⁿ⁻¹]]. *)
+
+val is_controllable : ?eps:float -> t -> bool
+(** Full-rank test of the controllability matrix (via determinant of
+    [𝒞·𝒞ᵀ]; adequate at these dimensions).  [eps] defaults to
+    [1e-9]. *)
+
+val is_observable : ?eps:float -> t -> bool
+
+val series : t -> t -> t
+(** [series g h] feeds the output of [g] into [h] (same domain,
+    conformable dimensions). *)
+
+val feedback_gain : t -> Numerics.Matrix.t -> t
+(** [feedback_gain sys k] closes the loop [u = −K·x], returning the
+    autonomous closed-loop system [(A − B·K, B, C − D·K, D)]. *)
+
+val pp : Format.formatter -> t -> unit

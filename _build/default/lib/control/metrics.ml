@@ -1,0 +1,90 @@
+type trace = { times : float array; values : float array }
+
+let of_arrays times values =
+  if Array.length times <> Array.length values then
+    invalid_arg "Metrics.of_arrays: length mismatch";
+  for i = 1 to Array.length times - 1 do
+    if times.(i) < times.(i - 1) then invalid_arg "Metrics.of_arrays: times not sorted"
+  done;
+  { times; values }
+
+(* trapezoidal integral of f(t, y) over the trace *)
+let integrate f { times; values } =
+  let acc = ref 0. in
+  for i = 1 to Array.length times - 1 do
+    let dt = times.(i) -. times.(i - 1) in
+    let a = f times.(i - 1) values.(i - 1) and b = f times.(i) values.(i) in
+    acc := !acc +. (dt *. (a +. b) /. 2.)
+  done;
+  !acc
+
+let iae ?(reference = 0.) tr = integrate (fun _ y -> Float.abs (reference -. y)) tr
+
+let ise ?(reference = 0.) tr =
+  integrate
+    (fun _ y ->
+      let e = reference -. y in
+      e *. e)
+    tr
+
+let itae ?(reference = 0.) tr = integrate (fun t y -> t *. Float.abs (reference -. y)) tr
+
+let overshoot ?(reference = 0.) { values; _ } =
+  if Array.length values = 0 then 0.
+  else
+    let peak = Array.fold_left Float.max values.(0) values in
+    let over = peak -. reference in
+    if over <= 0. then 0.
+    else if reference = 0. then over
+    else over /. Float.abs reference
+
+let settling_time ?(reference = 0.) ?(band = 0.02) { times; values } =
+  let n = Array.length times in
+  if n = 0 then None
+  else
+    let tolerance =
+      if reference = 0. then band else band *. Float.abs reference
+    in
+    (* scan from the end: the settling instant is the last departure *)
+    let rec last_out i =
+      if i < 0 then -1
+      else if Float.abs (values.(i) -. reference) > tolerance then i
+      else last_out (i - 1)
+    in
+    match last_out (n - 1) with
+    | -1 -> Some times.(0)
+    | i when i = n - 1 -> None
+    | i -> Some times.(i + 1)
+
+let rise_time ?(reference = 1.) { times; values } =
+  if reference = 0. then None
+  else
+    let crossing threshold =
+      let target = threshold *. reference in
+      let rec find i =
+        if i >= Array.length values then None
+        else if
+          (reference > 0. && values.(i) >= target)
+          || (reference < 0. && values.(i) <= target)
+        then Some times.(i)
+        else find (i + 1)
+      in
+      find 0
+    in
+    match (crossing 0.1, crossing 0.9) with
+    | Some t10, Some t90 when t90 >= t10 -> Some (t90 -. t10)
+    | Some _, Some _ | Some _, None | None, Some _ | None, None -> None
+
+let steady_state_error ?(reference = 0.) ?(window = 10) { values; _ } =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Metrics.steady_state_error: empty trace";
+  let w = Stdlib.min window n in
+  let sum = ref 0. in
+  for i = n - w to n - 1 do
+    sum := !sum +. (reference -. values.(i))
+  done;
+  !sum /. float_of_int w
+
+let degradation_pct ~ideal ~actual =
+  if ideal = 0. then if actual = 0. then 0. else Float.infinity
+  else (actual -. ideal) /. Float.abs ideal *. 100.

@@ -1,0 +1,42 @@
+(** Control-performance metrics computed from simulation traces.
+
+    A trace is a pair of arrays [(times, values)] of equal length with
+    strictly increasing times.  Integral metrics use trapezoidal
+    quadrature so they are meaningful for the unevenly spaced samples
+    a hybrid simulator produces. *)
+
+type trace = { times : float array; values : float array }
+
+val of_arrays : float array -> float array -> trace
+(** Validates lengths and monotone times. *)
+
+val iae : ?reference:float -> trace -> float
+(** Integral of absolute error [∫|r − y| dt] (default reference 0
+    measures [∫|y|]). *)
+
+val ise : ?reference:float -> trace -> float
+(** Integral of squared error. *)
+
+val itae : ?reference:float -> trace -> float
+(** Time-weighted IAE [∫ t·|r − y| dt]. *)
+
+val overshoot : ?reference:float -> trace -> float
+(** Peak overshoot as a fraction of the reference step (for
+    [reference = 0.], the raw peak).  Never negative. *)
+
+val settling_time : ?reference:float -> ?band:float -> trace -> float option
+(** First time after which the response stays within [band]
+    (default 2 %) of the reference.  [None] if it never settles. *)
+
+val rise_time : ?reference:float -> trace -> float option
+(** 10 %→90 % rise time toward [reference].  [None] if the response
+    never crosses the thresholds. *)
+
+val steady_state_error : ?reference:float -> ?window:int -> trace -> float
+(** Mean of [reference − y] over the last [window] samples
+    (default 10, clipped to the trace length). *)
+
+val degradation_pct : ideal:float -> actual:float -> float
+(** [(actual − ideal)/|ideal|·100] — the headline number when
+    comparing implemented control against the stroboscopic design.
+    Returns [infinity] when [ideal = 0.] and [actual <> 0.]. *)

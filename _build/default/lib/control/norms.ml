@@ -1,0 +1,52 @@
+module M = Numerics.Matrix
+
+let h2 (sys : Lti.t) =
+  if not (Lti.is_stable sys) then invalid_arg "Norms.h2: unstable system";
+  let bbt = M.mul sys.Lti.b (M.transpose sys.Lti.b) in
+  match sys.Lti.domain with
+  | Lti.Continuous ->
+      if M.norm_inf sys.Lti.d > 0. then
+        invalid_arg "Norms.h2: continuous system with direct term has infinite H2 norm";
+      let p = Numerics.Linalg.lyap sys.Lti.a bbt in
+      sqrt (M.trace (M.mul (M.mul sys.Lti.c p) (M.transpose sys.Lti.c)))
+  | Lti.Discrete _ ->
+      let p = Numerics.Linalg.dlyap sys.Lti.a bbt in
+      sqrt
+        (M.trace (M.mul (M.mul sys.Lti.c p) (M.transpose sys.Lti.c))
+        +. M.trace (M.mul sys.Lti.d (M.transpose sys.Lti.d)))
+
+let hinf ?(n = 400) ?(w_min = 1e-3) ?(w_max = 1e4) (sys : Lti.t) =
+  if Lti.input_dim sys <> 1 || Lti.output_dim sys <> 1 then
+    invalid_arg "Norms.hinf: SISO systems only";
+  let gain w = Complex.norm (Freq.response sys w) in
+  (* grid scan, then golden-section refinement around the best point *)
+  let best = ref (Freq.dc_gain sys, 0.) in
+  (match sys.Lti.domain with
+  | Lti.Continuous ->
+      let d_gain = Float.abs (M.get sys.Lti.d 0 0) in
+      if d_gain > fst !best then best := (d_gain, Float.infinity)
+  | Lti.Discrete _ -> ());
+  let grid =
+    let ratio = Float.log (w_max /. w_min) /. float_of_int (n - 1) in
+    List.init n (fun i -> w_min *. Float.exp (float_of_int i *. ratio))
+  in
+  List.iter
+    (fun w ->
+      let g = gain w in
+      if g > fst !best then best := (g, w))
+    grid;
+  let peak, w_peak = !best in
+  if Float.is_finite w_peak && w_peak > 0. then begin
+    (* golden-section maximisation on the log axis around the peak *)
+    let lo = ref (Float.log (w_peak /. 2.)) and hi = ref (Float.log (w_peak *. 2.)) in
+    let phi = (sqrt 5. -. 1.) /. 2. in
+    for _ = 1 to 60 do
+      let x1 = !hi -. (phi *. (!hi -. !lo)) in
+      let x2 = !lo +. (phi *. (!hi -. !lo)) in
+      if gain (Float.exp x1) > gain (Float.exp x2) then hi := x2 else lo := x1
+    done;
+    let w_star = Float.exp ((!lo +. !hi) /. 2.) in
+    let g_star = gain w_star in
+    if g_star > peak then (g_star, w_star) else (peak, w_peak)
+  end
+  else (peak, w_peak)

@@ -1,0 +1,21 @@
+(** System norms.
+
+    The H2 norm quantifies the output variance under white-noise
+    input (the LQG-side performance measure); the H∞ norm is the
+    worst-case frequency-domain gain (the robustness-side measure).
+    Together with {!Freq.margins} they summarise how much latitude a
+    design has before the implementation effects studied by the
+    methodology destabilise it. *)
+
+val h2 : Lti.t -> float
+(** H2 norm via the controllability Gramian (continuous Lyapunov /
+    discrete Stein equation).  Raises [Invalid_argument] on an
+    unstable system, or on a continuous system with a nonzero direct
+    term (whose H2 norm is infinite). *)
+
+val hinf : ?n:int -> ?w_min:float -> ?w_max:float -> Lti.t -> float * float
+(** [(‖G‖∞, ω_peak)] of a SISO system: the peak of [|G(jω)|] over a
+    log grid (same defaults as {!Freq.bode}), refined by golden-section
+    search around the best grid point.  DC and (for continuous
+    systems) the ω → ∞ gain [|D|] are included in the scan.  Raises
+    [Invalid_argument] on MIMO systems. *)

@@ -1,0 +1,97 @@
+type gains = { kp : float; ki : float; kd : float }
+
+type t = {
+  gains : gains;
+  ts : float;
+  umin : float option;
+  umax : float option;
+  windup : float option;
+  alpha : float;
+  mutable integral : float;
+  mutable prev_error : float;
+  mutable filtered_deriv : float;
+  mutable primed : bool; (* false until the first step, to avoid a derivative kick *)
+}
+
+let create ?umin ?umax ?windup ?(derivative_filter = 0.1) ~gains ~ts () =
+  if ts <= 0. then invalid_arg "Pid.create: non-positive ts";
+  if derivative_filter < 0. || derivative_filter >= 1. then
+    invalid_arg "Pid.create: derivative_filter must be in [0,1)";
+  (match (umin, umax) with
+  | Some lo, Some hi when lo >= hi -> invalid_arg "Pid.create: umin >= umax"
+  | Some _, Some _ | Some _, None | None, Some _ | None, None -> ());
+  {
+    gains;
+    ts;
+    umin;
+    umax;
+    windup;
+    alpha = derivative_filter;
+    integral = 0.;
+    prev_error = 0.;
+    filtered_deriv = 0.;
+    primed = false;
+  }
+
+let reset c =
+  c.integral <- 0.;
+  c.prev_error <- 0.;
+  c.filtered_deriv <- 0.;
+  c.primed <- false
+
+let gains c = c.gains
+let ts c = c.ts
+
+let clamp lo hi x =
+  let x = match hi with Some h -> Float.min h x | None -> x in
+  match lo with Some l -> Float.max l x | None -> x
+
+let step c ~r ~y =
+  let e = r -. y in
+  c.integral <- c.integral +. (c.gains.ki *. c.ts *. e);
+  (match c.windup with
+  | Some w -> c.integral <- Float.max (-.w) (Float.min w c.integral)
+  | None -> ());
+  let raw_deriv = if c.primed then (e -. c.prev_error) /. c.ts else 0. in
+  c.filtered_deriv <- (c.alpha *. c.filtered_deriv) +. ((1. -. c.alpha) *. raw_deriv);
+  c.prev_error <- e;
+  c.primed <- true;
+  let u = (c.gains.kp *. e) +. c.integral +. (c.gains.kd *. c.filtered_deriv) in
+  clamp c.umin c.umax u
+
+let copy c =
+  {
+    c with
+    integral = 0.;
+    prev_error = 0.;
+    filtered_deriv = 0.;
+    primed = false;
+  }
+
+let ziegler_nichols ~ku ~tu =
+  if ku <= 0. || tu <= 0. then invalid_arg "Pid.ziegler_nichols: non-positive parameter";
+  { kp = 0.6 *. ku; ki = 1.2 *. ku /. tu; kd = 0.075 *. ku *. tu }
+
+let to_tf ?(derivative_filter = 0.1) g ~ts =
+  if ts <= 0. then invalid_arg "Pid.to_tf: non-positive ts";
+  if derivative_filter < 0. || derivative_filter >= 1. then
+    invalid_arg "Pid.to_tf: derivative_filter must be in [0,1)";
+  (* zero-gain terms are skipped so no spurious pole/zero pairs are
+     introduced (a cancelled pole at z = 1 would still break the
+     response evaluation there) *)
+  let terms =
+    (if g.kp <> 0. then [ Tf.make ~num:[| g.kp |] ~den:[| 1. |] ] else [])
+    @ (if g.ki <> 0. then
+         [ Tf.make ~num:[| 0.; g.ki *. ts |] ~den:[| -1.; 1. |] ]
+       else [])
+    @
+    if g.kd <> 0. then begin
+      let a = derivative_filter in
+      let c = g.kd *. (1. -. a) /. ts in
+      [ Tf.make ~num:[| -.c; c |] ~den:[| -.a; 1. |] ]
+    end
+    else []
+  in
+  match terms with
+  | [] -> Tf.make ~num:[| 0. |] ~den:[| 1. |]
+  | first :: rest -> List.fold_left Tf.add first rest

@@ -1,0 +1,55 @@
+(** Discrete PID controller with filtered derivative and anti-windup.
+
+    The positional form computed every period [ts]:
+
+    {v
+      e  = r − y
+      P  = kp·e
+      I += ki·ts·e          (clamped to [±windup] when given)
+      D  = kd·(e − e_prev)/ts, low-pass filtered with coefficient α
+      u  = clamp (P + I + D)
+    v} *)
+
+type gains = { kp : float; ki : float; kd : float }
+
+type t
+(** Mutable controller state (integral and derivative memory). *)
+
+val create :
+  ?umin:float ->
+  ?umax:float ->
+  ?windup:float ->
+  ?derivative_filter:float ->
+  gains:gains ->
+  ts:float ->
+  unit ->
+  t
+(** [derivative_filter] is the pole [α ∈ [0,1)] of the derivative
+    low-pass ([0] = unfiltered, default [0.1]).  [umin]/[umax] clamp
+    the output when provided.  Raises [Invalid_argument] on [ts <= 0]
+    or invalid filter coefficient. *)
+
+val reset : t -> unit
+(** Clears integral and derivative memory. *)
+
+val gains : t -> gains
+val ts : t -> float
+
+val step : t -> r:float -> y:float -> float
+(** One control-period update; returns the new control value. *)
+
+val copy : t -> t
+(** Fresh controller with the same parameters and cleared state. *)
+
+val ziegler_nichols : ku:float -> tu:float -> gains
+(** Classic closed-loop Ziegler–Nichols tuning from ultimate gain
+    [ku] and ultimate period [tu]. *)
+
+val to_tf : ?derivative_filter:float -> gains -> ts:float -> Tf.t
+(** The discrete transfer function of this implementation's PID
+    (backward-Euler integral [ki·ts·z/(z−1)], filtered backward
+    derivative [kd·(1−α)(z−1)/(ts·(z−α))] with [α] =
+    [derivative_filter], default 0.1) — the [C(z)] to feed
+    {!Freq.margins} for loop-shaping analysis.  Matches {!step}'s
+    arithmetic exactly, so frequency-domain predictions agree with
+    time-domain simulations of the block. *)

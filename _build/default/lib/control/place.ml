@@ -1,0 +1,34 @@
+module M = Numerics.Matrix
+
+let ackermann ~a ~b ~poles =
+  if not (M.is_square a) then invalid_arg "Place.ackermann: A not square";
+  let n = M.rows a in
+  if M.cols b <> 1 || M.rows b <> n then
+    invalid_arg "Place.ackermann: B must be a single n-element column";
+  if Array.length poles <> n then invalid_arg "Place.ackermann: need n poles";
+  (* desired characteristic polynomial evaluated at A *)
+  let chi = Numerics.Poly.of_roots poles in
+  let chi_a = ref (M.zeros n n) in
+  let power = ref (M.identity n) in
+  Array.iteri
+    (fun i c ->
+      chi_a := M.add !chi_a (M.scale c !power);
+      if i < Array.length chi - 1 then power := M.mul !power a)
+    chi;
+  (* k = [0 … 0 1]·𝒞⁻¹·χ(A) *)
+  let ctrl =
+    let rec build acc p k =
+      if k >= n then acc
+      else
+        let p = M.mul a p in
+        build (M.hcat acc p) p (k + 1)
+    in
+    build b b 1
+  in
+  let ctrl_inv = Numerics.Linalg.inv ctrl in
+  let last_row = M.block ctrl_inv (n - 1) 0 1 n in
+  M.mul last_row !chi_a
+
+let place_sys (sys : Lti.t) ~poles =
+  if Lti.input_dim sys <> 1 then invalid_arg "Place.place_sys: single-input systems only";
+  ackermann ~a:sys.a ~b:sys.b ~poles

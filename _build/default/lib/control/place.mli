@@ -1,0 +1,14 @@
+(** Pole placement for single-input systems (Ackermann's formula).
+
+    Given a controllable pair [(A, b)] and a desired set of closed-loop
+    poles, computes the row gain [k] such that the eigenvalues of
+    [A − b·k] are the requested poles. *)
+
+val ackermann : a:Numerics.Matrix.t -> b:Numerics.Matrix.t -> poles:float array -> Numerics.Matrix.t
+(** [ackermann ~a ~b ~poles] returns the [1×n] gain.  [b] must be a
+    single column and the number of poles must equal the state
+    dimension.  Raises [Invalid_argument] on dimension mismatch and
+    [Numerics.Linalg.Singular] when the pair is uncontrollable. *)
+
+val place_sys : Lti.t -> poles:float array -> Numerics.Matrix.t
+(** {!ackermann} on the [A], [B] of a single-input {!Lti.t}. *)

@@ -1,0 +1,160 @@
+module M = Numerics.Matrix
+
+type dc_motor = {
+  j : float;
+  b_friction : float;
+  kt : float;
+  ke : float;
+  r_arm : float;
+  l_arm : float;
+}
+
+let default_dc_motor =
+  { j = 0.01; b_friction = 0.1; kt = 0.01; ke = 0.01; r_arm = 1.; l_arm = 0.5 }
+
+let dc_motor p =
+  let a =
+    M.of_arrays
+      [|
+        [| -.p.b_friction /. p.j; p.kt /. p.j |];
+        [| -.p.ke /. p.l_arm; -.p.r_arm /. p.l_arm |];
+      |]
+  in
+  let b = M.of_arrays [| [| 0. |]; [| 1. /. p.l_arm |] |] in
+  let c = M.of_arrays [| [| 1.; 0. |] |] in
+  let d = M.zeros 1 1 in
+  Lti.make ~domain:Lti.Continuous ~a ~b ~c ~d
+
+type pendulum = {
+  m_cart : float;
+  m_pole : float;
+  l_pole : float;
+  friction : float;
+  gravity : float;
+}
+
+let default_pendulum =
+  { m_cart = 0.5; m_pole = 0.2; l_pole = 0.3; friction = 0.1; gravity = 9.81 }
+
+let pendulum_linear p =
+  (* standard linearisation about θ = 0 (upright), neglecting pole
+     rotational inertia beyond m·l² *)
+  let mc = p.m_cart and mp = p.m_pole and l = p.l_pole and g = p.gravity in
+  let fr = p.friction in
+  let denom = mc in
+  let a =
+    M.of_arrays
+      [|
+        [| 0.; 1.; 0.; 0. |];
+        [| 0.; -.fr /. denom; -.(mp *. g) /. denom; 0. |];
+        [| 0.; 0.; 0.; 1. |];
+        [| 0.; fr /. (denom *. l); (mc +. mp) *. g /. (denom *. l); 0. |];
+      |]
+  in
+  let b =
+    M.of_arrays [| [| 0. |]; [| 1. /. denom |]; [| 0. |]; [| -1. /. (denom *. l) |] |]
+  in
+  let c = M.of_arrays [| [| 1.; 0.; 0.; 0. |]; [| 0.; 0.; 1.; 0. |] |] in
+  let d = M.zeros 2 1 in
+  Lti.make ~domain:Lti.Continuous ~a ~b ~c ~d
+
+let pendulum_rhs p ~u =
+  let mc = p.m_cart and mp = p.m_pole and l = p.l_pole and g = p.gravity in
+  let fr = p.friction in
+  fun t x ->
+    match x with
+    | [| _pos; vel; theta; omega |] ->
+        let force = u t in
+        let sin_t = sin theta and cos_t = cos theta in
+        (* cart-pole equations with θ measured from the upright
+           position (θ = 0 is up) *)
+        let total = mc +. mp in
+        let tmp = (force +. (mp *. l *. omega *. omega *. sin_t) -. (fr *. vel)) /. total in
+        let theta_acc =
+          ((g *. sin_t) +. (cos_t *. -.tmp))
+          /. (l *. ((4. /. 3.) -. (mp *. cos_t *. cos_t /. total)))
+        in
+        let pos_acc = tmp -. (mp *. l *. theta_acc *. cos_t /. total) in
+        [| vel; pos_acc; omega; theta_acc |]
+    | _ -> invalid_arg "Plants.pendulum_rhs: state must have dimension 4"
+
+type quarter_car = {
+  m_sprung : float;
+  m_unsprung : float;
+  k_spring : float;
+  c_damper : float;
+  k_tyre : float;
+}
+
+let default_quarter_car =
+  { m_sprung = 290.; m_unsprung = 59.; k_spring = 16_800.; c_damper = 1_000.; k_tyre = 190_000. }
+
+let quarter_car p =
+  let ms = p.m_sprung and mu = p.m_unsprung in
+  let ks = p.k_spring and cs = p.c_damper and kt = p.k_tyre in
+  let a =
+    M.of_arrays
+      [|
+        [| 0.; 1.; 0.; 0. |];
+        [| -.ks /. ms; -.cs /. ms; ks /. ms; cs /. ms |];
+        [| 0.; 0.; 0.; 1. |];
+        [| ks /. mu; cs /. mu; -.(ks +. kt) /. mu; -.cs /. mu |];
+      |]
+  in
+  let b =
+    M.of_arrays
+      [|
+        [| 0.; 0. |];
+        [| 1. /. ms; 0. |];
+        [| 0.; 0. |];
+        [| -1. /. mu; kt /. mu |];
+      |]
+  in
+  (* outputs: suspension deflection (ride comfort proxy) and tyre
+     deflection (road holding) *)
+  let c = M.of_arrays [| [| 1.; 0.; -1.; 0. |]; [| 0.; 0.; 1.; 0. |] |] in
+  let d = M.zeros 2 2 in
+  Lti.make ~domain:Lti.Continuous ~a ~b ~c ~d
+
+let mass_spring_damper ~m ~k ~c =
+  let a = M.of_arrays [| [| 0.; 1. |]; [| -.k /. m; -.c /. m |] |] in
+  let b = M.of_arrays [| [| 0. |]; [| 1. /. m |] |] in
+  let cm = M.of_arrays [| [| 1.; 0. |] |] in
+  Lti.make ~domain:Lti.Continuous ~a ~b ~c:cm ~d:(M.zeros 1 1)
+
+let first_order ~tau ~gain =
+  if tau <= 0. then invalid_arg "Plants.first_order: non-positive time constant";
+  let a = M.of_arrays [| [| -1. /. tau |] |] in
+  let b = M.of_arrays [| [| gain /. tau |] |] in
+  Lti.make ~domain:Lti.Continuous ~a ~b ~c:(M.identity 1) ~d:(M.zeros 1 1)
+
+let double_integrator () =
+  let a = M.of_arrays [| [| 0.; 1. |]; [| 0.; 0. |] |] in
+  let b = M.of_arrays [| [| 0. |]; [| 1. |] |] in
+  let c = M.of_arrays [| [| 1.; 0. |] |] in
+  Lti.make ~domain:Lti.Continuous ~a ~b ~c ~d:(M.zeros 1 1)
+
+type thermal = { c_core : float; c_env : float; k_coupling : float; k_loss : float }
+
+let default_thermal = { c_core = 500.; c_env = 2_000.; k_coupling = 25.; k_loss = 10. }
+
+let thermal p =
+  let a =
+    M.of_arrays
+      [|
+        [| -.p.k_coupling /. p.c_core; p.k_coupling /. p.c_core |];
+        [| p.k_coupling /. p.c_env; -.(p.k_coupling +. p.k_loss) /. p.c_env |];
+      |]
+  in
+  let b = M.of_arrays [| [| 1. /. p.c_core |]; [| 0. |] |] in
+  let c = M.of_arrays [| [| 0.; 1. |] |] in
+  Lti.make ~domain:Lti.Continuous ~a ~b ~c ~d:(M.zeros 1 1)
+
+type cruise = { mass : float; drag : float }
+
+let default_cruise = { mass = 1_200.; drag = 60. }
+
+let cruise p =
+  let a = M.of_arrays [| [| -.p.drag /. p.mass |] |] in
+  let b = M.of_arrays [| [| 1. /. p.mass; 1. /. p.mass |] |] in
+  Lti.make ~domain:Lti.Continuous ~a ~b ~c:(M.identity 1) ~d:(M.zeros 1 2)

@@ -1,0 +1,92 @@
+(** A zoo of standard plants used by the examples and experiments.
+
+    Every plant provides its continuous-time linear model; the
+    physically nonlinear ones (pendulum) also expose their nonlinear
+    vector field for high-fidelity co-simulation. *)
+
+(** Parameters of a permanent-magnet DC motor (default values are the
+    classic textbook servo). States: [[angular velocity; current]];
+    input: armature voltage; output: angular velocity. *)
+type dc_motor = {
+  j : float;  (** rotor inertia [kg·m²] *)
+  b_friction : float;  (** viscous friction [N·m·s] *)
+  kt : float;  (** torque constant [N·m/A] *)
+  ke : float;  (** back-EMF constant [V·s/rad] *)
+  r_arm : float;  (** armature resistance [Ω] *)
+  l_arm : float;  (** armature inductance [H] *)
+}
+
+val default_dc_motor : dc_motor
+val dc_motor : dc_motor -> Lti.t
+
+(** Inverted pendulum on a cart.  States:
+    [[cart pos; cart vel; pole angle; pole angular vel]] with angle
+    measured from the upright position; input: horizontal force;
+    outputs: cart position and pole angle. *)
+type pendulum = {
+  m_cart : float;  (** cart mass [kg] *)
+  m_pole : float;  (** pole mass [kg] *)
+  l_pole : float;  (** distance to pole centre of mass [m] *)
+  friction : float;  (** cart friction coefficient *)
+  gravity : float;
+}
+
+val default_pendulum : pendulum
+
+val pendulum_linear : pendulum -> Lti.t
+(** Linearisation about the upright equilibrium. *)
+
+val pendulum_rhs : pendulum -> u:(float -> float) -> Numerics.Ode.rhs
+(** Full nonlinear dynamics driven by force signal [u]. *)
+
+(** Quarter-car active suspension.  States: [[sprung mass position;
+    sprung velocity; unsprung position; unsprung velocity]] (positions
+    relative to equilibrium); inputs: [[actuator force; road profile
+    displacement]]; outputs: [[sprung acceleration proxy (suspension
+    deflection); tyre deflection]]. *)
+type quarter_car = {
+  m_sprung : float;  (** body quarter mass [kg] *)
+  m_unsprung : float;  (** wheel assembly mass [kg] *)
+  k_spring : float;  (** suspension stiffness [N/m] *)
+  c_damper : float;  (** suspension damping [N·s/m] *)
+  k_tyre : float;  (** tyre stiffness [N/m] *)
+}
+
+val default_quarter_car : quarter_car
+val quarter_car : quarter_car -> Lti.t
+
+val mass_spring_damper : m:float -> k:float -> c:float -> Lti.t
+(** Single mass-spring-damper: states [[pos; vel]], force input,
+    position output. *)
+
+val first_order : tau:float -> gain:float -> Lti.t
+(** First-order lag [gain/(tau·s + 1)] — thermal/cruise-style plant. *)
+
+val double_integrator : unit -> Lti.t
+(** The canonical [1/s²] benchmark plant. *)
+
+(** Two-mass thermal process: a heated core coupled to an envelope
+    coupled to ambient.  States: [[T_core; T_envelope]] (relative to
+    ambient); input: heating power [W]; output: envelope
+    temperature. *)
+type thermal = {
+  c_core : float;  (** core heat capacity [J/K] *)
+  c_env : float;  (** envelope heat capacity [J/K] *)
+  k_coupling : float;  (** core↔envelope conductance [W/K] *)
+  k_loss : float;  (** envelope→ambient conductance [W/K] *)
+}
+
+val default_thermal : thermal
+val thermal : thermal -> Lti.t
+
+(** Cruise control: longitudinal vehicle speed with linearised drag.
+    State: [[speed]] (around the operating point); inputs:
+    [[traction force; grade force]] (the second is the road-slope
+    disturbance); output: speed. *)
+type cruise = {
+  mass : float;  (** vehicle mass [kg] *)
+  drag : float;  (** linearised drag coefficient [N·s/m] *)
+}
+
+val default_cruise : cruise
+val cruise : cruise -> Lti.t

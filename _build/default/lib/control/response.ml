@@ -1,0 +1,81 @@
+type t = {
+  times : float array;
+  outputs : float array array;
+  states : float array array;
+}
+
+let lsim ?x0 ?(meth = Numerics.Ode.default_method) ?max_step ~u ~t_end ?dt (sys : Lti.t) =
+  if t_end <= 0. then invalid_arg "Response.lsim: non-positive horizon";
+  let n = Lti.state_dim sys in
+  let x0 =
+    match x0 with
+    | Some x ->
+        if Array.length x <> n then invalid_arg "Response.lsim: x0 dimension mismatch";
+        Array.copy x
+    | None -> Array.make n 0.
+  in
+  match sys.Lti.domain with
+  | Lti.Discrete ts ->
+      let steps = int_of_float (Float.floor ((t_end /. ts) +. 1e-9)) in
+      let times = Array.init (steps + 1) (fun k -> float_of_int k *. ts) in
+      let states = Array.make (steps + 1) [||] in
+      let outputs = Array.make (steps + 1) [||] in
+      let x = ref x0 in
+      Array.iteri
+        (fun k tk ->
+          let uk = u tk in
+          states.(k) <- Array.copy !x;
+          outputs.(k) <- Lti.output sys !x uk;
+          if k < steps then x := Lti.step_discrete sys !x uk)
+        times;
+      { times; outputs; states }
+  | Lti.Continuous ->
+      let dt = match dt with Some d -> d | None -> t_end /. 200. in
+      if dt <= 0. then invalid_arg "Response.lsim: non-positive dt";
+      let steps = int_of_float (Float.ceil ((t_end /. dt) -. 1e-9)) in
+      let times = Array.init (steps + 1) (fun k -> Float.min t_end (float_of_int k *. dt)) in
+      let states = Array.make (steps + 1) [||] in
+      let outputs = Array.make (steps + 1) [||] in
+      let rhs = Lti.rhs sys ~u in
+      let x = ref x0 in
+      states.(0) <- Array.copy !x;
+      outputs.(0) <- Lti.output sys !x (u 0.);
+      for k = 1 to steps do
+        x := Numerics.Ode.integrate ~meth ?max_step rhs ~t0:times.(k - 1) ~t1:times.(k) !x;
+        states.(k) <- Array.copy !x;
+        outputs.(k) <- Lti.output sys !x (u times.(k))
+      done;
+      { times; outputs; states }
+
+let step ?x0 ?(amplitude = 1.) ~t_end ?dt (sys : Lti.t) =
+  let m = Lti.input_dim sys in
+  lsim ?x0 ~u:(fun _ -> Array.make m amplitude) ~t_end ?dt sys
+
+let impulse ~t_end ?dt (sys : Lti.t) =
+  let m = Lti.input_dim sys in
+  match sys.Lti.domain with
+  | Lti.Continuous ->
+      (* δ-input ≡ initial state B·1 with zero input *)
+      let ones = Array.make m 1. in
+      let x0 = Numerics.Matrix.mul_vec sys.Lti.b ones in
+      lsim ~x0 ~u:(fun _ -> Array.make m 0.) ~t_end ?dt sys
+  | Lti.Discrete ts ->
+      lsim
+        ~u:(fun t -> if t < ts /. 2. then Array.make m (1. /. ts) else Array.make m 0.)
+        ~t_end ?dt sys
+
+let initial ~x0 ~t_end ?dt (sys : Lti.t) =
+  let m = Lti.input_dim sys in
+  lsim ~x0 ~u:(fun _ -> Array.make m 0.) ~t_end ?dt sys
+
+let output_trace r channel =
+  if Array.length r.times = 0 then invalid_arg "Response.output_trace: empty response";
+  if channel < 0 || channel >= Array.length r.outputs.(0) then
+    invalid_arg "Response.output_trace: channel out of range";
+  Metrics.of_arrays r.times (Array.map (fun y -> y.(channel)) r.outputs)
+
+let step_info ?(channel = 0) ?(reference = 1.) r =
+  let tr = output_trace r channel in
+  ( Metrics.settling_time ~reference tr,
+    Metrics.overshoot ~reference tr,
+    Metrics.rise_time ~reference tr )

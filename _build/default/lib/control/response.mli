@@ -1,0 +1,46 @@
+(** Time-domain responses of LTI systems, without building a block
+    diagram: step/impulse/initial-condition responses and simulation
+    against arbitrary input signals.  Continuous systems are
+    integrated with {!Numerics.Ode}; discrete systems are stepped
+    exactly. *)
+
+type t = {
+  times : float array;
+  outputs : float array array;  (** row per sample, column per output *)
+  states : float array array;
+}
+
+val lsim :
+  ?x0:float array ->
+  ?meth:Numerics.Ode.method_ ->
+  ?max_step:float ->
+  u:(float -> float array) ->
+  t_end:float ->
+  ?dt:float ->
+  Lti.t ->
+  t
+(** Simulates the system driven by [u] over [\[0, t_end\]], sampling
+    the result every [dt] (default [t_end/200] for continuous systems,
+    the sampling period for discrete ones).  [x0] defaults to zero.
+    For a discrete system, [u] is evaluated at the sampling instants
+    and [meth]/[max_step]/[dt] are ignored ([dt] = Ts). *)
+
+val step : ?x0:float array -> ?amplitude:float -> t_end:float -> ?dt:float -> Lti.t -> t
+(** Response to a step of the given [amplitude] (default 1) applied to
+    every input at [t = 0]. *)
+
+val impulse : t_end:float -> ?dt:float -> Lti.t -> t
+(** Impulse response: for continuous systems, the equivalent
+    initial-state response [x0 = B·[1;…]] with zero input; for
+    discrete systems, a one-sample pulse of height [1/Ts]. *)
+
+val initial : x0:float array -> t_end:float -> ?dt:float -> Lti.t -> t
+(** Unforced response from an initial state. *)
+
+val output_trace : t -> int -> Metrics.trace
+(** One output channel as a metric trace. *)
+
+val step_info :
+  ?channel:int -> ?reference:float -> t -> float option * float * float option
+(** Convenience: [(settling time, overshoot fraction, rise time)] of a
+    step response channel against [reference] (default 1). *)

@@ -1,0 +1,68 @@
+module P = Numerics.Poly
+module M = Numerics.Matrix
+
+type t = { num : P.t; den : P.t }
+
+let make ~num ~den =
+  let num = P.normalize num and den = P.normalize den in
+  if Array.length den = 1 && den.(0) = 0. then invalid_arg "Tf.make: zero denominator";
+  if P.degree num > P.degree den then invalid_arg "Tf.make: improper transfer function";
+  let lead = den.(Array.length den - 1) in
+  { num = P.scale (1. /. lead) num; den = P.scale (1. /. lead) den }
+
+let dc_gain { num; den } =
+  let d0 = P.eval den 0. in
+  if d0 = 0. then Float.infinity else P.eval num 0. /. d0
+
+let poles { den; _ } = P.roots den
+let zeros { num; _ } = if P.degree num = 0 && num.(0) = 0. then [] else P.roots num
+
+let to_ss ~domain { num; den } =
+  let n = P.degree den in
+  if n = 0 then
+    (* static gain *)
+    Lti.make ~domain ~a:(M.zeros 0 0) ~b:(M.zeros 0 1) ~c:(M.zeros 1 0)
+      ~d:(M.of_arrays [| [| num.(0) /. den.(0) |] |])
+  else begin
+    (* controllable canonical form; den is monic *)
+    let a =
+      M.init n n (fun i j ->
+          if i < n - 1 then if j = i + 1 then 1. else 0. else -.den.(j))
+    in
+    let b = M.init n 1 (fun i _ -> if i = n - 1 then 1. else 0.) in
+    (* with direct term: split num = d·den + remainder *)
+    let d_term = if P.degree num = n then num.(n) else 0. in
+    let c =
+      M.init 1 n (fun _ j ->
+          let nj = if j < Array.length num then num.(j) else 0. in
+          nj -. (d_term *. den.(j)))
+    in
+    Lti.make ~domain ~a ~b ~c ~d:(M.of_arrays [| [| d_term |] |])
+  end
+
+let second_order ~wn ~zeta =
+  if wn <= 0. then invalid_arg "Tf.second_order: non-positive natural frequency";
+  make ~num:[| wn *. wn |] ~den:[| wn *. wn; 2. *. zeta *. wn; 1. |]
+
+let mul g h = make ~num:(P.mul g.num h.num) ~den:(P.mul g.den h.den)
+
+let add g h =
+  make
+    ~num:(P.add (P.mul g.num h.den) (P.mul h.num g.den))
+    ~den:(P.mul g.den h.den)
+
+let scale s g = make ~num:(P.scale s g.num) ~den:g.den
+
+let unity = make ~num:[| 1. |] ~den:[| 1. |]
+
+let feedback ?(sign = `Neg) g h =
+  (* g / (1 ± g·h) = g·dg·dh / (dg·dh ± ng·nh) · 1/dg — simplified:
+     num = ng·dh, den = dg·dh ± ng·nh *)
+  let num = P.mul g.num h.den in
+  let loop = P.mul g.num h.num in
+  let den_free = P.mul g.den h.den in
+  let den = match sign with `Neg -> P.add den_free loop | `Pos -> P.add den_free (P.scale (-1.) loop) in
+  make ~num ~den
+
+let pp ppf { num; den } =
+  Format.fprintf ppf "@[(%a) / (%a)@]" P.pp num P.pp den

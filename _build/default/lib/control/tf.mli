@@ -1,0 +1,46 @@
+(** SISO transfer functions and realisation.
+
+    [num] and [den] are {!Numerics.Poly.t} coefficient arrays (lowest
+    degree first).  The transfer function must be proper
+    (deg num ≤ deg den). *)
+
+type t = private { num : Numerics.Poly.t; den : Numerics.Poly.t }
+
+val make : num:Numerics.Poly.t -> den:Numerics.Poly.t -> t
+(** Normalises both polynomials and scales the denominator monic.
+    Raises [Invalid_argument] on an improper fraction or zero
+    denominator. *)
+
+val dc_gain : t -> float
+(** [num(0)/den(0)]; [infinity] for an integrating system. *)
+
+val poles : t -> Complex.t list
+val zeros : t -> Complex.t list
+
+val to_ss : domain:Lti.domain -> t -> Lti.t
+(** Controllable canonical state-space realisation. *)
+
+val second_order : wn:float -> zeta:float -> t
+(** The standard [wn²/(s² + 2·ζ·wn·s + wn²)] prototype. *)
+
+(** {2 Block-diagram algebra} — build open/closed loops symbolically
+    (e.g. the loop transfer [C·G] fed to {!Freq.margins}). *)
+
+val mul : t -> t -> t
+(** Series connection [G·H]. *)
+
+val add : t -> t -> t
+(** Parallel connection [G + H]. *)
+
+val scale : float -> t -> t
+
+val feedback : ?sign:[ `Neg | `Pos ] -> t -> t -> t
+(** [feedback g h] closes the loop [g/(1 ± g·h)] ([`Neg], the
+    default, gives negative feedback [g/(1 + g·h)]).  Raises
+    [Invalid_argument] when the closed loop is improper or
+    identically singular. *)
+
+val unity : t
+(** The unit transfer function [1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/calibrate.ml: Control Float Numerics

@@ -1,0 +1,1 @@
+lib/core/design.ml: Aaa Array Control Dataflow Fun List Numerics Option Printf Sim Translator

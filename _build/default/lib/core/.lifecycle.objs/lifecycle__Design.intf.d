@@ -1,0 +1,1 @@
+lib/core/design.mli: Aaa Control Dataflow Numerics Sim Translator

@@ -1,0 +1,1 @@
+lib/core/diagram.ml: Aaa Array Control Dataflow Design Fun Hashtbl List Numerics Option Printf Sim String

@@ -1,0 +1,1 @@
+lib/core/diagram.mli: Aaa Design

@@ -1,0 +1,1 @@
+lib/core/methodology.ml: Aaa Array Control Design Exec Float List Option Printf Sim Translator

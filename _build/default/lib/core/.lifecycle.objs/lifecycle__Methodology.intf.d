@@ -1,0 +1,1 @@
+lib/core/methodology.mli: Aaa Design Exec Numerics Sim Translator

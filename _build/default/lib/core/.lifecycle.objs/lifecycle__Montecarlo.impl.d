@@ -1,0 +1,1 @@
+lib/core/montecarlo.ml: Array Design Exec Format Methodology Numerics Translator

@@ -1,0 +1,1 @@
+lib/core/montecarlo.mli: Design Exec Format Methodology

@@ -1,0 +1,1 @@
+lib/core/report.ml: Aaa Buffer Design Exec Int List Methodology Montecarlo Printf Translator

@@ -1,0 +1,1 @@
+lib/core/report.mli: Aaa Design Exec Methodology Montecarlo Translator

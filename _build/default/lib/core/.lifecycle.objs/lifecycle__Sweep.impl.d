@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Control Design Exec Float List Methodology Translator

@@ -1,0 +1,1 @@
+lib/core/sweep.mli: Aaa Design Exec Methodology

@@ -1,0 +1,63 @@
+module M = Numerics.Matrix
+
+let lqr_gain ~plant ~ts ~q ~r () =
+  let sysd = Control.Discretize.discretize ~ts plant in
+  (Control.Lqr.dlqr_sys ~q ~r sysd).Control.Lqr.k
+
+let lqr_delay_gain ~plant ~ts ~delay ~q ~r () =
+  let n = Control.Lti.state_dim plant and m = Control.Lti.input_dim plant in
+  let aug = Control.Discretize.zoh_with_delay ~ts ~delay plant in
+  (* block-diagonal augmented weight: physical states keep Q, the
+     remembered control gets a negligible penalty *)
+  let q_aug =
+    M.init (n + m) (n + m) (fun i j ->
+        if i < n && j < n then M.get q i j
+        else if i = j then 1e-8
+        else 0.)
+  in
+  (Control.Lqr.dlqr_sys ~q:q_aug ~r aug).Control.Lqr.k
+
+let pid_for_delay ?(safety = 1.5) ~plant ~ts ~delay ~gains () =
+  if Control.Lti.input_dim plant <> 1 || Control.Lti.output_dim plant <> 1 then
+    invalid_arg "Calibrate.pid_for_delay: SISO plants only";
+  if ts <= 0. || delay < 0. || safety <= 0. then
+    invalid_arg "Calibrate.pid_for_delay: non-positive parameter";
+  let plant_d = Control.Discretize.discretize ~ts plant in
+  let required = safety *. delay in
+  let scaled s =
+    {
+      Control.Pid.kp = s *. gains.Control.Pid.kp;
+      ki = s *. gains.Control.Pid.ki;
+      kd = s *. gains.Control.Pid.kd;
+    }
+  in
+  let delay_margin s =
+    let c =
+      Control.Tf.to_ss ~domain:(Control.Lti.Discrete ts) (Control.Pid.to_tf (scaled s) ~ts)
+    in
+    let open_loop = Control.Lti.series c plant_d in
+    let m = Control.Freq.margins ~n:800 ~w_min:1e-2 ~w_max:(Float.pi /. ts) open_loop in
+    match m.Control.Freq.delay_margin with
+    | Some dm -> dm
+    | None -> Float.infinity (* |L| < 1 everywhere: no crossover, any delay is fine *)
+  in
+  if delay_margin 1. >= required then (gains, delay_margin 1.)
+  else if delay_margin 0.01 < required then
+    failwith "Calibrate.pid_for_delay: the requirement cannot be met even at 1% gain"
+  else begin
+    let lo = ref 0.01 and hi = ref 1. in
+    for _ = 1 to 30 do
+      let mid = (!lo +. !hi) /. 2. in
+      if delay_margin mid >= required then lo := mid else hi := mid
+    done;
+    (scaled !lo, delay_margin !lo)
+  end
+
+let retune_pid (g : Control.Pid.gains) ~latency_fraction =
+  if latency_fraction < 0. then invalid_arg "Calibrate.retune_pid: negative latency";
+  let s = 1. /. (1. +. latency_fraction) in
+  {
+    Control.Pid.kp = g.Control.Pid.kp *. s;
+    ki = g.Control.Pid.ki *. s;
+    kd = g.Control.Pid.kd *. s *. s;
+  }

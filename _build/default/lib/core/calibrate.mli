@@ -1,0 +1,58 @@
+(** Calibration — amending the control law to compensate for the
+    implementation's latencies (the loop the paper's methodology
+    shortens by predicting the needed amendment at design time).
+
+    The model-based route: the static temporal model gives the
+    input-to-output latency [τ]; the plant is re-discretised with that
+    delay (Åström–Wittenmark augmentation) and the regulator is
+    re-synthesised on the augmented model. *)
+
+val lqr_delay_gain :
+  plant:Control.Lti.t ->
+  ts:float ->
+  delay:float ->
+  q:Numerics.Matrix.t ->
+  r:Numerics.Matrix.t ->
+  unit ->
+  Numerics.Matrix.t
+(** LQR gain over the delay-augmented state [\[x; u_prev\]] for a
+    continuous [plant] sampled at [ts] with an input delay
+    [0 <= delay <= ts].  [q] weights the physical state ([n×n]); the
+    augmented state's [u_prev] entries get a negligible weight.
+    Returns the [m×(n+m)] gain for
+    {!Dataflow.Clib.delayed_state_feedback}. *)
+
+val lqr_gain :
+  plant:Control.Lti.t ->
+  ts:float ->
+  q:Numerics.Matrix.t ->
+  r:Numerics.Matrix.t ->
+  unit ->
+  Numerics.Matrix.t
+(** Delay-free LQR gain ([m×n]) on the ZOH-discretised plant — the
+    nominal design the calibrated one is compared against. *)
+
+val retune_pid : Control.Pid.gains -> latency_fraction:float -> Control.Pid.gains
+(** Rule-of-thumb PID detuning for a loop whose I/O latency is
+    [latency_fraction] of the period: gains are scaled by
+    [1/(1 + latency_fraction)] (derivative slightly more), trading
+    speed for the phase margin the latency consumed.  A pragmatic
+    calibration when no plant model is available for re-synthesis. *)
+
+val pid_for_delay :
+  ?safety:float ->
+  plant:Control.Lti.t ->
+  ts:float ->
+  delay:float ->
+  gains:Control.Pid.gains ->
+  unit ->
+  Control.Pid.gains * float
+(** Margin-based PID calibration: uniformly scales the gains down by
+    bisection until the discrete open loop [C(z)·G(z)] (with [C] the
+    implementation-exact {!Control.Pid.to_tf}) has a delay margin of
+    at least [safety × delay] (default safety 1.5).  Returns the
+    calibrated gains and the achieved delay margin.  Gains already
+    satisfying the requirement are returned unchanged.  Raises
+    [Invalid_argument] on a non-SISO plant or non-positive
+    parameters; raises [Failure] when even 1 % of the gains cannot
+    meet the requirement. *)

@@ -1,0 +1,186 @@
+module G = Dataflow.Graph
+module C = Dataflow.Clib
+module M = Numerics.Matrix
+
+type built = {
+  graph : G.t;
+  clocked : G.block_id list;
+  members : G.block_id list;
+  memories : G.block_id list;
+  probes : (string * (G.block_id * int)) list;
+  condition_feed : (string -> G.block_id * int) option;
+  customize_algorithm :
+    (Aaa.Algorithm.t -> Translator.Scicos_to_syndex.binding -> unit) option;
+}
+
+type t = {
+  name : string;
+  ts : float;
+  horizon : float;
+  build : unit -> built;
+  cost : Sim.Engine.t -> float;
+  condition_runtime : (iteration:int -> var:string -> int) option;
+}
+
+let make ~name ~ts ~horizon ?condition_runtime ~cost build =
+  if ts <= 0. then invalid_arg "Design.make: non-positive sampling period";
+  if horizon <= 0. then invalid_arg "Design.make: non-positive horizon";
+  { name; ts; horizon; build; cost; condition_runtime }
+
+let pid_loop ~name ~plant ~x0 ~gains ~ts ~reference ~horizon () =
+  if Control.Lti.input_dim plant <> 1 || Control.Lti.output_dim plant <> 1 then
+    invalid_arg "Design.pid_loop: SISO plants only";
+  let build () =
+    let g = G.create () in
+    let plant_blk = G.add g (C.lti_continuous ~name:"plant" ~x0 plant) in
+    let ref_blk = G.add g (C.constant ~name:"reference" [| reference |]) in
+    let sampler = G.add g (C.sample_hold ~name:"sample_y" 1) in
+    let pid_blk =
+      G.add g (C.pid ~name:"pid" (Control.Pid.create ~gains ~ts ()))
+    in
+    let hold = G.add g (C.sample_hold ~name:"hold_u" 1) in
+    G.connect_data g ~src:(plant_blk, 0) ~dst:(sampler, 0);
+    G.connect_data g ~src:(ref_blk, 0) ~dst:(pid_blk, 0);
+    G.connect_data g ~src:(sampler, 0) ~dst:(pid_blk, 1);
+    G.connect_data g ~src:(pid_blk, 0) ~dst:(hold, 0);
+    G.connect_data g ~src:(hold, 0) ~dst:(plant_blk, 0);
+    {
+      graph = g;
+      clocked = [ sampler; pid_blk; hold ];
+      members = [ ref_blk; sampler; pid_blk; hold ];
+      memories = [];
+      probes = [ ("y", (plant_blk, 0)); ("u", (hold, 0)) ];
+      condition_feed = None;
+      customize_algorithm = None;
+    }
+  in
+  let cost engine =
+    Control.Metrics.iae ~reference (Sim.Engine.probe_component engine "y" 0)
+  in
+  make ~name ~ts ~horizon ~cost build
+
+(* common structure of the two state-feedback designs *)
+let sf_loop ~name ~plant ~x0 ~controller_block ~ts ~horizon ?disturbance
+    ?(cost_output = 0) () =
+  let n = Control.Lti.state_dim plant in
+  if Control.Lti.output_dim plant <> n then
+    invalid_arg (name ^ ": plant outputs must be its states (C = I)");
+  if Control.Lti.input_dim plant > 2 then
+    invalid_arg (name ^ ": at most control + one disturbance input");
+  let has_disturbance = Control.Lti.input_dim plant = 2 in
+  if has_disturbance && disturbance = None then
+    invalid_arg (name ^ ": plant has a disturbance input but no source was given");
+  let build () =
+    let g = G.create () in
+    let plant_blk =
+      G.add g
+        (C.lti_continuous ~name:"plant" ~split_inputs:has_disturbance ~split_outputs:true
+           ~x0 plant)
+    in
+    let samplers =
+      List.init n (fun i ->
+          let s = G.add g (C.sample_hold ~name:(Printf.sprintf "sample_x%d" i) 1) in
+          G.connect_data g ~src:(plant_blk, i) ~dst:(s, 0);
+          s)
+    in
+    let ctrl = G.add g (controller_block ()) in
+    List.iteri (fun i s -> G.connect_data g ~src:(s, 0) ~dst:(ctrl, i)) samplers;
+    let hold = G.add g (C.sample_hold ~name:"hold_u" 1) in
+    G.connect_data g ~src:(ctrl, 0) ~dst:(hold, 0);
+    G.connect_data g ~src:(hold, 0) ~dst:(plant_blk, 0);
+    if has_disturbance then begin
+      let d = G.add g ((Option.get disturbance) ()) in
+      G.connect_data g ~src:(d, 0) ~dst:(plant_blk, 1)
+    end;
+    (* probe all states through a mux outside the control law *)
+    let mux = G.add g (C.mux ~name:"state_probe" (Array.make n 1)) in
+    List.iteri (fun i _ ->
+        G.connect_data g ~src:(plant_blk, i) ~dst:(mux, i))
+      (List.init n Fun.id);
+    {
+      graph = g;
+      clocked = samplers @ [ ctrl; hold ];
+      members = samplers @ [ ctrl; hold ];
+      memories = [];
+      probes = [ ("y", (mux, 0)); ("u", (hold, 0)) ];
+      condition_feed = None;
+      customize_algorithm = None;
+    }
+  in
+  let cost engine =
+    Control.Metrics.ise (Sim.Engine.probe_component engine "y" cost_output)
+  in
+  make ~name ~ts ~horizon ~cost build
+
+let lqg_loop ~name ~plant ~x0 ~sysd ~k ~kalman ~ts ~horizon ?(noise_sigma = 0.)
+    ?(noise_seed = 1) ?disturbance ?(cost_output = 0) () =
+  let p = Control.Lti.output_dim plant in
+  if Control.Lti.output_dim sysd <> p then
+    invalid_arg "Design.lqg_loop: observer model output dimension mismatch";
+  if Control.Lti.input_dim sysd <> 1 then
+    invalid_arg "Design.lqg_loop: single control input only";
+  if Control.Lti.input_dim plant > 2 then
+    invalid_arg "Design.lqg_loop: at most control + one disturbance input";
+  let has_disturbance = Control.Lti.input_dim plant = 2 in
+  if has_disturbance && disturbance = None then
+    invalid_arg "Design.lqg_loop: plant has a disturbance input but no source was given";
+  let build () =
+    let g = G.create () in
+    let plant_blk =
+      G.add g
+        (C.lti_continuous ~name:"plant" ~split_inputs:has_disturbance ~split_outputs:true
+           ~x0 plant)
+    in
+    let rng = Numerics.Rng.create noise_seed in
+    let samplers =
+      List.init p (fun i ->
+          let name = Printf.sprintf "sample_y%d" i in
+          let s =
+            if noise_sigma > 0. then
+              G.add g (C.noise_sample_hold ~name ~rng ~sigma:noise_sigma 1)
+            else G.add g (C.sample_hold ~name 1)
+          in
+          G.connect_data g ~src:(plant_blk, i) ~dst:(s, 0);
+          s)
+    in
+    let ctrl = G.add g (C.lqg ~name:"lqg" ~sysd ~k ~kalman ()) in
+    List.iteri (fun i s -> G.connect_data g ~src:(s, 0) ~dst:(ctrl, i)) samplers;
+    let hold = G.add g (C.sample_hold ~name:"hold_u" 1) in
+    G.connect_data g ~src:(ctrl, 0) ~dst:(hold, 0);
+    G.connect_data g ~src:(hold, 0) ~dst:(plant_blk, 0);
+    if has_disturbance then begin
+      let d = G.add g ((Option.get disturbance) ()) in
+      G.connect_data g ~src:(d, 0) ~dst:(plant_blk, 1)
+    end;
+    let mux = G.add g (C.mux ~name:"measurement_probe" (Array.make p 1)) in
+    List.iteri (fun i _ -> G.connect_data g ~src:(plant_blk, i) ~dst:(mux, i))
+      (List.init p Fun.id);
+    {
+      graph = g;
+      clocked = samplers @ [ ctrl; hold ];
+      members = samplers @ [ ctrl; hold ];
+      memories = [];
+      probes = [ ("y", (mux, 0)); ("u", (hold, 0)) ];
+      condition_feed = None;
+      customize_algorithm = None;
+    }
+  in
+  let cost engine =
+    Control.Metrics.ise (Sim.Engine.probe_component engine "y" cost_output)
+  in
+  make ~name ~ts ~horizon ~cost build
+
+let state_feedback_loop ~name ~plant ~x0 ~k ~ts ~horizon ?disturbance ?cost_output () =
+  if M.rows k <> 1 || M.cols k <> Control.Lti.state_dim plant then
+    invalid_arg "Design.state_feedback_loop: K must be 1 x n";
+  sf_loop ~name ~plant ~x0
+    ~controller_block:(fun () -> C.state_feedback ~name:"sfb" k)
+    ~ts ~horizon ?disturbance ?cost_output ()
+
+let delayed_state_feedback_loop ~name ~plant ~x0 ~k_aug ~ts ~horizon ?disturbance
+    ?cost_output () =
+  if M.rows k_aug <> 1 || M.cols k_aug <> Control.Lti.state_dim plant + 1 then
+    invalid_arg "Design.delayed_state_feedback_loop: K must be 1 x (n+1)";
+  sf_loop ~name ~plant ~x0
+    ~controller_block:(fun () -> C.delayed_state_feedback ~name:"sfb" k_aug)
+    ~ts ~horizon ?disturbance ?cost_output ()

@@ -1,0 +1,127 @@
+(** Control designs — the artefact the methodology's lifecycle
+    revolves around.
+
+    A design packages a {e deterministic} diagram builder (calling
+    [build] twice must produce graphs with identical block insertion
+    order, so that block ids can be carried from the extraction to a
+    later co-simulation), the sampling period, the simulation horizon
+    and the cost functional used to compare ideal and implemented
+    behaviour. *)
+
+type built = {
+  graph : Dataflow.Graph.t;
+  clocked : Dataflow.Graph.block_id list;
+      (** blocks the stroboscopic clock activates, in data order
+          (samplers, then computes, then holds) *)
+  members : Dataflow.Graph.block_id list;
+      (** the control-law blocks, for Scicos→SynDEx extraction *)
+  memories : Dataflow.Graph.block_id list;
+      (** members that are inter-iteration delays *)
+  probes : (string * (Dataflow.Graph.block_id * int)) list;
+      (** signals recorded during simulation *)
+  condition_feed : (string -> Dataflow.Graph.block_id * int) option;
+      (** data source of each conditioning variable, for the graph of
+          delays *)
+  customize_algorithm :
+    (Aaa.Algorithm.t -> Translator.Scicos_to_syndex.binding -> unit) option;
+      (** post-extraction hook, typically declaring conditioning via
+          {!Translator.Scicos_to_syndex.declare_condition} *)
+}
+
+type t = {
+  name : string;
+  ts : float;  (** sampling period of the control law *)
+  horizon : float;  (** co-simulation duration *)
+  build : unit -> built;
+  cost : Sim.Engine.t -> float;
+      (** performance cost of a completed simulation (lower is
+          better) — e.g. IAE of the tracked output *)
+  condition_runtime : (iteration:int -> var:string -> int) option;
+      (** run-time condition values for executive simulation *)
+}
+
+val make :
+  name:string ->
+  ts:float ->
+  horizon:float ->
+  ?condition_runtime:(iteration:int -> var:string -> int) ->
+  cost:(Sim.Engine.t -> float) ->
+  (unit -> built) ->
+  t
+(** Generic constructor for custom diagrams.  Raises on non-positive
+    [ts] or [horizon]. *)
+
+val pid_loop :
+  name:string ->
+  plant:Control.Lti.t ->
+  x0:float array ->
+  gains:Control.Pid.gains ->
+  ts:float ->
+  reference:float ->
+  horizon:float ->
+  unit ->
+  t
+(** The paper's Fig. 2 loop: continuous SISO [plant], reference step,
+    one sampling S/H, a PID controller, one actuation S/H.  Member
+    names: ["reference"], ["sample_y"], ["pid"], ["hold_u"].  Probes:
+    ["y"] (plant output), ["u"] (held control).  Cost: IAE of [y]
+    against [reference] over the horizon. *)
+
+val state_feedback_loop :
+  name:string ->
+  plant:Control.Lti.t ->
+  x0:float array ->
+  k:Numerics.Matrix.t ->
+  ts:float ->
+  horizon:float ->
+  ?disturbance:(unit -> Dataflow.Block.t) ->
+  ?cost_output:int ->
+  unit ->
+  t
+(** Full-state regulation loop for a single-input plant whose outputs
+    are its states ([C = I]): one width-1 sampler per state (member
+    names ["sample_x<i>"]), a static gain controller ["sfb"]
+    ([u = −K·x]), one hold ["hold_u"].  [disturbance] builds a source
+    block wired to the plant's second input when the plant has one.
+    Probes ["y"] (all states via the plant) and ["u"].  Cost: ISE of
+    state component [cost_output] (default 0). *)
+
+val lqg_loop :
+  name:string ->
+  plant:Control.Lti.t ->
+  x0:float array ->
+  sysd:Control.Lti.t ->
+  k:Numerics.Matrix.t ->
+  kalman:Control.Kalman.result ->
+  ts:float ->
+  horizon:float ->
+  ?noise_sigma:float ->
+  ?noise_seed:int ->
+  ?disturbance:(unit -> Dataflow.Block.t) ->
+  ?cost_output:int ->
+  unit ->
+  t
+(** Output-feedback (LQG) regulation loop: the continuous [plant]
+    exposes only its measured outputs; one width-1 sampler per
+    measurement (member names ["sample_y<i>"], optionally corrupted by
+    Gaussian noise of deviation [noise_sigma], seeded deterministically
+    with [noise_seed]), an ["lqg"] observer-controller block built on
+    the discrete model [sysd] with gains [k]/[kalman], and one hold
+    ["hold_u"].  [disturbance] feeds the plant's second input when
+    present.  Probes ["y"] (measurements) and ["u"].  Cost: ISE of
+    measurement [cost_output] (default 0). *)
+
+val delayed_state_feedback_loop :
+  name:string ->
+  plant:Control.Lti.t ->
+  x0:float array ->
+  k_aug:Numerics.Matrix.t ->
+  ts:float ->
+  horizon:float ->
+  ?disturbance:(unit -> Dataflow.Block.t) ->
+  ?cost_output:int ->
+  unit ->
+  t
+(** Same loop with the calibration controller
+    [u = −K_aug·\[x; u_prev\]] (see {!Calibrate.lqr_delay_gain}) —
+    identical structure so costs are directly comparable. *)

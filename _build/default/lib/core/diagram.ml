@@ -1,0 +1,293 @@
+module Sexp = Aaa.Sexp
+module G = Dataflow.Graph
+module C = Dataflow.Clib
+module M = Numerics.Matrix
+
+type t = {
+  design : Design.t;
+  architecture : Aaa.Architecture.t;
+  durations : Aaa.Durations.t;
+  pins : (string * string) list;
+}
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let floats_of key items =
+  match Sexp.keyed key items with
+  | Some atoms ->
+      List.map
+        (fun e ->
+          let a = Sexp.atom e in
+          match float_of_string_opt a with
+          | Some f -> f
+          | None -> fail "Diagram: %S under (%s ...) is not a number" a key)
+        atoms
+  | None -> fail "Diagram: missing (%s ...)" key
+
+let floats_opt key items =
+  match Sexp.keyed key items with None -> None | Some _ -> Some (floats_of key items)
+
+let float_req key items =
+  match floats_of key items with
+  | [ v ] -> v
+  | _ -> fail "Diagram: (%s v) expects a single number" key
+
+let float_opt key items =
+  match Sexp.keyed key items with Some _ -> Some (float_req key items) | None -> None
+
+let int_req key items =
+  let v = float_req key items in
+  int_of_float v
+
+let flag key items = Sexp.keyed key items <> None
+
+(* matrices written as (a (r00 r01) (r10 r11)) *)
+let matrix_of key items =
+  match Sexp.keyed key items with
+  | None -> fail "Diagram: missing matrix (%s ...)" key
+  | Some rows ->
+      let parsed =
+        List.map
+          (fun row ->
+            List.map
+              (fun e ->
+                match float_of_string_opt (Sexp.atom e) with
+                | Some f -> f
+                | None -> fail "Diagram: matrix %s has a non-numeric entry" key)
+              (Sexp.list row)
+            |> Array.of_list)
+          rows
+      in
+      M.of_arrays (Array.of_list parsed)
+
+let plant_of items =
+  match Sexp.keyed "plant" items with
+  | Some (Sexp.Atom name :: params) -> (
+      let params =
+        List.map
+          (fun e ->
+            match float_of_string_opt (Sexp.atom e) with
+            | Some f -> f
+            | None -> fail "Diagram: plant parameter is not a number")
+          params
+      in
+      match (name, params) with
+      | "dc-motor", [] -> Control.Plants.dc_motor Control.Plants.default_dc_motor
+      | "first-order", [ tau; gain ] -> Control.Plants.first_order ~tau ~gain
+      | "double-integrator", [] -> Control.Plants.double_integrator ()
+      | "mass-spring-damper", [ m; k; c ] -> Control.Plants.mass_spring_damper ~m ~k ~c
+      | "quarter-car", [] -> Control.Plants.quarter_car Control.Plants.default_quarter_car
+      | "pendulum", [] -> Control.Plants.pendulum_linear Control.Plants.default_pendulum
+      | "thermal", [] -> Control.Plants.thermal Control.Plants.default_thermal
+      | "cruise", [] -> Control.Plants.cruise Control.Plants.default_cruise
+      | "cruise", [ mass; drag ] -> Control.Plants.cruise { Control.Plants.mass; drag }
+      | _ -> fail "Diagram: unknown plant spec %S (or wrong parameter count)" name)
+  | Some _ -> fail "Diagram: (plant name params...) expected"
+  | None ->
+      (* explicit state-space matrices *)
+      let a = matrix_of "a" items in
+      let b = matrix_of "b" items in
+      let c = matrix_of "c" items in
+      let d = matrix_of "d" items in
+      Control.Lti.make ~domain:Control.Lti.Continuous ~a ~b ~c ~d
+
+let build_block ~name items =
+  let block_type =
+    match Sexp.keyed "type" items with
+    | Some [ Sexp.Atom t ] -> t
+    | Some _ | None -> fail "Diagram: block %S needs (type ...)" name
+  in
+  match block_type with
+  | "const" -> C.constant ~name (Array.of_list (floats_of "value" items))
+  | "gain" -> C.gain ~name (float_req "k" items)
+  | "sum" -> C.sum ~name (Array.of_list (floats_of "signs" items))
+  | "saturation" ->
+      C.saturation ~name ~lo:(float_req "lo" items) ~hi:(float_req "hi" items) ()
+  | "quantizer" -> C.quantizer ~name ~step:(float_req "step" items) ()
+  | "dead-zone" -> C.dead_zone ~name ~width:(float_req "width" items) ()
+  | "sample-hold" ->
+      let initial =
+        match floats_opt "initial" items with
+        | Some vs -> Some (Array.of_list vs)
+        | None -> None
+      in
+      C.sample_hold ~name ?initial (int_req "width" items)
+  | "unit-delay" -> C.unit_delay ~name (Array.of_list (floats_of "initial" items))
+  | "integrator" -> C.integrator ~name (Array.of_list (floats_of "x0" items))
+  | "pid" ->
+      let gains =
+        {
+          Control.Pid.kp = float_req "kp" items;
+          ki = float_req "ki" items;
+          kd = float_req "kd" items;
+        }
+      in
+      C.pid ~name
+        (Control.Pid.create ?umin:(float_opt "umin" items) ?umax:(float_opt "umax" items)
+           ?windup:(float_opt "windup" items) ~gains ~ts:(float_req "ts" items) ())
+  | "state-feedback" ->
+      C.state_feedback ~name (M.of_arrays [| Array.of_list (floats_of "k" items) |])
+  | "step" ->
+      C.step_source ~name
+        ~at:(Option.value (float_opt "at" items) ~default:0.)
+        ~before:(Option.value (float_opt "before" items) ~default:0.)
+        ~after:(float_req "after" items) ()
+  | "sine" ->
+      C.sine_source ~name
+        ?amplitude:(float_opt "amplitude" items)
+        ?phase:(float_opt "phase" items)
+        ~freq_hz:(float_req "freq" items) ()
+  | "relay" ->
+      C.relay ~name ~on_above:(float_req "on-above" items)
+        ~off_below:(float_req "off-below" items) ~out_on:(float_req "out-on" items)
+        ~out_off:(float_req "out-off" items) ()
+  | "biquad" ->
+      C.biquad ~name
+        ~b:(Array.of_list (floats_of "b" items))
+        ~a:(Array.of_list (floats_of "a" items))
+        ()
+  | "mux" ->
+      C.mux ~name (Array.of_list (List.map int_of_float (floats_of "widths" items)))
+  | "demux" ->
+      C.demux ~name (Array.of_list (List.map int_of_float (floats_of "widths" items)))
+  | "lti" ->
+      let plant = plant_of items in
+      C.lti_continuous ~name ~split_inputs:(flag "split-inputs" items)
+        ~split_outputs:(flag "split-outputs" items)
+        ~x0:(Array.of_list (floats_of "x0" items))
+        plant
+  | t -> fail "Diagram: unknown block type %S" t
+
+(* (link src port dst port) *)
+let parse_link row =
+  match row with
+  | [ Sexp.Atom src; Sexp.Atom sp; Sexp.Atom dst; Sexp.Atom dp ] -> (
+      match (int_of_string_opt sp, int_of_string_opt dp) with
+      | Some sp, Some dp -> (src, sp, dst, dp)
+      | _ -> fail "Diagram: link ports must be integers")
+  | _ -> fail "Diagram: (link src port dst port) expected"
+
+let names_of key items =
+  match Sexp.keyed key items with
+  | Some atoms -> List.map Sexp.atom atoms
+  | None -> []
+
+type cost_spec = { metric : string; probe : string; component : int; reference : float }
+
+let parse_cost items =
+  match Sexp.keyed "cost" items with
+  | Some [ Sexp.Atom metric; Sexp.Atom probe; Sexp.Atom component; Sexp.Atom reference ] ->
+      {
+        metric;
+        probe;
+        component = int_of_string component;
+        reference = float_of_string reference;
+      }
+  | Some [ Sexp.Atom metric; Sexp.Atom probe; Sexp.Atom component ] ->
+      { metric; probe; component = int_of_string component; reference = 0. }
+  | Some _ -> fail "Diagram: (cost metric probe component [reference]) expected"
+  | None -> fail "Diagram: missing (cost ...) in the design section"
+
+let cost_fn spec engine =
+  let trace = Sim.Engine.probe_component engine spec.probe spec.component in
+  match spec.metric with
+  | "iae" -> Control.Metrics.iae ~reference:spec.reference trace
+  | "ise" -> Control.Metrics.ise ~reference:spec.reference trace
+  | "itae" -> Control.Metrics.itae ~reference:spec.reference trace
+  | m -> fail "Diagram: unknown cost metric %S (iae|ise|itae)" m
+
+let parse text =
+  match Sexp.parse text with
+  | [ Sexp.List (Sexp.Atom "lifecycle" :: sections) ] ->
+      let design_items =
+        match Sexp.keyed "design" sections with
+        | Some items -> items
+        | None -> fail "Diagram: missing (design ...) section"
+      in
+      let diagram_items =
+        match Sexp.keyed "diagram" sections with
+        | Some items -> items
+        | None -> fail "Diagram: missing (diagram ...) section"
+      in
+      let name = Sexp.atom_of "name" design_items in
+      let ts = Sexp.float_of "ts" design_items in
+      let horizon = Sexp.float_of "horizon" design_items in
+      let cost_spec = parse_cost design_items in
+      (* the block list is re-instantiated at each build (fresh
+         closures), which also makes builds deterministic *)
+      let block_forms =
+        List.map
+          (fun items -> (Sexp.atom_of "name" items, items))
+          (Sexp.keyed_all "block" diagram_items)
+      in
+      (if block_forms = [] then fail "Diagram: no blocks");
+      let links = List.map parse_link (Sexp.keyed_all "link" diagram_items) in
+      let members = names_of "members" diagram_items in
+      let memories = names_of "memories" diagram_items in
+      let clocked = names_of "clocked" diagram_items in
+      let probes =
+        List.map
+          (fun row ->
+            match row with
+            | [ Sexp.Atom pname; Sexp.Atom block; Sexp.Atom port ] ->
+                (pname, block, int_of_string port)
+            | _ -> fail "Diagram: (probe name block port) expected")
+          (Sexp.keyed_all "probe" diagram_items)
+      in
+      if not (List.exists (fun (p, _, _) -> String.equal p cost_spec.probe) probes) then
+        fail "Diagram: the cost references probe %S which is not declared" cost_spec.probe;
+      let clocked = if clocked = [] then members else clocked in
+      let build () =
+        let g = G.create () in
+        let table = Hashtbl.create 16 in
+        List.iter
+          (fun (bname, items) ->
+            if Hashtbl.mem table bname then fail "Diagram: duplicate block %S" bname;
+            Hashtbl.replace table bname (G.add g (build_block ~name:bname items)))
+          block_forms;
+        let resolve bname =
+          match Hashtbl.find_opt table bname with
+          | Some id -> id
+          | None -> fail "Diagram: unknown block %S" bname
+        in
+        List.iter
+          (fun (src, sp, dst, dp) ->
+            G.connect_data g ~src:(resolve src, sp) ~dst:(resolve dst, dp))
+          links;
+        {
+          Design.graph = g;
+          clocked = List.map resolve clocked;
+          members = List.map resolve members;
+          memories = List.map resolve memories;
+          probes = List.map (fun (pname, block, port) -> (pname, (resolve block, port))) probes;
+          condition_feed = None;
+          customize_algorithm = None;
+        }
+      in
+      (* fail fast on structural errors *)
+      let probe_build = build () in
+      G.validate probe_build.Design.graph;
+      let design = Design.make ~name ~ts ~horizon ~cost:(cost_fn cost_spec) build in
+      let architecture =
+        match Sexp.keyed "architecture" sections with
+        | Some items -> Aaa.Sdx.parse_architecture items
+        | None -> fail "Diagram: missing (architecture ...) section"
+      in
+      let durations =
+        match Sexp.keyed "durations" sections with
+        | Some items -> Aaa.Sdx.parse_durations architecture items
+        | None -> Aaa.Durations.create ()
+      in
+      let pins =
+        match Sexp.keyed "pins" sections with
+        | Some items -> Aaa.Sdx.parse_pins items
+        | None -> []
+      in
+      { design; architecture; durations; pins }
+  | _ -> fail "Diagram: expected a single (lifecycle ...) form"
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,64 @@
+(** Lifecycle files: a complete control-design experiment — block
+    diagram, architecture, WCETs and evaluation settings — as one
+    textual document, so the whole methodology runs from data
+    (see the [syndex lifecycle] CLI command).
+
+    Format (s-expressions; [";"] comments):
+
+    {v
+    (lifecycle
+      (design (name dc_motor) (ts 0.05) (horizon 10)
+              (cost iae y 0 1.0))        ; metric, probe, component, reference
+      (diagram
+        (block (name plant) (type lti) (plant dc-motor) (x0 0 0))
+        (block (name reference) (type const) (value 1))
+        (block (name sample_y) (type sample-hold) (width 1))
+        (block (name pid) (type pid) (kp 60) (ki 80) (kd 0) (ts 0.05))
+        (block (name hold_u) (type sample-hold) (width 1))
+        (link plant 0 sample_y 0)
+        (link reference 0 pid 0)
+        (link sample_y 0 pid 1)
+        (link pid 0 hold_u 0)
+        (link hold_u 0 plant 0)
+        (members reference sample_y pid hold_u)
+        (clocked sample_y pid hold_u)
+        (probe y plant 0)
+        (probe u hold_u 0))
+      (architecture (name two_ecu) (operator ecu0) (operator ecu1)
+        (bus (name can) (latency 0.001) (rate 0.002) (connects ecu0 ecu1)))
+      (durations (wcet pid * 0.012) ...)
+      (pins (pin sample_y ecu0)))
+    v}
+
+    Block types: [const (value v…)], [gain (k v)], [sum (signs s…)],
+    [saturation (lo v) (hi v)], [quantizer (step v)],
+    [dead-zone (width v)], [sample-hold (width n) [(initial v…)]],
+    [unit-delay (initial v…)], [integrator (x0 v…)],
+    [pid (kp v) (ki v) (kd v) (ts v) [(umin v) (umax v) (windup v)]],
+    [state-feedback (k v…)], [step (at v) (before v) (after v)],
+    [sine (freq v) [(amplitude v) (phase v)]],
+    [relay (on-above v) (off-below v) (out-on v) (out-off v)],
+    [biquad (b v…) (a v…)], [mux (widths n…)], [demux (widths n…)],
+    and [lti (x0 v…) 〈plant spec〉 [(split-inputs) (split-outputs)]]
+    where the plant spec is either [(plant name v…)] — one of
+    [dc-motor], [first-order tau gain], [double-integrator],
+    [mass-spring-damper m k c], [quarter-car], [pendulum] — or
+    explicit matrices [(a (r…) (r…)) (b …) (c …) (d …)].
+
+    Conditioning is not expressible in diagram files (build those
+    designs in OCaml); memories are marked with [(memories …)]. *)
+
+type t = {
+  design : Design.t;
+  architecture : Aaa.Architecture.t;
+  durations : Aaa.Durations.t;
+  pins : (string * string) list;
+}
+
+val parse : string -> t
+(** Raises [Failure] with a descriptive message on syntax/semantic
+    errors (unknown block types, bad links, missing probes for the
+    cost, …). *)
+
+val load : string -> t
+(** {!parse} on a file's contents. *)

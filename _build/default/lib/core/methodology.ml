@@ -1,0 +1,146 @@
+type implementation = {
+  built : Design.built;
+  algorithm : Aaa.Algorithm.t;
+  binding : Translator.Scicos_to_syndex.binding;
+  schedule : Aaa.Schedule.t;
+  executive : Aaa.Codegen.t;
+  static : Translator.Temporal_model.static;
+}
+
+let engine_with_probes ?meth (built : Design.built) =
+  let engine = Sim.Engine.create ?meth built.Design.graph in
+  List.iter
+    (fun (name, (block, port)) -> Sim.Engine.add_probe engine ~name ~block ~port)
+    built.Design.probes;
+  engine
+
+let simulate_ideal ?meth (design : Design.t) =
+  let built = design.Design.build () in
+  let _clock =
+    Translator.Cosim.ideal_clock ~graph:built.Design.graph ~period:design.Design.ts
+      ~blocks:built.Design.clocked
+  in
+  let engine = engine_with_probes ?meth built in
+  Sim.Engine.run ~t_end:design.Design.horizon engine;
+  engine
+
+let extract (design : Design.t) =
+  let built = design.Design.build () in
+  let spec =
+    {
+      Translator.Scicos_to_syndex.members = built.Design.members;
+      memories = built.Design.memories;
+      period = design.Design.ts;
+    }
+  in
+  let algorithm, binding = Translator.Scicos_to_syndex.extract built.Design.graph spec in
+  (match built.Design.customize_algorithm with
+  | Some hook -> hook algorithm binding
+  | None -> ());
+  (built, algorithm, binding)
+
+let implement ?strategy ?pins ~design ~architecture ~durations () =
+  let built, algorithm, binding = extract design in
+  let schedule =
+    Aaa.Adequation.run ?strategy ?pins ~algorithm ~architecture ~durations ()
+  in
+  let executive = Aaa.Codegen.generate schedule in
+  let static = Translator.Temporal_model.of_schedule schedule in
+  { built; algorithm; binding; schedule; executive; static }
+
+let simulate_implemented ?meth ?mode ?comm_jitter_frac (design : Design.t) implementation =
+  (* [Design.build] is deterministic, so block ids recorded in the
+     binding are valid in this fresh instance *)
+  let built = design.Design.build () in
+  let _dg =
+    Translator.Cosim.attach_delay_graph ?mode ?comm_jitter_frac
+      ?condition_feed:built.Design.condition_feed ~graph:built.Design.graph
+      ~schedule:implementation.schedule ~binding:implementation.binding ()
+  in
+  let engine = engine_with_probes ?meth built in
+  Sim.Engine.run ~t_end:design.Design.horizon engine;
+  engine
+
+let execute ?config (design : Design.t) implementation =
+  let config =
+    match (config, design.Design.condition_runtime) with
+    | Some c, _ -> c
+    | None, Some condition -> { Exec.Machine.default_config with condition }
+    | None, None -> Exec.Machine.default_config
+  in
+  Exec.Machine.run ~config implementation.executive
+
+let conditions_from_ideal ?meth ~iterations (design : Design.t) implementation =
+  let built = design.Design.build () in
+  let feed =
+    match built.Design.condition_feed with
+    | Some f -> f
+    | None -> invalid_arg "Methodology.conditions_from_ideal: design has no condition feed"
+  in
+  (* conditioning variables of the extracted algorithm *)
+  let vars =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun op ->
+           Option.map
+             (fun c -> c.Aaa.Algorithm.var)
+             (Aaa.Algorithm.op_cond implementation.algorithm op))
+         (Aaa.Algorithm.ops implementation.algorithm))
+  in
+  let _clock =
+    Translator.Cosim.ideal_clock ~graph:built.Design.graph ~period:design.Design.ts
+      ~blocks:built.Design.clocked
+  in
+  let engine = Sim.Engine.create ?meth built.Design.graph in
+  List.iteri
+    (fun i var ->
+      let block, port = feed var in
+      Sim.Engine.add_probe engine ~name:(Printf.sprintf "__cond_%d" i) ~block ~port)
+    vars;
+  Sim.Engine.run ~t_end:(float_of_int iterations *. design.Design.ts) engine;
+  let profile =
+    List.mapi
+      (fun i var ->
+        let trace = Sim.Engine.probe engine (Printf.sprintf "__cond_%d" i) in
+        let times = Sim.Trace.times trace and values = Sim.Trace.values trace in
+        let at_period k =
+          (* last recorded value at or before k·Ts (values hold
+             between events) *)
+          let t_k = (float_of_int k *. design.Design.ts) +. 1e-9 in
+          let rec find best j =
+            if j >= Array.length times then best
+            else if times.(j) <= t_k then find (Some j) (j + 1)
+            else best
+          in
+          match find None 0 with
+          | Some j -> int_of_float (Float.round values.(j).(0))
+          | None -> 0
+        in
+        (var, Array.init iterations at_period))
+      vars
+  in
+  fun ~iteration ~var ->
+    match List.assoc_opt var profile with
+    | Some arr when iteration >= 0 && iteration < Array.length arr -> arr.(iteration)
+    | Some _ | None -> 0
+
+type comparison = {
+  implementation : implementation;
+  ideal_cost : float;
+  implemented_cost : float;
+  degradation_pct : float;
+}
+
+let evaluate ?meth ?mode ?strategy ?pins ~design ~architecture ~durations () =
+  let ideal_engine = simulate_ideal ?meth design in
+  let ideal_cost = design.Design.cost ideal_engine in
+  let implementation = implement ?strategy ?pins ~design ~architecture ~durations () in
+  let impl_engine = simulate_implemented ?meth ?mode design implementation in
+  let implemented_cost = design.Design.cost impl_engine in
+  {
+    implementation;
+    ideal_cost;
+    implemented_cost;
+    degradation_pct =
+      Control.Metrics.degradation_pct ~ideal:ideal_cost ~actual:implemented_cost;
+  }

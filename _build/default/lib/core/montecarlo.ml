@@ -1,0 +1,42 @@
+type summary = {
+  runs : int;
+  costs : float array;
+  mean : float;
+  stddev : float;
+  cmin : float;
+  cmax : float;
+  p95 : float;
+  static_cost : float;
+}
+
+let run ?(runs = 20) ?(base_seed = 1000) ?(law = Exec.Timing_law.Uniform)
+    ?(bcet_frac = 0.4) ~design ~implementation () =
+  if runs <= 0 then invalid_arg "Montecarlo.run: non-positive run count";
+  let cost_with mode =
+    let engine = Methodology.simulate_implemented ~mode design implementation in
+    design.Design.cost engine
+  in
+  let costs =
+    Array.init runs (fun i ->
+        cost_with
+          (Translator.Delay_graph.Jittered { law; bcet_frac; seed = base_seed + i }))
+  in
+  let static_cost = cost_with Translator.Delay_graph.Static_wcet in
+  {
+    runs;
+    costs;
+    mean = Numerics.Stats.mean costs;
+    stddev = Numerics.Stats.stddev costs;
+    cmin = Numerics.Stats.min costs;
+    cmax = Numerics.Stats.max costs;
+    p95 = Numerics.Stats.percentile costs 95.;
+    static_cost;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>monte-carlo over %d runs:@,\
+    \  mean = %.6g  std = %.6g@,\
+    \  min = %.6g  p95 = %.6g  max = %.6g@,\
+    \  static (WCET) cost = %.6g@]"
+    s.runs s.mean s.stddev s.cmin s.p95 s.cmax s.static_cost

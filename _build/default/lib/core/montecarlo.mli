@@ -1,0 +1,37 @@
+(** Monte-Carlo evaluation of an implementation: the implemented
+    co-simulation repeated over many execution-time draws, so the
+    design decision rests on a cost {e distribution} rather than a
+    single worst-case trace.
+
+    The WCET-static co-simulation bounds the degradation; under
+    jittered laws the actual cost varies run to run.  This module runs
+    [runs] co-simulations with consecutive seeds and summarises. *)
+
+type summary = {
+  runs : int;
+  costs : float array;  (** one implemented cost per run, seed order *)
+  mean : float;
+  stddev : float;
+  cmin : float;
+  cmax : float;
+  p95 : float;
+  static_cost : float;
+      (** cost of the deterministic WCET (static) co-simulation — an
+          upper envelope the samples should respect for monotone
+          latency-cost designs *)
+}
+
+val run :
+  ?runs:int ->
+  ?base_seed:int ->
+  ?law:Exec.Timing_law.t ->
+  ?bcet_frac:float ->
+  design:Design.t ->
+  implementation:Methodology.implementation ->
+  unit ->
+  summary
+(** Default 20 runs from [base_seed] 1000, uniform law over
+    [\[bcet_frac·WCET, WCET\]] with [bcet_frac] 0.4.  Raises
+    [Invalid_argument] on [runs <= 0]. *)
+
+val pp : Format.formatter -> summary -> unit

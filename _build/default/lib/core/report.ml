@@ -1,0 +1,128 @@
+let comparison (design : Design.t) (c : Methodology.comparison) =
+  let buf = Buffer.create 512 in
+  let static = c.Methodology.implementation.Methodology.static in
+  Buffer.add_string buf
+    (Printf.sprintf "design %S (Ts = %g s, horizon = %g s)\n" design.Design.name
+       design.Design.ts design.Design.horizon);
+  Buffer.add_string buf
+    (Printf.sprintf "  ideal cost        : %.6g\n" c.Methodology.ideal_cost);
+  Buffer.add_string buf
+    (Printf.sprintf "  implemented cost  : %.6g\n" c.Methodology.implemented_cost);
+  Buffer.add_string buf
+    (Printf.sprintf "  degradation       : %+.2f %%\n" c.Methodology.degradation_pct);
+  Buffer.add_string buf
+    (Printf.sprintf "  schedule makespan : %g (%s period %g)\n"
+       static.Translator.Temporal_model.makespan
+       (if static.Translator.Temporal_model.fits_period then "fits" else "OVERRUNS")
+       static.Translator.Temporal_model.period);
+  List.iter
+    (fun (op, t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  sampling  Ls[%s] = %g\n"
+           (Aaa.Algorithm.op_name c.Methodology.implementation.Methodology.algorithm op)
+           t))
+    static.Translator.Temporal_model.sampling_offsets;
+  List.iter
+    (fun (op, t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  actuation La[%s] = %g\n"
+           (Aaa.Algorithm.op_name c.Methodology.implementation.Methodology.algorithm op)
+           t))
+    static.Translator.Temporal_model.actuation_offsets;
+  Buffer.contents buf
+
+let markdown ?montecarlo ?trace (design : Design.t) (c : Methodology.comparison) =
+  let impl = c.Methodology.implementation in
+  let static = impl.Methodology.static in
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "# Lifecycle report — %s" design.Design.name;
+  line "";
+  line "Sampling period Ts = %g s, co-simulation horizon %g s." design.Design.ts
+    design.Design.horizon;
+  line "";
+  line "## Cost comparison";
+  line "";
+  line "| evaluation | cost |";
+  line "|---|---|";
+  line "| ideal (stroboscopic) | %.6g |" c.Methodology.ideal_cost;
+  line "| implemented (graph of delays) | %.6g |" c.Methodology.implemented_cost;
+  line "| degradation | %+.2f %% |" c.Methodology.degradation_pct;
+  line "";
+  line "## Static temporal model";
+  line "";
+  line "Makespan %.6g s (%s the period)." static.Translator.Temporal_model.makespan
+    (if static.Translator.Temporal_model.fits_period then "fits" else "OVERRUNS");
+  line "";
+  line "| operation | latency (s) |";
+  line "|---|---|";
+  List.iter
+    (fun (op, t) ->
+      line "| Ls %s | %.6g |" (Aaa.Algorithm.op_name impl.Methodology.algorithm op) t)
+    static.Translator.Temporal_model.sampling_offsets;
+  List.iter
+    (fun (op, t) ->
+      line "| La %s | %.6g |" (Aaa.Algorithm.op_name impl.Methodology.algorithm op) t)
+    static.Translator.Temporal_model.actuation_offsets;
+  line "";
+  line "## Planned schedule";
+  line "";
+  line "```";
+  Buffer.add_string buf (Aaa.Gantt.render impl.Methodology.schedule);
+  line "```";
+  (match montecarlo with
+  | Some s ->
+      line "";
+      line "## Monte-Carlo cost distribution (%d runs)" s.Montecarlo.runs;
+      line "";
+      line "| statistic | value |";
+      line "|---|---|";
+      line "| mean | %.6g |" s.Montecarlo.mean;
+      line "| std | %.6g |" s.Montecarlo.stddev;
+      line "| min | %.6g |" s.Montecarlo.cmin;
+      line "| p95 | %.6g |" s.Montecarlo.p95;
+      line "| max | %.6g |" s.Montecarlo.cmax;
+      line "| static (WCET) bound | %.6g |" s.Montecarlo.static_cost
+  | None -> ());
+  (match trace with
+  | Some trace ->
+      line "";
+      line "## Measured execution (%d iterations)" trace.Exec.Machine.iterations;
+      line "";
+      line "Order conformant: %b; period overruns: %d."
+        (Exec.Machine.order_conformant trace)
+        trace.Exec.Machine.overruns;
+      line "";
+      line "| operation | mean | min | max | jitter |";
+      line "|---|---|---|---|---|";
+      List.iter
+        (fun (s : Translator.Temporal_model.series) ->
+          line "| %s | %.6g | %.6g | %.6g | %.6g |"
+            (Aaa.Algorithm.op_name impl.Methodology.algorithm s.Translator.Temporal_model.op)
+            s.Translator.Temporal_model.mean s.Translator.Temporal_model.lmin
+            s.Translator.Temporal_model.lmax s.Translator.Temporal_model.jitter)
+        (Translator.Temporal_model.sampling_series trace
+        @ Translator.Temporal_model.actuation_series trace);
+      line "";
+      line "One executed iteration:";
+      line "";
+      line "```";
+      Buffer.add_string buf
+        (Exec.Exec_gantt.render ~iteration:(Int.min 1 (trace.Exec.Machine.iterations - 1)) trace);
+      line "```"
+  | None -> ());
+  Buffer.contents buf
+
+let latency_table algorithm series =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-20s %10s %10s %10s %10s\n" "operation" "mean" "min" "max" "jitter");
+  List.iter
+    (fun (s : Translator.Temporal_model.series) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s %10.6f %10.6f %10.6f %10.6f\n"
+           (Aaa.Algorithm.op_name algorithm s.Translator.Temporal_model.op)
+           s.Translator.Temporal_model.mean s.Translator.Temporal_model.lmin
+           s.Translator.Temporal_model.lmax s.Translator.Temporal_model.jitter))
+    series;
+  Buffer.contents buf

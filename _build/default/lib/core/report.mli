@@ -1,0 +1,23 @@
+(** Textual reports of lifecycle evaluations. *)
+
+val comparison : Design.t -> Methodology.comparison -> string
+(** Multi-line summary: costs, degradation, schedule makespan and
+    static I/O latencies. *)
+
+val latency_table :
+  Aaa.Algorithm.t -> Translator.Temporal_model.series list -> string
+(** One row per operation: mean/min/max latency and jitter (from a
+    measured execution trace). *)
+
+val markdown :
+  ?montecarlo:Montecarlo.summary ->
+  ?trace:Exec.Machine.trace ->
+  Design.t ->
+  Methodology.comparison ->
+  string
+(** A complete markdown report for one lifecycle evaluation: the
+    cost comparison, the static temporal model, the planned Gantt
+    chart, and — when provided — the Monte-Carlo cost distribution,
+    the measured latency table and one executed iteration's chart.
+    Written for humans reviewing a design decision (the [syndex
+    lifecycle --report] output). *)

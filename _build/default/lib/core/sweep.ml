@@ -1,0 +1,80 @@
+type point = {
+  parameter : float;
+  ideal_cost : float;
+  implemented_cost : float;
+  degradation_pct : float;
+}
+
+let default_fractions = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
+
+let latency ?(fractions = default_fractions) ~design ~architecture ~durations_of () =
+  let ideal_cost =
+    (design : Design.t).Design.cost (Methodology.simulate_ideal design)
+  in
+  List.map
+    (fun fraction ->
+      let implementation =
+        Methodology.implement ~design ~architecture ~durations:(durations_of fraction) ()
+      in
+      let implemented_cost =
+        design.Design.cost (Methodology.simulate_implemented design implementation)
+      in
+      {
+        parameter = fraction;
+        ideal_cost;
+        implemented_cost;
+        degradation_pct =
+          Control.Metrics.degradation_pct ~ideal:ideal_cost ~actual:implemented_cost;
+      })
+    fractions
+
+let jitter ?(bcet_fracs = [ 1.0; 0.8; 0.6; 0.4; 0.2 ]) ?(law = Exec.Timing_law.Uniform)
+    ?(seed = 17) ~design ~implementation () =
+  let ideal_cost =
+    (design : Design.t).Design.cost (Methodology.simulate_ideal design)
+  in
+  List.map
+    (fun bcet_frac ->
+      let mode =
+        if bcet_frac >= 1. then Translator.Delay_graph.Static_wcet
+        else Translator.Delay_graph.Jittered { law; bcet_frac; seed }
+      in
+      let implemented_cost =
+        design.Design.cost (Methodology.simulate_implemented ~mode design implementation)
+      in
+      {
+        parameter = bcet_frac;
+        ideal_cost;
+        implemented_cost;
+        degradation_pct =
+          Control.Metrics.degradation_pct ~ideal:ideal_cost ~actual:implemented_cost;
+      })
+    bcet_fracs
+
+let instability_threshold ?(threshold = 20.) ?(resolution = 8) ~design ~architecture
+    ~durations_of () =
+  if threshold <= 1. then invalid_arg "Sweep.instability_threshold: threshold must exceed 1";
+  let ideal_cost =
+    (design : Design.t).Design.cost (Methodology.simulate_ideal design)
+  in
+  let unstable fraction =
+    let implementation =
+      Methodology.implement ~design ~architecture ~durations:(durations_of fraction) ()
+    in
+    let cost =
+      design.Design.cost (Methodology.simulate_implemented design implementation)
+    in
+    (not (Float.is_finite cost)) || cost > threshold *. ideal_cost
+  in
+  if not (unstable 0.99) then None
+  else begin
+    let lo = ref 0.02 and hi = ref 0.99 in
+    if unstable !lo then Some !lo
+    else begin
+      for _ = 1 to resolution do
+        let mid = (!lo +. !hi) /. 2. in
+        if unstable mid then hi := mid else lo := mid
+      done;
+      Some !hi
+    end
+  end

@@ -1,0 +1,49 @@
+(** Parameter sweeps over the lifecycle — the library form of the
+    latency/jitter experiments, so downstream users can produce
+    Cervin-style cost curves for their own designs in a few lines. *)
+
+type point = {
+  parameter : float;  (** the swept value *)
+  ideal_cost : float;
+  implemented_cost : float;
+  degradation_pct : float;
+}
+
+val latency :
+  ?fractions:float list ->
+  design:Design.t ->
+  architecture:Aaa.Architecture.t ->
+  durations_of:(float -> Aaa.Durations.t) ->
+  unit ->
+  point list
+(** [latency ~design ~architecture ~durations_of ()] evaluates the
+    design for each latency fraction (default
+    [0.1, 0.2, …, 0.9]), where [durations_of f] builds the WCET table
+    putting the static I/O latency at [f·Ts].  The ideal cost is
+    computed once. *)
+
+val jitter :
+  ?bcet_fracs:float list ->
+  ?law:Exec.Timing_law.t ->
+  ?seed:int ->
+  design:Design.t ->
+  implementation:Methodology.implementation ->
+  unit ->
+  point list
+(** Sweeps the BCET fraction of the jittered graph-of-delays
+    co-simulation (default [1.0, 0.8, …, 0.2]; [1.0] is the
+    deterministic WCET replay).  [parameter] is the BCET fraction. *)
+
+val instability_threshold :
+  ?threshold:float ->
+  ?resolution:int ->
+  design:Design.t ->
+  architecture:Aaa.Architecture.t ->
+  durations_of:(float -> Aaa.Durations.t) ->
+  unit ->
+  float option
+(** Bisection for the smallest latency fraction at which the
+    implemented cost exceeds [threshold × ideal] (default 20×) —
+    the empirical counterpart of {!Control.Freq.margins}'s delay
+    margin.  [None] when the loop stays below the threshold up to
+    fraction 0.99.  [resolution] bisection steps (default 8). *)

@@ -1,0 +1,1 @@
+lib/dataflow/clib.ml: Array Block Control Float Numerics Option Printf

@@ -1,0 +1,1 @@
+lib/dataflow/clib.mli: Block Control Numerics

@@ -1,0 +1,1 @@
+lib/dataflow/dot.ml: Block Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/dataflow/eventlib.ml: Array Block Float Fun Option Printf

@@ -1,0 +1,1 @@
+lib/dataflow/eventlib.mli: Block

@@ -1,0 +1,1 @@
+lib/dataflow/graph.ml: Array Block Fun List Printf Queue String

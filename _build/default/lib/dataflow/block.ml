@@ -1,0 +1,85 @@
+type action =
+  | Emit of { port : int; delay : float }
+  | Self of { port : int; delay : float }
+  | Set_cstate of float array
+
+type context = { time : float; inputs : float array array; cstate : float array }
+
+type t = {
+  name : string;
+  in_widths : int array;
+  out_widths : int array;
+  event_inputs : int;
+  event_outputs : int;
+  cstate0 : float array;
+  feedthrough : bool;
+  always_active : bool;
+  outputs : context -> float array array;
+  derivatives : (context -> float array) option;
+  on_event : (context -> port:int -> action list) option;
+  surfaces : int;
+  crossings : (context -> float array) option;
+  on_crossing : (context -> surface:int -> rising:bool -> action list) option;
+  reset : unit -> unit;
+  initial_actions : action list;
+}
+
+let validate b =
+  let fail msg = invalid_arg (Printf.sprintf "Block %S: %s" b.name msg) in
+  if b.event_inputs < 0 || b.event_outputs < 0 then fail "negative event port count";
+  if b.surfaces < 0 then fail "negative surface count";
+  Array.iter (fun w -> if w <= 0 then fail "non-positive regular port width") b.in_widths;
+  Array.iter (fun w -> if w <= 0 then fail "non-positive regular port width") b.out_widths;
+  (match (Array.length b.cstate0 > 0, b.derivatives) with
+  | true, None -> fail "continuous state without derivative callback"
+  | false, Some _ -> fail "derivative callback without continuous state"
+  | true, Some _ | false, None -> ());
+  (match (b.event_inputs > 0, b.on_event) with
+  | true, None -> fail "event inputs without on_event handler"
+  | false, Some _ -> fail "on_event handler without event inputs"
+  | true, Some _ | false, None -> ());
+  (match (b.surfaces > 0, b.crossings, b.on_crossing) with
+  | true, Some _, Some _ -> ()
+  | true, _, _ -> fail "surfaces declared without crossings/on_crossing callbacks"
+  | false, None, None -> ()
+  | false, _, _ -> fail "crossing callbacks without declared surfaces");
+  List.iter
+    (fun action ->
+      match action with
+      | Emit { port; delay } ->
+          if port < 0 || port >= b.event_outputs then fail "initial Emit port out of range";
+          if delay < 0. then fail "negative initial Emit delay"
+      | Self { port; delay } ->
+          if port < 0 || port >= b.event_inputs then fail "initial Self port out of range";
+          if delay < 0. then fail "negative initial Self delay"
+      | Set_cstate x ->
+          if Array.length x <> Array.length b.cstate0 then
+            fail "initial Set_cstate dimension mismatch")
+    b.initial_actions
+
+let make ~name ?(in_widths = [||]) ?(out_widths = [||]) ?(event_inputs = 0)
+    ?(event_outputs = 0) ?(cstate0 = [||]) ?(feedthrough = false) ?(always_active = false)
+    ?derivatives ?on_event ?(surfaces = 0) ?crossings ?on_crossing
+    ?(reset = fun () -> ()) ?(initial_actions = []) outputs =
+  let b =
+    {
+      name;
+      in_widths;
+      out_widths;
+      event_inputs;
+      event_outputs;
+      cstate0;
+      feedthrough;
+      always_active;
+      outputs;
+      derivatives;
+      on_event;
+      surfaces;
+      crossings;
+      on_crossing;
+      reset;
+      initial_actions;
+    }
+  in
+  validate b;
+  b

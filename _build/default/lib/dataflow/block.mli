@@ -1,0 +1,103 @@
+(** Scicos-style simulation blocks.
+
+    A block mirrors a Scicos computational function: it has {e regular}
+    input/output ports carrying vector-valued signals, {e event} input
+    ports that activate it and {e event} output ports through which it
+    activates others, an optional continuous state with a derivative
+    callback, and arbitrary internal (discrete) state captured in its
+    closures.
+
+    Activation semantics, as in Scicos (and as exploited by the paper's
+    methodology): a discrete block does nothing until an event arrives
+    on one of its event inputs; when it does, the block reads its
+    current inputs, updates its internal state, refreshes its outputs,
+    and may emit events — in particular the "execution finished" event
+    that drives the sequencing translation of SynDEx schedules
+    (paper §3.2.1). *)
+
+type action =
+  | Emit of { port : int; delay : float }
+      (** schedule an event on event-output [port] after [delay ≥ 0] *)
+  | Self of { port : int; delay : float }
+      (** re-activate this block's event-input [port] after
+          [delay > 0] — how periodic clocks are built *)
+  | Set_cstate of float array
+      (** jump this block's own continuous state (applied immediately;
+          length must equal the state dimension) — e.g. the velocity
+          reversal of a bouncing ball at impact.  A crossing handler
+          that re-initialises a monitored surface should restart it
+          {e slightly off} zero (e.g. [1e-9]): a surface that starts a
+          segment exactly at zero cannot re-fire until it has shown a
+          nonzero sign at a sample point, so a fast re-crossing inside
+          one integration sub-step would be missed. *)
+
+type context = {
+  time : float;  (** current simulation time *)
+  inputs : float array array;  (** one vector per regular input port *)
+  cstate : float array;  (** this block's continuous state (may be [[||]]) *)
+}
+
+type t = {
+  name : string;
+  in_widths : int array;  (** regular input port widths *)
+  out_widths : int array;  (** regular output port widths *)
+  event_inputs : int;  (** number of event input ports *)
+  event_outputs : int;  (** number of event output ports *)
+  cstate0 : float array;  (** initial continuous state ([[||]] if none) *)
+  feedthrough : bool;
+      (** whether outputs depend directly on current inputs; used for
+          algebraic-loop detection and output-evaluation ordering *)
+  always_active : bool;
+      (** outputs must be re-evaluated continuously (continuous and
+          memoryless blocks), as opposed to held between events *)
+  outputs : context -> float array array;
+      (** compute current outputs; must return [out_widths]-shaped data *)
+  derivatives : (context -> float array) option;
+      (** time derivative of [cstate]; required iff [cstate0] is
+          non-empty *)
+  on_event : (context -> port:int -> action list) option;
+      (** event-input handler; required iff [event_inputs > 0] *)
+  surfaces : int;
+      (** number of zero-crossing surfaces this block monitors
+          (state events, as in Scicos's zcross machinery) *)
+  crossings : (context -> float array) option;
+      (** surface values (length [surfaces]); the engine locates their
+          sign changes during continuous integration.  Required iff
+          [surfaces > 0]. *)
+  on_crossing : (context -> surface:int -> rising:bool -> action list) option;
+      (** called at a located crossing instant; [rising] is true for a
+          −→+ sign change.  Required iff [surfaces > 0]. *)
+  reset : unit -> unit;
+      (** restore all internal state to its initial value, so a graph
+          can be simulated repeatedly *)
+  initial_actions : action list;
+      (** actions applied at simulation start (e.g. a clock priming
+          itself); [Self] delays are measured from the start time *)
+}
+
+val validate : t -> unit
+(** Checks internal consistency (derivative present iff continuous
+    state, handler present iff event inputs, non-negative widths).
+    Raises [Invalid_argument] with the block name otherwise. *)
+
+val make :
+  name:string ->
+  ?in_widths:int array ->
+  ?out_widths:int array ->
+  ?event_inputs:int ->
+  ?event_outputs:int ->
+  ?cstate0:float array ->
+  ?feedthrough:bool ->
+  ?always_active:bool ->
+  ?derivatives:(context -> float array) ->
+  ?on_event:(context -> port:int -> action list) ->
+  ?surfaces:int ->
+  ?crossings:(context -> float array) ->
+  ?on_crossing:(context -> surface:int -> rising:bool -> action list) ->
+  ?reset:(unit -> unit) ->
+  ?initial_actions:action list ->
+  (context -> float array array) ->
+  t
+(** Convenience constructor; the positional argument is [outputs].
+    Defaults: no ports, no events, no continuous state, no surfaces,
+    not feedthrough, not always active.  Runs {!validate}. *)

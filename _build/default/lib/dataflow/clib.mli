@@ -1,0 +1,165 @@
+(** Standard Scicos-like block library (regular blocks).
+
+    Every function returns a {e fresh} block instance: internal state
+    lives in closures, so each call may be added to a graph exactly
+    once.  Event-processing blocks live in {!Eventlib}. *)
+
+val constant : ?name:string -> float array -> Block.t
+(** Constant source of the given vector. *)
+
+val gain : ?name:string -> float -> Block.t
+(** Scalar gain on a width-1 signal. *)
+
+val matrix_gain : ?name:string -> Numerics.Matrix.t -> Block.t
+(** [y = K·u]; input width = columns, output width = rows. *)
+
+val sum : ?name:string -> float array -> Block.t
+(** [sum signs] has one width-1 input per sign and outputs
+    [Σ signᵢ·uᵢ]; e.g. [[|1.; -1.|]] is a comparator. *)
+
+val product : ?name:string -> int -> Block.t
+(** Pointwise product of [n] width-1 inputs. *)
+
+val saturation : ?name:string -> lo:float -> hi:float -> unit -> Block.t
+(** Clamps a width-1 signal. *)
+
+val mux : ?name:string -> int array -> Block.t
+(** Concatenates inputs of the given widths into one vector. *)
+
+val demux : ?name:string -> int array -> Block.t
+(** Splits a vector into outputs of the given widths. *)
+
+val step_source : ?name:string -> ?at:float -> ?before:float -> after:float -> unit -> Block.t
+(** Scalar step: [before] (default 0) until time [at] (default 0),
+    then [after]. *)
+
+val sine_source : ?name:string -> ?amplitude:float -> ?phase:float -> freq_hz:float -> unit -> Block.t
+
+val integrator : ?name:string -> float array -> Block.t
+(** Vector integrator with the given initial state. *)
+
+val lti_continuous :
+  ?name:string ->
+  ?split_inputs:bool ->
+  ?split_outputs:bool ->
+  x0:float array ->
+  Control.Lti.t ->
+  Block.t
+(** Continuous state-space system as an always-active block (the
+    "plant" of the paper's Fig. 2).  With [split_inputs] (resp.
+    [split_outputs]) the block exposes one width-1 port per input
+    (resp. output) instead of a single vector port — convenient when
+    different inputs come from different sources (a control hold and a
+    disturbance) or when each measure has its own sampler.  Raises on
+    a discrete system or initial-state dimension mismatch. *)
+
+val state_feedback : ?name:string -> Numerics.Matrix.t -> Block.t
+(** Static state-feedback controller [u = −K·x] as an event-activated
+    block: one width-1 input per state (matching a split-output plant
+    through per-measure samplers), one output of width [rows K]; the
+    control is held between activations. *)
+
+val lqg :
+  ?name:string ->
+  sysd:Control.Lti.t ->
+  k:Numerics.Matrix.t ->
+  kalman:Control.Kalman.result ->
+  unit ->
+  Block.t
+(** Output-feedback LQG controller: a steady-state Kalman predictor on
+    the discrete model [sysd] combined with the state-feedback gain
+    [k] ([u = −K·x̂]).  One width-1 input per plant measurement, one
+    output of width [m]; on each activation it computes the control
+    from the current estimate, then propagates the estimate with the
+    new measurement ([x̂ ← A·x̂ + B·u + L·(y − C·x̂ − D·u)]).  Raises on
+    a continuous [sysd] or dimension mismatches. *)
+
+val delayed_state_feedback : ?name:string -> Numerics.Matrix.t -> Block.t
+(** State feedback over the delay-augmented state
+    [u = −K·\[x; u_prev\]] (the calibration controller for a loop with
+    one-period-bounded I/O latency, cf.
+    {!Control.Discretize.zoh_with_delay}): [K] has [n + m] columns;
+    the block keeps [u_prev] internally. *)
+
+val lti_discrete : ?name:string -> x0:float array -> Control.Lti.t -> Block.t
+(** Discrete state-space controller: one event input; on activation it
+    computes [y = C·x + D·u], updates [x ← A·x + B·u] and holds [y]
+    until the next activation.  Raises on a continuous system. *)
+
+val sample_hold : ?name:string -> ?initial:float array -> int -> Block.t
+(** The S/H block of the paper's Fig. 2: on activation, latches its
+    input of the given width; output holds the latched value
+    ([initial], default zero, before the first event). *)
+
+val unit_delay : ?name:string -> float array -> Block.t
+(** Event-activated one-period delay with the given initial output. *)
+
+val pid : ?name:string -> Control.Pid.t -> Block.t
+(** PID controller block: inputs [(reference, measure)], one event
+    input, holds its control output between activations. *)
+
+val stateful :
+  name:string ->
+  in_widths:int array ->
+  out_widths:int array ->
+  ?reset:(unit -> unit) ->
+  (float array array -> float array array) ->
+  Block.t
+(** Generic event-activated block: on each activation applies the
+    step function to current inputs and holds the result.  The step
+    function may close over arbitrary state; supply [reset] to restore
+    it.  Output is zero before the first activation. *)
+
+val pure_fn :
+  name:string ->
+  in_widths:int array ->
+  out_widths:int array ->
+  (float array array -> float array array) ->
+  Block.t
+(** Memoryless always-active function block (feedthrough). *)
+
+val noise_sample_hold :
+  ?name:string -> rng:Numerics.Rng.t -> sigma:float -> int -> Block.t
+(** S/H that adds Gaussian measurement noise when it latches. *)
+
+val relay :
+  ?name:string ->
+  ?initially_on:bool ->
+  on_above:float ->
+  off_below:float ->
+  out_on:float ->
+  out_off:float ->
+  unit ->
+  Block.t
+(** Hysteresis relay (thermostat-style): switches on when the width-1
+    input rises above [on_above], off when it falls below
+    [off_below]; outputs [out_on]/[out_off].  Switching instants are
+    located exactly by the engine's zero-crossing machinery and an
+    event is emitted on each toggle (event output 0).  Requires
+    [off_below <= on_above]. *)
+
+val quantizer : ?name:string -> step:float -> unit -> Block.t
+(** Mid-tread uniform quantiser [q·round(u/q)] on a width-1 signal —
+    the amplitude counterpart of the paper's timing effects
+    (ADC/DAC/fixed-point resolution). *)
+
+val rate_limiter : ?name:string -> rising:float -> falling:float -> unit -> Block.t
+(** Event-activated rate limiter: on each activation the output moves
+    toward the input by at most [rising·dt] upward or [falling·dt]
+    downward ([dt] = time since the previous activation; the first
+    activation latches the input).  [rising > 0], [falling > 0]. *)
+
+val dead_zone : ?name:string -> width:float -> unit -> Block.t
+(** Symmetric dead zone of half-width [width] around zero
+    (memoryless). *)
+
+val lookup_table : ?name:string -> Numerics.Interp.t -> Block.t
+(** Memoryless 1-D lookup table on a width-1 signal (piecewise-linear
+    with clamping, the usual embedded-map semantics) — sensor
+    linearisation curves, actuator maps, gain schedules. *)
+
+val biquad : ?name:string -> b:float array -> a:float array -> unit -> Block.t
+(** Direct-form-II-transposed discrete filter with numerator [b]
+    (length ≤ 3) and denominator [a] (length ≤ 3, [a.(0) <> 0]),
+    activated by events — e.g. an anti-aliasing or derivative filter
+    inside the control law. *)

@@ -1,0 +1,32 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_string ?(graph_name = "diagram") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" graph_name);
+  Buffer.add_string buf "  node [shape=box, fontname=\"Helvetica\"];\n";
+  List.iter
+    (fun id ->
+      let b = Graph.block g id in
+      Buffer.add_string buf
+        (Printf.sprintf "  b%d [label=\"%s\"];\n" (id :> int) (escape b.Block.name)))
+    (Graph.block_ids g);
+  List.iter
+    (fun (((sb : Graph.block_id), sp), ((db : Graph.block_id), dp)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  b%d -> b%d [label=\"%d:%d\"];\n" (sb :> int) (db :> int) sp dp))
+    (Graph.data_links g);
+  List.iter
+    (fun (((sb : Graph.block_id), sp), ((db : Graph.block_id), dp)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  b%d -> b%d [style=dashed, color=red, label=\"e%d:%d\"];\n"
+           (sb :> int) (db :> int) sp dp))
+    (Graph.event_links g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?graph_name g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?graph_name g))

@@ -1,0 +1,9 @@
+(** Graphviz export of block diagrams — solid edges for data links,
+    dashed red edges for event (activation) links, matching the visual
+    convention of Scicos diagrams in the paper's figures. *)
+
+val to_string : ?graph_name:string -> Graph.t -> string
+(** Renders the diagram in DOT syntax. *)
+
+val to_file : ?graph_name:string -> Graph.t -> string -> unit
+(** Writes {!to_string} output to a path. *)

@@ -1,0 +1,117 @@
+let clock ?(name = "clock") ?(offset = 0.) ~period () =
+  if period <= 0. then invalid_arg "Eventlib.clock: non-positive period";
+  if offset < 0. then invalid_arg "Eventlib.clock: negative offset";
+  Block.make ~name ~event_inputs:1 ~event_outputs:1
+    ~initial_actions:[ Block.Self { port = 0; delay = offset } ]
+    ~on_event:(fun _ ~port:_ ->
+      [ Block.Emit { port = 0; delay = 0. }; Block.Self { port = 0; delay = period } ])
+    (fun _ -> [||])
+
+let initial_event ?(name = "initial_event") ?(at = 0.) () =
+  if at < 0. then invalid_arg "Eventlib.initial_event: negative time";
+  Block.make ~name ~event_inputs:1 ~event_outputs:1
+    ~initial_actions:[ Block.Self { port = 0; delay = at } ]
+    ~on_event:(fun _ ~port:_ -> [ Block.Emit { port = 0; delay = 0. } ])
+    (fun _ -> [||])
+
+let event_source ?(name = "event_source") times =
+  if Array.length times = 0 then invalid_arg "Eventlib.event_source: empty schedule";
+  if times.(0) < 0. then invalid_arg "Eventlib.event_source: negative time";
+  for i = 1 to Array.length times - 1 do
+    if times.(i) <= times.(i - 1) then
+      invalid_arg "Eventlib.event_source: times must be strictly increasing"
+  done;
+  let cursor = ref 0 in
+  Block.make ~name ~event_inputs:1 ~event_outputs:1
+    ~initial_actions:[ Block.Self { port = 0; delay = times.(0) } ]
+    ~on_event:(fun _ ~port:_ ->
+      let i = !cursor in
+      incr cursor;
+      let emit = Block.Emit { port = 0; delay = 0. } in
+      if !cursor < Array.length times then
+        [ emit; Block.Self { port = 0; delay = times.(!cursor) -. times.(i) } ]
+      else [ emit ])
+    ~reset:(fun () -> cursor := 0)
+    (fun _ -> [||])
+
+let event_delay ?name ~delay () =
+  if delay < 0. then invalid_arg "Eventlib.event_delay: negative delay";
+  let name = Option.value name ~default:(Printf.sprintf "event_delay(%g)" delay) in
+  Block.make ~name ~event_inputs:1 ~event_outputs:1
+    ~on_event:(fun _ ~port:_ -> [ Block.Emit { port = 0; delay } ])
+    (fun _ -> [||])
+
+let event_delay_fn ?(name = "event_delay_fn") sample =
+  Block.make ~name ~event_inputs:1 ~event_outputs:1
+    ~on_event:(fun _ ~port:_ -> [ Block.Emit { port = 0; delay = Float.max 0. (sample ()) } ])
+    (fun _ -> [||])
+
+let event_select ?(name = "event_select") ~channels ~mapping () =
+  if channels <= 0 then invalid_arg "Eventlib.event_select: need at least one channel";
+  Block.make ~name ~in_widths:[| 1 |] ~event_inputs:1 ~event_outputs:channels
+    ~on_event:(fun ctx ~port:_ ->
+      let v = ctx.Block.inputs.(0).(0) in
+      let channel = mapping v in
+      if channel < 0 || channel >= channels then
+        failwith
+          (Printf.sprintf "Block %S: condition mapping of %g gave channel %d (of %d)" name
+             v channel channels);
+      [ Block.Emit { port = channel; delay = 0. } ])
+    (fun _ -> [||])
+
+let synchronization ?(name = "synchronization") ~inputs () =
+  if inputs <= 0 then invalid_arg "Eventlib.synchronization: need at least one input";
+  let received = Array.make inputs false in
+  Block.make ~name ~event_inputs:inputs ~event_outputs:1
+    ~on_event:(fun _ ~port ->
+      received.(port) <- true;
+      if Array.for_all Fun.id received then begin
+        Array.fill received 0 inputs false;
+        [ Block.Emit { port = 0; delay = 0. } ]
+      end
+      else [])
+    ~reset:(fun () -> Array.fill received 0 inputs false)
+    (fun _ -> [||])
+
+let zero_cross ?(name = "zero_cross") ?(direction = `Either) () =
+  Block.make ~name ~in_widths:[| 1 |] ~event_outputs:1 ~surfaces:1
+    ~crossings:(fun ctx -> [| ctx.Block.inputs.(0).(0) |])
+    ~on_crossing:(fun _ ~surface:_ ~rising ->
+      let fire =
+        match direction with
+        | `Either -> true
+        | `Rising -> rising
+        | `Falling -> not rising
+      in
+      if fire then [ Block.Emit { port = 0; delay = 0. } ] else [])
+    (fun _ -> [||])
+
+let divider ?(name = "divider") ?(phase = 0) ~factor () =
+  if factor < 1 then invalid_arg "Eventlib.divider: factor must be at least 1";
+  if phase < 0 || phase >= factor then invalid_arg "Eventlib.divider: phase out of range";
+  let count = ref 0 in
+  Block.make ~name ~event_inputs:1 ~event_outputs:1
+    ~on_event:(fun _ ~port:_ ->
+      let fire = !count mod factor = phase in
+      incr count;
+      if fire then [ Block.Emit { port = 0; delay = 0. } ] else [])
+    ~reset:(fun () -> count := 0)
+    (fun _ -> [||])
+
+let event_counter ?(name = "event_counter") () =
+  let count = ref 0 in
+  Block.make ~name ~out_widths:[| 1 |] ~event_inputs:1
+    ~on_event:(fun _ ~port:_ ->
+      incr count;
+      [])
+    ~reset:(fun () -> count := 0)
+    (fun _ -> [| [| float_of_int !count |] |])
+
+let event_latch_time ?(name = "event_latch_time") () =
+  let last = ref Float.nan in
+  Block.make ~name ~out_widths:[| 1 |] ~event_inputs:1
+    ~on_event:(fun ctx ~port:_ ->
+      last := ctx.Block.time;
+      [])
+    ~reset:(fun () -> last := Float.nan)
+    (fun _ -> [| [| !last |] |])

@@ -1,0 +1,72 @@
+(** Event-processing blocks — the machinery of Section 3 of the paper.
+
+    These blocks generate, delay, route and synchronise activation
+    events.  They are the building material of the {e graph of delays}
+    that models a SynDEx schedule inside the block diagram:
+    - {!event_delay} models the execution duration of one SynDEx
+      operation (paper §3.2.1, Fig. 4);
+    - {!event_select} + a condition-mapping function model
+      conditioning (paper §3.2.2, Fig. 5);
+    - {!synchronization} is the new block the paper introduces for
+      inter-processor message synchronisation (paper §3.2.3). *)
+
+val clock : ?name:string -> ?offset:float -> period:float -> unit -> Block.t
+(** Periodic activation clock (the stroboscopic-model event source of
+    Fig. 2).  Emits on its single event output at [offset],
+    [offset+period], ...  Raises [Invalid_argument] if
+    [period <= 0] or [offset < 0]. *)
+
+val initial_event : ?name:string -> ?at:float -> unit -> Block.t
+(** Emits exactly one event at time [at] (default [0.]). *)
+
+val event_source : ?name:string -> float array -> Block.t
+(** Replays a strictly increasing, non-empty sequence of absolute
+    event times on its single event output. *)
+
+val event_delay : ?name:string -> delay:float -> unit -> Block.t
+(** Paper's [Event Delay]: each incoming event is re-emitted [delay]
+    time units later.  [delay >= 0]. *)
+
+val event_delay_fn : ?name:string -> (unit -> float) -> Block.t
+(** Like {!event_delay} but the delay of each occurrence is obtained
+    by calling the function — used to model jittery execution
+    durations.  A negative sampled delay is clamped to [0.]. *)
+
+val event_select : ?name:string -> channels:int -> mapping:(float -> int) -> unit -> Block.t
+(** Paper's [Event Select] + "Condition Mapping": the block has one
+    width-1 regular input (the conditioning variable), one event input
+    and [channels] event outputs.  On activation, it forwards the
+    event to output channel [mapping v] where [v] is the current
+    value of the regular input.  A mapping result outside
+    [0..channels−1] raises [Failure] at simulation time. *)
+
+val synchronization : ?name:string -> inputs:int -> unit -> Block.t
+(** Paper's new [Synchronization] block (§3.2.3): [N = inputs] event
+    inputs, one event output.  It emits an output event — and resets
+    its internal memory — once {e every} input port has received at
+    least one event since the last reset. *)
+
+val zero_cross :
+  ?name:string -> ?direction:[ `Rising | `Falling | `Either ] -> unit -> Block.t
+(** State-event detector (Scicos's zcross): one width-1 regular input,
+    one event output; emits an event at the instant the input signal
+    crosses zero in the given direction (default [`Either]).  The
+    engine locates the crossing by bisection during continuous
+    integration. *)
+
+val divider : ?name:string -> ?phase:int -> factor:int -> unit -> Block.t
+(** Event-rate divider: one event input, one event output; forwards
+    every [factor]-th incoming event (the [phase]-th of each group,
+    default 0 — the first).  The standard way to derive a slow outer
+    control loop from the fast inner clock (multi-rate cascades).
+    Raises [Invalid_argument] unless [factor >= 1] and
+    [0 <= phase < factor]. *)
+
+val event_counter : ?name:string -> unit -> Block.t
+(** One event input, no outputs, one width-1 regular output carrying
+    the number of activations so far — handy for tests and probes. *)
+
+val event_latch_time : ?name:string -> unit -> Block.t
+(** One event input, width-1 regular output holding the time of the
+    last activation ([nan] before the first) — used to measure
+    sampling/actuation instants [I_j(k)], [O_j(k)] of paper eq. (1)–(2). *)

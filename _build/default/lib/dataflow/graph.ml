@@ -1,0 +1,186 @@
+type block_id = int
+
+type t = {
+  mutable blocks : Block.t array;
+  mutable n : int;
+  (* data_in.(dst).(port) = Some (src, src_port) *)
+  mutable data_in : (block_id * int) option array array;
+  (* event_out.(src).(port) = listeners *)
+  mutable event_out : (block_id * int) list array array;
+}
+
+let create () = { blocks = [||]; n = 0; data_in = [||]; event_out = [||] }
+
+let add g b =
+  Block.validate b;
+  let id = g.n in
+  g.blocks <- Array.append g.blocks [| b |];
+  g.data_in <-
+    Array.append g.data_in [| Array.make (Array.length b.Block.in_widths) None |];
+  g.event_out <- Array.append g.event_out [| Array.make b.Block.event_outputs [] |];
+  g.n <- g.n + 1;
+  id
+
+let check_id g id = if id < 0 || id >= g.n then invalid_arg "Graph: unknown block id"
+
+let block g id =
+  check_id g id;
+  g.blocks.(id)
+
+let block_count g = g.n
+let block_ids g = List.init g.n Fun.id
+
+let id_of_int g i =
+  check_id g i;
+  i
+
+let connect_data g ~src:(sb, sp) ~dst:(db, dp) =
+  check_id g sb;
+  check_id g db;
+  let sblk = g.blocks.(sb) and dblk = g.blocks.(db) in
+  if sp < 0 || sp >= Array.length sblk.Block.out_widths then
+    invalid_arg
+      (Printf.sprintf "Graph.connect_data: %S has no output port %d" sblk.Block.name sp);
+  if dp < 0 || dp >= Array.length dblk.Block.in_widths then
+    invalid_arg
+      (Printf.sprintf "Graph.connect_data: %S has no input port %d" dblk.Block.name dp);
+  if sblk.Block.out_widths.(sp) <> dblk.Block.in_widths.(dp) then
+    invalid_arg
+      (Printf.sprintf "Graph.connect_data: width mismatch %S.%d (%d) -> %S.%d (%d)"
+         sblk.Block.name sp
+         sblk.Block.out_widths.(sp)
+         dblk.Block.name dp
+         dblk.Block.in_widths.(dp));
+  (match g.data_in.(db).(dp) with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Graph.connect_data: input %S.%d already wired" dblk.Block.name dp)
+  | None -> ());
+  g.data_in.(db).(dp) <- Some (sb, sp)
+
+let connect_event g ~src:(sb, sp) ~dst:(db, dp) =
+  check_id g sb;
+  check_id g db;
+  let sblk = g.blocks.(sb) and dblk = g.blocks.(db) in
+  if sp < 0 || sp >= sblk.Block.event_outputs then
+    invalid_arg
+      (Printf.sprintf "Graph.connect_event: %S has no event output %d" sblk.Block.name sp);
+  if dp < 0 || dp >= dblk.Block.event_inputs then
+    invalid_arg
+      (Printf.sprintf "Graph.connect_event: %S has no event input %d" dblk.Block.name dp);
+  g.event_out.(sb).(sp) <- g.event_out.(sb).(sp) @ [ (db, dp) ]
+
+let merge target sub =
+  let offset = target.n in
+  for id = 0 to sub.n - 1 do
+    ignore (add target sub.blocks.(id))
+  done;
+  let translate id =
+    if id < 0 || id >= sub.n then invalid_arg "Graph.merge: unknown sub-graph block id";
+    id + offset
+  in
+  for db = 0 to sub.n - 1 do
+    Array.iteri
+      (fun dp src ->
+        match src with
+        | Some (sb, sp) ->
+            connect_data target ~src:(translate sb, sp) ~dst:(translate db, dp)
+        | None -> ())
+      sub.data_in.(db)
+  done;
+  for sb = 0 to sub.n - 1 do
+    Array.iteri
+      (fun sp listeners ->
+        List.iter
+          (fun (db, dp) ->
+            connect_event target ~src:(translate sb, sp) ~dst:(translate db, dp))
+          listeners)
+      sub.event_out.(sb)
+  done;
+  translate
+
+let data_source g id port =
+  check_id g id;
+  if port < 0 || port >= Array.length g.data_in.(id) then
+    invalid_arg "Graph.data_source: port out of range";
+  g.data_in.(id).(port)
+
+let event_listeners g id port =
+  check_id g id;
+  if port < 0 || port >= Array.length g.event_out.(id) then
+    invalid_arg "Graph.event_listeners: port out of range";
+  g.event_out.(id).(port)
+
+let data_links g =
+  let acc = ref [] in
+  for db = g.n - 1 downto 0 do
+    Array.iteri
+      (fun dp src -> match src with Some s -> acc := (s, (db, dp)) :: !acc | None -> ())
+      g.data_in.(db)
+  done;
+  !acc
+
+let event_links g =
+  let acc = ref [] in
+  for sb = g.n - 1 downto 0 do
+    for sp = Array.length g.event_out.(sb) - 1 downto 0 do
+      List.iter (fun dst -> acc := ((sb, sp), dst) :: !acc) (List.rev g.event_out.(sb).(sp))
+    done
+  done;
+  !acc
+
+(* Topological sort along data edges whose destination is a
+   feedthrough block.  A cycle through such edges is an algebraic
+   loop: the outputs at an instant would depend on themselves. *)
+let eval_order g =
+  (* edges src -> dst restricted to feedthrough destinations *)
+  let indegree = Array.make g.n 0 in
+  let succs = Array.make g.n [] in
+  for db = 0 to g.n - 1 do
+    if g.blocks.(db).Block.feedthrough then
+      Array.iter
+        (fun src ->
+          match src with
+          | Some (sb, _) when sb <> db ->
+              succs.(sb) <- db :: succs.(sb);
+              indegree.(db) <- indegree.(db) + 1
+          | Some _ | None -> ())
+        g.data_in.(db)
+  done;
+  let queue = Queue.create () in
+  for id = 0 to g.n - 1 do
+    if indegree.(id) = 0 then Queue.add id queue
+  done;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    incr visited;
+    List.iter
+      (fun succ ->
+        indegree.(succ) <- indegree.(succ) - 1;
+        if indegree.(succ) = 0 then Queue.add succ queue)
+      succs.(id)
+  done;
+  if !visited <> g.n then begin
+    let stuck =
+      List.filter (fun id -> indegree.(id) > 0) (List.init g.n Fun.id)
+      |> List.map (fun id -> g.blocks.(id).Block.name)
+      |> String.concat ", "
+    in
+    invalid_arg ("Graph: algebraic loop through feedthrough blocks: " ^ stuck)
+  end;
+  List.rev !order
+
+let validate g =
+  for db = 0 to g.n - 1 do
+    Array.iteri
+      (fun dp src ->
+        if src = None then
+          invalid_arg
+            (Printf.sprintf "Graph: input port %S.%d is not wired"
+               g.blocks.(db).Block.name dp))
+      g.data_in.(db)
+  done;
+  ignore (eval_order g)

@@ -1,0 +1,68 @@
+(** Block-diagram graphs: blocks wired by data links (regular ports)
+    and event links (activation), exactly the structure of a Scicos
+    diagram such as the paper's Fig. 2 (plant + S/H blocks + controller
+    + activation clock) and Fig. 3 (same + graph of delays). *)
+
+type block_id = private int
+(** Handle returned by {!add}. *)
+
+type t
+(** A mutable graph under construction. *)
+
+val create : unit -> t
+
+val add : t -> Block.t -> block_id
+(** Adds a block instance.  The same {!Block.t} value may be added
+    several times only if its internal state is pure; stateful blocks
+    must be fresh per instance (the block libraries create fresh
+    closures at each call). *)
+
+val connect_data : t -> src:block_id * int -> dst:block_id * int -> unit
+(** [connect_data g ~src:(b, i) ~dst:(b', j)] wires regular output
+    port [i] of [b] to regular input port [j] of [b'].  Each input
+    port accepts exactly one incoming link.  Raises [Invalid_argument]
+    on port-index, width or double-wiring errors. *)
+
+val connect_event : t -> src:block_id * int -> dst:block_id * int -> unit
+(** Wires an event output port to an event input port.  Fan-out and
+    fan-in are both allowed (one emission activates all listeners; an
+    input may be activated by several sources). *)
+
+val merge : t -> t -> block_id -> block_id
+(** [merge target sub] inlines the diagram [sub] into [target]:
+    every block instance of [sub] is added to [target] and all of
+    [sub]'s internal data/event links are re-created.  Returns the id
+    translation, with which the caller wires [sub]'s boundary to the
+    rest of [target] — the flattening of a Scicos super-block.
+    Because block instances are stateful, [sub] must not be simulated
+    or merged again afterwards. *)
+
+val block : t -> block_id -> Block.t
+val block_count : t -> int
+val block_ids : t -> block_id list
+
+val id_of_int : t -> int -> block_id
+(** Recovers a handle from a raw index (bounds-checked); useful for
+    tooling that serialises graphs. *)
+
+val data_source : t -> block_id -> int -> (block_id * int) option
+(** The (block, output-port) feeding a given input port, if wired. *)
+
+val event_listeners : t -> block_id -> int -> (block_id * int) list
+(** All (block, event-input-port) pairs activated by a given event
+    output port. *)
+
+val data_links : t -> ((block_id * int) * (block_id * int)) list
+val event_links : t -> ((block_id * int) * (block_id * int)) list
+
+val validate : t -> unit
+(** Global checks performed before simulation:
+    - every regular input port is wired;
+    - widths of wired ports match;
+    - no algebraic loop (cycle through feedthrough blocks only).
+    Raises [Invalid_argument] with a descriptive message. *)
+
+val eval_order : t -> block_id list
+(** Topological order of blocks along feedthrough data edges: if block
+    [b]'s output feeds feedthrough block [b'], then [b] comes first.
+    Raises like {!validate} if an algebraic loop exists. *)

@@ -1,0 +1,1 @@
+lib/exec/async.ml: Aaa Array Float Hashtbl List Numerics Timing_law

@@ -1,0 +1,1 @@
+lib/exec/async.mli: Aaa Timing_law

@@ -1,0 +1,1 @@
+lib/exec/exec_gantt.ml: Aaa Buffer Bytes Int List Machine Printf String

@@ -1,0 +1,1 @@
+lib/exec/machine.ml: Aaa Array Buffer Float Hashtbl List Numerics Option Printf String Timing_law

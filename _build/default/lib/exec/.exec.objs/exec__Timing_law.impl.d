@@ -1,0 +1,1 @@
+lib/exec/timing_law.ml: Float Numerics

@@ -1,0 +1,200 @@
+module Alg = Aaa.Algorithm
+module Sched = Aaa.Schedule
+module Cg = Aaa.Codegen
+
+type config = {
+  iterations : int;
+  law : Timing_law.t;
+  comm_jitter_frac : float;
+  bcet_frac : float;
+  overrun_prob : float;
+  overrun_factor : float;
+  seed : int;
+  condition : iteration:int -> var:string -> int;
+}
+
+let default_config =
+  {
+    iterations = 100;
+    law = Timing_law.Uniform;
+    comm_jitter_frac = 0.;
+    bcet_frac = 0.5;
+    overrun_prob = 0.;
+    overrun_factor = 1.5;
+    seed = 42;
+    condition = (fun ~iteration:_ ~var:_ -> 0);
+  }
+
+type trace = {
+  period : float;
+  iterations : int;
+  violations : int;
+  remote_consumptions : int;
+  actuation_latencies : (Alg.op_id * float array) list;
+  overruns : int;
+}
+
+let slot_key (c : Sched.comm_slot) =
+  ( (fst c.Sched.cm_src :> int),
+    snd c.Sched.cm_src,
+    (fst c.Sched.cm_dst :> int),
+    snd c.Sched.cm_dst,
+    c.Sched.cm_hop )
+
+let prev_key c =
+  let a, b, d, e, hop = slot_key c in
+  (a, b, d, e, hop - 1)
+
+let run ?(config = default_config) exe =
+  if config.iterations <= 0 then invalid_arg "Async.run: non-positive iteration count";
+  let sched = exe.Cg.schedule in
+  let alg = sched.Sched.algorithm in
+  let period = Alg.period alg in
+  let rng = Numerics.Rng.create config.seed in
+  let table t key =
+    match Hashtbl.find_opt t key with
+    | Some a -> a
+    | None ->
+        let a = Array.make config.iterations Float.nan in
+        Hashtbl.replace t key a;
+        a
+  in
+  let posted : (int * int * int * int * int, float array) Hashtbl.t = Hashtbl.create 32 in
+  let read_at : (int * int * int * int * int, float array) Hashtbl.t = Hashtbl.create 32 in
+  let finish_of : (int, float array) Hashtbl.t = Hashtbl.create 32 in
+  let finishes (op : Alg.op_id) =
+    match Hashtbl.find_opt finish_of (op :> int) with
+    | Some a -> a
+    | None ->
+        let a = Array.make config.iterations Float.nan in
+        Hashtbl.replace finish_of (op :> int) a;
+        a
+  in
+  let overruns = ref 0 in
+  (* phase 1: operators fire every instruction at its static offset
+     (or as soon as the previous one finishes, when running late) *)
+  List.iter
+    (fun (_, body) ->
+      let time = ref 0. in
+      for k = 0 to config.iterations - 1 do
+        let base = float_of_int k *. period in
+        List.iter
+          (fun instr ->
+            match instr with
+            | Cg.Wait_period ->
+                if !time > base +. 1e-9 then incr overruns;
+                time := Float.max !time base
+            | Cg.Exec op ->
+                let slot = Sched.slot_of sched op in
+                let start = Float.max !time (base +. slot.Sched.cs_start) in
+                let skipped =
+                  match Alg.op_cond alg op with
+                  | None -> false
+                  | Some { Alg.var; value } -> config.condition ~iteration:k ~var <> value
+                in
+                let duration =
+                  if skipped then 0.
+                  else begin
+                    let wcet = slot.Sched.cs_duration in
+                    let nominal =
+                      Timing_law.sample config.law rng ~bcet:(config.bcet_frac *. wcet)
+                        ~wcet
+                    in
+                    if config.overrun_prob > 0.
+                       && Numerics.Rng.float rng 1. < config.overrun_prob
+                    then nominal *. config.overrun_factor
+                    else nominal
+                  end
+                in
+                time := start +. duration;
+                (finishes op).(k) <- !time
+            | Cg.Send c -> (table posted (slot_key c)).(k) <- !time
+            | Cg.Recv c ->
+                (* time-triggered read at the planned arrival offset *)
+                let planned = base +. c.Sched.cm_start +. c.Sched.cm_duration in
+                let t_read = Float.max !time planned in
+                time := t_read;
+                (table read_at (slot_key c)).(k) <- t_read)
+          body
+      done)
+    exe.Cg.programs;
+  (* phase 2: the media are time-triggered too — every transfer slot
+     fires at its planned offset (or as soon as the medium frees up),
+     in the static order.  Data that has not been posted by departure
+     misses its slot: the fresh value only travels next period, which
+     the freshness check reports as a stale read. *)
+  let arrival : (int * int * int * int * int, float array) Hashtbl.t = Hashtbl.create 32 in
+  let medium_time : (int, float ref) Hashtbl.t = Hashtbl.create 8 in
+  let medium_clock m =
+    match Hashtbl.find_opt medium_time m with
+    | Some r -> r
+    | None ->
+        let r = ref 0. in
+        Hashtbl.replace medium_time m r;
+        r
+  in
+  (* all transfer instances in global planned-start order, so a hop's
+     predecessor (always planned earlier) is processed first *)
+  let instances =
+    List.concat_map
+      (fun (_, transfers) ->
+        List.concat_map
+          (fun c ->
+            List.init config.iterations (fun k ->
+                ((float_of_int k *. period) +. c.Sched.cm_start, c, k)))
+          transfers)
+      exe.Cg.media_programs
+    |> List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b)
+  in
+  List.iter
+    (fun (planned_start, c, k) ->
+      let clock = medium_clock ((c.Sched.cm_medium :> int)) in
+      let start = Float.max !clock planned_start in
+      (* the slot is consumed whether or not fresh data made it *)
+      clock := start +. c.Sched.cm_duration;
+      let ready =
+        if c.Sched.cm_hop = 0 then (table posted (slot_key c)).(k)
+        else (table arrival (prev_key c)).(k)
+      in
+      if (not (Float.is_nan ready)) && ready <= start +. 1e-12 then begin
+        let duration =
+          if config.comm_jitter_frac <= 0. || c.Sched.cm_duration <= 0. then
+            c.Sched.cm_duration
+          else
+            Numerics.Rng.uniform rng
+              ((1. -. Float.min 1. config.comm_jitter_frac) *. c.Sched.cm_duration)
+              c.Sched.cm_duration
+        in
+        (table arrival (slot_key c)).(k) <- start +. duration
+      end)
+    instances;
+  (* phase 3: freshness — iteration k's read is stale when iteration
+     k's transfer had not arrived yet *)
+  let violations = ref 0 and remote = ref 0 in
+  Hashtbl.iter
+    (fun key reads ->
+      let arrivals = table arrival key in
+      Array.iteri
+        (fun k t_read ->
+          if not (Float.is_nan t_read) then begin
+            incr remote;
+            let t_arrive = arrivals.(k) in
+            if Float.is_nan t_arrive || t_arrive > t_read +. 1e-12 then incr violations
+          end)
+        reads)
+    read_at;
+  let actuation_latencies =
+    List.map
+      (fun op ->
+        let f = finishes op in
+        (op, Array.mapi (fun k t -> t -. (float_of_int k *. period)) f))
+      (Alg.actuators alg)
+  in
+  {
+    period;
+    iterations = config.iterations;
+    violations = !violations;
+    remote_consumptions = !remote;
+    actuation_latencies;
+    overruns = !overruns;
+  }

@@ -1,0 +1,47 @@
+(** Baseline executor: a {e time-triggered table without
+    synchronisation}.
+
+    The classic alternative to SynDEx's synchronised executive: every
+    operation, every transfer slot and every buffer read is fired at
+    its {e static schedule offset} within the period, with no run-time
+    synchronisation at all (a TTP/FlexRay-style static table).  Under
+    the WCET contract this is correct — data is always posted before
+    its bus slot departs and arrives before its planned read instant.
+    But when an execution overruns its WCET (faulty characterisation,
+    unmodelled interference), the fresh value misses its bus slot or
+    its read instant and the consumer silently uses the {e previous}
+    iteration's value, while the synchronised executive of {!Machine}
+    blocks and stays coherent.
+
+    {!run} counts those {e freshness violations}; the comparison
+    against {!Machine} under injected overruns is the [baseline]
+    experiment of EXPERIMENTS.md. *)
+
+type config = {
+  iterations : int;
+  law : Timing_law.t;
+  comm_jitter_frac : float;
+  bcet_frac : float;
+  overrun_prob : float;  (** probability an execution exceeds its WCET *)
+  overrun_factor : float;  (** duration multiplier on overrun *)
+  seed : int;
+  condition : iteration:int -> var:string -> int;
+}
+
+val default_config : config
+(** Same defaults as {!Machine.default_config}. *)
+
+type trace = {
+  period : float;
+  iterations : int;
+  violations : int;  (** stale-data reads *)
+  remote_consumptions : int;  (** total remote reads checked *)
+  actuation_latencies : (Aaa.Algorithm.op_id * float array) list;
+      (** per actuator, per iteration [La(k)] — comparable to
+          {!Machine.actuation_latencies} *)
+  overruns : int;  (** iterations whose work spilled past the release *)
+}
+
+val run : ?config:config -> Aaa.Codegen.t -> trace
+(** Executes the time-triggered baseline.  Never deadlocks (nothing
+    blocks). *)

@@ -1,0 +1,75 @@
+module Alg = Aaa.Algorithm
+module Arch = Aaa.Architecture
+module Sched = Aaa.Schedule
+module Cg = Aaa.Codegen
+
+let render ?(width = 72) ~iteration trace =
+  if width < 10 then invalid_arg "Exec_gantt.render: width too small";
+  if iteration < 0 || iteration >= trace.Machine.iterations then
+    invalid_arg "Exec_gantt.render: iteration out of range";
+  let sched = trace.Machine.executive.Cg.schedule in
+  let alg = sched.Sched.algorithm in
+  let arch = sched.Sched.architecture in
+  let t0 = float_of_int iteration *. trace.Machine.period in
+  let span = trace.Machine.period in
+  let scale t = int_of_float ((t -. t0) /. span *. float_of_int width) in
+  let buf = Buffer.create 1024 in
+  let label_width =
+    List.fold_left
+      (fun acc operator -> Int.max acc (String.length (Arch.operator_name arch operator)))
+      0 (Arch.operators arch)
+    |> fun w ->
+    List.fold_left
+      (fun acc medium -> Int.max acc (String.length (Arch.medium_name arch medium)))
+      w (Arch.media arch)
+  in
+  let row name slots =
+    let cells = Bytes.make width '.' in
+    List.iter
+      (fun (start, finish, text) ->
+        let a = Int.max 0 (Int.min (width - 1) (scale start)) in
+        let b = Int.min width (Int.max (a + 1) (scale finish)) in
+        for i = a to b - 1 do
+          Bytes.set cells i '#'
+        done;
+        String.iteri
+          (fun i ch -> if a + i < b && a + i < width then Bytes.set cells (a + i) ch)
+          (String.sub text 0 (Int.min (String.length text) (Int.max 0 (b - a)))))
+      slots;
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s |%s|\n" label_width name (Bytes.to_string cells))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s  iteration %d: t in [%.6g, %.6g)\n" label_width "" iteration t0
+       (t0 +. span));
+  List.iter
+    (fun operator ->
+      let slots =
+        List.filter_map
+          (fun (oe : Machine.op_exec) ->
+            if oe.Machine.oe_iteration = iteration && oe.Machine.oe_operator = operator
+               && not oe.Machine.oe_skipped
+            then Some (oe.Machine.oe_start, oe.Machine.oe_finish, Alg.op_name alg oe.Machine.oe_op)
+            else None)
+          trace.Machine.ops
+      in
+      row (Arch.operator_name arch operator) slots)
+    (Arch.operators arch);
+  List.iter
+    (fun medium ->
+      let slots =
+        List.filter_map
+          (fun (ce : Machine.comm_exec) ->
+            if ce.Machine.ce_iteration = iteration
+               && ce.Machine.ce_slot.Sched.cm_medium = medium
+            then
+              Some
+                ( ce.Machine.ce_start,
+                  ce.Machine.ce_finish,
+                  Alg.op_name alg (fst ce.Machine.ce_slot.Sched.cm_src) )
+            else None)
+          trace.Machine.comms
+      in
+      row (Arch.medium_name arch medium) slots)
+    (Arch.media arch);
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** ASCII Gantt charts of {e executed} traces — the measured
+    counterpart of {!Aaa.Gantt}: what one iteration actually looked
+    like on the simulated machine, operator by operator and medium by
+    medium, so a planned chart and a measured chart can be compared
+    side by side. *)
+
+val render : ?width:int -> iteration:int -> Machine.trace -> string
+(** Renders iteration [iteration] of the trace over a time axis from
+    the iteration's release to the next one (one period).  Skipped
+    (conditioned-out) operations do not appear.  Raises
+    [Invalid_argument] on an out-of-range iteration. *)

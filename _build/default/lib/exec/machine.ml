@@ -1,0 +1,377 @@
+module Alg = Aaa.Algorithm
+module Arch = Aaa.Architecture
+module Sched = Aaa.Schedule
+module Cg = Aaa.Codegen
+
+exception Deadlock of string
+
+type config = {
+  iterations : int;
+  law : Timing_law.t;
+  comm_jitter_frac : float;
+  bcet_frac : float;
+  durations : Aaa.Durations.t option;
+  overrun_prob : float;
+  overrun_factor : float;
+  seed : int;
+  condition : iteration:int -> var:string -> int;
+}
+
+let default_config =
+  {
+    iterations = 100;
+    law = Timing_law.Uniform;
+    comm_jitter_frac = 0.;
+    bcet_frac = 0.5;
+    durations = None;
+    overrun_prob = 0.;
+    overrun_factor = 1.5;
+    seed = 42;
+    condition = (fun ~iteration:_ ~var:_ -> 0);
+  }
+
+type op_exec = {
+  oe_iteration : int;
+  oe_op : Alg.op_id;
+  oe_operator : Arch.operator_id;
+  oe_start : float;
+  oe_finish : float;
+  oe_skipped : bool;
+}
+
+type comm_exec = {
+  ce_iteration : int;
+  ce_slot : Sched.comm_slot;
+  ce_start : float;
+  ce_finish : float;
+}
+
+type trace = {
+  executive : Cg.t;
+  period : float;
+  iterations : int;
+  ops : op_exec list;
+  comms : comm_exec list;
+  iteration_end : float array;
+  overruns : int;
+}
+
+(* identity of one hop of a transfer within one iteration *)
+let slot_key (c : Sched.comm_slot) =
+  ( (fst c.Sched.cm_src :> int),
+    snd c.Sched.cm_src,
+    (fst c.Sched.cm_dst :> int),
+    snd c.Sched.cm_dst,
+    c.Sched.cm_hop )
+
+type operator_state = {
+  os_id : Arch.operator_id;
+  os_program : Cg.instr array;
+  mutable os_pc : int;
+  mutable os_iter : int;
+  mutable os_time : float;
+}
+
+type medium_state = {
+  ms_transfers : Sched.comm_slot array;
+  mutable ms_index : int;
+  mutable ms_iter : int;
+  mutable ms_time : float;
+}
+
+let run ?(config = default_config) exe =
+  if config.iterations <= 0 then invalid_arg "Machine.run: non-positive iteration count";
+  let sched = exe.Cg.schedule in
+  let alg = sched.Sched.algorithm in
+  let arch = sched.Sched.architecture in
+  let period = Alg.period alg in
+  let rng = Numerics.Rng.create config.seed in
+  let posted : (int * int * int * int * int, float array) Hashtbl.t = Hashtbl.create 64 in
+  let finished : (int * int * int * int * int, float array) Hashtbl.t = Hashtbl.create 64 in
+  let slot_table kind table key =
+    match Hashtbl.find_opt table key with
+    | Some arr -> arr
+    | None ->
+        let arr = Array.make config.iterations Float.nan in
+        Hashtbl.replace table key arr;
+        ignore kind;
+        arr
+  in
+  let operators =
+    List.map
+      (fun (operator, body) ->
+        { os_id = operator; os_program = Array.of_list body; os_pc = 0; os_iter = 0; os_time = 0. })
+      exe.Cg.programs
+  in
+  let media =
+    List.map
+      (fun (_, transfers) ->
+        { ms_transfers = Array.of_list transfers; ms_index = 0; ms_iter = 0; ms_time = 0. })
+      exe.Cg.media_programs
+  in
+  let ops_log = ref [] in
+  let comms_log = ref [] in
+  let sample_exec_duration op operator =
+    (* the WCET is the planned slot length; the BCET comes from the
+       durations table when provided, else from [bcet_frac] *)
+    let wcet =
+      match List.find_opt (fun s -> s.Sched.cs_op = op) sched.Sched.comp with
+      | Some s -> s.Sched.cs_duration
+      | None -> 0.
+    in
+    let bcet =
+      let from_table =
+        Option.bind config.durations (fun table ->
+            Aaa.Durations.bcet table ~op:(Alg.op_name alg op)
+              ~operator:(Arch.operator_name arch operator))
+      in
+      match from_table with
+      | Some b -> Float.min b wcet
+      | None -> config.bcet_frac *. wcet
+    in
+    let nominal = Timing_law.sample config.law rng ~bcet ~wcet in
+    if config.overrun_prob > 0. && Numerics.Rng.float rng 1. < config.overrun_prob then
+      nominal *. config.overrun_factor
+    else nominal
+  in
+  let sample_comm_duration planned =
+    if config.comm_jitter_frac <= 0. then planned
+    else
+      let f = Float.min 1. config.comm_jitter_frac in
+      if planned <= 0. then planned
+      else Numerics.Rng.uniform rng ((1. -. f) *. planned) planned
+  in
+  (* one attempt to advance an operator; returns true on progress *)
+  let step_operator os =
+    if os.os_iter >= config.iterations then false
+    else
+      match os.os_program.(os.os_pc) with
+      | Cg.Wait_period ->
+          os.os_time <- Float.max os.os_time (float_of_int os.os_iter *. period);
+          os.os_pc <- os.os_pc + 1;
+          true
+      | Cg.Exec op ->
+          let skipped =
+            match Alg.op_cond alg op with
+            | None -> false
+            | Some { Alg.var; value } -> config.condition ~iteration:os.os_iter ~var <> value
+          in
+          let start = os.os_time in
+          let finish =
+            if skipped then start else start +. sample_exec_duration op os.os_id
+          in
+          os.os_time <- finish;
+          ops_log :=
+            {
+              oe_iteration = os.os_iter;
+              oe_op = op;
+              oe_operator = os.os_id;
+              oe_start = start;
+              oe_finish = finish;
+              oe_skipped = skipped;
+            }
+            :: !ops_log;
+          os.os_pc <- os.os_pc + 1;
+          true
+      | Cg.Send c ->
+          let arr = slot_table `Posted posted (slot_key c) in
+          arr.(os.os_iter) <- os.os_time;
+          os.os_pc <- os.os_pc + 1;
+          true
+      | Cg.Recv c ->
+          let arr = slot_table `Finished finished (slot_key c) in
+          let t = arr.(os.os_iter) in
+          if Float.is_nan t then false
+          else begin
+            os.os_time <- Float.max os.os_time t;
+            os.os_pc <- os.os_pc + 1;
+            true
+          end
+  in
+  let wrap_operator os =
+    if os.os_iter < config.iterations && os.os_pc >= Array.length os.os_program then begin
+      os.os_iter <- os.os_iter + 1;
+      os.os_pc <- 0
+    end
+  in
+  let step_medium ms =
+    if ms.ms_iter >= config.iterations || Array.length ms.ms_transfers = 0 then false
+    else begin
+      let c = ms.ms_transfers.(ms.ms_index) in
+      (* hop 0 waits for the producer's post; later hops wait for the
+         previous hop's completion *)
+      let posted_arr =
+        if c.Sched.cm_hop = 0 then slot_table `Posted posted (slot_key c)
+        else
+          slot_table `Finished finished
+            (let a, b, cc, d, hop = slot_key c in
+             (a, b, cc, d, hop - 1))
+      in
+      let t_posted = posted_arr.(ms.ms_iter) in
+      if Float.is_nan t_posted then false
+      else begin
+        let start = Float.max ms.ms_time t_posted in
+        let finish = start +. sample_comm_duration c.Sched.cm_duration in
+        let fin_arr = slot_table `Finished finished (slot_key c) in
+        fin_arr.(ms.ms_iter) <- finish;
+        ms.ms_time <- finish;
+        comms_log :=
+          { ce_iteration = ms.ms_iter; ce_slot = c; ce_start = start; ce_finish = finish }
+          :: !comms_log;
+        if ms.ms_index + 1 >= Array.length ms.ms_transfers then begin
+          ms.ms_index <- 0;
+          ms.ms_iter <- ms.ms_iter + 1
+        end
+        else ms.ms_index <- ms.ms_index + 1;
+        true
+      end
+    end
+  in
+  let all_done () =
+    List.for_all (fun os -> os.os_iter >= config.iterations) operators
+    && List.for_all
+         (fun ms -> ms.ms_iter >= config.iterations || Array.length ms.ms_transfers = 0)
+         media
+  in
+  let describe_blocked () =
+    let operator_desc =
+      List.filter_map
+        (fun os ->
+          if os.os_iter >= config.iterations then None
+          else
+            Some
+              (Printf.sprintf "%s blocked at pc=%d (iteration %d)"
+                 (Arch.operator_name arch os.os_id)
+                 os.os_pc os.os_iter))
+        operators
+    in
+    String.concat "; " operator_desc
+  in
+  let rec drive () =
+    if not (all_done ()) then begin
+      let progress = ref false in
+      List.iter
+        (fun os ->
+          (* advance greedily while possible to keep the loop cheap *)
+          while step_operator os do
+            progress := true;
+            wrap_operator os
+          done)
+        operators;
+      List.iter (fun ms -> while step_medium ms do progress := true done) media;
+      if not !progress then
+        raise (Deadlock (Printf.sprintf "executive deadlock: %s" (describe_blocked ())));
+      drive ()
+    end
+  in
+  drive ();
+  let ops = List.rev !ops_log in
+  let comms = List.rev !comms_log in
+  let iteration_end = Array.make config.iterations 0. in
+  List.iter
+    (fun oe ->
+      iteration_end.(oe.oe_iteration) <- Float.max iteration_end.(oe.oe_iteration) oe.oe_finish)
+    ops;
+  let overruns = ref 0 in
+  Array.iteri
+    (fun k t_end -> if t_end > (float_of_int (k + 1) *. period) +. 1e-9 then incr overruns)
+    iteration_end;
+  {
+    executive = exe;
+    period;
+    iterations = config.iterations;
+    ops;
+    comms;
+    iteration_end;
+    overruns = !overruns;
+  }
+
+let instants trace op =
+  let arr = Array.make trace.iterations Float.nan in
+  List.iter
+    (fun oe ->
+      if oe.oe_op = op && not oe.oe_skipped then arr.(oe.oe_iteration) <- oe.oe_finish)
+    trace.ops;
+  arr
+
+let latencies_of trace ids =
+  List.map
+    (fun op ->
+      let inst = instants trace op in
+      let lat =
+        Array.mapi
+          (fun k t -> if Float.is_nan t then t else t -. (float_of_int k *. trace.period))
+          inst
+      in
+      (op, lat))
+    ids
+
+let sampling_latencies trace =
+  latencies_of trace (Alg.sensors trace.executive.Cg.schedule.Sched.algorithm)
+
+let actuation_latencies trace =
+  latencies_of trace (Alg.actuators trace.executive.Cg.schedule.Sched.algorithm)
+
+let utilization trace =
+  let arch = trace.executive.Cg.schedule.Sched.architecture in
+  let horizon = float_of_int trace.iterations *. trace.period in
+  List.map
+    (fun operator ->
+      let busy =
+        List.fold_left
+          (fun acc oe ->
+            if oe.oe_operator = operator && not oe.oe_skipped then
+              acc +. (oe.oe_finish -. oe.oe_start)
+            else acc)
+          0. trace.ops
+      in
+      (operator, busy /. horizon))
+    (Arch.operators arch)
+
+let latencies_csv trace =
+  let alg = trace.executive.Cg.schedule.Sched.algorithm in
+  let columns =
+    List.map (fun (op, lat) -> ("Ls_" ^ Alg.op_name alg op, lat)) (sampling_latencies trace)
+    @ List.map
+        (fun (op, lat) -> ("La_" ^ Alg.op_name alg op, lat))
+        (actuation_latencies trace)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    ("iteration," ^ String.concat "," (List.map fst columns) ^ "\n");
+  for k = 0 to trace.iterations - 1 do
+    Buffer.add_string buf (string_of_int k);
+    List.iter
+      (fun (_, lat) -> Buffer.add_string buf (Printf.sprintf ",%.9g" lat.(k)))
+      columns;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let order_conformant trace =
+  let sched = trace.executive.Cg.schedule in
+  (* on every operator, executions must follow the scheduled sequence
+     within each iteration, without overlap *)
+  let ok = ref true in
+  List.iter
+    (fun operator ->
+      let expected = List.map (fun s -> s.Sched.cs_op) (Sched.on_operator sched operator) in
+      for k = 0 to trace.iterations - 1 do
+        let actual =
+          List.filter_map
+            (fun oe ->
+              if oe.oe_operator = operator && oe.oe_iteration = k then Some oe else None)
+            trace.ops
+        in
+        let names = List.map (fun oe -> oe.oe_op) actual in
+        if names <> expected then ok := false;
+        let rec overlap = function
+          | a :: (b :: _ as rest) ->
+              if a.oe_finish > b.oe_start +. 1e-9 then ok := false;
+              overlap rest
+          | [ _ ] | [] -> ()
+        in
+        overlap actual
+      done)
+    (Arch.operators sched.Sched.architecture);
+  !ok

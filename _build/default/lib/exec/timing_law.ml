@@ -1,0 +1,24 @@
+type t =
+  | Wcet
+  | Bcet
+  | Uniform
+  | Triangular of float
+  | Gaussian of { mean_frac : float; sigma_frac : float }
+
+let sample law rng ~bcet ~wcet =
+  if bcet < 0. || wcet < bcet then invalid_arg "Timing_law.sample: need 0 <= bcet <= wcet";
+  let span = wcet -. bcet in
+  if span = 0. then wcet
+  else
+    match law with
+    | Wcet -> wcet
+    | Bcet -> bcet
+    | Uniform -> Numerics.Rng.uniform rng bcet wcet
+    | Triangular frac ->
+        if frac < 0. || frac > 1. then invalid_arg "Timing_law.sample: mode fraction";
+        Numerics.Rng.triangular rng ~lo:bcet ~mode:(bcet +. (frac *. span)) ~hi:wcet
+    | Gaussian { mean_frac; sigma_frac } ->
+        let mu = bcet +. (mean_frac *. span) in
+        let sigma = sigma_frac *. span in
+        let v = Numerics.Rng.gaussian rng ~mu ~sigma () in
+        Float.max bcet (Float.min wcet v)

@@ -1,0 +1,24 @@
+(** Execution-time laws: how long an operation (or transfer) actually
+    takes at run time, given its BCET/WCET characterisation.
+
+    The adequation plans with WCETs; real executions are usually
+    shorter and vary — the variation is precisely what creates the
+    sampling/actuation jitter the methodology exposes.  All laws are
+    clamped to the [\[bcet, wcet\]] interval, honouring the
+    worst-case contract of the static schedule. *)
+
+type t =
+  | Wcet  (** deterministic worst case — the static schedule replayed *)
+  | Bcet  (** deterministic best case *)
+  | Uniform  (** uniform over [\[bcet, wcet\]] *)
+  | Triangular of float
+      (** triangular over [\[bcet, wcet\]] with mode at
+          [bcet + frac·(wcet − bcet)], [frac ∈ \[0,1\]] — the common
+          "usually near best case, occasionally slow" profile *)
+  | Gaussian of { mean_frac : float; sigma_frac : float }
+      (** normal with mean/σ expressed as fractions of the interval,
+          truncated to it *)
+
+val sample : t -> Numerics.Rng.t -> bcet:float -> wcet:float -> float
+(** Draws one duration.  Requires [0 <= bcet <= wcet]; a degenerate
+    interval returns [wcet] whatever the law. *)

@@ -1,0 +1,1 @@
+lib/numerics/cmatrix.ml: Array Complex Matrix

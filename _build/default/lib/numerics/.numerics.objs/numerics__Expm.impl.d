@@ -1,0 +1,1 @@
+lib/numerics/expm.ml: Array Float Int Linalg Matrix

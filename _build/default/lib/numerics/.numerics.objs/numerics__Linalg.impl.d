@@ -1,0 +1,1 @@
+lib/numerics/linalg.ml: Array Complex Float Fun List Matrix Poly

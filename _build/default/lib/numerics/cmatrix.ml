@@ -1,0 +1,115 @@
+type t = { r : int; c : int; a : Complex.t array }
+
+exception Singular
+
+let rows m = m.r
+let cols m = m.c
+
+let init r c f =
+  if r < 0 || c < 0 then invalid_arg "Cmatrix.init: negative dimension";
+  { r; c; a = Array.init (r * c) (fun k -> f (k / c) (k mod c)) }
+
+let zeros r c = init r c (fun _ _ -> Complex.zero)
+
+let identity n = init n n (fun i j -> if i = j then Complex.one else Complex.zero)
+
+let of_real m =
+  init (Matrix.rows m) (Matrix.cols m) (fun i j -> { Complex.re = Matrix.get m i j; im = 0. })
+
+let scalar z n = init n n (fun i j -> if i = j then z else Complex.zero)
+
+let get m i j =
+  if i < 0 || i >= m.r || j < 0 || j >= m.c then invalid_arg "Cmatrix.get: out of bounds";
+  m.a.((i * m.c) + j)
+
+let check_same_shape op x y =
+  if x.r <> y.r || x.c <> y.c then invalid_arg ("Cmatrix." ^ op ^ ": shape mismatch")
+
+let add x y =
+  check_same_shape "add" x y;
+  { x with a = Array.init (Array.length x.a) (fun k -> Complex.add x.a.(k) y.a.(k)) }
+
+let sub x y =
+  check_same_shape "sub" x y;
+  { x with a = Array.init (Array.length x.a) (fun k -> Complex.sub x.a.(k) y.a.(k)) }
+
+let scale z m = { m with a = Array.map (Complex.mul z) m.a }
+
+let mul x y =
+  if x.c <> y.r then invalid_arg "Cmatrix.mul: inner dimension mismatch";
+  init x.r y.c (fun i j ->
+      let acc = ref Complex.zero in
+      for k = 0 to x.c - 1 do
+        acc := Complex.add !acc (Complex.mul x.a.((i * x.c) + k) y.a.((k * y.c) + j))
+      done;
+      !acc)
+
+let mul_vec m v =
+  if m.c <> Array.length v then invalid_arg "Cmatrix.mul_vec: dimension mismatch";
+  Array.init m.r (fun i ->
+      let acc = ref Complex.zero in
+      for j = 0 to m.c - 1 do
+        acc := Complex.add !acc (Complex.mul m.a.((i * m.c) + j) v.(j))
+      done;
+      !acc)
+
+(* Gaussian elimination with partial pivoting on the modulus,
+   solving a·X = b for the full right-hand-side matrix at once. *)
+let solve_mat a b =
+  if a.r <> a.c then invalid_arg "Cmatrix.solve_mat: A not square";
+  if a.r <> b.r then invalid_arg "Cmatrix.solve_mat: row mismatch";
+  let n = a.r and m = b.c in
+  (* working copies as row arrays *)
+  let aw = Array.init n (fun i -> Array.init n (fun j -> a.a.((i * n) + j))) in
+  let bw = Array.init n (fun i -> Array.init m (fun j -> b.a.((i * b.c) + j))) in
+  for k = 0 to n - 1 do
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Complex.norm aw.(i).(k) > Complex.norm aw.(!pivot).(k) then pivot := i
+    done;
+    if !pivot <> k then begin
+      let t = aw.(k) in
+      aw.(k) <- aw.(!pivot);
+      aw.(!pivot) <- t;
+      let t = bw.(k) in
+      bw.(k) <- bw.(!pivot);
+      bw.(!pivot) <- t
+    end;
+    if Complex.norm aw.(k).(k) = 0. then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = Complex.div aw.(i).(k) aw.(k).(k) in
+      for j = k to n - 1 do
+        aw.(i).(j) <- Complex.sub aw.(i).(j) (Complex.mul factor aw.(k).(j))
+      done;
+      for j = 0 to m - 1 do
+        bw.(i).(j) <- Complex.sub bw.(i).(j) (Complex.mul factor bw.(k).(j))
+      done
+    done
+  done;
+  (* back substitution *)
+  let x = Array.make_matrix n m Complex.zero in
+  for i = n - 1 downto 0 do
+    for j = 0 to m - 1 do
+      let acc = ref bw.(i).(j) in
+      for k = i + 1 to n - 1 do
+        acc := Complex.sub !acc (Complex.mul aw.(i).(k) x.(k).(j))
+      done;
+      x.(i).(j) <- Complex.div !acc aw.(i).(i)
+    done
+  done;
+  init n m (fun i j -> x.(i).(j))
+
+let norm_inf m =
+  let best = ref 0. in
+  for i = 0 to m.r - 1 do
+    let s = ref 0. in
+    for j = 0 to m.c - 1 do
+      s := !s +. Complex.norm m.a.((i * m.c) + j)
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+let equal ?(eps = 1e-9) x y =
+  x.r = y.r && x.c = y.c
+  && Array.for_all2 (fun a b -> Complex.norm (Complex.sub a b) <= eps) x.a y.a

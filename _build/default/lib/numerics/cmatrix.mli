@@ -1,0 +1,40 @@
+(** Dense complex matrices — the minimum needed for frequency-domain
+    analysis: building [(jω·I − A)], solving linear systems and a few
+    conversions.  Same conventions as {!Matrix} (row-major,
+    functionally pure API). *)
+
+type t
+
+val rows : t -> int
+val cols : t -> int
+
+val zeros : int -> int -> t
+val identity : int -> t
+val init : int -> int -> (int -> int -> Complex.t) -> t
+
+val of_real : Matrix.t -> t
+(** Embeds a real matrix. *)
+
+val scalar : Complex.t -> int -> t
+(** [scalar z n] is [z·Iₙ]. *)
+
+val get : t -> int -> int -> Complex.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : Complex.t -> t -> t
+
+val mul_vec : t -> Complex.t array -> Complex.t array
+
+exception Singular
+
+val solve_mat : t -> t -> t
+(** [solve_mat a b] solves [a·X = b] by Gaussian elimination with
+    partial (modulus) pivoting.  Raises {!Singular} or
+    [Invalid_argument] on shape errors. *)
+
+val norm_inf : t -> float
+
+val equal : ?eps:float -> t -> t -> bool
+(** Entry-wise modulus-of-difference comparison. *)

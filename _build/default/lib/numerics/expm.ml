@@ -1,0 +1,45 @@
+(* Padé(6,6) coefficients for eˣ: p(x)/q(x) with q(x) = p(−x). *)
+let pade_coeffs = [| 1.; 0.5; 5. /. 44.; 1. /. 66.; 1. /. 792.; 1. /. 15840.; 1. /. 665280. |]
+
+let expm a =
+  if not (Matrix.is_square a) then invalid_arg "Expm.expm: not square";
+  let n = Matrix.rows a in
+  if n = 0 then a
+  else begin
+    (* scale so the norm is below 0.5, apply Padé, then square back *)
+    let norm = Matrix.norm_inf a in
+    let squarings =
+      if norm <= 0.5 then 0
+      else Int.max 0 (int_of_float (Float.ceil (Float.log2 (norm /. 0.5))))
+    in
+    let a_scaled = Matrix.scale (1. /. Float.of_int (1 lsl squarings)) a in
+    let id = Matrix.identity n in
+    (* p = Σ cᵢ Aⁱ split into even and odd parts so q = even − odd *)
+    let even = ref (Matrix.scale pade_coeffs.(0) id) in
+    let odd = ref (Matrix.scale pade_coeffs.(1) a_scaled) in
+    let power = ref a_scaled in
+    for i = 2 to 6 do
+      power := Matrix.mul !power a_scaled;
+      let term = Matrix.scale pade_coeffs.(i) !power in
+      if i mod 2 = 0 then even := Matrix.add !even term else odd := Matrix.add !odd term
+    done;
+    let p = Matrix.add !even !odd in
+    let q = Matrix.sub !even !odd in
+    let r = ref (Linalg.solve_mat q p) in
+    for _ = 1 to squarings do
+      r := Matrix.mul !r !r
+    done;
+    !r
+  end
+
+let zoh a b ts =
+  if not (Matrix.is_square a) then invalid_arg "Expm.zoh: A not square";
+  if Matrix.rows a <> Matrix.rows b then invalid_arg "Expm.zoh: A/B row mismatch";
+  if ts <= 0. then invalid_arg "Expm.zoh: non-positive sampling period";
+  let n = Matrix.rows a and m = Matrix.cols b in
+  (* exp of [[A B]; [0 0]]·Ts  =  [[Ad Bd]; [0 I]] *)
+  let top = Matrix.hcat a b in
+  let bottom = Matrix.zeros m (n + m) in
+  let aug = Matrix.scale ts (Matrix.vcat top bottom) in
+  let e = expm aug in
+  (Matrix.block e 0 0 n n, Matrix.block e 0 n n m)

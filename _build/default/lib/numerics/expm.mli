@@ -1,0 +1,16 @@
+(** Matrix exponential and zero-order-hold discretisation.
+
+    The exponential uses scaling-and-squaring with a diagonal Padé(6,6)
+    approximant — more than accurate enough for the small, moderately
+    normed matrices of plant models. *)
+
+val expm : Matrix.t -> Matrix.t
+(** [expm a] is [e^A].  Raises [Invalid_argument] if [a] is not
+    square. *)
+
+val zoh : Matrix.t -> Matrix.t -> float -> Matrix.t * Matrix.t
+(** [zoh a b ts] discretises the continuous pair [(A, B)] under a
+    zero-order hold with sampling period [ts]:
+    [Ad = e^(A·Ts)], [Bd = (∫₀^Ts e^(A·s) ds)·B], computed in one
+    exponential of the augmented block matrix [[A B; 0 0]].
+    Raises [Invalid_argument] on dimension mismatch or [ts <= 0]. *)

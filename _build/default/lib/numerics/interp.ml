@@ -1,0 +1,47 @@
+type t = { xs : float array; ys : float array }
+
+let make ~xs ~ys =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Interp.make: need at least two breakpoints";
+  if Array.length ys <> n then invalid_arg "Interp.make: xs/ys length mismatch";
+  for i = 1 to n - 1 do
+    if xs.(i) <= xs.(i - 1) then invalid_arg "Interp.make: breakpoints must increase"
+  done;
+  { xs = Array.copy xs; ys = Array.copy ys }
+
+(* index of the segment containing x (clamped to valid segments) *)
+let segment t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then 0
+  else if x >= t.xs.(n - 1) then n - 2
+  else begin
+    (* binary search for the last breakpoint <= x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let lerp t x =
+  let i = segment t x in
+  let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+  let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+  y0 +. ((x -. x0) /. (x1 -. x0) *. (y1 -. y0))
+
+let eval t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else lerp t x
+
+let eval_extrapolate = lerp
+
+let domain t = (t.xs.(0), t.xs.(Array.length t.xs - 1))
+
+let of_function ?(n = 32) f ~lo ~hi =
+  if n < 2 then invalid_arg "Interp.of_function: need at least two samples";
+  if hi <= lo then invalid_arg "Interp.of_function: empty domain";
+  let xs = Array.init n (fun i -> lo +. (float_of_int i /. float_of_int (n - 1) *. (hi -. lo))) in
+  make ~xs ~ys:(Array.map f xs)

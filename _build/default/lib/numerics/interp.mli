@@ -1,0 +1,23 @@
+(** One-dimensional interpolation over sorted breakpoints — the
+    numeric core of lookup-table blocks (sensor calibration curves,
+    engine maps, gain scheduling). *)
+
+type t
+(** An immutable interpolant. *)
+
+val make : xs:float array -> ys:float array -> t
+(** Breakpoints [xs] (strictly increasing, at least two) with values
+    [ys] of the same length.  Raises [Invalid_argument] otherwise. *)
+
+val eval : t -> float -> float
+(** Piecewise-linear evaluation; clamps outside the breakpoint range
+    (constant extrapolation, the usual embedded-map semantics). *)
+
+val eval_extrapolate : t -> float -> float
+(** Like {!eval} but extrapolates linearly from the end segments. *)
+
+val domain : t -> float * float
+
+val of_function : ?n:int -> (float -> float) -> lo:float -> hi:float -> t
+(** Samples a function on [n] (default 32) evenly spaced breakpoints
+    over [\[lo, hi\]]. *)

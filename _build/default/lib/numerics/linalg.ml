@@ -1,0 +1,153 @@
+exception Singular
+
+type lu = {
+  lu_mat : float array array; (* combined L (unit diagonal) and U *)
+  perm : int array; (* row permutation applied to the right-hand side *)
+  sign : float; (* parity of the permutation, for determinants *)
+  n : int;
+}
+
+let lu_decompose m =
+  if not (Matrix.is_square m) then invalid_arg "Linalg.lu_decompose: not square";
+  let n = Matrix.rows m in
+  let a = Matrix.to_arrays m in
+  let perm = Array.init n Fun.id in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* partial pivoting: bring the largest |entry| of column k to row k *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs a.(i).(k) > Float.abs a.(!pivot).(k) then pivot := i
+    done;
+    if !pivot <> k then begin
+      let tmp = a.(k) in
+      a.(k) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tp;
+      sign := -. !sign
+    end;
+    if a.(k).(k) = 0. then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = a.(i).(k) /. a.(k).(k) in
+      a.(i).(k) <- factor;
+      for j = k + 1 to n - 1 do
+        a.(i).(j) <- a.(i).(j) -. (factor *. a.(k).(j))
+      done
+    done
+  done;
+  { lu_mat = a; perm; sign = !sign; n }
+
+let lu_solve { lu_mat = a; perm; n; _ } b =
+  if Array.length b <> n then invalid_arg "Linalg.lu_solve: dimension mismatch";
+  let y = Array.make n 0. in
+  (* forward substitution on the permuted right-hand side *)
+  for i = 0 to n - 1 do
+    let s = ref b.(perm.(i)) in
+    for j = 0 to i - 1 do
+      s := !s -. (a.(i).(j) *. y.(j))
+    done;
+    y.(i) <- !s
+  done;
+  (* back substitution *)
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (a.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !s /. a.(i).(i)
+  done;
+  x
+
+let lu_det { lu_mat = a; sign; n; _ } =
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. a.(i).(i)
+  done;
+  !d
+
+let solve m b = lu_solve (lu_decompose m) b
+
+let solve_mat a b =
+  if Matrix.rows a <> Matrix.rows b then invalid_arg "Linalg.solve_mat: row mismatch";
+  let f = lu_decompose a in
+  let cols =
+    Array.init (Matrix.cols b) (fun j -> lu_solve f (Matrix.col b j))
+  in
+  Matrix.init (Matrix.rows a) (Matrix.cols b) (fun i j -> cols.(j).(i))
+
+let inv m = solve_mat m (Matrix.identity (Matrix.rows m))
+
+let det m = match lu_decompose m with exception Singular -> 0. | f -> lu_det f
+
+(* Faddeev–LeVerrier: M₀ = I, cₙ = 1;
+   Mₖ = A·Mₖ₋₁ + cₙ₋ₖ₊₁·I with cₙ₋ₖ = −tr(A·Mₖ₋₁ + cₙ₋ₖ₊₁·I … )/k.
+   We use the standard recurrence producing det(x·I − A). *)
+let char_poly m =
+  if not (Matrix.is_square m) then invalid_arg "Linalg.char_poly: not square";
+  let n = Matrix.rows m in
+  let coeffs = Array.make (n + 1) 0. in
+  coeffs.(n) <- 1.;
+  let mk = ref (Matrix.identity n) in
+  for k = 1 to n do
+    let am = Matrix.mul m !mk in
+    let c = -.Matrix.trace am /. float_of_int k in
+    coeffs.(n - k) <- c;
+    mk := Matrix.add am (Matrix.scale c (Matrix.identity n))
+  done;
+  coeffs
+
+let eigenvalues m =
+  if Matrix.rows m = 0 then [] else Poly.roots (char_poly m)
+
+let spectral_radius m =
+  List.fold_left (fun acc z -> Float.max acc (Complex.norm z)) 0. (eigenvalues m)
+
+let is_stable_continuous ?(margin = 0.) m =
+  List.for_all (fun z -> z.Complex.re < -.margin) (eigenvalues m)
+
+let is_stable_discrete ?(margin = 0.) m =
+  List.for_all (fun z -> Complex.norm z < 1. -. margin) (eigenvalues m)
+
+let kron a b =
+  let ra = Matrix.rows a and ca = Matrix.cols a in
+  let rb = Matrix.rows b and cb = Matrix.cols b in
+  Matrix.init (ra * rb) (ca * cb) (fun i j ->
+      Matrix.get a (i / rb) (j / cb) *. Matrix.get b (i mod rb) (j mod cb))
+
+(* vec stacks columns, so vec(A·P·Bᵀ) = (B ⊗ A)·vec(P) *)
+let vec m =
+  let r = Matrix.rows m and c = Matrix.cols m in
+  Array.init (r * c) (fun k -> Matrix.get m (k mod r) (k / r))
+
+let unvec v r c = Matrix.init r c (fun i j -> v.((j * r) + i))
+
+let lyap a q =
+  if not (Matrix.is_square a) then invalid_arg "Linalg.lyap: A not square";
+  if Matrix.rows q <> Matrix.rows a || Matrix.cols q <> Matrix.cols a then
+    invalid_arg "Linalg.lyap: Q shape mismatch";
+  let n = Matrix.rows a in
+  let id = Matrix.identity n in
+  (* (I ⊗ A + A ⊗ I)·vec(P) = −vec(Q) *)
+  let lhs = Matrix.add (kron id a) (kron a id) in
+  let p = solve lhs (Array.map (fun x -> -.x) (vec q)) in
+  unvec p n n
+
+let dlyap a q =
+  if not (Matrix.is_square a) then invalid_arg "Linalg.dlyap: A not square";
+  if Matrix.rows q <> Matrix.rows a || Matrix.cols q <> Matrix.cols a then
+    invalid_arg "Linalg.dlyap: Q shape mismatch";
+  let n = Matrix.rows a in
+  (* (I − A ⊗ A)·vec(P) = vec(Q) *)
+  let lhs = Matrix.sub (Matrix.identity (n * n)) (kron a a) in
+  let p = solve lhs (vec q) in
+  unvec p n n
+
+let lstsq a b =
+  if Matrix.rows a <> Array.length b then invalid_arg "Linalg.lstsq: dimension mismatch";
+  let at = Matrix.transpose a in
+  let ata = Matrix.mul at a in
+  let atb = Matrix.mul_vec at b in
+  solve ata atb

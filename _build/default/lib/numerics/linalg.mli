@@ -1,0 +1,75 @@
+(** Dense linear algebra on {!Matrix.t}: factorisations, linear solves,
+    determinants, inverses and eigenvalues.
+
+    Everything here targets the small, well-conditioned systems that
+    arise from plant/controller state-space models, so plain LU with
+    partial pivoting is used throughout. *)
+
+exception Singular
+(** Raised when a factorisation or solve meets a (numerically)
+    singular matrix. *)
+
+type lu
+(** An LU factorisation with partial pivoting ([P·A = L·U]). *)
+
+val lu_decompose : Matrix.t -> lu
+(** Factorises a square matrix.  Raises {!Singular} if a pivot is
+    exactly zero after row exchange, [Invalid_argument] if the matrix
+    is not square. *)
+
+val lu_solve : lu -> float array -> float array
+(** Solves [A·x = b] using a prior factorisation. *)
+
+val lu_det : lu -> float
+(** Determinant from the factorisation. *)
+
+val solve : Matrix.t -> float array -> float array
+(** [solve a b] solves [a·x = b].  Raises {!Singular}. *)
+
+val solve_mat : Matrix.t -> Matrix.t -> Matrix.t
+(** [solve_mat a b] solves [a·X = b] column-by-column. *)
+
+val inv : Matrix.t -> Matrix.t
+(** Matrix inverse.  Raises {!Singular}. *)
+
+val det : Matrix.t -> float
+(** Determinant ([0.] is returned for singular matrices rather than
+    raising). *)
+
+val char_poly : Matrix.t -> Poly.t
+(** Characteristic polynomial [det(x·I − A)] by the
+    Faddeev–LeVerrier recurrence, lowest-degree coefficient first. *)
+
+val eigenvalues : Matrix.t -> Complex.t list
+(** All eigenvalues (with multiplicity) via {!char_poly} and
+    {!Poly.roots}.  Intended for the small state dimensions used in
+    control design. *)
+
+val spectral_radius : Matrix.t -> float
+(** Largest eigenvalue modulus. *)
+
+val is_stable_continuous : ?margin:float -> Matrix.t -> bool
+(** All eigenvalues have real part < −[margin] (default [0.]). *)
+
+val is_stable_discrete : ?margin:float -> Matrix.t -> bool
+(** All eigenvalues have modulus < 1 − [margin] (default [0.]). *)
+
+val kron : Matrix.t -> Matrix.t -> Matrix.t
+(** Kronecker product. *)
+
+val lyap : Matrix.t -> Matrix.t -> Matrix.t
+(** [lyap a q] solves the continuous Lyapunov equation
+    [A·P + P·Aᵀ + Q = 0] by Kronecker vectorisation — [A] must be
+    Hurwitz for the result to be the controllability Gramian.  Raises
+    {!Singular} when no unique solution exists (e.g. eigenvalues
+    summing to zero). *)
+
+val dlyap : Matrix.t -> Matrix.t -> Matrix.t
+(** [dlyap a q] solves the discrete Lyapunov (Stein) equation
+    [P = A·P·Aᵀ + Q].  Raises {!Singular} when [A] has reciprocal
+    eigenvalue pairs. *)
+
+val lstsq : Matrix.t -> float array -> float array
+(** Least-squares solution of an overdetermined system via the normal
+    equations.  Raises {!Singular} when [AᵀA] is singular (rank
+    deficient). *)

@@ -1,0 +1,163 @@
+type t = { r : int; c : int; a : float array }
+
+let rows m = m.r
+let cols m = m.c
+
+let create r c x =
+  if r < 0 || c < 0 then invalid_arg "Matrix.create: negative dimension";
+  { r; c; a = Array.make (r * c) x }
+
+let zeros r c = create r c 0.
+
+let init r c f =
+  if r < 0 || c < 0 then invalid_arg "Matrix.init: negative dimension";
+  { r; c; a = Array.init (r * c) (fun k -> f (k / c) (k mod c)) }
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_arrays rows_ =
+  let r = Array.length rows_ in
+  if r = 0 then invalid_arg "Matrix.of_arrays: empty";
+  let c = Array.length rows_.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> c then invalid_arg "Matrix.of_arrays: ragged rows")
+    rows_;
+  init r c (fun i j -> rows_.(i).(j))
+
+let to_arrays m = Array.init m.r (fun i -> Array.sub m.a (i * m.c) m.c)
+
+let of_vec v = { r = Array.length v; c = 1; a = Array.copy v }
+
+let to_vec m =
+  if m.r <> 1 && m.c <> 1 then invalid_arg "Matrix.to_vec: not a vector";
+  Array.copy m.a
+
+let check_bounds m i j =
+  if i < 0 || i >= m.r || j < 0 || j >= m.c then
+    invalid_arg (Printf.sprintf "Matrix: index (%d,%d) out of %dx%d" i j m.r m.c)
+
+let get m i j =
+  check_bounds m i j;
+  m.a.((i * m.c) + j)
+
+let set m i j x =
+  check_bounds m i j;
+  let a = Array.copy m.a in
+  a.((i * m.c) + j) <- x;
+  { m with a }
+
+let row m i =
+  if i < 0 || i >= m.r then invalid_arg "Matrix.row: out of bounds";
+  Array.sub m.a (i * m.c) m.c
+
+let col m j =
+  if j < 0 || j >= m.c then invalid_arg "Matrix.col: out of bounds";
+  Array.init m.r (fun i -> m.a.((i * m.c) + j))
+
+let check_same_shape op x y =
+  if x.r <> y.r || x.c <> y.c then
+    invalid_arg
+      (Printf.sprintf "Matrix.%s: shape mismatch (%dx%d vs %dx%d)" op x.r x.c y.r y.c)
+
+let map2 op f x y =
+  check_same_shape op x y;
+  { x with a = Array.init (Array.length x.a) (fun k -> f x.a.(k) y.a.(k)) }
+
+let add x y = map2 "add" ( +. ) x y
+let sub x y = map2 "sub" ( -. ) x y
+let scale s m = { m with a = Array.map (fun x -> s *. x) m.a }
+let neg m = scale (-1.) m
+let map f m = { m with a = Array.map f m.a }
+
+let mul x y =
+  if x.c <> y.r then
+    invalid_arg
+      (Printf.sprintf "Matrix.mul: inner dimension mismatch (%dx%d * %dx%d)" x.r x.c y.r y.c);
+  let a = Array.make (x.r * y.c) 0. in
+  for i = 0 to x.r - 1 do
+    for k = 0 to x.c - 1 do
+      let xik = x.a.((i * x.c) + k) in
+      if xik <> 0. then
+        for j = 0 to y.c - 1 do
+          a.((i * y.c) + j) <- a.((i * y.c) + j) +. (xik *. y.a.((k * y.c) + j))
+        done
+    done
+  done;
+  { r = x.r; c = y.c; a }
+
+let mul_vec m v =
+  if m.c <> Array.length v then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init m.r (fun i ->
+      let s = ref 0. in
+      for j = 0 to m.c - 1 do
+        s := !s +. (m.a.((i * m.c) + j) *. v.(j))
+      done;
+      !s)
+
+let transpose m = init m.c m.r (fun i j -> m.a.((j * m.c) + i))
+
+let is_square m = m.r = m.c
+
+let trace m =
+  if not (is_square m) then invalid_arg "Matrix.trace: not square";
+  let s = ref 0. in
+  for i = 0 to m.r - 1 do
+    s := !s +. m.a.((i * m.c) + i)
+  done;
+  !s
+
+let hcat x y =
+  if x.r <> y.r then invalid_arg "Matrix.hcat: row mismatch";
+  init x.r (x.c + y.c) (fun i j ->
+      if j < x.c then x.a.((i * x.c) + j) else y.a.((i * y.c) + (j - x.c)))
+
+let vcat x y =
+  if x.c <> y.c then invalid_arg "Matrix.vcat: column mismatch";
+  init (x.r + y.r) x.c (fun i j ->
+      if i < x.r then x.a.((i * x.c) + j) else y.a.(((i - x.r) * y.c) + j))
+
+let block m i j r c =
+  if i < 0 || j < 0 || r < 0 || c < 0 || i + r > m.r || j + c > m.c then
+    invalid_arg "Matrix.block: out of bounds";
+  init r c (fun bi bj -> m.a.(((i + bi) * m.c) + (j + bj)))
+
+let norm_inf m =
+  let best = ref 0. in
+  for i = 0 to m.r - 1 do
+    let s = ref 0. in
+    for j = 0 to m.c - 1 do
+      s := !s +. Float.abs m.a.((i * m.c) + j)
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+let norm_fro m = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.a)
+
+let equal ?(eps = 1e-9) x y =
+  x.r = y.r && x.c = y.c
+  && Array.for_all2 (fun a b -> Float.abs (a -. b) <= eps) x.a y.a
+
+let pow m k =
+  if not (is_square m) then invalid_arg "Matrix.pow: not square";
+  if k < 0 then invalid_arg "Matrix.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (k asr 1)
+  in
+  go (identity m.r) m k
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.r - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.c - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.5g" m.a.((i * m.c) + j)
+    done;
+    Format.fprintf ppf "]";
+    if i < m.r - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,98 @@
+(** Dense row-major matrices of floats.
+
+    The representation is immutable from the outside: every exported
+    operation returns a fresh matrix and never mutates its arguments.
+    Matrices are small in this project (plant and controller state
+    dimensions, a handful at most), so clarity is preferred over cache
+    tricks. *)
+
+type t
+(** A dense [rows × cols] matrix. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val create : int -> int -> float -> t
+(** [create r c x] is the [r×c] matrix filled with [x].
+    Raises [Invalid_argument] if [r < 0] or [c < 0]. *)
+
+val zeros : int -> int -> t
+(** Null matrix. *)
+
+val identity : int -> t
+(** [identity n] is the [n×n] identity. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init r c f] has entry [f i j] at row [i], column [j]. *)
+
+val of_arrays : float array array -> t
+(** Builds a matrix from rows.  Raises [Invalid_argument] on ragged or
+    empty input. *)
+
+val to_arrays : t -> float array array
+(** Fresh row arrays. *)
+
+val of_vec : float array -> t
+(** Column vector ([n×1]) from an array. *)
+
+val to_vec : t -> float array
+(** Flattens a [n×1] or [1×n] matrix to an array.
+    Raises [Invalid_argument] otherwise. *)
+
+val get : t -> int -> int -> float
+(** [get m i j] is the entry at row [i], column [j] (bounds-checked). *)
+
+val set : t -> int -> int -> float -> t
+(** Functional update: a copy of the matrix with one entry replaced. *)
+
+val row : t -> int -> float array
+(** [row m i] is a fresh copy of row [i]. *)
+
+val col : t -> int -> float array
+(** [col m j] is a fresh copy of column [j]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+
+val mul : t -> t -> t
+(** Matrix product.  Raises [Invalid_argument] on inner-dimension
+    mismatch. *)
+
+val mul_vec : t -> float array -> float array
+(** [mul_vec m v] is the matrix-vector product [m·v]. *)
+
+val transpose : t -> t
+val trace : t -> float
+
+val map : (float -> float) -> t -> t
+
+val hcat : t -> t -> t
+(** Horizontal concatenation [[a b]]. *)
+
+val vcat : t -> t -> t
+(** Vertical concatenation. *)
+
+val block : t -> int -> int -> int -> int -> t
+(** [block m i j r c] extracts the [r×c] submatrix whose top-left entry
+    is [(i, j)]. *)
+
+val norm_inf : t -> float
+(** Maximum absolute row sum (the operator ∞-norm). *)
+
+val norm_fro : t -> float
+(** Frobenius norm. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Entry-wise comparison within [eps] (default [1e-9]). *)
+
+val is_square : t -> bool
+
+val pow : t -> int -> t
+(** [pow m k] is [m] raised to the non-negative integer power [k] by
+    binary exponentiation.  Raises [Invalid_argument] if [m] is not
+    square or [k < 0]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)

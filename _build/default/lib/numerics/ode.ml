@@ -1,0 +1,145 @@
+type rhs = float -> float array -> float array
+
+type method_ =
+  | Euler
+  | Rk2
+  | Rk4
+  | Rkf45 of { rtol : float; atol : float }
+
+let default_method = Rkf45 { rtol = 1e-6; atol = 1e-9 }
+
+let step_euler f t x h = Vec.axpy h (f t x) x
+
+let step_rk2 f t x h =
+  let k1 = f t x in
+  let k2 = f (t +. h) (Vec.axpy h k1 x) in
+  Vec.axpy (h /. 2.) (Vec.add k1 k2) x
+
+let step_rk4 f t x h =
+  let k1 = f t x in
+  let k2 = f (t +. (h /. 2.)) (Vec.axpy (h /. 2.) k1 x) in
+  let k3 = f (t +. (h /. 2.)) (Vec.axpy (h /. 2.) k2 x) in
+  let k4 = f (t +. h) (Vec.axpy h k3 x) in
+  let sum = Vec.add k1 (Vec.add (Vec.scale 2. k2) (Vec.add (Vec.scale 2. k3) k4)) in
+  Vec.axpy (h /. 6.) sum x
+
+(* Fehlberg 4(5) tableau *)
+let rkf45_step f t x h =
+  let k1 = f t x in
+  let k2 = f (t +. (h /. 4.)) (Vec.axpy (h /. 4.) k1 x) in
+  let k3 =
+    f
+      (t +. (3. *. h /. 8.))
+      (Vec.add x
+         (Vec.scale h (Vec.add (Vec.scale (3. /. 32.) k1) (Vec.scale (9. /. 32.) k2))))
+  in
+  let k4 =
+    f
+      (t +. (12. *. h /. 13.))
+      (Vec.add x
+         (Vec.scale h
+            (Vec.add
+               (Vec.scale (1932. /. 2197.) k1)
+               (Vec.add (Vec.scale (-7200. /. 2197.) k2) (Vec.scale (7296. /. 2197.) k3)))))
+  in
+  let k5 =
+    f (t +. h)
+      (Vec.add x
+         (Vec.scale h
+            (Vec.add
+               (Vec.scale (439. /. 216.) k1)
+               (Vec.add (Vec.scale (-8.) k2)
+                  (Vec.add (Vec.scale (3680. /. 513.) k3) (Vec.scale (-845. /. 4104.) k4))))))
+  in
+  let k6 =
+    f
+      (t +. (h /. 2.))
+      (Vec.add x
+         (Vec.scale h
+            (Vec.add
+               (Vec.scale (-8. /. 27.) k1)
+               (Vec.add (Vec.scale 2. k2)
+                  (Vec.add
+                     (Vec.scale (-3544. /. 2565.) k3)
+                     (Vec.add (Vec.scale (1859. /. 4104.) k4) (Vec.scale (-11. /. 40.) k5)))))))
+  in
+  let order4 =
+    Vec.add x
+      (Vec.scale h
+         (Vec.add
+            (Vec.scale (25. /. 216.) k1)
+            (Vec.add
+               (Vec.scale (1408. /. 2565.) k3)
+               (Vec.add (Vec.scale (2197. /. 4104.) k4) (Vec.scale (-1. /. 5.) k5)))))
+  in
+  let order5 =
+    Vec.add x
+      (Vec.scale h
+         (Vec.add
+            (Vec.scale (16. /. 135.) k1)
+            (Vec.add
+               (Vec.scale (6656. /. 12825.) k3)
+               (Vec.add
+                  (Vec.scale (28561. /. 56430.) k4)
+                  (Vec.add (Vec.scale (-9. /. 50.) k5) (Vec.scale (2. /. 55.) k6))))))
+  in
+  (order4, order5)
+
+let integrate_fixed step ?observer f ~t0 ~t1 x0 ~h =
+  let x = ref (Vec.copy x0) in
+  let t = ref t0 in
+  (match observer with Some g -> g t0 !x | None -> ());
+  while t1 -. !t > 1e-15 *. (1. +. Float.abs t1) do
+    let h = Float.min h (t1 -. !t) in
+    x := step f !t !x h;
+    t := !t +. h;
+    (match observer with Some g -> g !t !x | None -> ())
+  done;
+  !x
+
+let integrate_rkf45 ~rtol ~atol ?max_step ?observer f ~t0 ~t1 x0 =
+  let x = ref (Vec.copy x0) in
+  let t = ref t0 in
+  let span = t1 -. t0 in
+  let hmax = match max_step with Some h -> h | None -> span in
+  let h = ref (Float.min hmax (span /. 10.)) in
+  let hmin = 1e-12 *. (1. +. Float.abs t1) in
+  (match observer with Some g -> g t0 !x | None -> ());
+  while t1 -. !t > 1e-15 *. (1. +. Float.abs t1) do
+    let hcur = Float.min !h (t1 -. !t) in
+    let x4, x5 = rkf45_step f !t !x hcur in
+    let err =
+      let e = ref 0. in
+      Array.iteri
+        (fun i a ->
+          let scale = atol +. (rtol *. Float.max (Float.abs a) (Float.abs x5.(i))) in
+          e := Float.max !e (Float.abs (a -. x5.(i)) /. scale))
+        x4;
+      !e
+    in
+    if err <= 1. || hcur <= hmin then begin
+      t := !t +. hcur;
+      x := x5;
+      (match observer with Some g -> g !t !x | None -> ())
+    end;
+    (* standard PI-free step update with safety factor *)
+    let factor =
+      if err = 0. then 4. else Float.min 4. (Float.max 0.1 (0.9 *. (err ** (-0.2))))
+    in
+    h := Float.min hmax (Float.max hmin (hcur *. factor))
+  done;
+  !x
+
+let integrate ?(meth = default_method) ?max_step ?observer f ~t0 ~t1 x0 =
+  if t1 < t0 then invalid_arg "Ode.integrate: t1 < t0";
+  if t1 = t0 then begin
+    (match observer with Some g -> g t0 x0 | None -> ());
+    Vec.copy x0
+  end
+  else
+    let default_h = match max_step with Some h -> h | None -> (t1 -. t0) /. 10. in
+    match meth with
+    | Euler -> integrate_fixed step_euler ?observer f ~t0 ~t1 x0 ~h:default_h
+    | Rk2 -> integrate_fixed step_rk2 ?observer f ~t0 ~t1 x0 ~h:default_h
+    | Rk4 -> integrate_fixed step_rk4 ?observer f ~t0 ~t1 x0 ~h:default_h
+    | Rkf45 { rtol; atol } -> integrate_rkf45 ~rtol ~atol ?max_step ?observer f ~t0 ~t1 x0

@@ -1,0 +1,42 @@
+(** Numerical integration of ordinary differential equations
+    [dx/dt = f(t, x)].
+
+    The hybrid simulation engine integrates the continuous plant only
+    *between* discrete events, so every integrator here exposes an
+    "integrate from [t0] to [t1]" entry point that lands exactly on
+    [t1] regardless of internal step control. *)
+
+type rhs = float -> float array -> float array
+(** Right-hand side of the ODE: [f t x] returns [dx/dt]. *)
+
+type method_ =
+  | Euler  (** explicit Euler, first order *)
+  | Rk2  (** Heun's method, second order *)
+  | Rk4  (** classic Runge–Kutta, fourth order *)
+  | Rkf45 of { rtol : float; atol : float }
+      (** Runge–Kutta–Fehlberg 4(5) with adaptive step control *)
+
+val default_method : method_
+(** [Rkf45 { rtol = 1e-6; atol = 1e-9 }]. *)
+
+val step_rk4 : rhs -> float -> float array -> float -> float array
+(** [step_rk4 f t x h] is one classic RK4 step of size [h]. *)
+
+val step_euler : rhs -> float -> float array -> float -> float array
+val step_rk2 : rhs -> float -> float array -> float -> float array
+
+val integrate :
+  ?meth:method_ ->
+  ?max_step:float ->
+  ?observer:(float -> float array -> unit) ->
+  rhs ->
+  t0:float ->
+  t1:float ->
+  float array ->
+  float array
+(** [integrate f ~t0 ~t1 x0] returns the state at [t1] starting from
+    [x0] at [t0].  [max_step] bounds the internal step (default:
+    [(t1−t0)/10] for fixed-step methods, unbounded for adaptive).
+    [observer] is called after each accepted internal step (and on the
+    initial state).  Requires [t1 >= t0]; [t1 = t0] returns a copy of
+    [x0]. *)

@@ -1,0 +1,102 @@
+type t = float array
+
+let normalize p =
+  let n = Array.length p in
+  let rec last i = if i > 0 && p.(i) = 0. then last (i - 1) else i in
+  if n = 0 then [| 0. |] else Array.sub p 0 (last (n - 1) + 1)
+
+let degree p = Array.length (normalize p) - 1
+
+let eval p x =
+  let acc = ref 0. in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. p.(i)
+  done;
+  !acc
+
+let eval_c p z =
+  let acc = ref Complex.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Complex.add (Complex.mul !acc z) { Complex.re = p.(i); im = 0. }
+  done;
+  !acc
+
+let add p q =
+  let n = Int.max (Array.length p) (Array.length q) in
+  let coef a i = if i < Array.length a then a.(i) else 0. in
+  normalize (Array.init n (fun i -> coef p i +. coef q i))
+
+let mul p q =
+  let p = normalize p and q = normalize q in
+  let n = Array.length p + Array.length q - 1 in
+  let r = Array.make n 0. in
+  Array.iteri
+    (fun i pi -> Array.iteri (fun j qj -> r.(i + j) <- r.(i + j) +. (pi *. qj)) q)
+    p;
+  normalize r
+
+let scale s p = normalize (Array.map (fun c -> s *. c) p)
+
+let derive p =
+  let p = normalize p in
+  if Array.length p <= 1 then [| 0. |]
+  else Array.init (Array.length p - 1) (fun i -> float_of_int (i + 1) *. p.(i + 1))
+
+let of_roots rs = Array.fold_left (fun acc r -> mul acc [| -.r; 1. |]) [| 1. |] rs
+
+(* Durand–Kerner: iterate zᵢ ← zᵢ − p(zᵢ) / ∏_{j≠i}(zᵢ − zⱼ) from
+   non-real, non-symmetric starting points so real-coefficient
+   symmetry cannot trap the iteration. *)
+let roots ?(max_iter = 500) ?(tol = 1e-12) p =
+  let p = normalize p in
+  let n = Array.length p - 1 in
+  if n < 0 || (n = 0 && p.(0) = 0.) then invalid_arg "Poly.roots: zero polynomial";
+  if n = 0 then []
+  else begin
+    let lead = p.(n) in
+    let monic = Array.map (fun c -> c /. lead) p in
+    (* radius bound: 1 + max |cᵢ| over the monic coefficients *)
+    let radius =
+      1. +. Array.fold_left (fun acc c -> Float.max acc (Float.abs c)) 0.
+              (Array.sub monic 0 n)
+    in
+    let z =
+      Array.init n (fun i ->
+          let angle = (2. *. Float.pi *. float_of_int i /. float_of_int n) +. 0.4 in
+          Complex.polar (radius *. 0.8) angle)
+    in
+    let step () =
+      let moved = ref 0. in
+      for i = 0 to n - 1 do
+        let denom = ref Complex.one in
+        for j = 0 to n - 1 do
+          if j <> i then denom := Complex.mul !denom (Complex.sub z.(i) z.(j))
+        done;
+        let delta = Complex.div (eval_c monic z.(i)) !denom in
+        z.(i) <- Complex.sub z.(i) delta;
+        moved := Float.max !moved (Complex.norm delta)
+      done;
+      !moved
+    in
+    let rec iterate k = if k < max_iter && step () > tol then iterate (k + 1) in
+    iterate 0;
+    (* clean tiny imaginary parts left by the complex iteration *)
+    Array.to_list
+      (Array.map
+         (fun c ->
+           if Float.abs c.Complex.im < 1e-8 *. (1. +. Float.abs c.Complex.re) then
+             { c with Complex.im = 0. }
+           else c)
+         z)
+  end
+
+let pp ppf p =
+  let p = normalize p in
+  Format.fprintf ppf "@[";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf ppf " + ";
+      if i = 0 then Format.fprintf ppf "%g" c
+      else Format.fprintf ppf "%g·x^%d" c i)
+    p;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,41 @@
+(** Polynomials with real coefficients and complex root extraction.
+
+    A polynomial is stored as its coefficient array in increasing
+    degree order: [[| c0; c1; ...; cn |]] represents
+    [c0 + c1·x + ... + cn·xⁿ].  Trailing zero coefficients are allowed
+    on input and normalised away by {!normalize}. *)
+
+type t = float array
+(** Coefficients, lowest degree first.  The empty array and [[|0.|]]
+    both denote the zero polynomial. *)
+
+val normalize : t -> t
+(** Drops trailing (high-degree) zero coefficients.  The zero
+    polynomial normalises to [[|0.|]]. *)
+
+val degree : t -> int
+(** Degree after normalisation; the zero polynomial has degree 0. *)
+
+val eval : t -> float -> float
+(** Horner evaluation at a real point. *)
+
+val eval_c : t -> Complex.t -> Complex.t
+(** Horner evaluation at a complex point. *)
+
+val add : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+
+val derive : t -> t
+(** Formal derivative. *)
+
+val of_roots : float array -> t
+(** Monic polynomial with the given real roots. *)
+
+val roots : ?max_iter:int -> ?tol:float -> t -> Complex.t list
+(** All complex roots (with multiplicity) via the Durand–Kerner
+    iteration.  Suitable for the small degrees (≤ ~20) arising from
+    characteristic polynomials of plant models.  Raises
+    [Invalid_argument] on the zero polynomial; constants return []. *)
+
+val pp : Format.formatter -> t -> unit

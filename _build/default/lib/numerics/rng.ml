@@ -1,0 +1,97 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64, used only to expand the seed into four words. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  let state = ref (bits64 g) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+(* 53 uniform mantissa bits in [0,1) *)
+let unit_float g =
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float g bound =
+  if bound <= 0. then invalid_arg "Rng.float: non-positive bound";
+  unit_float g *. bound
+
+let uniform g lo hi =
+  if hi <= lo then invalid_arg "Rng.uniform: empty interval";
+  lo +. (unit_float g *. (hi -. lo))
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: non-positive bound";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 g) 1) (Int64.of_int n))
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let gaussian g ?(mu = 0.) ?(sigma = 1.) () =
+  let rec nonzero () =
+    let u = unit_float g in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = unit_float g in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let exponential g lambda =
+  if lambda <= 0. then invalid_arg "Rng.exponential: non-positive rate";
+  let rec nonzero () =
+    let u = unit_float g in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. lambda
+
+let triangular g ~lo ~mode ~hi =
+  if not (lo <= mode && mode <= hi && lo < hi) then
+    invalid_arg "Rng.triangular: require lo <= mode <= hi and lo < hi";
+  let u = unit_float g in
+  let fc = (mode -. lo) /. (hi -. lo) in
+  if u < fc then lo +. sqrt (u *. (hi -. lo) *. (mode -. lo))
+  else hi -. sqrt ((1. -. u) *. (hi -. lo) *. (hi -. mode))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choice g a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int g (Array.length a))

@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random numbers for reproducible experiments.
+
+    A self-contained xoshiro256** generator seeded explicitly, so every
+    simulation, timing law and benchmark in the repository is exactly
+    repeatable.  Not cryptographic. *)
+
+type t
+(** Generator state (mutable). *)
+
+val create : int -> t
+(** [create seed] builds a generator from any integer seed (expanded
+    through SplitMix64). *)
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val split : t -> t
+(** Derives a statistically independent generator; the parent state
+    advances. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform g lo hi] is uniform in [\[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]; [n] must be positive. *)
+
+val bool : t -> bool
+
+val gaussian : t -> ?mu:float -> ?sigma:float -> unit -> float
+(** Normal deviate via Box–Muller (default standard normal). *)
+
+val exponential : t -> float -> float
+(** [exponential g lambda] with rate [lambda > 0]. *)
+
+val triangular : t -> lo:float -> mode:float -> hi:float -> float
+(** Triangular distribution — common WCET-jitter model. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniformly random element.  Raises [Invalid_argument] on empty. *)

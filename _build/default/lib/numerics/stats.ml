@@ -1,0 +1,59 @@
+let nonempty name xs = if Array.length xs = 0 then invalid_arg ("Stats." ^ name ^ ": empty")
+
+let mean xs =
+  nonempty "mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  nonempty "variance" xs;
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+  /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  nonempty "min" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  nonempty "max" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let rms xs =
+  nonempty "rms" xs;
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs /. float_of_int (Array.length xs))
+
+let percentile xs p =
+  nonempty "percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.
+
+let histogram ?(bins = 10) xs =
+  nonempty "histogram" xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: non-positive bins";
+  let lo = min xs and hi = max xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = Stdlib.min (bins - 1) (Stdlib.max 0 b) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts
+
+let summary xs =
+  if Array.length xs = 0 then "n=0"
+  else
+    Printf.sprintf "n=%d min=%g mean=%g max=%g std=%g" (Array.length xs) (min xs) (mean xs)
+      (max xs) (stddev xs)

@@ -1,0 +1,31 @@
+(** Descriptive statistics over float arrays, used by the experiment
+    harness to summarise latency traces and control costs. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on empty input. *)
+
+val variance : float array -> float
+(** Population variance (divides by [n]).  Raises on empty input. *)
+
+val stddev : float array -> float
+
+val min : float array -> float
+val max : float array -> float
+
+val rms : float array -> float
+(** Root mean square. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0, 100\]], linear interpolation
+    between order statistics.  Raises on empty input or [p] out of
+    range. *)
+
+val median : float array -> float
+
+val histogram : ?bins:int -> float array -> (float * int) array
+(** [histogram ~bins xs] is an array of [(left_edge, count)] pairs over
+    [bins] equal-width buckets spanning [min..max] (default 10 bins).
+    A constant sample lands entirely in one bucket. *)
+
+val summary : float array -> string
+(** One-line [min/mean/max/std] rendering for logs. *)

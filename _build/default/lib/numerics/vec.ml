@@ -1,0 +1,53 @@
+let create n x = Array.make n x
+let zeros n = Array.make n 0.
+let init = Array.init
+let copy = Array.copy
+
+let check_same_length op u v =
+  if Array.length u <> Array.length v then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" op
+         (Array.length u) (Array.length v))
+
+let map2 f u v =
+  check_same_length "map2" u v;
+  Array.init (Array.length u) (fun i -> f u.(i) v.(i))
+
+let add u v =
+  check_same_length "add" u v;
+  Array.init (Array.length u) (fun i -> u.(i) +. v.(i))
+
+let sub u v =
+  check_same_length "sub" u v;
+  Array.init (Array.length u) (fun i -> u.(i) -. v.(i))
+
+let scale a v = Array.map (fun x -> a *. x) v
+
+let axpy a x y =
+  check_same_length "axpy" x y;
+  Array.init (Array.length x) (fun i -> (a *. x.(i)) +. y.(i))
+
+let dot u v =
+  check_same_length "dot" u v;
+  let s = ref 0. in
+  for i = 0 to Array.length u - 1 do
+    s := !s +. (u.(i) *. v.(i))
+  done;
+  !s
+
+let norm2 v = sqrt (dot v v)
+
+let norm_inf v = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. v
+
+let dist2 u v = norm2 (sub u v)
+
+let equal ?(eps = 1e-9) u v =
+  Array.length u = Array.length v
+  && Array.for_all2 (fun a b -> Float.abs (a -. b) <= eps) u v
+
+let pp ppf v =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    v

@@ -1,0 +1,52 @@
+(** Dense vector operations on [float array].
+
+    All binary operations require equal lengths and raise
+    [Invalid_argument] otherwise.  Vectors are ordinary OCaml arrays so
+    they interoperate directly with {!Ode} right-hand sides and
+    {!Matrix} rows. *)
+
+val create : int -> float -> float array
+(** [create n x] is a vector of [n] copies of [x]. *)
+
+val zeros : int -> float array
+(** [zeros n] is the null vector of dimension [n]. *)
+
+val init : int -> (int -> float) -> float array
+(** [init n f] is [[| f 0; ...; f (n-1) |]]. *)
+
+val copy : float array -> float array
+(** [copy v] is a fresh vector equal to [v]. *)
+
+val add : float array -> float array -> float array
+(** Component-wise sum. *)
+
+val sub : float array -> float array -> float array
+(** Component-wise difference. *)
+
+val scale : float -> float array -> float array
+(** [scale a v] multiplies every component by [a]. *)
+
+val axpy : float -> float array -> float array -> float array
+(** [axpy a x y] is [a*x + y]. *)
+
+val dot : float array -> float array -> float
+(** Inner product. *)
+
+val norm2 : float array -> float
+(** Euclidean norm. *)
+
+val norm_inf : float array -> float
+(** Maximum absolute component ([0.] for the empty vector). *)
+
+val dist2 : float array -> float array -> float
+(** [dist2 u v] is [norm2 (sub u v)]. *)
+
+val map2 : (float -> float -> float) -> float array -> float array -> float array
+(** [map2 f u v] applies [f] component-wise. *)
+
+val equal : ?eps:float -> float array -> float array -> bool
+(** [equal ~eps u v] holds when lengths match and every component pair
+    differs by at most [eps] (default [1e-9]). *)
+
+val pp : Format.formatter -> float array -> unit
+(** Prints as [[v0; v1; ...]] with short float formatting. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Dataflow Event_queue Float List Numerics Printf Trace

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Control Fun Int List Printf String

@@ -1,0 +1,422 @@
+module G = Dataflow.Graph
+module B = Dataflow.Block
+
+type delivery = { target : int; port : int }
+
+type probe_rec = { pr_block : int; pr_port : int; trace : Trace.t }
+
+type t = {
+  graph : G.t;
+  blocks : B.t array;
+  meth : Numerics.Ode.method_;
+  max_step : float option;
+  order : int array; (* output-evaluation order (feedthrough topo) *)
+  priority : int array; (* static activation priority per block *)
+  cs_offset : int array; (* continuous-state layout *)
+  cs_len : int array;
+  total_cs : int;
+  cstate : float array;
+  outputs : float array array array;
+  queue : delivery Event_queue.t;
+  mutable time : float;
+  mutable probes : (string * probe_rec) list;
+  mutable log : (float * int * int) list; (* (time, block id, port), reversed *)
+  mutable nsteps : int;
+  mutable started : bool;
+}
+
+(* Linearise the full data-dependency graph to obtain activation
+   priorities.  Kahn's algorithm; when only cyclic nodes remain
+   (feedback loops), the node with the smallest residual in-degree and
+   then smallest id is removed, which breaks the cycle
+   deterministically. *)
+let activation_priorities graph n =
+  let indegree = Array.make n 0 in
+  let succs = Array.make n [] in
+  List.iter
+    (fun (((sb : G.block_id), _), ((db : G.block_id), _)) ->
+      let sb = (sb :> int) and db = (db :> int) in
+      if sb <> db then begin
+        succs.(sb) <- db :: succs.(sb);
+        indegree.(db) <- indegree.(db) + 1
+      end)
+    (G.data_links graph);
+  let removed = Array.make n false in
+  let priority = Array.make n 0 in
+  for rank = 0 to n - 1 do
+    (* pick the best remaining node: zero in-degree if possible *)
+    let best = ref (-1) in
+    for id = n - 1 downto 0 do
+      if not removed.(id) then
+        if !best = -1 || indegree.(id) < indegree.(!best)
+           || (indegree.(id) = indegree.(!best) && id < !best)
+        then best := id
+    done;
+    let id = !best in
+    removed.(id) <- true;
+    priority.(id) <- rank;
+    List.iter (fun succ -> if not removed.(succ) then indegree.(succ) <- indegree.(succ) - 1) succs.(id)
+  done;
+  priority
+
+let create ?(meth = Numerics.Ode.default_method) ?max_step graph =
+  G.validate graph;
+  let n = G.block_count graph in
+  let blocks = Array.of_list (List.map (G.block graph) (G.block_ids graph)) in
+  let order = Array.of_list (List.map (fun id -> ((id : G.block_id) :> int)) (G.eval_order graph)) in
+  let priority = activation_priorities graph n in
+  let cs_len = Array.map (fun b -> Array.length b.B.cstate0) blocks in
+  let cs_offset = Array.make n 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun id len ->
+      cs_offset.(id) <- !total;
+      total := !total + len)
+    cs_len;
+  let outputs =
+    Array.map (fun b -> Array.map (fun w -> Array.make w 0.) b.B.out_widths) blocks
+  in
+  let engine =
+    {
+      graph;
+      blocks;
+      meth;
+      max_step;
+      order;
+      priority;
+      cs_offset;
+      cs_len;
+      total_cs = !total;
+      cstate = Array.make !total 0.;
+      outputs;
+      queue = Event_queue.create ();
+      time = 0.;
+      probes = [];
+      log = [];
+      nsteps = 0;
+      started = false;
+    }
+  in
+  engine
+
+let slice_cstate e id = Array.sub e.cstate e.cs_offset.(id) e.cs_len.(id)
+
+let gather_inputs e id =
+  let b = e.blocks.(id) in
+  Array.init (Array.length b.B.in_widths) (fun p ->
+      match G.data_source e.graph (G.id_of_int e.graph id) p with
+      | Some (sb, sp) -> e.outputs.((sb :> int)).(sp)
+      | None -> assert false (* validate guarantees wiring *))
+
+let eval_block e time id =
+  let b = e.blocks.(id) in
+  let ctx =
+    { B.time; inputs = gather_inputs e id; cstate = slice_cstate e id }
+  in
+  let out = b.B.outputs ctx in
+  if Array.length out <> Array.length b.B.out_widths then
+    failwith (Printf.sprintf "Block %S returned wrong output port count" b.B.name);
+  Array.iteri
+    (fun p v ->
+      if Array.length v <> b.B.out_widths.(p) then
+        failwith (Printf.sprintf "Block %S output %d has wrong width" b.B.name p);
+      e.outputs.(id).(p) <- v)
+    out
+
+let eval_outputs e time = Array.iter (fun id -> eval_block e time id) e.order
+
+let eval_always_active e time =
+  Array.iter
+    (fun id -> if e.blocks.(id).B.always_active then eval_block e time id)
+    e.order
+
+let record_probes e time =
+  List.iter
+    (fun (_, p) -> Trace.record p.trace time e.outputs.(p.pr_block).(p.pr_port))
+    e.probes
+
+let schedule_actions e id time actions =
+  List.iter
+    (fun action ->
+      match action with
+      | B.Emit { port; delay } ->
+          if delay < 0. then
+            failwith (Printf.sprintf "Block %S emitted a negative delay" e.blocks.(id).B.name);
+          List.iter
+            (fun ((db : G.block_id), dp) ->
+              let db = (db :> int) in
+              Event_queue.push e.queue ~time:(time +. delay) ~priority:e.priority.(db)
+                { target = db; port = dp })
+            (G.event_listeners e.graph (G.id_of_int e.graph id) port)
+      | B.Self { port; delay } ->
+          if delay < 0. then
+            failwith (Printf.sprintf "Block %S scheduled a negative self delay" e.blocks.(id).B.name);
+          Event_queue.push e.queue ~time:(time +. delay) ~priority:e.priority.(id)
+            { target = id; port }
+      | B.Set_cstate x ->
+          if Array.length x <> e.cs_len.(id) then
+            failwith
+              (Printf.sprintf "Block %S: Set_cstate dimension mismatch" e.blocks.(id).B.name);
+          Array.blit x 0 e.cstate e.cs_offset.(id) e.cs_len.(id))
+    actions
+
+let prime e =
+  Array.iteri (fun id b -> schedule_actions e id 0. b.B.initial_actions) e.blocks
+
+let add_probe e ~name ~block ~port =
+  if e.started then invalid_arg "Engine.add_probe: simulation already started";
+  if List.mem_assoc name e.probes then
+    invalid_arg (Printf.sprintf "Engine.add_probe: duplicate probe %S" name);
+  let id = ((block : G.block_id) :> int) in
+  let b = e.blocks.(id) in
+  if port < 0 || port >= Array.length b.B.out_widths then
+    invalid_arg (Printf.sprintf "Engine.add_probe: %S has no output port %d" b.B.name port);
+  let trace = Trace.create ~width:b.B.out_widths.(port) in
+  e.probes <- e.probes @ [ (name, { pr_block = id; pr_port = port; trace }) ]
+
+let time_eps t = 1e-9 *. (1. +. Float.abs t)
+
+(* Deliver every event pending at instant [t] (within float tolerance),
+   including zero-delay events emitted during the instant itself. *)
+let process_instant e t =
+  let continue_ = ref true in
+  while !continue_ do
+    match Event_queue.peek_time e.queue with
+    | Some tt when tt <= t +. time_eps t -> begin
+        match Event_queue.pop e.queue with
+        | None -> continue_ := false
+        | Some (_, { target; port }) ->
+            let b = e.blocks.(target) in
+            eval_outputs e t;
+            let ctx =
+              { B.time = t; inputs = gather_inputs e target; cstate = slice_cstate e target }
+            in
+            let handler =
+              match b.B.on_event with
+              | Some h -> h
+              | None ->
+                  failwith (Printf.sprintf "Block %S received an event but has no handler" b.B.name)
+            in
+            let actions = handler ctx ~port in
+            e.log <- (t, target, port) :: e.log;
+            e.nsteps <- e.nsteps + 1;
+            schedule_actions e target t actions
+      end
+    | Some _ | None -> continue_ := false
+  done;
+  eval_outputs e t;
+  record_probes e t
+
+let make_rhs e =
+  fun tt x ->
+    Array.blit x 0 e.cstate 0 e.total_cs;
+    eval_always_active e tt;
+    let dx = Array.make e.total_cs 0. in
+    Array.iteri
+      (fun id b ->
+        if e.cs_len.(id) > 0 then begin
+          let deriv = match b.B.derivatives with Some d -> d | None -> assert false in
+          let ctx =
+            { B.time = tt; inputs = gather_inputs e id; cstate = slice_cstate e id }
+          in
+          let d = deriv ctx in
+          Array.blit d 0 dx e.cs_offset.(id) e.cs_len.(id)
+        end)
+      e.blocks;
+    dx
+
+(* values of every declared surface at the engine's current state
+   (assumes [e.cstate] and [e.time] are current) *)
+let surface_values e time =
+  eval_always_active e time;
+  Array.mapi
+    (fun id b ->
+      if b.B.surfaces = 0 then [||]
+      else begin
+        let crossings = match b.B.crossings with Some c -> c | None -> assert false in
+        let ctx = { B.time; inputs = gather_inputs e id; cstate = slice_cstate e id } in
+        let v = crossings ctx in
+        if Array.length v <> b.B.surfaces then
+          failwith (Printf.sprintf "Block %S returned wrong surface count" b.B.name);
+        v
+      end)
+    e.blocks
+
+let sign v = if v > 0. then 1 else if v < 0. then -1 else 0
+
+(* A surface fires when it leaves a nonzero sign: −→+, +→−, −→0 or
+   +→0.  Starting from exactly zero does not fire, so a handler that
+   resets its surface to zero is not re-triggered immediately. *)
+let surface_fired va vb = sign va <> 0 && sign vb <> sign va
+
+let crossed before after =
+  let hit = ref false in
+  Array.iteri
+    (fun id vb ->
+      Array.iteri (fun s b -> if surface_fired b after.(id).(s) then hit := true) vb)
+    before;
+  !hit
+
+let has_surfaces e = Array.exists (fun b -> b.B.surfaces > 0) e.blocks
+
+(* Integrate from the current time toward [t1].  Returns [`Reached]
+   when [t1] was attained, or [`Interrupted] when a zero-crossing was
+   located and handled before [t1]: the caller must process the
+   instant (crossing handlers may have emitted events) and re-enter. *)
+let integrate_to e t1 =
+  if t1 <= e.time then `Reached
+  else if (not (has_surfaces e)) && e.total_cs = 0 then begin
+    e.time <- t1;
+    eval_always_active e t1;
+    record_probes e t1;
+    `Reached
+  end
+  else if not (has_surfaces e) then begin
+    let rhs = make_rhs e in
+    let observer tt x =
+      Array.blit x 0 e.cstate 0 e.total_cs;
+      eval_always_active e tt;
+      record_probes e tt
+    in
+    let x0 = Array.copy e.cstate in
+    let xf =
+      Numerics.Ode.integrate ~meth:e.meth ?max_step:e.max_step ~observer rhs ~t0:e.time ~t1
+        x0
+    in
+    Array.blit xf 0 e.cstate 0 e.total_cs;
+    e.time <- t1;
+    `Reached
+  end
+  else begin
+    (* surface-monitored integration: march in sub-steps, bisect on a
+       sign change, deliver the crossing and stop *)
+    let rhs = make_rhs e in
+    let span = t1 -. e.time in
+    let sub_step =
+      match e.max_step with Some h -> Float.min h (span /. 4.) | None -> span /. 32.
+    in
+    let integrate_segment ~t0 ~t1 x0 =
+      if e.total_cs = 0 then Array.copy x0
+      else Numerics.Ode.integrate ~meth:e.meth rhs ~t0 ~t1 x0
+    in
+    let restore tt x =
+      Array.blit x 0 e.cstate 0 e.total_cs;
+      eval_always_active e tt
+    in
+    let result = ref `Reached in
+    let continue_ = ref true in
+    while !continue_ && t1 -. e.time > 1e-15 *. (1. +. Float.abs t1) do
+      let ta = e.time in
+      let xa = Array.copy e.cstate in
+      let values_a = surface_values e ta in
+      let tb = Float.min t1 (ta +. sub_step) in
+      let xb = integrate_segment ~t0:ta ~t1:tb xa in
+      restore tb xb;
+      let values_b = surface_values e tb in
+      if not (crossed values_a values_b) then begin
+        e.time <- tb;
+        record_probes e tb
+      end
+      else begin
+        (* bisect the earliest crossing within [ta, tb] *)
+        let lo = ref ta and hi = ref tb in
+        for _ = 1 to 50 do
+          let mid = (!lo +. !hi) /. 2. in
+          let xm = integrate_segment ~t0:ta ~t1:mid xa in
+          restore mid xm;
+          let values_m = surface_values e mid in
+          if crossed values_a values_m then hi := mid else lo := mid
+        done;
+        let t_star = !hi in
+        let x_star = integrate_segment ~t0:ta ~t1:t_star xa in
+        restore t_star x_star;
+        let values_star = surface_values e t_star in
+        e.time <- t_star;
+        record_probes e t_star;
+        (* fire every surface that changed sign over [ta, t*] *)
+        Array.iteri
+          (fun id b ->
+            if b.B.surfaces > 0 then
+              Array.iteri
+                (fun s va ->
+                  let vs = values_star.(id).(s) in
+                  if surface_fired va vs then begin
+                    let handler =
+                      match b.B.on_crossing with Some h -> h | None -> assert false
+                    in
+                    let ctx =
+                      {
+                        B.time = t_star;
+                        inputs = gather_inputs e id;
+                        cstate = slice_cstate e id;
+                      }
+                    in
+                    let actions = handler ctx ~surface:s ~rising:(vs > va) in
+                    schedule_actions e id t_star actions
+                  end)
+                values_a.(id))
+          e.blocks;
+        result := `Interrupted;
+        continue_ := false
+      end
+    done;
+    !result
+  end
+
+let start_if_needed e =
+  if not e.started then begin
+    Array.iter (fun b -> b.B.reset ()) e.blocks;
+    Array.iteri
+      (fun id b -> Array.blit b.B.cstate0 0 e.cstate e.cs_offset.(id) e.cs_len.(id))
+      e.blocks;
+    prime e;
+    eval_outputs e 0.;
+    record_probes e 0.;
+    e.started <- true
+  end
+
+let run ?(t_end = 1.) e =
+  start_if_needed e;
+  let continue_ = ref true in
+  while !continue_ do
+    match Event_queue.peek_time e.queue with
+    | Some tt when tt <= t_end +. time_eps t_end -> (
+        let tt = Float.max tt e.time in
+        match integrate_to e tt with
+        | `Reached -> process_instant e tt
+        | `Interrupted ->
+            (* a zero-crossing fired before [tt]; deliver whatever it
+               emitted at the crossing instant, then re-examine *)
+            process_instant e e.time)
+    | Some _ | None -> (
+        match integrate_to e t_end with
+        | `Reached -> continue_ := false
+        | `Interrupted -> process_instant e e.time)
+  done
+
+let reset e =
+  Event_queue.clear e.queue;
+  e.time <- 0.;
+  e.log <- [];
+  e.nsteps <- 0;
+  e.started <- false;
+  List.iter (fun (_, p) -> Trace.clear p.trace) e.probes
+
+let now e = e.time
+
+let probe e name =
+  match List.assoc_opt name e.probes with
+  | Some p -> p.trace
+  | None -> raise Not_found
+
+let probe_component e name j = Trace.component (probe e name) j
+
+let event_log e =
+  List.rev_map (fun (t, id, port) -> (t, e.blocks.(id).B.name, port)) e.log
+
+let activations e ~block =
+  let id = ((block : G.block_id) :> int) in
+  List.rev
+    (List.filter_map (fun (t, i, _) -> if i = id then Some t else None) e.log)
+
+let steps e = e.nsteps

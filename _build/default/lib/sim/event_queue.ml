@@ -1,0 +1,72 @@
+type 'a entry = { time : float; priority : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let earlier a b =
+  if a.time <> b.time then a.time < b.time
+  else if a.priority <> b.priority then a.priority < b.priority
+  else a.seq < b.seq
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < q.size && earlier q.heap.(left) q.heap.(!smallest) then smallest := left;
+  if right < q.size && earlier q.heap.(right) q.heap.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q ~time ~priority payload =
+  let entry = { time; priority; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = Array.length q.heap then begin
+    let capacity = Int.max 16 (2 * Array.length q.heap) in
+    let heap = Array.make capacity entry in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let clear q =
+  q.size <- 0;
+  q.next_seq <- 0

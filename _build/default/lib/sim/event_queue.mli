@@ -1,0 +1,26 @@
+(** Priority queue of pending activation events.
+
+    Events are ordered by [(time, priority, sequence)]:
+    - [time] — simulation instant;
+    - [priority] — static activation priority of the target block
+      (derived from data dependencies, so that at a shared instant a
+      sampler runs before the controller that reads it);
+    - [sequence] — FIFO tie-break, assigned internally. *)
+
+type 'a t
+(** Queue of events carrying payloads of type ['a]. *)
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> priority:int -> 'a -> unit
+(** Enqueues; the insertion sequence number is assigned internally. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest event. *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val clear : 'a t -> unit

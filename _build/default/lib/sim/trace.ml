@@ -1,0 +1,72 @@
+type t = {
+  w : int;
+  mutable ts : float array;
+  mutable vs : float array array;
+  mutable n : int;
+}
+
+let create ~width =
+  if width <= 0 then invalid_arg "Trace.create: non-positive width";
+  { w = width; ts = [||]; vs = [||]; n = 0 }
+
+let width tr = tr.w
+let length tr = tr.n
+
+let ensure_capacity tr =
+  if tr.n = Array.length tr.ts then begin
+    let capacity = Int.max 64 (2 * Array.length tr.ts) in
+    let ts = Array.make capacity 0. in
+    let vs = Array.make capacity [||] in
+    Array.blit tr.ts 0 ts 0 tr.n;
+    Array.blit tr.vs 0 vs 0 tr.n;
+    tr.ts <- ts;
+    tr.vs <- vs
+  end
+
+let record tr time v =
+  if Array.length v <> tr.w then invalid_arg "Trace.record: width mismatch";
+  if tr.n > 0 && tr.ts.(tr.n - 1) = time then tr.vs.(tr.n - 1) <- Array.copy v
+  else begin
+    ensure_capacity tr;
+    tr.ts.(tr.n) <- time;
+    tr.vs.(tr.n) <- Array.copy v;
+    tr.n <- tr.n + 1
+  end
+
+let times tr = Array.sub tr.ts 0 tr.n
+let values tr = Array.init tr.n (fun i -> Array.copy tr.vs.(i))
+
+let component tr j =
+  if j < 0 || j >= tr.w then invalid_arg "Trace.component: out of range";
+  Control.Metrics.of_arrays (times tr) (Array.init tr.n (fun i -> tr.vs.(i).(j)))
+
+let last tr = if tr.n = 0 then None else Some (tr.ts.(tr.n - 1), Array.copy tr.vs.(tr.n - 1))
+
+let clear tr = tr.n <- 0
+
+let iter f tr =
+  for i = 0 to tr.n - 1 do
+    f tr.ts.(i) tr.vs.(i)
+  done
+
+let to_csv ?labels tr =
+  let labels =
+    match labels with
+    | Some l ->
+        if List.length l <> tr.w then invalid_arg "Trace.to_csv: label count mismatch";
+        l
+    | None -> List.init tr.w (Printf.sprintf "y%d")
+  in
+  let buf = Buffer.create (64 * (tr.n + 1)) in
+  Buffer.add_string buf ("time," ^ String.concat "," labels ^ "\n");
+  iter
+    (fun t v ->
+      Buffer.add_string buf (Printf.sprintf "%.9g" t);
+      Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf ",%.9g" x)) v;
+      Buffer.add_char buf '\n')
+    tr;
+  Buffer.contents buf
+
+let to_csv_file ?labels tr path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv ?labels tr))

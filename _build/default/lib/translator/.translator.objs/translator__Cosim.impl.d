@@ -1,0 +1,1 @@
+lib/translator/cosim.ml: Array Dataflow Delay_graph List Scicos_to_syndex Sim

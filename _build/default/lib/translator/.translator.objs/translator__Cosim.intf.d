@@ -1,0 +1,1 @@
+lib/translator/cosim.mli: Aaa Dataflow Delay_graph Scicos_to_syndex Sim

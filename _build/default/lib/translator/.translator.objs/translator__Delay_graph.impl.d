@@ -1,0 +1,1 @@
+lib/translator/delay_graph.ml: Aaa Dataflow Exec Float Hashtbl List Numerics Option Printf String

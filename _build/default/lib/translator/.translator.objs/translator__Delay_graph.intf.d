@@ -1,0 +1,1 @@
+lib/translator/delay_graph.mli: Aaa Dataflow Exec

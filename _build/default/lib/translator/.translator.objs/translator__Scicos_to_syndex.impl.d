@@ -1,0 +1,1 @@
+lib/translator/scicos_to_syndex.ml: Aaa Array Dataflow Fun List Printf

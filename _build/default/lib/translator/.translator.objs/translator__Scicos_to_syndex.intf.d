@@ -1,0 +1,1 @@
+lib/translator/scicos_to_syndex.mli: Aaa Dataflow

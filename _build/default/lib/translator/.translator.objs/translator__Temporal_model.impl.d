@@ -1,0 +1,1 @@
+lib/translator/temporal_model.ml: Aaa Array Exec Float Format List Numerics

@@ -1,0 +1,1 @@
+lib/translator/temporal_model.mli: Aaa Exec Format

@@ -1,0 +1,24 @@
+module G = Dataflow.Graph
+module B = Dataflow.Block
+
+let ideal_clock ~graph ~period ~blocks =
+  let clock = G.add graph (Dataflow.Eventlib.clock ~name:"ideal_clock" ~period ()) in
+  List.iter (fun b -> G.connect_event graph ~src:(clock, 0) ~dst:(b, 0)) blocks;
+  clock
+
+let attach_delay_graph ?mode ?comm_jitter_frac ?condition_feed ~graph ~schedule ~binding () =
+  let dg = Delay_graph.build ?mode ?comm_jitter_frac ?condition_feed ~graph ~schedule () in
+  List.iter
+    (fun (op, tap) ->
+      let block = Scicos_to_syndex.block_of_op binding op in
+      let blk = G.block graph block in
+      if blk.B.event_inputs > 0 then G.connect_event graph ~src:tap ~dst:(block, 0))
+    dg.Delay_graph.completions;
+  dg
+
+let measured_instants engine ~block =
+  Array.of_list (Sim.Engine.activations engine ~block)
+
+let measured_latencies engine ~block ~period =
+  let instants = measured_instants engine ~block in
+  Array.mapi (fun k t -> t -. (float_of_int k *. period)) instants

@@ -1,0 +1,41 @@
+(** Co-simulation wiring: drive a Scicos diagram either by the
+    stroboscopic clock (the idealised design of paper Fig. 2) or by a
+    graph of delays generated from a SynDEx schedule (paper Fig. 3).
+
+    The control-law blocks themselves are {e never modified} — exactly
+    the property the paper exploits: only the source of activation
+    events changes. *)
+
+val ideal_clock :
+  graph:Dataflow.Graph.t ->
+  period:float ->
+  blocks:Dataflow.Graph.block_id list ->
+  Dataflow.Graph.block_id
+(** Adds a periodic activation clock and wires it to event input 0 of
+    every given block (samplers, controller, holds) — the
+    stroboscopic model: sampling and actuation at the same instants.
+    Returns the clock block. *)
+
+val attach_delay_graph :
+  ?mode:Delay_graph.mode ->
+  ?comm_jitter_frac:float ->
+  ?condition_feed:(string -> Dataflow.Graph.block_id * int) ->
+  graph:Dataflow.Graph.t ->
+  schedule:Aaa.Schedule.t ->
+  binding:Scicos_to_syndex.binding ->
+  unit ->
+  Delay_graph.t
+(** Builds the graph of delays for [schedule] inside [graph] and wires
+    each operation's completion tap to event input 0 of its bound
+    diagram block (blocks without event inputs, such as constant
+    reference sources, are skipped).  The result's taps remain
+    available for probing. *)
+
+val measured_instants : Sim.Engine.t -> block:Dataflow.Graph.block_id -> float array
+(** Activation instants of one block recorded during a simulation —
+    the empirical [I_j(k)] / [O_j(k)] of paper eqs. (1)–(2). *)
+
+val measured_latencies :
+  Sim.Engine.t -> block:Dataflow.Graph.block_id -> period:float -> float array
+(** Per-period latencies [instant − k·period].  The iteration index
+    [k] of an activation is its rank in the activation sequence. *)

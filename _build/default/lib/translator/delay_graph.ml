@@ -1,0 +1,292 @@
+module G = Dataflow.Graph
+module E = Dataflow.Eventlib
+module Alg = Aaa.Algorithm
+module Sched = Aaa.Schedule
+
+type mode =
+  | Static_wcet
+  | Jittered of { law : Exec.Timing_law.t; bcet_frac : float; seed : int }
+
+type t = {
+  clock : G.block_id;
+  completions : (Alg.op_id * (G.block_id * int)) list;
+}
+
+let completion t op =
+  match List.assoc_opt op t.completions with
+  | Some tap -> tap
+  | None -> raise Not_found
+
+(* segments of one operator's slot sequence: unconditioned slots stand
+   alone; maximal runs conditioned on the same variable are grouped *)
+type segment =
+  | Plain of Sched.comp_slot
+  | Conditional of string * Sched.comp_slot list
+
+let segments algorithm slots =
+  let cond_var slot =
+    Option.map (fun c -> c.Alg.var) (Alg.op_cond algorithm slot.Sched.cs_op)
+  in
+  let rec go acc current = function
+    | [] -> List.rev (match current with None -> acc | Some (v, run) -> Conditional (v, List.rev run) :: acc)
+    | slot :: rest -> (
+        match (cond_var slot, current) with
+        | None, None -> go (Plain slot :: acc) None rest
+        | None, Some (v, run) -> go (Plain slot :: Conditional (v, List.rev run) :: acc) None rest
+        | Some v, None -> go acc (Some (v, [ slot ])) rest
+        | Some v, Some (v', run) when String.equal v v' -> go acc (Some (v, slot :: run)) rest
+        | Some v, Some (v', run) ->
+            go (Conditional (v', List.rev run) :: acc) (Some (v, [ slot ])) rest)
+  in
+  go [] None slots
+
+let slot_key (c : Sched.comm_slot) =
+  ( (fst c.Sched.cm_src :> int),
+    snd c.Sched.cm_src,
+    (fst c.Sched.cm_dst :> int),
+    snd c.Sched.cm_dst,
+    c.Sched.cm_hop )
+
+let build ?(mode = Static_wcet) ?(comm_jitter_frac = 0.) ?condition_feed ~graph ~schedule () =
+  let algorithm = schedule.Sched.algorithm in
+  let period = Alg.period algorithm in
+  let rng =
+    match mode with
+    | Static_wcet -> Numerics.Rng.create 0
+    | Jittered { seed; _ } -> Numerics.Rng.create seed
+  in
+  let delay_block ~name wcet =
+    match mode with
+    | Static_wcet -> E.event_delay ~name ~delay:wcet ()
+    | Jittered { law; bcet_frac; _ } ->
+        let bcet = bcet_frac *. wcet in
+        E.event_delay_fn ~name (fun () -> Exec.Timing_law.sample law rng ~bcet ~wcet)
+  in
+  let clock = G.add graph (E.clock ~name:"dg_clock" ~period ()) in
+  let completions = ref [] in
+  (* every-iteration "posted" taps per operation: the event sources
+     that fire once per period regardless of conditioning — for a
+     plain operation its own completion, for a conditioned one the
+     merge of its conditional section's branch ends *)
+  let post_taps : (int, (G.block_id * int) list) Hashtbl.t = Hashtbl.create 32 in
+  (* transfers whose last hop gates a consumer element:
+     (comm slot, consumer-side sync block, sync input) *)
+  let pending = ref [] in
+  (* the last hop of each route gates its consumer *)
+  let gating_transfers op =
+    let home = Sched.operator_of schedule op in
+    List.filter
+      (fun c ->
+        fst c.Sched.cm_dst = op
+        && Alg.op_kind algorithm (fst c.Sched.cm_src) <> Alg.Memory
+        && c.Sched.cm_to = home)
+      schedule.Sched.comm
+  in
+  (* one chained element per slot: an optional synchronisation gate
+     (when the operation consumes remote data) followed by its delay
+     block; [tails] are the event outputs activating the element *)
+  let element tails slot =
+    let op = slot.Sched.cs_op in
+    let op_name = Alg.op_name algorithm op in
+    let gated_tails =
+      match gating_transfers op with
+      | [] -> tails
+      | transfers ->
+          let sync =
+            G.add graph
+              (E.synchronization
+                 ~name:(Printf.sprintf "dg_sync_%s" op_name)
+                 ~inputs:(1 + List.length transfers)
+                 ())
+          in
+          List.iter (fun tap -> G.connect_event graph ~src:tap ~dst:(sync, 0)) tails;
+          List.iteri (fun i c -> pending := (c, sync, i + 1) :: !pending) transfers;
+          [ (sync, 0) ]
+    in
+    let delay =
+      G.add graph (delay_block ~name:(Printf.sprintf "dg_delay_%s" op_name) slot.Sched.cs_duration)
+    in
+    List.iter (fun tap -> G.connect_event graph ~src:tap ~dst:(delay, 0)) gated_tails;
+    completions := (op, (delay, 0)) :: !completions;
+    [ (delay, 0) ]
+  in
+  (* ------------------------------------------------ operator chains *)
+  List.iter
+    (fun operator ->
+      let slots = Sched.on_operator schedule operator in
+      if slots <> [] then begin
+        let operator_name =
+          Aaa.Architecture.operator_name schedule.Sched.architecture operator
+        in
+        let sync_start =
+          G.add graph
+            (E.synchronization ~name:(Printf.sprintf "dg_start_%s" operator_name) ~inputs:2 ())
+        in
+        G.connect_event graph ~src:(clock, 0) ~dst:(sync_start, 0);
+        let prime =
+          G.add graph (E.initial_event ~name:(Printf.sprintf "dg_prime_%s" operator_name) ())
+        in
+        G.connect_event graph ~src:(prime, 0) ~dst:(sync_start, 1);
+        let tails = ref [ (sync_start, 0) ] in
+        List.iter
+          (fun segment ->
+            match segment with
+            | Plain slot ->
+                tails := element !tails slot;
+                Hashtbl.replace post_taps ((slot.Sched.cs_op :> int)) !tails
+            | Conditional (var, run) ->
+                let feed =
+                  match condition_feed with
+                  | Some f -> f var
+                  | None ->
+                      invalid_arg
+                        (Printf.sprintf
+                           "Delay_graph.build: conditioning variable %S needs a condition feed"
+                           var)
+                in
+                (* branches in order of first appearance *)
+                let values =
+                  List.fold_left
+                    (fun acc slot ->
+                      match Alg.op_cond algorithm slot.Sched.cs_op with
+                      | Some { Alg.value; _ } when not (List.mem value acc) -> acc @ [ value ]
+                      | Some _ | None -> acc)
+                    [] run
+                in
+                let channel_of v =
+                  (* unknown runtime values fall back to the first
+                     branch so the chain never stalls *)
+                  let rec find i = function
+                    | [] -> 0
+                    | x :: rest -> if x = v then i else find (i + 1) rest
+                  in
+                  find 0 values
+                in
+                let select =
+                  G.add graph
+                    (E.event_select
+                       ~name:(Printf.sprintf "dg_select_%s_%s" operator_name var)
+                       ~channels:(List.length values)
+                       ~mapping:(fun x -> channel_of (int_of_float (Float.round x)))
+                       ())
+                in
+                G.connect_data graph ~src:feed ~dst:(select, 0);
+                List.iter (fun tap -> G.connect_event graph ~src:tap ~dst:(select, 0)) !tails;
+                let branch_tails =
+                  List.mapi
+                    (fun channel value ->
+                      let branch_slots =
+                        List.filter
+                          (fun slot ->
+                            match Alg.op_cond algorithm slot.Sched.cs_op with
+                            | Some { Alg.value = v; _ } -> v = value
+                            | None -> false)
+                          run
+                      in
+                      List.fold_left element [ (select, channel) ] branch_slots)
+                    values
+                in
+                let section_tails = List.concat branch_tails in
+                (* every operation of the section posts at the merge
+                   point, which fires whichever branch was taken *)
+                List.iter
+                  (fun slot ->
+                    Hashtbl.replace post_taps ((slot.Sched.cs_op :> int)) section_tails)
+                  run;
+                tails := section_tails)
+          (segments algorithm slots);
+        (* loop back: the operator's next iteration waits for this one *)
+        List.iter (fun tap -> G.connect_event graph ~src:tap ~dst:(sync_start, 1)) !tails
+      end)
+    (Aaa.Architecture.operators schedule.Sched.architecture);
+  (* ------------------------------------------------- medium chains *)
+  (* Each medium is its own synchronized sequence (the paper: the
+     processors' computation sequences are "synchronized by
+     communication sequences on the communication media"): per
+     transfer, a gate joining the medium's availability with the
+     data being posted, then the transfer's delay.  The delay's
+     completion is the hop's arrival tap. *)
+  let arrival_taps : (int * int * int * int * int, G.block_id * int) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let gates : (Sched.comm_slot * G.block_id) list ref = ref [] in
+  List.iter
+    (fun medium ->
+      let transfers = Sched.on_medium schedule medium in
+      if transfers <> [] then begin
+        let medium_name =
+          Aaa.Architecture.medium_name schedule.Sched.architecture medium
+        in
+        let sync_start =
+          G.add graph
+            (E.synchronization ~name:(Printf.sprintf "dg_medium_%s" medium_name) ~inputs:2 ())
+        in
+        G.connect_event graph ~src:(clock, 0) ~dst:(sync_start, 0);
+        let prime =
+          G.add graph
+            (E.initial_event ~name:(Printf.sprintf "dg_medium_prime_%s" medium_name) ())
+        in
+        G.connect_event graph ~src:(prime, 0) ~dst:(sync_start, 1);
+        let tail = ref (sync_start, 0) in
+        List.iter
+          (fun c ->
+            let label =
+              Printf.sprintf "%s_h%d"
+                (Alg.op_name algorithm (fst c.Sched.cm_src))
+                c.Sched.cm_hop
+            in
+            let gate =
+              G.add graph
+                (E.synchronization ~name:(Printf.sprintf "dg_xfer_%s_%s" medium_name label)
+                   ~inputs:2 ())
+            in
+            G.connect_event graph ~src:!tail ~dst:(gate, 0);
+            gates := (c, gate) :: !gates;
+            let transfer_block =
+              let name = Printf.sprintf "dg_comm_%s_%s" medium_name label in
+              let planned = c.Sched.cm_duration in
+              match mode with
+              | Jittered _ when comm_jitter_frac > 0. && planned > 0. ->
+                  let f = Float.min 1. comm_jitter_frac in
+                  E.event_delay_fn ~name (fun () ->
+                      Numerics.Rng.uniform rng ((1. -. f) *. planned) planned)
+              | Jittered _ | Static_wcet -> E.event_delay ~name ~delay:planned ()
+            in
+            let transfer = G.add graph transfer_block in
+            G.connect_event graph ~src:(gate, 0) ~dst:(transfer, 0);
+            Hashtbl.replace arrival_taps (slot_key c) (transfer, 0);
+            tail := (transfer, 0))
+          transfers;
+        G.connect_event graph ~src:!tail ~dst:(sync_start, 1)
+      end)
+    (Aaa.Architecture.media schedule.Sched.architecture);
+  (* wire each transfer's "data posted" input: the producer's
+     every-iteration tap for hop 0, the previous hop's arrival
+     otherwise *)
+  List.iter
+    (fun ((c : Sched.comm_slot), gate) ->
+      if c.Sched.cm_hop = 0 then begin
+        let src_taps =
+          match Hashtbl.find_opt post_taps ((fst c.Sched.cm_src :> int)) with
+          | Some taps -> taps
+          | None ->
+              invalid_arg "Delay_graph.build: transfer from an unscheduled operation"
+        in
+        List.iter (fun tap -> G.connect_event graph ~src:tap ~dst:(gate, 1)) src_taps
+      end
+      else begin
+        let a, b, cc, d, hop = slot_key c in
+        match Hashtbl.find_opt arrival_taps (a, b, cc, d, hop - 1) with
+        | Some tap -> G.connect_event graph ~src:tap ~dst:(gate, 1)
+        | None -> invalid_arg "Delay_graph.build: broken transfer route"
+      end)
+    !gates;
+  (* consumer gating: the last hop's arrival activates the waiting
+     synchronisation input *)
+  List.iter
+    (fun (c, sync, input) ->
+      match Hashtbl.find_opt arrival_taps (slot_key c) with
+      | Some tap -> G.connect_event graph ~src:tap ~dst:(sync, input)
+      | None -> invalid_arg "Delay_graph.build: missing transfer chain for a consumer")
+    !pending;
+  { clock; completions = List.rev !completions }

@@ -1,0 +1,68 @@
+(** Construction of the {e graph of delays} (paper §3.2, Figs. 3–5):
+    event-processing blocks added to a Scicos diagram that reproduce
+    the temporal behaviour of a SynDEx schedule and deliver activation
+    events at the implementation's real instants.
+
+    The translation implements the paper's three constructions:
+    - {e sequencing} (§3.2.1): each scheduled operation becomes an
+      [Event Delay] block whose delay is the operation's duration; the
+      completion event of one block activates the next;
+    - {e conditioning} (§3.2.2): a run of operations conditioned on the
+      same variable becomes an [Event Select] block — fed by the
+      condition value through a regular input ("Condition Mapping") —
+      routing the activation into one delay chain per branch;
+    - {e synchronisation} (§3.2.3): every communication medium becomes
+      its own synchronized sequence — per transfer, a
+      [Synchronization] block joins the medium's availability (the
+      previous transfer's completion) with the producer having posted
+      its data, followed by an [Event Delay] of the transfer duration;
+      the final hop's completion gates the consumer through another
+      [Synchronization] block.  Medium contention therefore {e emerges}
+      from the structure (exactly as in the generated executive)
+      rather than being folded into precomputed gaps, including in
+      jittered mode.
+
+    Each operator's chain — and each medium's — is started by a
+    [Synchronization] block joining the periodic activation clock with
+    its own previous-iteration completion (primed by an initial
+    event), so overruns postpone the next iteration instead of
+    overlapping it. *)
+
+type mode =
+  | Static_wcet
+      (** delays equal the scheduled WCET durations — every iteration
+          reproduces the static temporal model exactly *)
+  | Jittered of { law : Exec.Timing_law.t; bcet_frac : float; seed : int }
+      (** computation delays are redrawn at every activation from the
+          law over [\[bcet_frac·WCET, WCET\]]; communication delays
+          keep their static value *)
+
+type t = {
+  clock : Dataflow.Graph.block_id;  (** the period clock (one event output) *)
+  completions : (Aaa.Algorithm.op_id * (Dataflow.Graph.block_id * int)) list;
+      (** for every operation, the event output firing at its
+          completion instant — wire these to S/H blocks and to the
+          controller (see {!Cosim}) *)
+}
+
+val build :
+  ?mode:mode ->
+  ?comm_jitter_frac:float ->
+  ?condition_feed:(string -> Dataflow.Graph.block_id * int) ->
+  graph:Dataflow.Graph.t ->
+  schedule:Aaa.Schedule.t ->
+  unit ->
+  t
+(** Adds the graph of delays to [graph] and returns the taps.
+    In {!Jittered} mode, [comm_jitter_frac] (default [0.]) additionally
+    redraws each transfer's duration uniformly over
+    [\[(1−f)·planned, planned\]] — the same knob as
+    {!Exec.Machine.config.comm_jitter_frac}.
+    [condition_feed] must map every conditioning variable to a width-1
+    data output carrying its current value (e.g. the controller's mode
+    output); it is required as soon as the schedule contains
+    conditioned operations.  Default mode: {!Static_wcet}.  Raises
+    [Invalid_argument] on a missing condition feed. *)
+
+val completion : t -> Aaa.Algorithm.op_id -> Dataflow.Graph.block_id * int
+(** Tap lookup.  Raises [Not_found]. *)

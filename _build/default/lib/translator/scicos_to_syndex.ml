@@ -1,0 +1,133 @@
+module G = Dataflow.Graph
+module B = Dataflow.Block
+module Alg = Aaa.Algorithm
+
+type spec = {
+  members : G.block_id list;
+  memories : G.block_id list;
+  period : float;
+}
+
+type binding = {
+  mutable pairs : (G.block_id * Alg.op_id) list;
+}
+
+let op_of_block binding block =
+  List.assoc_opt block binding.pairs
+
+let block_of_op binding op =
+  match List.find_opt (fun (_, o) -> o = op) binding.pairs with
+  | Some (b, _) -> b
+  | None -> raise Not_found
+
+let extract graph spec =
+  if spec.members = [] then invalid_arg "Scicos_to_syndex.extract: empty member set";
+  List.iter
+    (fun m ->
+      if not (List.mem m spec.members) then
+        invalid_arg "Scicos_to_syndex.extract: memories must be members")
+    spec.memories;
+  let is_member b = List.mem b spec.members in
+  (* classification from the position in the diagram *)
+  let reads_from_outside b =
+    let blk = G.block graph b in
+    let n_in = Array.length blk.B.in_widths in
+    List.exists
+      (fun p ->
+        match G.data_source graph b p with
+        | Some (src, _) -> not (is_member src)
+        | None -> false)
+      (List.init n_in Fun.id)
+  in
+  let writes_to_outside b =
+    List.exists
+      (fun ((src, _), (dst, _)) -> src = b && not (is_member dst))
+      (G.data_links graph)
+  in
+  let algorithm =
+    Alg.create ~name:"extracted_control_law" ~period:spec.period
+  in
+  let binding = { pairs = [] } in
+  List.iter
+    (fun b ->
+      let blk = G.block graph b in
+      if Array.length blk.B.in_widths = 0 && Array.length blk.B.out_widths = 0 then
+        invalid_arg
+          (Printf.sprintf "Scicos_to_syndex.extract: member %S has no regular port"
+             blk.B.name);
+      let kind =
+        let sensor = reads_from_outside b and actuator = writes_to_outside b in
+        if sensor && actuator then
+          invalid_arg
+            (Printf.sprintf
+               "Scicos_to_syndex.extract: %S is both sensor and actuator — split it"
+               blk.B.name)
+        else if List.mem b spec.memories then
+          if sensor || actuator then
+            invalid_arg
+              (Printf.sprintf "Scicos_to_syndex.extract: memory %S touches the plant side"
+                 blk.B.name)
+          else Alg.Memory
+        else if sensor then Alg.Sensor
+        else if actuator then Alg.Actuator
+        else Alg.Compute
+      in
+      (* a sensor's outside-facing input ports and an actuator's
+         outside-facing output ports stay out of the algorithm graph:
+         they are the physical interface *)
+      let inputs =
+        Array.of_list
+          (List.filter_map
+             (fun p ->
+               match G.data_source graph b p with
+               | Some (src, _) when is_member src -> Some blk.B.in_widths.(p)
+               | Some _ | None -> None)
+             (List.init (Array.length blk.B.in_widths) Fun.id))
+      in
+      let outputs =
+        match kind with
+        | Alg.Actuator -> [||]
+        | Alg.Sensor | Alg.Compute | Alg.Memory -> Array.copy blk.B.out_widths
+      in
+      let op = Alg.add_op algorithm ~name:blk.B.name ~kind ~inputs ~outputs () in
+      binding.pairs <- binding.pairs @ [ (b, op) ])
+    spec.members;
+  (* dependencies: data links whose two ends are members.  Input port
+     indices must be re-based because outside-facing input ports were
+     dropped. *)
+  let member_input_index b p =
+    let blk = G.block graph b in
+    let rec count acc q =
+      if q >= p then acc
+      else
+        let acc =
+          match G.data_source graph b q with
+          | Some (src, _) when is_member src -> acc + 1
+          | Some _ | None -> acc
+        in
+        count acc (q + 1)
+    in
+    ignore blk;
+    count 0 0
+  in
+  List.iter
+    (fun ((src, sp), (dst, dp)) ->
+      if is_member src && is_member dst then
+        match (op_of_block binding src, op_of_block binding dst) with
+        | Some src_op, Some dst_op ->
+            Alg.depend algorithm ~src:(src_op, sp) ~dst:(dst_op, member_input_index dst dp)
+        | None, _ | _, None -> assert false)
+    (G.data_links graph);
+  (algorithm, binding)
+
+let declare_condition binding ~algorithm ~var ~source:(src_block, src_port) ~ops =
+  let resolve block =
+    match op_of_block binding block with
+    | Some op -> op
+    | None -> invalid_arg "Scicos_to_syndex.declare_condition: block is not a member"
+  in
+  Alg.set_condition_source algorithm ~var (resolve src_block, src_port);
+  List.iter
+    (fun (block, value) ->
+      Alg.set_op_condition algorithm (resolve block) { Alg.var; value })
+    ops

@@ -1,0 +1,51 @@
+(** Extraction of the control law from a block diagram into a SynDEx
+    algorithm graph — the "automatic translator" of paper §1.
+
+    The caller names the {e member} blocks that constitute the control
+    software (controller blocks, samplers, holds, reference
+    generators, delays).  Classification follows the diagram
+    structure:
+    - a member reading data from a non-member block is a {e sensor}
+      (it acquires a measure from the environment/plant side);
+    - a member writing data to a non-member block is an {e actuator};
+    - members listed in [memories] are inter-iteration delays;
+    - every other member is a {e compute} operation.
+
+    A member may not be simultaneously sensor and actuator (split the
+    block), and members must have at least one regular port (pure
+    event blocks such as clocks are part of the simulation harness,
+    not of the control law). *)
+
+type spec = {
+  members : Dataflow.Graph.block_id list;  (** the control-law blocks *)
+  memories : Dataflow.Graph.block_id list;  (** members acting as delays *)
+  period : float;  (** sampling period [Ts] of the control law *)
+}
+
+type binding
+(** Two-way association between diagram blocks and algorithm
+    operations (operation names reuse block names). *)
+
+val extract : Dataflow.Graph.t -> spec -> Aaa.Algorithm.t * binding
+(** Builds the algorithm graph: one operation per member, one
+    dependency per data link between members (port indices are
+    preserved; widths are taken from the block ports).  Raises
+    [Invalid_argument] on classification conflicts, on a member with
+    no regular port, or on [memories] not included in [members]. *)
+
+val op_of_block : binding -> Dataflow.Graph.block_id -> Aaa.Algorithm.op_id option
+val block_of_op : binding -> Aaa.Algorithm.op_id -> Dataflow.Graph.block_id
+(** Raises [Not_found] for operations of another algorithm. *)
+
+val declare_condition :
+  binding ->
+  algorithm:Aaa.Algorithm.t ->
+  var:string ->
+  source:Dataflow.Graph.block_id * int ->
+  ops:(Dataflow.Graph.block_id * int) list ->
+  unit
+(** Marks conditioning after extraction: [source] is the member block
+    output computing variable [var]; each [(block, value)] in [ops]
+    conditions that block's operation on [var = value].  Wraps
+    {!Aaa.Algorithm.set_condition_source} and rebuilds the operations'
+    condition tags.  Raises if a block is not a member. *)

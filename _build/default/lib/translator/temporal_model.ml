@@ -1,0 +1,66 @@
+module Alg = Aaa.Algorithm
+module Sched = Aaa.Schedule
+
+type static = {
+  period : float;
+  makespan : float;
+  fits_period : bool;
+  sampling_offsets : (Alg.op_id * float) list;
+  actuation_offsets : (Alg.op_id * float) list;
+}
+
+let of_schedule sched =
+  {
+    period = Alg.period sched.Sched.algorithm;
+    makespan = sched.Sched.makespan;
+    fits_period = Sched.fits_period sched;
+    sampling_offsets = Sched.sensor_completions sched;
+    actuation_offsets = Sched.actuator_completions sched;
+  }
+
+type series = {
+  op : Alg.op_id;
+  latencies : float array;
+  mean : float;
+  stddev : float;
+  lmin : float;
+  lmax : float;
+  jitter : float;
+}
+
+let summarise (op, latencies) =
+  let valid = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list latencies)) in
+  if Array.length valid = 0 then
+    { op; latencies; mean = Float.nan; stddev = Float.nan; lmin = Float.nan;
+      lmax = Float.nan; jitter = Float.nan }
+  else
+    let lmin = Numerics.Stats.min valid and lmax = Numerics.Stats.max valid in
+    {
+      op;
+      latencies;
+      mean = Numerics.Stats.mean valid;
+      stddev = Numerics.Stats.stddev valid;
+      lmin;
+      lmax;
+      jitter = lmax -. lmin;
+    }
+
+let sampling_series trace = List.map summarise (Exec.Machine.sampling_latencies trace)
+let actuation_series trace = List.map summarise (Exec.Machine.actuation_latencies trace)
+
+let io_latency static =
+  List.fold_left (fun acc (_, t) -> Float.max acc t) 0. static.actuation_offsets
+
+let pp_static ppf s =
+  Format.fprintf ppf
+    "@[<v>temporal model: period=%g makespan=%g (%s)@,sampling offsets:@," s.period
+    s.makespan
+    (if s.fits_period then "fits" else "OVERRUNS");
+  List.iter (fun (_, t) -> Format.fprintf ppf "  Ls = %g@," t) s.sampling_offsets;
+  Format.fprintf ppf "actuation offsets:@,";
+  List.iter (fun (_, t) -> Format.fprintf ppf "  La = %g@," t) s.actuation_offsets;
+  Format.fprintf ppf "@]"
+
+let pp_series alg ppf s =
+  Format.fprintf ppf "%s: mean=%g std=%g min=%g max=%g jitter=%g" (Alg.op_name alg s.op)
+    s.mean s.stddev s.lmin s.lmax s.jitter

@@ -1,0 +1,47 @@
+(** The temporal model of a SynDEx implementation (paper §3.2): the
+    start/completion instants of every computation and communication
+    operation, and the derived sampling/actuation latencies of paper
+    eqs. (1)–(2).
+
+    Two sources of truth:
+    - the {e static} model reads the WCET-based schedule — every
+      iteration is identical, latencies are constants;
+    - the {e measured} model reads an execution trace from
+      {!Exec.Machine} — latencies vary per iteration (jitter). *)
+
+type static = {
+  period : float;
+  makespan : float;
+  fits_period : bool;
+  sampling_offsets : (Aaa.Algorithm.op_id * float) list;
+      (** per sensor [j]: the constant latency [Ls_j] — the completion
+          offset of the sensor operation within the period *)
+  actuation_offsets : (Aaa.Algorithm.op_id * float) list;
+      (** per actuator [j]: the constant latency [La_j] *)
+}
+
+val of_schedule : Aaa.Schedule.t -> static
+
+type series = {
+  op : Aaa.Algorithm.op_id;
+  latencies : float array;  (** per iteration; [nan] when skipped *)
+  mean : float;
+  stddev : float;
+  lmin : float;
+  lmax : float;
+  jitter : float;  (** [lmax − lmin] *)
+}
+
+val sampling_series : Exec.Machine.trace -> series list
+(** Measured sampling latencies [Ls_j(k)] with summary statistics
+    (nan-skipping). *)
+
+val actuation_series : Exec.Machine.trace -> series list
+
+val io_latency : static -> float
+(** Largest actuation offset — the static input-to-output latency the
+    control engineer must tolerate (the classic
+    "computational delay" of Cervin et al.). *)
+
+val pp_static : Format.formatter -> static -> unit
+val pp_series : Aaa.Algorithm.t -> Format.formatter -> series -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Format Numerics Printexc QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_aaa.ml: Aaa Alcotest Array Control Dataflow Exec Float Format Helpers List Numerics Option Printf QCheck2 Sim Translator

@@ -1,0 +1,1 @@
+test/test_cgen.ml: Aaa Filename Helpers List Printf Sys Unix

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Complex Control Dataflow Float Helpers List Numerics Sim

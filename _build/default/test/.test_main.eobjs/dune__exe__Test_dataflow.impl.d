@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Array Control Dataflow Helpers List Numerics Option

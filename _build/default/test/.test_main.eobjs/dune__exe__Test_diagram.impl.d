@@ -1,0 +1,1 @@
+test/test_diagram.ml: Aaa Alcotest Array Control Exec Float Helpers Lifecycle List Sim String Sys

@@ -1,0 +1,1 @@
+test/test_exec.ml: Aaa Alcotest Array Exec Float Helpers List Numerics QCheck2 String

@@ -1,0 +1,1 @@
+test/test_freq.ml: Alcotest Complex Control Float Helpers List Numerics

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Array Control Dataflow Float Helpers List Numerics Sim

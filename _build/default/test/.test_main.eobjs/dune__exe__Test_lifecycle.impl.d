@@ -1,0 +1,1 @@
+test/test_lifecycle.ml: Aaa Array Control Dataflow Exec Float Helpers Lifecycle List Numerics Sim Translator

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Complex Float Fun Helpers List Numerics QCheck2 String

@@ -1,0 +1,1 @@
+test/test_props.ml: Aaa Array Dataflow Exec Float Helpers List Numerics Printf QCheck2 Sim String Translator

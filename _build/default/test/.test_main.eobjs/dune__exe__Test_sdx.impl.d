@@ -1,0 +1,1 @@
+test/test_sdx.ml: Aaa Alcotest Helpers List Option Sys

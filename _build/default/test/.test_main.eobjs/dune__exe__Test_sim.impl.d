@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Control Dataflow Float Helpers List QCheck2 Sim

@@ -1,0 +1,1 @@
+test/test_translator.ml: Aaa Alcotest Array Control Dataflow Exec Format Fun Helpers List Numerics Option Sim Translator

@@ -1,0 +1,38 @@
+(* Shared test helpers. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_false msg b = Alcotest.(check bool) msg false b
+let check_int msg expected actual = Alcotest.(check int) msg expected actual
+
+let check_raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Invalid_argument, got %s" msg (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: expected Invalid_argument, got a result" msg
+
+let check_vec ?(eps = 1e-9) msg expected actual =
+  if not (Numerics.Vec.equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg
+      (Format.asprintf "%a" Numerics.Vec.pp expected)
+      (Format.asprintf "%a" Numerics.Vec.pp actual)
+
+let check_mat ?(eps = 1e-9) msg expected actual =
+  if not (Numerics.Matrix.equal ~eps expected actual) then
+    Alcotest.failf "%s: expected@.%s@.got@.%s" msg
+      (Format.asprintf "%a" Numerics.Matrix.pp expected)
+      (Format.asprintf "%a" Numerics.Matrix.pp actual)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test name f = Alcotest.test_case name `Quick f
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)

@@ -1,0 +1,98 @@
+open Helpers
+module Alg = Aaa.Algorithm
+module Arch = Aaa.Architecture
+module Dur = Aaa.Durations
+
+(* distributed, conditioned application exercising all constructs *)
+let full_exe () =
+  let alg = Alg.create ~name:"cgen demo" ~period:0.1 in
+  let mode = Alg.add_op alg ~name:"mode" ~kind:Alg.Sensor ~outputs:[| 1 |] () in
+  Alg.set_condition_source alg ~var:"m" (mode, 0);
+  let sense = Alg.add_op alg ~name:"sense-y" ~kind:Alg.Sensor ~outputs:[| 2 |] () in
+  let cheap =
+    Alg.add_op alg ~name:"cheap" ~kind:Alg.Compute ~inputs:[| 2 |] ~outputs:[| 1 |]
+      ~cond:{ Alg.var = "m"; value = 0 } ()
+  in
+  let costly =
+    Alg.add_op alg ~name:"costly" ~kind:Alg.Compute ~inputs:[| 2 |] ~outputs:[| 1 |]
+      ~cond:{ Alg.var = "m"; value = 1 } ()
+  in
+  let act = Alg.add_op alg ~name:"act" ~kind:Alg.Actuator ~inputs:[| 1; 1 |] () in
+  Alg.depend alg ~src:(sense, 0) ~dst:(cheap, 0);
+  Alg.depend alg ~src:(sense, 0) ~dst:(costly, 0);
+  Alg.depend alg ~src:(cheap, 0) ~dst:(act, 0);
+  Alg.depend alg ~src:(costly, 0) ~dst:(act, 1);
+  let arch = Arch.bus_topology ~latency:0.001 ~time_per_word:0.0005 [ "P0"; "P1" ] in
+  let d = Dur.create () in
+  Dur.set d ~op:"mode" ~operator:"P0" 0.002;
+  Dur.set d ~op:"sense-y" ~operator:"P0" 0.002;
+  Dur.set d ~op:"cheap" ~operator:"P1" 0.002;
+  Dur.set d ~op:"costly" ~operator:"P1" 0.02;
+  Dur.set d ~op:"act" ~operator:"P0" 0.002;
+  let sched = Aaa.Adequation.run ~algorithm:alg ~architecture:arch ~durations:d () in
+  Aaa.Codegen.generate sched
+
+let cgen_tests =
+  [
+    test "emission covers runtime, headers and one file per operator" (fun () ->
+        let files = Aaa.Cgen.emit (full_exe ()) in
+        let names = List.map fst files in
+        List.iter
+          (fun expected -> check_true expected (List.mem expected names))
+          [ "scilife_runtime.h"; "channels.h"; "ops.h"; "operator_P0.c"; "operator_P1.c" ]);
+    test "generated code reflects the schedule's constructs" (fun () ->
+        let files = Aaa.Cgen.emit (full_exe ()) in
+        let content name = List.assoc name files in
+        (* mangled names, conditioning guard, channel enum, calls *)
+        check_true "mangled op" (contains (content "ops.h") "op_sense_y");
+        check_true "channel enum" (contains (content "channels.h") "CH_SENSE_Y_0__CHEAP_0");
+        check_true "cond channel" (contains (content "channels.h") "_COND");
+        let p1 = content "operator_P1.c" in
+        check_true "wait" (contains p1 "rt_wait_period(rt);");
+        check_true "guard" (contains p1 "if ((int)lround(buf_mode_0[0]) == 1)");
+        check_true "receive into producer replica" (contains p1 "rt_receive(rt, CH_SENSE_Y_0__CHEAP_0, buf_sense_y_0, 2);");
+        let p0 = content "operator_P0.c" in
+        check_true "send" (contains p0 "rt_send(rt, CH_SENSE_Y_0__CHEAP_0, buf_sense_y_0, 2);"));
+    test "memory operations appear as state-copy calls" (fun () ->
+        (* s -> update <-> state memory -> a *)
+        let alg = Alg.create ~name:"stateful" ~period:0.1 in
+        let s = Alg.add_op alg ~name:"s" ~kind:Alg.Sensor ~outputs:[| 1 |] () in
+        let mem = Alg.add_op alg ~name:"state" ~kind:Alg.Memory ~inputs:[| 1 |] ~outputs:[| 1 |] () in
+        let upd = Alg.add_op alg ~name:"update" ~kind:Alg.Compute ~inputs:[| 1; 1 |] ~outputs:[| 1 |] () in
+        let a = Alg.add_op alg ~name:"a" ~kind:Alg.Actuator ~inputs:[| 1 |] () in
+        Alg.depend alg ~src:(s, 0) ~dst:(upd, 0);
+        Alg.depend alg ~src:(mem, 0) ~dst:(upd, 1);
+        Alg.depend alg ~src:(upd, 0) ~dst:(mem, 0);
+        Alg.depend alg ~src:(upd, 0) ~dst:(a, 0);
+        let arch = Arch.single () in
+        let d = Dur.create () in
+        List.iter (fun op -> Dur.set d ~op ~operator:"P0" 0.001) [ "s"; "state"; "update"; "a" ];
+        let sched = Aaa.Adequation.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        let files = Aaa.Cgen.emit (Aaa.Codegen.generate sched) in
+        let p0 = List.assoc "operator_P0.c" files in
+        check_true "update reads the memory buffer"
+          (contains p0 "op_update(buf_s_0, buf_state_0, buf_update_0);");
+        check_true "memory refreshed from its producer"
+          (contains p0 "op_state(buf_update_0, buf_state_0);"));
+    test "generated C compiles (when a C compiler is available)" (fun () ->
+        match
+          Sys.command "command -v cc > /dev/null 2>&1"
+        with
+        | 0 ->
+            let dir = Filename.temp_file "scilife_cgen" "" in
+            Sys.remove dir;
+            Unix.mkdir dir 0o755;
+            Aaa.Cgen.write (full_exe ()) ~dir;
+            List.iter
+              (fun f ->
+                let cmd =
+                  Printf.sprintf "cc -std=c99 -Wall -Werror -c -o /dev/null -I%s %s 2>&1"
+                    (Filename.quote dir)
+                    (Filename.quote (Filename.concat dir f))
+                in
+                check_int (f ^ " compiles") 0 (Sys.command cmd))
+              [ "operator_P0.c"; "operator_P1.c" ]
+        | _ -> () (* no compiler in this environment: skip *));
+  ]
+
+let suites = [ ("aaa.cgen", cgen_tests) ]

@@ -1,0 +1,640 @@
+open Helpers
+module M = Numerics.Matrix
+module Lti = Control.Lti
+
+let scalar_lag tau gain = Control.Plants.first_order ~tau ~gain
+let dintegrator () = Control.Plants.double_integrator ()
+
+(* ------------------------------------------------------------------ *)
+(* Lti *)
+
+let lti_tests =
+  [
+    test "make validates shapes" (fun () ->
+        check_raises_invalid "B rows" (fun () ->
+            ignore
+              (Lti.make ~domain:Lti.Continuous ~a:(M.identity 2) ~b:(M.zeros 3 1)
+                 ~c:(M.zeros 1 2) ~d:(M.zeros 1 1))));
+    test "make rejects non-positive ts" (fun () ->
+        check_raises_invalid "ts" (fun () ->
+            ignore
+              (Lti.make ~domain:(Lti.Discrete 0.) ~a:(M.identity 1) ~b:(M.identity 1)
+                 ~c:(M.identity 1) ~d:(M.zeros 1 1))));
+    test "dims" (fun () ->
+        let sys = dintegrator () in
+        check_int "n" 2 (Lti.state_dim sys);
+        check_int "m" 1 (Lti.input_dim sys);
+        check_int "p" 1 (Lti.output_dim sys));
+    test "output and deriv" (fun () ->
+        let sys = dintegrator () in
+        check_vec "y = pos" [| 3. |] (Lti.output sys [| 3.; 4. |] [| 0. |]);
+        check_vec "dx" [| 4.; 2. |] (Lti.deriv sys [| 3.; 4. |] [| 2. |]));
+    test "step_discrete on continuous raises" (fun () ->
+        check_raises_invalid "domain" (fun () ->
+            ignore (Lti.step_discrete (dintegrator ()) [| 0.; 0. |] [| 0. |])));
+    test "stability checks" (fun () ->
+        check_true "lag stable" (Lti.is_stable (scalar_lag 1. 1.));
+        check_false "integrator not strictly stable" (Lti.is_stable (dintegrator ())));
+    test "poles of lag at -1/tau" (fun () ->
+        match Lti.poles (scalar_lag 2. 1.) with
+        | [ z ] -> check_float ~eps:1e-9 "pole" (-0.5) z.Complex.re
+        | _ -> Alcotest.fail "expected one pole");
+    test "controllability of double integrator" (fun () ->
+        check_true "controllable" (Lti.is_controllable (dintegrator ()));
+        check_true "observable" (Lti.is_observable (dintegrator ())));
+    test "uncontrollable system detected" (fun () ->
+        (* second state unreachable *)
+        let sys =
+          Lti.make ~domain:Lti.Continuous
+            ~a:(M.of_arrays [| [| -1.; 0. |]; [| 0.; -2. |] |])
+            ~b:(M.of_arrays [| [| 1. |]; [| 0. |] |])
+            ~c:(M.of_arrays [| [| 1.; 1. |] |])
+            ~d:(M.zeros 1 1)
+        in
+        check_false "uncontrollable" (Lti.is_controllable sys));
+    test "series composes dimensions" (fun () ->
+        let g = scalar_lag 1. 2. and h = scalar_lag 0.5 3. in
+        let s = Lti.series g h in
+        check_int "states add" 2 (Lti.state_dim s);
+        (* DC gain of the series is the product *)
+        let dc sys =
+          let neg_a_inv = Numerics.Linalg.inv (M.neg sys.Lti.a) in
+          M.get (M.mul (M.mul sys.Lti.c neg_a_inv) sys.Lti.b) 0 0
+        in
+        check_float ~eps:1e-9 "dc product" 6. (dc s));
+    test "series domain mismatch raises" (fun () ->
+        let g = scalar_lag 1. 1. in
+        let h = Control.Discretize.discretize ~ts:0.1 (scalar_lag 1. 1.) in
+        check_raises_invalid "domain" (fun () -> ignore (Lti.series g h)));
+    test "feedback_gain closes loop" (fun () ->
+        let sys = dintegrator () in
+        let k = M.of_arrays [| [| 2.; 3. |] |] in
+        let cl = Lti.feedback_gain sys k in
+        check_true "stabilised" (Numerics.Linalg.is_stable_continuous cl.Lti.a));
+    test "rhs drives ODE" (fun () ->
+        let sys = scalar_lag 1. 1. in
+        let rhs = Lti.rhs sys ~u:(fun _ -> [| 1. |]) in
+        let xf = Numerics.Ode.integrate rhs ~t0:0. ~t1:5. [| 0. |] in
+        (* settles near DC gain 1 *)
+        check_float ~eps:0.01 "settles" 1. xf.(0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Discretize *)
+
+let discretize_tests =
+  [
+    test "zoh of first order matches analytic" (fun () ->
+        let sysd = Control.Discretize.discretize ~ts:0.2 (scalar_lag 1. 1.) in
+        check_float ~eps:1e-12 "Ad" (Float.exp (-0.2)) (M.get sysd.Lti.a 0 0);
+        check_float ~eps:1e-12 "Bd" (1. -. Float.exp (-0.2)) (M.get sysd.Lti.b 0 0));
+    test "zoh preserves DC gain" (fun () ->
+        let sys = scalar_lag 2. 5. in
+        let sysd = Control.Discretize.discretize ~ts:0.1 sys in
+        (* discrete DC: C(I-Ad)^-1 Bd + D *)
+        let gain =
+          M.get sysd.Lti.b 0 0 /. (1. -. M.get sysd.Lti.a 0 0)
+        in
+        check_float ~eps:1e-9 "dc" 5. gain);
+    test "tustin maps stable to stable" (fun () ->
+        let sysd =
+          Control.Discretize.discretize ~scheme:Control.Discretize.Tustin ~ts:0.5
+            (scalar_lag 0.3 1.)
+        in
+        check_true "stable" (Lti.is_stable sysd));
+    test "forward euler can destabilise stiff systems" (fun () ->
+        (* pole -50 with h = 0.1: 1 + h·a = -4 → unstable *)
+        let sysd =
+          Control.Discretize.discretize ~scheme:Control.Discretize.Forward_euler ~ts:0.1
+            (scalar_lag 0.02 1.)
+        in
+        check_false "unstable" (Lti.is_stable sysd));
+    test "backward euler keeps stiff systems stable" (fun () ->
+        let sysd =
+          Control.Discretize.discretize ~scheme:Control.Discretize.Backward_euler ~ts:0.1
+            (scalar_lag 0.02 1.)
+        in
+        check_true "stable" (Lti.is_stable sysd));
+    test "discretizing a discrete system raises" (fun () ->
+        let sysd = Control.Discretize.discretize ~ts:0.1 (scalar_lag 1. 1.) in
+        check_raises_invalid "twice" (fun () ->
+            ignore (Control.Discretize.discretize ~ts:0.1 sysd)));
+    test "zoh_with_delay dimensions" (fun () ->
+        let aug = Control.Discretize.zoh_with_delay ~ts:0.1 ~delay:0.04 (dintegrator ()) in
+        check_int "n+m" 3 (Lti.state_dim aug);
+        check_int "m" 1 (Lti.input_dim aug));
+    test "zoh_with_delay zero delay matches plain zoh" (fun () ->
+        let sys = scalar_lag 1. 1. in
+        let plain = Control.Discretize.discretize ~ts:0.1 sys in
+        let aug = Control.Discretize.zoh_with_delay ~ts:0.1 ~delay:0. sys in
+        check_float ~eps:1e-12 "Ad" (M.get plain.Lti.a 0 0) (M.get aug.Lti.a 0 0);
+        (* Γ1 block must vanish *)
+        check_float ~eps:1e-12 "no delayed input" 0. (M.get aug.Lti.a 0 1);
+        check_float ~eps:1e-12 "Bd" (M.get plain.Lti.b 0 0) (M.get aug.Lti.b 0 0));
+    test "zoh_with_delay full-period delay shifts all input" (fun () ->
+        let sys = scalar_lag 1. 1. in
+        let aug = Control.Discretize.zoh_with_delay ~ts:0.1 ~delay:0.1 sys in
+        (* all influence through u_prev: direct Bd block ~ 0 *)
+        check_float ~eps:1e-12 "direct zero" 0. (M.get aug.Lti.b 0 0);
+        check_true "delayed path nonzero" (Float.abs (M.get aug.Lti.a 0 1) > 1e-6));
+    test "zoh_with_delay split sums to plain Bd" (fun () ->
+        (* Γ0 + Γ1 must equal the undelayed Bd for any split *)
+        let sys = dintegrator () in
+        let plain = Control.Discretize.discretize ~ts:0.1 sys in
+        let aug = Control.Discretize.zoh_with_delay ~ts:0.1 ~delay:0.03 sys in
+        let gamma0 = M.block aug.Lti.b 0 0 2 1 in
+        let gamma1 = M.block aug.Lti.a 0 2 2 1 in
+        check_mat ~eps:1e-10 "split" plain.Lti.b (M.add gamma0 gamma1));
+    test "zoh_with_delay rejects delay beyond period" (fun () ->
+        check_raises_invalid "delay" (fun () ->
+            ignore (Control.Discretize.zoh_with_delay ~ts:0.1 ~delay:0.2 (scalar_lag 1. 1.))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pid *)
+
+let pid_tests =
+  let gains = { Control.Pid.kp = 2.; ki = 1.; kd = 0.1 } in
+  [
+    test "proportional action" (fun () ->
+        let c = Control.Pid.create ~gains:{ gains with ki = 0.; kd = 0. } ~ts:0.1 () in
+        check_float "P only" 2. (Control.Pid.step c ~r:1. ~y:0.));
+    test "integral accumulates" (fun () ->
+        let c = Control.Pid.create ~gains:{ Control.Pid.kp = 0.; ki = 1.; kd = 0. } ~ts:0.5 () in
+        check_float "first" 0.5 (Control.Pid.step c ~r:1. ~y:0.);
+        check_float "second" 1.0 (Control.Pid.step c ~r:1. ~y:0.));
+    test "no derivative kick on first step" (fun () ->
+        let c =
+          Control.Pid.create
+            ~gains:{ Control.Pid.kp = 0.; ki = 0.; kd = 1. }
+            ~derivative_filter:0. ~ts:0.1 ()
+        in
+        check_float "no kick" 0. (Control.Pid.step c ~r:1. ~y:0.);
+        (* second step: error unchanged → derivative 0 *)
+        check_float "still flat" 0. (Control.Pid.step c ~r:1. ~y:0.));
+    test "derivative reacts to error change" (fun () ->
+        let c =
+          Control.Pid.create
+            ~gains:{ Control.Pid.kp = 0.; ki = 0.; kd = 1. }
+            ~derivative_filter:0. ~ts:0.1 ()
+        in
+        ignore (Control.Pid.step c ~r:0. ~y:0.);
+        check_float ~eps:1e-9 "de/dt" 10. (Control.Pid.step c ~r:1. ~y:0.));
+    test "output clamping" (fun () ->
+        let c = Control.Pid.create ~umin:(-1.) ~umax:1. ~gains ~ts:0.1 () in
+        check_float "clamped" 1. (Control.Pid.step c ~r:10. ~y:0.));
+    test "anti-windup bounds the integral" (fun () ->
+        let c =
+          Control.Pid.create ~windup:0.5
+            ~gains:{ Control.Pid.kp = 0.; ki = 1.; kd = 0. }
+            ~ts:1. ()
+        in
+        for _ = 1 to 10 do
+          ignore (Control.Pid.step c ~r:10. ~y:0.)
+        done;
+        check_float "bounded" 0.5 (Control.Pid.step c ~r:0. ~y:0.));
+    test "reset clears state" (fun () ->
+        let c = Control.Pid.create ~gains ~ts:0.1 () in
+        ignore (Control.Pid.step c ~r:1. ~y:0.);
+        Control.Pid.reset c;
+        let fresh = Control.Pid.create ~gains ~ts:0.1 () in
+        check_float "same as fresh" (Control.Pid.step fresh ~r:1. ~y:0.)
+          (Control.Pid.step c ~r:1. ~y:0.));
+    test "copy starts clean" (fun () ->
+        let c = Control.Pid.create ~gains ~ts:0.1 () in
+        ignore (Control.Pid.step c ~r:5. ~y:0.);
+        let c2 = Control.Pid.copy c in
+        let fresh = Control.Pid.create ~gains ~ts:0.1 () in
+        check_float "clean copy" (Control.Pid.step fresh ~r:1. ~y:0.)
+          (Control.Pid.step c2 ~r:1. ~y:0.));
+    test "to_tf matches the block arithmetic frequency-wise" (fun () ->
+        (* drive the PID step function with a sinusoidal error and
+           compare the steady-state gain with |C(e^{jwT})| *)
+        let ts = 0.05 in
+        let g = { Control.Pid.kp = 3.; ki = 10.; kd = 0.2 } in
+        let tf = Control.Pid.to_tf g ~ts in
+        let sys = Control.Tf.to_ss ~domain:(Control.Lti.Discrete ts) tf in
+        let w = 8. in
+        let predicted = Complex.norm (Control.Freq.response sys w) in
+        let c = Control.Pid.create ~gains:g ~ts () in
+        let n = 4000 in
+        let out = Array.make n 0. in
+        for k = 0 to n - 1 do
+          let e = sin (w *. float_of_int k *. ts) in
+          out.(k) <- Control.Pid.step c ~r:e ~y:0.
+        done;
+        (* the integrator pole keeps a constant offset (the discrete
+           sum of a sinusoid is not zero-mean), so measure the
+           oscillation amplitude around the tail mean *)
+        let tail = Array.sub out (n / 2) (n / 2) in
+        let amp = (Numerics.Stats.max tail -. Numerics.Stats.min tail) /. 2. in
+        check_float ~eps:(0.02 *. predicted) "amplitude" predicted amp);
+    test "to_tf of pure P is a constant" (fun () ->
+        let tf = Control.Pid.to_tf { Control.Pid.kp = 7.; ki = 0.; kd = 0. } ~ts:0.1 in
+        check_float ~eps:1e-12 "dc" 7. (Control.Tf.dc_gain tf));
+    test "to_tf with integral action has infinite DC gain" (fun () ->
+        let tf = Control.Pid.to_tf { Control.Pid.kp = 1.; ki = 2.; kd = 0. } ~ts:0.1 in
+        let sys = Control.Tf.to_ss ~domain:(Control.Lti.Discrete 0.1) tf in
+        (* |C| at very low frequency is huge *)
+        check_true "integrating" (Complex.norm (Control.Freq.response sys 1e-4) > 1e3));
+    test "ziegler-nichols formulas" (fun () ->
+        let g = Control.Pid.ziegler_nichols ~ku:10. ~tu:2. in
+        check_float "kp" 6. g.Control.Pid.kp;
+        check_float "ki" 6. g.Control.Pid.ki;
+        check_float "kd" 1.5 g.Control.Pid.kd);
+    test "create rejects bad parameters" (fun () ->
+        check_raises_invalid "ts" (fun () ->
+            ignore (Control.Pid.create ~gains ~ts:0. ()));
+        check_raises_invalid "filter" (fun () ->
+            ignore (Control.Pid.create ~derivative_filter:1. ~gains ~ts:0.1 ()));
+        check_raises_invalid "umin>=umax" (fun () ->
+            ignore (Control.Pid.create ~umin:1. ~umax:1. ~gains ~ts:0.1 ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lqr / Place / Kalman *)
+
+let synthesis_tests =
+  [
+    test "dlqr stabilises the double integrator" (fun () ->
+        let sysd = Control.Discretize.discretize ~ts:0.1 (dintegrator ()) in
+        let res = Control.Lqr.dlqr_sys ~q:(M.identity 2) ~r:(M.identity 1) sysd in
+        let cl = Control.Lqr.closed_loop sysd res in
+        check_true "Schur stable" (Numerics.Linalg.is_stable_discrete cl.Lti.a));
+    test "dlqr solution satisfies the Riccati equation" (fun () ->
+        let sysd = Control.Discretize.discretize ~ts:0.1 (dintegrator ()) in
+        let q = M.identity 2 and r = M.identity 1 in
+        let res = Control.Lqr.dlqr_sys ~q ~r sysd in
+        let a = sysd.Lti.a and b = sysd.Lti.b in
+        let p = res.Control.Lqr.p and k = res.Control.Lqr.k in
+        let rhs = M.add q (M.mul (M.mul (M.transpose a) p) (M.sub a (M.mul b k))) in
+        check_mat ~eps:1e-7 "fixpoint" p rhs);
+    test "scalar dlqr matches closed form" (fun () ->
+        (* x+ = a x + b u, a=1, b=1, q=1, r=1:
+           P = (1 + sqrt(5))/2 satisfies P = 1 + P - P²/(1+P) *)
+        let sys =
+          Lti.make ~domain:(Lti.Discrete 1.) ~a:(M.identity 1) ~b:(M.identity 1)
+            ~c:(M.identity 1) ~d:(M.zeros 1 1)
+        in
+        let res = Control.Lqr.dlqr_sys ~q:(M.identity 1) ~r:(M.identity 1) sys in
+        let phi = (1. +. sqrt 5.) /. 2. in
+        check_float ~eps:1e-8 "golden ratio" phi (M.get res.Control.Lqr.p 0 0));
+    test "dlqr on continuous system raises" (fun () ->
+        check_raises_invalid "domain" (fun () ->
+            ignore
+              (Control.Lqr.dlqr_sys ~q:(M.identity 2) ~r:(M.identity 1) (dintegrator ()))));
+    test "quadratic_cost accumulates" (fun () ->
+        let q = M.identity 1 and r = M.identity 1 in
+        let cost =
+          Control.Lqr.quadratic_cost ~q ~r
+            ~states:[| [| 1. |]; [| 2. |] |]
+            ~inputs:[| [| 1. |]; [| 0. |] |]
+        in
+        check_float "1+1+4+0" 6. cost);
+    test "ackermann places poles" (fun () ->
+        let sysd = Control.Discretize.discretize ~ts:0.1 (dintegrator ()) in
+        let k = Control.Place.place_sys sysd ~poles:[| 0.5; 0.6 |] in
+        let cl = M.sub sysd.Lti.a (M.mul sysd.Lti.b k) in
+        let eigs =
+          List.sort compare (List.map (fun z -> z.Complex.re) (Numerics.Linalg.eigenvalues cl))
+        in
+        (match eigs with
+        | [ a; b ] ->
+            check_float ~eps:1e-6 "pole 1" 0.5 a;
+            check_float ~eps:1e-6 "pole 2" 0.6 b
+        | _ -> Alcotest.fail "expected 2 poles"));
+    test "ackermann deadbeat control" (fun () ->
+        let sysd = Control.Discretize.discretize ~ts:0.1 (dintegrator ()) in
+        let k = Control.Place.place_sys sysd ~poles:[| 0.; 0. |] in
+        let cl = M.sub sysd.Lti.a (M.mul sysd.Lti.b k) in
+        (* A - BK nilpotent: (A-BK)² = 0 *)
+        check_mat ~eps:1e-8 "nilpotent" (M.zeros 2 2) (M.mul cl cl));
+    test "kalman gain stabilises the error dynamics" (fun () ->
+        let sysd = Control.Discretize.discretize ~ts:0.1 (dintegrator ()) in
+        let res =
+          Control.Kalman.dkalman ~a:sysd.Lti.a ~c:sysd.Lti.c
+            ~qn:(M.scale 0.01 (M.identity 2))
+            ~rn:(M.scale 0.1 (M.identity 1))
+            ()
+        in
+        let err = M.sub sysd.Lti.a (M.mul res.Control.Kalman.l sysd.Lti.c) in
+        check_true "estimator stable" (Numerics.Linalg.is_stable_discrete err));
+    test "observer converges to the true state" (fun () ->
+        let sysd = Control.Discretize.discretize ~ts:0.1 (dintegrator ()) in
+        let res =
+          Control.Kalman.dkalman ~a:sysd.Lti.a ~c:sysd.Lti.c
+            ~qn:(M.scale 0.01 (M.identity 2))
+            ~rn:(M.scale 0.01 (M.identity 1))
+            ()
+        in
+        let obs = Control.Kalman.observer sysd res in
+        (* simulate true system from x0=[1;0] with u=0, feed outputs *)
+        let x = ref [| 1.; 0.5 |] in
+        for _ = 1 to 300 do
+          let y = Lti.output sysd !x [| 0. |] in
+          ignore (Control.Kalman.update obs ~u:[| 0. |] ~y);
+          x := Lti.step_discrete sysd !x [| 0. |]
+        done;
+        let err = Numerics.Vec.dist2 (Control.Kalman.estimate obs) !x in
+        check_true "converged" (err < 1e-3));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let metrics_tests =
+  let ramp = Control.Metrics.of_arrays [| 0.; 1.; 2. |] [| 0.; 1.; 2. |] in
+  [
+    test "of_arrays validates" (fun () ->
+        check_raises_invalid "lengths" (fun () ->
+            ignore (Control.Metrics.of_arrays [| 0. |] [| 1.; 2. |]));
+        check_raises_invalid "sorted" (fun () ->
+            ignore (Control.Metrics.of_arrays [| 1.; 0. |] [| 1.; 2. |])));
+    test "iae of ramp (trapezoid)" (fun () ->
+        (* ∫|t| over [0,2] = 2 *)
+        check_float "iae" 2. (Control.Metrics.iae ramp));
+    test "ise of ramp" (fun () ->
+        (* trapezoid of t²: (0+1)/2 + (1+4)/2 = 3 *)
+        check_float "ise" 3. (Control.Metrics.ise ramp));
+    test "itae weights later error more" (fun () ->
+        check_true "itae > iae" (Control.Metrics.itae ramp > Control.Metrics.iae ramp));
+    test "iae against reference" (fun () ->
+        let flat = Control.Metrics.of_arrays [| 0.; 1. |] [| 1.; 1. |] in
+        check_float "iae" 0. (Control.Metrics.iae ~reference:1. flat));
+    test "overshoot fraction" (fun () ->
+        let tr = Control.Metrics.of_arrays [| 0.; 1.; 2. |] [| 0.; 1.3; 1.0 |] in
+        check_float ~eps:1e-9 "30%" 0.3 (Control.Metrics.overshoot ~reference:1. tr));
+    test "overshoot never negative" (fun () ->
+        let tr = Control.Metrics.of_arrays [| 0.; 1. |] [| 0.; 0.5 |] in
+        check_float "0" 0. (Control.Metrics.overshoot ~reference:1. tr));
+    test "settling time at last departure" (fun () ->
+        let tr =
+          Control.Metrics.of_arrays [| 0.; 1.; 2.; 3.; 4. |] [| 0.; 1.5; 0.99; 1.01; 1. |]
+        in
+        check_true "settles at 2"
+          (Control.Metrics.settling_time ~reference:1. tr = Some 2.));
+    test "settling time none when oscillating" (fun () ->
+        let tr = Control.Metrics.of_arrays [| 0.; 1.; 2. |] [| 0.; 2.; 0. |] in
+        check_true "never" (Control.Metrics.settling_time ~reference:1. tr = None));
+    test "rise time 10-90" (fun () ->
+        let tr =
+          Control.Metrics.of_arrays [| 0.; 1.; 2.; 3. |] [| 0.; 0.1; 0.9; 1.0 |]
+        in
+        check_true "1 to 2" (Control.Metrics.rise_time ~reference:1. tr = Some 1.));
+    test "steady_state_error windowed" (fun () ->
+        let tr = Control.Metrics.of_arrays [| 0.; 1.; 2. |] [| 0.; 0.9; 0.9 |] in
+        check_float ~eps:1e-9 "sse" 0.1
+          (Control.Metrics.steady_state_error ~reference:1. ~window:2 tr));
+    test "degradation_pct" (fun () ->
+        check_float "50%" 50. (Control.Metrics.degradation_pct ~ideal:2. ~actual:3.);
+        check_float "0 on equal" 0. (Control.Metrics.degradation_pct ~ideal:0. ~actual:0.);
+        check_true "inf" (Control.Metrics.degradation_pct ~ideal:0. ~actual:1. = Float.infinity));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Plants and Tf *)
+
+let plants_tests =
+  [
+    test "dc motor is stable and controllable" (fun () ->
+        let sys = Control.Plants.dc_motor Control.Plants.default_dc_motor in
+        check_true "stable" (Lti.is_stable sys);
+        check_true "controllable" (Lti.is_controllable sys));
+    test "pendulum linearisation is unstable" (fun () ->
+        let sys = Control.Plants.pendulum_linear Control.Plants.default_pendulum in
+        check_false "unstable upright" (Lti.is_stable sys);
+        check_int "4 states" 4 (Lti.state_dim sys));
+    test "pendulum nonlinear falls from small tilt" (fun () ->
+        let p = Control.Plants.default_pendulum in
+        let rhs = Control.Plants.pendulum_rhs p ~u:(fun _ -> 0.) in
+        let xf = Numerics.Ode.integrate rhs ~t0:0. ~t1:1.5 [| 0.; 0.; 0.05; 0. |] in
+        check_true "angle grew" (Float.abs xf.(2) > 0.3));
+    test "pendulum nonlinear matches linear for tiny angles" (fun () ->
+        let p = Control.Plants.default_pendulum in
+        let lin = Control.Plants.pendulum_linear p in
+        let rhs_nl = Control.Plants.pendulum_rhs p ~u:(fun _ -> 0.) in
+        let x0 = [| 0.; 0.; 1e-4; 0. |] in
+        let nl = Numerics.Ode.integrate rhs_nl ~t0:0. ~t1:0.2 x0 in
+        let li =
+          Numerics.Ode.integrate (Lti.rhs lin ~u:(fun _ -> [| 0. |])) ~t0:0. ~t1:0.2 x0
+        in
+        (* the two linearisation conventions differ by the 4/3 inertia
+           factor; directions must agree and magnitudes be close *)
+        check_true "same sign" (nl.(2) *. li.(2) > 0.);
+        check_true "same order" (Float.abs (nl.(2) -. li.(2)) < 0.5 *. Float.abs nl.(2)));
+    test "quarter car dimensions and stability" (fun () ->
+        let sys = Control.Plants.quarter_car Control.Plants.default_quarter_car in
+        check_int "states" 4 (Lti.state_dim sys);
+        check_int "inputs" 2 (Lti.input_dim sys);
+        check_true "stable" (Lti.is_stable sys));
+    test "mass-spring-damper poles" (fun () ->
+        (* m=1, k=4, c=0: poles ±2i *)
+        let sys = Control.Plants.mass_spring_damper ~m:1. ~k:4. ~c:0. in
+        List.iter
+          (fun z -> check_float ~eps:1e-6 "modulus 2" 2. (Complex.norm z))
+          (Lti.poles sys));
+    test "first_order requires positive tau" (fun () ->
+        check_raises_invalid "tau" (fun () ->
+            ignore (Control.Plants.first_order ~tau:0. ~gain:1.)));
+    test "thermal plant: stable, slow envelope, DC gain 1/k_loss" (fun () ->
+        let p = Control.Plants.default_thermal in
+        let sys = Control.Plants.thermal p in
+        check_true "stable" (Lti.is_stable sys);
+        (* steady state under power P: envelope temp P/k_loss *)
+        let r = Control.Response.step ~amplitude:100. ~t_end:2000. ~dt:10. sys in
+        let last = r.Control.Response.outputs.(Array.length r.Control.Response.times - 1) in
+        check_float ~eps:0.2 "dc" (100. /. p.Control.Plants.k_loss) last.(0));
+    test "cruise plant: drag-limited terminal speed" (fun () ->
+        let p = Control.Plants.default_cruise in
+        let sys = Control.Plants.cruise p in
+        check_int "force + grade inputs" 2 (Lti.input_dim sys);
+        check_true "stable" (Lti.is_stable sys);
+        let r =
+          Control.Response.lsim ~u:(fun _ -> [| 600.; 0. |]) ~t_end:200. ~dt:0.5 sys
+        in
+        let last = r.Control.Response.outputs.(Array.length r.Control.Response.times - 1) in
+        check_float ~eps:0.05 "terminal v = F/drag" (600. /. p.Control.Plants.drag) last.(0));
+    test "tf second order dc gain is 1" (fun () ->
+        let tf = Control.Tf.second_order ~wn:2. ~zeta:0.7 in
+        check_float ~eps:1e-12 "dc" 1. (Control.Tf.dc_gain tf));
+    test "tf to_ss poles match" (fun () ->
+        let tf = Control.Tf.make ~num:[| 1. |] ~den:[| 2.; 3.; 1. |] in
+        let sys = Control.Tf.to_ss ~domain:Lti.Continuous tf in
+        let ss_poles =
+          List.sort compare (List.map (fun z -> z.Complex.re) (Lti.poles sys))
+        in
+        let tf_poles =
+          List.sort compare (List.map (fun z -> z.Complex.re) (Control.Tf.poles tf))
+        in
+        List.iter2 (fun a b -> check_float ~eps:1e-6 "pole" a b) tf_poles ss_poles);
+    test "tf improper raises" (fun () ->
+        check_raises_invalid "improper" (fun () ->
+            ignore (Control.Tf.make ~num:[| 1.; 1.; 1. |] ~den:[| 1.; 1. |])));
+    test "tf with direct term realises D" (fun () ->
+        (* (s+2)/(s+1) = 1 + 1/(s+1) *)
+        let tf = Control.Tf.make ~num:[| 2.; 1. |] ~den:[| 1.; 1. |] in
+        let sys = Control.Tf.to_ss ~domain:Lti.Continuous tf in
+        check_float ~eps:1e-12 "D" 1. (M.get sys.Lti.d 0 0));
+    test "tf integrator dc gain infinite" (fun () ->
+        let tf = Control.Tf.make ~num:[| 1. |] ~den:[| 0.; 1. |] in
+        check_true "inf" (Control.Tf.dc_gain tf = Float.infinity));
+    test "tf series multiplies DC gains" (fun () ->
+        let g = Control.Tf.make ~num:[| 2. |] ~den:[| 1.; 1. |] in
+        let h = Control.Tf.make ~num:[| 3. |] ~den:[| 1.; 0.5 |] in
+        check_float ~eps:1e-12 "dc" 6. (Control.Tf.dc_gain (Control.Tf.mul g h)));
+    test "tf parallel adds DC gains" (fun () ->
+        let g = Control.Tf.make ~num:[| 2. |] ~den:[| 1.; 1. |] in
+        let h = Control.Tf.make ~num:[| 3. |] ~den:[| 1.; 0.5 |] in
+        check_float ~eps:1e-12 "dc" 5. (Control.Tf.dc_gain (Control.Tf.add g h)));
+    test "unity feedback of k/s has dc gain 1" (fun () ->
+        (* k/s with unity negative feedback: k/(s+k) *)
+        let g = Control.Tf.make ~num:[| 5. |] ~den:[| 0.; 1. |] in
+        let cl = Control.Tf.feedback g Control.Tf.unity in
+        check_float ~eps:1e-12 "dc" 1. (Control.Tf.dc_gain cl);
+        match Control.Tf.poles cl with
+        | [ p ] -> check_float ~eps:1e-8 "pole at -k" (-5.) p.Complex.re
+        | _ -> Alcotest.fail "expected one pole");
+    test "closed-loop tf matches state-space feedback poles" (fun () ->
+        (* C(z)·G(z) closed loop via Tf algebra equals Lti feedback *)
+        let ts = 0.1 in
+        let plant = Control.Plants.first_order ~tau:0.5 ~gain:2. in
+        let plant_d = Control.Discretize.discretize ~ts plant in
+        let a0 = M.get plant_d.Lti.a 0 0 and b0 = M.get plant_d.Lti.b 0 0 in
+        (* G(z) = b0/(z - a0), proportional control k = 0.4 *)
+        let g = Control.Tf.make ~num:[| b0 |] ~den:[| -.a0; 1. |] in
+        let k = 0.4 in
+        let cl = Control.Tf.feedback (Control.Tf.scale k g) Control.Tf.unity in
+        match Control.Tf.poles cl with
+        | [ p ] -> check_float ~eps:1e-9 "pole a0 - k b0" (a0 -. (k *. b0)) p.Complex.re
+        | _ -> Alcotest.fail "expected one pole");
+    test "positive feedback moves the pole the other way" (fun () ->
+        let g = Control.Tf.make ~num:[| 1. |] ~den:[| 1.; 1. |] in
+        let neg = Control.Tf.feedback g (Control.Tf.scale 0.5 Control.Tf.unity) in
+        let pos = Control.Tf.feedback ~sign:`Pos g (Control.Tf.scale 0.5 Control.Tf.unity) in
+        let pole tf =
+          match Control.Tf.poles tf with
+          | [ p ] -> p.Complex.re
+          | _ -> Alcotest.fail "expected one pole"
+        in
+        check_float ~eps:1e-9 "neg" (-1.5) (pole neg);
+        check_float ~eps:1e-9 "pos" (-0.5) (pole pos));
+  ]
+
+let interp_tests =
+  [
+    test "linear interpolation between breakpoints" (fun () ->
+        let t = Numerics.Interp.make ~xs:[| 0.; 1.; 3. |] ~ys:[| 0.; 10.; 30. |] in
+        check_float ~eps:1e-12 "mid" 5. (Numerics.Interp.eval t 0.5);
+        check_float ~eps:1e-12 "second segment" 20. (Numerics.Interp.eval t 2.));
+    test "clamping outside the domain" (fun () ->
+        let t = Numerics.Interp.make ~xs:[| 0.; 1. |] ~ys:[| 2.; 4. |] in
+        check_float "below" 2. (Numerics.Interp.eval t (-5.));
+        check_float "above" 4. (Numerics.Interp.eval t 99.));
+    test "linear extrapolation variant" (fun () ->
+        let t = Numerics.Interp.make ~xs:[| 0.; 1. |] ~ys:[| 0.; 2. |] in
+        check_float ~eps:1e-12 "extrapolated" 4. (Numerics.Interp.eval_extrapolate t 2.));
+    test "of_function samples accurately for linear functions" (fun () ->
+        let t = Numerics.Interp.of_function (fun x -> (3. *. x) +. 1.) ~lo:0. ~hi:2. in
+        check_float ~eps:1e-9 "exact on linear" 4. (Numerics.Interp.eval t 1.));
+    test "validation" (fun () ->
+        check_raises_invalid "sorted" (fun () ->
+            ignore (Numerics.Interp.make ~xs:[| 1.; 0. |] ~ys:[| 0.; 1. |]));
+        check_raises_invalid "short" (fun () ->
+            ignore (Numerics.Interp.make ~xs:[| 1. |] ~ys:[| 0. |])));
+    test "lookup_table block applies the map" (fun () ->
+        let module G = Dataflow.Graph in
+        let g = G.create () in
+        let src = G.add g (Dataflow.Clib.constant [| 0.5 |]) in
+        let table =
+          Dataflow.Clib.lookup_table
+            (Numerics.Interp.make ~xs:[| 0.; 1. |] ~ys:[| 0.; 8. |])
+        in
+        let lut = G.add g table in
+        G.connect_data g ~src:(src, 0) ~dst:(lut, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"y" ~block:lut ~port:0;
+        Sim.Engine.run ~t_end:0.1 e;
+        match Sim.Trace.last (Sim.Engine.probe e "y") with
+        | Some (_, v) -> check_float ~eps:1e-12 "mapped" 4. v.(0)
+        | None -> Alcotest.fail "no samples");
+  ]
+
+let response_tests =
+  [
+    test "continuous step response of a lag settles at the DC gain" (fun () ->
+        let sys = Control.Plants.first_order ~tau:0.5 ~gain:3. in
+        let r = Control.Response.step ~t_end:5. sys in
+        let last = r.Control.Response.outputs.(Array.length r.Control.Response.times - 1) in
+        check_float ~eps:1e-3 "settles at 3" 3. last.(0));
+    test "time constant visible in the step response" (fun () ->
+        let sys = Control.Plants.first_order ~tau:1. ~gain:1. in
+        let r = Control.Response.step ~t_end:5. ~dt:0.01 sys in
+        (* y(1) = 1 - e^{-1} *)
+        let idx = 100 in
+        check_float ~eps:1e-4 "y(tau)" (1. -. Float.exp (-1.))
+          r.Control.Response.outputs.(idx).(0));
+    test "discrete step response stepped exactly" (fun () ->
+        let sysd =
+          Control.Discretize.discretize ~ts:0.5 (Control.Plants.first_order ~tau:1. ~gain:1.)
+        in
+        let r = Control.Response.step ~t_end:2. sysd in
+        check_int "5 samples at Ts = 0.5" 5 (Array.length r.Control.Response.times);
+        (* x1 = Bd·1 = 1 - e^{-0.5}; output at k=1 *)
+        check_float ~eps:1e-12 "exact recurrence" (1. -. Float.exp (-0.5))
+          r.Control.Response.outputs.(1).(0));
+    test "continuous impulse response equals e^{At}B" (fun () ->
+        let sys = Control.Plants.first_order ~tau:1. ~gain:1. in
+        let r = Control.Response.impulse ~t_end:1. ~dt:0.5 sys in
+        (* g(t) = e^{-t} for 1/(s+1) *)
+        check_float ~eps:1e-6 "g(0.5)" (Float.exp (-0.5)) r.Control.Response.outputs.(1).(0));
+    test "initial response decays for stable systems" (fun () ->
+        let sys = Control.Plants.dc_motor Control.Plants.default_dc_motor in
+        let r = Control.Response.initial ~x0:[| 1.; 0. |] ~t_end:5. sys in
+        let last = r.Control.Response.outputs.(Array.length r.Control.Response.times - 1) in
+        check_true "decayed" (Float.abs last.(0) < 1e-3));
+    test "lsim with sinusoid matches the frequency response amplitude" (fun () ->
+        let sys = Control.Plants.first_order ~tau:1. ~gain:1. in
+        let w = 2. in
+        let r =
+          Control.Response.lsim ~u:(fun t -> [| sin (w *. t) |]) ~t_end:20. ~dt:0.01 sys
+        in
+        (* steady-state amplitude = |G(jw)| *)
+        let tail =
+          Array.of_list
+            (List.filteri (fun i _ -> i > 1500) (Array.to_list r.Control.Response.outputs))
+        in
+        let amp =
+          Array.fold_left (fun acc y -> Float.max acc (Float.abs y.(0))) 0. tail
+        in
+        check_float ~eps:2e-3 "amplitude" (Complex.norm (Control.Freq.response sys w)) amp);
+    test "step_info extracts the classic step metrics" (fun () ->
+        let tf = Control.Tf.second_order ~wn:2. ~zeta:0.3 in
+        let sys = Control.Tf.to_ss ~domain:Control.Lti.Continuous tf in
+        let r = Control.Response.step ~t_end:15. ~dt:0.005 sys in
+        let settling, overshoot, rise = Control.Response.step_info r in
+        check_true "settles" (settling <> None);
+        (* overshoot of a 2nd-order system: exp(-pi·z/sqrt(1-z²)) *)
+        let z = 0.3 in
+        let expected = Float.exp (-.Float.pi *. z /. sqrt (1. -. (z *. z))) in
+        check_float ~eps:5e-3 "overshoot" expected overshoot;
+        check_true "rise measured" (rise <> None));
+    test "lsim rejects bad arguments" (fun () ->
+        let sys = Control.Plants.first_order ~tau:1. ~gain:1. in
+        check_raises_invalid "horizon" (fun () ->
+            ignore (Control.Response.lsim ~u:(fun _ -> [| 0. |]) ~t_end:0. sys));
+        check_raises_invalid "x0" (fun () ->
+            ignore
+              (Control.Response.lsim ~x0:[| 0.; 0. |] ~u:(fun _ -> [| 0. |]) ~t_end:1. sys)));
+  ]
+
+let suites =
+  [
+    ("control.lti", lti_tests);
+    ("control.response", response_tests);
+    ("control.discretize", discretize_tests);
+    ("control.pid", pid_tests);
+    ("control.synthesis", synthesis_tests);
+    ("control.metrics", metrics_tests);
+    ("control.plants_tf", plants_tests);
+    ("numerics.interp", interp_tests);
+  ]

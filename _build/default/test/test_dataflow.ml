@@ -1,0 +1,198 @@
+open Helpers
+module B = Dataflow.Block
+module G = Dataflow.Graph
+module C = Dataflow.Clib
+module E = Dataflow.Eventlib
+
+let dummy_out widths = fun (_ : B.context) -> Array.map (fun w -> Array.make w 0.) widths
+
+(* ------------------------------------------------------------------ *)
+(* Block *)
+
+let block_tests =
+  [
+    test "make with defaults validates" (fun () ->
+        let b = B.make ~name:"nop" (fun _ -> [||]) in
+        check_int "no ports" 0 (Array.length b.B.in_widths));
+    test "continuous state requires derivative" (fun () ->
+        check_raises_invalid "missing derivative" (fun () ->
+            ignore (B.make ~name:"bad" ~cstate0:[| 0. |] (dummy_out [||]))));
+    test "derivative requires continuous state" (fun () ->
+        check_raises_invalid "spurious derivative" (fun () ->
+            ignore
+              (B.make ~name:"bad" ~derivatives:(fun _ -> [||]) (dummy_out [||]))));
+    test "event inputs require handler" (fun () ->
+        check_raises_invalid "missing handler" (fun () ->
+            ignore (B.make ~name:"bad" ~event_inputs:1 (dummy_out [||]))));
+    test "handler requires event inputs" (fun () ->
+        check_raises_invalid "spurious handler" (fun () ->
+            ignore (B.make ~name:"bad" ~on_event:(fun _ ~port:_ -> []) (dummy_out [||]))));
+    test "non-positive width rejected" (fun () ->
+        check_raises_invalid "width" (fun () ->
+            ignore (B.make ~name:"bad" ~in_widths:[| 0 |] (dummy_out [||]))));
+    test "initial Emit port range checked" (fun () ->
+        check_raises_invalid "port" (fun () ->
+            ignore
+              (B.make ~name:"bad" ~event_outputs:1
+                 ~initial_actions:[ B.Emit { port = 1; delay = 0. } ]
+                 (dummy_out [||]))));
+    test "initial negative delay rejected" (fun () ->
+        check_raises_invalid "delay" (fun () ->
+            ignore
+              (B.make ~name:"bad" ~event_outputs:1
+                 ~initial_actions:[ B.Emit { port = 0; delay = -1. } ]
+                 (dummy_out [||]))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Graph wiring *)
+
+let graph_tests =
+  [
+    test "connect_data checks widths" (fun () ->
+        let g = G.create () in
+        let a = G.add g (C.constant [| 1.; 2. |]) in
+        let b = G.add g (C.gain 2.) in
+        check_raises_invalid "width" (fun () ->
+            G.connect_data g ~src:(a, 0) ~dst:(b, 0)));
+    test "input port accepts one link only" (fun () ->
+        let g = G.create () in
+        let a = G.add g (C.constant [| 1. |]) in
+        let b = G.add g (C.constant [| 1. |]) in
+        let s = G.add g (C.gain 1.) in
+        G.connect_data g ~src:(a, 0) ~dst:(s, 0);
+        check_raises_invalid "double" (fun () ->
+            G.connect_data g ~src:(b, 0) ~dst:(s, 0)));
+    test "unknown ports rejected" (fun () ->
+        let g = G.create () in
+        let a = G.add g (C.constant [| 1. |]) in
+        let b = G.add g (C.gain 1.) in
+        check_raises_invalid "src port" (fun () ->
+            G.connect_data g ~src:(a, 1) ~dst:(b, 0));
+        check_raises_invalid "dst port" (fun () ->
+            G.connect_data g ~src:(a, 0) ~dst:(b, 7)));
+    test "validate flags unwired inputs" (fun () ->
+        let g = G.create () in
+        let _ = G.add g (C.gain 1.) in
+        check_raises_invalid "unwired" (fun () -> G.validate g));
+    test "validate detects algebraic loops" (fun () ->
+        let g = G.create () in
+        let a = G.add g (C.gain 1.) in
+        let b = G.add g (C.gain 1.) in
+        G.connect_data g ~src:(a, 0) ~dst:(b, 0);
+        G.connect_data g ~src:(b, 0) ~dst:(a, 0);
+        check_raises_invalid "loop" (fun () -> G.validate g));
+    test "loop through non-feedthrough block is fine" (fun () ->
+        let g = G.create () in
+        let gain = G.add g (C.gain 1.) in
+        let sh = G.add g (C.sample_hold 1) in
+        G.connect_data g ~src:(gain, 0) ~dst:(sh, 0);
+        G.connect_data g ~src:(sh, 0) ~dst:(gain, 0);
+        let clock = G.add g (E.clock ~period:1. ()) in
+        G.connect_event g ~src:(clock, 0) ~dst:(sh, 0);
+        G.validate g);
+    test "eval_order puts producers before feedthrough consumers" (fun () ->
+        let g = G.create () in
+        let s = G.add g (C.gain 1.) in
+        let c = G.add g (C.constant [| 1. |]) in
+        G.connect_data g ~src:(c, 0) ~dst:(s, 0);
+        let order = G.eval_order g in
+        let pos x = Option.get (List.find_index (fun id -> id = x) order) in
+        check_true "const first" (pos c < pos s));
+    test "event fan-out and fan-in allowed" (fun () ->
+        let g = G.create () in
+        let clock = G.add g (E.clock ~period:1. ()) in
+        let clock2 = G.add g (E.clock ~period:2. ()) in
+        let sh = G.add g (C.sample_hold 1) in
+        let sh2 = G.add g (C.sample_hold 1) in
+        let c = G.add g (C.constant [| 1. |]) in
+        G.connect_data g ~src:(c, 0) ~dst:(sh, 0);
+        G.connect_data g ~src:(c, 0) ~dst:(sh2, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(sh, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(sh2, 0);
+        G.connect_event g ~src:(clock2, 0) ~dst:(sh, 0);
+        check_int "two listeners" 2 (List.length (G.event_listeners g clock 0)));
+    test "data_links and event_links enumerate" (fun () ->
+        let g = G.create () in
+        let c = G.add g (C.constant [| 1. |]) in
+        let s = G.add g (C.sample_hold 1) in
+        let clock = G.add g (E.clock ~period:1. ()) in
+        G.connect_data g ~src:(c, 0) ~dst:(s, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(s, 0);
+        check_int "one data" 1 (List.length (G.data_links g));
+        check_int "one event" 1 (List.length (G.event_links g)));
+    test "dot export mentions blocks and styles" (fun () ->
+        let g = G.create () in
+        let c = G.add g (C.constant ~name:"my_const" [| 1. |]) in
+        let s = G.add g (C.sample_hold ~name:"my_sh" 1) in
+        let clock = G.add g (E.clock ~period:1. ()) in
+        G.connect_data g ~src:(c, 0) ~dst:(s, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(s, 0);
+        let dot = Dataflow.Dot.to_string g in
+        check_true "has dashed event edge" (contains dot "style=dashed");
+        check_true "mentions block" (contains dot "my_const"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Block-library parameter validation *)
+
+let clib_tests =
+  [
+    test "sum requires inputs" (fun () ->
+        check_raises_invalid "empty" (fun () -> ignore (C.sum [||])));
+    test "saturation requires lo < hi" (fun () ->
+        check_raises_invalid "bounds" (fun () -> ignore (C.saturation ~lo:1. ~hi:0. ())));
+    test "lti_continuous rejects discrete systems" (fun () ->
+        let sysd =
+          Control.Discretize.discretize ~ts:0.1 (Control.Plants.double_integrator ())
+        in
+        check_raises_invalid "domain" (fun () ->
+            ignore (C.lti_continuous ~x0:[| 0.; 0. |] sysd)));
+    test "lti_continuous checks x0 dimension" (fun () ->
+        check_raises_invalid "x0" (fun () ->
+            ignore (C.lti_continuous ~x0:[| 0. |] (Control.Plants.double_integrator ()))));
+    test "lti_discrete rejects continuous systems" (fun () ->
+        check_raises_invalid "domain" (fun () ->
+            ignore (C.lti_discrete ~x0:[| 0.; 0. |] (Control.Plants.double_integrator ()))));
+    test "split ports change widths" (fun () ->
+        let sys = Control.Plants.quarter_car Control.Plants.default_quarter_car in
+        let b = C.lti_continuous ~split_inputs:true ~split_outputs:true ~x0:(Array.make 4 0.) sys in
+        check_int "2 input ports" 2 (Array.length b.B.in_widths);
+        check_int "one port per output" 2 (Array.length b.B.out_widths));
+    test "sample_hold initial width checked" (fun () ->
+        check_raises_invalid "initial" (fun () ->
+            ignore (C.sample_hold ~initial:[| 1.; 2. |] 1)));
+    test "delayed_state_feedback needs n+m columns" (fun () ->
+        check_raises_invalid "cols" (fun () ->
+            ignore (C.delayed_state_feedback (Numerics.Matrix.of_arrays [| [| 1. |] |]))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Eventlib parameter validation *)
+
+let eventlib_tests =
+  [
+    test "clock requires positive period" (fun () ->
+        check_raises_invalid "period" (fun () -> ignore (E.clock ~period:0. ())));
+    test "clock rejects negative offset" (fun () ->
+        check_raises_invalid "offset" (fun () ->
+            ignore (E.clock ~offset:(-1.) ~period:1. ())));
+    test "event_delay rejects negative delay" (fun () ->
+        check_raises_invalid "delay" (fun () -> ignore (E.event_delay ~delay:(-0.1) ())));
+    test "event_source requires strictly increasing times" (fun () ->
+        check_raises_invalid "order" (fun () -> ignore (E.event_source [| 1.; 1. |]));
+        check_raises_invalid "empty" (fun () -> ignore (E.event_source [||])));
+    test "event_select needs at least one channel" (fun () ->
+        check_raises_invalid "channels" (fun () ->
+            ignore (E.event_select ~channels:0 ~mapping:(fun _ -> 0) ())));
+    test "synchronization needs at least one input" (fun () ->
+        check_raises_invalid "inputs" (fun () -> ignore (E.synchronization ~inputs:0 ())));
+  ]
+
+let suites =
+  [
+    ("dataflow.block", block_tests);
+    ("dataflow.graph", graph_tests);
+    ("dataflow.clib", clib_tests);
+    ("dataflow.eventlib", eventlib_tests);
+  ]

@@ -1,0 +1,234 @@
+open Helpers
+module M = Numerics.Matrix
+module CM = Numerics.Cmatrix
+
+let integrator_ol () =
+  (* open loop G(s) = 1/s *)
+  Control.Lti.make ~domain:Control.Lti.Continuous ~a:(M.zeros 1 1) ~b:(M.identity 1)
+    ~c:(M.identity 1) ~d:(M.zeros 1 1)
+
+let cmatrix_tests =
+  [
+    test "identity and scalar" (fun () ->
+        let i2 = CM.identity 2 in
+        check_true "diag" (CM.get i2 0 0 = Complex.one);
+        let s = CM.scalar { Complex.re = 0.; im = 2. } 2 in
+        check_float "im" 2. (CM.get s 1 1).Complex.im);
+    test "of_real embeds" (fun () ->
+        let m = CM.of_real (M.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |]) in
+        check_float "entry" 3. (CM.get m 1 0).Complex.re;
+        check_float "no imaginary part" 0. (CM.get m 1 0).Complex.im);
+    test "mul matches real multiplication" (fun () ->
+        let a = M.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+        let b = M.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+        let cm = CM.mul (CM.of_real a) (CM.of_real b) in
+        check_true "same" (CM.equal cm (CM.of_real (M.mul a b))));
+    test "solve_mat recovers the identity" (fun () ->
+        let a =
+          CM.init 2 2 (fun i j ->
+              { Complex.re = float_of_int ((2 * i) + j + 1); im = float_of_int (i - j) })
+        in
+        let x = CM.solve_mat a (CM.identity 2) in
+        check_true "a·a⁻¹ = I" (CM.equal ~eps:1e-12 (CM.mul a x) (CM.identity 2)));
+    test "solve_mat singular raises" (fun () ->
+        let a = CM.init 2 2 (fun _ _ -> Complex.one) in
+        match CM.solve_mat a (CM.identity 2) with
+        | exception CM.Singular -> ()
+        | _ -> Alcotest.fail "expected Singular");
+    test "complex solve with purely imaginary diagonal" (fun () ->
+        (* (jI)·x = 1 → x = -j *)
+        let a = CM.scalar Complex.i 1 in
+        let x = CM.solve_mat a (CM.identity 1) in
+        check_float ~eps:1e-12 "im" (-1.) (CM.get x 0 0).Complex.im);
+    test "norm_inf" (fun () ->
+        let m = CM.init 1 2 (fun _ j -> if j = 0 then Complex.i else Complex.one) in
+        check_float "sum of moduli" 2. (CM.norm_inf m));
+  ]
+
+let freq_tests =
+  [
+    test "first-order lag at the corner frequency" (fun () ->
+        let lag = Control.Plants.first_order ~tau:1. ~gain:1. in
+        let g = Control.Freq.response lag 1. in
+        check_float ~eps:1e-9 "magnitude -3dB" (1. /. sqrt 2.) (Complex.norm g);
+        check_float ~eps:1e-9 "phase -45deg" (-45.)
+          (Complex.arg g *. 180. /. Float.pi));
+    test "integrator response magnitude is 1/w" (fun () ->
+        let g = Control.Freq.response (integrator_ol ()) 4. in
+        check_float ~eps:1e-12 "1/4" 0.25 (Complex.norm g));
+    test "MIMO response rejected for SISO accessor" (fun () ->
+        let qc = Control.Plants.quarter_car Control.Plants.default_quarter_car in
+        check_raises_invalid "mimo" (fun () -> ignore (Control.Freq.response qc 1.)));
+    test "response_mimo has plant dimensions" (fun () ->
+        let qc = Control.Plants.quarter_car Control.Plants.default_quarter_car in
+        let g = Control.Freq.response_mimo qc 5. in
+        check_int "rows" 2 (CM.rows g);
+        check_int "cols" 2 (CM.cols g));
+    test "discrete response at w=0 equals DC gain" (fun () ->
+        let lag = Control.Plants.first_order ~tau:1. ~gain:3. in
+        let sysd = Control.Discretize.discretize ~ts:0.1 lag in
+        let g = Control.Freq.response sysd 0. in
+        check_float ~eps:1e-9 "dc" 3. (Complex.norm g));
+    test "bode is log-spaced with unwrapped phase" (fun () ->
+        (* double integrator phase stays near -180°, never jumping *)
+        let di = Control.Plants.double_integrator () in
+        let pts = Control.Freq.bode ~n:50 di in
+        List.iter
+          (fun (p : Control.Freq.bode_point) ->
+            check_true "phase near ±180"
+              (Float.abs (Float.abs p.Control.Freq.phase_deg -. 180.) < 1.))
+          pts);
+    test "integrator margins: PM = 90°, wc = 1, DM = pi/2" (fun () ->
+        let m = Control.Freq.margins (integrator_ol ()) in
+        (match m.Control.Freq.phase_margin_deg with
+        | Some pm -> check_float ~eps:1e-3 "PM" 90. pm
+        | None -> Alcotest.fail "expected PM");
+        (match m.Control.Freq.gain_crossover with
+        | Some wc -> check_float ~eps:1e-4 "wc" 1. wc
+        | None -> Alcotest.fail "expected wc");
+        (match m.Control.Freq.delay_margin with
+        | Some dm -> check_float ~eps:1e-3 "DM" (Float.pi /. 2.) dm
+        | None -> Alcotest.fail "expected DM");
+        check_true "no finite GM" (m.Control.Freq.gain_margin_db = None));
+    test "textbook margins of 4/(s(s+1)(s+2))" (fun () ->
+        let tf = Control.Tf.make ~num:[| 4. |] ~den:[| 0.; 2.; 3.; 1. |] in
+        let sys = Control.Tf.to_ss ~domain:Control.Lti.Continuous tf in
+        let m = Control.Freq.margins sys in
+        (match m.Control.Freq.gain_margin_db with
+        | Some gm -> check_float ~eps:0.01 "GM = 20log10(6/4)" (20. *. Float.log10 1.5) gm
+        | None -> Alcotest.fail "expected GM");
+        match m.Control.Freq.phase_crossover with
+        | Some w -> check_float ~eps:1e-3 "w180 = sqrt 2" (sqrt 2.) w
+        | None -> Alcotest.fail "expected w180");
+    test "stable low-gain loop has no gain crossover" (fun () ->
+        (* |G| < 1 everywhere: no 0 dB crossing *)
+        let lag = Control.Plants.first_order ~tau:1. ~gain:0.5 in
+        let m = Control.Freq.margins lag in
+        check_true "no wc" (m.Control.Freq.gain_crossover = None);
+        check_true "no PM" (m.Control.Freq.phase_margin_deg = None));
+    test "dc_gain of integrating system is infinite" (fun () ->
+        check_true "inf" (Control.Freq.dc_gain (integrator_ol ()) = Float.infinity));
+    test "delay margin predicts destabilising delay (Padé check)" (fun () ->
+        (* loop 2/(s+1): wc = sqrt(3), PM = 180 - atan(sqrt 3) = 120°,
+           DM = PM/wc; closing the loop with an extra delay slightly
+           below/above DM must be stable/unstable.  We check DM against
+           the analytic value. *)
+        let lag = Control.Plants.first_order ~tau:1. ~gain:2. in
+        let m = Control.Freq.margins lag in
+        match (m.Control.Freq.delay_margin, m.Control.Freq.gain_crossover) with
+        | Some dm, Some wc ->
+            check_float ~eps:1e-3 "wc = sqrt 3" (sqrt 3.) wc;
+            let pm_expected = 180. -. (Float.atan (sqrt 3.) *. 180. /. Float.pi) in
+            check_float ~eps:1e-2 "DM analytic" (pm_expected /. 180. *. Float.pi /. wc) dm
+        | _ -> Alcotest.fail "expected margins");
+  ]
+
+let nyquist_tests =
+  [
+    test "nyquist locus of a lag stays in the lower half plane" (fun () ->
+        let lag = Control.Plants.first_order ~tau:1. ~gain:1. in
+        List.iter
+          (fun (_, l) -> check_true "Im <= 0" (l.Complex.im <= 1e-12))
+          (Control.Freq.nyquist lag));
+    test "sensitivity peak of k/s matches the analytic value" (fun () ->
+        (* L = k/s: |1/(1+L)|² = w²/(w²+k²) < 1, so Ms = 1 (approached
+           at high frequency) *)
+        let integ =
+          Control.Lti.make ~domain:Control.Lti.Continuous ~a:(M.zeros 1 1)
+            ~b:(M.identity 1) ~c:(M.identity 1) ~d:(M.zeros 1 1)
+        in
+        let ms, _ = Control.Freq.sensitivity_peak integ in
+        check_true "Ms close to 1" (ms > 0.95 && ms <= 1.0 +. 1e-9));
+    test "low-margin loop has a large sensitivity peak" (fun () ->
+        (* 4/(s(s+1)(s+2)) has small margins: Ms well above 2 *)
+        let tf = Control.Tf.make ~num:[| 4. |] ~den:[| 0.; 2.; 3.; 1. |] in
+        let sys = Control.Tf.to_ss ~domain:Control.Lti.Continuous tf in
+        let ms, w = Control.Freq.sensitivity_peak sys in
+        check_true "peaked" (ms > 2.);
+        (* the peak sits near the phase-crossover region *)
+        check_true "near crossover" (w > 0.5 && w < 5.));
+    test "modulus margin bounds the gain margin" (fun () ->
+        (* GM(abs) >= Ms/(Ms-1) must hold *)
+        let tf = Control.Tf.make ~num:[| 4. |] ~den:[| 0.; 2.; 3.; 1. |] in
+        let sys = Control.Tf.to_ss ~domain:Control.Lti.Continuous tf in
+        let ms, _ = Control.Freq.sensitivity_peak sys in
+        let m = Control.Freq.margins sys in
+        match m.Control.Freq.gain_margin_db with
+        | Some gm_db ->
+            let gm = Float.pow 10. (gm_db /. 20.) in
+            check_true "classic inequality" (gm >= (ms /. (ms -. 1.)) -. 0.05)
+        | None -> Alcotest.fail "expected a gain margin");
+  ]
+
+let norms_tests =
+  [
+    test "lyap solves a known scalar Gramian" (fun () ->
+        (* a = -1, q = 1: 2·(-1)·P + 1 = 0 → wrong sign convention:
+           A P + P Aᵀ + Q = 0 → -2P + 1 = 0 → P = 1/2 *)
+        let p = Numerics.Linalg.lyap (M.of_arrays [| [| -1. |] |]) (M.identity 1) in
+        check_float ~eps:1e-12 "P" 0.5 (M.get p 0 0));
+    test "lyap residual vanishes for a 3x3 system" (fun () ->
+        let rng = Numerics.Rng.create 9 in
+        let a =
+          M.sub
+            (M.init 3 3 (fun _ _ -> Numerics.Rng.uniform rng (-0.5) 0.5))
+            (M.scale 2. (M.identity 3))
+        in
+        let q = M.identity 3 in
+        let p = Numerics.Linalg.lyap a q in
+        let residual = M.add (M.add (M.mul a p) (M.mul p (M.transpose a))) q in
+        check_true "residual" (M.norm_inf residual < 1e-9));
+    test "dlyap solves a known scalar Stein equation" (fun () ->
+        (* P = a²P + 1 with a = 0.5 → P = 4/3 *)
+        let p = Numerics.Linalg.dlyap (M.of_arrays [| [| 0.5 |] |]) (M.identity 1) in
+        check_float ~eps:1e-12 "P" (4. /. 3.) (M.get p 0 0));
+    test "kron dimensions and a known product" (fun () ->
+        let a = M.of_arrays [| [| 1.; 2. |] |] in
+        let b = M.identity 2 in
+        let k = Numerics.Linalg.kron a b in
+        check_int "rows" 2 (M.rows k);
+        check_int "cols" 4 (M.cols k);
+        check_float "entry" 2. (M.get k 0 2));
+    test "h2 of 1/(s+1) is 1/sqrt 2" (fun () ->
+        let sys = Control.Plants.first_order ~tau:1. ~gain:1. in
+        check_float ~eps:1e-9 "h2" (1. /. sqrt 2.) (Control.Norms.h2 sys));
+    test "h2 rejects unstable systems and direct terms" (fun () ->
+        check_raises_invalid "unstable" (fun () ->
+            ignore (Control.Norms.h2 (Control.Plants.double_integrator ())));
+        let with_d =
+          Control.Lti.make ~domain:Control.Lti.Continuous
+            ~a:(M.of_arrays [| [| -1. |] |])
+            ~b:(M.identity 1) ~c:(M.identity 1) ~d:(M.identity 1)
+        in
+        check_raises_invalid "direct term" (fun () -> ignore (Control.Norms.h2 with_d)));
+    test "discrete h2 matches the impulse-response energy" (fun () ->
+        let sysd =
+          Control.Discretize.discretize ~ts:0.2 (Control.Plants.first_order ~tau:1. ~gain:1.)
+        in
+        let norm = Control.Norms.h2 sysd in
+        (* energy of the discrete impulse response Σ g(k)² *)
+        let a = M.get sysd.Control.Lti.a 0 0 and b = M.get sysd.Control.Lti.b 0 0 in
+        let energy = b *. b /. (1. -. (a *. a)) in
+        check_float ~eps:1e-9 "matches analytic sum" (sqrt energy) norm);
+    test "hinf of a resonant second-order system" (fun () ->
+        let zeta = 0.1 in
+        let sys =
+          Control.Tf.to_ss ~domain:Control.Lti.Continuous
+            (Control.Tf.second_order ~wn:2. ~zeta)
+        in
+        let peak, w_peak = Control.Norms.hinf sys in
+        let expected = 1. /. (2. *. zeta *. sqrt (1. -. (zeta *. zeta))) in
+        check_float ~eps:1e-4 "peak" expected peak;
+        check_float ~eps:1e-2 "peak frequency" (2. *. sqrt (1. -. (2. *. zeta *. zeta))) w_peak);
+    test "hinf of a lag is its DC gain" (fun () ->
+        let peak, _ = Control.Norms.hinf (Control.Plants.first_order ~tau:1. ~gain:3.) in
+        check_float ~eps:1e-6 "dc" 3. peak);
+  ]
+
+let suites =
+  [
+    ("numerics.cmatrix", cmatrix_tests);
+    ("control.freq", freq_tests);
+    ("control.nyquist", nyquist_tests);
+    ("control.norms", norms_tests);
+  ]

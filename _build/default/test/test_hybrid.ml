@@ -1,0 +1,255 @@
+open Helpers
+module G = Dataflow.Graph
+module C = Dataflow.Clib
+module E = Dataflow.Eventlib
+module B = Dataflow.Block
+
+(* A bouncing ball: h'' = -g, impact at h = 0 reverses the velocity
+   with restitution.  The canonical zero-crossing benchmark. *)
+let bouncing_ball ~h0 ~restitution =
+  let rest = ref false in
+  B.make ~name:"ball" ~out_widths:[| 1 |] ~cstate0:[| h0; 0. |] ~always_active:true
+    ~derivatives:(fun ctx -> if !rest then [| 0.; 0. |] else [| ctx.B.cstate.(1); -9.81 |])
+    ~surfaces:1
+    ~crossings:(fun ctx -> if !rest then [| 1. |] else [| ctx.B.cstate.(0) |])
+    ~on_crossing:(fun ctx ~surface:_ ~rising ->
+      if rising then []
+      else begin
+        let v = ctx.B.cstate.(1) in
+        let v' = -.restitution *. v in
+        if v' < 0.05 then begin
+          (* come to rest: freeze the surface and stop *)
+          rest := true;
+          [ B.Set_cstate [| 0.; 0. |] ]
+        end
+        else
+          (* restart epsilon above the surface so the next fall is a
+             +→− crossing even when the whole flight fits inside one
+             integration sub-step *)
+          [ B.Set_cstate [| 1e-9; v' |] ]
+      end)
+    ~reset:(fun () -> rest := false)
+    (fun ctx -> [| [| ctx.B.cstate.(0) |] |])
+
+let crossing_tests =
+  [
+    test "block validation: surfaces need callbacks" (fun () ->
+        check_raises_invalid "missing" (fun () ->
+            ignore (B.make ~name:"bad" ~surfaces:1 (fun _ -> [||]))));
+    test "block validation: callbacks need surfaces" (fun () ->
+        check_raises_invalid "spurious" (fun () ->
+            ignore
+              (B.make ~name:"bad" ~crossings:(fun _ -> [||])
+                 ~on_crossing:(fun _ ~surface:_ ~rising:_ -> [])
+                 (fun _ -> [||]))));
+    test "zero_cross locates a sine crossing at pi" (fun () ->
+        let g = G.create () in
+        let src = G.add g (C.sine_source ~freq_hz:(1. /. (2. *. Float.pi)) ()) in
+        let zc = G.add g (E.zero_cross ~direction:`Falling ()) in
+        let latch = G.add g (E.event_latch_time ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(zc, 0);
+        G.connect_event g ~src:(zc, 0) ~dst:(latch, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"t" ~block:latch ~port:0;
+        Sim.Engine.run ~t_end:4. e;
+        (* sin(t) falls through zero at t = pi *)
+        match Sim.Trace.last (Sim.Engine.probe e "t") with
+        | Some (_, v) -> check_float ~eps:1e-6 "pi" Float.pi v.(0)
+        | None -> Alcotest.fail "no crossing detected");
+    test "rising-only detector ignores falling crossings" (fun () ->
+        let g = G.create () in
+        let src = G.add g (C.sine_source ~freq_hz:(1. /. (2. *. Float.pi)) ()) in
+        let zc = G.add g (E.zero_cross ~direction:`Rising ()) in
+        let counter = G.add g (E.event_counter ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(zc, 0);
+        G.connect_event g ~src:(zc, 0) ~dst:(counter, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:7. e;
+        (* over (0, 7]: falling at pi, rising at 2pi only *)
+        check_int "one rising" 1 (List.length (Sim.Engine.activations e ~block:counter)));
+    test "bouncing ball: first impact at analytic time" (fun () ->
+        let g = G.create () in
+        let ball = G.add g (bouncing_ball ~h0:1. ~restitution:0.8) in
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"h" ~block:ball ~port:0;
+        (* first impact: sqrt(2h/g) *)
+        let t_impact = sqrt (2. /. 9.81) in
+        Sim.Engine.run ~t_end:(t_impact +. 0.01) e;
+        (match Sim.Trace.last (Sim.Engine.probe e "h") with
+        | Some (_, v) ->
+            check_true "ball rebounded above ground" (v.(0) >= 0.);
+            check_true "ball is near the ground" (v.(0) < 0.05)
+        | None -> Alcotest.fail "no samples"));
+    test "bouncing ball: energy decreases across bounces" (fun () ->
+        let g = G.create () in
+        let ball = G.add g (bouncing_ball ~h0:1. ~restitution:0.8) in
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"h" ~block:ball ~port:0;
+        Sim.Engine.run ~t_end:3. e;
+        let h = Sim.Engine.probe_component e "h" 0 in
+        (* max height after the first bounce must be ~e² of the drop *)
+        let after_first =
+          Control.Metrics.of_arrays
+            (Array.of_list
+               (List.filteri
+                  (fun i _ -> h.Control.Metrics.times.(i) > 0.46)
+                  (Array.to_list h.Control.Metrics.times)))
+            (Array.of_list
+               (List.filteri
+                  (fun i _ -> h.Control.Metrics.times.(i) > 0.46)
+                  (Array.to_list h.Control.Metrics.values)))
+        in
+        let peak = Numerics.Stats.max after_first.Control.Metrics.values in
+        check_true "no sample below ground"
+          (Numerics.Stats.min h.Control.Metrics.values > -1e-6);
+        check_float ~eps:0.02 "rebound peak ~ e^2" 0.64 peak);
+    test "bouncing ball: comes to rest without Zeno lockup" (fun () ->
+        let g = G.create () in
+        let ball = G.add g (bouncing_ball ~h0:0.2 ~restitution:0.5) in
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"h" ~block:ball ~port:0;
+        Sim.Engine.run ~t_end:5. e;
+        check_float ~eps:1e-12 "finished" 5. (Sim.Engine.now e);
+        match Sim.Trace.last (Sim.Engine.probe e "h") with
+        | Some (_, v) -> check_float ~eps:1e-6 "at rest on the ground" 0. v.(0)
+        | None -> Alcotest.fail "no samples");
+    test "thermostat: relay keeps temperature inside the hysteresis band" (fun () ->
+        (* T' = -T/tau + K·u, relay on when T < 19 (i.e. -(T-19)
+           rising), off when T > 21 *)
+        let g = G.create () in
+        let heater =
+          G.add g
+            (C.relay ~name:"thermostat" ~initially_on:true ~on_above:(-19.)
+               ~off_below:(-21.) ~out_on:30. ~out_off:0. ())
+        in
+        (* feed -T so that "input above -19" means "T below 19" *)
+        let plant =
+          G.add g
+            (C.lti_continuous ~name:"room" ~x0:[| 15. |]
+               (Control.Plants.first_order ~tau:1. ~gain:1.))
+        in
+        let neg = G.add g (C.gain ~name:"neg" (-1.)) in
+        G.connect_data g ~src:(plant, 0) ~dst:(neg, 0);
+        G.connect_data g ~src:(neg, 0) ~dst:(heater, 0);
+        G.connect_data g ~src:(heater, 0) ~dst:(plant, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"T" ~block:plant ~port:0;
+        Sim.Engine.run ~t_end:10. e;
+        let temps = (Sim.Engine.probe_component e "T" 0).Control.Metrics.values in
+        let times = (Sim.Engine.probe_component e "T" 0).Control.Metrics.times in
+        (* after warm-up, temperature cycles within [19, 21] ± locating
+           tolerance *)
+        Array.iteri
+          (fun i temp ->
+            if times.(i) > 2. then
+              check_true "inside band" (temp > 18.9 && temp < 21.1))
+          temps);
+    test "relay toggle emits events" (fun () ->
+        let g = G.create () in
+        let src = G.add g (C.sine_source ~freq_hz:0.5 ()) in
+        let rel =
+          G.add g (C.relay ~on_above:0.5 ~off_below:(-0.5) ~out_on:1. ~out_off:0. ())
+        in
+        let counter = G.add g (E.event_counter ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(rel, 0);
+        G.connect_event g ~src:(rel, 0) ~dst:(counter, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:2. e;
+        (* one on-toggle and one off-toggle within one period *)
+        check_int "two toggles" 2 (List.length (Sim.Engine.activations e ~block:counter)));
+    test "Set_cstate dimension checked at run time" (fun () ->
+        let bad =
+          B.make ~name:"bad_jump" ~cstate0:[| 0. |] ~always_active:true
+            ~derivatives:(fun _ -> [| 1. |])
+            ~surfaces:1
+            ~crossings:(fun ctx -> [| ctx.B.cstate.(0) -. 0.5 |])
+            ~on_crossing:(fun _ ~surface:_ ~rising:_ -> [ B.Set_cstate [| 0.; 0. |] ])
+            (fun _ -> [||])
+        in
+        let g = G.create () in
+        let _ = G.add g bad in
+        let e = Sim.Engine.create g in
+        match Sim.Engine.run ~t_end:1. e with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected Failure on bad Set_cstate");
+  ]
+
+let block_tests =
+  [
+    test "quantizer rounds to the grid" (fun () ->
+        let g = G.create () in
+        let src = G.add g (C.constant [| 0.37 |]) in
+        let q = G.add g (C.quantizer ~step:0.25 ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(q, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"q" ~block:q ~port:0;
+        Sim.Engine.run ~t_end:0.1 e;
+        (match Sim.Trace.last (Sim.Engine.probe e "q") with
+        | Some (_, v) -> check_float ~eps:1e-12 "0.25 grid" 0.25 v.(0)
+        | None -> Alcotest.fail "no samples"));
+    test "quantizer rejects non-positive step" (fun () ->
+        check_raises_invalid "step" (fun () -> ignore (C.quantizer ~step:0. ())));
+    test "dead_zone clips small signals" (fun () ->
+        let g = G.create () in
+        let src = G.add g (C.constant [| 0.05 |]) in
+        let dz = G.add g (C.dead_zone ~width:0.1 ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(dz, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"y" ~block:dz ~port:0;
+        Sim.Engine.run ~t_end:0.1 e;
+        (match Sim.Trace.last (Sim.Engine.probe e "y") with
+        | Some (_, v) -> check_float "zero inside zone" 0. v.(0)
+        | None -> Alcotest.fail "no samples"));
+    test "rate_limiter bounds the slope" (fun () ->
+        let g = G.create () in
+        let src = G.add g (C.step_source ~at:0.05 ~after:10. ()) in
+        let rl = G.add g (C.rate_limiter ~rising:1. ~falling:1. ()) in
+        let clock = G.add g (E.clock ~period:0.1 ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(rl, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(rl, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"y" ~block:rl ~port:0;
+        Sim.Engine.run ~t_end:1. e;
+        (* first activation latches 0; thereafter slope <= 1 => y(1) <= 1 *)
+        (match Sim.Trace.last (Sim.Engine.probe e "y") with
+        | Some (_, v) ->
+            check_true "bounded" (v.(0) <= 1.0 +. 1e-9);
+            check_true "moving" (v.(0) > 0.5)
+        | None -> Alcotest.fail "no samples"));
+    test "biquad as unit gain passes signal through" (fun () ->
+        let g = G.create () in
+        let src = G.add g (C.constant [| 3. |]) in
+        let f = G.add g (C.biquad ~b:[| 1. |] ~a:[| 1. |] ()) in
+        let clock = G.add g (E.clock ~period:0.1 ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(f, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(f, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"y" ~block:f ~port:0;
+        Sim.Engine.run ~t_end:0.5 e;
+        (match Sim.Trace.last (Sim.Engine.probe e "y") with
+        | Some (_, v) -> check_float ~eps:1e-12 "pass through" 3. v.(0)
+        | None -> Alcotest.fail "no samples"));
+    test "biquad first-order low-pass converges to DC gain" (fun () ->
+        (* y(k) = 0.5 u(k) + 0.5 y(k-1): DC gain 1 *)
+        let g = G.create () in
+        let src = G.add g (C.constant [| 2. |]) in
+        let f = G.add g (C.biquad ~b:[| 0.5 |] ~a:[| 1.; -0.5 |] ()) in
+        let clock = G.add g (E.clock ~period:0.01 ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(f, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(f, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"y" ~block:f ~port:0;
+        Sim.Engine.run ~t_end:1. e;
+        (match Sim.Trace.last (Sim.Engine.probe e "y") with
+        | Some (_, v) -> check_float ~eps:1e-6 "dc" 2. v.(0)
+        | None -> Alcotest.fail "no samples"));
+    test "biquad validates coefficients" (fun () ->
+        check_raises_invalid "a0" (fun () -> ignore (C.biquad ~b:[| 1. |] ~a:[| 0. |] ()));
+        check_raises_invalid "length" (fun () ->
+            ignore (C.biquad ~b:[| 1.; 1.; 1.; 1. |] ~a:[| 1. |] ())));
+    test "relay validates thresholds" (fun () ->
+        check_raises_invalid "order" (fun () ->
+            ignore (C.relay ~on_above:0. ~off_below:1. ~out_on:1. ~out_off:0. ())));
+  ]
+
+let suites = [ ("sim.crossings", crossing_tests); ("dataflow.nonlinear_blocks", block_tests) ]

@@ -1,0 +1,406 @@
+open Helpers
+module M = Numerics.Matrix
+module Dur = Aaa.Durations
+module Arch = Aaa.Architecture
+
+let dc_motor_design ?(horizon = 5.) () =
+  Lifecycle.Design.pid_loop ~name:"dc"
+    ~plant:(Control.Plants.dc_motor Control.Plants.default_dc_motor)
+    ~x0:[| 0.; 0. |]
+    ~gains:{ Control.Pid.kp = 10.; ki = 5.; kd = 0.5 }
+    ~ts:0.05 ~reference:1. ~horizon ()
+
+let pid_durations ?(scale = 1.) () =
+  let d = Dur.create () in
+  let all = [ "P0"; "P1" ] in
+  Dur.set_everywhere d ~op:"reference" ~operators:all (0.001 *. scale);
+  Dur.set_everywhere d ~op:"sample_y" ~operators:all (0.004 *. scale);
+  Dur.set_everywhere d ~op:"pid" ~operators:all (0.012 *. scale);
+  Dur.set_everywhere d ~op:"hold_u" ~operators:all (0.004 *. scale);
+  d
+
+let two_proc_arch () = Arch.bus_topology ~time_per_word:0.002 ~latency:0.001 [ "P0"; "P1" ]
+
+let design_tests =
+  [
+    test "make rejects bad parameters" (fun () ->
+        check_raises_invalid "ts" (fun () ->
+            ignore
+              (Lifecycle.Design.make ~name:"x" ~ts:0. ~horizon:1.
+                 ~cost:(fun _ -> 0.)
+                 (fun () -> assert false))));
+    test "pid_loop requires SISO plant" (fun () ->
+        check_raises_invalid "siso" (fun () ->
+            ignore
+              (Lifecycle.Design.pid_loop ~name:"x"
+                 ~plant:(Control.Plants.quarter_car Control.Plants.default_quarter_car)
+                 ~x0:(Array.make 4 0.)
+                 ~gains:{ Control.Pid.kp = 1.; ki = 0.; kd = 0. }
+                 ~ts:0.1 ~reference:1. ~horizon:1. ())));
+    test "build is deterministic (identical block ids)" (fun () ->
+        let d = dc_motor_design () in
+        let b1 = d.Lifecycle.Design.build () in
+        let b2 = d.Lifecycle.Design.build () in
+        check_true "same member ids" (b1.Lifecycle.Design.members = b2.Lifecycle.Design.members);
+        check_true "same clocked ids" (b1.Lifecycle.Design.clocked = b2.Lifecycle.Design.clocked));
+    test "state_feedback_loop checks gain shape" (fun () ->
+        let plant =
+          Control.Lti.make ~domain:Control.Lti.Continuous
+            ~a:(M.of_arrays [| [| 0.; 1. |]; [| 0.; 0. |] |])
+            ~b:(M.of_arrays [| [| 0. |]; [| 1. |] |])
+            ~c:(M.identity 2) ~d:(M.zeros 2 1)
+        in
+        check_raises_invalid "shape" (fun () ->
+            ignore
+              (Lifecycle.Design.state_feedback_loop ~name:"x" ~plant ~x0:[| 0.; 0. |]
+                 ~k:(M.identity 2) ~ts:0.1 ~horizon:1. ())));
+    test "state_feedback_loop requires C = I" (fun () ->
+        let plant = Control.Plants.double_integrator () in
+        check_raises_invalid "C" (fun () ->
+            ignore
+              (Lifecycle.Design.state_feedback_loop ~name:"x" ~plant ~x0:[| 0.; 0. |]
+                 ~k:(M.of_arrays [| [| 1.; 1. |] |]) ~ts:0.1 ~horizon:1. ())));
+  ]
+
+let methodology_tests =
+  [
+    test "ideal simulation tracks the reference" (fun () ->
+        let design = dc_motor_design ~horizon:20. () in
+        let e = Lifecycle.Methodology.simulate_ideal design in
+        let sse =
+          Control.Metrics.steady_state_error ~reference:1.
+            (Sim.Engine.probe_component e "y" 0)
+        in
+        check_true "tracks" (Float.abs sse < 0.02));
+    test "extraction produces the expected operations" (fun () ->
+        let design = dc_motor_design () in
+        let _, alg, _ = Lifecycle.Methodology.extract design in
+        check_int "four ops" 4 (Aaa.Algorithm.op_count alg);
+        check_int "one sensor" 1 (List.length (Aaa.Algorithm.sensors alg));
+        check_int "one actuator" 1 (List.length (Aaa.Algorithm.actuators alg)));
+    test "implement yields a fitting schedule and static model" (fun () ->
+        let design = dc_motor_design () in
+        let impl =
+          Lifecycle.Methodology.implement ~design ~architecture:(two_proc_arch ())
+            ~durations:(pid_durations ()) ()
+        in
+        check_true "fits" impl.Lifecycle.Methodology.static.Translator.Temporal_model.fits_period;
+        check_true "executive has two programs"
+          (List.length impl.Lifecycle.Methodology.executive.Aaa.Codegen.programs = 2));
+    test "implemented co-simulation runs and costs are finite" (fun () ->
+        let design = dc_motor_design () in
+        let c =
+          Lifecycle.Methodology.evaluate ~design ~architecture:(two_proc_arch ())
+            ~durations:(pid_durations ()) ()
+        in
+        check_true "ideal > 0" (c.Lifecycle.Methodology.ideal_cost > 0.);
+        check_true "implemented finite"
+          (Float.is_finite c.Lifecycle.Methodology.implemented_cost));
+    test "larger WCETs degrade performance more" (fun () ->
+        let design = dc_motor_design () in
+        let arch = two_proc_arch () in
+        let small =
+          Lifecycle.Methodology.evaluate ~design ~architecture:arch
+            ~durations:(pid_durations ~scale:0.25 ()) ()
+        in
+        let large =
+          Lifecycle.Methodology.evaluate ~design ~architecture:arch
+            ~durations:(pid_durations ~scale:2.0 ()) ()
+        in
+        check_true "monotone degradation"
+          (large.Lifecycle.Methodology.implemented_cost
+          >= small.Lifecycle.Methodology.implemented_cost));
+    test "executive execution is order conformant" (fun () ->
+        let design = dc_motor_design () in
+        let impl =
+          Lifecycle.Methodology.implement ~design ~architecture:(two_proc_arch ())
+            ~durations:(pid_durations ()) ()
+        in
+        let trace = Lifecycle.Methodology.execute design impl in
+        check_true "conformant" (Exec.Machine.order_conformant trace);
+        check_int "no overrun" 0 trace.Exec.Machine.overruns);
+    test "report mentions the key figures" (fun () ->
+        let design = dc_motor_design () in
+        let c =
+          Lifecycle.Methodology.evaluate ~design ~architecture:(two_proc_arch ())
+            ~durations:(pid_durations ()) ()
+        in
+        let r = Lifecycle.Report.comparison design c in
+        check_true "ideal" (contains r "ideal cost");
+        check_true "latency" (contains r "actuation La");
+        check_true "makespan" (contains r "makespan"));
+  ]
+
+let lqg_tests =
+  let plant = Control.Plants.mass_spring_damper ~m:1. ~k:4. ~c:0.4 in
+  let ts = 0.02 in
+  let sysd = Control.Discretize.discretize ~ts plant in
+  let k =
+    (Control.Lqr.dlqr_sys
+       ~q:(M.of_arrays [| [| 100.; 0. |]; [| 0.; 10. |] |])
+       ~r:(M.of_arrays [| [| 0.1 |] |])
+       sysd)
+      .Control.Lqr.k
+  in
+  let kalman =
+    Control.Kalman.dkalman ~a:sysd.Control.Lti.a ~c:sysd.Control.Lti.c
+      ~qn:(M.scale 1e-4 (M.identity 2))
+      ~rn:(M.scale 1e-4 (M.identity 1))
+      ()
+  in
+  let make_design ?(noise_sigma = 0.) () =
+    Lifecycle.Design.lqg_loop ~name:"lqg" ~plant ~x0:[| 0.5; 0. |] ~sysd ~k ~kalman ~ts
+      ~horizon:6. ~noise_sigma ~noise_seed:3 ()
+  in
+  [
+    test "output feedback regulates from only the position measurement" (fun () ->
+        let design = make_design () in
+        let e = Lifecycle.Methodology.simulate_ideal design in
+        let y = Sim.Engine.probe_component e "y" 0 in
+        let n = Array.length y.Control.Metrics.values in
+        check_true "position regulated"
+          (Float.abs y.Control.Metrics.values.(n - 1) < 0.01));
+    test "Kalman filtering absorbs most measurement noise" (fun () ->
+        let clean = make_design () in
+        let noisy = make_design ~noise_sigma:0.01 () in
+        let cost d = d.Lifecycle.Design.cost (Lifecycle.Methodology.simulate_ideal d) in
+        let c_clean = cost clean and c_noisy = cost noisy in
+        (* within 20% of the noise-free cost *)
+        check_true "filtered" (Float.abs (c_noisy -. c_clean) < 0.2 *. c_clean));
+    test "lqg design runs the whole lifecycle" (fun () ->
+        let design = make_design () in
+        let arch =
+          Aaa.Architecture.bus_topology ~latency:0.0005 ~time_per_word:0.0005
+            [ "s"; "c" ]
+        in
+        let d = Dur.create () in
+        Dur.set d ~op:"sample_y0" ~operator:"s" 0.001;
+        Dur.set d ~op:"lqg" ~operator:"c" 0.006;
+        Dur.set d ~op:"hold_u" ~operator:"c" 0.001;
+        let c = Lifecycle.Methodology.evaluate ~design ~architecture:arch ~durations:d () in
+        check_true "finite" (Float.is_finite c.Lifecycle.Methodology.implemented_cost);
+        check_true "stable enough"
+          (c.Lifecycle.Methodology.implemented_cost
+          < 3. *. c.Lifecycle.Methodology.ideal_cost));
+    test "lqg_loop validates the observer model" (fun () ->
+        check_raises_invalid "outputs" (fun () ->
+            ignore
+              (Lifecycle.Design.lqg_loop ~name:"bad"
+                 ~plant:(Control.Plants.double_integrator ())
+                 ~x0:[| 0.; 0. |]
+                 ~sysd:
+                   (Control.Discretize.discretize ~ts:0.02
+                      (Control.Plants.quarter_car Control.Plants.default_quarter_car))
+                 ~k ~kalman ~ts:0.02 ~horizon:1. ())));
+  ]
+
+let conditions_tests =
+  (* a design whose mode flips deterministically with time *)
+  let build () =
+    let module G = Dataflow.Graph in
+    let module C = Dataflow.Clib in
+    let g = G.create () in
+    let mode_state = ref 0. in
+    let mode =
+      G.add g
+        (Dataflow.Block.make ~name:"mode" ~out_widths:[| 1 |] ~event_inputs:1
+           ~on_event:(fun ctx ~port:_ ->
+             mode_state := (if ctx.Dataflow.Block.time >= 0.25 then 1. else 0.);
+             [])
+           ~reset:(fun () -> mode_state := 0.)
+           (fun _ -> [| [| !mode_state |] |]))
+    in
+    let b0 =
+      G.add g
+        (C.stateful ~name:"b0" ~in_widths:[||] ~out_widths:[| 1 |] (fun _ -> [| [| 0. |] |]))
+    in
+    let b1 =
+      G.add g
+        (C.stateful ~name:"b1" ~in_widths:[||] ~out_widths:[| 1 |] (fun _ -> [| [| 0. |] |]))
+    in
+    {
+      Lifecycle.Design.graph = g;
+      clocked = [ mode; b0; b1 ];
+      members = [ mode; b0; b1 ];
+      memories = [];
+      probes = [ ("m", (mode, 0)) ];
+      condition_feed = Some (fun _ -> (mode, 0));
+      customize_algorithm =
+        Some
+          (fun algorithm binding ->
+            Translator.Scicos_to_syndex.declare_condition binding ~algorithm ~var:"mode"
+              ~source:(mode, 0)
+              ~ops:[ (b0, 0); (b1, 1) ]);
+    }
+  in
+  let design =
+    Lifecycle.Design.make ~name:"mode_flip" ~ts:0.1 ~horizon:1.
+      ~cost:(fun _ -> 0.)
+      build
+  in
+  [
+    test "condition profile follows the ideal simulation's mode signal" (fun () ->
+        let arch = Aaa.Architecture.single () in
+        let d = Dur.create () in
+        List.iter (fun op -> Dur.set d ~op ~operator:"P0" 0.001) [ "mode"; "b0"; "b1" ];
+        let impl = Lifecycle.Methodology.implement ~design ~architecture:arch ~durations:d () in
+        let condition =
+          Lifecycle.Methodology.conditions_from_ideal ~iterations:10 design impl
+        in
+        (* mode becomes 1 from the event at t = 0.3 (first tick >= 0.25) *)
+        check_int "early iterations are mode 0" 0 (condition ~iteration:1 ~var:"mode");
+        check_int "late iterations are mode 1" 1 (condition ~iteration:8 ~var:"mode");
+        check_int "unknown var is 0" 0 (condition ~iteration:3 ~var:"ghost");
+        check_int "out of range is 0" 0 (condition ~iteration:99 ~var:"mode");
+        (* the executive under this profile skips exactly the branches
+           the ideal simulation would skip *)
+        let trace =
+          Lifecycle.Methodology.execute
+            ~config:{ Exec.Machine.default_config with iterations = 10; condition }
+            design impl
+        in
+        let b0_runs =
+          List.length
+            (List.filter
+               (fun (oe : Exec.Machine.op_exec) ->
+                 Aaa.Algorithm.op_name impl.Lifecycle.Methodology.algorithm
+                   oe.Exec.Machine.oe_op
+                 = "b0"
+                 && not oe.Exec.Machine.oe_skipped)
+               trace.Exec.Machine.ops)
+        in
+        check_true "b0 runs only during mode 0" (b0_runs >= 3 && b0_runs <= 4));
+    test "conditions_from_ideal requires a condition feed" (fun () ->
+        let plain = dc_motor_design () in
+        let impl =
+          Lifecycle.Methodology.implement ~design:plain ~architecture:(two_proc_arch ())
+            ~durations:(pid_durations ()) ()
+        in
+        check_raises_invalid "feed" (fun () ->
+            ignore
+              (Lifecycle.Methodology.conditions_from_ideal ~iterations:5 plain impl
+                : iteration:int -> var:string -> int)));
+  ]
+
+let calibrate_tests =
+  [
+    test "delay gain shape" (fun () ->
+        let plant = Control.Plants.double_integrator () in
+        let k =
+          Lifecycle.Calibrate.lqr_delay_gain ~plant ~ts:0.1 ~delay:0.05 ~q:(M.identity 2)
+            ~r:(M.identity 1) ()
+        in
+        check_int "1 x 3" 3 (M.cols k);
+        check_int "rows" 1 (M.rows k));
+    test "delay-aware gain stabilises the delayed plant" (fun () ->
+        let plant = Control.Plants.double_integrator () in
+        let ts = 0.1 and delay = 0.08 in
+        let aug = Control.Discretize.zoh_with_delay ~ts ~delay plant in
+        let k =
+          Lifecycle.Calibrate.lqr_delay_gain ~plant ~ts ~delay ~q:(M.identity 2)
+            ~r:(M.identity 1) ()
+        in
+        let cl = M.sub aug.Control.Lti.a (M.mul aug.Control.Lti.b k) in
+        check_true "Schur" (Numerics.Linalg.is_stable_discrete cl));
+    test "nominal gain stabilises the undelayed plant" (fun () ->
+        let plant = Control.Plants.double_integrator () in
+        let k =
+          Lifecycle.Calibrate.lqr_gain ~plant ~ts:0.1 ~q:(M.identity 2) ~r:(M.identity 1) ()
+        in
+        let sysd = Control.Discretize.discretize ~ts:0.1 plant in
+        let cl = M.sub sysd.Control.Lti.a (M.mul sysd.Control.Lti.b k) in
+        check_true "Schur" (Numerics.Linalg.is_stable_discrete cl));
+    test "retune_pid shrinks gains" (fun () ->
+        let g = { Control.Pid.kp = 10.; ki = 4.; kd = 1. } in
+        let g' = Lifecycle.Calibrate.retune_pid g ~latency_fraction:0.5 in
+        check_true "kp smaller" (g'.Control.Pid.kp < g.Control.Pid.kp);
+        check_true "kd shrinks more"
+          (g'.Control.Pid.kd /. g.Control.Pid.kd < g'.Control.Pid.kp /. g.Control.Pid.kp));
+    test "pid_for_delay reaches the requested delay margin" (fun () ->
+        let plant = Control.Plants.dc_motor Control.Plants.default_dc_motor in
+        let ts = 0.05 in
+        let aggressive = { Control.Pid.kp = 100.; ki = 150.; kd = 0. } in
+        (* the aggressive loop's own margin is ~0.032 s; request 0.045 *)
+        let calibrated, achieved =
+          Lifecycle.Calibrate.pid_for_delay ~safety:1. ~plant ~ts ~delay:0.045
+            ~gains:aggressive ()
+        in
+        check_true "margin reached" (achieved >= 0.045 -. 1e-6);
+        check_true "gains reduced" (calibrated.Control.Pid.kp < aggressive.Control.Pid.kp));
+    test "pid_for_delay keeps gains that already satisfy the requirement" (fun () ->
+        let plant = Control.Plants.dc_motor Control.Plants.default_dc_motor in
+        let gentle = { Control.Pid.kp = 10.; ki = 5.; kd = 0. } in
+        let calibrated, _ =
+          Lifecycle.Calibrate.pid_for_delay ~safety:1. ~plant ~ts:0.05 ~delay:0.02
+            ~gains:gentle ()
+        in
+        check_float ~eps:0. "unchanged" gentle.Control.Pid.kp calibrated.Control.Pid.kp);
+    test "calibrated PID beats the aggressive one under heavy latency" (fun () ->
+        (* co-simulation check: at 90% of Ts the aggressive design is
+           far from ideal; the margin-calibrated gains recover *)
+        let plant = Control.Plants.dc_motor Control.Plants.default_dc_motor in
+        let ts = 0.05 in
+        let aggressive = { Control.Pid.kp = 100.; ki = 150.; kd = 0. } in
+        let calibrated, _ =
+          Lifecycle.Calibrate.pid_for_delay ~plant ~ts ~delay:(0.9 *. ts) ~gains:aggressive ()
+        in
+        let durations =
+          let d = Dur.create () in
+          let set op share = Dur.set d ~op ~operator:"P0" (share *. 0.9 *. ts) in
+          set "reference" 0.05;
+          set "sample_y" 0.2;
+          set "pid" 0.6;
+          set "hold_u" 0.15;
+          d
+        in
+        let implemented gains =
+          let design =
+            Lifecycle.Design.pid_loop ~name:"x" ~plant ~x0:[| 0.; 0. |] ~gains ~ts
+              ~reference:1. ~horizon:10. ()
+          in
+          (Lifecycle.Methodology.evaluate ~design ~architecture:(Arch.single ())
+             ~durations ())
+            .Lifecycle.Methodology.implemented_cost
+        in
+        check_true "calibration helps" (implemented calibrated < implemented aggressive));
+    test "calibration on the delayed double integrator beats the nominal gain" (fun () ->
+        (* plant with one full period of actuation delay: the nominal
+           LQR design degrades; the delay-aware redesign recovers *)
+        let plant =
+          Control.Lti.make ~domain:Control.Lti.Continuous
+            ~a:(M.of_arrays [| [| 0.; 1. |]; [| 0.; 0. |] |])
+            ~b:(M.of_arrays [| [| 0. |]; [| 1. |] |])
+            ~c:(M.identity 2) ~d:(M.zeros 2 1)
+        in
+        let ts = 0.25 in
+        let q = M.identity 2 and r = M.scale 0.1 (M.identity 1) in
+        let k_nom = Lifecycle.Calibrate.lqr_gain ~plant ~ts ~q ~r () in
+        let delay = 0.9 *. ts in
+        let k_cal = Lifecycle.Calibrate.lqr_delay_gain ~plant ~ts ~delay ~q ~r () in
+        (* evaluate both on the *delayed* discrete model *)
+        let aug = Control.Discretize.zoh_with_delay ~ts ~delay plant in
+        let cost_of k_aug =
+          let x = ref [| 1.; 0.; 0. |] in
+          let acc = ref 0. in
+          for _ = 0 to 120 do
+            let u = Array.map (fun v -> -.v) (M.mul_vec k_aug !x) in
+            acc := !acc +. (!x.(0) *. !x.(0)) +. (!x.(1) *. !x.(1));
+            x := Control.Lti.step_discrete aug !x u
+          done;
+          !acc
+        in
+        (* lift the nominal gain to the augmented state (ignores u_prev) *)
+        let k_nom_aug = M.hcat k_nom (M.zeros 1 1) in
+        let c_nom = cost_of k_nom_aug in
+        let c_cal = cost_of k_cal in
+        check_true "calibrated is better" (c_cal < c_nom));
+  ]
+
+let suites =
+  [
+    ("lifecycle.design", design_tests);
+    ("lifecycle.methodology", methodology_tests);
+    ("lifecycle.lqg", lqg_tests);
+    ("lifecycle.conditions", conditions_tests);
+    ("lifecycle.calibrate", calibrate_tests);
+  ]

@@ -1,0 +1,512 @@
+open Helpers
+module V = Numerics.Vec
+module M = Numerics.Matrix
+module L = Numerics.Linalg
+module P = Numerics.Poly
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let vec_tests =
+  [
+    test "create fills" (fun () -> check_vec "create" [| 2.; 2.; 2. |] (V.create 3 2.));
+    test "zeros" (fun () -> check_vec "zeros" [| 0.; 0. |] (V.zeros 2));
+    test "init indexes" (fun () ->
+        check_vec "init" [| 0.; 1.; 4. |] (V.init 3 (fun i -> float_of_int (i * i))));
+    test "add" (fun () -> check_vec "add" [| 4.; 6. |] (V.add [| 1.; 2. |] [| 3.; 4. |]));
+    test "sub" (fun () -> check_vec "sub" [| -2.; -2. |] (V.sub [| 1.; 2. |] [| 3.; 4. |]));
+    test "add mismatched lengths raises" (fun () ->
+        check_raises_invalid "add" (fun () -> V.add [| 1. |] [| 1.; 2. |]));
+    test "scale" (fun () -> check_vec "scale" [| 2.; -4. |] (V.scale 2. [| 1.; -2. |]));
+    test "axpy" (fun () ->
+        check_vec "axpy" [| 5.; 8. |] (V.axpy 2. [| 1.; 2. |] [| 3.; 4. |]));
+    test "dot" (fun () -> check_float "dot" 11. (V.dot [| 1.; 2. |] [| 3.; 4. |]));
+    test "norm2 of 3-4-right-triangle" (fun () ->
+        check_float "norm" 5. (V.norm2 [| 3.; 4. |]));
+    test "norm_inf" (fun () -> check_float "norm_inf" 7. (V.norm_inf [| -7.; 3. |]));
+    test "norm_inf empty is zero" (fun () -> check_float "norm_inf" 0. (V.norm_inf [||]));
+    test "dist2" (fun () -> check_float "dist" 5. (V.dist2 [| 0.; 0. |] [| 3.; 4. |]));
+    test "map2" (fun () ->
+        check_vec "map2" [| 3.; 8. |] (V.map2 ( *. ) [| 1.; 2. |] [| 3.; 4. |]));
+    test "equal respects eps" (fun () ->
+        check_true "close" (V.equal ~eps:1e-3 [| 1.0 |] [| 1.0005 |]);
+        check_false "far" (V.equal ~eps:1e-6 [| 1.0 |] [| 1.0005 |]));
+    test "copy is fresh" (fun () ->
+        let v = [| 1.; 2. |] in
+        let c = V.copy v in
+        c.(0) <- 9.;
+        check_float "original intact" 1. v.(0));
+    qtest "add commutes"
+      QCheck2.Gen.(pair (array_size (int_range 0 8) (float_range (-1e3) 1e3))
+                     (array_size (int_range 0 8) (float_range (-1e3) 1e3)))
+      (fun (u, v) ->
+        if Array.length u <> Array.length v then QCheck2.assume_fail ()
+        else V.equal (V.add u v) (V.add v u));
+    qtest "dot with self is norm2 squared"
+      QCheck2.Gen.(array_size (int_range 0 8) (float_range (-100.) 100.))
+      (fun v ->
+        let n = V.norm2 v in
+        Float.abs (V.dot v v -. (n *. n)) <= 1e-6 *. (1. +. (n *. n)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Matrix *)
+
+let m22 a b c d = M.of_arrays [| [| a; b |]; [| c; d |] |]
+
+let matrix_tests =
+  [
+    test "dims" (fun () ->
+        let m = M.zeros 2 3 in
+        check_int "rows" 2 (M.rows m);
+        check_int "cols" 3 (M.cols m));
+    test "identity diagonal" (fun () ->
+        let i3 = M.identity 3 in
+        check_float "diag" 1. (M.get i3 1 1);
+        check_float "off" 0. (M.get i3 0 2));
+    test "of_arrays ragged raises" (fun () ->
+        check_raises_invalid "ragged" (fun () -> M.of_arrays [| [| 1. |]; [| 1.; 2. |] |]));
+    test "of_arrays empty raises" (fun () ->
+        check_raises_invalid "empty" (fun () -> M.of_arrays [||]));
+    test "get out of bounds raises" (fun () ->
+        check_raises_invalid "oob" (fun () -> M.get (M.zeros 2 2) 2 0));
+    test "set is functional" (fun () ->
+        let m = M.zeros 2 2 in
+        let m' = M.set m 0 1 5. in
+        check_float "updated" 5. (M.get m' 0 1);
+        check_float "original" 0. (M.get m 0 1));
+    test "mul known product" (fun () ->
+        let a = m22 1. 2. 3. 4. and b = m22 5. 6. 7. 8. in
+        check_mat "product" (m22 19. 22. 43. 50.) (M.mul a b));
+    test "mul dimension mismatch raises" (fun () ->
+        check_raises_invalid "mul" (fun () -> ignore (M.mul (M.zeros 2 3) (M.zeros 2 3))));
+    test "mul_vec" (fun () ->
+        check_vec "mv" [| 5.; 11. |] (M.mul_vec (m22 1. 2. 3. 4.) [| 1.; 2. |]));
+    test "transpose" (fun () ->
+        check_mat "t" (m22 1. 3. 2. 4.) (M.transpose (m22 1. 2. 3. 4.)));
+    test "trace" (fun () -> check_float "tr" 5. (M.trace (m22 1. 2. 3. 4.)));
+    test "trace of non-square raises" (fun () ->
+        check_raises_invalid "tr" (fun () -> ignore (M.trace (M.zeros 2 3))));
+    test "hcat/vcat shapes" (fun () ->
+        let h = M.hcat (M.zeros 2 1) (M.identity 2) in
+        check_int "hcat cols" 3 (M.cols h);
+        let v = M.vcat (M.zeros 1 2) (M.identity 2) in
+        check_int "vcat rows" 3 (M.rows v));
+    test "block extraction" (fun () ->
+        let m = M.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+        check_mat "block" (M.of_arrays [| [| 2.; 3. |] |]) (M.block m 0 1 1 2));
+    test "block out of bounds raises" (fun () ->
+        check_raises_invalid "block" (fun () -> ignore (M.block (M.zeros 2 2) 1 1 2 2)));
+    test "norm_inf is max row sum" (fun () ->
+        check_float "norm" 7. (M.norm_inf (m22 1. (-2.) 3. 4.)));
+    test "norm_fro" (fun () ->
+        check_float "fro" (sqrt 30.) (M.norm_fro (m22 1. 2. 3. 4.)));
+    test "pow squares" (fun () ->
+        let a = m22 1. 1. 0. 1. in
+        check_mat "a^3" (m22 1. 3. 0. 1.) (M.pow a 3));
+    test "pow zero is identity" (fun () ->
+        check_mat "a^0" (M.identity 2) (M.pow (m22 5. 5. 5. 5.) 0));
+    test "pow negative raises" (fun () ->
+        check_raises_invalid "pow" (fun () -> ignore (M.pow (M.identity 2) (-1))));
+    test "of_vec/to_vec roundtrip" (fun () ->
+        check_vec "roundtrip" [| 1.; 2.; 3. |] (M.to_vec (M.of_vec [| 1.; 2.; 3. |])));
+    test "to_vec of matrix raises" (fun () ->
+        check_raises_invalid "to_vec" (fun () -> ignore (M.to_vec (M.zeros 2 2))));
+    test "row/col" (fun () ->
+        let m = m22 1. 2. 3. 4. in
+        check_vec "row" [| 3.; 4. |] (M.row m 1);
+        check_vec "col" [| 2.; 4. |] (M.col m 1));
+    qtest "transpose involutive"
+      QCheck2.Gen.(
+        pair (int_range 1 5) (int_range 1 5) >>= fun (r, c) ->
+        array_size (return (r * c)) (float_range (-100.) 100.) >|= fun a -> (r, c, a))
+      (fun (r, c, a) ->
+        let m = M.init r c (fun i j -> a.((i * c) + j)) in
+        M.equal m (M.transpose (M.transpose m)));
+    qtest "mul associative"
+      QCheck2.Gen.(array_size (return 12) (float_range (-10.) 10.))
+      (fun a ->
+        let m1 = M.init 2 2 (fun i j -> a.((2 * i) + j)) in
+        let m2 = M.init 2 2 (fun i j -> a.(4 + (2 * i) + j)) in
+        let m3 = M.init 2 2 (fun i j -> a.(8 + (2 * i) + j)) in
+        M.equal ~eps:1e-6 (M.mul (M.mul m1 m2) m3) (M.mul m1 (M.mul m2 m3)));
+    qtest "identity neutral"
+      QCheck2.Gen.(array_size (return 9) (float_range (-100.) 100.))
+      (fun a ->
+        let m = M.init 3 3 (fun i j -> a.((3 * i) + j)) in
+        M.equal (M.mul m (M.identity 3)) m && M.equal (M.mul (M.identity 3) m) m);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Linalg *)
+
+let random_spd rng n =
+  (* Aᵀ·A + n·I is symmetric positive definite, hence invertible *)
+  let a = M.init n n (fun _ _ -> Numerics.Rng.uniform rng (-1.) 1.) in
+  M.add (M.mul (M.transpose a) a) (M.scale (float_of_int n) (M.identity n))
+
+let linalg_tests =
+  [
+    test "solve 2x2" (fun () ->
+        let a = m22 2. 1. 1. 3. in
+        let x = L.solve a [| 5.; 10. |] in
+        check_vec ~eps:1e-12 "solution" [| 1.; 3. |] x);
+    test "solve singular raises" (fun () ->
+        let a = m22 1. 2. 2. 4. in
+        match L.solve a [| 1.; 2. |] with
+        | exception L.Singular -> ()
+        | _ -> Alcotest.fail "expected Singular");
+    test "det of known matrix" (fun () ->
+        check_float "det" (-2.) (L.det (m22 1. 2. 3. 4.)));
+    test "det singular is zero" (fun () ->
+        check_float "det" 0. (L.det (m22 1. 2. 2. 4.)));
+    test "inv times original is identity" (fun () ->
+        let a = m22 4. 7. 2. 6. in
+        check_mat ~eps:1e-12 "inv" (M.identity 2) (M.mul a (L.inv a)));
+    test "inv not square raises" (fun () ->
+        check_raises_invalid "inv" (fun () -> ignore (L.lu_decompose (M.zeros 2 3))));
+    test "lu_det equals det" (fun () ->
+        let a = M.of_arrays [| [| 2.; 0.; 1. |]; [| 1.; 1.; 0. |]; [| 0.; 3.; 1. |] |] in
+        check_float ~eps:1e-12 "det" (L.det a) (L.lu_det (L.lu_decompose a)));
+    test "char_poly of diag(1,2)" (fun () ->
+        (* (x-1)(x-2) = 2 - 3x + x² *)
+        let p = L.char_poly (m22 1. 0. 0. 2.) in
+        check_vec ~eps:1e-12 "coeffs" [| 2.; -3.; 1. |] p);
+    test "eigenvalues of triangular matrix" (fun () ->
+        let eigs = L.eigenvalues (m22 3. 1. 0. (-2.)) in
+        let res = List.sort compare (List.map (fun z -> z.Complex.re) eigs) in
+        match res with
+        | [ a; b ] ->
+            check_float ~eps:1e-6 "min" (-2.) a;
+            check_float ~eps:1e-6 "max" 3. b
+        | _ -> Alcotest.fail "expected two eigenvalues");
+    test "eigenvalues of rotation are complex conjugates" (fun () ->
+        let eigs = L.eigenvalues (m22 0. (-1.) 1. 0.) in
+        List.iter (fun z -> check_float ~eps:1e-6 "modulus" 1. (Complex.norm z)) eigs;
+        check_float ~eps:1e-6 "conjugate sum" 0.
+          (List.fold_left (fun acc z -> acc +. z.Complex.im) 0. eigs));
+    test "spectral radius" (fun () ->
+        check_float ~eps:1e-6 "rho" 3. (L.spectral_radius (m22 3. 0. 0. (-1.))));
+    test "continuous stability" (fun () ->
+        check_true "stable" (L.is_stable_continuous (m22 (-1.) 0. 0. (-2.)));
+        check_false "unstable" (L.is_stable_continuous (m22 1. 0. 0. (-2.))));
+    test "discrete stability" (fun () ->
+        check_true "stable" (L.is_stable_discrete (m22 0.5 0. 0. (-0.9)));
+        check_false "unstable" (L.is_stable_discrete (m22 1.1 0. 0. 0.)));
+    test "lstsq recovers line fit" (fun () ->
+        (* fit y = 2x + 1 exactly through 3 points *)
+        let a = M.of_arrays [| [| 0.; 1. |]; [| 1.; 1. |]; [| 2.; 1. |] |] in
+        let x = L.lstsq a [| 1.; 3.; 5. |] in
+        check_vec ~eps:1e-9 "coeffs" [| 2.; 1. |] x);
+    qtest "LU solve residual is small" ~count:100
+      QCheck2.Gen.(pair (int_range 1 6) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let rng = Numerics.Rng.create seed in
+        let a = random_spd rng n in
+        let b = Array.init n (fun _ -> Numerics.Rng.uniform rng (-10.) 10.) in
+        let x = L.solve a b in
+        V.dist2 (M.mul_vec a x) b <= 1e-8 *. (1. +. V.norm2 b));
+    qtest "char_poly degree equals dimension" ~count:50
+      QCheck2.Gen.(pair (int_range 1 5) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let rng = Numerics.Rng.create seed in
+        let a = M.init n n (fun _ _ -> Numerics.Rng.uniform rng (-2.) 2.) in
+        P.degree (L.char_poly a) = n);
+    qtest "trace equals eigenvalue sum" ~count:50
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let rng = Numerics.Rng.create seed in
+        let a = M.init 3 3 (fun _ _ -> Numerics.Rng.uniform rng (-2.) 2.) in
+        let sum = List.fold_left (fun acc z -> acc +. z.Complex.re) 0. (L.eigenvalues a) in
+        Float.abs (sum -. M.trace a) <= 1e-5 *. (1. +. Float.abs (M.trace a)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Poly *)
+
+let poly_tests =
+  [
+    test "normalize drops trailing zeros" (fun () ->
+        check_vec "norm" [| 1.; 2. |] (P.normalize [| 1.; 2.; 0.; 0. |]));
+    test "degree of zero poly" (fun () -> check_int "deg" 0 (P.degree [| 0.; 0. |]));
+    test "eval Horner" (fun () ->
+        (* 1 + 2x + 3x² at x = 2 → 17 *)
+        check_float "eval" 17. (P.eval [| 1.; 2.; 3. |] 2.));
+    test "add with different degrees" (fun () ->
+        check_vec "add" [| 2.; 2.; 3. |] (P.add [| 1.; 2.; 3. |] [| 1. |]));
+    test "mul known" (fun () ->
+        (* (1+x)(1-x) = 1 - x² *)
+        check_vec "mul" [| 1.; 0.; -1. |] (P.mul [| 1.; 1. |] [| 1.; -1. |]));
+    test "derive" (fun () ->
+        check_vec "derive" [| 2.; 6. |] (P.derive [| 1.; 2.; 3. |]));
+    test "of_roots expands" (fun () ->
+        (* roots 1, 2 → x² - 3x + 2 *)
+        check_vec "expand" [| 2.; -3.; 1. |] (P.of_roots [| 1.; 2. |]));
+    test "roots of quadratic" (fun () ->
+        let rs = P.roots [| 2.; -3.; 1. |] in
+        let re = List.sort compare (List.map (fun z -> z.Complex.re) rs) in
+        (match re with
+        | [ a; b ] ->
+            check_float ~eps:1e-8 "root 1" 1. a;
+            check_float ~eps:1e-8 "root 2" 2. b
+        | _ -> Alcotest.fail "expected 2 roots"));
+    test "roots of x^2+1 are +-i" (fun () ->
+        let rs = P.roots [| 1.; 0.; 1. |] in
+        List.iter (fun z -> check_float ~eps:1e-8 "real part" 0. z.Complex.re) rs;
+        let ims = List.sort compare (List.map (fun z -> z.Complex.im) rs) in
+        match ims with
+        | [ a; b ] ->
+            check_float ~eps:1e-8 "im -1" (-1.) a;
+            check_float ~eps:1e-8 "im +1" 1. b
+        | _ -> Alcotest.fail "expected 2 roots");
+    test "roots of constant is empty" (fun () ->
+        check_int "none" 0 (List.length (P.roots [| 5. |])));
+    test "roots of zero poly raises" (fun () ->
+        check_raises_invalid "zero" (fun () -> ignore (P.roots [| 0. |])));
+    qtest "eval at computed roots is near zero" ~count:100
+      QCheck2.Gen.(array_size (int_range 1 4) (float_range (-3.) 3.))
+      (fun roots ->
+        let p = P.of_roots roots in
+        let rs = P.roots p in
+        List.for_all (fun z -> Complex.norm (P.eval_c p z) <= 1e-4) rs);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Expm *)
+
+let expm_tests =
+  [
+    test "expm of zero is identity" (fun () ->
+        check_mat ~eps:1e-12 "e^0" (M.identity 3) (Numerics.Expm.expm (M.zeros 3 3)));
+    test "expm of diagonal" (fun () ->
+        let e = Numerics.Expm.expm (m22 1. 0. 0. (-1.)) in
+        check_float ~eps:1e-10 "e^1" (Float.exp 1.) (M.get e 0 0);
+        check_float ~eps:1e-10 "e^-1" (Float.exp (-1.)) (M.get e 1 1);
+        check_float ~eps:1e-10 "off" 0. (M.get e 0 1));
+    test "expm of nilpotent" (fun () ->
+        (* exp([[0,1],[0,0]]) = [[1,1],[0,1]] *)
+        check_mat ~eps:1e-12 "nilpotent" (m22 1. 1. 0. 1.)
+          (Numerics.Expm.expm (m22 0. 1. 0. 0.)));
+    test "expm of rotation gives cos/sin" (fun () ->
+        let theta = 0.7 in
+        let e = Numerics.Expm.expm (m22 0. (-.theta) theta 0.) in
+        check_float ~eps:1e-10 "cos" (cos theta) (M.get e 0 0);
+        check_float ~eps:1e-10 "sin" (sin theta) (M.get e 1 0));
+    test "expm with large norm still accurate" (fun () ->
+        (* scaling and squaring: e^(-30) on the diagonal *)
+        let e = Numerics.Expm.expm (m22 (-30.) 0. 0. (-30.)) in
+        check_float ~eps:1e-18 "tiny" (Float.exp (-30.)) (M.get e 0 0));
+    test "zoh of scalar system matches analytic" (fun () ->
+        (* dx = -x + u: Ad = e^{-h}, Bd = 1 - e^{-h} *)
+        let a = M.of_arrays [| [| -1. |] |] and b = M.of_arrays [| [| 1. |] |] in
+        let ad, bd = Numerics.Expm.zoh a b 0.3 in
+        check_float ~eps:1e-12 "Ad" (Float.exp (-0.3)) (M.get ad 0 0);
+        check_float ~eps:1e-12 "Bd" (1. -. Float.exp (-0.3)) (M.get bd 0 0));
+    test "zoh of double integrator" (fun () ->
+        (* Ad = [[1,h],[0,1]], Bd = [h²/2; h] *)
+        let a = m22 0. 1. 0. 0. and b = M.of_arrays [| [| 0. |]; [| 1. |] |] in
+        let ad, bd = Numerics.Expm.zoh a b 0.5 in
+        check_mat ~eps:1e-12 "Ad" (m22 1. 0.5 0. 1.) ad;
+        check_float ~eps:1e-12 "Bd0" 0.125 (M.get bd 0 0);
+        check_float ~eps:1e-12 "Bd1" 0.5 (M.get bd 1 0));
+    test "zoh rejects non-positive period" (fun () ->
+        check_raises_invalid "ts" (fun () ->
+            ignore (Numerics.Expm.zoh (M.identity 1) (M.identity 1) 0.)));
+    qtest "expm(A)·expm(-A) = I" ~count:50
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let rng = Numerics.Rng.create seed in
+        let a = M.init 3 3 (fun _ _ -> Numerics.Rng.uniform rng (-1.) 1.) in
+        let prod = M.mul (Numerics.Expm.expm a) (Numerics.Expm.expm (M.neg a)) in
+        M.equal ~eps:1e-8 prod (M.identity 3));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ode *)
+
+let ode_tests =
+  let decay _ x = [| -.x.(0) |] in
+  let oscillator _ x = [| x.(1); -.x.(0) |] in
+  [
+    test "rk4 exponential decay accuracy" (fun () ->
+        let xf = Numerics.Ode.integrate ~meth:Numerics.Ode.Rk4 ~max_step:0.01 decay ~t0:0. ~t1:1. [| 1. |] in
+        check_float ~eps:1e-8 "e^-1" (Float.exp (-1.)) xf.(0));
+    test "euler converges coarsely" (fun () ->
+        let xf = Numerics.Ode.integrate ~meth:Numerics.Ode.Euler ~max_step:1e-4 decay ~t0:0. ~t1:1. [| 1. |] in
+        check_float ~eps:1e-3 "e^-1" (Float.exp (-1.)) xf.(0));
+    test "rk2 between euler and rk4" (fun () ->
+        let xf = Numerics.Ode.integrate ~meth:Numerics.Ode.Rk2 ~max_step:0.01 decay ~t0:0. ~t1:1. [| 1. |] in
+        check_float ~eps:1e-5 "e^-1" (Float.exp (-1.)) xf.(0));
+    test "rkf45 harmonic oscillator one period" (fun () ->
+        let xf =
+          Numerics.Ode.integrate oscillator ~t0:0. ~t1:(2. *. Float.pi) [| 1.; 0. |]
+        in
+        check_float ~eps:1e-4 "x back to 1" 1. xf.(0);
+        check_float ~eps:1e-4 "v back to 0" 0. xf.(1));
+    test "rkf45 respects tolerance on stiff-ish decay" (fun () ->
+        let fast _ x = [| -50. *. x.(0) |] in
+        let xf =
+          Numerics.Ode.integrate
+            ~meth:(Numerics.Ode.Rkf45 { rtol = 1e-8; atol = 1e-12 })
+            fast ~t0:0. ~t1:0.5 [| 1. |]
+        in
+        check_float ~eps:1e-8 "decay" (Float.exp (-25.)) xf.(0));
+    test "zero-length integration returns copy" (fun () ->
+        let x0 = [| 2. |] in
+        let xf = Numerics.Ode.integrate decay ~t0:1. ~t1:1. x0 in
+        check_vec "same" x0 xf;
+        xf.(0) <- 0.;
+        check_float "copy" 2. x0.(0));
+    test "t1 before t0 raises" (fun () ->
+        check_raises_invalid "order" (fun () ->
+            ignore (Numerics.Ode.integrate decay ~t0:1. ~t1:0. [| 1. |])));
+    test "observer sees initial and final state" (fun () ->
+        let seen = ref [] in
+        let observer t x = seen := (t, x.(0)) :: !seen in
+        ignore (Numerics.Ode.integrate ~observer decay ~t0:0. ~t1:1. [| 1. |]);
+        let times = List.rev_map fst !seen in
+        check_true "starts at 0" (List.hd times = 0.);
+        check_float ~eps:1e-12 "ends at 1" 1. (List.hd !seen |> fst));
+    test "max_step honoured by fixed methods" (fun () ->
+        let count = ref 0 in
+        let observer _ _ = incr count in
+        ignore
+          (Numerics.Ode.integrate ~meth:Numerics.Ode.Rk4 ~max_step:0.1 ~observer decay
+             ~t0:0. ~t1:1. [| 1. |]);
+        (* 10 steps + initial state *)
+        check_int "steps" 11 !count);
+    test "energy of oscillator approximately conserved by rk4" (fun () ->
+        let xf =
+          Numerics.Ode.integrate ~meth:Numerics.Ode.Rk4 ~max_step:0.01 oscillator ~t0:0.
+            ~t1:20. [| 1.; 0. |]
+        in
+        let energy = (xf.(0) *. xf.(0)) +. (xf.(1) *. xf.(1)) in
+        check_float ~eps:1e-6 "energy" 1. energy);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let rng_tests =
+  [
+    test "deterministic for equal seeds" (fun () ->
+        let a = Numerics.Rng.create 7 and b = Numerics.Rng.create 7 in
+        for _ = 1 to 100 do
+          check_true "same" (Numerics.Rng.bits64 a = Numerics.Rng.bits64 b)
+        done);
+    test "different seeds diverge" (fun () ->
+        let a = Numerics.Rng.create 1 and b = Numerics.Rng.create 2 in
+        check_false "differ" (Numerics.Rng.bits64 a = Numerics.Rng.bits64 b));
+    test "copy continues identically" (fun () ->
+        let a = Numerics.Rng.create 3 in
+        ignore (Numerics.Rng.bits64 a);
+        let b = Numerics.Rng.copy a in
+        check_true "same stream" (Numerics.Rng.bits64 a = Numerics.Rng.bits64 b));
+    test "split decorrelates" (fun () ->
+        let a = Numerics.Rng.create 3 in
+        let b = Numerics.Rng.split a in
+        check_false "independent" (Numerics.Rng.bits64 a = Numerics.Rng.bits64 b));
+    test "float respects bound" (fun () ->
+        let g = Numerics.Rng.create 11 in
+        for _ = 1 to 1000 do
+          let x = Numerics.Rng.float g 2.5 in
+          check_true "in range" (x >= 0. && x < 2.5)
+        done);
+    test "float rejects non-positive bound" (fun () ->
+        check_raises_invalid "bound" (fun () ->
+            ignore (Numerics.Rng.float (Numerics.Rng.create 0) 0.)));
+    test "int uniform in range" (fun () ->
+        let g = Numerics.Rng.create 5 in
+        let counts = Array.make 4 0 in
+        for _ = 1 to 4000 do
+          let k = Numerics.Rng.int g 4 in
+          counts.(k) <- counts.(k) + 1
+        done;
+        Array.iter (fun c -> check_true "roughly uniform" (c > 800 && c < 1200)) counts);
+    test "gaussian moments" (fun () ->
+        let g = Numerics.Rng.create 17 in
+        let xs = Array.init 20_000 (fun _ -> Numerics.Rng.gaussian g ~mu:3. ~sigma:2. ()) in
+        check_float ~eps:0.1 "mean" 3. (Numerics.Stats.mean xs);
+        check_float ~eps:0.1 "std" 2. (Numerics.Stats.stddev xs));
+    test "exponential mean" (fun () ->
+        let g = Numerics.Rng.create 23 in
+        let xs = Array.init 20_000 (fun _ -> Numerics.Rng.exponential g 2.) in
+        check_float ~eps:0.03 "mean 1/lambda" 0.5 (Numerics.Stats.mean xs));
+    test "triangular bounds and mode-side skew" (fun () ->
+        let g = Numerics.Rng.create 29 in
+        let xs =
+          Array.init 10_000 (fun _ -> Numerics.Rng.triangular g ~lo:0. ~mode:0.2 ~hi:1.)
+        in
+        Array.iter (fun x -> check_true "bounds" (x >= 0. && x <= 1.)) xs;
+        check_float ~eps:0.02 "mean (0+0.2+1)/3" 0.4 (Numerics.Stats.mean xs));
+    test "triangular invalid parameters raise" (fun () ->
+        check_raises_invalid "params" (fun () ->
+            ignore (Numerics.Rng.triangular (Numerics.Rng.create 0) ~lo:1. ~mode:0. ~hi:2.)));
+    test "shuffle preserves multiset" (fun () ->
+        let g = Numerics.Rng.create 31 in
+        let a = Array.init 20 Fun.id in
+        Numerics.Rng.shuffle g a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        check_true "permutation" (sorted = Array.init 20 Fun.id));
+    test "choice on empty raises" (fun () ->
+        check_raises_invalid "empty" (fun () ->
+            ignore (Numerics.Rng.choice (Numerics.Rng.create 0) [||])));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let stats_tests =
+  [
+    test "mean" (fun () -> check_float "mean" 2. (Numerics.Stats.mean [| 1.; 2.; 3. |]));
+    test "mean of empty raises" (fun () ->
+        check_raises_invalid "empty" (fun () -> ignore (Numerics.Stats.mean [||])));
+    test "variance/stddev" (fun () ->
+        check_float "var" 2. (Numerics.Stats.variance [| 1.; 3. |] *. 2.);
+        check_float "std" 1. (Numerics.Stats.stddev [| 1.; 3. |]));
+    test "min/max" (fun () ->
+        check_float "min" (-5.) (Numerics.Stats.min [| 3.; -5.; 2. |]);
+        check_float "max" 3. (Numerics.Stats.max [| 3.; -5.; 2. |]));
+    test "rms of constant" (fun () ->
+        check_float "rms" 2. (Numerics.Stats.rms [| 2.; -2.; 2. |]));
+    test "percentile endpoints" (fun () ->
+        let xs = [| 10.; 20.; 30.; 40. |] in
+        check_float "p0" 10. (Numerics.Stats.percentile xs 0.);
+        check_float "p100" 40. (Numerics.Stats.percentile xs 100.));
+    test "median interpolates" (fun () ->
+        check_float "median" 25. (Numerics.Stats.median [| 10.; 20.; 30.; 40. |]));
+    test "percentile out of range raises" (fun () ->
+        check_raises_invalid "range" (fun () ->
+            ignore (Numerics.Stats.percentile [| 1. |] 101.)));
+    test "histogram counts all samples" (fun () ->
+        let h = Numerics.Stats.histogram ~bins:4 [| 0.; 0.1; 0.5; 0.9; 1. |] in
+        let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+        check_int "total" 5 total);
+    test "histogram of constant sample" (fun () ->
+        let h = Numerics.Stats.histogram ~bins:3 [| 5.; 5.; 5. |] in
+        let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+        check_int "total" 3 total);
+    test "summary mentions count" (fun () ->
+        check_true "n=" (String.length (Numerics.Stats.summary [| 1.; 2. |]) > 0));
+    qtest "percentile is monotone in p" ~count:100
+      QCheck2.Gen.(
+        pair
+          (array_size (int_range 1 20) (float_range (-100.) 100.))
+          (pair (float_range 0. 100.) (float_range 0. 100.)))
+      (fun (xs, (p1, p2)) ->
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        Numerics.Stats.percentile xs lo <= Numerics.Stats.percentile xs hi +. 1e-9);
+  ]
+
+let suites =
+  [
+    ("numerics.vec", vec_tests);
+    ("numerics.matrix", matrix_tests);
+    ("numerics.linalg", linalg_tests);
+    ("numerics.poly", poly_tests);
+    ("numerics.expm", expm_tests);
+    ("numerics.ode", ode_tests);
+    ("numerics.rng", rng_tests);
+    ("numerics.stats", stats_tests);
+  ]

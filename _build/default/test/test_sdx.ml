@@ -1,0 +1,246 @@
+open Helpers
+module Alg = Aaa.Algorithm
+module Arch = Aaa.Architecture
+module Dur = Aaa.Durations
+module Sexp = Aaa.Sexp
+module Sdx = Aaa.Sdx
+
+let sample =
+  {|
+; a conditioned two-branch application over a gateway
+(application
+  (algorithm (name demo) (period 0.1)
+    (operation (name mode) (kind sensor) (outputs 1))
+    (operation (name cheap) (kind compute) (outputs 1) (when m 0))
+    (operation (name costly) (kind compute) (outputs 1) (when m 1))
+    (operation (name act) (kind actuator) (inputs 1 1))
+    (dependency (from cheap 0) (to act 0))
+    (dependency (from costly 0) (to act 1))
+    (condition-source (var m) (from mode 0)))
+  (architecture (name gw)
+    (operator P0) (operator GW) (operator P1)
+    (bus (name busA) (latency 0.001) (rate 0.0005) (connects P0 GW))
+    (bus (name busB) (latency 0.002) (rate 0.0005) (connects GW P1)))
+  (durations
+    (wcet mode P0 0.002)
+    (wcet cheap * 0.002)
+    (wcet costly P1 0.03)
+    (bcet costly P1 0.01)
+    (wcet act P0 0.002))
+  (pins (pin costly P1)))
+|}
+
+let sexp_tests =
+  [
+    test "atoms, lists and comments" (fun () ->
+        let exps = Sexp.parse "a (b c) ; comment\n(d (e))" in
+        check_int "three top-level" 3 (List.length exps);
+        match exps with
+        | [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c" ]; Sexp.List _ ] -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    test "unbalanced parens rejected with line number" (fun () ->
+        (match Sexp.parse "(a\n(b" with
+        | exception Failure msg -> check_true "line info" (contains msg "line")
+        | _ -> Alcotest.fail "expected Failure");
+        match Sexp.parse ")" with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected Failure");
+    test "to_string round-trips structure" (fun () ->
+        let exp =
+          Sexp.List
+            [
+              Sexp.Atom "application";
+              Sexp.List [ Sexp.Atom "k"; Sexp.Atom "1"; Sexp.Atom "2" ];
+              Sexp.List (List.init 30 (fun i -> Sexp.Atom (string_of_int i)));
+            ]
+        in
+        match Sexp.parse (Sexp.to_string exp) with
+        | [ reparsed ] -> check_true "equal" (reparsed = exp)
+        | _ -> Alcotest.fail "expected one expression");
+    test "accessors raise with context" (fun () ->
+        (match Sexp.atom (Sexp.List []) with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected Failure");
+        check_true "keyed finds first"
+          (Sexp.keyed "k" [ Sexp.List [ Sexp.Atom "k"; Sexp.Atom "v" ] ]
+          = Some [ Sexp.Atom "v" ]));
+  ]
+
+let sdx_tests =
+  [
+    test "sample application parses with all features" (fun () ->
+        let app = Sdx.parse sample in
+        let alg = app.Sdx.algorithm in
+        check_int "4 ops" 4 (Alg.op_count alg);
+        check_int "3 operators" 3 (Arch.operator_count app.Sdx.architecture);
+        check_int "2 buses" 2 (Arch.medium_count app.Sdx.architecture);
+        check_true "pin" (app.Sdx.pins = [ ("costly", "P1") ]);
+        (* conditioning *)
+        let costly = Option.get (Alg.find_op alg "costly") in
+        check_true "condition" (Alg.op_cond alg costly = Some { Alg.var = "m"; value = 1 });
+        check_true "source declared" (Alg.condition_source alg ~var:"m" <> None);
+        (* durations: star spreads, bcet recorded *)
+        check_true "star wcet" (Dur.wcet app.Sdx.durations ~op:"cheap" ~operator:"GW" = Some 0.002);
+        check_true "bcet" (Dur.bcet app.Sdx.durations ~op:"costly" ~operator:"P1" = Some 0.01));
+    test "parsed application schedules end to end" (fun () ->
+        let app = Sdx.parse sample in
+        let sched =
+          Aaa.Adequation.run ~pins:app.Sdx.pins ~algorithm:app.Sdx.algorithm
+            ~architecture:app.Sdx.architecture ~durations:app.Sdx.durations ()
+        in
+        check_true "costly pinned"
+          (Arch.operator_name app.Sdx.architecture
+             (Aaa.Schedule.operator_of sched (Option.get (Alg.find_op app.Sdx.algorithm "costly")))
+          = "P1"));
+    test "print/parse round-trip preserves the application" (fun () ->
+        let app = Sdx.parse sample in
+        let app2 = Sdx.parse (Sdx.print app) in
+        let alg1 = app.Sdx.algorithm and alg2 = app2.Sdx.algorithm in
+        check_int "ops" (Alg.op_count alg1) (Alg.op_count alg2);
+        List.iter
+          (fun op ->
+            let name = Alg.op_name alg1 op in
+            let op2 = Option.get (Alg.find_op alg2 name) in
+            check_true ("kind of " ^ name) (Alg.op_kind alg1 op = Alg.op_kind alg2 op2);
+            check_true ("cond of " ^ name) (Alg.op_cond alg1 op = Alg.op_cond alg2 op2))
+          (Alg.ops alg1);
+        check_int "deps" (List.length (Alg.dependencies alg1))
+          (List.length (Alg.dependencies alg2));
+        check_int "media" (Arch.medium_count app.Sdx.architecture)
+          (Arch.medium_count app2.Sdx.architecture);
+        check_true "pins" (app.Sdx.pins = app2.Sdx.pins);
+        (* durations survive, including BCETs and exact periods *)
+        check_true "wcet" (Dur.wcet app2.Sdx.durations ~op:"costly" ~operator:"P1" = Some 0.03);
+        check_true "bcet" (Dur.bcet app2.Sdx.durations ~op:"costly" ~operator:"P1" = Some 0.01);
+        check_float ~eps:0. "period" (Alg.period alg1) (Alg.period alg2));
+    test "round-trip schedules identically" (fun () ->
+        let app = Sdx.parse sample in
+        let app2 = Sdx.parse (Sdx.print app) in
+        let mk app =
+          (Aaa.Adequation.run ~pins:app.Sdx.pins ~algorithm:app.Sdx.algorithm
+             ~architecture:app.Sdx.architecture ~durations:app.Sdx.durations ())
+            .Aaa.Schedule.makespan
+        in
+        check_float ~eps:0. "same makespan" (mk app) (mk app2));
+    test "unknown kind rejected" (fun () ->
+        match
+          Sdx.parse
+            {|(application
+                (algorithm (name x) (period 1)
+                  (operation (name a) (kind widget)))
+                (architecture (name y) (operator P0)))|}
+        with
+        | exception Failure msg -> check_true "mentions kind" (contains msg "kind")
+        | _ -> Alcotest.fail "expected Failure");
+    test "dangling dependency name rejected" (fun () ->
+        match
+          Sdx.parse
+            {|(application
+                (algorithm (name x) (period 1)
+                  (operation (name a) (kind sensor) (outputs 1))
+                  (dependency (from a 0) (to ghost 0)))
+                (architecture (name y) (operator P0)))|}
+        with
+        | exception Failure msg -> check_true "mentions name" (contains msg "ghost")
+        | _ -> Alcotest.fail "expected Failure");
+    test "missing sections rejected" (fun () ->
+        (match Sdx.parse "(application (architecture (name y) (operator P0)))" with
+        | exception Failure msg -> check_true "algorithm" (contains msg "algorithm")
+        | _ -> Alcotest.fail "expected Failure");
+        match Sdx.parse "(application (algorithm (name x) (period 1)))" with
+        | exception Failure msg -> check_true "architecture" (contains msg "architecture")
+        | _ -> Alcotest.fail "expected Failure");
+    test "unknown operator in durations rejected" (fun () ->
+        match
+          Sdx.parse
+            {|(application
+                (algorithm (name x) (period 1)
+                  (operation (name a) (kind sensor) (outputs 1)))
+                (architecture (name y) (operator P0))
+                (durations (wcet a P9 0.1)))|}
+        with
+        | exception Failure msg -> check_true "mentions operator" (contains msg "P9")
+        | _ -> Alcotest.fail "expected Failure");
+    test "shipped example file loads and schedules" (fun () ->
+        (* the repository's examples/data/dc_motor.sdx; path relative to
+           the dune test runner's directory *)
+        let candidates =
+          [ "../examples/data/dc_motor.sdx"; "examples/data/dc_motor.sdx";
+            "../../../examples/data/dc_motor.sdx" ]
+        in
+        match List.find_opt Sys.file_exists candidates with
+        | None -> () (* skip silently when the data dir is not visible *)
+        | Some path ->
+            let app = Sdx.load path in
+            let sched =
+              Aaa.Adequation.run ~pins:app.Sdx.pins ~algorithm:app.Sdx.algorithm
+                ~architecture:app.Sdx.architecture ~durations:app.Sdx.durations ()
+            in
+            check_true "fits" (Aaa.Schedule.fits_period sched));
+  ]
+
+let schedule_io_tests =
+  [
+    test "schedule round-trips through its textual form" (fun () ->
+        let app = Sdx.parse sample in
+        let sched =
+          Aaa.Adequation.run ~pins:app.Sdx.pins ~algorithm:app.Sdx.algorithm
+            ~architecture:app.Sdx.architecture ~durations:app.Sdx.durations ()
+        in
+        let restored =
+          Aaa.Schedule_io.parse ~algorithm:app.Sdx.algorithm
+            ~architecture:app.Sdx.architecture
+            (Aaa.Schedule_io.print sched)
+        in
+        check_float ~eps:0. "makespan" sched.Aaa.Schedule.makespan
+          restored.Aaa.Schedule.makespan;
+        check_int "comp slots" (List.length sched.Aaa.Schedule.comp)
+          (List.length restored.Aaa.Schedule.comp);
+        check_int "comm slots" (List.length sched.Aaa.Schedule.comm)
+          (List.length restored.Aaa.Schedule.comm);
+        (* identical mapping *)
+        List.iter
+          (fun op ->
+            check_true "same operator"
+              (Aaa.Schedule.operator_of sched op = Aaa.Schedule.operator_of restored op))
+          (Alg.ops app.Sdx.algorithm));
+    test "loading against a different application fails loudly" (fun () ->
+        let app = Sdx.parse sample in
+        let sched =
+          Aaa.Adequation.run ~pins:app.Sdx.pins ~algorithm:app.Sdx.algorithm
+            ~architecture:app.Sdx.architecture ~durations:app.Sdx.durations ()
+        in
+        let text = Aaa.Schedule_io.print sched in
+        let other = Alg.create ~name:"other" ~period:1. in
+        match
+          Aaa.Schedule_io.parse ~algorithm:other ~architecture:app.Sdx.architecture text
+        with
+        | exception Failure msg -> check_true "names the mismatch" (contains msg "other")
+        | _ -> Alcotest.fail "expected Failure");
+    test "a corrupted schedule is rejected by revalidation" (fun () ->
+        let app = Sdx.parse sample in
+        let sched =
+          Aaa.Adequation.run ~pins:app.Sdx.pins ~algorithm:app.Sdx.algorithm
+            ~architecture:app.Sdx.architecture ~durations:app.Sdx.durations ()
+        in
+        (* drop all transfers: precedence across operators now fails *)
+        let text =
+          Aaa.Schedule_io.print { sched with Aaa.Schedule.comm = [] }
+        in
+        if sched.Aaa.Schedule.comm = [] then ()
+        else
+          match
+            Aaa.Schedule_io.parse ~algorithm:app.Sdx.algorithm
+              ~architecture:app.Sdx.architecture text
+          with
+          | exception Invalid_argument _ -> ()
+          | exception Failure _ -> ()
+          | _ -> Alcotest.fail "expected rejection");
+  ]
+
+let suites =
+  [
+    ("aaa.sexp", sexp_tests);
+    ("aaa.sdx", sdx_tests);
+    ("aaa.schedule_io", schedule_io_tests);
+  ]

@@ -1,0 +1,394 @@
+open Helpers
+module G = Dataflow.Graph
+module C = Dataflow.Clib
+module E = Dataflow.Eventlib
+module B = Dataflow.Block
+
+(* ------------------------------------------------------------------ *)
+(* Event queue *)
+
+let queue_tests =
+  [
+    test "pop returns earliest time" (fun () ->
+        let q = Sim.Event_queue.create () in
+        Sim.Event_queue.push q ~time:2. ~priority:0 "b";
+        Sim.Event_queue.push q ~time:1. ~priority:0 "a";
+        check_true "a first" (Sim.Event_queue.pop q = Some (1., "a"));
+        check_true "b second" (Sim.Event_queue.pop q = Some (2., "b"));
+        check_true "empty" (Sim.Event_queue.pop q = None));
+    test "priority breaks time ties" (fun () ->
+        let q = Sim.Event_queue.create () in
+        Sim.Event_queue.push q ~time:1. ~priority:5 "low";
+        Sim.Event_queue.push q ~time:1. ~priority:1 "high";
+        check_true "high first" (Sim.Event_queue.pop q = Some (1., "high")));
+    test "sequence breaks priority ties (FIFO)" (fun () ->
+        let q = Sim.Event_queue.create () in
+        Sim.Event_queue.push q ~time:1. ~priority:0 "first";
+        Sim.Event_queue.push q ~time:1. ~priority:0 "second";
+        check_true "fifo" (Sim.Event_queue.pop q = Some (1., "first")));
+    test "peek does not remove" (fun () ->
+        let q = Sim.Event_queue.create () in
+        Sim.Event_queue.push q ~time:3. ~priority:0 ();
+        check_true "peek" (Sim.Event_queue.peek_time q = Some 3.);
+        check_int "still there" 1 (Sim.Event_queue.length q));
+    test "clear empties" (fun () ->
+        let q = Sim.Event_queue.create () in
+        Sim.Event_queue.push q ~time:1. ~priority:0 ();
+        Sim.Event_queue.clear q;
+        check_true "empty" (Sim.Event_queue.is_empty q));
+    qtest "pop sequence is sorted" ~count:100
+      QCheck2.Gen.(list_size (int_range 0 50) (pair (float_range 0. 100.) (int_range 0 5)))
+      (fun entries ->
+        let q = Sim.Event_queue.create () in
+        List.iter (fun (t, p) -> Sim.Event_queue.push q ~time:t ~priority:p ()) entries;
+        let rec drain last =
+          match Sim.Event_queue.pop q with
+          | None -> true
+          | Some (t, ()) -> t >= last && drain t
+        in
+        drain neg_infinity);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let trace_tests =
+  [
+    test "record and read back" (fun () ->
+        let tr = Sim.Trace.create ~width:2 in
+        Sim.Trace.record tr 0. [| 1.; 2. |];
+        Sim.Trace.record tr 1. [| 3.; 4. |];
+        check_int "length" 2 (Sim.Trace.length tr);
+        check_vec "times" [| 0.; 1. |] (Sim.Trace.times tr));
+    test "same-time sample replaces previous" (fun () ->
+        let tr = Sim.Trace.create ~width:1 in
+        Sim.Trace.record tr 1. [| 1. |];
+        Sim.Trace.record tr 1. [| 2. |];
+        check_int "one sample" 1 (Sim.Trace.length tr);
+        (match Sim.Trace.last tr with
+        | Some (_, v) -> check_float "latest" 2. v.(0)
+        | None -> Alcotest.fail "expected sample"));
+    test "width mismatch raises" (fun () ->
+        let tr = Sim.Trace.create ~width:2 in
+        check_raises_invalid "width" (fun () -> Sim.Trace.record tr 0. [| 1. |]));
+    test "component extracts metric trace" (fun () ->
+        let tr = Sim.Trace.create ~width:2 in
+        Sim.Trace.record tr 0. [| 1.; 5. |];
+        Sim.Trace.record tr 1. [| 2.; 6. |];
+        let m = Sim.Trace.component tr 1 in
+        check_vec "values" [| 5.; 6. |] m.Control.Metrics.values);
+    test "clear resets" (fun () ->
+        let tr = Sim.Trace.create ~width:1 in
+        Sim.Trace.record tr 0. [| 1. |];
+        Sim.Trace.clear tr;
+        check_int "empty" 0 (Sim.Trace.length tr));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+(* integrator driven by a constant: x(t) = t *)
+let engine_integrator () =
+  let g = G.create () in
+  let src = G.add g (C.constant [| 1. |]) in
+  let integ = G.add g (C.integrator [| 0. |]) in
+  G.connect_data g ~src:(src, 0) ~dst:(integ, 0);
+  (g, integ)
+
+let engine_tests =
+  [
+    test "pure continuous integration" (fun () ->
+        let g, integ = engine_integrator () in
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"x" ~block:integ ~port:0;
+        Sim.Engine.run ~t_end:2. e;
+        match Sim.Trace.last (Sim.Engine.probe e "x") with
+        | Some (t, v) ->
+            check_float ~eps:1e-12 "t_end" 2. t;
+            check_float ~eps:1e-6 "x = t" 2. v.(0)
+        | None -> Alcotest.fail "no samples");
+    test "clock ticks at the expected instants" (fun () ->
+        let g = G.create () in
+        let clock = G.add g (E.clock ~period:0.25 ()) in
+        let counter = G.add g (E.event_counter ()) in
+        G.connect_event g ~src:(clock, 0) ~dst:(counter, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:1. e;
+        (* ticks at 0, .25, .5, .75, 1 *)
+        let acts = Sim.Engine.activations e ~block:counter in
+        check_int "five ticks" 5 (List.length acts);
+        check_float ~eps:1e-12 "first at 0" 0. (List.hd acts));
+    test "clock offset delays first tick" (fun () ->
+        let g = G.create () in
+        let clock = G.add g (E.clock ~offset:0.1 ~period:1. ()) in
+        let counter = G.add g (E.event_counter ()) in
+        G.connect_event g ~src:(clock, 0) ~dst:(counter, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:0.5 e;
+        check_true "tick at 0.1"
+          (match Sim.Engine.activations e ~block:counter with
+          | [ t ] -> Float.abs (t -. 0.1) < 1e-12
+          | _ -> false));
+    test "sample_hold latches at events only" (fun () ->
+        let g = G.create () in
+        let src = G.add g (C.sine_source ~freq_hz:1. ()) in
+        let sh = G.add g (C.sample_hold 1) in
+        let clock = G.add g (E.clock ~period:0.25 ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(sh, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(sh, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"held" ~block:sh ~port:0;
+        Sim.Engine.run ~t_end:0.25 e;
+        (* at t = 0.25 the S/H latches sin(2π·0.25) = 1 *)
+        (match Sim.Trace.last (Sim.Engine.probe e "held") with
+        | Some (_, v) -> check_float ~eps:1e-6 "latched peak" 1. v.(0)
+        | None -> Alcotest.fail "no samples"));
+    test "simultaneous events ordered by data dependency" (fun () ->
+        (* source S/H feeding consumer S/H, both activated by the same
+           clock: the consumer must see the freshly latched value *)
+        let g = G.create () in
+        let src = G.add g (C.constant [| 42. |]) in
+        let first = G.add g (C.sample_hold ~name:"first" 1) in
+        let second = G.add g (C.sample_hold ~name:"second" 1) in
+        let clock = G.add g (E.clock ~period:1. ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(first, 0);
+        G.connect_data g ~src:(first, 0) ~dst:(second, 0);
+        (* connect in reverse order to prove ordering is structural,
+           not insertion-based *)
+        G.connect_event g ~src:(clock, 0) ~dst:(second, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(first, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"out" ~block:second ~port:0;
+        Sim.Engine.run ~t_end:0. e;
+        (match Sim.Trace.last (Sim.Engine.probe e "out") with
+        | Some (_, v) -> check_float "propagated same instant" 42. v.(0)
+        | None -> Alcotest.fail "no samples"));
+    test "event_delay shifts activation in time" (fun () ->
+        let g = G.create () in
+        let start = G.add g (E.initial_event ~at:0.5 ()) in
+        let delay = G.add g (E.event_delay ~delay:0.2 ()) in
+        let latch = G.add g (E.event_latch_time ()) in
+        G.connect_event g ~src:(start, 0) ~dst:(delay, 0);
+        G.connect_event g ~src:(delay, 0) ~dst:(latch, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"t" ~block:latch ~port:0;
+        Sim.Engine.run ~t_end:1. e;
+        (match Sim.Trace.last (Sim.Engine.probe e "t") with
+        | Some (_, v) -> check_float ~eps:1e-9 "0.5 + 0.2" 0.7 v.(0)
+        | None -> Alcotest.fail "no samples"));
+    test "event_source replays its schedule" (fun () ->
+        let g = G.create () in
+        let src = G.add g (E.event_source [| 0.1; 0.4; 0.45 |]) in
+        let counter = G.add g (E.event_counter ()) in
+        G.connect_event g ~src:(src, 0) ~dst:(counter, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:1. e;
+        let acts = Sim.Engine.activations e ~block:counter in
+        check_int "three" 3 (List.length acts);
+        List.iter2
+          (fun expected actual -> check_float ~eps:1e-9 "instant" expected actual)
+          [ 0.1; 0.4; 0.45 ] acts);
+    test "event_select routes by condition" (fun () ->
+        let g = G.create () in
+        let cond = G.add g (C.constant [| 1. |]) in
+        let select = G.add g (E.event_select ~channels:2 ~mapping:int_of_float ()) in
+        let c0 = G.add g (E.event_counter ~name:"c0" ()) in
+        let c1 = G.add g (E.event_counter ~name:"c1" ()) in
+        let clock = G.add g (E.clock ~period:0.5 ()) in
+        G.connect_data g ~src:(cond, 0) ~dst:(select, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(select, 0);
+        G.connect_event g ~src:(select, 0) ~dst:(c0, 0);
+        G.connect_event g ~src:(select, 1) ~dst:(c1, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:1. e;
+        check_int "channel 0 unused" 0 (List.length (Sim.Engine.activations e ~block:c0));
+        check_int "channel 1 used" 3 (List.length (Sim.Engine.activations e ~block:c1)));
+    test "synchronization waits for all inputs" (fun () ->
+        let g = G.create () in
+        let a = G.add g (E.initial_event ~name:"a" ~at:0.1 ()) in
+        let b = G.add g (E.initial_event ~name:"b" ~at:0.4 ()) in
+        let sync = G.add g (E.synchronization ~inputs:2 ()) in
+        let latch = G.add g (E.event_latch_time ()) in
+        G.connect_event g ~src:(a, 0) ~dst:(sync, 0);
+        G.connect_event g ~src:(b, 0) ~dst:(sync, 1);
+        G.connect_event g ~src:(sync, 0) ~dst:(latch, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"t" ~block:latch ~port:0;
+        Sim.Engine.run ~t_end:1. e;
+        (match Sim.Trace.last (Sim.Engine.probe e "t") with
+        | Some (_, v) -> check_float ~eps:1e-9 "fires at the later input" 0.4 v.(0)
+        | None -> Alcotest.fail "no samples"));
+    test "synchronization resets after firing" (fun () ->
+        let g = G.create () in
+        let clock_fast = G.add g (E.clock ~period:0.2 ()) in
+        let clock_slow = G.add g (E.clock ~period:0.4 ()) in
+        let sync = G.add g (E.synchronization ~inputs:2 ()) in
+        let counter = G.add g (E.event_counter ()) in
+        G.connect_event g ~src:(clock_fast, 0) ~dst:(sync, 0);
+        G.connect_event g ~src:(clock_slow, 0) ~dst:(sync, 1);
+        G.connect_event g ~src:(sync, 0) ~dst:(counter, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:1. e;
+        (* fires at 0, 0.4, 0.8: rate limited by the slow clock *)
+        check_int "three firings" 3 (List.length (Sim.Engine.activations e ~block:counter)));
+    test "unit_delay delays by one activation" (fun () ->
+        let g = G.create () in
+        let counter = G.add g (E.event_counter ()) in
+        let delay = G.add g (C.unit_delay [| 0. |]) in
+        let clock = G.add g (E.clock ~period:1. ()) in
+        G.connect_data g ~src:(counter, 0) ~dst:(delay, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(counter, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(delay, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"d" ~block:delay ~port:0;
+        Sim.Engine.run ~t_end:3. e;
+        (* counter after t=3 is 4; the delay holds the value sampled
+           one tick earlier *)
+        (match Sim.Trace.last (Sim.Engine.probe e "d") with
+        | Some (_, v) -> check_true "delayed" (v.(0) <= 3.)
+        | None -> Alcotest.fail "no samples"));
+    test "reset allows identical re-run" (fun () ->
+        let g, integ = engine_integrator () in
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"x" ~block:integ ~port:0;
+        Sim.Engine.run ~t_end:1. e;
+        let first = Sim.Trace.last (Sim.Engine.probe e "x") in
+        Sim.Engine.reset e;
+        Sim.Engine.run ~t_end:1. e;
+        let second = Sim.Trace.last (Sim.Engine.probe e "x") in
+        (match (first, second) with
+        | Some (_, v1), Some (_, v2) -> check_float ~eps:1e-12 "identical" v1.(0) v2.(0)
+        | (Some _ | None), _ -> Alcotest.fail "missing samples"));
+    test "run can be continued" (fun () ->
+        let g, integ = engine_integrator () in
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"x" ~block:integ ~port:0;
+        Sim.Engine.run ~t_end:1. e;
+        Sim.Engine.run ~t_end:2. e;
+        check_float ~eps:1e-12 "time" 2. (Sim.Engine.now e);
+        match Sim.Trace.last (Sim.Engine.probe e "x") with
+        | Some (_, v) -> check_float ~eps:1e-6 "x = 2" 2. v.(0)
+        | None -> Alcotest.fail "no samples");
+    test "duplicate probe name rejected" (fun () ->
+        let g, integ = engine_integrator () in
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"x" ~block:integ ~port:0;
+        check_raises_invalid "dup" (fun () ->
+            Sim.Engine.add_probe e ~name:"x" ~block:integ ~port:0));
+    test "event_log records deliveries in order" (fun () ->
+        let g = G.create () in
+        let clock = G.add g (E.clock ~period:0.5 ()) in
+        let counter = G.add g (E.event_counter ~name:"cnt" ()) in
+        G.connect_event g ~src:(clock, 0) ~dst:(counter, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:1. e;
+        let log = Sim.Engine.event_log e in
+        let times = List.map (fun (t, _, _) -> t) log in
+        check_true "sorted" (List.sort compare times = times);
+        check_true "mentions counter" (List.exists (fun (_, n, _) -> n = "cnt") log));
+    test "closed loop tracks reference (PID on lag)" (fun () ->
+        let plant = Control.Plants.first_order ~tau:0.5 ~gain:1. in
+        let ts = 0.05 in
+        let g = G.create () in
+        let p = G.add g (C.lti_continuous ~x0:[| 0. |] plant) in
+        let r = G.add g (C.constant [| 2. |]) in
+        let sh = G.add g (C.sample_hold 1) in
+        let pid =
+          G.add g
+            (C.pid (Control.Pid.create ~gains:{ Control.Pid.kp = 4.; ki = 8.; kd = 0. } ~ts ()))
+        in
+        let hold = G.add g (C.sample_hold 1) in
+        let clock = G.add g (E.clock ~period:ts ()) in
+        G.connect_data g ~src:(p, 0) ~dst:(sh, 0);
+        G.connect_data g ~src:(r, 0) ~dst:(pid, 0);
+        G.connect_data g ~src:(sh, 0) ~dst:(pid, 1);
+        G.connect_data g ~src:(pid, 0) ~dst:(hold, 0);
+        G.connect_data g ~src:(hold, 0) ~dst:(p, 0);
+        List.iter (fun b -> G.connect_event g ~src:(clock, 0) ~dst:(b, 0)) [ sh; pid; hold ];
+        let e = Sim.Engine.create g in
+        Sim.Engine.add_probe e ~name:"y" ~block:p ~port:0;
+        Sim.Engine.run ~t_end:8. e;
+        let sse =
+          Control.Metrics.steady_state_error ~reference:2.
+            (Sim.Engine.probe_component e "y" 0)
+        in
+        check_true "tracks" (Float.abs sse < 0.01));
+    test "divider forwards every Nth event" (fun () ->
+        let g = G.create () in
+        let clock = G.add g (E.clock ~period:0.1 ()) in
+        let div3 = G.add g (E.divider ~factor:3 ()) in
+        let counter = G.add g (E.event_counter ()) in
+        G.connect_event g ~src:(clock, 0) ~dst:(div3, 0);
+        G.connect_event g ~src:(div3, 0) ~dst:(counter, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:1. e;
+        (* 11 ticks at 0, 0.1, …, 1.0 → forwarded at 0, 0.3, 0.6, 0.9 *)
+        let acts = Sim.Engine.activations e ~block:counter in
+        check_int "4 forwarded" 4 (List.length acts);
+        check_float ~eps:1e-9 "second at 0.3" 0.3 (List.nth acts 1));
+    test "divider phase selects a later event in each group" (fun () ->
+        let g = G.create () in
+        let clock = G.add g (E.clock ~period:0.1 ()) in
+        let div = G.add g (E.divider ~factor:3 ~phase:1 ()) in
+        let counter = G.add g (E.event_counter ()) in
+        G.connect_event g ~src:(clock, 0) ~dst:(div, 0);
+        G.connect_event g ~src:(div, 0) ~dst:(counter, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:1. e;
+        (match Sim.Engine.activations e ~block:counter with
+        | first :: _ -> check_float ~eps:1e-9 "first at 0.1" 0.1 first
+        | [] -> Alcotest.fail "no events");
+        check_raises_invalid "factor" (fun () -> ignore (E.divider ~factor:0 ()));
+        check_raises_invalid "phase" (fun () -> ignore (E.divider ~factor:2 ~phase:2 ())));
+    test "merge inlines a sub-diagram with its wiring intact" (fun () ->
+        (* sub-diagram: constant -> gain, to be embedded and extended *)
+        let sub = G.create () in
+        let c = G.add sub (C.constant [| 2. |]) in
+        let gn = G.add sub (C.gain 3.) in
+        G.connect_data sub ~src:(c, 0) ~dst:(gn, 0);
+        let target = G.create () in
+        let outer_gain = G.add target (C.gain 10.) in
+        let translate = G.merge target sub in
+        G.connect_data target ~src:(translate gn, 0) ~dst:(outer_gain, 0);
+        let e = Sim.Engine.create target in
+        Sim.Engine.add_probe e ~name:"y" ~block:outer_gain ~port:0;
+        Sim.Engine.run ~t_end:0.1 e;
+        (match Sim.Trace.last (Sim.Engine.probe e "y") with
+        | Some (_, v) -> check_float ~eps:1e-12 "2*3*10" 60. v.(0)
+        | None -> Alcotest.fail "no samples"));
+    test "merge preserves event links of the sub-diagram" (fun () ->
+        let sub = G.create () in
+        let clock = G.add sub (E.clock ~period:0.25 ()) in
+        let counter = G.add sub (E.event_counter ()) in
+        G.connect_event sub ~src:(clock, 0) ~dst:(counter, 0);
+        let target = G.create () in
+        let translate = G.merge target sub in
+        let e = Sim.Engine.create target in
+        Sim.Engine.run ~t_end:1. e;
+        check_int "clock survived the merge" 5
+          (List.length (Sim.Engine.activations e ~block:(translate counter))));
+    test "stroboscopic S/H pair samples and actuates simultaneously" (fun () ->
+        (* the Fig. 2 property: with one clock, measured sampling and
+           actuation latencies are zero *)
+        let g = G.create () in
+        let src = G.add g (C.constant [| 1. |]) in
+        let sh_in = G.add g (C.sample_hold ~name:"sh_in" 1) in
+        let sh_out = G.add g (C.sample_hold ~name:"sh_out" 1) in
+        let clock = G.add g (E.clock ~period:0.5 ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(sh_in, 0);
+        G.connect_data g ~src:(sh_in, 0) ~dst:(sh_out, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(sh_in, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(sh_out, 0);
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:2. e;
+        let t_in = Sim.Engine.activations e ~block:sh_in in
+        let t_out = Sim.Engine.activations e ~block:sh_out in
+        List.iter2 (fun a b -> check_float ~eps:1e-12 "same instant" a b) t_in t_out);
+  ]
+
+let suites =
+  [
+    ("sim.event_queue", queue_tests);
+    ("sim.trace", trace_tests);
+    ("sim.engine", engine_tests);
+  ]

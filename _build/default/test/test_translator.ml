@@ -1,0 +1,404 @@
+open Helpers
+module G = Dataflow.Graph
+module C = Dataflow.Clib
+module E = Dataflow.Eventlib
+module Alg = Aaa.Algorithm
+module Arch = Aaa.Architecture
+module Dur = Aaa.Durations
+module Sched = Aaa.Schedule
+module Adq = Aaa.Adequation
+module S2S = Translator.Scicos_to_syndex
+module DG = Translator.Delay_graph
+module TM = Translator.Temporal_model
+
+(* The Fig. 2 loop: plant, sampler, pid, hold, reference. *)
+let fig2_loop () =
+  let plant = Control.Plants.first_order ~tau:0.5 ~gain:1. in
+  let g = G.create () in
+  let p = G.add g (C.lti_continuous ~name:"plant" ~x0:[| 0. |] plant) in
+  let r = G.add g (C.constant ~name:"reference" [| 1. |]) in
+  let sh = G.add g (C.sample_hold ~name:"sample_y" 1) in
+  let pid =
+    G.add g
+      (C.pid ~name:"pid"
+         (Control.Pid.create ~gains:{ Control.Pid.kp = 3.; ki = 4.; kd = 0. } ~ts:0.05 ()))
+  in
+  let hold = G.add g (C.sample_hold ~name:"hold_u" 1) in
+  G.connect_data g ~src:(p, 0) ~dst:(sh, 0);
+  G.connect_data g ~src:(r, 0) ~dst:(pid, 0);
+  G.connect_data g ~src:(sh, 0) ~dst:(pid, 1);
+  G.connect_data g ~src:(pid, 0) ~dst:(hold, 0);
+  G.connect_data g ~src:(hold, 0) ~dst:(p, 0);
+  (g, p, r, sh, pid, hold)
+
+let fig2_extracted () =
+  let g, _, r, sh, pid, hold = fig2_loop () in
+  let alg, binding =
+    S2S.extract g { S2S.members = [ r; sh; pid; hold ]; memories = []; period = 0.05 }
+  in
+  (g, alg, binding, (r, sh, pid, hold))
+
+let uniform_durations alg operators value =
+  let d = Dur.create () in
+  List.iter
+    (fun op -> Dur.set_everywhere d ~op:(Alg.op_name alg op) ~operators value)
+    (Alg.ops alg);
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Extraction *)
+
+let extraction_tests =
+  [
+    test "fig2 classification" (fun () ->
+        let _, alg, binding, (r, sh, pid, hold) = fig2_extracted () in
+        let kind b = Alg.op_kind alg (Option.get (S2S.op_of_block binding b)) in
+        check_true "sampler is sensor" (kind sh = Alg.Sensor);
+        check_true "pid is compute" (kind pid = Alg.Compute);
+        check_true "hold is actuator" (kind hold = Alg.Actuator);
+        check_true "reference is compute" (kind r = Alg.Compute));
+    test "fig2 dependencies preserved" (fun () ->
+        let _, alg, _, _ = fig2_extracted () in
+        Alg.validate alg;
+        check_int "ops" 4 (Alg.op_count alg);
+        (* reference→pid, sample→pid, pid→hold *)
+        check_int "deps" 3 (List.length (Alg.dependencies alg)));
+    test "binding is a bijection on members" (fun () ->
+        let _, alg, binding, (r, sh, pid, hold) = fig2_extracted () in
+        List.iter
+          (fun b ->
+            let op = Option.get (S2S.op_of_block binding b) in
+            check_true "roundtrip" (S2S.block_of_op binding op = b))
+          [ r; sh; pid; hold ];
+        check_int "all ops bound" 4 (Alg.op_count alg));
+    test "period propagates" (fun () ->
+        let _, alg, _, _ = fig2_extracted () in
+        check_float "Ts" 0.05 (Alg.period alg));
+    test "block both sensor and actuator rejected" (fun () ->
+        let g = G.create () in
+        let plant =
+          G.add g
+            (C.lti_continuous ~name:"plant" ~x0:[| 0. |]
+               (Control.Plants.first_order ~tau:1. ~gain:1.))
+        in
+        let sh = G.add g (C.sample_hold ~name:"loop" 1) in
+        G.connect_data g ~src:(plant, 0) ~dst:(sh, 0);
+        G.connect_data g ~src:(sh, 0) ~dst:(plant, 0);
+        check_raises_invalid "conflict" (fun () ->
+            ignore (S2S.extract g { S2S.members = [ sh ]; memories = []; period = 0.1 })));
+    test "empty member set rejected" (fun () ->
+        let g = G.create () in
+        check_raises_invalid "empty" (fun () ->
+            ignore (S2S.extract g { S2S.members = []; memories = []; period = 0.1 })));
+    test "memory must be a member" (fun () ->
+        let g = G.create () in
+        let c = G.add g (C.constant [| 0. |]) in
+        let d = G.add g (C.unit_delay [| 0. |]) in
+        G.connect_data g ~src:(c, 0) ~dst:(d, 0);
+        check_raises_invalid "memories" (fun () ->
+            ignore (S2S.extract g { S2S.members = [ c ]; memories = [ d ]; period = 0.1 })));
+    test "unit delay becomes a memory operation" (fun () ->
+        let g = G.create () in
+        let c = G.add g (C.constant ~name:"src" [| 0. |]) in
+        let d = G.add g (C.unit_delay ~name:"z" [| 0. |]) in
+        let k = G.add g (C.stateful ~name:"use" ~in_widths:[| 1 |] ~out_widths:[| 1 |] Fun.id) in
+        G.connect_data g ~src:(c, 0) ~dst:(d, 0);
+        G.connect_data g ~src:(d, 0) ~dst:(k, 0);
+        let alg, binding =
+          S2S.extract g { S2S.members = [ c; d; k ]; memories = [ d ]; period = 0.1 }
+        in
+        check_true "memory kind"
+          (Alg.op_kind alg (Option.get (S2S.op_of_block binding d)) = Alg.Memory));
+    test "declare_condition tags operations" (fun () ->
+        let g = G.create () in
+        let m = G.add g (C.stateful ~name:"mode" ~in_widths:[||] ~out_widths:[| 1 |] Fun.id) in
+        let b0 = G.add g (C.stateful ~name:"b0" ~in_widths:[||] ~out_widths:[| 1 |] Fun.id) in
+        let alg, binding =
+          S2S.extract g { S2S.members = [ m; b0 ]; memories = []; period = 0.1 }
+        in
+        S2S.declare_condition binding ~algorithm:alg ~var:"mode" ~source:(m, 0)
+          ~ops:[ (b0, 0) ];
+        Alg.validate alg;
+        let op_b0 = Option.get (S2S.op_of_block binding b0) in
+        check_true "tagged" (Alg.op_cond alg op_b0 = Some { Alg.var = "mode"; value = 0 }));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Temporal model *)
+
+let temporal_model_tests =
+  [
+    test "static offsets from a schedule" (fun () ->
+        let _, alg, _, _ = fig2_extracted () in
+        let arch = Arch.single () in
+        let d = uniform_durations alg [ "P0" ] 0.005 in
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        let tm = TM.of_schedule sched in
+        check_true "fits" tm.TM.fits_period;
+        check_int "one sensor" 1 (List.length tm.TM.sampling_offsets);
+        check_int "one actuator" 1 (List.length tm.TM.actuation_offsets);
+        (* actuation comes after sampling in any valid chain *)
+        let ls = snd (List.hd tm.TM.sampling_offsets) in
+        let la = snd (List.hd tm.TM.actuation_offsets) in
+        check_true "La > Ls" (la > ls);
+        check_float ~eps:1e-9 "io latency" la (TM.io_latency tm));
+    test "measured series match static replay under WCET law" (fun () ->
+        let _, alg, _, _ = fig2_extracted () in
+        let arch = Arch.single () in
+        let d = uniform_durations alg [ "P0" ] 0.005 in
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        let exe = Aaa.Codegen.generate sched in
+        let trace =
+          Exec.Machine.run
+            ~config:{ Exec.Machine.default_config with law = Exec.Timing_law.Wcet }
+            exe
+        in
+        let tm = TM.of_schedule sched in
+        List.iter2
+          (fun (op_s, offset) (series : TM.series) ->
+            check_true "same op" (op_s = series.TM.op);
+            check_float ~eps:1e-9 "mean = static" offset series.TM.mean;
+            check_float ~eps:1e-9 "no jitter" 0. series.TM.jitter)
+          tm.TM.sampling_offsets (TM.sampling_series trace));
+    test "pp functions produce text" (fun () ->
+        let _, alg, _, _ = fig2_extracted () in
+        let arch = Arch.single () in
+        let d = uniform_durations alg [ "P0" ] 0.005 in
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        let tm = TM.of_schedule sched in
+        let s = Format.asprintf "%a" TM.pp_static tm in
+        check_true "mentions period" (contains s "period"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Delay graph: Figs. 4 & 5 and the synchronization translation *)
+
+let delay_graph_tests =
+  [
+    test "fig4: sequencing — events at schedule completion instants" (fun () ->
+        (* three operations on one processor; the delay-chain must fire
+           F1, F2, F3 completion events at their scheduled finish times *)
+        let _, alg, binding, (_, sh, pid, hold) = fig2_extracted () in
+        let arch = Arch.single () in
+        let d = Dur.create () in
+        Dur.set d ~op:"reference" ~operator:"P0" 0.001;
+        Dur.set d ~op:"sample_y" ~operator:"P0" 0.002;
+        Dur.set d ~op:"pid" ~operator:"P0" 0.007;
+        Dur.set d ~op:"hold_u" ~operator:"P0" 0.003;
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        (* fresh loop instance (ids identical by construction) *)
+        let g2, _, _, _, _, _ = fig2_loop () in
+        let _dg =
+          Translator.Cosim.attach_delay_graph ~graph:g2 ~schedule:sched ~binding ()
+        in
+        let e = Sim.Engine.create g2 in
+        Sim.Engine.run ~t_end:0.049 e (* one period only *);
+        let check_block_instant block op_name =
+          let op = Option.get (Alg.find_op alg op_name) in
+          let slot = Sched.slot_of sched op in
+          match Sim.Engine.activations e ~block with
+          | [ t ] ->
+              check_float ~eps:1e-9
+                (op_name ^ " at its completion")
+                (slot.Sched.cs_start +. slot.Sched.cs_duration)
+                t
+          | l -> Alcotest.failf "expected 1 activation of %s, got %d" op_name (List.length l)
+        in
+        check_block_instant sh "sample_y";
+        check_block_instant pid "pid";
+        check_block_instant hold "hold_u");
+    test "fig4: second iteration shifted by one period" (fun () ->
+        let _, alg, binding, (_, sh, _, _) = fig2_extracted () in
+        let arch = Arch.single () in
+        let d = uniform_durations alg [ "P0" ] 0.004 in
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        let g2, _, _, _, _, _ = fig2_loop () in
+        let _ = Translator.Cosim.attach_delay_graph ~graph:g2 ~schedule:sched ~binding () in
+        let e = Sim.Engine.create g2 in
+        Sim.Engine.run ~t_end:0.09 e;
+        (match Sim.Engine.activations e ~block:sh with
+        | [ t0; t1 ] -> check_float ~eps:1e-9 "period shift" 0.05 (t1 -. t0)
+        | l -> Alcotest.failf "expected 2 activations, got %d" (List.length l)));
+    test "synchronisation: cross-processor transfer delays the consumer" (fun () ->
+        let _, alg, binding, (_, _, pid, _) = fig2_extracted () in
+        let arch = Arch.bus_topology ~latency:0.003 ~time_per_word:0.001 [ "P0"; "P1" ] in
+        let d = Dur.create () in
+        Dur.set d ~op:"reference" ~operator:"P0" 0.001;
+        Dur.set d ~op:"sample_y" ~operator:"P0" 0.002;
+        Dur.set d ~op:"pid" ~operator:"P1" 0.007;
+        Dur.set d ~op:"hold_u" ~operator:"P1" 0.003;
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        check_true "transfers exist" (List.length sched.Sched.comm >= 1);
+        let g2, _, _, _, _, _ = fig2_loop () in
+        let _ = Translator.Cosim.attach_delay_graph ~graph:g2 ~schedule:sched ~binding () in
+        let e = Sim.Engine.create g2 in
+        Sim.Engine.run ~t_end:0.049 e;
+        let op_pid = Option.get (Alg.find_op alg "pid") in
+        let slot = Sched.slot_of sched op_pid in
+        (match Sim.Engine.activations e ~block:pid with
+        | [ t ] ->
+            check_float ~eps:1e-9 "pid completes after its transfer-gated slot"
+              (slot.Sched.cs_start +. slot.Sched.cs_duration)
+              t
+        | l -> Alcotest.failf "expected 1 activation, got %d" (List.length l)));
+    test "fig5: conditioning — branch chains selected by the condition value" (fun () ->
+        (* mode source + two branches with very different durations;
+           the actuation event time must follow the branch taken *)
+        let g = G.create () in
+        let mode_src =
+          G.add g (C.stateful ~name:"mode" ~in_widths:[||] ~out_widths:[| 1 |] (fun _ -> [| [| 1. |] |]))
+        in
+        let b0 =
+          G.add g (C.stateful ~name:"fast" ~in_widths:[||] ~out_widths:[| 1 |] (fun _ -> [| [| 0. |] |]))
+        in
+        let b1 =
+          G.add g (C.stateful ~name:"slow" ~in_widths:[||] ~out_widths:[| 1 |] (fun _ -> [| [| 0. |] |]))
+        in
+        let sink =
+          G.add g
+            (C.stateful ~name:"merge" ~in_widths:[| 1; 1 |] ~out_widths:[| 1 |] (fun i ->
+                 [| i.(0) |]))
+        in
+        G.connect_data g ~src:(b0, 0) ~dst:(sink, 0);
+        G.connect_data g ~src:(b1, 0) ~dst:(sink, 1);
+        let members = [ mode_src; b0; b1; sink ] in
+        let alg, binding = S2S.extract g { S2S.members; memories = []; period = 1. } in
+        S2S.declare_condition binding ~algorithm:alg ~var:"m" ~source:(mode_src, 0)
+          ~ops:[ (b0, 0); (b1, 1) ];
+        let arch = Arch.single () in
+        let d = Dur.create () in
+        Dur.set d ~op:"mode" ~operator:"P0" 0.01;
+        Dur.set d ~op:"fast" ~operator:"P0" 0.01;
+        Dur.set d ~op:"slow" ~operator:"P0" 0.4;
+        Dur.set d ~op:"merge" ~operator:"P0" 0.01;
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        (* rebuild an identical diagram for the co-simulation *)
+        let condition_feed var =
+          check_true "var name" (var = "m");
+          (mode_src, 0)
+        in
+        let _ =
+          Translator.Cosim.attach_delay_graph ~condition_feed ~graph:g ~schedule:sched
+            ~binding ()
+        in
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:0.99 e;
+        (* mode block outputs 1 → slow branch (0.4 s) runs, fast skipped *)
+        check_int "slow activated" 1 (List.length (Sim.Engine.activations e ~block:b1));
+        check_int "fast skipped" 0 (List.length (Sim.Engine.activations e ~block:b0)));
+    test "jittered mode draws delays within [bcet, wcet]" (fun () ->
+        let _, alg, binding, (_, sh, _, _) = fig2_extracted () in
+        let arch = Arch.single () in
+        let d = uniform_durations alg [ "P0" ] 0.004 in
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        let g2, _, _, _, _, _ = fig2_loop () in
+        let mode =
+          DG.Jittered { law = Exec.Timing_law.Uniform; bcet_frac = 0.5; seed = 3 }
+        in
+        let _ = Translator.Cosim.attach_delay_graph ~mode ~graph:g2 ~schedule:sched ~binding () in
+        let e = Sim.Engine.create g2 in
+        Sim.Engine.run ~t_end:1. e;
+        let lat = Translator.Cosim.measured_latencies e ~block:sh ~period:0.05 in
+        check_true "some activations" (Array.length lat >= 18);
+        (* sampler is the second op in the chain (after reference), so
+           latency within [bcet sum, wcet sum] of preceding slots *)
+        Array.iter
+          (fun l -> check_true "within envelope" (l >= 0.002 && l <= 0.012 +. 1e-9))
+          lat);
+    test "comm jitter shifts arrivals within the planned bound" (fun () ->
+        let _, alg, binding, (_, _, pid, _) = fig2_extracted () in
+        let arch = Arch.bus_topology ~latency:0.004 ~time_per_word:0.001 [ "P0"; "P1" ] in
+        let d = Dur.create () in
+        Dur.set d ~op:"reference" ~operator:"P0" 0.001;
+        Dur.set d ~op:"sample_y" ~operator:"P0" 0.002;
+        Dur.set d ~op:"pid" ~operator:"P1" 0.007;
+        Dur.set d ~op:"hold_u" ~operator:"P1" 0.003;
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        let g2, _, _, _, _, _ = fig2_loop () in
+        let mode =
+          DG.Jittered { law = Exec.Timing_law.Wcet; bcet_frac = 1.; seed = 5 }
+        in
+        (* computations at WCET, transfers jittered: pid activations
+           land at or before the static completion, never after *)
+        let _ =
+          Translator.Cosim.attach_delay_graph ~mode ~comm_jitter_frac:0.5 ~graph:g2
+            ~schedule:sched ~binding ()
+        in
+        let e = Sim.Engine.create g2 in
+        Sim.Engine.run ~t_end:1. e;
+        let op_pid = Option.get (Alg.find_op alg "pid") in
+        let slot = Sched.slot_of sched op_pid in
+        let static = slot.Sched.cs_start +. slot.Sched.cs_duration in
+        let lat = Translator.Cosim.measured_latencies e ~block:pid ~period:0.05 in
+        Array.iter (fun l -> check_true "within static bound" (l <= static +. 1e-9)) lat;
+        let spread = Numerics.Stats.max lat -. Numerics.Stats.min lat in
+        check_true "transfer jitter visible" (spread > 1e-4));
+    test "missing condition feed raises" (fun () ->
+        let g = G.create () in
+        let m = G.add g (C.stateful ~name:"mode" ~in_widths:[||] ~out_widths:[| 1 |] Fun.id) in
+        let b = G.add g (C.stateful ~name:"b" ~in_widths:[||] ~out_widths:[| 1 |] Fun.id) in
+        let alg, binding = S2S.extract g { S2S.members = [ m; b ]; memories = []; period = 1. } in
+        S2S.declare_condition binding ~algorithm:alg ~var:"m" ~source:(m, 0) ~ops:[ (b, 0) ];
+        let arch = Arch.single () in
+        let d = Dur.create () in
+        Dur.set d ~op:"mode" ~operator:"P0" 0.01;
+        Dur.set d ~op:"b" ~operator:"P0" 0.01;
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        check_raises_invalid "feed" (fun () ->
+            ignore (Translator.Cosim.attach_delay_graph ~graph:g ~schedule:sched ~binding ())));
+    test "completion tap lookup" (fun () ->
+        let _, alg, binding, _ = fig2_extracted () in
+        let arch = Arch.single () in
+        let d = uniform_durations alg [ "P0" ] 0.004 in
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        let g2, _, _, _, _, _ = fig2_loop () in
+        let dg = Translator.Cosim.attach_delay_graph ~graph:g2 ~schedule:sched ~binding () in
+        List.iter
+          (fun op -> ignore (DG.completion dg op))
+          (Alg.ops alg);
+        check_int "taps for every op" (Alg.op_count alg) (List.length dg.DG.completions));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cosim measurement helpers *)
+
+let cosim_tests =
+  [
+    test "ideal clock gives zero latency for samplers" (fun () ->
+        let g, _, _, sh, pid, hold = fig2_loop () in
+        let _ =
+          Translator.Cosim.ideal_clock ~graph:g ~period:0.05 ~blocks:[ sh; pid; hold ]
+        in
+        let e = Sim.Engine.create g in
+        Sim.Engine.run ~t_end:0.5 e;
+        let lat = Translator.Cosim.measured_latencies e ~block:sh ~period:0.05 in
+        Array.iter (fun l -> check_float ~eps:1e-9 "zero" 0. l) lat);
+    test "delay graph yields the static latencies (Fig. 3 vs Fig. 2)" (fun () ->
+        let _, alg, binding, (_, sh, _, hold) = fig2_extracted () in
+        let arch = Arch.single () in
+        let d = Dur.create () in
+        Dur.set d ~op:"reference" ~operator:"P0" 0.001;
+        Dur.set d ~op:"sample_y" ~operator:"P0" 0.002;
+        Dur.set d ~op:"pid" ~operator:"P0" 0.007;
+        Dur.set d ~op:"hold_u" ~operator:"P0" 0.003;
+        let sched = Adq.run ~algorithm:alg ~architecture:arch ~durations:d () in
+        let tm = TM.of_schedule sched in
+        let g2, _, _, _, _, _ = fig2_loop () in
+        let _ = Translator.Cosim.attach_delay_graph ~graph:g2 ~schedule:sched ~binding () in
+        let e = Sim.Engine.create g2 in
+        Sim.Engine.run ~t_end:1. e;
+        let ls = Translator.Cosim.measured_latencies e ~block:sh ~period:0.05 in
+        let la = Translator.Cosim.measured_latencies e ~block:hold ~period:0.05 in
+        let static_ls = snd (List.hd tm.TM.sampling_offsets) in
+        let static_la = snd (List.hd tm.TM.actuation_offsets) in
+        Array.iter (fun l -> check_float ~eps:1e-9 "Ls" static_ls l) ls;
+        Array.iter (fun l -> check_float ~eps:1e-9 "La" static_la l) la);
+  ]
+
+let suites =
+  [
+    ("translator.extraction", extraction_tests);
+    ("translator.temporal_model", temporal_model_tests);
+    ("translator.delay_graph", delay_graph_tests);
+    ("translator.cosim", cosim_tests);
+  ]
