@@ -192,6 +192,30 @@ let bench_codegen_exec =
                 { Exec.Machine.default_config with iterations = 100; comm_jitter_frac = 0.3 }
               exe)))
 
+let bench_failover_table =
+  let fj8_nominal =
+    Aaa.Adequation.run ~algorithm:fj8 ~architecture:fj8_arch ~durations:fj8_dur ()
+  in
+  Test.make ~name:"fault_failover_table"
+    (Staged.stage (fun () ->
+         ignore
+           (Fault.Degrade.failover_table ~algorithm:fj8 ~architecture:fj8_arch
+              ~durations:fj8_dur ~nominal:fj8_nominal ())))
+
+let bench_injected_machine =
+  let injection =
+    Fault.Scenario.injection
+      (Fault.Scenario.make ~name:"loss" ~seed:17
+         [ Fault.Scenario.Message_loss { medium = None; prob = 0.2 } ])
+      ~architecture:two_proc
+  in
+  Test.make ~name:"fault_injected_machine"
+    (Staged.stage (fun () ->
+         ignore
+           (Exec.Machine.run
+              ~config:{ Exec.Machine.default_config with iterations = 100; injection }
+              dc_impl.Lifecycle.Methodology.executive)))
+
 (* ------------------------------------------------------------------ *)
 (* ablation benches (design choices called out in DESIGN.md) *)
 
@@ -274,6 +298,8 @@ let tests =
     bench_adequation;
     bench_lifecycle_suspension;
     bench_codegen_exec;
+    bench_failover_table;
+    bench_injected_machine;
     bench_ablation_strategy_pressure;
     bench_ablation_strategy_eft;
     bench_ablation_refine;

@@ -903,6 +903,47 @@ let baseline () =
     \ the paper attributes to the generated code)\n"
 
 (* ------------------------------------------------------------------ *)
+(* faults: structural faults — failover schedules and robustness *)
+
+let faults () =
+  header "faults: fail-stop/outage/loss scenarios, failover re-adequation";
+  (* 1. single-failure failover table on the fork_join workload *)
+  let procs = [ "P0"; "P1"; "P2" ] in
+  let arch = Arch.bus_topology ~latency:0.0005 ~time_per_word:0.0005 procs in
+  let alg, d = Aaa.Workloads.fork_join ~period:0.5 ~branches:6 ~operators:procs () in
+  let nominal = Aaa.Adequation.run ~algorithm:alg ~architecture:arch ~durations:d () in
+  Printf.printf "fork_join (6 branches) on 3 processors: nominal makespan %.4f\n"
+    nominal.Sched.makespan;
+  let table =
+    Fault.Degrade.failover_table ~algorithm:alg ~architecture:arch ~durations:d ~nominal ()
+  in
+  List.iter (fun f -> Format.printf "  %a@." Fault.Degrade.pp_failover f) table;
+  (* 2. robustness of the DC-motor loop across fault scenarios *)
+  let design = dc_design ~horizon:4. () in
+  let architecture = dc_two_proc () in
+  let durations = dc_durations ~operators:[ "P0"; "P1" ] ~frac:0.6 () in
+  let scenarios =
+    Fault.Scenario.single_processor_failures ~at:1.0 ~seed:500 architecture
+    @ [
+        Fault.Scenario.make ~name:"bus_outage" ~seed:502
+          [ Fault.Scenario.Medium_outage { medium = "bus"; from_t = 1.0; until_t = 1.5 } ];
+        Fault.Scenario.make ~name:"loss_10pct" ~seed:503
+          [ Fault.Scenario.Message_loss { medium = None; prob = 0.1 } ];
+        Fault.Scenario.make ~name:"overrun_bursts" ~seed:504
+          [
+            Fault.Scenario.Overrun_burst
+              { start_prob = 0.05; stop_prob = 0.3; overrun_prob = 0.8; factor = 2.0 };
+          ];
+      ]
+  in
+  let summary =
+    Fault.Robustness.evaluate ~iterations:200 ~design ~architecture ~durations
+      ~scenarios ()
+  in
+  Format.printf "%a@." Fault.Robustness.pp summary;
+  Printf.printf "\n%s" (Fault.Fault_report.markdown_section summary)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -920,6 +961,7 @@ let experiments =
     ("windup", windup);
     ("lifecycle", lifecycle);
     ("baseline", baseline);
+    ("faults", faults);
     ("exploration", exploration);
     ("montecarlo", montecarlo);
     ("codegen-exec", codegen_exec);

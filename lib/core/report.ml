@@ -31,7 +31,7 @@ let comparison (design : Design.t) (c : Methodology.comparison) =
     static.Translator.Temporal_model.actuation_offsets;
   Buffer.contents buf
 
-let markdown ?montecarlo ?trace (design : Design.t) (c : Methodology.comparison) =
+let markdown ?montecarlo ?trace ?robustness (design : Design.t) (c : Methodology.comparison) =
   let impl = c.Methodology.implementation in
   let static = impl.Methodology.static in
   let buf = Buffer.create 2048 in
@@ -110,6 +110,11 @@ let markdown ?montecarlo ?trace (design : Design.t) (c : Methodology.comparison)
       Buffer.add_string buf
         (Exec.Exec_gantt.render ~iteration:(Int.min 1 (trace.Exec.Machine.iterations - 1)) trace);
       line "```"
+  | None -> ());
+  (match robustness with
+  | Some section ->
+      line "";
+      Buffer.add_string buf section
   | None -> ());
   Buffer.contents buf
 

@@ -12,6 +12,7 @@ val latency_table :
 val markdown :
   ?montecarlo:Montecarlo.summary ->
   ?trace:Exec.Machine.trace ->
+  ?robustness:string ->
   Design.t ->
   Methodology.comparison ->
   string
@@ -19,5 +20,8 @@ val markdown :
     cost comparison, the static temporal model, the planned Gantt
     chart, and — when provided — the Monte-Carlo cost distribution,
     the measured latency table and one executed iteration's chart.
+    [robustness] appends a pre-rendered robustness section (see
+    [Fault.Fault_report.markdown_section]; a plain string keeps the
+    core library independent of [fault], which builds on top of it).
     Written for humans reviewing a design decision (the [syndex
     lifecycle --report] output). *)

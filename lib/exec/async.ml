@@ -1,4 +1,5 @@
 module Alg = Aaa.Algorithm
+module Arch = Aaa.Architecture
 module Sched = Aaa.Schedule
 module Cg = Aaa.Codegen
 
@@ -11,6 +12,7 @@ type config = {
   overrun_factor : float;
   seed : int;
   condition : iteration:int -> var:string -> int;
+  injection : Injection.t;
 }
 
 let default_config =
@@ -23,6 +25,7 @@ let default_config =
     overrun_factor = 1.5;
     seed = 42;
     condition = (fun ~iteration:_ ~var:_ -> 0);
+    injection = Injection.none;
   }
 
 type trace = {
@@ -32,6 +35,7 @@ type trace = {
   remote_consumptions : int;
   actuation_latencies : (Alg.op_id * float array) list;
   overruns : int;
+  lost_transfers : int;
 }
 
 let slot_key (c : Sched.comm_slot) =
@@ -71,10 +75,14 @@ let run ?(config = default_config) exe =
         a
   in
   let overruns = ref 0 in
+  let inj = config.injection in
+  let have_inj = not (Injection.is_none inj) in
+  let lost_transfers = ref 0 in
   (* phase 1: operators fire every instruction at its static offset
      (or as soon as the previous one finishes, when running late) *)
   List.iter
-    (fun (_, body) ->
+    (fun (operator, body) ->
+      let operator = Arch.operator_name sched.Sched.architecture operator in
       let time = ref 0. in
       for k = 0 to config.iterations - 1 do
         let base = float_of_int k *. period in
@@ -92,23 +100,41 @@ let run ?(config = default_config) exe =
                   | None -> false
                   | Some { Alg.var; value } -> config.condition ~iteration:k ~var <> value
                 in
+                let failed =
+                  have_inj && inj.Injection.operator_failed ~operator ~time:start
+                in
                 let duration =
-                  if skipped then 0.
+                  if skipped || failed then 0.
                   else begin
                     let wcet = slot.Sched.cs_duration in
                     let nominal =
                       Timing_law.sample config.law rng ~bcet:(config.bcet_frac *. wcet)
                         ~wcet
                     in
-                    if config.overrun_prob > 0.
-                       && Numerics.Rng.float rng 1. < config.overrun_prob
-                    then nominal *. config.overrun_factor
-                    else nominal
+                    let nominal =
+                      if config.overrun_prob > 0.
+                         && Numerics.Rng.float rng 1. < config.overrun_prob
+                      then nominal *. config.overrun_factor
+                      else nominal
+                    in
+                    match
+                      if have_inj then
+                        inj.Injection.overrun ~iteration:k ~op:(Alg.op_name alg op)
+                      else None
+                    with
+                    | Some factor -> nominal *. factor
+                    | None -> nominal
                   end
                 in
                 time := start +. duration;
-                (finishes op).(k) <- !time
-            | Cg.Send c -> (table posted (slot_key c)).(k) <- !time
+                if not failed then (finishes op).(k) <- !time
+            | Cg.Send c ->
+                (* a fail-stopped producer posts nothing: the table's
+                   bus slot departs carrying the old value *)
+                if
+                  not
+                    (have_inj && inj.Injection.operator_failed ~operator ~time:!time)
+                then (table posted (slot_key c)).(k) <- !time
             | Cg.Recv c ->
                 (* time-triggered read at the planned arrival offset *)
                 let planned = base +. c.Sched.cm_start +. c.Sched.cm_duration in
@@ -156,7 +182,15 @@ let run ?(config = default_config) exe =
         if c.Sched.cm_hop = 0 then (table posted (slot_key c)).(k)
         else (table arrival (prev_key c)).(k)
       in
-      if (not (Float.is_nan ready)) && ready <= start +. 1e-12 then begin
+      let dropped =
+        have_inj
+        && (inj.Injection.medium_down
+              ~medium:(Arch.medium_name sched.Sched.architecture c.Sched.cm_medium)
+              ~time:start
+           || inj.Injection.transfer_lost ~iteration:k ~slot:c)
+      in
+      if dropped then incr lost_transfers;
+      if (not dropped) && (not (Float.is_nan ready)) && ready <= start +. 1e-12 then begin
         let duration =
           if config.comm_jitter_frac <= 0. || c.Sched.cm_duration <= 0. then
             c.Sched.cm_duration
@@ -197,4 +231,5 @@ let run ?(config = default_config) exe =
     remote_consumptions = !remote;
     actuation_latencies;
     overruns = !overruns;
+    lost_transfers = !lost_transfers;
   }

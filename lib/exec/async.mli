@@ -26,6 +26,11 @@ type config = {
   overrun_factor : float;  (** duration multiplier on overrun *)
   seed : int;
   condition : iteration:int -> var:string -> int;
+  injection : Injection.t;
+      (** structural faults — a fail-stopped producer posts nothing
+          (its bus slots depart with the old value), a transfer lost
+          on the wire or inside a medium outage never arrives; both
+          surface as freshness [violations] *)
 }
 
 val default_config : config
@@ -38,8 +43,11 @@ type trace = {
   remote_consumptions : int;  (** total remote reads checked *)
   actuation_latencies : (Aaa.Algorithm.op_id * float array) list;
       (** per actuator, per iteration [La(k)] — comparable to
-          {!Machine.actuation_latencies} *)
+          {!Machine.actuation_latencies}; [nan] where the actuator's
+          operator had fail-stopped *)
   overruns : int;  (** iterations whose work spilled past the release *)
+  lost_transfers : int;
+      (** transfer instances the injection dropped on the wire *)
 }
 
 val run : ?config:config -> Aaa.Codegen.t -> trace

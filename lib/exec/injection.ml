@@ -1,0 +1,16 @@
+type t = {
+  operator_failed : operator:string -> time:float -> bool;
+  medium_down : medium:string -> time:float -> bool;
+  transfer_lost : iteration:int -> slot:Aaa.Schedule.comm_slot -> bool;
+  overrun : iteration:int -> op:string -> float option;
+}
+
+let none =
+  {
+    operator_failed = (fun ~operator:_ ~time:_ -> false);
+    medium_down = (fun ~medium:_ ~time:_ -> false);
+    transfer_lost = (fun ~iteration:_ ~slot:_ -> false);
+    overrun = (fun ~iteration:_ ~op:_ -> None);
+  }
+
+let is_none t = t == none

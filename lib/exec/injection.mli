@@ -1,0 +1,40 @@
+(** Structural fault injection into the executive simulators.
+
+    The timing-level config knobs of {!Machine} and {!Async} (overrun
+    probability, comm jitter) model a {e faulty characterisation}; an
+    injection models {e structural} faults — a processor that
+    fail-stops, a medium that goes dark for a window, messages lost on
+    the wire, correlated WCET-overrun bursts.  The record is a set of
+    pure decision functions so a caller (typically
+    [Fault.Scenario.injection]) can precompute every decision from a
+    seed and keep runs bit-for-bit reproducible.
+
+    Injected faults never block the executive: a lost transfer still
+    consumes its slot (the carrier departs, the payload is stale), a
+    dead operator's program runs instantly posting frozen values — so
+    the consumer falls back to the previous iteration's value and the
+    trace counts a {e freshness violation} instead of deadlocking. *)
+
+type t = {
+  operator_failed : operator:string -> time:float -> bool;
+      (** fail-stop: true once the operator is dead at [time] (absolute
+          simulation time).  Must be monotone in [time] for a given
+          operator. *)
+  medium_down : medium:string -> time:float -> bool;
+      (** outage window: true while the medium cannot carry data at
+          [time]; transfers departing inside a window lose their
+          payload. *)
+  transfer_lost : iteration:int -> slot:Aaa.Schedule.comm_slot -> bool;
+      (** per-transfer message loss (decided per iteration and hop). *)
+  overrun : iteration:int -> op:string -> float option;
+      (** [Some f] stretches the operation's drawn duration by factor
+          [f > 1] at that iteration (correlated bursts); [None] leaves
+          the timing law alone. *)
+}
+
+val none : t
+(** No structural faults — the default of both executors. *)
+
+val is_none : t -> bool
+(** Physical identity with {!none}; lets the executors skip the
+    bookkeeping entirely on fault-free runs. *)

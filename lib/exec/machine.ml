@@ -15,6 +15,7 @@ type config = {
   overrun_factor : float;
   seed : int;
   condition : iteration:int -> var:string -> int;
+  injection : Injection.t;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     overrun_factor = 1.5;
     seed = 42;
     condition = (fun ~iteration:_ ~var:_ -> 0);
+    injection = Injection.none;
   }
 
 type op_exec = {
@@ -37,6 +39,7 @@ type op_exec = {
   oe_start : float;
   oe_finish : float;
   oe_skipped : bool;
+  oe_failed : bool;
 }
 
 type comm_exec = {
@@ -54,6 +57,8 @@ type trace = {
   comms : comm_exec list;
   iteration_end : float array;
   overruns : int;
+  lost_transfers : int;
+  stale_reads : int;
 }
 
 (* identity of one hop of a transfer within one iteration *)
@@ -111,6 +116,26 @@ let run ?(config = default_config) exe =
   in
   let ops_log = ref [] in
   let comms_log = ref [] in
+  let inj = config.injection in
+  let have_inj = not (Injection.is_none inj) in
+  (* per hop instance: the payload carried is stale (lost somewhere
+     upstream); the slot itself always fires, so injected faults never
+     block the executive *)
+  let lost : (int * int * int * int * int, bool array) Hashtbl.t = Hashtbl.create 16 in
+  let lost_arr key =
+    match Hashtbl.find_opt lost key with
+    | Some a -> a
+    | None ->
+        let a = Array.make config.iterations false in
+        Hashtbl.replace lost key a;
+        a
+  in
+  let lost_transfers = ref 0 and stale_reads = ref 0 in
+  let operator_dead os =
+    have_inj
+    && inj.Injection.operator_failed ~operator:(Arch.operator_name arch os.os_id)
+         ~time:os.os_time
+  in
   let sample_exec_duration op operator =
     (* the WCET is the planned slot length; the BCET comes from the
        durations table when provided, else from [bcet_frac] *)
@@ -156,9 +181,20 @@ let run ?(config = default_config) exe =
             | None -> false
             | Some { Alg.var; value } -> config.condition ~iteration:os.os_iter ~var <> value
           in
+          let failed = (not skipped) && operator_dead os in
           let start = os.os_time in
           let finish =
-            if skipped then start else start +. sample_exec_duration op os.os_id
+            if skipped || failed then start
+            else begin
+              let d = sample_exec_duration op os.os_id in
+              match
+                if have_inj then
+                  inj.Injection.overrun ~iteration:os.os_iter ~op:(Alg.op_name alg op)
+                else None
+              with
+              | Some factor -> start +. (d *. factor)
+              | None -> start +. d
+            end
           in
           os.os_time <- finish;
           ops_log :=
@@ -169,6 +205,7 @@ let run ?(config = default_config) exe =
               oe_start = start;
               oe_finish = finish;
               oe_skipped = skipped;
+              oe_failed = failed;
             }
             :: !ops_log;
           os.os_pc <- os.os_pc + 1;
@@ -176,6 +213,15 @@ let run ?(config = default_config) exe =
       | Cg.Send c ->
           let arr = slot_table `Posted posted (slot_key c) in
           arr.(os.os_iter) <- os.os_time;
+          (* a dead producer posts instantly, but the value it posts is
+             the previous iteration's (its outputs are frozen) *)
+          if operator_dead os then begin
+            let la = lost_arr (slot_key c) in
+            if not la.(os.os_iter) then begin
+              la.(os.os_iter) <- true;
+              incr lost_transfers
+            end
+          end;
           os.os_pc <- os.os_pc + 1;
           true
       | Cg.Recv c ->
@@ -184,6 +230,7 @@ let run ?(config = default_config) exe =
           if Float.is_nan t then false
           else begin
             os.os_time <- Float.max os.os_time t;
+            if have_inj && (lost_arr (slot_key c)).(os.os_iter) then incr stale_reads;
             os.os_pc <- os.os_pc + 1;
             true
           end
@@ -212,6 +259,27 @@ let run ?(config = default_config) exe =
       else begin
         let start = Float.max ms.ms_time t_posted in
         let finish = start +. sample_comm_duration c.Sched.cm_duration in
+        if have_inj then begin
+          let inherited =
+            let key =
+              if c.Sched.cm_hop = 0 then slot_key c
+              else
+                let a, b, d, e, hop = slot_key c in
+                (a, b, d, e, hop - 1)
+            in
+            (lost_arr key).(ms.ms_iter)
+          in
+          let dropped =
+            inj.Injection.medium_down
+              ~medium:(Arch.medium_name arch c.Sched.cm_medium)
+              ~time:start
+            || inj.Injection.transfer_lost ~iteration:ms.ms_iter ~slot:c
+          in
+          if inherited || dropped then begin
+            (lost_arr (slot_key c)).(ms.ms_iter) <- true;
+            if dropped && not inherited then incr lost_transfers
+          end
+        end;
         let fin_arr = slot_table `Finished finished (slot_key c) in
         fin_arr.(ms.ms_iter) <- finish;
         ms.ms_time <- finish;
@@ -284,13 +352,16 @@ let run ?(config = default_config) exe =
     comms;
     iteration_end;
     overruns = !overruns;
+    lost_transfers = !lost_transfers;
+    stale_reads = !stale_reads;
   }
 
 let instants trace op =
   let arr = Array.make trace.iterations Float.nan in
   List.iter
     (fun oe ->
-      if oe.oe_op = op && not oe.oe_skipped then arr.(oe.oe_iteration) <- oe.oe_finish)
+      if oe.oe_op = op && (not oe.oe_skipped) && not oe.oe_failed then
+        arr.(oe.oe_iteration) <- oe.oe_finish)
     trace.ops;
   arr
 

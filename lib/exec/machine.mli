@@ -37,12 +37,21 @@ type config = {
   seed : int;  (** RNG seed — runs are reproducible *)
   condition : iteration:int -> var:string -> int;
       (** run-time value of each conditioning variable *)
+  injection : Injection.t;
+      (** structural faults (fail-stop, outages, message loss,
+          overrun bursts) — see {!Injection}.  A lost transfer still
+          consumes its slot and unblocks its [Recv] at the normal
+          completion instant, but the consumer reads the {e previous}
+          iteration's value: the trace counts it in [stale_reads]
+          rather than deadlocking.  A dead operator's program runs
+          instantly, posting frozen (stale) values. *)
 }
 
 val default_config : config
 (** 100 iterations, {!Timing_law.Uniform}, no comm jitter,
     [bcet_frac = 0.5], no overruns ([overrun_prob = 0.],
-    [overrun_factor = 1.5]), seed 42, all conditions = 0. *)
+    [overrun_factor = 1.5]), seed 42, all conditions = 0, no injected
+    faults. *)
 
 type op_exec = {
   oe_iteration : int;
@@ -51,6 +60,7 @@ type op_exec = {
   oe_start : float;
   oe_finish : float;
   oe_skipped : bool;  (** condition did not hold: no execution *)
+  oe_failed : bool;  (** operator was fail-stopped: no execution *)
 }
 
 type comm_exec = {
@@ -70,6 +80,13 @@ type trace = {
       (** per iteration, the last finish over all operators *)
   overruns : int;
       (** iterations still running past their next release *)
+  lost_transfers : int;
+      (** transfer instances whose payload went stale under the
+          injection (counted once per instance, at the first loss
+          along its hop chain) *)
+  stale_reads : int;
+      (** [Recv]s that consumed a previous-iteration value — the
+          freshness violations of the injected run *)
 }
 
 val run : ?config:config -> Aaa.Codegen.t -> trace
@@ -81,7 +98,7 @@ val run : ?config:config -> Aaa.Codegen.t -> trace
 
 val instants : trace -> Aaa.Algorithm.op_id -> float array
 (** Completion instants of one operation across iterations ([nan] at
-    iterations where it was skipped). *)
+    iterations where it was skipped or its operator had failed). *)
 
 val sampling_latencies : trace -> (Aaa.Algorithm.op_id * float array) list
 (** For each sensor [j], the per-iteration sampling latency

@@ -1,0 +1,113 @@
+module Arch = Aaa.Architecture
+module Sched = Aaa.Schedule
+
+type exclusion = { operators : string list; media : string list }
+
+let exclusion_of scenario =
+  { operators = Scenario.failed_operators scenario; media = [] }
+
+let restrict arch { operators = excl_ops; media = excl_media } =
+  List.iter
+    (fun name ->
+      if Arch.find_operator arch name = None then
+        invalid_arg (Printf.sprintf "Degrade.restrict: unknown operator %S" name))
+    excl_ops;
+  List.iter
+    (fun name ->
+      if Arch.find_medium arch name = None then
+        invalid_arg (Printf.sprintf "Degrade.restrict: unknown medium %S" name))
+    excl_media;
+  let survives_op o = not (List.mem (Arch.operator_name arch o) excl_ops) in
+  let degraded = Arch.create ~name:(Arch.name arch ^ "_degraded") in
+  let surviving = List.filter survives_op (Arch.operators arch) in
+  if surviving = [] then invalid_arg "Degrade.restrict: no surviving operator";
+  let id_map =
+    List.map
+      (fun o ->
+        (o, Arch.add_operator degraded ~name:(Arch.operator_name arch o)))
+      surviving
+  in
+  List.iter
+    (fun m ->
+      let name = Arch.medium_name arch m in
+      if not (List.mem name excl_media) then begin
+        let endpoints =
+          List.filter_map
+            (fun o -> List.assoc_opt o id_map)
+            (Arch.medium_endpoints arch m)
+        in
+        let kind = Arch.medium_kind arch m in
+        let enough =
+          match kind with
+          | Arch.Bus -> List.length endpoints >= 2
+          | Arch.Point_to_point ->
+              List.length endpoints = List.length (Arch.medium_endpoints arch m)
+        in
+        if enough then begin
+          (* recover the medium's cost model from its duration function *)
+          let latency = Arch.comm_duration arch m ~words:0 in
+          let time_per_word = Arch.comm_duration arch m ~words:1 -. latency in
+          ignore (Arch.add_medium degraded ~name ~kind ~latency ~time_per_word endpoints)
+        end
+      end)
+    (Arch.media arch);
+  Arch.validate degraded;
+  degraded
+
+let replica_pins ~replicas ~nominal ~degraded { operators = excl_ops; _ } =
+  let alg = nominal.Sched.algorithm in
+  List.filter_map
+    (fun (op_name, backup) ->
+      match Aaa.Algorithm.find_op alg op_name with
+      | None ->
+          invalid_arg (Printf.sprintf "Degrade.replan: unknown replica operation %S" op_name)
+      | Some op ->
+          let nominal_operator =
+            Arch.operator_name nominal.Sched.architecture (Sched.operator_of nominal op)
+          in
+          if
+            List.mem nominal_operator excl_ops
+            && Arch.find_operator degraded backup <> None
+          then Some (op_name, backup)
+          else None)
+    replicas
+
+let replan ?strategy ?(replicas = []) ~algorithm ~architecture ~durations ~nominal
+    ~exclusion () =
+  let degraded = restrict architecture exclusion in
+  let pins = replica_pins ~replicas ~nominal ~degraded exclusion in
+  Aaa.Adequation.run ?strategy ~pins ~algorithm ~architecture:degraded ~durations ()
+
+type failover = {
+  failed_operator : string;
+  schedule : Sched.t option;
+  fits : bool;
+  makespan : float;
+}
+
+let failover_table ?strategy ?replicas ~algorithm ~architecture ~durations ~nominal () =
+  List.map
+    (fun operator_id ->
+      let failed_operator = Arch.operator_name architecture operator_id in
+      let exclusion = { operators = [ failed_operator ]; media = [] } in
+      match
+        replan ?strategy ?replicas ~algorithm ~architecture ~durations ~nominal
+          ~exclusion ()
+      with
+      | sched ->
+          {
+            failed_operator;
+            schedule = Some sched;
+            fits = Sched.fits_period sched;
+            makespan = sched.Sched.makespan;
+          }
+      | exception (Aaa.Adequation.Infeasible _ | Invalid_argument _) ->
+          { failed_operator; schedule = None; fits = false; makespan = Float.nan })
+    (Arch.operators architecture)
+
+let pp_failover ppf f =
+  match f.schedule with
+  | Some _ ->
+      Format.fprintf ppf "without %s: makespan %.6g (%s)" f.failed_operator f.makespan
+        (if f.fits then "fits the period" else "OVERRUNS the period")
+  | None -> Format.fprintf ppf "without %s: infeasible" f.failed_operator

@@ -1,0 +1,63 @@
+(** Degraded-mode re-adequation: planning the same algorithm on what
+    is left of the architecture after a structural failure.
+
+    The AAA adequation is re-run with an {e exclusion set} — the
+    failed operators and media — removed from the architecture graph,
+    optionally steering the orphaned operations onto their declared
+    passive replicas.  The result is the failover schedule a
+    fault-tolerant deployment would switch to, evaluated at design
+    time exactly like the nominal one. *)
+
+type exclusion = { operators : string list; media : string list }
+
+val exclusion_of : Scenario.t -> exclusion
+(** The permanent failures of a scenario: its fail-stopped operators.
+    Outage windows are transient and do not exclude their medium. *)
+
+val restrict : Aaa.Architecture.t -> exclusion -> Aaa.Architecture.t
+(** A fresh architecture without the excluded operators and media.
+    Media losing endpoints survive as long as two remain (a bus keeps
+    its surviving drops; a point-to-point link dies with either end).
+    Raises [Invalid_argument] when an excluded name is unknown, when
+    no operator survives, or when the survivors are disconnected. *)
+
+val replan :
+  ?strategy:Aaa.Adequation.strategy ->
+  ?replicas:(string * string) list ->
+  algorithm:Aaa.Algorithm.t ->
+  architecture:Aaa.Architecture.t ->
+  durations:Aaa.Durations.t ->
+  nominal:Aaa.Schedule.t ->
+  exclusion:exclusion ->
+  unit ->
+  Aaa.Schedule.t
+(** Re-runs the adequation on the restricted architecture.
+    [replicas] maps operation names to their passive-replica operator:
+    operations the [nominal] schedule placed on a now-excluded
+    operator are pinned onto their replica (when it survives and can
+    run them); everything else is free for the heuristic to move.
+    Raises {!Aaa.Adequation.Infeasible} when some operation has no
+    surviving operator, [Invalid_argument] on unknown names. *)
+
+type failover = {
+  failed_operator : string;
+  schedule : Aaa.Schedule.t option;  (** [None] when re-adequation is infeasible *)
+  fits : bool;  (** [makespan <= period] — false when infeasible *)
+  makespan : float;  (** [nan] when infeasible *)
+}
+
+val failover_table :
+  ?strategy:Aaa.Adequation.strategy ->
+  ?replicas:(string * string) list ->
+  algorithm:Aaa.Algorithm.t ->
+  architecture:Aaa.Architecture.t ->
+  durations:Aaa.Durations.t ->
+  nominal:Aaa.Schedule.t ->
+  unit ->
+  failover list
+(** One failover schedule per single-operator failure — the classic
+    single-fault-tolerance design table.  Infeasible failures (the
+    survivors cannot run the algorithm, or are disconnected) yield
+    [schedule = None] instead of raising. *)
+
+val pp_failover : Format.formatter -> failover -> unit

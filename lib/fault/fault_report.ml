@@ -1,0 +1,50 @@
+let markdown_section (s : Robustness.summary) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (str ^ "\n")) fmt in
+  line "## Robustness";
+  line "";
+  line "Nominal implemented cost %.6g (ideal %.6g).  %d fault scenarios:" s.Robustness.nominal_cost
+    s.Robustness.ideal_cost
+    (List.length s.Robustness.outcomes);
+  line "";
+  line "| scenario | cost | degradation | failover | lost | stale | overruns |";
+  line "|---|---|---|---|---|---|---|";
+  List.iter
+    (fun (o : Robustness.outcome) ->
+      if o.Robustness.infeasible then
+        line "| %s | — | — | **infeasible** | %d | %d | %d |"
+          o.Robustness.scenario.Scenario.name o.Robustness.lost_transfers
+          o.Robustness.stale_reads o.Robustness.overruns
+      else
+        line "| %s | %.6g | %+.2f %% | %s | %d | %d | %d |"
+          o.Robustness.scenario.Scenario.name o.Robustness.cost
+          o.Robustness.degradation_pct
+          (if not o.Robustness.replanned then "nominal"
+           else if o.Robustness.fits_period then "fits period"
+           else "OVERRUNS period")
+          o.Robustness.lost_transfers o.Robustness.stale_reads o.Robustness.overruns)
+    s.Robustness.outcomes;
+  line "";
+  line "Worst-case degradation %+.2f %%; mean %+.2f %%.  %s" s.Robustness.worst_degradation_pct
+    s.Robustness.mean_degradation_pct
+    (if s.Robustness.all_feasible && s.Robustness.all_fit then
+       "Every scenario has a feasible failover meeting the period."
+     else if s.Robustness.all_feasible then
+       "All scenarios are schedulable, but some failover schedules overrun the period."
+     else "Some scenarios have no feasible failover on the surviving architecture.");
+  Buffer.contents buf
+
+let failover_markdown (table : Degrade.failover list) =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (str ^ "\n")) fmt in
+  line "| failed operator | degraded makespan | fits period |";
+  line "|---|---|---|";
+  List.iter
+    (fun (f : Degrade.failover) ->
+      match f.Degrade.schedule with
+      | Some _ ->
+          line "| %s | %.6g | %s |" f.Degrade.failed_operator f.Degrade.makespan
+            (if f.Degrade.fits then "yes" else "**no**")
+      | None -> line "| %s | — | **infeasible** |" f.Degrade.failed_operator)
+    table;
+  Buffer.contents buf

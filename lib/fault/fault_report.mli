@@ -1,0 +1,16 @@
+(** Rendering of robustness evaluations for humans.
+
+    The markdown section slots into {!Lifecycle.Report.markdown} via
+    its [?robustness] argument, extending a lifecycle report with the
+    fault-tolerance verdict next to the cost comparison it already
+    carries. *)
+
+val markdown_section : Robustness.summary -> string
+(** A ["## Robustness"] markdown section: one table row per scenario
+    (cost, degradation vs nominal, failover feasibility, lost
+    transfers, stale reads, overruns) plus the aggregate verdict. *)
+
+val failover_markdown : Degrade.failover list -> string
+(** A markdown table of a single-failure failover analysis: one row
+    per failed operator with the degraded makespan and whether the
+    failover schedule still fits the period. *)

@@ -1,0 +1,133 @@
+module Sched = Aaa.Schedule
+module Meth = Lifecycle.Methodology
+module Design = Lifecycle.Design
+
+type outcome = {
+  scenario : Scenario.t;
+  schedule : Sched.t option;
+  replanned : bool;
+  infeasible : bool;
+  fits_period : bool;
+  cost : float;
+  degradation_pct : float;
+  lost_transfers : int;
+  stale_reads : int;
+  overruns : int;
+}
+
+type summary = {
+  design_name : string;
+  ideal_cost : float;
+  nominal_cost : float;
+  outcomes : outcome list;
+  worst_degradation_pct : float;
+  mean_degradation_pct : float;
+  all_feasible : bool;
+  all_fit : bool;
+}
+
+let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ~design ~architecture
+    ~durations ~scenarios () =
+  if scenarios = [] then invalid_arg "Robustness.evaluate: no scenarios";
+  let nominal = Meth.implement ?strategy ~design ~architecture ~durations () in
+  let ideal_cost = design.Design.cost (Meth.simulate_ideal design) in
+  let nominal_cost = design.Design.cost (Meth.simulate_implemented design nominal) in
+  let outcome scenario =
+    let exclusion = Degrade.exclusion_of scenario in
+    let replanned = exclusion.Degrade.operators <> [] in
+    (* control-cost side: co-simulate through the graph of delays *)
+    let schedule, infeasible, fits_period, cost =
+      if replanned then
+        match
+          Degrade.replan ?strategy ~replicas ~algorithm:nominal.Meth.algorithm
+            ~architecture ~durations ~nominal:nominal.Meth.schedule ~exclusion ()
+        with
+        | degraded ->
+            let impl =
+              {
+                nominal with
+                Meth.schedule = degraded;
+                executive = Aaa.Codegen.generate degraded;
+                static = Translator.Temporal_model.of_schedule degraded;
+              }
+            in
+            ( Some degraded,
+              false,
+              Sched.fits_period degraded,
+              design.Design.cost (Meth.simulate_implemented design impl) )
+        | exception (Aaa.Adequation.Infeasible _ | Invalid_argument _) ->
+            (None, true, false, Float.infinity)
+      else begin
+        let mode =
+          Translator.Delay_graph.Jittered
+            { law = Exec.Timing_law.Uniform; bcet_frac = 0.4; seed = scenario.Scenario.seed }
+        in
+        ( None,
+          false,
+          Sched.fits_period nominal.Meth.schedule,
+          design.Design.cost (Meth.simulate_implemented ~mode design nominal) )
+      end
+    in
+    (* executive side: the nominal deployment with the faults injected *)
+    let injection = Scenario.injection scenario ~architecture in
+    let config =
+      {
+        Exec.Machine.default_config with
+        iterations;
+        seed = scenario.Scenario.seed;
+        durations = Some durations;
+        injection;
+      }
+    in
+    let config =
+      match design.Design.condition_runtime with
+      | Some condition -> { config with Exec.Machine.condition }
+      | None -> config
+    in
+    let trace = Meth.execute ~config design nominal in
+    {
+      scenario;
+      schedule;
+      replanned;
+      infeasible;
+      fits_period;
+      cost;
+      degradation_pct = (cost -. nominal_cost) /. nominal_cost *. 100.;
+      lost_transfers = trace.Exec.Machine.lost_transfers;
+      stale_reads = trace.Exec.Machine.stale_reads;
+      overruns = trace.Exec.Machine.overruns;
+    }
+  in
+  let outcomes = List.map outcome scenarios in
+  let feasible = List.filter (fun o -> not o.infeasible) outcomes in
+  let degradations = List.map (fun o -> o.degradation_pct) feasible in
+  {
+    design_name = design.Design.name;
+    ideal_cost;
+    nominal_cost;
+    outcomes;
+    worst_degradation_pct =
+      List.fold_left Float.max Float.neg_infinity (List.map (fun o -> o.degradation_pct) outcomes);
+    mean_degradation_pct =
+      (if degradations = [] then Float.nan
+       else Numerics.Stats.mean (Array.of_list degradations));
+    all_feasible = List.for_all (fun o -> not o.infeasible) outcomes;
+    all_fit = List.for_all (fun o -> o.fits_period) outcomes;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>robustness of %S: ideal %.6g, nominal implemented %.6g@,"
+    s.design_name s.ideal_cost s.nominal_cost;
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  %s: " o.scenario.Scenario.name;
+      if o.infeasible then Format.fprintf ppf "INFEASIBLE"
+      else
+        Format.fprintf ppf "cost %.6g (%+.2f %%)%s, lost %d, stale %d, overruns %d"
+          o.cost o.degradation_pct
+          (if o.fits_period then "" else " [overruns period]")
+          o.lost_transfers o.stale_reads o.overruns;
+      Format.fprintf ppf "@,")
+    s.outcomes;
+  Format.fprintf ppf "  worst degradation %+.2f %%, mean %+.2f %%@]"
+    s.worst_degradation_pct s.mean_degradation_pct

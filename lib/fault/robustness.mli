@@ -1,0 +1,67 @@
+(** Robustness evaluation: the methodology's design-time loop, closed
+    over structural faults.
+
+    For every scenario, two complementary measurements:
+
+    - the {e control-cost} side, co-simulated through
+      {!Translator.Cosim} exactly like the nominal evaluation: a
+      fail-stop scenario is costed on its degraded re-adequation
+      schedule (the failover plan of {!Degrade}); a purely
+      timing-level scenario (losses, bursts, outages) is costed on the
+      nominal schedule under the jittered graph of delays seeded by
+      the scenario — so each cost is comparable to the nominal
+      implemented cost and the degradation quantifies what the fault
+      costs the {e control law};
+    - the {e executive} side, the nominal executive run on the
+      simulated machine with the scenario injected
+      ({!Exec.Machine.config.injection}): lost transfers, stale
+      (previous-iteration) reads and period overruns.
+
+    Everything is deterministic from the scenario seeds — re-running
+    an evaluation reproduces it bit-for-bit. *)
+
+type outcome = {
+  scenario : Scenario.t;
+  schedule : Aaa.Schedule.t option;
+      (** the failover schedule (fail-stop scenarios only); [None]
+          when the scenario keeps the nominal mapping or when
+          re-adequation is infeasible *)
+  replanned : bool;  (** the scenario excluded operators *)
+  infeasible : bool;  (** re-adequation was required and impossible *)
+  fits_period : bool;  (** the costed schedule meets the period *)
+  cost : float;  (** implemented cost under the scenario ([inf] when infeasible) *)
+  degradation_pct : float;  (** vs the nominal implemented cost *)
+  lost_transfers : int;
+  stale_reads : int;
+  overruns : int;
+}
+
+type summary = {
+  design_name : string;
+  ideal_cost : float;
+  nominal_cost : float;  (** implemented cost without faults *)
+  outcomes : outcome list;  (** scenario order preserved *)
+  worst_degradation_pct : float;
+  mean_degradation_pct : float;  (** over feasible scenarios *)
+  all_feasible : bool;
+  all_fit : bool;
+}
+
+val evaluate :
+  ?iterations:int ->
+  ?strategy:Aaa.Adequation.strategy ->
+  ?replicas:(string * string) list ->
+  design:Lifecycle.Design.t ->
+  architecture:Aaa.Architecture.t ->
+  durations:Aaa.Durations.t ->
+  scenarios:Scenario.t list ->
+  unit ->
+  summary
+(** Runs the full evaluation.  [iterations] (default 200) sizes the
+    injected machine runs; [replicas] is forwarded to the degraded
+    re-adequation ({!Degrade.replan}).  Raises
+    {!Aaa.Adequation.Infeasible} only for the {e nominal} mapping —
+    per-scenario infeasibility is recorded, not raised.  Raises
+    [Invalid_argument] on an empty scenario list. *)
+
+val pp : Format.formatter -> summary -> unit

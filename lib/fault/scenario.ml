@@ -1,0 +1,220 @@
+type event =
+  | Processor_failstop of { operator : string; at : float }
+  | Medium_outage of { medium : string; from_t : float; until_t : float }
+  | Message_loss of { medium : string option; prob : float }
+  | Overrun_burst of {
+      start_prob : float;
+      stop_prob : float;
+      overrun_prob : float;
+      factor : float;
+    }
+
+type t = { name : string; seed : int; events : event list }
+
+let check_prob what p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Scenario.make: %s probability %g outside [0, 1]" what p)
+
+let validate_event = function
+  | Processor_failstop { operator; at } ->
+      if at < 0. then
+        invalid_arg
+          (Printf.sprintf "Scenario.make: fail-stop of %S at negative time %g" operator at)
+  | Medium_outage { medium; from_t; until_t } ->
+      if from_t < 0. || until_t <= from_t then
+        invalid_arg
+          (Printf.sprintf "Scenario.make: outage of %S over bad window [%g, %g)" medium
+             from_t until_t)
+  | Message_loss { prob; _ } -> check_prob "message-loss" prob
+  | Overrun_burst { start_prob; stop_prob; overrun_prob; factor } ->
+      check_prob "burst-start" start_prob;
+      check_prob "burst-stop" stop_prob;
+      check_prob "burst overrun" overrun_prob;
+      if factor <= 1. then
+        invalid_arg (Printf.sprintf "Scenario.make: overrun factor %g must exceed 1" factor)
+
+let make ~name ~seed events =
+  List.iter validate_event events;
+  { name; seed; events }
+
+let nominal ~seed = make ~name:"nominal" ~seed []
+
+(* ------------------------------------------------------------------ *)
+(* deterministic sampling: every decision is a SplitMix64-style hash of
+   the seed and the decision's integer coordinates, mapped to [0, 1) *)
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let feed acc i = mix Int64.(add (mul acc 0x9e3779b97f4a7c15L) (of_int (i + 1)))
+
+let u01 ~seed coords =
+  let h = List.fold_left feed (mix (Int64.of_int seed)) coords in
+  Int64.to_float (Int64.shift_right_logical h 11) *. (1. /. 9007199254740992.)
+
+let string_coord s =
+  let acc = ref (Int64.of_int (String.length s)) in
+  String.iter (fun c -> acc := feed !acc (Char.code c)) s;
+  Int64.to_int (Int64.shift_right_logical !acc 32)
+
+(* per-event coordinate tags keep independent decision streams apart *)
+let tag_loss = 1
+let tag_burst_state = 2
+let tag_burst_overrun = 3
+
+let slot_coords (c : Aaa.Schedule.comm_slot) =
+  [
+    (fst c.Aaa.Schedule.cm_src :> int);
+    snd c.Aaa.Schedule.cm_src;
+    (fst c.Aaa.Schedule.cm_dst :> int);
+    snd c.Aaa.Schedule.cm_dst;
+    c.Aaa.Schedule.cm_hop;
+  ]
+
+(* burst membership is a Markov chain over iterations: state k needs
+   state k−1, so memoise from iteration 0 upward (still a pure function
+   of the seed — the call order cannot change it) *)
+let burst_memo ~seed ~index ~start_prob ~stop_prob =
+  let memo : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let rec state k =
+    match Hashtbl.find_opt memo k with
+    | Some b -> b
+    | None ->
+        let draw = u01 ~seed [ tag_burst_state; index; k ] in
+        let b =
+          if k = 0 then draw < start_prob
+          else if state (k - 1) then draw >= stop_prob
+          else draw < start_prob
+        in
+        Hashtbl.replace memo k b;
+        b
+  in
+  state
+
+let failed_operators t =
+  List.filter_map
+    (function Processor_failstop { operator; _ } -> Some operator | _ -> None)
+    t.events
+
+let failed_media t =
+  let media =
+    List.filter_map
+      (function Medium_outage { medium; _ } -> Some medium | _ -> None)
+      t.events
+  in
+  List.fold_left (fun acc m -> if List.mem m acc then acc else acc @ [ m ]) [] media
+
+let injection t ~architecture =
+  let module Arch = Aaa.Architecture in
+  let check_operator name =
+    if Arch.find_operator architecture name = None then
+      invalid_arg (Printf.sprintf "Scenario.injection: unknown operator %S" name)
+  in
+  let check_medium name =
+    if Arch.find_medium architecture name = None then
+      invalid_arg (Printf.sprintf "Scenario.injection: unknown medium %S" name)
+  in
+  List.iter
+    (function
+      | Processor_failstop { operator; _ } -> check_operator operator
+      | Medium_outage { medium; _ } -> check_medium medium
+      | Message_loss { medium = Some m; _ } -> check_medium m
+      | Message_loss { medium = None; _ } | Overrun_burst _ -> ())
+    t.events;
+  if t.events = [] then Exec.Injection.none
+  else begin
+    let fail_times =
+      List.filter_map
+        (function Processor_failstop { operator; at } -> Some (operator, at) | _ -> None)
+        t.events
+    in
+    let outages =
+      List.filter_map
+        (function
+          | Medium_outage { medium; from_t; until_t } -> Some (medium, from_t, until_t)
+          | _ -> None)
+        t.events
+    in
+    let losses =
+      List.mapi (fun i e -> (i, e)) t.events
+      |> List.filter_map (function
+           | i, Message_loss { medium; prob } -> Some (i, medium, prob)
+           | _ -> None)
+    in
+    let bursts =
+      List.mapi (fun i e -> (i, e)) t.events
+      |> List.filter_map (function
+           | i, Overrun_burst { start_prob; stop_prob; overrun_prob; factor } ->
+               Some
+                 ( i,
+                   burst_memo ~seed:t.seed ~index:i ~start_prob ~stop_prob,
+                   overrun_prob,
+                   factor )
+           | _ -> None)
+    in
+    let operator_failed ~operator ~time =
+      List.exists (fun (o, at) -> o = operator && time >= at -. 1e-12) fail_times
+    in
+    let medium_down ~medium ~time =
+      List.exists
+        (fun (m, from_t, until_t) -> m = medium && time >= from_t -. 1e-12 && time < until_t)
+        outages
+    in
+    let transfer_lost ~iteration ~slot =
+      let medium_name =
+        Arch.medium_name architecture slot.Aaa.Schedule.cm_medium
+      in
+      List.exists
+        (fun (index, medium, prob) ->
+          (match medium with None -> true | Some m -> m = medium_name)
+          && u01 ~seed:t.seed (tag_loss :: index :: iteration :: slot_coords slot) < prob)
+        losses
+    in
+    let overrun ~iteration ~op =
+      List.fold_left
+        (fun acc (index, in_burst, overrun_prob, factor) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if
+                in_burst iteration
+                && u01 ~seed:t.seed [ tag_burst_overrun; index; iteration; string_coord op ]
+                   < overrun_prob
+              then Some factor
+              else None)
+        None bursts
+    in
+    { Exec.Injection.operator_failed; medium_down; transfer_lost; overrun }
+  end
+
+let single_processor_failures ?(at = 0.) ~seed architecture =
+  let module Arch = Aaa.Architecture in
+  List.mapi
+    (fun i operator_id ->
+      let operator = Arch.operator_name architecture operator_id in
+      make
+        ~name:(Printf.sprintf "failstop_%s" operator)
+        ~seed:(seed + i)
+        [ Processor_failstop { operator; at } ])
+    (Arch.operators architecture)
+
+let pp_event ppf = function
+  | Processor_failstop { operator; at } ->
+      Format.fprintf ppf "fail-stop %s at %g s" operator at
+  | Medium_outage { medium; from_t; until_t } ->
+      Format.fprintf ppf "outage of %s over [%g, %g) s" medium from_t until_t
+  | Message_loss { medium; prob } ->
+      Format.fprintf ppf "message loss p=%g on %s" prob
+        (match medium with Some m -> m | None -> "all media")
+  | Overrun_burst { start_prob; stop_prob; overrun_prob; factor } ->
+      Format.fprintf ppf "overrun bursts (start %g, stop %g, p %g, x%g)" start_prob
+        stop_prob overrun_prob factor
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>scenario %S (seed %d):" t.name t.seed;
+  if t.events = [] then Format.fprintf ppf " fault-free";
+  List.iter (fun e -> Format.fprintf ppf "@,  %a" pp_event e) t.events;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,63 @@
+(** Fault scenarios — the structural counterpart of the timing laws.
+
+    A scenario names a set of fault events over one execution of an
+    implementation: processors that fail-stop at a given time, media
+    that go dark over a window, per-transfer message loss, and
+    correlated WCET-overrun bursts.  Together with an integer seed it
+    is a {e complete} description: every probabilistic decision (is
+    this transfer instance lost?  does this iteration sit in an
+    overrun burst?) is a pure hash of the seed and the decision's
+    coordinates, so two compilations of the same scenario agree
+    bit-for-bit regardless of the order the executors ask in. *)
+
+type event =
+  | Processor_failstop of { operator : string; at : float }
+      (** [operator] executes nothing from absolute time [at] on; its
+          outputs freeze (consumers fall back to previous-iteration
+          values). *)
+  | Medium_outage of { medium : string; from_t : float; until_t : float }
+      (** transfers departing on [medium] within [\[from_t, until_t)]
+          lose their payload. *)
+  | Message_loss of { medium : string option; prob : float }
+      (** every transfer instance on [medium] (all media when [None])
+          is independently lost with probability [prob]. *)
+  | Overrun_burst of {
+      start_prob : float;  (** per-iteration probability a burst begins *)
+      stop_prob : float;  (** per-iteration probability an ongoing burst ends *)
+      overrun_prob : float;  (** within a burst, per-execution overrun probability *)
+      factor : float;  (** duration multiplier on overrun, > 1 *)
+    }
+      (** a two-state (Gilbert-style) burst process: interference
+          arrives in correlated windows rather than i.i.d. — the
+          structural version of {!Exec.Machine.config.overrun_prob}. *)
+
+type t = private { name : string; seed : int; events : event list }
+
+val make : name:string -> seed:int -> event list -> t
+(** Validates every event: times non-negative, [from_t < until_t],
+    probabilities within [\[0, 1\]], burst factors > 1.  Raises
+    [Invalid_argument]. *)
+
+val nominal : seed:int -> t
+(** The empty scenario (no events) — the fault-free reference. *)
+
+val injection : t -> architecture:Aaa.Architecture.t -> Exec.Injection.t
+(** Compiles the scenario for one architecture (needed to resolve
+    medium names on transfer slots).  Raises [Invalid_argument] when
+    an event names an operator or medium the architecture does not
+    have. *)
+
+val failed_operators : t -> string list
+(** Operators fail-stopped by the scenario, in event order (the
+    exclusion set a degraded re-adequation must plan around). *)
+
+val failed_media : t -> string list
+(** Media with outage windows, deduplicated, in event order. *)
+
+val single_processor_failures :
+  ?at:float -> seed:int -> Aaa.Architecture.t -> t list
+(** One scenario per operator, each fail-stopping that operator at
+    [at] (default [0.] — dead from the start).  Scenario [i] is seeded
+    [seed + i] and named after its operator. *)
+
+val pp : Format.formatter -> t -> unit
