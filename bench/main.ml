@@ -284,6 +284,64 @@ let bench_ablation_delay_jittered =
               dc_design single_impl)))
 
 (* ------------------------------------------------------------------ *)
+(* exploration-engine benches: the same >= 32-candidate grid through a
+   1-domain pool and a multi-domain pool (identical results; the gap
+   is the engine's parallel speedup on multi-core hosts) *)
+
+let explore_design =
+  Lifecycle.Design.pid_loop ~name:"bench_dc"
+    ~plant:(Control.Plants.dc_motor Control.Plants.default_dc_motor)
+    ~x0:[| 0.; 0. |]
+    ~gains:{ Control.Pid.kp = 60.; ki = 80.; kd = 0. }
+    ~ts:0.05 ~reference:1. ~horizon:1.0 ()
+
+let explore_grid =
+  let platform label price architecture operators =
+    let durations_of frac =
+      let ts = 0.05 in
+      let d = Dur.create () in
+      let set op share =
+        List.iter
+          (fun operator ->
+            Dur.set d ~op ~operator (share *. frac *. ts);
+            Dur.set_bcet d ~op ~operator (0.4 *. share *. frac *. ts))
+          operators
+      in
+      set "reference" 0.05;
+      set "sample_y" 0.2;
+      set "pid" 0.6;
+      set "hold_u" 0.15;
+      d
+    in
+    { Explore.Grid.label; price; architecture; durations_of }
+  in
+  Explore.Grid.candidates
+    ~fractions:[ 0.2; 0.4; 0.6; 0.8 ]
+    ~seeds:[ 41; 42; 43; 44 ]
+    ~platforms:
+      [
+        platform "mcu" 1.0 (Arch.single ()) [ "P0" ];
+        platform "duo" 2.2 two_proc [ "P0"; "P1" ];
+      ]
+    ()
+
+let explore_pool_seq = Explore.Pool.create ~domains:1 ()
+let explore_pool_par =
+  Explore.Pool.create ~domains:(max 2 (Domain.recommended_domain_count ())) ()
+
+let explore_bench name pool =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         (* fresh cache each run: the bench measures evaluation, not replay *)
+         let cache = Explore.Cache.create () in
+         ignore
+           (Lifecycle.Explorer.evaluate ~pool ~cache ~designs:[ explore_design ]
+              ~candidates:explore_grid ())))
+
+let bench_explore_seq = explore_bench "explore_seq" explore_pool_seq
+let bench_explore_par = explore_bench "explore_par" explore_pool_par
+
+(* ------------------------------------------------------------------ *)
 
 let tests =
   [
@@ -308,12 +366,36 @@ let tests =
     bench_ablation_ode_rkf45;
     bench_ablation_delay_static;
     bench_ablation_delay_jittered;
+    bench_explore_seq;
+    bench_explore_par;
   ]
+
+(* --json FILE: also dump [{"name": ..., "time_ns": ...}, ...] so CI
+   and scripts can track the numbers without scraping the table *)
+let json_path =
+  let rec find = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let dump_json results =
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let row (name, t_ns) = Printf.sprintf "  {\"name\": %S, \"time_ns\": %.1f}" name t_ns in
+      output_string oc
+        ("[\n" ^ String.concat ",\n" (List.map row (List.rev results)) ^ "\n]\n");
+      close_out oc;
+      Printf.printf "\nwrote %d benchmark results to %s\n" (List.length results) path
 
 let () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let results = ref [] in
   Printf.printf "%-34s %16s %10s\n" "benchmark" "time/run" "r^2";
   Printf.printf "%s\n" (String.make 62 '-');
   List.iter
@@ -336,7 +418,9 @@ let () =
                 | Some r -> Printf.sprintf "%.4f" r
                 | None -> "-"
               in
+              results := (name, t_ns) :: !results;
               Printf.printf "%-34s %16s %10s\n" name pretty r2
           | Some _ | None -> Printf.printf "%-34s %16s %10s\n" name "(no estimate)" "-")
         raw)
-    tests
+    tests;
+  dump_json !results

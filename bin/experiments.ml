@@ -944,6 +944,92 @@ let faults () =
   Printf.printf "\n%s" (Fault.Fault_report.markdown_section summary)
 
 (* ------------------------------------------------------------------ *)
+(* explore: the batch-parallel, cached design-space engine *)
+
+(* seeds per grid cell; set by --runs (the CI smoke run uses 2) *)
+let explore_runs = ref 3
+
+let explore () =
+  header "explore: parallel design-space engine — grid, cache, Pareto front";
+  (* periods × platforms × WCET-speed-grades × seeds.  WCETs are
+     absolute (a property of code on hardware), so the same platform
+     grid is meaningful for every sampling period. *)
+  let designs =
+    List.map
+      (fun ts ->
+        Lifecycle.Design.pid_loop
+          ~name:(Printf.sprintf "dc_motor_ts%g" ts)
+          ~plant:(Control.Plants.dc_motor Control.Plants.default_dc_motor)
+          ~x0:[| 0.; 0. |] ~gains:snappy_gains ~ts ~reference:1. ~horizon:4. ())
+      [ 0.05; 0.06 ]
+  in
+  let shares = [ ("reference", 0.05); ("sample_y", 0.2); ("pid", 0.6); ("hold_u", 0.15) ] in
+  let durations_for operators scale =
+    let d = Dur.create () in
+    List.iter
+      (fun (op, share) ->
+        List.iter
+          (fun operator ->
+            Dur.set d ~op ~operator (share *. scale *. 0.05);
+            Dur.set_bcet d ~op ~operator (0.4 *. share *. scale *. 0.05))
+          operators)
+      shares;
+    d
+  in
+  let platforms =
+    [
+      {
+        Explore.Grid.label = "mcu";
+        price = 1.0;
+        architecture = Arch.single ~proc_name:"mcu" ();
+        durations_of = (fun scale -> durations_for [ "mcu" ] scale);
+      };
+      {
+        Explore.Grid.label = "duo";
+        price = 2.2;
+        architecture = dc_two_proc ();
+        durations_of = (fun scale -> durations_for [ "P0"; "P1" ] scale);
+      };
+      {
+        Explore.Grid.label = "fast_mcu";
+        price = 3.0;
+        architecture = Arch.single ~proc_name:"mcu" ();
+        durations_of = (fun scale -> durations_for [ "mcu" ] (0.33 *. scale));
+      };
+    ]
+  in
+  let seeds = List.init (max 1 !explore_runs) (fun i -> 900 + i) in
+  let candidates =
+    Explore.Grid.candidates ~fractions:[ 0.3; 0.6; 0.95 ] ~seeds ~platforms ()
+  in
+  let pool = Explore.Pool.default () in
+  let cache = Explore.Cache.create () in
+  Printf.printf "grid: %d designs x %d candidates = %d evaluations, pool of %d domain(s)\n"
+    (List.length designs)
+    (Explore.Grid.size candidates)
+    (List.length designs * Explore.Grid.size candidates)
+    (Explore.Pool.domains pool);
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let points, t1 =
+    timed (fun () -> Lifecycle.Explorer.evaluate ~pool ~cache ~designs ~candidates ())
+  in
+  let points2, t2 =
+    timed (fun () -> Lifecycle.Explorer.evaluate ~pool ~cache ~designs ~candidates ())
+  in
+  Printf.printf "pass 1 (cold cache): %.3f s; pass 2 (warm cache): %.3f s (%s)\n" t1 t2
+    (if points = points2 then "identical points" else "POINTS DIFFER");
+  Format.printf "cache after both passes: %a@." Explore.Cache.pp_stats
+    (Explore.Cache.stats cache);
+  print_string (Lifecycle.Explorer.markdown_section ~cache points);
+  let front = Lifecycle.Explorer.pareto points in
+  Printf.printf "\nCSV export: %d rows (Explorer.csv); front holds %d of %d points\n"
+    (List.length points) (List.length front) (List.length points)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -963,6 +1049,7 @@ let experiments =
     ("baseline", baseline);
     ("faults", faults);
     ("exploration", exploration);
+    ("explore", explore);
     ("montecarlo", montecarlo);
     ("codegen-exec", codegen_exec);
   ]
@@ -987,8 +1074,16 @@ let name_arg =
   let doc = "Experiment to run (or \"all\")." in
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 
+let runs_arg =
+  let doc = "Seeds per grid cell for the $(b,explore) experiment." in
+  Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc)
+
+let run_with_opts runs name =
+  explore_runs := runs;
+  run_experiment name
+
 let cmd =
   let doc = "Regenerate the paper's figures as measured experiments" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(ret (const run_experiment $ name_arg))
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(ret (const run_with_opts $ runs_arg $ name_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,189 @@
+module Grid = Explore.Grid
+module Key = Explore.Key
+
+type outcome = {
+  o_cost : float;
+  o_io_latency : float;
+  o_makespan : float;
+  o_fits_period : bool;
+  o_infeasible : bool;
+}
+
+type point = {
+  design_name : string;
+  ts : float;
+  platform : string;
+  price : float;
+  fraction : float;
+  mode : Translator.Delay_graph.mode;
+  ideal_cost : float;
+  cost : float;
+  degradation_pct : float;
+  io_latency : float;
+  makespan : float;
+  fits_period : bool;
+  infeasible : bool;
+}
+
+let design_fields (design : Design.t) alg_key =
+  [
+    design.Design.name;
+    Key.float design.Design.ts;
+    Key.float design.Design.horizon;
+    alg_key;
+  ]
+
+let ideal_key design alg_key = Key.digest (("scilife.ideal" :: design_fields design alg_key))
+
+let candidate_key ?strategy design alg_key (c : Grid.candidate) durations =
+  Key.digest
+    ("scilife.impl"
+     :: design_fields design alg_key
+    @ [
+        Key.architecture c.Grid.platform.Grid.architecture;
+        Key.durations durations;
+        Key.mode c.Grid.mode;
+        Key.strategy strategy;
+      ])
+
+let evaluate ?pool ?cache ?strategy ~designs ~candidates () =
+  if designs = [] then invalid_arg "Explorer.evaluate: no designs";
+  if candidates = [] then invalid_arg "Explorer.evaluate: no candidates";
+  let pool = match pool with Some p -> p | None -> Explore.Pool.default () in
+  let memo key f =
+    match cache with None -> f () | Some c -> Explore.Cache.find_or_add c ~key f
+  in
+  (* one extraction + ideal co-simulation per design (the periods axis) *)
+  let prepared =
+    Explore.Pool.map pool
+      (fun (design : Design.t) ->
+        let _, algorithm, _ = Methodology.extract design in
+        let alg_key = Key.algorithm algorithm in
+        let ideal =
+          memo (ideal_key design alg_key) (fun () ->
+              {
+                o_cost = design.Design.cost (Methodology.simulate_ideal design);
+                o_io_latency = 0.;
+                o_makespan = 0.;
+                o_fits_period = true;
+                o_infeasible = false;
+              })
+        in
+        (design, alg_key, ideal.o_cost))
+      designs
+  in
+  let jobs =
+    List.concat_map
+      (fun (design, alg_key, ideal_cost) ->
+        List.map (fun c -> (design, alg_key, ideal_cost, c)) candidates)
+      prepared
+  in
+  Explore.Pool.map pool
+    (fun ((design : Design.t), alg_key, ideal_cost, (c : Grid.candidate)) ->
+      let durations = c.Grid.platform.Grid.durations_of c.Grid.fraction in
+      let o =
+        memo (candidate_key ?strategy design alg_key c durations) (fun () ->
+            match
+              Methodology.implement ?strategy ~design
+                ~architecture:c.Grid.platform.Grid.architecture ~durations ()
+            with
+            | impl ->
+                let static = impl.Methodology.static in
+                let cost =
+                  design.Design.cost
+                    (Methodology.simulate_implemented ~mode:c.Grid.mode design impl)
+                in
+                {
+                  o_cost = cost;
+                  o_io_latency = Translator.Temporal_model.io_latency static;
+                  o_makespan = static.Translator.Temporal_model.makespan;
+                  o_fits_period = static.Translator.Temporal_model.fits_period;
+                  o_infeasible = false;
+                }
+            | exception Aaa.Adequation.Infeasible _ ->
+                {
+                  o_cost = Float.infinity;
+                  o_io_latency = Float.infinity;
+                  o_makespan = Float.infinity;
+                  o_fits_period = false;
+                  o_infeasible = true;
+                })
+      in
+      {
+        design_name = design.Design.name;
+        ts = design.Design.ts;
+        platform = c.Grid.platform.Grid.label;
+        price = c.Grid.platform.Grid.price;
+        fraction = c.Grid.fraction;
+        mode = c.Grid.mode;
+        ideal_cost;
+        cost = o.o_cost;
+        degradation_pct =
+          Control.Metrics.degradation_pct ~ideal:ideal_cost ~actual:o.o_cost;
+        io_latency = o.o_io_latency;
+        makespan = o.o_makespan;
+        fits_period = o.o_fits_period;
+        infeasible = o.o_infeasible;
+      })
+    jobs
+
+let feasible points =
+  List.filter (fun p -> (not p.infeasible) && p.fits_period && Float.is_finite p.cost) points
+
+let pareto points =
+  Explore.Pareto.front ~objectives:(fun p -> [| p.price; p.cost |]) (feasible points)
+
+let mode_tag = function
+  | Translator.Delay_graph.Static_wcet -> "wcet"
+  | Translator.Delay_graph.Jittered { seed; _ } -> Printf.sprintf "seed=%d" seed
+
+let row p =
+  Printf.sprintf "| %s | %g | %s | %.1f | %.2f | %s | %.6g | %.6g | %+.2f | %.4g | %s |"
+    p.design_name p.ts p.platform p.price p.fraction (mode_tag p.mode) p.ideal_cost p.cost
+    p.degradation_pct p.io_latency
+    (if p.infeasible then "infeasible" else if p.fits_period then "yes" else "OVERRUNS")
+
+let table points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "| design | Ts | platform | price | f | mode | ideal | cost | degr % | io lat | fits |\n";
+  Buffer.add_string buf "|---|---|---|---|---|---|---|---|---|---|---|\n";
+  List.iter (fun p -> Buffer.add_string buf (row p ^ "\n")) points;
+  Buffer.contents buf
+
+let markdown_section ?cache points =
+  let front = pareto points in
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "## Design-space exploration";
+  line "";
+  line "%d candidate evaluations (%d feasible, %d on the Pareto front)."
+    (List.length points)
+    (List.length (feasible points))
+    (List.length front);
+  line "";
+  line "%s" (table points);
+  line "### Pareto front (price × cost, minimised)";
+  line "";
+  line "%s"
+    (table (Explore.Pareto.sort_by ~objective:(fun p -> p.price) front));
+  (match cache with
+  | Some c ->
+      line "### Evaluation cache";
+      line "";
+      line "%s" (Format.asprintf "%a" Explore.Cache.pp_stats (Explore.Cache.stats c))
+  | None -> ());
+  Buffer.contents buf
+
+let csv points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "design,ts,platform,price,fraction,mode,ideal_cost,cost,degradation_pct,io_latency,makespan,fits_period,infeasible\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%g,%s,%g,%g,%s,%.17g,%.17g,%.17g,%.17g,%.17g,%b,%b\n"
+           p.design_name p.ts p.platform p.price p.fraction (mode_tag p.mode) p.ideal_cost
+           p.cost p.degradation_pct p.io_latency p.makespan p.fits_period p.infeasible))
+    points;
+  Buffer.contents buf

@@ -1,5 +1,6 @@
 type summary = {
   runs : int;
+  seeds : int array;
   costs : float array;
   mean : float;
   stddev : float;
@@ -10,20 +11,45 @@ type summary = {
 }
 
 let run ?(runs = 20) ?(base_seed = 1000) ?(law = Exec.Timing_law.Uniform)
-    ?(bcet_frac = 0.4) ~design ~implementation () =
+    ?(bcet_frac = 0.4) ?pool ?cache ~design ~implementation () =
   if runs <= 0 then invalid_arg "Montecarlo.run: non-positive run count";
+  let pool = match pool with Some p -> p | None -> Explore.Pool.default () in
   let cost_with mode =
     let engine = Methodology.simulate_implemented ~mode design implementation in
-    design.Design.cost engine
+    (design : Design.t).Design.cost engine
   in
-  let costs =
-    Array.init runs (fun i ->
-        cost_with
-          (Translator.Delay_graph.Jittered { law; bcet_frac; seed = base_seed + i }))
+  let seeds = Array.init runs (fun i -> base_seed + i) in
+  (* the schedule digest is the expensive key part; compute it once *)
+  let problem_key =
+    lazy
+      (match cache with
+      | None -> ""
+      | Some _ ->
+          Explore.Key.digest
+            [
+              "scilife.montecarlo";
+              design.Design.name;
+              Explore.Key.float design.Design.ts;
+              Explore.Key.float design.Design.horizon;
+              Explore.Key.schedule implementation.Methodology.schedule;
+              Explore.Key.law law;
+              Explore.Key.float bcet_frac;
+            ])
   in
+  let cost_of seed =
+    let mode = Translator.Delay_graph.Jittered { law; bcet_frac; seed } in
+    match cache with
+    | None -> cost_with mode
+    | Some c ->
+        Explore.Cache.find_or_add c
+          ~key:(Explore.Key.digest [ Lazy.force problem_key; Explore.Key.int seed ])
+          (fun () -> cost_with mode)
+  in
+  let costs = Array.of_list (Explore.Pool.map pool cost_of (Array.to_list seeds)) in
   let static_cost = cost_with Translator.Delay_graph.Static_wcet in
   {
     runs;
+    seeds;
     costs;
     mean = Numerics.Stats.mean costs;
     stddev = Numerics.Stats.stddev costs;
@@ -35,8 +61,10 @@ let run ?(runs = 20) ?(base_seed = 1000) ?(law = Exec.Timing_law.Uniform)
 
 let pp ppf s =
   Format.fprintf ppf
-    "@[<v>monte-carlo over %d runs:@,\
+    "@[<v>monte-carlo over %d runs (seeds %d..%d):@,\
     \  mean = %.6g  std = %.6g@,\
     \  min = %.6g  p95 = %.6g  max = %.6g@,\
     \  static (WCET) cost = %.6g@]"
-    s.runs s.mean s.stddev s.cmin s.p95 s.cmax s.static_cost
+    s.runs s.seeds.(0)
+    s.seeds.(s.runs - 1)
+    s.mean s.stddev s.cmin s.p95 s.cmax s.static_cost

@@ -9,7 +9,15 @@
 
 type summary = {
   runs : int;
-  costs : float array;  (** one implemented cost per run, seed order *)
+  seeds : int array;
+      (** the per-run seeds ([base_seed + i]), so any draw — e.g. the
+          worst case — can be replayed standalone with
+          [simulate_implemented ~mode:(Jittered { law; bcet_frac;
+          seed = seeds.(i) })] *)
+  costs : float array;
+      (** one implemented cost per run, in seed order ([costs.(i)] is
+          the draw of [seeds.(i)]); parallel evaluation through the
+          pool preserves this order bit-for-bit *)
   mean : float;
   stddev : float;
   cmin : float;
@@ -26,12 +34,18 @@ val run :
   ?base_seed:int ->
   ?law:Exec.Timing_law.t ->
   ?bcet_frac:float ->
+  ?pool:Explore.Pool.t ->
+  ?cache:float Explore.Cache.t ->
   design:Design.t ->
   implementation:Methodology.implementation ->
   unit ->
   summary
 (** Default 20 runs from [base_seed] 1000, uniform law over
-    [\[bcet_frac·WCET, WCET\]] with [bcet_frac] 0.4.  Raises
-    [Invalid_argument] on [runs <= 0]. *)
+    [\[bcet_frac·WCET, WCET\]] with [bcet_frac] 0.4.  The per-seed
+    co-simulations run on [pool] (default {!Explore.Pool.default});
+    with [cache], each draw is memoized under the canonical digest of
+    (design params, schedule, law, BCET fraction, seed), so repeated
+    summaries of the same implementation replay from the cache.
+    Raises [Invalid_argument] on [runs <= 0]. *)
 
 val pp : Format.formatter -> summary -> unit

@@ -31,7 +31,8 @@ let comparison (design : Design.t) (c : Methodology.comparison) =
     static.Translator.Temporal_model.actuation_offsets;
   Buffer.contents buf
 
-let markdown ?montecarlo ?trace ?robustness (design : Design.t) (c : Methodology.comparison) =
+let markdown ?montecarlo ?trace ?robustness ?exploration (design : Design.t)
+    (c : Methodology.comparison) =
   let impl = c.Methodology.implementation in
   let static = impl.Methodology.static in
   let buf = Buffer.create 2048 in
@@ -112,6 +113,11 @@ let markdown ?montecarlo ?trace ?robustness (design : Design.t) (c : Methodology
       line "```"
   | None -> ());
   (match robustness with
+  | Some section ->
+      line "";
+      Buffer.add_string buf section
+  | None -> ());
+  (match exploration with
   | Some section ->
       line "";
       Buffer.add_string buf section

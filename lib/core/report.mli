@@ -13,6 +13,7 @@ val markdown :
   ?montecarlo:Montecarlo.summary ->
   ?trace:Exec.Machine.trace ->
   ?robustness:string ->
+  ?exploration:string ->
   Design.t ->
   Methodology.comparison ->
   string
@@ -23,5 +24,7 @@ val markdown :
     [robustness] appends a pre-rendered robustness section (see
     [Fault.Fault_report.markdown_section]; a plain string keeps the
     core library independent of [fault], which builds on top of it).
-    Written for humans reviewing a design decision (the [syndex
-    lifecycle --report] output). *)
+    [exploration] appends a pre-rendered design-space exploration
+    section with the Pareto front and cache statistics (see
+    {!Explorer.markdown_section}).  Written for humans reviewing a
+    design decision (the [syndex lifecycle --report] output). *)

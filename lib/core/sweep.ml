@@ -7,11 +7,14 @@ type point = {
 
 let default_fractions = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
 
-let latency ?(fractions = default_fractions) ~design ~architecture ~durations_of () =
+let get_pool = function Some p -> p | None -> Explore.Pool.default ()
+
+let latency ?(fractions = default_fractions) ?pool ~design ~architecture ~durations_of () =
+  let pool = get_pool pool in
   let ideal_cost =
     (design : Design.t).Design.cost (Methodology.simulate_ideal design)
   in
-  List.map
+  Explore.Pool.map pool
     (fun fraction ->
       let implementation =
         Methodology.implement ~design ~architecture ~durations:(durations_of fraction) ()
@@ -29,11 +32,12 @@ let latency ?(fractions = default_fractions) ~design ~architecture ~durations_of
     fractions
 
 let jitter ?(bcet_fracs = [ 1.0; 0.8; 0.6; 0.4; 0.2 ]) ?(law = Exec.Timing_law.Uniform)
-    ?(seed = 17) ~design ~implementation () =
+    ?(seed = 17) ?pool ~design ~implementation () =
+  let pool = get_pool pool in
   let ideal_cost =
     (design : Design.t).Design.cost (Methodology.simulate_ideal design)
   in
-  List.map
+  Explore.Pool.map pool
     (fun bcet_frac ->
       let mode =
         if bcet_frac >= 1. then Translator.Delay_graph.Static_wcet

@@ -11,6 +11,7 @@ type point = {
 
 val latency :
   ?fractions:float list ->
+  ?pool:Explore.Pool.t ->
   design:Design.t ->
   architecture:Aaa.Architecture.t ->
   durations_of:(float -> Aaa.Durations.t) ->
@@ -20,19 +21,24 @@ val latency :
     design for each latency fraction (default
     [0.1, 0.2, …, 0.9]), where [durations_of f] builds the WCET table
     putting the static I/O latency at [f·Ts].  The ideal cost is
-    computed once. *)
+    computed once.  The per-fraction evaluations run on [pool]
+    (default {!Explore.Pool.default}, i.e. parallel on multi-core
+    hosts); the returned points are identical to a sequential sweep,
+    in fraction order. *)
 
 val jitter :
   ?bcet_fracs:float list ->
   ?law:Exec.Timing_law.t ->
   ?seed:int ->
+  ?pool:Explore.Pool.t ->
   design:Design.t ->
   implementation:Methodology.implementation ->
   unit ->
   point list
 (** Sweeps the BCET fraction of the jittered graph-of-delays
     co-simulation (default [1.0, 0.8, …, 0.2]; [1.0] is the
-    deterministic WCET replay).  [parameter] is the BCET fraction. *)
+    deterministic WCET replay).  [parameter] is the BCET fraction.
+    Evaluations run on [pool] with sequential-identical results. *)
 
 val instability_threshold :
   ?threshold:float ->

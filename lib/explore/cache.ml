@@ -1,0 +1,105 @@
+type 'a t = {
+  capacity : int;
+  table : (string, 'a) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, for FIFO eviction *)
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let insert_locked t key v =
+  if not (Hashtbl.mem t.table key) then begin
+    Hashtbl.replace t.table key v;
+    Queue.add key t.order;
+    while Hashtbl.length t.table > t.capacity do
+      let oldest = Queue.pop t.order in
+      Hashtbl.remove t.table oldest;
+      t.evictions <- t.evictions + 1
+    done
+  end
+
+let find_or_add t ~key f =
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some v ->
+            t.hits <- t.hits + 1;
+            Some v
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      locked t (fun () -> insert_locked t key v);
+      v
+
+let find_opt t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t ~key v =
+  locked t (fun () ->
+      if Hashtbl.mem t.table key then Hashtbl.replace t.table key v
+      else insert_locked t key v)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let hit_rate s =
+  let lookups = s.hits + s.misses in
+  if lookups = 0 then Float.nan else float_of_int s.hits /. float_of_int lookups
+
+let reset t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Queue.clear t.order;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)
+
+let pp_stats ppf s =
+  let lookups = s.hits + s.misses in
+  Format.fprintf ppf "%d hits / %d misses" s.hits s.misses;
+  if lookups > 0 then Format.fprintf ppf " (%.1f %% hit rate)" (100. *. hit_rate s);
+  Format.fprintf ppf ", %d entries, %d evictions" s.size s.evictions

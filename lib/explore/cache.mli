@@ -1,0 +1,52 @@
+(** Memoizing evaluation cache: a bounded content-addressed table from
+    canonical problem digests (see {!Key}) to evaluation results, with
+    hit/miss/eviction counters for reports.
+
+    Identical adequation / co-simulation sub-problems recur constantly
+    across sweeps and grids (the same ideal simulation under every
+    latency fraction, the same candidate under two grids, a re-run of
+    an experiment); because every evaluation in scilife is
+    deterministic, a result keyed by the full problem digest can be
+    replayed from the cache bit-for-bit.
+
+    Thread-safety: safe to share across pool domains.  Entry values
+    are computed {e outside} the lock, so two domains missing the same
+    key concurrently may both compute it (both count as misses, one
+    insertion wins) — harmless, since values are deterministic.
+    Eviction is insertion-order (FIFO) once [capacity] is exceeded. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;  (** live entries *)
+  capacity : int;
+}
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 4096 entries.  Raises [Invalid_argument] on a
+    non-positive capacity. *)
+
+val find_or_add : 'a t -> key:string -> (unit -> 'a) -> 'a
+(** [find_or_add c ~key f] returns the cached value for [key] (a hit —
+    the stored value itself, not a copy), or computes [f ()], stores
+    it and returns it (a miss).  An [f] that raises caches nothing. *)
+
+val find_opt : 'a t -> key:string -> 'a option
+(** Lookup without computing; counts as a hit or a miss. *)
+
+val add : 'a t -> key:string -> 'a -> unit
+(** Unconditional insertion (replaces an existing entry); does not
+    touch the hit/miss counters. *)
+
+val stats : 'a t -> stats
+val hit_rate : stats -> float
+(** Hits over lookups, [nan] before the first lookup. *)
+
+val reset : 'a t -> unit
+(** Drops all entries and zeroes the counters. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** e.g. ["42 hits / 18 misses (70.0 % hit rate), 18 entries, 0 evictions"]. *)

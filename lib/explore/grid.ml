@@ -1,0 +1,47 @@
+type platform = {
+  label : string;
+  price : float;
+  architecture : Aaa.Architecture.t;
+  durations_of : float -> Aaa.Durations.t;
+}
+
+type candidate = {
+  platform : platform;
+  fraction : float;
+  mode : Translator.Delay_graph.mode;
+}
+
+let candidates ?(fractions = [ 0.3; 0.6; 0.9 ]) ?(seeds = [])
+    ?(law = Exec.Timing_law.Uniform) ?(bcet_frac = 0.4) ~platforms () =
+  if platforms = [] then invalid_arg "Grid.candidates: no platforms";
+  if fractions = [] then invalid_arg "Grid.candidates: no fractions";
+  List.iter
+    (fun f ->
+      if not (f > 0. && f <= 1.) then
+        invalid_arg (Printf.sprintf "Grid.candidates: fraction %g outside (0, 1]" f))
+    fractions;
+  List.concat_map
+    (fun platform ->
+      List.concat_map
+        (fun fraction ->
+          match seeds with
+          | [] -> [ { platform; fraction; mode = Translator.Delay_graph.Static_wcet } ]
+          | seeds ->
+              List.map
+                (fun seed ->
+                  {
+                    platform;
+                    fraction;
+                    mode = Translator.Delay_graph.Jittered { law; bcet_frac; seed };
+                  })
+                seeds)
+        fractions)
+    platforms
+
+let size = List.length
+
+let tag c =
+  Printf.sprintf "%s f=%g %s" c.platform.label c.fraction
+    (match c.mode with
+    | Translator.Delay_graph.Static_wcet -> "wcet"
+    | Translator.Delay_graph.Jittered { seed; _ } -> Printf.sprintf "seed=%d" seed)

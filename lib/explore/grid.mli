@@ -1,0 +1,46 @@
+(** Declarative candidate grids: the cross-product of platforms ×
+    latency fractions × execution-time seeds that the exploration
+    engine evaluates through the pool and cache.
+
+    A {e platform} is a priced architecture together with its WCET
+    characterisation as a function of the latency fraction (the "same
+    software on this hardware at this speed" axis the sweeps already
+    use); a {e candidate} is one platform at one fraction under one
+    co-simulation mode.  The periods axis of a full design-space sweep
+    is carried by evaluating the grid against several designs (one per
+    sampling period) — see [Lifecycle.Explorer]. *)
+
+type platform = {
+  label : string;
+  price : float;  (** relative platform cost, first Pareto objective *)
+  architecture : Aaa.Architecture.t;
+  durations_of : float -> Aaa.Durations.t;
+      (** WCET/BCET table placing the static I/O latency at the given
+          fraction of the period *)
+}
+
+type candidate = {
+  platform : platform;
+  fraction : float;
+  mode : Translator.Delay_graph.mode;
+}
+
+val candidates :
+  ?fractions:float list ->
+  ?seeds:int list ->
+  ?law:Exec.Timing_law.t ->
+  ?bcet_frac:float ->
+  platforms:platform list ->
+  unit ->
+  candidate list
+(** The grid in deterministic row-major order (platform, then
+    fraction, then seed).  Default fractions [0.3; 0.6; 0.9].  With
+    [seeds = []] (the default) each cell is costed once under the
+    static WCET model; otherwise once per seed under
+    [Jittered { law; bcet_frac; seed }] (defaults: uniform law,
+    BCET fraction 0.4).  Raises [Invalid_argument] on an empty
+    platform or fraction list, or fractions outside (0, 1]. *)
+
+val size : candidate list -> int
+val tag : candidate -> string
+(** Compact candidate id, e.g. ["fast_mcu f=0.6 seed=901"]. *)

@@ -1,0 +1,108 @@
+module Alg = Aaa.Algorithm
+module Arch = Aaa.Architecture
+
+let float f = Printf.sprintf "%h" f
+let int i = string_of_int i
+let string s = Printf.sprintf "%d:%s" (String.length s) s
+
+let kind = function
+  | Alg.Sensor -> "sensor"
+  | Alg.Actuator -> "actuator"
+  | Alg.Compute -> "compute"
+  | Alg.Memory -> "memory"
+
+let ports a = Array.to_list a |> List.map int |> String.concat ","
+
+let algorithm alg =
+  let buf = Buffer.create 512 in
+  let add s = Buffer.add_string buf (string s) in
+  add "alg";
+  add (Alg.name alg);
+  add (float (Alg.period alg));
+  List.iter
+    (fun op ->
+      add (Alg.op_name alg op);
+      add (kind (Alg.op_kind alg op));
+      add (ports (Alg.op_inputs alg op));
+      add (ports (Alg.op_outputs alg op));
+      match Alg.op_cond alg op with
+      | None -> add "-"
+      | Some { Alg.var; value } ->
+          add var;
+          add (int value))
+    (Alg.ops alg);
+  List.iter
+    (fun (((src : Alg.op_id), sp), ((dst : Alg.op_id), dp)) ->
+      add (Printf.sprintf "%d.%d>%d.%d" (src :> int) sp (dst :> int) dp))
+    (Alg.dependencies alg);
+  (* conditioning variables, sorted for canonicity *)
+  let vars =
+    List.filter_map (fun op -> Option.map (fun c -> c.Alg.var) (Alg.op_cond alg op)) (Alg.ops alg)
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun var ->
+      add var;
+      match Alg.condition_source alg ~var with
+      | Some ((op : Alg.op_id), port) -> add (Printf.sprintf "%d.%d" (op :> int) port)
+      | None -> add "-")
+    vars;
+  Buffer.contents buf
+
+let architecture arch =
+  let buf = Buffer.create 256 in
+  let add s = Buffer.add_string buf (string s) in
+  add "arch";
+  add (Arch.name arch);
+  List.iter (fun o -> add (Arch.operator_name arch o)) (Arch.operators arch);
+  List.iter
+    (fun m ->
+      add (Arch.medium_name arch m);
+      add (match Arch.medium_kind arch m with Arch.Bus -> "bus" | Arch.Point_to_point -> "p2p");
+      List.iter (fun o -> add (Arch.operator_name arch o)) (Arch.medium_endpoints arch m);
+      (* recover the costing parameters: duration(w) = latency + w·tpw *)
+      let latency = Arch.comm_duration arch m ~words:0 in
+      add (float latency);
+      add (float (Arch.comm_duration arch m ~words:1 -. latency)))
+    (Arch.media arch);
+  Buffer.contents buf
+
+let durations d =
+  let entries =
+    Aaa.Durations.fold d ~init:[] ~f:(fun ~op ~operator ~wcet ~bcet acc ->
+        (op, operator, wcet, bcet) :: acc)
+    |> List.sort compare
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string "dur");
+  List.iter
+    (fun (op, operator, wcet, bcet) ->
+      Buffer.add_string buf (string op);
+      Buffer.add_string buf (string operator);
+      Buffer.add_string buf (string (float wcet));
+      Buffer.add_string buf (string (float bcet)))
+    entries;
+  Buffer.contents buf
+
+let schedule s = string "sched" ^ string (Aaa.Schedule_io.print s)
+
+let law = function
+  | Exec.Timing_law.Wcet -> "wcet"
+  | Exec.Timing_law.Bcet -> "bcet"
+  | Exec.Timing_law.Uniform -> "uniform"
+  | Exec.Timing_law.Triangular f -> "triangular:" ^ float f
+  | Exec.Timing_law.Gaussian { mean_frac; sigma_frac } ->
+      Printf.sprintf "gaussian:%s:%s" (float mean_frac) (float sigma_frac)
+
+let mode = function
+  | Translator.Delay_graph.Static_wcet -> "static"
+  | Translator.Delay_graph.Jittered { law = l; bcet_frac; seed } ->
+      Printf.sprintf "jittered:%s:%s:%d" (law l) (float bcet_frac) seed
+
+let strategy = function
+  | None -> "default"
+  | Some Aaa.Adequation.Pressure -> "pressure"
+  | Some Aaa.Adequation.Earliest_finish -> "eft"
+
+let digest fields =
+  Digest.to_hex (Digest.string (String.concat "" (List.map string fields)))

@@ -1,0 +1,47 @@
+(** Canonical digests of evaluation problems — the {!Cache} keys.
+
+    A cache is only sound if the key captures {e everything} the
+    evaluation depends on.  For scilife that is the design parameters
+    (its name, period and horizon stand in for the diagram builder and
+    cost functional, which are closures — two designs differing in
+    either must carry different names), the extracted algorithm graph,
+    the architecture graph, the WCET/BCET tables, and the co-simulation
+    mode (timing law, BCET fraction, seed).  Each helper below renders
+    one of these to a canonical text form — stable across process
+    runs, insertion orders and hash-table iteration orders — and
+    {!digest} hashes the assembled field list.
+
+    Floats are rendered in hexadecimal ([%h]) so equal values always
+    produce equal text and nothing is lost to decimal rounding. *)
+
+val float : float -> string
+val int : int -> string
+val string : string -> string
+(** Length-prefixed, so concatenated fields cannot alias. *)
+
+val algorithm : Aaa.Algorithm.t -> string
+(** Name, period, operations in insertion order (name, kind, port
+    widths, condition), dependencies and condition sources. *)
+
+val architecture : Aaa.Architecture.t -> string
+(** Name, operators in insertion order, media with kind, endpoints and
+    transfer costing. *)
+
+val durations : Aaa.Durations.t -> string
+(** Every (operation, operator, WCET, BCET) entry in sorted order —
+    canonical even though the table's fold order is unspecified. *)
+
+val schedule : Aaa.Schedule.t -> string
+(** The serialised schedule ({!Aaa.Schedule_io.print}) — keys
+    evaluations of an already-adequated implementation. *)
+
+val law : Exec.Timing_law.t -> string
+
+val mode : Translator.Delay_graph.mode -> string
+(** Static WCET, or the jittered law with BCET fraction and seed. *)
+
+val strategy : Aaa.Adequation.strategy option -> string
+
+val digest : string list -> string
+(** Hex digest of the tagged field list.  Fields are length-prefixed
+    before hashing, so no two distinct field lists collide textually. *)

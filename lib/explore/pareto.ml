@@ -1,0 +1,35 @@
+let norm x = if Float.is_nan x then Float.infinity else x
+
+let dominates a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Pareto.dominates: mismatched objective counts";
+  let no_worse = ref true and better = ref false in
+  Array.iteri
+    (fun i ai ->
+      let ai = norm ai and bi = norm b.(i) in
+      if ai > bi then no_worse := false;
+      if ai < bi then better := true)
+    a;
+  !no_worse && !better
+
+let front ~objectives items =
+  let objs = Array.of_list (List.map objectives items) in
+  (match items with
+  | [] -> ()
+  | _ ->
+      let d = Array.length objs.(0) in
+      Array.iter
+        (fun o ->
+          if Array.length o <> d then
+            invalid_arg "Pareto.front: mismatched objective counts")
+        objs);
+  List.filteri
+    (fun i it ->
+      ignore it;
+      let dominated = ref false in
+      Array.iteri (fun j oj -> if j <> i && dominates oj objs.(i) then dominated := true) objs;
+      not !dominated)
+    items
+
+let sort_by ~objective items =
+  List.stable_sort (fun a b -> Float.compare (norm (objective a)) (norm (objective b))) items

@@ -1,0 +1,23 @@
+(** Non-dominated (Pareto) front extraction over minimised objectives.
+
+    The design-space engine evaluates candidate implementations into
+    multi-objective points — platform price, control cost, I/O latency
+    — and the decision surface is the set of candidates no other
+    candidate beats on every objective at once (cf. the
+    multi-candidate implementation grids of Di Benedetto et al.,
+    arXiv:1308.5331). *)
+
+val dominates : float array -> float array -> bool
+(** [dominates a b]: [a] is no worse than [b] on every objective and
+    strictly better on at least one (all objectives minimised).  NaN
+    objectives compare as [+inf].  Raises [Invalid_argument] on
+    mismatched lengths. *)
+
+val front : objectives:('a -> float array) -> 'a list -> 'a list
+(** The elements dominated by no other element, in their original
+    order.  Elements with identical objective vectors all survive
+    (none strictly dominates the other).  O(n²) pairwise scan —
+    candidate grids are thousands of points at most. *)
+
+val sort_by : objective:('a -> float) -> 'a list -> 'a list
+(** Stable ascending sort by one objective — for rendering fronts. *)

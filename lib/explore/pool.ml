@@ -1,0 +1,165 @@
+type task = unit -> unit
+
+type t = {
+  n_domains : int;
+  queue : task Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable workers : unit Domain.t list;
+  mutable closed : bool;
+}
+
+(* set while a domain executes a pool task, so a nested [map] from
+   inside a task degrades to the sequential path instead of parking
+   every domain in a wait *)
+let inside_task = Domain.DLS.new_key (fun () -> false)
+
+let domains t = t.n_domains
+
+let run_task task =
+  Domain.DLS.set inside_task true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set inside_task false) task
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let rec next () =
+      if Queue.is_empty t.queue then
+        if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          next ()
+        end
+      else Some (Queue.pop t.queue)
+    in
+    let task = next () in
+    Mutex.unlock t.lock;
+    match task with
+    | None -> ()
+    | Some task ->
+        run_task task;
+        loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let n_domains =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Pool.create: domain count must be at least 1";
+        d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t =
+    {
+      n_domains;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      workers = [];
+      closed = false;
+    }
+  in
+  if n_domains > 1 then
+    t.workers <- List.init (n_domains - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.nonempty
+  end;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_lock = Mutex.create ()
+let default_pool = ref None
+
+let default () =
+  Mutex.lock default_lock;
+  let t =
+    match !default_pool with
+    | Some t -> t
+    | None ->
+        let t = create () in
+        default_pool := Some t;
+        t
+  in
+  Mutex.unlock default_lock;
+  t
+
+(* One slot per input element; chunks write disjoint ranges, so the
+   only synchronisation needed is the completion count. *)
+let mapi ?chunk t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f 0 x ]
+  | _ when t.n_domains <= 1 || Domain.DLS.get inside_task -> List.mapi f xs
+  | _ ->
+      if t.closed then invalid_arg "Pool.map: pool is shut down";
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let chunk_size =
+        match chunk with
+        | Some c ->
+            if c < 1 then invalid_arg "Pool.map: chunk must be at least 1";
+            c
+        | None -> max 1 ((n + (4 * t.n_domains) - 1) / (4 * t.n_domains))
+      in
+      let n_chunks = (n + chunk_size - 1) / chunk_size in
+      let pending = ref n_chunks in
+      let done_lock = Mutex.create () in
+      let done_cond = Condition.create () in
+      let run_chunk lo () =
+        let hi = min n (lo + chunk_size) in
+        for i = lo to hi - 1 do
+          results.(i) <-
+            (try Some (Ok (f i arr.(i)))
+             with e -> Some (Error (e, Printexc.get_raw_backtrace ())))
+        done;
+        Mutex.lock done_lock;
+        decr pending;
+        if !pending = 0 then Condition.signal done_cond;
+        Mutex.unlock done_lock
+      in
+      Mutex.lock t.lock;
+      for c = 0 to n_chunks - 1 do
+        Queue.add (run_chunk (c * chunk_size)) t.queue
+      done;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.lock;
+      (* the submitter works too: drain tasks until the queue is empty,
+         then wait for the in-flight chunks *)
+      let rec help () =
+        Mutex.lock t.lock;
+        let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+        Mutex.unlock t.lock;
+        match task with
+        | Some task ->
+            run_task task;
+            help ()
+        | None -> ()
+      in
+      help ();
+      Mutex.lock done_lock;
+      while !pending > 0 do
+        Condition.wait done_cond done_lock
+      done;
+      Mutex.unlock done_lock;
+      List.init n (fun i ->
+          match results.(i) with
+          | Some (Ok v) -> v
+          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | None -> assert false)
+
+let map ?chunk t f xs = mapi ?chunk t (fun _ x -> f x) xs
+
+let map_reduce ?chunk t ~map:fm ~reduce ~init xs =
+  List.fold_left reduce init (map ?chunk t fm xs)

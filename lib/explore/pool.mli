@@ -1,0 +1,66 @@
+(** Fixed-size domain worker pool with deterministic chunked mapping.
+
+    The design-space engine's unit of parallelism is one candidate
+    evaluation — an adequation plus a co-simulation, milliseconds to
+    seconds of pure computation building only fresh data structures —
+    so a coarse-grained pool over OCaml 5 domains parallelises it
+    near-linearly (cf. the map-reduce synthesis of Alimguzhin et al.,
+    arXiv:1210.2276).
+
+    Determinism contract: {!map} applies a {e pure} function to every
+    element and places each result by its input index, so the output
+    equals [List.map f xs] {e bit for bit} whatever the domain count,
+    chunking or scheduling — the same discipline as the fault model's
+    pure-hash sampler.  Functions must not rely on shared mutable
+    state; everything in scilife's evaluation path builds fresh graphs
+    per call and qualifies.
+
+    When the pool has a single domain (the default on a single-core
+    host, where [Domain.recommended_domain_count () = 1]) no domain is
+    ever spawned and every operation degrades to the plain sequential
+    implementation. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (the
+    submitting domain participates in its own maps, so [domains]
+    domains compute in total).  Default
+    [Domain.recommended_domain_count ()].  Raises [Invalid_argument]
+    on [domains < 1]. *)
+
+val domains : t -> int
+(** The pool's total domain count (workers + the submitter). *)
+
+val default : unit -> t
+(** The shared process-wide pool, created on first use with the
+    recommended domain count — what [?pool] arguments default to. *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [List.map f xs], computed by the pool's domains
+    in chunks of [chunk] elements (default: enough chunks to balance
+    the load, about four per domain).  Results come back in input
+    order regardless of execution order.  If any application raises,
+    the exception of the {e smallest} input index is re-raised after
+    all chunks finish (so the raised exception is deterministic too).
+    Reentrant calls from inside a pool task fall back to the
+    sequential path rather than deadlock. *)
+
+val mapi : ?chunk:int -> t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Index-passing variant of {!map}. *)
+
+val map_reduce :
+  ?chunk:int -> t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a list -> 'acc
+(** [map_reduce pool ~map ~reduce ~init xs] folds the mapped results
+    in input order: identical to
+    [List.fold_left reduce init (List.map map xs)] whatever the domain
+    count.  Only the map runs in parallel. *)
+
+val shutdown : t -> unit
+(** Terminates and joins the worker domains.  Idempotent.  A pool must
+    not be used after shutdown. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and always shuts it down —
+    the scoped form tests and benchmarks use. *)

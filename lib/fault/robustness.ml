@@ -26,9 +26,10 @@ type summary = {
   all_fit : bool;
 }
 
-let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ~design ~architecture
+let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ~design ~architecture
     ~durations ~scenarios () =
   if scenarios = [] then invalid_arg "Robustness.evaluate: no scenarios";
+  let pool = match pool with Some p -> p | None -> Explore.Pool.default () in
   let nominal = Meth.implement ?strategy ~design ~architecture ~durations () in
   let ideal_cost = design.Design.cost (Meth.simulate_ideal design) in
   let nominal_cost = design.Design.cost (Meth.simulate_implemented design nominal) in
@@ -98,7 +99,10 @@ let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ~design ~architectur
       overruns = trace.Exec.Machine.overruns;
     }
   in
-  let outcomes = List.map outcome scenarios in
+  (* one independent adequation + co-simulation + injected machine run
+     per scenario: the engine's unit of parallelism; scenario order is
+     preserved and every value matches the sequential evaluation *)
+  let outcomes = Explore.Pool.map pool outcome scenarios in
   let feasible = List.filter (fun o -> not o.infeasible) outcomes in
   let degradations = List.map (fun o -> o.degradation_pct) feasible in
   {

@@ -51,6 +51,7 @@ val evaluate :
   ?iterations:int ->
   ?strategy:Aaa.Adequation.strategy ->
   ?replicas:(string * string) list ->
+  ?pool:Explore.Pool.t ->
   design:Lifecycle.Design.t ->
   architecture:Aaa.Architecture.t ->
   durations:Aaa.Durations.t ->
@@ -59,7 +60,9 @@ val evaluate :
   summary
 (** Runs the full evaluation.  [iterations] (default 200) sizes the
     injected machine runs; [replicas] is forwarded to the degraded
-    re-adequation ({!Degrade.replan}).  Raises
+    re-adequation ({!Degrade.replan}).  The per-scenario evaluations
+    run on [pool] (default {!Explore.Pool.default}) with results
+    identical to the sequential path, in scenario order.  Raises
     {!Aaa.Adequation.Infeasible} only for the {e nominal} mapping —
     per-scenario infeasibility is recorded, not raised.  Raises
     [Invalid_argument] on an empty scenario list. *)

@@ -1,0 +1,447 @@
+open Helpers
+module Pool = Explore.Pool
+module Cache = Explore.Cache
+module Key = Explore.Key
+module Pareto = Explore.Pareto
+module Grid = Explore.Grid
+module Alg = Aaa.Algorithm
+module Arch = Aaa.Architecture
+module Dur = Aaa.Durations
+module Explorer = Lifecycle.Explorer
+
+(* ------------------------------------------------------------------ *)
+(* pool: deterministic parallel mapping *)
+
+(* shared pools, one per domain count the properties quantify over —
+   spawned once so the QCheck loops do not fork domains per iteration *)
+let pools = Array.init 4 (fun i -> Pool.create ~domains:(i + 1) ())
+
+exception Boom of int
+
+let pool_tests =
+  [
+    test "map equals List.map whatever the domain count" (fun () ->
+        let xs = List.init 100 (fun i -> i) in
+        let f x = (x * x) + 3 in
+        Array.iter
+          (fun pool ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "%d domain(s)" (Pool.domains pool))
+              (List.map f xs) (Pool.map pool f xs))
+          pools);
+    qtest ~count:100 "map is List.map for every domain count and chunking"
+      QCheck2.Gen.(
+        triple (list_size (0 -- 40) (int_bound 1000)) (1 -- 4) (1 -- 7))
+      (fun (xs, domains, chunk) ->
+        let f x = (x * 7) - 1 in
+        Pool.map ~chunk pools.(domains - 1) f xs = List.map f xs);
+    test "mapi passes input indices" (fun () ->
+        let xs = [ "a"; "b"; "c"; "d"; "e" ] in
+        Alcotest.(check (list string))
+          "indexed"
+          (List.mapi (fun i s -> Printf.sprintf "%d:%s" i s) xs)
+          (Pool.mapi pools.(2) (fun i s -> Printf.sprintf "%d:%s" i s) xs));
+    test "map_reduce folds mapped results in input order" (fun () ->
+        let xs = List.init 30 string_of_int in
+        (* string concat is not commutative: any reordering would show *)
+        Alcotest.(check string)
+          "ordered fold"
+          (String.concat "," xs)
+          (Pool.map_reduce pools.(3) ~map:(fun s -> s)
+             ~reduce:(fun acc s -> if acc = "" then s else acc ^ "," ^ s)
+             ~init:"" xs));
+    test "the exception of the smallest failing index is re-raised" (fun () ->
+        let xs = List.init 20 (fun i -> i) in
+        match
+          Pool.map ~chunk:2 pools.(3) (fun i -> if i >= 7 then raise (Boom i) else i) xs
+        with
+        | exception Boom i -> check_int "smallest index" 7 i
+        | _ -> Alcotest.fail "expected Boom");
+    test "reentrant maps fall back to sequential instead of deadlocking" (fun () ->
+        let pool = pools.(1) in
+        let nested x = List.fold_left ( + ) 0 (Pool.map pool (fun y -> y * 2) [ x; x + 1 ]) in
+        Alcotest.(check (list int))
+          "nested" (List.map nested [ 1; 2; 3 ])
+          (Pool.map pool nested [ 1; 2; 3 ]));
+    test "create rejects a non-positive domain count" (fun () ->
+        check_raises_invalid "domains:0" (fun () -> ignore (Pool.create ~domains:0 ())));
+    test "with_pool returns the result and shutdown is idempotent" (fun () ->
+        check_int "result" 42 (Pool.with_pool ~domains:2 (fun _ -> 42));
+        let p = Pool.create ~domains:2 () in
+        Pool.shutdown p;
+        Pool.shutdown p);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* cache: memoization and counters *)
+
+let cache_tests =
+  [
+    test "a miss computes, a hit replays the stored value" (fun () ->
+        let c = Cache.create () in
+        let v1 = Cache.find_or_add c ~key:"k" (fun () -> ref 1) in
+        let v2 = Cache.find_or_add c ~key:"k" (fun () -> ref 2) in
+        check_true "physically the stored value" (v1 == v2);
+        check_int "contents" 1 !v2;
+        let s = Cache.stats c in
+        check_int "hits" 1 s.Cache.hits;
+        check_int "misses" 1 s.Cache.misses;
+        check_int "size" 1 s.Cache.size);
+    test "find_opt counts lookups" (fun () ->
+        let c = Cache.create () in
+        check_true "absent" (Cache.find_opt c ~key:"a" = None);
+        Cache.add c ~key:"a" 7;
+        check_true "present" (Cache.find_opt c ~key:"a" = Some 7);
+        let s = Cache.stats c in
+        check_int "one miss" 1 s.Cache.misses;
+        check_int "one hit" 1 s.Cache.hits);
+    test "eviction is FIFO once capacity is exceeded" (fun () ->
+        let c = Cache.create ~capacity:2 () in
+        List.iter (fun k -> ignore (Cache.find_or_add c ~key:k (fun () -> k))) [ "a"; "b"; "c" ];
+        let s = Cache.stats c in
+        check_int "evictions" 1 s.Cache.evictions;
+        check_int "live entries" 2 s.Cache.size;
+        check_true "oldest gone" (Cache.find_opt c ~key:"a" = None);
+        check_true "newest kept" (Cache.find_opt c ~key:"c" = Some "c"));
+    test "a raising computation caches nothing" (fun () ->
+        let c = Cache.create () in
+        (match Cache.find_or_add c ~key:"k" (fun () -> failwith "boom") with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected Failure");
+        check_int "empty" 0 (Cache.stats c).Cache.size;
+        check_int "recomputed" 5 (Cache.find_or_add c ~key:"k" (fun () -> 5)));
+    test "hit_rate is nan before the first lookup, then hits over lookups" (fun () ->
+        let c = Cache.create () in
+        check_true "nan" (Float.is_nan (Cache.hit_rate (Cache.stats c)));
+        ignore (Cache.find_or_add c ~key:"k" (fun () -> ()));
+        ignore (Cache.find_or_add c ~key:"k" (fun () -> ()));
+        check_float "0.5" 0.5 (Cache.hit_rate (Cache.stats c)));
+    test "reset drops entries and zeroes counters" (fun () ->
+        let c = Cache.create () in
+        ignore (Cache.find_or_add c ~key:"k" (fun () -> 1));
+        Cache.reset c;
+        let s = Cache.stats c in
+        check_int "size" 0 s.Cache.size;
+        check_int "hits" 0 s.Cache.hits;
+        check_int "misses" 0 s.Cache.misses);
+    test "pp_stats renders the counters" (fun () ->
+        let c = Cache.create () in
+        ignore (Cache.find_or_add c ~key:"k" (fun () -> 1));
+        ignore (Cache.find_or_add c ~key:"k" (fun () -> 1));
+        let s = Format.asprintf "%a" Cache.pp_stats (Cache.stats c) in
+        check_true "hits shown" (contains s "1 hits / 1 misses");
+        check_true "rate shown" (contains s "50.0 % hit rate"));
+    test "create rejects a non-positive capacity" (fun () ->
+        check_raises_invalid "capacity:0" (fun () -> ignore (Cache.create ~capacity:0 ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* key: canonical digests *)
+
+let key_tests =
+  [
+    test "digests are stable and length-prefixing prevents aliasing" (fun () ->
+        Alcotest.(check string)
+          "stable" (Key.digest [ "a"; "b" ]) (Key.digest [ "a"; "b" ]);
+        check_true "field boundaries matter"
+          (Key.digest [ "ab"; "c" ] <> Key.digest [ "a"; "bc" ]);
+        check_true "string helper length-prefixes" (Key.string "ab" <> Key.string "b"));
+    test "duration digests ignore insertion order" (fun () ->
+        let build order =
+          let d = Dur.create () in
+          List.iter (fun (op, operator, w) -> Dur.set d ~op ~operator w) order;
+          Key.durations d
+        in
+        let entries = [ ("a", "P0", 0.1); ("b", "P0", 0.2); ("a", "P1", 0.3) ] in
+        Alcotest.(check string)
+          "canonical" (build entries) (build (List.rev entries)));
+    test "duration digests see WCET changes" (fun () ->
+        let build w =
+          let d = Dur.create () in
+          Dur.set d ~op:"a" ~operator:"P0" w;
+          Key.durations d
+        in
+        check_true "different tables" (build 0.1 <> build 0.2));
+    test "mode digests discriminate the law, fraction and seed" (fun () ->
+        let jittered seed =
+          Translator.Delay_graph.Jittered
+            { law = Exec.Timing_law.Uniform; bcet_frac = 0.4; seed }
+        in
+        check_true "static vs jittered"
+          (Key.mode Translator.Delay_graph.Static_wcet <> Key.mode (jittered 1));
+        check_true "seeds" (Key.mode (jittered 1) <> Key.mode (jittered 2)));
+    test "algorithm digests see the period and the graph" (fun () ->
+        let alg period extra =
+          let a = Alg.create ~name:"alg" ~period in
+          let s = Alg.add_op a ~name:"s" ~kind:Alg.Sensor ~outputs:[| 1 |] () in
+          let c = Alg.add_op a ~name:"c" ~kind:Alg.Compute ~inputs:[| 1 |] () in
+          Alg.depend a ~src:(s, 0) ~dst:(c, 0);
+          if extra then ignore (Alg.add_op a ~name:"x" ~kind:Alg.Compute ());
+          Key.algorithm a
+        in
+        Alcotest.(check string) "stable" (alg 0.1 false) (alg 0.1 false);
+        check_true "period" (alg 0.1 false <> alg 0.2 false);
+        check_true "extra op" (alg 0.1 false <> alg 0.1 true));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* pareto: non-dominated fronts *)
+
+let pareto_tests =
+  [
+    test "front matches the hand-computed oracle" (fun () ->
+        let points = [ (1., 5.); (2., 4.); (3., 3.); (2., 6.); (4., 3.); (3., 5.) ] in
+        let objectives (a, b) = [| a; b |] in
+        Alcotest.(check (list (pair (float 0.) (float 0.))))
+          "front"
+          [ (1., 5.); (2., 4.); (3., 3.) ]
+          (Pareto.front ~objectives points));
+    test "identical points all survive" (fun () ->
+        let points = [ (1., 1.); (1., 1.) ] in
+        check_int "both kept" 2
+          (List.length (Pareto.front ~objectives:(fun (a, b) -> [| a; b |]) points)));
+    test "dominates requires no-worse everywhere and better somewhere" (fun () ->
+        check_true "strictly better" (Pareto.dominates [| 1.; 2. |] [| 1.; 3. |]);
+        check_false "worse on one" (Pareto.dominates [| 1.; 3. |] [| 2.; 2. |]);
+        check_false "equal" (Pareto.dominates [| 1.; 2. |] [| 1.; 2. |]);
+        check_raises_invalid "length mismatch" (fun () ->
+            ignore (Pareto.dominates [| 1. |] [| 1.; 2. |])));
+    test "NaN objectives compare as +inf" (fun () ->
+        check_true "nan dominated" (Pareto.dominates [| 0.; 0. |] [| Float.nan; 0. |]);
+        let front =
+          Pareto.front ~objectives:(fun v -> v) [ [| Float.nan; 0. |]; [| 0.; 0. |] ]
+        in
+        check_int "finite point only" 1 (List.length front));
+    qtest ~count:200 "front keeps exactly the non-dominated points"
+      QCheck2.Gen.(list_size (0 -- 25) (pair (0 -- 8) (0 -- 8)))
+      (fun points ->
+        let objectives (a, b) = [| float_of_int a; float_of_int b |] in
+        let front = Pareto.front ~objectives points in
+        List.for_all
+          (fun p ->
+            let dominated =
+              List.exists (fun q -> Pareto.dominates (objectives q) (objectives p)) points
+            in
+            List.mem p front = not dominated)
+          points);
+    test "sort_by sorts ascending and stably" (fun () ->
+        Alcotest.(check (list (pair (float 0.) string)))
+          "sorted"
+          [ (1., "a"); (1., "b"); (2., "c") ]
+          (Pareto.sort_by ~objective:fst [ (2., "c"); (1., "a"); (1., "b") ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* grid: declarative candidate spaces *)
+
+let grid_platform ?(label = "mcu") ?(price = 1.) () =
+  let durations_of frac =
+    let d = Dur.create () in
+    let set op share =
+      Dur.set d ~op ~operator:"P0" (share *. frac *. 0.05);
+      Dur.set_bcet d ~op ~operator:"P0" (0.4 *. share *. frac *. 0.05)
+    in
+    set "reference" 0.05;
+    set "sample_y" 0.2;
+    set "pid" 0.6;
+    set "hold_u" 0.15;
+    d
+  in
+  { Grid.label; price; architecture = Arch.single (); durations_of }
+
+let grid_tests =
+  [
+    test "candidates is the row-major cross-product" (fun () ->
+        let cs =
+          Grid.candidates
+            ~fractions:[ 0.5; 0.9 ]
+            ~seeds:[ 1; 2 ]
+            ~platforms:[ grid_platform (); grid_platform ~label:"duo" ~price:2. () ]
+            ()
+        in
+        check_int "size" 8 (Grid.size cs);
+        let tags = List.map Grid.tag cs in
+        Alcotest.(check string) "first" "mcu f=0.5 seed=1" (List.hd tags);
+        Alcotest.(check string) "last" "duo f=0.9 seed=2" (List.nth tags 7));
+    test "no seeds means one static-WCET candidate per cell" (fun () ->
+        let cs = Grid.candidates ~fractions:[ 0.5 ] ~platforms:[ grid_platform () ] () in
+        check_int "one" 1 (Grid.size cs);
+        check_true "static"
+          ((List.hd cs).Grid.mode = Translator.Delay_graph.Static_wcet));
+    test "validation rejects empty or out-of-range axes" (fun () ->
+        check_raises_invalid "no platforms" (fun () ->
+            ignore (Grid.candidates ~platforms:[] ()));
+        check_raises_invalid "no fractions" (fun () ->
+            ignore (Grid.candidates ~fractions:[] ~platforms:[ grid_platform () ] ()));
+        check_raises_invalid "fraction > 1" (fun () ->
+            ignore (Grid.candidates ~fractions:[ 1.5 ] ~platforms:[ grid_platform () ] ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* the engine end to end: Explorer, Sweep, Montecarlo, Robustness *)
+
+let dc_design ?(name = "dc_motor") ?(ts = 0.05) () =
+  Lifecycle.Design.pid_loop ~name
+    ~plant:(Control.Plants.dc_motor Control.Plants.default_dc_motor)
+    ~x0:[| 0.; 0. |]
+    ~gains:{ Control.Pid.kp = 60.; ki = 80.; kd = 0. }
+    ~ts ~reference:1. ~horizon:0.5 ()
+
+let small_grid () =
+  Grid.candidates
+    ~fractions:[ 0.3; 0.8 ]
+    ~seeds:[ 11 ]
+    ~platforms:[ grid_platform (); grid_platform ~label:"fast" ~price:2. () ]
+    ()
+
+let engine_tests =
+  [
+    test "explorer points are identical through 1- and 2-domain pools" (fun () ->
+        let designs = [ dc_design () ] and candidates = small_grid () in
+        let seq =
+          Pool.with_pool ~domains:1 (fun pool ->
+              Explorer.evaluate ~pool ~designs ~candidates ())
+        in
+        let par =
+          Pool.with_pool ~domains:2 (fun pool ->
+              Explorer.evaluate ~pool ~designs ~candidates ())
+        in
+        check_int "point count" 4 (List.length seq);
+        check_true "bit-identical" (seq = par));
+    test "a shared cache replays the second evaluation" (fun () ->
+        let designs = [ dc_design () ] and candidates = small_grid () in
+        let cache = Cache.create () in
+        let pool = pools.(0) in
+        let first = Explorer.evaluate ~pool ~cache ~designs ~candidates () in
+        let misses = (Cache.stats cache).Cache.misses in
+        let second = Explorer.evaluate ~pool ~cache ~designs ~candidates () in
+        let s = Cache.stats cache in
+        check_true "same points" (first = second);
+        check_true "hits on replay" (s.Cache.hits > 0);
+        check_int "no new misses" misses s.Cache.misses);
+    test "the pareto front is a subset of the feasible points" (fun () ->
+        let points =
+          Explorer.evaluate ~pool:pools.(0) ~designs:[ dc_design () ]
+            ~candidates:(small_grid ()) ()
+        in
+        let front = Explorer.pareto points in
+        check_true "non-empty" (front <> []);
+        let feasible = Explorer.feasible points in
+        check_true "subset" (List.for_all (fun p -> List.mem p feasible) front));
+    test "markdown section renders the front and the cache stats" (fun () ->
+        let cache = Cache.create () in
+        let points =
+          Explorer.evaluate ~pool:pools.(0) ~cache ~designs:[ dc_design () ]
+            ~candidates:(small_grid ()) ()
+        in
+        let section = Explorer.markdown_section ~cache points in
+        check_true "section header" (contains section "## Design-space exploration");
+        check_true "front" (contains section "### Pareto front");
+        check_true "cache" (contains section "### Evaluation cache");
+        check_true "csv rows" (List.length points + 1 = List.length
+             (String.split_on_char '\n' (String.trim (Explorer.csv points)))));
+    test "Report.markdown splices the exploration section" (fun () ->
+        let design = dc_design () in
+        let comparison =
+          Lifecycle.Methodology.evaluate ~design ~architecture:(Arch.single ())
+            ~durations:((grid_platform ()).Grid.durations_of 0.5)
+            ()
+        in
+        let report =
+          Lifecycle.Report.markdown ~exploration:"## Design-space exploration\nMARKER"
+            design comparison
+        in
+        check_true "spliced" (contains report "MARKER"));
+    test "Sweep.latency through the pool equals the sequential sweep" (fun () ->
+        let design = dc_design () in
+        let durations_of = (grid_platform ()).Grid.durations_of in
+        let fractions = [ 0.2; 0.5; 0.8 ] in
+        let seq =
+          Pool.with_pool ~domains:1 (fun pool ->
+              Lifecycle.Sweep.latency ~fractions ~pool ~design
+                ~architecture:(Arch.single ()) ~durations_of ())
+        in
+        let par =
+          Pool.with_pool ~domains:3 (fun pool ->
+              Lifecycle.Sweep.latency ~fractions ~pool ~design
+                ~architecture:(Arch.single ()) ~durations_of ())
+        in
+        check_true "identical" (seq = par));
+    test "Montecarlo surfaces its seeds and is pool-invariant" (fun () ->
+        let design = dc_design () in
+        let implementation =
+          Lifecycle.Methodology.implement ~design ~architecture:(Arch.single ())
+            ~durations:((grid_platform ()).Grid.durations_of 0.6)
+            ()
+        in
+        let run pool =
+          Lifecycle.Montecarlo.run ~runs:6 ~base_seed:500 ~pool ~design ~implementation ()
+        in
+        let seq = Pool.with_pool ~domains:1 run in
+        let par = Pool.with_pool ~domains:2 run in
+        Alcotest.(check (array int))
+          "seed array" (Array.init 6 (fun i -> 500 + i)) seq.Lifecycle.Montecarlo.seeds;
+        check_true "identical costs"
+          (seq.Lifecycle.Montecarlo.costs = par.Lifecycle.Montecarlo.costs);
+        (* a shared cache replays every draw of a repeated summary *)
+        let cache = Cache.create () in
+        let cached () =
+          Lifecycle.Montecarlo.run ~runs:6 ~base_seed:500 ~pool:pools.(0) ~cache ~design
+            ~implementation ()
+        in
+        let first = cached () in
+        let second = cached () in
+        check_true "replayed" (first.Lifecycle.Montecarlo.costs = second.Lifecycle.Montecarlo.costs);
+        check_true "hits" ((Cache.stats cache).Cache.hits >= 6));
+    test "Robustness.evaluate is pool-invariant" (fun () ->
+        let design = dc_design () in
+        let architecture =
+          Arch.bus_topology ~latency:0.0005 ~time_per_word:0.0005 [ "P0"; "P1" ]
+        in
+        let durations =
+          let d = Dur.create () in
+          let set op share =
+            List.iter
+              (fun operator -> Dur.set d ~op ~operator (share *. 0.6 *. 0.05))
+              [ "P0"; "P1" ]
+          in
+          set "reference" 0.05;
+          set "sample_y" 0.2;
+          set "pid" 0.6;
+          set "hold_u" 0.15;
+          d
+        in
+        let scenarios =
+          [
+            Fault.Scenario.make ~name:"loss" ~seed:5
+              [ Fault.Scenario.Message_loss { medium = None; prob = 0.2 } ];
+            Fault.Scenario.make ~name:"p1_down" ~seed:6
+              [ Fault.Scenario.Processor_failstop { operator = "P1"; at = 0. } ];
+          ]
+        in
+        let run pool =
+          Fault.Robustness.evaluate ~iterations:40 ~pool ~design ~architecture ~durations
+            ~scenarios ()
+        in
+        let seq = Pool.with_pool ~domains:1 run in
+        let par = Pool.with_pool ~domains:2 run in
+        let strip (s : Fault.Robustness.summary) =
+          List.map
+            (fun (o : Fault.Robustness.outcome) ->
+              (o.Fault.Robustness.cost, o.degradation_pct, o.lost_transfers, o.stale_reads))
+            s.Fault.Robustness.outcomes
+        in
+        check_true "identical outcomes" (strip seq = strip par);
+        check_float "same worst" seq.Fault.Robustness.worst_degradation_pct
+          par.Fault.Robustness.worst_degradation_pct);
+  ]
+
+let suites =
+  [
+    ("explore.pool", pool_tests);
+    ("explore.cache", cache_tests);
+    ("explore.key", key_tests);
+    ("explore.pareto", pareto_tests);
+    ("explore.grid", grid_tests);
+    ("explore.engine", engine_tests);
+  ]
