@@ -169,14 +169,15 @@ let fig4 () =
     (Alg.ops impl.Lifecycle.Methodology.algorithm)
 
 (* ------------------------------------------------------------------ *)
-(* fig5: conditioning translation *)
+(* conditioned_loop: mode source, cheap/expensive conditioned branches,
+   merge, actuator — shared by fig5 and the lint audit *)
 
-let fig5 () =
-  header "fig5: conditioning — branch-dependent latency via Event Select";
-  (* mode source, cheap/expensive conditioned branches, merge, actuator *)
+let cond_mode_period = 0.5
+
+let conditioned_design () =
   let module G = Dataflow.Graph in
   let module C = Dataflow.Clib in
-  let mode_period = 0.5 in
+  let mode_period = cond_mode_period in
   let build () =
     let g = G.create () in
     let plant = G.add g (C.lti_continuous ~name:"plant" ~x0:[| 0. |]
@@ -261,6 +262,14 @@ let fig5 () =
   set "costly" 0.030;
   set "merge" 0.001;
   set "hold_u" 0.002;
+  (design, d)
+
+(* ------------------------------------------------------------------ *)
+(* fig5: conditioning translation *)
+
+let fig5 () =
+  header "fig5: conditioning — branch-dependent latency via Event Select";
+  let design, d = conditioned_design () in
   let impl =
     Lifecycle.Methodology.implement ~design ~architecture:(Arch.single ()) ~durations:d ()
   in
@@ -268,7 +277,8 @@ let fig5 () =
   let built = design.Lifecycle.Design.build () in
   let hold_block = List.nth built.Lifecycle.Design.clocked 5 in
   let la = Translator.Cosim.measured_latencies e ~block:hold_block ~period:0.05 in
-  Printf.printf "actuation latency per iteration (mode flips every %.1f s):\n" mode_period;
+  Printf.printf "actuation latency per iteration (mode flips every %.1f s):\n"
+    cond_mode_period;
   Printf.printf "%4s %10s\n" "k" "La(k)";
   Array.iteri (fun k l -> if k < 24 then Printf.printf "%4d %10.4f\n" k l) la;
   Printf.printf "two latency levels = two conditional branches: %s\n"
@@ -506,11 +516,10 @@ let windup () =
     u_limit
 
 (* ------------------------------------------------------------------ *)
-(* lifecycle: the suspension calibration story, condensed *)
+(* suspension: quarter-car state feedback over a two-ECU bus — shared
+   by the lifecycle experiment and the lint audit *)
 
-let lifecycle () =
-  header "lifecycle: suspension — predict degradation, calibrate, recover";
-  (* identical to examples/suspension.ml, condensed to the numbers *)
+let suspension_setup () =
   let qc = Control.Plants.default_quarter_car in
   let full =
     let sys = Control.Plants.quarter_car qc in
@@ -558,6 +567,15 @@ let lifecycle () =
     Lifecycle.Design.state_feedback_loop ~name:"nominal" ~plant:full ~x0:(Array.make 4 0.)
       ~k:k_nom ~ts ~horizon:3. ~disturbance:bump ~cost_output:0 ()
   in
+  (nominal, arch, durations, force_only, full, ts, q, r, bump)
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle: the suspension calibration story, condensed *)
+
+let lifecycle () =
+  header "lifecycle: suspension — predict degradation, calibrate, recover";
+  (* identical to examples/suspension.ml, condensed to the numbers *)
+  let nominal, arch, durations, force_only, full, ts, q, r, bump = suspension_setup () in
   let c =
     Lifecycle.Methodology.evaluate ~design:nominal ~architecture:arch
       ~durations:(durations ()) ()
@@ -1054,36 +1072,97 @@ let experiments =
     ("codegen-exec", codegen_exec);
   ]
 
-let run_experiment name =
-  match List.assoc_opt name experiments with
-  | Some f ->
-      f ();
-      `Ok ()
-  | None when name = "all" ->
-      List.iter (fun (_, f) -> f ()) experiments;
-      `Ok ()
-  | None ->
-      `Error
-        ( false,
-          Printf.sprintf "unknown experiment %S; known: all, %s" name
-            (String.concat ", " (List.map fst experiments)) )
+(* ------------------------------------------------------------------ *)
+(* lint: run the Verify design-rule passes over the seed designs *)
+
+let lint_targets () =
+  let cond_design, cond_durations = conditioned_design () in
+  let susp_nominal, susp_arch, susp_durations, _, _, _, _, _, _ = suspension_setup () in
+  [
+    ("dc_motor/single", dc_design (), Arch.single (), dc_durations ~frac:0.6 ());
+    ( "dc_motor/duo",
+      dc_design (),
+      dc_two_proc (),
+      dc_durations ~operators:[ "P0"; "P1" ] ~frac:0.6 () );
+    ("conditioned_loop", cond_design, Arch.single (), cond_durations);
+    ("suspension", susp_nominal, susp_arch, susp_durations ());
+  ]
+
+let lint json_path =
+  let results =
+    List.map
+      (fun (label, design, architecture, durations) ->
+        let diags = Verify.run_all ~architecture ~durations design in
+        Printf.printf "== %s ==\n%s%s\n\n" label
+          (Verify.Diag.render diags)
+          (Verify.Diag.summary diags);
+        (label, diags))
+      (lint_targets ())
+  in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let entries =
+        List.concat_map
+          (fun (label, diags) ->
+            List.map
+              (fun d ->
+                Printf.sprintf "{\"design\": %S, \"diag\": %s}" label
+                  (Verify.Diag.json_of d))
+              (List.sort Verify.Diag.compare diags))
+          results
+      in
+      let oc = open_out path in
+      output_string oc
+        (match entries with
+        | [] -> "[]\n"
+        | _ -> "[\n  " ^ String.concat ",\n  " entries ^ "\n]\n");
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  let all = List.concat_map snd results in
+  Printf.printf "lint total: %s\n" (Verify.Diag.summary all);
+  if Verify.Diag.has_errors all then exit 1
 
 open Cmdliner
-
-let name_arg =
-  let doc = "Experiment to run (or \"all\")." in
-  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 
 let runs_arg =
   let doc = "Seeds per grid cell for the $(b,explore) experiment." in
   Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc)
 
-let run_with_opts runs name =
+let run_all_experiments runs =
   explore_runs := runs;
-  run_experiment name
+  List.iter (fun (_, f) -> f ()) experiments
+
+let experiment_cmds =
+  List.map
+    (fun (name, f) ->
+      let doc = Printf.sprintf "Run the %s experiment." name in
+      Cmd.v (Cmd.info name ~doc)
+        Term.(
+          const (fun runs ->
+              explore_runs := runs;
+              f ())
+          $ runs_arg))
+    experiments
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in sequence.")
+    Term.(const run_all_experiments $ runs_arg)
+
+let json_arg =
+  let doc = "Also write the diagnostics as a JSON array to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let lint_cmd =
+  let doc = "Statically check the seed designs against the Verify rule catalogue" in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const lint $ json_arg)
 
 let cmd =
   let doc = "Regenerate the paper's figures as measured experiments" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(ret (const run_with_opts $ runs_arg $ name_arg))
+  let default = Term.(const run_all_experiments $ runs_arg) in
+  Cmd.group ~default
+    (Cmd.info "experiments" ~doc)
+    (lint_cmd :: all_cmd :: experiment_cmds)
 
 let () = exit (Cmd.eval cmd)

@@ -335,8 +335,15 @@ let lifecycle_cmd =
                   Lifecycle.Methodology.execute file.Lifecycle.Diagram.design
                     comparison.Lifecycle.Methodology.implementation
                 in
+                let lint =
+                  Verify.markdown_section
+                    (Verify.run_all ~pins:file.Lifecycle.Diagram.pins
+                       ~architecture:file.Lifecycle.Diagram.architecture
+                       ~durations:file.Lifecycle.Diagram.durations
+                       file.Lifecycle.Diagram.design)
+                in
                 let doc =
-                  Lifecycle.Report.markdown ?montecarlo:montecarlo_summary ~trace
+                  Lifecycle.Report.markdown ?montecarlo:montecarlo_summary ~trace ~lint
                     file.Lifecycle.Diagram.design comparison
                 in
                 let oc = open_out out in

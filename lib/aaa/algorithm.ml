@@ -70,16 +70,16 @@ let depend g ~src:(so, sp) ~dst:(dok, dp) =
   check_id g dok;
   let sop = g.g_ops.(so) and dop = g.g_ops.(dok) in
   if sp < 0 || sp >= Array.length sop.o_outputs then
-    invalid_arg (Printf.sprintf "Algorithm.depend: %S has no output %d" sop.o_name sp);
+    invalid_arg (Printf.sprintf "[ALG004] Algorithm.depend: %S has no output %d" sop.o_name sp);
   if dp < 0 || dp >= Array.length dop.o_inputs then
-    invalid_arg (Printf.sprintf "Algorithm.depend: %S has no input %d" dop.o_name dp);
+    invalid_arg (Printf.sprintf "[ALG004] Algorithm.depend: %S has no input %d" dop.o_name dp);
   if sop.o_outputs.(sp) <> dop.o_inputs.(dp) then
     invalid_arg
-      (Printf.sprintf "Algorithm.depend: width mismatch %S.%d -> %S.%d" sop.o_name sp
+      (Printf.sprintf "[ALG004] Algorithm.depend: width mismatch %S.%d -> %S.%d" sop.o_name sp
          dop.o_name dp);
   (match g.dep_in.(dok).(dp) with
   | Some _ ->
-      invalid_arg (Printf.sprintf "Algorithm.depend: input %S.%d already wired" dop.o_name dp)
+      invalid_arg (Printf.sprintf "[ALG004] Algorithm.depend: input %S.%d already wired" dop.o_name dp)
   | None -> ());
   g.dep_in.(dok).(dp) <- Some (so, sp)
 
@@ -176,7 +176,7 @@ let topological_order g =
       |> List.map (fun id -> g.g_ops.(id).o_name)
       |> String.concat ", "
     in
-    invalid_arg ("Algorithm: dependency cycle through " ^ stuck)
+    invalid_arg ("[ALG002] dependency cycle through " ^ stuck)
   end;
   List.rev !order
 
@@ -186,7 +186,7 @@ let validate g =
       (fun dp src ->
         if src = None then
           invalid_arg
-            (Printf.sprintf "Algorithm: input %S.%d is not wired" g.g_ops.(id).o_name dp))
+            (Printf.sprintf "[ALG001] input %S.%d is not wired" g.g_ops.(id).o_name dp))
       g.dep_in.(id)
   done;
   List.iter
@@ -197,13 +197,13 @@ let validate g =
           match condition_source g ~var with
           | None ->
               invalid_arg
-                (Printf.sprintf "Algorithm: conditioning variable %S has no source" var)
+                (Printf.sprintf "[ALG003] conditioning variable %S has no source" var)
           | Some (src, _) -> (
               match g.g_ops.(src).o_cond with
               | Some c when String.equal c.var var ->
                   invalid_arg
                     (Printf.sprintf
-                       "Algorithm: source of condition %S is conditioned on itself" var)
+                       "[ALG003] source of condition %S is conditioned on itself" var)
               | Some _ | None -> ())))
     (ops g);
   ignore (topological_order g)

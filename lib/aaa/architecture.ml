@@ -69,16 +69,16 @@ let add_medium a ~name ~kind ?(latency = 0.) ~time_per_word endpoints =
   if find_medium a name <> None then
     invalid_arg (Printf.sprintf "Architecture.add_medium: duplicate %S" name);
   if latency < 0. || time_per_word < 0. then
-    invalid_arg "Architecture.add_medium: negative timing parameter";
+    invalid_arg "[ARCH002] Architecture.add_medium: negative timing parameter";
   List.iter (check_operator a) endpoints;
   let endpoints = List.sort_uniq compare endpoints in
   (match kind with
   | Point_to_point ->
       if List.length endpoints <> 2 then
-        invalid_arg "Architecture.add_medium: point-to-point medium needs exactly two operators"
+        invalid_arg "[ARCH002] Architecture.add_medium: point-to-point medium needs exactly two operators"
   | Bus ->
       if List.length endpoints < 2 then
-        invalid_arg "Architecture.add_medium: bus needs at least two operators");
+        invalid_arg "[ARCH002] Architecture.add_medium: bus needs at least two operators");
   let m =
     { m_name = name; m_kind = kind; m_latency = latency; m_time_per_word = time_per_word;
       m_endpoints = endpoints }
@@ -131,7 +131,7 @@ let routes ?(max_hops = 3) ?(max_routes = 8) a src dst =
   List.rev !results
 
 let validate a =
-  if operator_count a = 0 then invalid_arg "Architecture: no operators";
+  if operator_count a = 0 then invalid_arg "[ARCH001] architecture has no operator";
   if operator_count a > 1 then begin
     (* connectivity of the operator graph induced by media *)
     let n = operator_count a in
@@ -146,7 +146,7 @@ let validate a =
     in
     visit 0;
     if not (Array.for_all Fun.id reached) then
-      invalid_arg "Architecture: operator graph is not connected"
+      invalid_arg "[ARCH001] operator graph is not connected"
   end
 
 let single ?(proc_name = "P0") () =

@@ -5,7 +5,7 @@ type t = (string * string, entry) Hashtbl.t
 let create () = Hashtbl.create 64
 
 let set table ~op ~operator value =
-  if value < 0. then invalid_arg "Durations.set: negative WCET";
+  if value < 0. then invalid_arg "[DUR001] Durations.set: negative WCET";
   match Hashtbl.find_opt table (op, operator) with
   | Some entry ->
       entry.wcet <- value;
@@ -15,11 +15,11 @@ let set table ~op ~operator value =
   | None -> Hashtbl.replace table (op, operator) { wcet = value; bcet = None }
 
 let set_bcet table ~op ~operator value =
-  if value < 0. then invalid_arg "Durations.set_bcet: negative BCET";
+  if value < 0. then invalid_arg "[DUR001] Durations.set_bcet: negative BCET";
   match Hashtbl.find_opt table (op, operator) with
-  | None -> invalid_arg "Durations.set_bcet: set the WCET first"
+  | None -> invalid_arg "[DUR002] Durations.set_bcet: set the WCET first"
   | Some entry ->
-      if value > entry.wcet then invalid_arg "Durations.set_bcet: BCET exceeds WCET";
+      if value > entry.wcet then invalid_arg "[DUR002] Durations.set_bcet: BCET exceeds WCET";
       entry.bcet <- Some value
 
 let set_everywhere table ~op ~operators value =

@@ -31,7 +31,7 @@ let slot_of sched op =
   | Some s -> s
   | None ->
       invalid_arg
-        (Printf.sprintf "Schedule: operation %S is not scheduled"
+        (Printf.sprintf "[SCHED002] operation %S is not scheduled"
            (Algorithm.op_name sched.algorithm op))
 
 let operator_of sched op = (slot_of sched op).cs_operator
@@ -41,21 +41,41 @@ let on_operator sched operator =
 
 let on_medium sched medium = List.filter (fun c -> c.cm_medium = medium) sched.comm
 
-let check_no_overlap_comp name slots =
+let check_no_overlap_comp alg name slots =
   let rec go = function
     | a :: (b :: _ as rest) ->
         if a.cs_start +. a.cs_duration > b.cs_start +. eps then
-          invalid_arg (Printf.sprintf "Schedule: overlapping computations on %s" name);
+          invalid_arg
+            (Printf.sprintf
+               "[SCHED003] computations %S [%g, %g] and %S [%g, %g] overlap on operator %S"
+               (Algorithm.op_name alg a.cs_op)
+               a.cs_start
+               (a.cs_start +. a.cs_duration)
+               (Algorithm.op_name alg b.cs_op)
+               b.cs_start
+               (b.cs_start +. b.cs_duration)
+               name);
         go rest
     | [ _ ] | [] -> ()
   in
   go slots
 
-let check_no_overlap_comm name slots =
+let check_no_overlap_comm alg name slots =
   let rec go = function
     | a :: (b :: _ as rest) ->
         if a.cm_start +. a.cm_duration > b.cm_start +. eps then
-          invalid_arg (Printf.sprintf "Schedule: overlapping transfers on %s" name);
+          invalid_arg
+            (Printf.sprintf
+               "[SCHED004] transfers %S -> %S [%g, %g] and %S -> %S [%g, %g] overlap on medium %S"
+               (Algorithm.op_name alg (fst a.cm_src))
+               (Algorithm.op_name alg (fst a.cm_dst))
+               a.cm_start
+               (a.cm_start +. a.cm_duration)
+               (Algorithm.op_name alg (fst b.cm_src))
+               (Algorithm.op_name alg (fst b.cm_dst))
+               b.cm_start
+               (b.cm_start +. b.cm_duration)
+               name);
         go rest
     | [ _ ] | [] -> ()
   in
@@ -74,24 +94,27 @@ let transfer_chain sched ((src, sp), (dst, dp)) ~from_operator ~to_operator =
       (Algorithm.op_name sched.algorithm dst)
   in
   (match hops with
-  | [] -> invalid_arg (Printf.sprintf "Schedule: missing transfer %s" (describe ()))
+  | [] -> invalid_arg (Printf.sprintf "[SCHED005] missing transfer %s" (describe ()))
   | first :: _ ->
       if first.cm_hop <> 0 || first.cm_from <> from_operator then
         invalid_arg
-          (Printf.sprintf "Schedule: transfer %s does not leave the producer" (describe ())));
+          (Printf.sprintf "[SCHED006] transfer %s does not leave the producer" (describe ())));
   let rec check_chain = function
     | a :: (b :: _ as rest) ->
         if b.cm_hop <> a.cm_hop + 1 || b.cm_from <> a.cm_to then
-          invalid_arg (Printf.sprintf "Schedule: broken transfer route %s" (describe ()));
+          invalid_arg
+            (Printf.sprintf "[SCHED006] broken transfer route %s (hop %d)" (describe ())
+               b.cm_hop);
         if b.cm_start +. eps < a.cm_start +. a.cm_duration then
           invalid_arg
-            (Printf.sprintf "Schedule: hop of %s starts before the previous one ends"
-               (describe ()));
+            (Printf.sprintf "[SCHED006] hop %d of %s starts at %g before hop %d ends at %g"
+               b.cm_hop (describe ()) b.cm_start a.cm_hop
+               (a.cm_start +. a.cm_duration));
         check_chain rest
     | [ last ] ->
         if last.cm_to <> to_operator then
           invalid_arg
-            (Printf.sprintf "Schedule: transfer %s does not reach the consumer" (describe ()))
+            (Printf.sprintf "[SCHED006] transfer %s does not reach the consumer" (describe ()))
     | [] -> assert false
   in
   check_chain hops;
@@ -119,8 +142,10 @@ let arrival sched ((src, sp), (dst, dp)) =
     let produced = src_slot.cs_start +. src_slot.cs_duration in
     if first.cm_start +. eps < produced then
       invalid_arg
-        (Printf.sprintf "Schedule: transfer of %S output starts before it is produced"
-           (Algorithm.op_name sched.algorithm src));
+        (Printf.sprintf
+           "[SCHED007] transfer of %S output %d starts at %g before it is produced at %g"
+           (Algorithm.op_name sched.algorithm src)
+           sp first.cm_start produced);
     if is_memory then 0.
     else
       let last = List.nth hops (List.length hops - 1) in
@@ -130,13 +155,32 @@ let arrival sched ((src, sp), (dst, dp)) =
 let validate sched =
   Algorithm.validate sched.algorithm;
   Architecture.validate sched.architecture;
+  (* sane slot times *)
+  List.iter
+    (fun s ->
+      if s.cs_start < 0. || s.cs_duration < 0. then
+        invalid_arg
+          (Printf.sprintf "[SCHED011] slot of %S has negative start or duration [%g, %g]"
+             (Algorithm.op_name sched.algorithm s.cs_op)
+             s.cs_start s.cs_duration))
+    sched.comp;
+  List.iter
+    (fun c ->
+      if c.cm_start < 0. || c.cm_duration < 0. then
+        invalid_arg
+          (Printf.sprintf
+             "[SCHED011] transfer %S -> %S has negative start or duration [%g, %g]"
+             (Algorithm.op_name sched.algorithm (fst c.cm_src))
+             (Algorithm.op_name sched.algorithm (fst c.cm_dst))
+             c.cm_start c.cm_duration))
+    sched.comm;
   (* every operation exactly once *)
   let seen = Hashtbl.create 64 in
   List.iter
     (fun s ->
       if Hashtbl.mem seen s.cs_op then
         invalid_arg
-          (Printf.sprintf "Schedule: operation %S scheduled twice"
+          (Printf.sprintf "[SCHED001] operation %S is scheduled more than once"
              (Algorithm.op_name sched.algorithm s.cs_op));
       Hashtbl.replace seen s.cs_op ())
     sched.comp;
@@ -144,19 +188,19 @@ let validate sched =
     (fun op ->
       if not (Hashtbl.mem seen op) then
         invalid_arg
-          (Printf.sprintf "Schedule: operation %S missing"
+          (Printf.sprintf "[SCHED002] operation %S is missing from the schedule"
              (Algorithm.op_name sched.algorithm op)))
     (Algorithm.ops sched.algorithm);
   (* resource exclusivity *)
   List.iter
     (fun operator ->
-      check_no_overlap_comp
+      check_no_overlap_comp sched.algorithm
         (Architecture.operator_name sched.architecture operator)
         (on_operator sched operator))
     (Architecture.operators sched.architecture);
   List.iter
     (fun medium ->
-      check_no_overlap_comm
+      check_no_overlap_comm sched.algorithm
         (Architecture.medium_name sched.architecture medium)
         (on_medium sched medium))
     (Architecture.media sched.architecture);
@@ -167,11 +211,14 @@ let validate sched =
       let t_arr = arrival sched ((src, sp), (dst, dp)) in
       if dst_slot.cs_start +. eps < t_arr then
         invalid_arg
-          (Printf.sprintf "Schedule: %S starts at %g before its input from %S arrives at %g"
+          (Printf.sprintf
+             "[SCHED007] %S starts at %g before its input %S.%d -> %S.%d arrives at %g"
              (Algorithm.op_name sched.algorithm dst)
              dst_slot.cs_start
              (Algorithm.op_name sched.algorithm src)
-             t_arr))
+             sp
+             (Algorithm.op_name sched.algorithm dst)
+             dp t_arr))
     (Algorithm.dependencies sched.algorithm)
 
 let make ~algorithm ~architecture ~comp ~comm =

@@ -44,10 +44,12 @@ val make :
   comm:comm_slot list ->
   t
 (** Sorts the slots, computes the makespan and checks well-formedness:
-    no overlap on an operator or medium, every operation scheduled
-    exactly once, precedence respected (a consumer starts no earlier
-    than its producers' data arrives).  Raises [Invalid_argument] with
-    a diagnostic if violated. *)
+    non-negative slot times, no overlap on an operator or medium, every
+    operation scheduled exactly once, precedence respected (a consumer
+    starts no earlier than its producers' data arrives).  Raises
+    [Invalid_argument] if violated; the message names the offending
+    operations, operators and intervals and carries a ["[SCHEDnnn]"]
+    rule identifier from the [Verify.Rules] catalogue. *)
 
 val operator_of : t -> Algorithm.op_id -> Architecture.operator_id
 val slot_of : t -> Algorithm.op_id -> comp_slot

@@ -31,7 +31,7 @@ let comparison (design : Design.t) (c : Methodology.comparison) =
     static.Translator.Temporal_model.actuation_offsets;
   Buffer.contents buf
 
-let markdown ?montecarlo ?trace ?robustness ?exploration (design : Design.t)
+let markdown ?montecarlo ?trace ?robustness ?exploration ?lint (design : Design.t)
     (c : Methodology.comparison) =
   let impl = c.Methodology.implementation in
   let static = impl.Methodology.static in
@@ -118,6 +118,11 @@ let markdown ?montecarlo ?trace ?robustness ?exploration (design : Design.t)
       Buffer.add_string buf section
   | None -> ());
   (match exploration with
+  | Some section ->
+      line "";
+      Buffer.add_string buf section
+  | None -> ());
+  (match lint with
   | Some section ->
       line "";
       Buffer.add_string buf section

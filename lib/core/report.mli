@@ -14,6 +14,7 @@ val markdown :
   ?trace:Exec.Machine.trace ->
   ?robustness:string ->
   ?exploration:string ->
+  ?lint:string ->
   Design.t ->
   Methodology.comparison ->
   string
@@ -26,5 +27,8 @@ val markdown :
     core library independent of [fault], which builds on top of it).
     [exploration] appends a pre-rendered design-space exploration
     section with the Pareto front and cache statistics (see
-    {!Explorer.markdown_section}).  Written for humans reviewing a
+    {!Explorer.markdown_section}).  [lint] appends a pre-rendered
+    static-verification section listing the design-rule diagnostics
+    (see [Verify.markdown_section]; again a plain string, [verify]
+    sits above this library).  Written for humans reviewing a
     design decision (the [syndex lifecycle --report] output). *)

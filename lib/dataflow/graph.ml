@@ -40,13 +40,13 @@ let connect_data g ~src:(sb, sp) ~dst:(db, dp) =
   let sblk = g.blocks.(sb) and dblk = g.blocks.(db) in
   if sp < 0 || sp >= Array.length sblk.Block.out_widths then
     invalid_arg
-      (Printf.sprintf "Graph.connect_data: %S has no output port %d" sblk.Block.name sp);
+      (Printf.sprintf "[GRAPH004] Graph.connect_data: %S has no output port %d" sblk.Block.name sp);
   if dp < 0 || dp >= Array.length dblk.Block.in_widths then
     invalid_arg
-      (Printf.sprintf "Graph.connect_data: %S has no input port %d" dblk.Block.name dp);
+      (Printf.sprintf "[GRAPH004] Graph.connect_data: %S has no input port %d" dblk.Block.name dp);
   if sblk.Block.out_widths.(sp) <> dblk.Block.in_widths.(dp) then
     invalid_arg
-      (Printf.sprintf "Graph.connect_data: width mismatch %S.%d (%d) -> %S.%d (%d)"
+      (Printf.sprintf "[GRAPH003] Graph.connect_data: width mismatch %S.%d (%d) -> %S.%d (%d)"
          sblk.Block.name sp
          sblk.Block.out_widths.(sp)
          dblk.Block.name dp
@@ -54,7 +54,7 @@ let connect_data g ~src:(sb, sp) ~dst:(db, dp) =
   (match g.data_in.(db).(dp) with
   | Some _ ->
       invalid_arg
-        (Printf.sprintf "Graph.connect_data: input %S.%d already wired" dblk.Block.name dp)
+        (Printf.sprintf "[GRAPH002] Graph.connect_data: input %S.%d already wired" dblk.Block.name dp)
   | None -> ());
   g.data_in.(db).(dp) <- Some (sb, sp)
 
@@ -64,10 +64,10 @@ let connect_event g ~src:(sb, sp) ~dst:(db, dp) =
   let sblk = g.blocks.(sb) and dblk = g.blocks.(db) in
   if sp < 0 || sp >= sblk.Block.event_outputs then
     invalid_arg
-      (Printf.sprintf "Graph.connect_event: %S has no event output %d" sblk.Block.name sp);
+      (Printf.sprintf "[GRAPH004] Graph.connect_event: %S has no event output %d" sblk.Block.name sp);
   if dp < 0 || dp >= dblk.Block.event_inputs then
     invalid_arg
-      (Printf.sprintf "Graph.connect_event: %S has no event input %d" dblk.Block.name dp);
+      (Printf.sprintf "[GRAPH004] Graph.connect_event: %S has no event input %d" dblk.Block.name dp);
   g.event_out.(sb).(sp) <- g.event_out.(sb).(sp) @ [ (db, dp) ]
 
 let merge target sub =
@@ -169,7 +169,7 @@ let eval_order g =
       |> List.map (fun id -> g.blocks.(id).Block.name)
       |> String.concat ", "
     in
-    invalid_arg ("Graph: algebraic loop through feedthrough blocks: " ^ stuck)
+    invalid_arg ("[GRAPH005] algebraic loop through feedthrough blocks: " ^ stuck)
   end;
   List.rev !order
 
@@ -179,7 +179,7 @@ let validate g =
       (fun dp src ->
         if src = None then
           invalid_arg
-            (Printf.sprintf "Graph: input port %S.%d is not wired"
+            (Printf.sprintf "[GRAPH001] input port %S.%d is not wired"
                g.blocks.(db).Block.name dp))
       g.data_in.(db)
   done;

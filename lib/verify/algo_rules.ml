@@ -1,0 +1,236 @@
+module Algorithm = Aaa.Algorithm
+module Architecture = Aaa.Architecture
+module Durations = Aaa.Durations
+
+let check_algorithm alg =
+  let artifact = "algorithm" in
+  let unwired =
+    List.concat_map
+      (fun op ->
+        let name = Algorithm.op_name alg op in
+        List.filter_map
+          (fun port ->
+            match Algorithm.dep_source alg op port with
+            | Some _ -> None
+            | None ->
+                Some
+                  (Diag.error ~rule:"ALG001" ~artifact
+                     ~location:(Printf.sprintf "%s.%d" name port)
+                     (Printf.sprintf "input %S.%d is not wired" name port)
+                     ~hint:"add the missing dependency with Algorithm.depend"))
+          (List.init (Array.length (Algorithm.op_inputs alg op)) Fun.id))
+      (Algorithm.ops alg)
+  in
+  (* Kahn over intra-iteration edges (edges out of Memory operations
+     carry previous-iteration values and do not order this one). *)
+  let cycles =
+    let n = Algorithm.op_count alg in
+    let indegree = Array.make n 0 and succs = Array.make n [] in
+    List.iter
+      (fun (((so : Algorithm.op_id), _), ((dok : Algorithm.op_id), _)) ->
+        let so = (so :> int) and dok = (dok :> int) in
+        if so <> dok && Algorithm.op_kind alg (List.nth (Algorithm.ops alg) so) <> Algorithm.Memory
+        then begin
+          succs.(so) <- dok :: succs.(so);
+          indegree.(dok) <- indegree.(dok) + 1
+        end)
+      (Algorithm.dependencies alg);
+    let queue = Queue.create () in
+    for i = 0 to n - 1 do
+      if indegree.(i) = 0 then Queue.add i queue
+    done;
+    let visited = ref 0 in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      incr visited;
+      List.iter
+        (fun succ ->
+          indegree.(succ) <- indegree.(succ) - 1;
+          if indegree.(succ) = 0 then Queue.add succ queue)
+        succs.(i)
+    done;
+    if !visited = n then []
+    else
+      let stuck =
+        List.filteri (fun i _ -> indegree.(i) > 0) (Algorithm.ops alg)
+        |> List.map (Algorithm.op_name alg)
+      in
+      [
+        Diag.error ~rule:"ALG002" ~artifact
+          ~location:(String.concat ", " stuck)
+          (Printf.sprintf "intra-iteration dependency cycle through %s"
+             (String.concat ", " stuck))
+          ~hint:"break the cycle with a Memory (delay) operation";
+      ]
+  in
+  let conditions =
+    List.filter_map
+      (fun op ->
+        match Algorithm.op_cond alg op with
+        | None -> None
+        | Some { Algorithm.var; _ } -> (
+            let name = Algorithm.op_name alg op in
+            match Algorithm.condition_source alg ~var with
+            | None ->
+                Some
+                  (Diag.error ~rule:"ALG003" ~artifact ~location:name
+                     (Printf.sprintf
+                        "conditioning variable %S of %S has no declared source" var name)
+                     ~hint:"declare it with Algorithm.set_condition_source")
+            | Some (src, _) -> (
+                match Algorithm.op_cond alg src with
+                | Some c when String.equal c.Algorithm.var var ->
+                    Some
+                      (Diag.error ~rule:"ALG003" ~artifact ~location:name
+                         (Printf.sprintf "source of condition %S is conditioned on itself"
+                            var))
+                | Some _ | None -> None)))
+      (Algorithm.ops alg)
+    (* one diagnostic per distinct message: several operations
+       conditioned on the same missing variable collapse to one each,
+       which is fine, but keep them all for per-operation locations *)
+  in
+  let endpoints =
+    let missing kind what =
+      if List.length kind = 0 then
+        [
+          Diag.warning ~rule:"ALG005" ~artifact ~location:(Algorithm.name alg)
+            (Printf.sprintf "algorithm %S has no %s operation" (Algorithm.name alg) what)
+            ~hint:"a control loop needs at least one sensor and one actuator";
+        ]
+      else []
+    in
+    missing (Algorithm.sensors alg) "sensor" @ missing (Algorithm.actuators alg) "actuator"
+  in
+  unwired @ cycles @ conditions @ endpoints
+
+let check_architecture arch =
+  let artifact = "architecture" in
+  if Architecture.operator_count arch = 0 then
+    [
+      Diag.error ~rule:"ARCH001" ~artifact ~location:(Architecture.name arch)
+        "architecture has no operator";
+    ]
+  else begin
+    let degenerate =
+      List.filter_map
+        (fun medium ->
+          let endpoints = Architecture.medium_endpoints arch medium in
+          if
+            Architecture.medium_kind arch medium = Architecture.Point_to_point
+            && List.length endpoints <> 2
+          then
+            Some
+              (Diag.error ~rule:"ARCH002" ~artifact
+                 ~location:(Architecture.medium_name arch medium)
+                 (Printf.sprintf "point-to-point medium %S does not join two operators"
+                    (Architecture.medium_name arch medium)))
+          else None)
+        (Architecture.media arch)
+    in
+    let connectivity =
+      let n = Architecture.operator_count arch in
+      if n <= 1 then []
+      else begin
+        let reached = Array.make n false in
+        let rec visit id =
+          if not reached.(id) then begin
+            reached.(id) <- true;
+            List.iter
+              (fun medium ->
+                let endpoints = Architecture.medium_endpoints arch medium in
+                if List.exists (fun (o : Architecture.operator_id) -> (o :> int) = id) endpoints
+                then List.iter (fun (o : Architecture.operator_id) -> visit (o :> int)) endpoints)
+              (Architecture.media arch)
+          end
+        in
+        visit 0;
+        if Array.for_all Fun.id reached then []
+        else
+          let isolated =
+            List.filteri (fun i _ -> not reached.(i)) (Architecture.operators arch)
+            |> List.map (Architecture.operator_name arch)
+          in
+          [
+            Diag.error ~rule:"ARCH001" ~artifact
+              ~location:(String.concat ", " isolated)
+              (Printf.sprintf "operator graph is not connected: %s unreachable from %s"
+                 (String.concat ", " isolated)
+                 (Architecture.operator_name arch (List.hd (Architecture.operators arch))))
+              ~hint:"add a medium joining the disconnected operators";
+          ]
+      end
+    in
+    degenerate @ connectivity
+  end
+
+let check_mapping ~algorithm ~architecture ~durations =
+  let artifact = "mapping" in
+  let operators = Architecture.operators architecture in
+  let runnable op =
+    List.filter
+      (fun operator ->
+        Durations.can_run durations
+          ~op:(Algorithm.op_name algorithm op)
+          ~operator:(Architecture.operator_name architecture operator))
+      operators
+  in
+  let period = Algorithm.period algorithm in
+  let per_op =
+    List.concat_map
+      (fun op ->
+        let name = Algorithm.op_name algorithm op in
+        match runnable op with
+        | [] ->
+            [
+              Diag.error ~rule:"MAP001" ~artifact ~location:name
+                (Printf.sprintf "operation %S has no operator able to run it" name)
+                ~hint:"declare a WCET for it on at least one operator";
+            ]
+        | hosts ->
+            let wcets =
+              List.filter_map
+                (fun operator ->
+                  Durations.wcet durations ~op:name
+                    ~operator:(Architecture.operator_name architecture operator))
+                hosts
+            in
+            let best = List.fold_left Float.min infinity wcets in
+            if best > period then
+              [
+                Diag.warning ~rule:"MAP003" ~artifact ~location:name
+                  (Printf.sprintf
+                     "operation %S needs at least %g s but the period is %g s" name best
+                     period)
+                  ~hint:"use a faster operator or relax the period";
+              ]
+            else [])
+      (Algorithm.ops algorithm)
+  in
+  let routable o1 o2 =
+    o1 = o2
+    || (try Architecture.routes architecture o1 o2 <> [] with Invalid_argument _ -> false)
+  in
+  let per_dep =
+    List.filter_map
+      (fun ((src, sp), (dst, dp)) ->
+        let hosts_src = runnable src and hosts_dst = runnable dst in
+        if hosts_src = [] || hosts_dst = [] then None (* MAP001 already reported *)
+        else if
+          List.exists
+            (fun o1 -> List.exists (fun o2 -> routable o1 o2) hosts_dst)
+            hosts_src
+        then None
+        else
+          let src_n = Algorithm.op_name algorithm src
+          and dst_n = Algorithm.op_name algorithm dst in
+          Some
+            (Diag.error ~rule:"MAP002" ~artifact
+               ~location:(Printf.sprintf "%s.%d -> %s.%d" src_n sp dst_n dp)
+               (Printf.sprintf
+                  "dependency %s.%d -> %s.%d cannot be routed between any pair of operators able to run its endpoints"
+                  src_n sp dst_n dp)
+               ~hint:"add a medium between the operators or widen the durations table"))
+      (Algorithm.dependencies algorithm)
+  in
+  per_op @ per_dep

@@ -1,0 +1,23 @@
+(** Static checks on the SynDEx-side design artifacts: the algorithm
+    graph, the architecture graph and the mapping data (durations)
+    relating them — everything the adequation consumes. *)
+
+val check_algorithm : Aaa.Algorithm.t -> Diag.t list
+(** Emits ALG001 (unwired input), ALG002 (intra-iteration dependency
+    cycle), ALG003 (conditioning variable without a valid source) and
+    ALG005 (no sensor or no actuator). *)
+
+val check_architecture : Aaa.Architecture.t -> Diag.t list
+(** Emits ARCH001 (no operator / disconnected operator graph) and
+    ARCH002 (degenerate media: a point-to-point medium without two
+    distinct endpoints). *)
+
+val check_mapping :
+  algorithm:Aaa.Algorithm.t ->
+  architecture:Aaa.Architecture.t ->
+  durations:Aaa.Durations.t ->
+  Diag.t list
+(** Emits MAP001 (operation with no operator able to run it), MAP002
+    (dependency whose producer/consumer placements are never routable)
+    and MAP003 (operation whose WCET exceeds the period on every
+    operator able to run it). *)

@@ -1,0 +1,221 @@
+module Algorithm = Aaa.Algorithm
+module Architecture = Aaa.Architecture
+module Schedule = Aaa.Schedule
+module Codegen = Aaa.Codegen
+
+let artifact = "cgen"
+
+let describe_comm alg (c : Schedule.comm_slot) =
+  Printf.sprintf "%s.%d -> %s%s"
+    (Algorithm.op_name alg (fst c.cm_src))
+    (snd c.cm_src)
+    (Algorithm.op_name alg (fst c.cm_dst))
+    (if snd c.cm_dst = -1 then "[cond]" else Printf.sprintf ".%d" (snd c.cm_dst))
+
+(* The send/receive sets Codegen.generate derives from the schedule:
+   the producer's operator posts hop 0, the consumer's operator
+   receives the hop reaching it. *)
+let structural exe =
+  let sched = exe.Codegen.schedule in
+  let alg = sched.Schedule.algorithm and arch = sched.Schedule.architecture in
+  List.concat_map
+    (fun operator ->
+      let operator_name = Architecture.operator_name arch operator in
+      let program =
+        match List.assoc_opt operator exe.Codegen.programs with Some p -> p | None -> []
+      in
+      let missing_program =
+        if List.mem_assoc operator exe.Codegen.programs then []
+        else
+          [
+            Diag.error ~rule:"CGEN002" ~artifact ~location:operator_name
+              (Printf.sprintf "operator %S has no generated program" operator_name);
+          ]
+      in
+      let expected_sends =
+        List.filter
+          (fun (c : Schedule.comm_slot) -> c.cm_hop = 0 && c.cm_from = operator)
+          sched.Schedule.comm
+      in
+      let expected_recvs =
+        List.filter
+          (fun (c : Schedule.comm_slot) ->
+            c.cm_to = operator
+            && (try Schedule.operator_of sched (fst c.cm_dst) = operator
+                with Invalid_argument _ -> false))
+          sched.Schedule.comm
+      in
+      let actual_sends =
+        List.filter_map
+          (function Codegen.Send c -> Some c | _ -> None)
+          program
+      in
+      let actual_recvs =
+        List.filter_map
+          (function Codegen.Recv c -> Some c | _ -> None)
+          program
+      in
+      let diff what expected actual =
+        let missing = List.filter (fun c -> not (List.mem c actual)) expected in
+        let extra = List.filter (fun c -> not (List.mem c expected)) actual in
+        List.map
+          (fun c ->
+            Diag.error ~rule:"CGEN002" ~artifact ~location:operator_name
+              (Printf.sprintf "operator %S misses the %s of transfer %s" operator_name
+                 what (describe_comm alg c))
+              ~hint:"the peer would block forever on this transfer")
+          missing
+        @ List.map
+            (fun c ->
+              Diag.error ~rule:"CGEN002" ~artifact ~location:operator_name
+                (Printf.sprintf "operator %S has a spurious %s of transfer %s"
+                   operator_name what (describe_comm alg c)))
+            extra
+      in
+      missing_program
+      @ diff "send" expected_sends actual_sends
+      @ diff "receive" expected_recvs actual_recvs)
+    (Architecture.operators arch)
+
+let media_order exe =
+  let sched = exe.Codegen.schedule in
+  let arch = sched.Schedule.architecture in
+  List.concat_map
+    (fun medium ->
+      let medium_name = Architecture.medium_name arch medium in
+      let expected = Schedule.on_medium sched medium in
+      let actual =
+        match List.assoc_opt medium exe.Codegen.media_programs with
+        | Some p -> p
+        | None -> []
+      in
+      if actual = expected then []
+      else
+        [
+          Diag.error ~rule:"CGEN003" ~artifact ~location:medium_name
+            (Printf.sprintf
+               "medium %S carries %d transfer(s) in an order differing from the schedule's \
+                total order (%d scheduled)"
+               medium_name (List.length actual) (List.length expected))
+            ~hint:"media must serve transfers in ascending schedule time";
+        ])
+    (Architecture.media arch)
+
+(* Walk each program in order and check every read has a producer
+   earlier in the sequence: locally computed outputs become available
+   at their Exec, remote ones at their Recv; Memory outputs pre-exist
+   (previous iteration).  Sends must follow their local producer. *)
+let data_order exe =
+  let sched = exe.Codegen.schedule in
+  let alg = sched.Schedule.algorithm and arch = sched.Schedule.architecture in
+  List.concat_map
+    (fun (operator, program) ->
+      let operator_name = Architecture.operator_name arch operator in
+      let local op =
+        try Schedule.operator_of sched op = operator with Invalid_argument _ -> false
+      in
+      let available = Hashtbl.create 32 and diags = ref [] in
+      let emit d = diags := d :: !diags in
+      List.iter
+        (fun instr ->
+          match instr with
+          | Codegen.Wait_period -> ()
+          | Codegen.Recv c -> Hashtbl.replace available c.Schedule.cm_src ()
+          | Codegen.Send c ->
+              let src = fst c.Schedule.cm_src in
+              if
+                local src
+                && Algorithm.op_kind alg src <> Algorithm.Memory
+                && not (Hashtbl.mem available c.Schedule.cm_src)
+              then
+                emit
+                  (Diag.error ~rule:"CGEN004" ~artifact ~location:operator_name
+                     (Printf.sprintf
+                        "operator %S posts transfer %s before executing its producer %S"
+                        operator_name (describe_comm alg c)
+                        (Algorithm.op_name alg src))
+                     ~hint:"a send must follow the execution producing its data")
+          | Codegen.Exec op ->
+              Array.iteri
+                (fun port _ ->
+                  match Algorithm.dep_source alg op port with
+                  | None -> ()
+                  | Some (src, sp) ->
+                      if
+                        Algorithm.op_kind alg src <> Algorithm.Memory
+                        && not (Hashtbl.mem available (src, sp))
+                      then
+                        emit
+                          (Diag.error ~rule:"CGEN004" ~artifact ~location:operator_name
+                             (Printf.sprintf
+                                "%S runs on %S before its input %s.%d is %s"
+                                (Algorithm.op_name alg op) operator_name
+                                (Algorithm.op_name alg src) sp
+                                (if local src then "computed" else "received"))
+                             ~hint:"receives must precede the executions consuming them"))
+                (Algorithm.op_inputs alg op);
+              Array.iteri
+                (fun port _ -> Hashtbl.replace available (op, port) ())
+                (Algorithm.op_outputs alg op))
+        program;
+      List.rev !diags)
+    exe.Codegen.programs
+
+(* Lexical audit of the emitted C: every buf_* identifier a file uses
+   must be declared by one of its `static double buf_*` lines. *)
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let buffer_identifiers content =
+  let declared = Hashtbl.create 16 and used = Hashtbl.create 16 in
+  let n = String.length content in
+  let decl_prefix = "static double " in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !i + 4 <= n
+      && String.sub content !i 4 = "buf_"
+      && (!i = 0 || not (is_ident_char content.[!i - 1]))
+    then begin
+      let j = ref !i in
+      while !j < n && is_ident_char content.[!j] do
+        incr j
+      done;
+      let ident = String.sub content !i (!j - !i) in
+      let p = String.length decl_prefix in
+      if !i >= p && String.sub content (!i - p) p = decl_prefix then
+        Hashtbl.replace declared ident ()
+      else Hashtbl.replace used ident ();
+      i := !j
+    end
+    else incr i
+  done;
+  (declared, used)
+
+let emitted_c exe =
+  match Aaa.Cgen.emit exe with
+  | files ->
+      List.concat_map
+        (fun (filename, content) ->
+          if not (String.length filename > 2 && Filename.check_suffix filename ".c") then
+            []
+          else begin
+            let declared, used = buffer_identifiers content in
+            Hashtbl.fold
+              (fun ident () acc ->
+                if Hashtbl.mem declared ident then acc
+                else
+                  Diag.error ~rule:"CGEN001" ~artifact ~location:filename
+                    (Printf.sprintf "%s references %s without declaring it" filename
+                       ident)
+                    ~hint:"every used buffer must have a static declaration in the file"
+                  :: acc)
+              used []
+            |> List.sort Diag.compare
+          end)
+        files
+  | exception Invalid_argument msg ->
+      [ Diag.of_invalid_arg ~artifact ~location:"emit" msg ]
+
+let check exe = structural exe @ media_order exe @ data_order exe @ emitted_c exe

@@ -1,0 +1,15 @@
+(** Static checks on the generated executive ({!Aaa.Codegen}) and the
+    C sources emitted from it ({!Aaa.Cgen}) — the deadlock-freedom
+    side of paper §3.2: every scheduled transfer must have exactly one
+    matching send and receive, media must carry transfers in the
+    schedule's total order, and no instruction may consume data before
+    the program makes it available. *)
+
+val check : Aaa.Codegen.t -> Diag.t list
+(** Emits CGEN002 (an operator program's send/receive set differs from
+    the schedule's transfers — an unpaired post or a receive that would
+    block forever), CGEN003 (a medium program out of schedule order),
+    CGEN004 (an execution reading an input before the receive/execution
+    producing it, or a send posted before its local producer ran) and
+    CGEN001 (an emitted C file referencing a [buf_*] array it never
+    declares). *)

@@ -1,0 +1,101 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  artifact : string;
+  location : string;
+  message : string;
+  hint : string option;
+}
+
+let v ?hint ~rule ~severity ~artifact ~location message =
+  { rule; severity; artifact; location; message; hint }
+
+let error ?hint ~rule ~artifact ~location message =
+  v ?hint ~rule ~severity:Error ~artifact ~location message
+
+let warning ?hint ~rule ~artifact ~location message =
+  v ?hint ~rule ~severity:Warning ~artifact ~location message
+
+let info ?hint ~rule ~artifact ~location message =
+  v ?hint ~rule ~severity:Info ~artifact ~location message
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = String.compare a.artifact b.artifact in
+      if c <> 0 then c
+      else
+        let c = String.compare a.location b.location in
+        if c <> 0 then c else String.compare a.message b.message
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+(* A rule prefix is "[" ^ id ^ "] " where id is uppercase letters
+   followed by digits — the shape every catalogued identifier has. *)
+let rule_prefix msg =
+  if String.length msg < 3 || msg.[0] <> '[' then None
+  else
+    match String.index_opt msg ']' with
+    | None -> None
+    | Some close ->
+        let id = String.sub msg 1 (close - 1) in
+        let valid =
+          id <> ""
+          && String.for_all (function 'A' .. 'Z' | '0' .. '9' -> true | _ -> false) id
+          && (match id.[0] with 'A' .. 'Z' -> true | _ -> false)
+        in
+        if valid then Some id else None
+
+let of_invalid_arg ~artifact ?(location = "") msg =
+  match rule_prefix msg with
+  | Some rule ->
+      let close = String.index msg ']' in
+      let rest = String.sub msg (close + 1) (String.length msg - close - 1) in
+      error ~rule ~artifact ~location (String.trim rest)
+  | None -> error ~rule:"VER001" ~artifact ~location msg
+
+let to_string d =
+  let where =
+    if d.location = "" then d.artifact else Printf.sprintf "%s(%s)" d.artifact d.location
+  in
+  let head =
+    Printf.sprintf "%s[%s] %s: %s" (severity_to_string d.severity) d.rule where d.message
+  in
+  match d.hint with None -> head | Some h -> head ^ "\n    hint: " ^ h
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let render diags =
+  List.sort compare diags |> List.map to_string |> List.map (fun s -> s ^ "\n")
+  |> String.concat ""
+
+let summary diags =
+  let count s = List.length (List.filter (fun d -> d.severity = s) diags) in
+  let plural n word = Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s") in
+  Printf.sprintf "%s, %s, %s" (plural (count Error) "error")
+    (plural (count Warning) "warning")
+    (plural (count Info) "info")
+
+let json_of d =
+  let hint = match d.hint with Some h -> Printf.sprintf ", \"hint\": %S" h | None -> "" in
+  Printf.sprintf "{\"rule\": %S, \"severity\": %S, \"artifact\": %S, \"location\": %S, \"message\": %S%s}"
+    d.rule (severity_to_string d.severity) d.artifact d.location d.message hint
+
+let to_json diags =
+  match List.sort compare diags with
+  | [] -> "[]\n"
+  | sorted -> "[\n  " ^ String.concat ",\n  " (List.map json_of sorted) ^ "\n]\n"

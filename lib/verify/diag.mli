@@ -1,0 +1,74 @@
+(** Structured diagnostics — the currency of the static design-rule
+    checker.
+
+    Every finding of an analysis pass is a [t]: a stable rule
+    identifier (e.g. ["SCHED003"], catalogued in {!Rules}), a severity,
+    the design artifact it was found in ("dataflow", "algorithm",
+    "schedule", "temporal", "cgen", ...), a location inside that
+    artifact (an operation, operator, block or file name), a
+    human-readable message and an optional fix hint.
+
+    The same rule identifiers appear in the [Invalid_argument] messages
+    the construction-time validators raise (e.g.
+    [Aaa.Schedule.make], [Dataflow.Graph.connect_data]), as a
+    ["[RULE]"] prefix — {!of_invalid_arg} recovers the structure from
+    such a message, so library and linter share one rule set. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;  (** stable rule identifier, e.g. ["SCHED003"] *)
+  severity : severity;
+  artifact : string;  (** which design artifact: "schedule", "dataflow", ... *)
+  location : string;  (** operation/operator/block/file inside the artifact *)
+  message : string;
+  hint : string option;  (** how to fix it, when we know *)
+}
+
+val v :
+  ?hint:string -> rule:string -> severity:severity -> artifact:string ->
+  location:string -> string -> t
+
+val error : ?hint:string -> rule:string -> artifact:string -> location:string -> string -> t
+val warning : ?hint:string -> rule:string -> artifact:string -> location:string -> string -> t
+val info : ?hint:string -> rule:string -> artifact:string -> location:string -> string -> t
+
+val severity_to_string : severity -> string
+
+val compare : t -> t -> int
+(** Orders by severity (errors first), then rule, artifact, location,
+    message — the presentation order of {!render}. *)
+
+val errors : t list -> t list
+(** The error-severity subset. *)
+
+val has_errors : t list -> bool
+
+val rule_prefix : string -> string option
+(** [rule_prefix msg] extracts ["SCHED003"] from a message of the form
+    ["[SCHED003] ..."], [None] otherwise. *)
+
+val of_invalid_arg : artifact:string -> ?location:string -> string -> t
+(** Structures the message of a library [Invalid_argument]: the rule is
+    the ["[RULE]"] prefix when present, the catch-all rule ["VER001"]
+    otherwise.  Construction-time validators only reject hard
+    violations, so the severity is always [Error]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** One- or two-line rendering:
+    ["error[SCHED003] schedule(P0): ..."] plus an indented hint. *)
+
+val render : t list -> string
+(** Sorted human rendering, one diagnostic per line; empty string for
+    an empty list. *)
+
+val summary : t list -> string
+(** ["2 errors, 1 warning, 0 infos"]. *)
+
+val json_of : t -> string
+(** One JSON object (used by callers composing their own arrays). *)
+
+val to_json : t list -> string
+(** A JSON array of diagnostic objects (sorted like {!render}). *)

@@ -1,0 +1,141 @@
+module Graph = Dataflow.Graph
+module Block = Dataflow.Block
+
+let artifact = "dataflow"
+
+let unwired_inputs g =
+  List.concat_map
+    (fun id ->
+      let blk = Graph.block g id in
+      List.filter_map
+        (fun port ->
+          match Graph.data_source g id port with
+          | Some _ -> None
+          | None ->
+              Some
+                (Diag.error ~rule:"GRAPH001" ~artifact
+                   ~location:(Printf.sprintf "%s.%d" blk.Block.name port)
+                   (Printf.sprintf "input port %S.%d is not wired" blk.Block.name port)
+                   ~hint:"connect a data source to every regular input port"))
+        (List.init (Array.length blk.Block.in_widths) Fun.id))
+    (Graph.block_ids g)
+
+(* Kahn over data edges entering feedthrough blocks — the blocks left
+   with positive in-degree sit on a delay-free algebraic loop. *)
+let algebraic_loops g =
+  let ids = Graph.block_ids g in
+  let n = Graph.block_count g in
+  let indegree = Array.make n 0 and succs = Array.make n [] in
+  List.iter
+    (fun ((sb, _), (db, _)) ->
+      let sb = (sb : Graph.block_id :> int) and db = (db : Graph.block_id :> int) in
+      if sb <> db && (Graph.block g (Graph.id_of_int g db)).Block.feedthrough then begin
+        succs.(sb) <- db :: succs.(sb);
+        indegree.(db) <- indegree.(db) + 1
+      end)
+    (Graph.data_links g);
+  let queue = Queue.create () in
+  List.iteri (fun i _ -> if indegree.(i) = 0 then Queue.add i queue) ids;
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    incr visited;
+    List.iter
+      (fun succ ->
+        indegree.(succ) <- indegree.(succ) - 1;
+        if indegree.(succ) = 0 then Queue.add succ queue)
+      succs.(id)
+  done;
+  if !visited = n then []
+  else
+    let stuck =
+      List.filter (fun i -> indegree.(i) > 0) (List.init n Fun.id)
+      |> List.map (fun i -> (Graph.block g (Graph.id_of_int g i)).Block.name)
+    in
+    [
+      Diag.error ~rule:"GRAPH005" ~artifact
+        ~location:(String.concat ", " stuck)
+        (Printf.sprintf "delay-free algebraic loop through feedthrough blocks: %s"
+           (String.concat ", " stuck))
+        ~hint:"break the loop with a unit delay or a non-feedthrough block";
+    ]
+
+(* Event reachability: a block is activated when it self-primes
+   (initial Self action), when the caller promises a post-build clock
+   ([expect_activated]), or when an activated block (or an initial
+   Emit) fires one of its event inputs; activation then propagates
+   along event links.  Event-driven blocks outside this closure can
+   never execute. *)
+let unreachable_events ?(expect_activated = []) g =
+  let n = Graph.block_count g in
+  let activated = Array.make n false in
+  let pending = Queue.create () in
+  let activate id =
+    let i = (id : Graph.block_id :> int) in
+    if not activated.(i) then begin
+      activated.(i) <- true;
+      Queue.add id pending
+    end
+  in
+  List.iter activate expect_activated;
+  List.iter
+    (fun id ->
+      let blk = Graph.block g id in
+      List.iter
+        (fun action ->
+          match action with
+          | Block.Self _ -> activate id
+          | Block.Emit { port; _ } ->
+              List.iter (fun (dst, _) -> activate dst) (Graph.event_listeners g id port)
+          | Block.Set_cstate _ -> ())
+        blk.Block.initial_actions)
+    (Graph.block_ids g);
+  while not (Queue.is_empty pending) do
+    let id = Queue.pop pending in
+    let blk = Graph.block g id in
+    for port = 0 to blk.Block.event_outputs - 1 do
+      List.iter (fun (dst, _) -> activate dst) (Graph.event_listeners g id port)
+    done
+  done;
+  List.filter_map
+    (fun id ->
+      let blk = Graph.block g id in
+      if blk.Block.event_inputs > 0 && not activated.((id : Graph.block_id :> int)) then
+        Some
+          (Diag.warning ~rule:"GRAPH006" ~artifact ~location:blk.Block.name
+             (Printf.sprintf "event-driven block %S is unreachable from any activation source"
+                blk.Block.name)
+             ~hint:"wire an event link from a clock or a self-priming block")
+      else None)
+    (Graph.block_ids g)
+
+(* Two graph nodes sharing one physical block record share its
+   closures and state arrays — harmless for pure blocks, aliasing for
+   stateful ones. *)
+let shared_stateful g =
+  let ids = Graph.block_ids g in
+  let stateful (b : Block.t) = Array.length b.Block.cstate0 > 0 || b.Block.event_inputs > 0 in
+  let rec pairs acc = function
+    | [] -> List.rev acc
+    | id :: rest ->
+        let blk = Graph.block g id in
+        let dup =
+          stateful blk && List.exists (fun other -> Graph.block g other == blk) rest
+        in
+        let acc =
+          if dup then
+            Diag.warning ~rule:"GRAPH007" ~artifact ~location:blk.Block.name
+              (Printf.sprintf "stateful block %S is added to the graph more than once"
+                 blk.Block.name)
+              ~hint:"build a fresh block instance per graph node"
+            :: acc
+          else acc
+        in
+        pairs acc rest
+  in
+  pairs [] ids
+
+let check ?expect_activated g =
+  unwired_inputs g @ algebraic_loops g
+  @ unreachable_events ?expect_activated g
+  @ shared_stateful g

@@ -1,0 +1,22 @@
+(** Static checks on a dataflow (Scicos-style) block diagram — the
+    design-entry artifact of the lifecycle.
+
+    Covers the invariants {!Dataflow.Graph.validate} enforces by
+    raising (unwired ports, algebraic loops), without aborting at the
+    first violation, plus diagram smells the simulator tolerates but a
+    reviewer should see: event-driven blocks no activation can ever
+    reach, and stateful block instances shared between two graph
+    nodes. *)
+
+val check :
+  ?expect_activated:Dataflow.Graph.block_id list ->
+  Dataflow.Graph.t ->
+  Diag.t list
+(** Emits GRAPH001 (unwired input), GRAPH005 (delay-free algebraic
+    loop), GRAPH006 (event-driven block unreachable from any activation
+    source) and GRAPH007 (stateful block instance added twice).
+
+    [expect_activated] lists blocks a clock is attached to {e after}
+    the diagram is built (the lifecycle wires the stroboscopic clock
+    post-[build]); they and their event-reachable successors are
+    exempt from GRAPH006. *)

@@ -1,0 +1,87 @@
+type rule = {
+  id : string;
+  severity : Diag.severity;
+  pass : string;
+  title : string;
+}
+
+let r id severity pass title = { id; severity; pass; title }
+
+let all =
+  [
+    (* dataflow graphs *)
+    r "GRAPH001" Diag.Error "graph" "regular input port is not wired";
+    r "GRAPH002" Diag.Error "graph" "input port wired twice";
+    r "GRAPH003" Diag.Error "graph" "data link width mismatch";
+    r "GRAPH004" Diag.Error "graph" "link references a non-existent port";
+    r "GRAPH005" Diag.Error "graph" "delay-free algebraic loop through feedthrough blocks";
+    r "GRAPH006" Diag.Warning "graph"
+      "event-driven block unreachable from any activation source";
+    r "GRAPH007" Diag.Warning "graph" "stateful block instance added to the graph twice";
+    (* algorithm graphs *)
+    r "ALG001" Diag.Error "algorithm" "operation input port is not wired";
+    r "ALG002" Diag.Error "algorithm" "intra-iteration dependency cycle";
+    r "ALG003" Diag.Error "algorithm" "conditioning variable without a valid source";
+    r "ALG004" Diag.Error "algorithm" "dependency references a bad port or mismatched width";
+    r "ALG005" Diag.Warning "algorithm" "control loop lacks a sensor or an actuator";
+    (* architecture graphs *)
+    r "ARCH001" Diag.Error "architecture" "no operator, or operator graph disconnected";
+    r "ARCH002" Diag.Error "architecture" "medium with bad endpoints or timing parameters";
+    (* durations tables *)
+    r "DUR001" Diag.Error "mapping" "negative execution time";
+    r "DUR002" Diag.Error "mapping" "BCET set before the WCET or exceeding it";
+    (* algorithm-on-architecture mapping *)
+    r "MAP001" Diag.Error "mapping" "operation has no operator able to run it";
+    r "MAP002" Diag.Error "mapping" "dependency has no routable operator placement";
+    r "MAP003" Diag.Warning "mapping" "operation WCET exceeds the period everywhere";
+    (* schedules *)
+    r "SCHED001" Diag.Error "schedule" "operation scheduled more than once";
+    r "SCHED002" Diag.Error "schedule" "operation missing from the schedule";
+    r "SCHED003" Diag.Error "schedule" "overlapping computation slots on one operator";
+    r "SCHED004" Diag.Error "schedule" "overlapping transfer slots on one medium";
+    r "SCHED005" Diag.Error "schedule" "inter-operator dependency without a transfer";
+    r "SCHED006" Diag.Error "schedule" "transfer hop chain broken or misrouted";
+    r "SCHED007" Diag.Error "schedule" "precedence violated: consumer before data arrival";
+    r "SCHED008" Diag.Warning "schedule" "makespan exceeds the period";
+    r "SCHED009" Diag.Info "schedule" "operator idle over the whole iteration";
+    r "SCHED010" Diag.Warning "schedule" "single-operator failure without a fitting failover";
+    r "SCHED011" Diag.Error "schedule" "slot with negative start or duration";
+    (* temporal model *)
+    r "TEMP001" Diag.Error "temporal" "non-finite, negative or inconsistent temporal model";
+    r "TEMP002" Diag.Warning "temporal" "latency exceeds the period";
+    r "TEMP003" Diag.Error "temporal" "actuation scheduled before a sensor it depends on";
+    (* generated executive / C *)
+    r "CGEN001" Diag.Error "cgen" "generated C uses an undeclared buffer";
+    r "CGEN002" Diag.Error "cgen" "send/receive set does not match the schedule's transfers";
+    r "CGEN003" Diag.Error "cgen" "medium program order differs from the schedule";
+    r "CGEN004" Diag.Error "cgen" "operation or send ordered before its data is available";
+    (* catch-all *)
+    r "VER001" Diag.Error "core" "uncategorised construction failure";
+  ]
+
+let () =
+  (* the catalogue is the contract: duplicate ids are a programming error *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun { id; _ } ->
+      if Hashtbl.mem seen id then invalid_arg ("Rules: duplicate rule id " ^ id);
+      Hashtbl.replace seen id ())
+    all
+
+let find id = List.find_opt (fun rule -> String.equal rule.id id) all
+
+let severity_of id =
+  match find id with Some rule -> rule.severity | None -> Diag.Error
+
+let markdown_table () =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "| ID | Severity | Pass | Meaning |\n";
+  Buffer.add_string b "|----|----------|------|---------|\n";
+  List.iter
+    (fun { id; severity; pass; title } ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %s | %s | %s |\n" id
+           (Diag.severity_to_string severity)
+           pass title))
+    all;
+  Buffer.contents b

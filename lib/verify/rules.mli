@@ -1,0 +1,33 @@
+(** The design-rule catalogue: every rule identifier the checker can
+    emit, with its default severity, the pass that owns it and a short
+    title.
+
+    A rule identifier is stable across releases — tests, CI gates and
+    suppression lists key on it.  The same identifiers appear as
+    ["[RULE]"] prefixes in the [Invalid_argument] messages of the
+    construction-time validators ({!Aaa.Schedule.make},
+    {!Dataflow.Graph.connect_data}, ...), so the library raises and the
+    linter diagnostics are one rule set. *)
+
+type rule = {
+  id : string;  (** e.g. ["SCHED003"] *)
+  severity : Diag.severity;  (** default severity of a finding *)
+  pass : string;  (** owning pass: "graph", "algorithm", "architecture",
+      "mapping", "schedule", "temporal", "cgen" or "core" *)
+  title : string;  (** one-line meaning *)
+}
+
+val all : rule list
+(** The full catalogue, grouped by pass, ascending identifiers.
+    Identifiers are unique. *)
+
+val find : string -> rule option
+
+val severity_of : string -> Diag.severity
+(** Default severity of a rule identifier; [Error] for unknown ones
+    (unknown identifiers come from uncatalogued raises, which are
+    construction failures). *)
+
+val markdown_table : unit -> string
+(** The catalogue as a markdown table (ID, severity, pass, meaning) —
+    the source of the ARCHITECTURE.md rule listing. *)

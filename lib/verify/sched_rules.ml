@@ -1,0 +1,279 @@
+module Algorithm = Aaa.Algorithm
+module Architecture = Aaa.Architecture
+module Schedule = Aaa.Schedule
+
+let artifact = "schedule"
+let eps = 1e-9
+
+let check sched =
+  let alg = sched.Schedule.algorithm and arch = sched.Schedule.architecture in
+  let op_n = Algorithm.op_name alg in
+  let operator_n = Architecture.operator_name arch in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (* negative times *)
+  List.iter
+    (fun (s : Schedule.comp_slot) ->
+      if s.cs_start < 0. || s.cs_duration < 0. then
+        emit
+          (Diag.error ~rule:"SCHED011" ~artifact ~location:(op_n s.cs_op)
+             (Printf.sprintf "slot of %S has negative start or duration [%g, %g]"
+                (op_n s.cs_op) s.cs_start s.cs_duration)))
+    sched.Schedule.comp;
+  List.iter
+    (fun (c : Schedule.comm_slot) ->
+      if c.cm_start < 0. || c.cm_duration < 0. then
+        emit
+          (Diag.error ~rule:"SCHED011" ~artifact
+             ~location:(Architecture.medium_name arch c.cm_medium)
+             (Printf.sprintf "transfer %S -> %S has negative start or duration [%g, %g]"
+                (op_n (fst c.cm_src))
+                (op_n (fst c.cm_dst))
+                c.cm_start c.cm_duration)))
+    sched.Schedule.comm;
+  (* every operation scheduled exactly once *)
+  let slots = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Schedule.comp_slot) ->
+      if Hashtbl.mem slots s.cs_op then
+        emit
+          (Diag.error ~rule:"SCHED001" ~artifact ~location:(op_n s.cs_op)
+             (Printf.sprintf "operation %S is scheduled more than once" (op_n s.cs_op))
+             ~hint:"keep exactly one computation slot per operation")
+      else Hashtbl.replace slots s.cs_op s)
+    sched.Schedule.comp;
+  List.iter
+    (fun op ->
+      if not (Hashtbl.mem slots op) then
+        emit
+          (Diag.error ~rule:"SCHED002" ~artifact ~location:(op_n op)
+             (Printf.sprintf "operation %S is missing from the schedule" (op_n op))))
+    (Algorithm.ops alg);
+  (* resource exclusivity *)
+  let by_start_comp =
+    List.sort (fun (a : Schedule.comp_slot) b -> Float.compare a.cs_start b.cs_start)
+  in
+  let by_start_comm =
+    List.sort (fun (a : Schedule.comm_slot) b -> Float.compare a.cm_start b.cm_start)
+  in
+  List.iter
+    (fun operator ->
+      let own =
+        by_start_comp
+          (List.filter
+             (fun (s : Schedule.comp_slot) -> s.cs_operator = operator)
+             sched.Schedule.comp)
+      in
+      let rec go = function
+        | (a : Schedule.comp_slot) :: (b :: _ as rest) ->
+            if a.cs_start +. a.cs_duration > b.cs_start +. eps then
+              emit
+                (Diag.error ~rule:"SCHED003" ~artifact ~location:(operator_n operator)
+                   (Printf.sprintf
+                      "computations %S [%g, %g] and %S [%g, %g] overlap on operator %S"
+                      (op_n a.cs_op) a.cs_start
+                      (a.cs_start +. a.cs_duration)
+                      (op_n b.cs_op) b.cs_start
+                      (b.cs_start +. b.cs_duration)
+                      (operator_n operator))
+                   ~hint:"shift one slot past the other's completion");
+            go rest
+        | [ _ ] | [] -> ()
+      in
+      go own)
+    (Architecture.operators arch);
+  List.iter
+    (fun medium ->
+      let own =
+        by_start_comm
+          (List.filter
+             (fun (c : Schedule.comm_slot) -> c.cm_medium = medium)
+             sched.Schedule.comm)
+      in
+      let rec go = function
+        | (a : Schedule.comm_slot) :: (b :: _ as rest) ->
+            if a.cm_start +. a.cm_duration > b.cm_start +. eps then
+              emit
+                (Diag.error ~rule:"SCHED004" ~artifact
+                   ~location:(Architecture.medium_name arch medium)
+                   (Printf.sprintf
+                      "transfers %S -> %S [%g, %g] and %S -> %S [%g, %g] overlap on medium %S"
+                      (op_n (fst a.cm_src))
+                      (op_n (fst a.cm_dst))
+                      a.cm_start
+                      (a.cm_start +. a.cm_duration)
+                      (op_n (fst b.cm_src))
+                      (op_n (fst b.cm_dst))
+                      b.cm_start
+                      (b.cm_start +. b.cm_duration)
+                      (Architecture.medium_name arch medium)));
+            go rest
+        | [ _ ] | [] -> ()
+      in
+      go own)
+    (Architecture.media arch);
+  (* precedence: every dependency's data must arrive before its
+     consumer starts, mirroring Schedule's arrival semantics (Memory
+     sources carry the previous iteration's value and wrap). *)
+  List.iter
+    (fun ((src, sp), (dst, dp)) ->
+      match (Hashtbl.find_opt slots src, Hashtbl.find_opt slots dst) with
+      | None, _ | _, None -> () (* SCHED002 already reported *)
+      | Some src_slot, Some dst_slot ->
+          let describe =
+            Printf.sprintf "%s.%d -> %s.%d" (op_n src) sp (op_n dst) dp
+          in
+          let is_memory = Algorithm.op_kind alg src = Algorithm.Memory in
+          if src_slot.Schedule.cs_operator = dst_slot.Schedule.cs_operator then begin
+            let arrival =
+              if is_memory then 0.
+              else src_slot.Schedule.cs_start +. src_slot.Schedule.cs_duration
+            in
+            if dst_slot.Schedule.cs_start +. eps < arrival then
+              emit
+                (Diag.error ~rule:"SCHED007" ~artifact ~location:(op_n dst)
+                   (Printf.sprintf "%S starts at %g before its input %s arrives at %g"
+                      (op_n dst) dst_slot.Schedule.cs_start describe arrival)
+                   ~hint:"delay the consumer past its producers' completions")
+          end
+          else begin
+            let hops =
+              List.filter
+                (fun (c : Schedule.comm_slot) ->
+                  c.cm_src = (src, sp) && c.cm_dst = (dst, dp))
+                sched.Schedule.comm
+              |> List.sort (fun (a : Schedule.comm_slot) b -> Int.compare a.cm_hop b.cm_hop)
+            in
+            match hops with
+            | [] ->
+                emit
+                  (Diag.error ~rule:"SCHED005" ~artifact ~location:describe
+                     (Printf.sprintf
+                        "inter-operator dependency %s (%S on %S, %S on %S) has no transfer"
+                        describe (op_n src)
+                        (operator_n src_slot.Schedule.cs_operator)
+                        (op_n dst)
+                        (operator_n dst_slot.Schedule.cs_operator))
+                     ~hint:"add the communication slots carrying this dependency")
+            | first :: _ ->
+                let chain_ok = ref true in
+                let break msg =
+                  if !chain_ok then begin
+                    chain_ok := false;
+                    emit
+                      (Diag.error ~rule:"SCHED006" ~artifact ~location:describe
+                         (Printf.sprintf "transfer %s %s" describe msg))
+                  end
+                in
+                if
+                  first.Schedule.cm_hop <> 0
+                  || first.Schedule.cm_from <> src_slot.Schedule.cs_operator
+                then
+                  break
+                    (Printf.sprintf "does not leave the producer's operator %S"
+                       (operator_n src_slot.Schedule.cs_operator));
+                let rec walk = function
+                  | (a : Schedule.comm_slot) :: (b :: _ as rest) ->
+                      if b.Schedule.cm_hop <> a.Schedule.cm_hop + 1 || b.cm_from <> a.cm_to
+                      then break "has a broken hop chain"
+                      else if b.cm_start +. eps < a.cm_start +. a.cm_duration then
+                        break
+                          (Printf.sprintf "hop %d starts before hop %d ends"
+                             b.Schedule.cm_hop a.Schedule.cm_hop);
+                      walk rest
+                  | [ (last : Schedule.comm_slot) ] ->
+                      if last.cm_to <> dst_slot.Schedule.cs_operator then
+                        break
+                          (Printf.sprintf "does not reach the consumer's operator %S"
+                             (operator_n dst_slot.Schedule.cs_operator))
+                  | [] -> ()
+                in
+                walk hops;
+                if !chain_ok then begin
+                  (* a transfer — even a wrapping Memory one — may only
+                     start once its producer has completed, exactly as
+                     Schedule.make checks *)
+                  let produced =
+                    src_slot.Schedule.cs_start +. src_slot.Schedule.cs_duration
+                  in
+                  if first.Schedule.cm_start +. eps < produced then
+                    emit
+                      (Diag.error ~rule:"SCHED007" ~artifact ~location:describe
+                         (Printf.sprintf
+                            "transfer %s starts at %g before %S completes at %g" describe
+                            first.Schedule.cm_start (op_n src) produced));
+                  if not is_memory then begin
+                    let last = List.nth hops (List.length hops - 1) in
+                    let arrival = last.Schedule.cm_start +. last.Schedule.cm_duration in
+                    if dst_slot.Schedule.cs_start +. eps < arrival then
+                      emit
+                        (Diag.error ~rule:"SCHED007" ~artifact ~location:(op_n dst)
+                           (Printf.sprintf
+                              "%S starts at %g before its input %s arrives at %g"
+                              (op_n dst) dst_slot.Schedule.cs_start describe arrival)
+                           ~hint:"delay the consumer past the transfer's completion")
+                  end
+                end
+          end)
+    (Algorithm.dependencies alg);
+  (* quality findings make tolerates *)
+  let makespan =
+    List.fold_left
+      (fun acc (s : Schedule.comp_slot) -> Float.max acc (s.cs_start +. s.cs_duration))
+      0. sched.Schedule.comp
+    |> fun m ->
+    List.fold_left
+      (fun acc (c : Schedule.comm_slot) -> Float.max acc (c.cm_start +. c.cm_duration))
+      m sched.Schedule.comm
+  in
+  let period = Algorithm.period alg in
+  if makespan > period +. eps then
+    emit
+      (Diag.warning ~rule:"SCHED008" ~artifact ~location:(Algorithm.name alg)
+         (Printf.sprintf "makespan %g exceeds the period %g" makespan period)
+         ~hint:"relax the period, speed the platform up or re-map the algorithm");
+  if Architecture.operator_count arch > 1 then
+    List.iter
+      (fun operator ->
+        if
+          not
+            (List.exists
+               (fun (s : Schedule.comp_slot) -> s.cs_operator = operator)
+               sched.Schedule.comp)
+        then
+          emit
+            (Diag.info ~rule:"SCHED009" ~artifact ~location:(operator_n operator)
+               (Printf.sprintf "operator %S executes no computation" (operator_n operator))
+               ~hint:"consider removing it or re-balancing the mapping"))
+      (Architecture.operators arch);
+  List.rev !diags
+
+let failover_coverage ?strategy ?replicas ~durations sched =
+  let arch = sched.Schedule.architecture in
+  if Architecture.operator_count arch <= 1 then []
+  else
+    match
+      Fault.Degrade.failover_table ?strategy ?replicas
+        ~algorithm:sched.Schedule.algorithm ~architecture:arch ~durations ~nominal:sched
+        ()
+    with
+    | table ->
+        List.filter_map
+          (fun (f : Fault.Degrade.failover) ->
+            if f.fits then None
+            else
+              Some
+                (Diag.warning ~rule:"SCHED010" ~artifact ~location:f.failed_operator
+                   (match f.schedule with
+                   | None ->
+                       Printf.sprintf
+                         "no feasible failover schedule when operator %S fails"
+                         f.failed_operator
+                   | Some _ ->
+                       Printf.sprintf
+                         "failover after losing %S overruns the period (makespan %g)"
+                         f.failed_operator f.makespan)
+                   ~hint:"add spare capacity or declare passive replicas"))
+          table
+    | exception Invalid_argument msg ->
+        [ Diag.of_invalid_arg ~artifact ~location:"failover" msg ]

@@ -1,0 +1,31 @@
+(** Static checks on a timed schedule — the adequation's output.
+
+    {!check} re-derives every invariant {!Aaa.Schedule.make} enforces,
+    as diagnostics instead of a first-failure raise, and adds the
+    quality findings [make] deliberately tolerates (makespan overrun,
+    idle operators).  It never raises, so it can audit forged or
+    deserialised schedules no constructor ever validated.
+
+    The severity split is a contract with {!Aaa.Schedule.make}: a
+    schedule [make] accepts yields {e zero error-severity}
+    diagnostics from {!check}, and a slot list [make] rejects yields
+    at least one — the property [test/test_verify.ml] checks. *)
+
+val check : Aaa.Schedule.t -> Diag.t list
+(** Emits SCHED001 (operation scheduled twice), SCHED002 (operation
+    missing), SCHED003/SCHED004 (overlap on an operator/medium),
+    SCHED005 (missing transfer), SCHED006 (broken hop chain), SCHED007
+    (precedence violation), SCHED011 (negative times) — all errors —
+    plus SCHED008 (makespan over the period, warning) and SCHED009
+    (idle operator on a multi-processor architecture, info). *)
+
+val failover_coverage :
+  ?strategy:Aaa.Adequation.strategy ->
+  ?replicas:(string * string) list ->
+  durations:Aaa.Durations.t ->
+  Aaa.Schedule.t ->
+  Diag.t list
+(** Single-failure coverage (SCHED010, warning): re-plans the schedule
+    after each single-operator failure with {!Fault.Degrade} and
+    reports the failures whose failover is infeasible or misses the
+    period.  Empty on single-operator architectures. *)

@@ -1,0 +1,76 @@
+module Algorithm = Aaa.Algorithm
+module Temporal_model = Translator.Temporal_model
+
+let artifact = "temporal"
+let eps = 1e-9
+
+(* Operations reachable from [start] along intra-iteration dependency
+   edges (edges out of Memory operations carry previous-iteration
+   values and do not propagate this iteration's sample). *)
+let reachable alg start =
+  let seen = Hashtbl.create 16 in
+  let rec visit op =
+    if not (Hashtbl.mem seen op) then begin
+      Hashtbl.replace seen op ();
+      if Algorithm.op_kind alg op <> Algorithm.Memory || op = start then
+        List.iter visit (Algorithm.successors alg op)
+    end
+  in
+  visit start;
+  seen
+
+let check ~algorithm (static : Temporal_model.static) =
+  let op_n = Algorithm.op_name algorithm in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  if (not (Float.is_finite static.period)) || static.period <= 0. then
+    emit
+      (Diag.error ~rule:"TEMP001" ~artifact ~location:"period"
+         (Printf.sprintf "non-positive or non-finite period %g" static.period));
+  if (not (Float.is_finite static.makespan)) || static.makespan < 0. then
+    emit
+      (Diag.error ~rule:"TEMP001" ~artifact ~location:"makespan"
+         (Printf.sprintf "negative or non-finite makespan %g" static.makespan))
+  else if static.fits_period <> (static.makespan <= static.period +. eps) then
+    emit
+      (Diag.error ~rule:"TEMP001" ~artifact ~location:"fits_period"
+         (Printf.sprintf "fits_period = %b contradicts makespan %g vs period %g"
+            static.fits_period static.makespan static.period));
+  let check_offsets what offsets =
+    List.iter
+      (fun (op, offset) ->
+        if (not (Float.is_finite offset)) || offset < 0. then
+          emit
+            (Diag.error ~rule:"TEMP001" ~artifact ~location:(op_n op)
+               (Printf.sprintf "%s instant of %S is %g — I/O instants must be monotone \
+                                non-negative offsets within the period"
+                  what (op_n op) offset))
+        else if offset > static.period +. eps then
+          emit
+            (Diag.warning ~rule:"TEMP002" ~artifact ~location:(op_n op)
+               (Printf.sprintf "%s latency of %S (%g) exceeds the period %g" what
+                  (op_n op) offset static.period)
+               ~hint:"the iteration spills into the next period; shorten the schedule"))
+      offsets
+  in
+  check_offsets "sampling" static.sampling_offsets;
+  check_offsets "actuation" static.actuation_offsets;
+  (* causality: within one iteration an actuator applies a control
+     computed from the sensors it depends on, so O_a >= I_s whenever
+     sensor s reaches actuator a without crossing a delay *)
+  List.iter
+    (fun (sensor, i_s) ->
+      if Float.is_finite i_s then
+        let reach = reachable algorithm sensor in
+        List.iter
+          (fun (actuator, o_a) ->
+            if Hashtbl.mem reach actuator && Float.is_finite o_a && o_a +. eps < i_s then
+              emit
+                (Diag.error ~rule:"TEMP003" ~artifact ~location:(op_n actuator)
+                   (Printf.sprintf
+                      "actuation of %S at %g precedes the sampling of %S at %g it depends on"
+                      (op_n actuator) o_a (op_n sensor) i_s)
+                   ~hint:"the schedule must order sensors before dependent actuators"))
+          static.actuation_offsets)
+    static.sampling_offsets;
+  List.rev !diags

@@ -1,0 +1,11 @@
+(** Static checks on the temporal model (paper §3.2): the constant
+    sampling instants [I_j] and actuation instants [O_j] the static
+    schedule induces within one period. *)
+
+val check : algorithm:Aaa.Algorithm.t -> Translator.Temporal_model.static -> Diag.t list
+(** Emits TEMP001 (non-finite/negative offsets or makespan,
+    non-positive period, [fits_period] inconsistent with the makespan
+    — all break the monotonicity of [I_j(k) = I_j + k·T]), TEMP002
+    (latency beyond the period, warning) and TEMP003 (an actuation
+    instant earlier than the sampling instant of a sensor it depends
+    on through intra-iteration dependencies). *)

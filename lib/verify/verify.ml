@@ -1,0 +1,113 @@
+module Diag = Diag
+module Rules = Rules
+module Graph_rules = Graph_rules
+module Algo_rules = Algo_rules
+module Sched_rules = Sched_rules
+module Temporal_rules = Temporal_rules
+module Cgen_rules = Cgen_rules
+
+let default_durations ~algorithm ~architecture =
+  let durations = Aaa.Durations.create () in
+  let ops = Aaa.Algorithm.ops algorithm in
+  let wcet =
+    Aaa.Algorithm.period algorithm /. (4. *. float_of_int (max 1 (List.length ops)))
+  in
+  List.iter
+    (fun op ->
+      Aaa.Durations.set_everywhere durations
+        ~op:(Aaa.Algorithm.op_name algorithm op)
+        ~operators:
+          (List.map
+             (Aaa.Architecture.operator_name architecture)
+             (Aaa.Architecture.operators architecture))
+        wcet)
+    ops;
+  durations
+
+let run_all ?architecture ?durations ?strategy ?pins ?(failover = true)
+    (design : Lifecycle.Design.t) =
+  let architecture =
+    match architecture with Some a -> a | None -> Aaa.Architecture.single ()
+  in
+  (* stage 1: the diagram as designed *)
+  match design.Lifecycle.Design.build () with
+  | exception Invalid_argument msg ->
+      [ Diag.of_invalid_arg ~artifact:"dataflow" ~location:design.Lifecycle.Design.name msg ]
+  | built ->
+      let graph_diags =
+        Graph_rules.check ~expect_activated:built.Lifecycle.Design.clocked
+          built.Lifecycle.Design.graph
+      in
+      if Diag.has_errors graph_diags then graph_diags
+      else begin
+        (* stage 2: extraction and the SynDEx-side artifacts *)
+        match Lifecycle.Methodology.extract design with
+        | exception Invalid_argument msg ->
+            graph_diags
+            @ [
+                Diag.of_invalid_arg ~artifact:"algorithm"
+                  ~location:design.Lifecycle.Design.name msg;
+              ]
+        | _built, algorithm, _binding ->
+            let durations =
+              match durations with
+              | Some d -> d
+              | None -> default_durations ~algorithm ~architecture
+            in
+            let design_diags =
+              graph_diags
+              @ Algo_rules.check_algorithm algorithm
+              @ Algo_rules.check_architecture architecture
+              @ Algo_rules.check_mapping ~algorithm ~architecture ~durations
+            in
+            if Diag.has_errors design_diags then design_diags
+            else begin
+              (* stage 3: adequation, temporal model, executive *)
+              match
+                Lifecycle.Methodology.implement ?strategy ?pins ~design ~architecture
+                  ~durations ()
+              with
+              | exception Aaa.Adequation.Infeasible msg ->
+                  design_diags
+                  @ [
+                      Diag.error ~rule:"MAP001" ~artifact:"mapping"
+                        ~location:design.Lifecycle.Design.name
+                        ("adequation infeasible: " ^ msg)
+                        ~hint:"widen the durations table or the architecture";
+                    ]
+              | exception Invalid_argument msg ->
+                  design_diags
+                  @ [
+                      Diag.of_invalid_arg ~artifact:"schedule"
+                        ~location:design.Lifecycle.Design.name msg;
+                    ]
+              | impl ->
+                  let sched = impl.Lifecycle.Methodology.schedule in
+                  design_diags
+                  @ Sched_rules.check sched
+                  @ (if failover then
+                       Sched_rules.failover_coverage ?strategy ~durations sched
+                     else [])
+                  @ Temporal_rules.check ~algorithm impl.Lifecycle.Methodology.static
+                  @ Cgen_rules.check impl.Lifecycle.Methodology.executive
+            end
+      end
+
+let markdown_section ?(title = "Static verification") diags =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "## %s\n\n" title);
+  Buffer.add_string buf (Diag.summary diags ^ ".\n");
+  (match List.sort Diag.compare diags with
+  | [] -> ()
+  | sorted ->
+      Buffer.add_string buf "\n";
+      List.iter
+        (fun (d : Diag.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "- **%s** `%s` %s%s: %s\n"
+               (Diag.severity_to_string d.Diag.severity)
+               d.Diag.rule d.Diag.artifact
+               (if d.Diag.location = "" then "" else Printf.sprintf " (%s)" d.Diag.location)
+               d.Diag.message))
+        sorted);
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Static design-rule checking — the MISRA-style verification stage
+    of the lifecycle.
+
+    The paper's argument is that implementation-induced control
+    degradation is caught {e at design time}; this subsystem turns the
+    scattered construction-time invariants of the toolchain (the
+    [Invalid_argument] raises of {!Aaa.Schedule.make},
+    {!Dataflow.Graph.connect_data}, ...) plus a set of deeper
+    whole-design analyses into one auditable pass producing structured
+    {!Diag} diagnostics keyed by the {!Rules} catalogue.
+
+    {!run_all} drives every pass over one {!Lifecycle.Design.t}:
+    dataflow graph → extracted algorithm → architecture → mapping →
+    adequation schedule (with single-failure failover coverage) →
+    static temporal model → generated executive and C sources.  Each
+    stage only runs when the previous ones produced no error, so a
+    broken diagram yields its graph diagnostics rather than a cascade
+    of downstream noise. *)
+
+module Diag = Diag
+module Rules = Rules
+module Graph_rules = Graph_rules
+module Algo_rules = Algo_rules
+module Sched_rules = Sched_rules
+module Temporal_rules = Temporal_rules
+module Cgen_rules = Cgen_rules
+
+val run_all :
+  ?architecture:Aaa.Architecture.t ->
+  ?durations:Aaa.Durations.t ->
+  ?strategy:Aaa.Adequation.strategy ->
+  ?pins:(string * string) list ->
+  ?failover:bool ->
+  Lifecycle.Design.t ->
+  Diag.t list
+(** All passes over one design, in lifecycle order.
+
+    Defaults: [architecture] is {!Aaa.Architecture.single}[ ()];
+    [durations] declares every extracted operation on every operator
+    with a uniform WCET of [ts / (4 · op count)] (a platform that
+    comfortably fits the period, so structural findings are not
+    drowned by capacity ones); [failover] (default [true]) controls
+    the SCHED010 coverage analysis on multi-operator architectures.
+
+    Never raises: failures of the toolchain itself (diagram build,
+    extraction, adequation) are reported as diagnostics — with their
+    rule identifier when the raise message carries a ["[RULE]"]
+    prefix, as VER001 otherwise. *)
+
+val markdown_section : ?title:string -> Diag.t list -> string
+(** A markdown section (default title ["Static verification"]) with
+    the severity summary and one bullet per diagnostic — the [?lint]
+    section of {!Lifecycle.Report.markdown}. *)

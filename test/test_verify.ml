@@ -1,0 +1,644 @@
+(* The static design-rule checker: every catalogued rule ID must fire
+   on a known-bad fixture and stay silent on the seed designs, and the
+   schedule pass must agree exactly with Schedule.make's own
+   validation (the QCheck properties at the bottom). *)
+
+open Helpers
+module Alg = Aaa.Algorithm
+module Arch = Aaa.Architecture
+module Dur = Aaa.Durations
+module Sched = Aaa.Schedule
+module Diag = Verify.Diag
+
+let rules_of diags = List.map (fun (d : Diag.t) -> d.Diag.rule) diags
+let has_rule rule diags = List.mem rule (rules_of diags)
+
+let check_has_rule msg rule diags =
+  if not (has_rule rule diags) then
+    Alcotest.failf "%s: expected a %s diagnostic, got [%s]" msg rule
+      (String.concat "; " (List.map Diag.to_string diags))
+
+let check_no_errors msg diags =
+  match Diag.errors diags with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "%s: expected no errors, got [%s]" msg
+        (String.concat "; " (List.map Diag.to_string errs))
+
+(* a construction-time rule: the library raises Invalid_argument with
+   the "[RULE]" prefix the Diag layer recovers *)
+let check_raises_rule rule f =
+  match f () with
+  | exception Invalid_argument msg ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "raised message carries [%s]" rule)
+        (Some rule) (Diag.rule_prefix msg)
+  | exception e ->
+      Alcotest.failf "expected Invalid_argument [%s], got %s" rule (Printexc.to_string e)
+  | _ -> Alcotest.failf "expected Invalid_argument [%s], got a result" rule
+
+(* ------------------------------------------------------------------ *)
+(* diagnostics core *)
+
+let diag_tests =
+  [
+    test "of_invalid_arg recovers the rule identifier" (fun () ->
+        let d = Diag.of_invalid_arg ~artifact:"schedule" "[SCHED003] slots overlap" in
+        Alcotest.(check string) "rule" "SCHED003" d.Diag.rule;
+        Alcotest.(check string) "message" "slots overlap" d.Diag.message);
+    test "of_invalid_arg falls back to VER001 on untagged messages" (fun () ->
+        let d = Diag.of_invalid_arg ~artifact:"x" "plain failure" in
+        Alcotest.(check string) "rule" "VER001" d.Diag.rule;
+        check_true "is an error" (d.Diag.severity = Diag.Error));
+    test "render sorts errors first and summary counts severities" (fun () ->
+        let diags =
+          [
+            Diag.info ~rule:"SCHED009" ~artifact:"schedule" ~location:"P1" "idle";
+            Diag.error ~rule:"GRAPH001" ~artifact:"dataflow" ~location:"b.0" "unwired";
+          ]
+        in
+        check_true "errors lead" (contains (Diag.render diags) "error[GRAPH001]");
+        Alcotest.(check string) "summary" "1 error, 0 warnings, 1 info" (Diag.summary diags));
+    test "to_json emits one object per diagnostic" (fun () ->
+        let diags =
+          [ Diag.error ~rule:"ALG001" ~artifact:"algorithm" ~location:"a.0" "unwired" ]
+        in
+        let json = Diag.to_json diags in
+        check_true "rule field" (contains json "\"rule\": \"ALG001\"");
+        check_true "severity field" (contains json "\"severity\": \"error\""));
+    test "rule catalogue lists every identifier once" (fun () ->
+        let ids = List.map (fun (r : Verify.Rules.rule) -> r.Verify.Rules.id) Verify.Rules.all in
+        check_int "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
+        check_true "markdown table header"
+          (contains (Verify.Rules.markdown_table ()) "| ID | Severity |"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* dataflow graph rules *)
+
+let graph_tests =
+  let module G = Dataflow.Graph in
+  let module C = Dataflow.Clib in
+  [
+    test "GRAPH001 unwired input (pass and raise)" (fun () ->
+        let g = G.create () in
+        let _gain = G.add g (C.gain ~name:"g" 2.) in
+        check_has_rule "pass" "GRAPH001" (Verify.Graph_rules.check g);
+        check_raises_rule "GRAPH001" (fun () -> G.validate g));
+    test "GRAPH002 double wiring raises" (fun () ->
+        let g = G.create () in
+        let c = G.add g (C.constant ~name:"c" [| 1. |]) in
+        let s = G.add g (C.gain ~name:"g" 1.) in
+        G.connect_data g ~src:(c, 0) ~dst:(s, 0);
+        check_raises_rule "GRAPH002" (fun () -> G.connect_data g ~src:(c, 0) ~dst:(s, 0)));
+    test "GRAPH003 width mismatch raises" (fun () ->
+        let g = G.create () in
+        let c = G.add g (C.constant ~name:"c" [| 1.; 2. |]) in
+        let s = G.add g (C.gain ~name:"g" 1.) in
+        check_raises_rule "GRAPH003" (fun () -> G.connect_data g ~src:(c, 0) ~dst:(s, 0)));
+    test "GRAPH004 nonexistent port raises" (fun () ->
+        let g = G.create () in
+        let c = G.add g (C.constant ~name:"c" [| 1. |]) in
+        let s = G.add g (C.gain ~name:"g" 1.) in
+        check_raises_rule "GRAPH004" (fun () -> G.connect_data g ~src:(c, 3) ~dst:(s, 0)));
+    test "GRAPH005 algebraic loop through feedthrough blocks" (fun () ->
+        let g = G.create () in
+        let a = G.add g (C.gain ~name:"a" 1.) in
+        let b = G.add g (C.gain ~name:"b" 1.) in
+        G.connect_data g ~src:(a, 0) ~dst:(b, 0);
+        G.connect_data g ~src:(b, 0) ~dst:(a, 0);
+        check_has_rule "pass" "GRAPH005" (Verify.Graph_rules.check g);
+        check_raises_rule "GRAPH005" (fun () -> ignore (G.eval_order g)));
+    test "GRAPH006 unreachable event-driven block warns" (fun () ->
+        let g = G.create () in
+        let c = G.add g (C.constant ~name:"c" [| 1. |]) in
+        let sh = G.add g (C.sample_hold ~name:"sh" 1) in
+        G.connect_data g ~src:(c, 0) ~dst:(sh, 0);
+        let diags = Verify.Graph_rules.check g in
+        check_has_rule "pass" "GRAPH006" diags;
+        check_no_errors "warning only" diags;
+        (* the exemption the lifecycle build path relies on: a promised
+           post-build clock silences the warning *)
+        check_true "expect_activated silences"
+          (Verify.Graph_rules.check ~expect_activated:[ sh ] g = []));
+    test "GRAPH007 shared stateful block record warns" (fun () ->
+        let g = G.create () in
+        let c = G.add g (C.constant ~name:"c" [| 1. |]) in
+        let shared = C.unit_delay ~name:"z" [| 0. |] in
+        let d1 = G.add g shared in
+        let d2 = G.add g shared in
+        G.connect_data g ~src:(c, 0) ~dst:(d1, 0);
+        G.connect_data g ~src:(c, 0) ~dst:(d2, 0);
+        check_has_rule "pass" "GRAPH007"
+          (Verify.Graph_rules.check ~expect_activated:[ d1; d2 ] g));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* algorithm / architecture / mapping rules *)
+
+let chain_alg () =
+  let alg = Alg.create ~name:"chain" ~period:1.0 in
+  let s = Alg.add_op alg ~name:"s" ~kind:Alg.Sensor ~outputs:[| 1 |] () in
+  let a = Alg.add_op alg ~name:"a" ~kind:Alg.Actuator ~inputs:[| 1 |] () in
+  Alg.depend alg ~src:(s, 0) ~dst:(a, 0);
+  (alg, s, a)
+
+let algo_tests =
+  [
+    test "ALG001 unwired operation input" (fun () ->
+        let alg = Alg.create ~name:"x" ~period:1. in
+        let s = Alg.add_op alg ~name:"s" ~kind:Alg.Sensor ~outputs:[| 1 |] () in
+        let _a = Alg.add_op alg ~name:"a" ~kind:Alg.Actuator ~inputs:[| 1 |] () in
+        ignore s;
+        check_has_rule "pass" "ALG001" (Verify.Algo_rules.check_algorithm alg);
+        check_raises_rule "ALG001" (fun () -> Alg.validate alg));
+    test "ALG002 intra-iteration cycle" (fun () ->
+        let alg = Alg.create ~name:"x" ~period:1. in
+        let c1 = Alg.add_op alg ~name:"c1" ~kind:Alg.Compute ~inputs:[| 1 |] ~outputs:[| 1 |] () in
+        let c2 = Alg.add_op alg ~name:"c2" ~kind:Alg.Compute ~inputs:[| 1 |] ~outputs:[| 1 |] () in
+        Alg.depend alg ~src:(c1, 0) ~dst:(c2, 0);
+        Alg.depend alg ~src:(c2, 0) ~dst:(c1, 0);
+        check_has_rule "pass" "ALG002" (Verify.Algo_rules.check_algorithm alg);
+        check_raises_rule "ALG002" (fun () -> ignore (Alg.topological_order alg)));
+    test "ALG003 condition without a source" (fun () ->
+        let alg = Alg.create ~name:"x" ~period:1. in
+        let _c =
+          Alg.add_op alg ~name:"c" ~kind:Alg.Compute
+            ~cond:{ Alg.var = "m"; value = 0 } ()
+        in
+        check_has_rule "pass" "ALG003" (Verify.Algo_rules.check_algorithm alg);
+        check_raises_rule "ALG003" (fun () -> Alg.validate alg));
+    test "ALG004 dependency width mismatch raises" (fun () ->
+        let alg = Alg.create ~name:"x" ~period:1. in
+        let s = Alg.add_op alg ~name:"s" ~kind:Alg.Sensor ~outputs:[| 2 |] () in
+        let a = Alg.add_op alg ~name:"a" ~kind:Alg.Actuator ~inputs:[| 1 |] () in
+        check_raises_rule "ALG004" (fun () -> Alg.depend alg ~src:(s, 0) ~dst:(a, 0)));
+    test "ALG005 missing sensors and actuators warn" (fun () ->
+        let alg = Alg.create ~name:"x" ~period:1. in
+        let _c = Alg.add_op alg ~name:"c" ~kind:Alg.Compute () in
+        let diags = Verify.Algo_rules.check_algorithm alg in
+        check_int "two warnings" 2
+          (List.length (List.filter (fun r -> r = "ALG005") (rules_of diags)));
+        check_no_errors "warnings only" diags);
+    test "ARCH001 empty and disconnected architectures" (fun () ->
+        check_has_rule "empty" "ARCH001"
+          (Verify.Algo_rules.check_architecture (Arch.create ~name:"empty"));
+        let arch = Arch.create ~name:"split" in
+        let _p0 = Arch.add_operator arch ~name:"P0" in
+        let _p1 = Arch.add_operator arch ~name:"P1" in
+        check_has_rule "disconnected" "ARCH001" (Verify.Algo_rules.check_architecture arch);
+        check_raises_rule "ARCH001" (fun () -> Arch.validate arch));
+    test "ARCH002 degenerate point-to-point medium raises" (fun () ->
+        let arch = Arch.create ~name:"x" in
+        let p0 = Arch.add_operator arch ~name:"P0" in
+        let p1 = Arch.add_operator arch ~name:"P1" in
+        let p2 = Arch.add_operator arch ~name:"P2" in
+        check_raises_rule "ARCH002" (fun () ->
+            ignore
+              (Arch.add_medium arch ~name:"link" ~kind:Arch.Point_to_point
+                 ~time_per_word:0.001 [ p0; p1; p2 ])));
+    test "DUR001 negative WCET raises" (fun () ->
+        let d = Dur.create () in
+        check_raises_rule "DUR001" (fun () -> Dur.set d ~op:"s" ~operator:"P0" (-1.)));
+    test "DUR002 BCET without or above the WCET raises" (fun () ->
+        let d = Dur.create () in
+        check_raises_rule "DUR002" (fun () -> Dur.set_bcet d ~op:"s" ~operator:"P0" 0.1);
+        Dur.set d ~op:"s" ~operator:"P0" 0.1;
+        check_raises_rule "DUR002" (fun () -> Dur.set_bcet d ~op:"s" ~operator:"P0" 0.2));
+    test "MAP001 operation with no capable operator" (fun () ->
+        let alg, _, _ = chain_alg () in
+        check_has_rule "pass" "MAP001"
+          (Verify.Algo_rules.check_mapping ~algorithm:alg
+             ~architecture:(Arch.single ()) ~durations:(Dur.create ())));
+    test "MAP002 unroutable dependency" (fun () ->
+        let alg, _, _ = chain_alg () in
+        let arch = Arch.create ~name:"split" in
+        let _p0 = Arch.add_operator arch ~name:"P0" in
+        let _p1 = Arch.add_operator arch ~name:"P1" in
+        let d = Dur.create () in
+        Dur.set d ~op:"s" ~operator:"P0" 0.1;
+        Dur.set d ~op:"a" ~operator:"P1" 0.1;
+        check_has_rule "pass" "MAP002"
+          (Verify.Algo_rules.check_mapping ~algorithm:alg ~architecture:arch ~durations:d));
+    test "MAP003 WCET beyond the period warns" (fun () ->
+        let alg, _, _ = chain_alg () in
+        let d = Dur.create () in
+        Dur.set d ~op:"s" ~operator:"P0" 2.0;
+        Dur.set d ~op:"a" ~operator:"P0" 0.1;
+        let diags =
+          Verify.Algo_rules.check_mapping ~algorithm:alg ~architecture:(Arch.single ())
+            ~durations:d
+        in
+        check_has_rule "pass" "MAP003" diags;
+        check_no_errors "warning only" diags);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* schedule rules: forged Schedule.t records per rule *)
+
+let cs op operator start dur =
+  { Sched.cs_op = op; cs_operator = operator; cs_start = start; cs_duration = dur }
+
+let forge ~algorithm ~architecture ~comp ~comm =
+  let makespan =
+    List.fold_left (fun m (s : Sched.comp_slot) -> Float.max m (s.cs_start +. s.cs_duration))
+      0. comp
+    |> fun m ->
+    List.fold_left (fun m (c : Sched.comm_slot) -> Float.max m (c.cm_start +. c.cm_duration))
+      m comm
+  in
+  { Sched.algorithm; architecture; comp; comm; makespan }
+
+(* chain on one operator: s [0, 0.1] then a [0.1, 0.2] *)
+let single_case () =
+  let alg, s, a = chain_alg () in
+  let arch = Arch.single () in
+  let p0 = List.hd (Arch.operators arch) in
+  (alg, arch, p0, s, a)
+
+(* chain across a two-operator bus with one transfer *)
+let duo_case () =
+  let alg, s, a = chain_alg () in
+  let arch = Arch.bus_topology ~latency:0.05 ~time_per_word:0.05 [ "P0"; "P1" ] in
+  let p0 = Option.get (Arch.find_operator arch "P0") in
+  let p1 = Option.get (Arch.find_operator arch "P1") in
+  let bus = List.hd (Arch.media arch) in
+  let comm start =
+    {
+      Sched.cm_src = (s, 0);
+      cm_dst = (a, 0);
+      cm_medium = bus;
+      cm_from = p0;
+      cm_to = p1;
+      cm_hop = 0;
+      cm_start = start;
+      cm_duration = 0.1;
+    }
+  in
+  (alg, arch, p0, p1, s, a, comm)
+
+let sched_fixture rule build =
+  test (Printf.sprintf "%s fires on its fixture" rule) (fun () ->
+      let sched, expect_make_error = build () in
+      let diags = Verify.Sched_rules.check sched in
+      check_has_rule "pass" rule diags;
+      if expect_make_error then
+        check_raises_invalid "make rejects it too" (fun () ->
+            Sched.make ~algorithm:sched.Sched.algorithm
+              ~architecture:sched.Sched.architecture ~comp:sched.Sched.comp
+              ~comm:sched.Sched.comm)
+      else begin
+        check_no_errors "accepted by make, so no errors" diags;
+        ignore
+          (Sched.make ~algorithm:sched.Sched.algorithm ~architecture:sched.Sched.architecture
+             ~comp:sched.Sched.comp ~comm:sched.Sched.comm)
+      end)
+
+let sched_tests =
+  [
+    sched_fixture "SCHED001" (fun () ->
+        let alg, arch, p0, s, a = single_case () in
+        ( forge ~algorithm:alg ~architecture:arch
+            ~comp:[ cs s p0 0. 0.1; cs s p0 0.2 0.1; cs a p0 0.4 0.1 ]
+            ~comm:[],
+          true ));
+    sched_fixture "SCHED002" (fun () ->
+        let alg, arch, p0, s, _a = single_case () in
+        (forge ~algorithm:alg ~architecture:arch ~comp:[ cs s p0 0. 0.1 ] ~comm:[], true));
+    sched_fixture "SCHED003" (fun () ->
+        let alg, arch, p0, s, a = single_case () in
+        ( forge ~algorithm:alg ~architecture:arch
+            ~comp:[ cs s p0 0. 0.2; cs a p0 0.1 0.1 ]
+            ~comm:[],
+          true ));
+    sched_fixture "SCHED004" (fun () ->
+        let alg, arch, p0, p1, s, a, comm = duo_case () in
+        ignore p1;
+        ( forge ~algorithm:alg ~architecture:arch
+            ~comp:[ cs s p0 0. 0.1; cs a p1 0.5 0.1 ]
+            ~comm:[ comm 0.1; comm 0.15 ],
+          true ));
+    sched_fixture "SCHED005" (fun () ->
+        let alg, arch, p0, p1, s, a, _comm = duo_case () in
+        ( forge ~algorithm:alg ~architecture:arch
+            ~comp:[ cs s p0 0. 0.1; cs a p1 0.5 0.1 ]
+            ~comm:[],
+          true ));
+    sched_fixture "SCHED006" (fun () ->
+        let alg, arch, p0, p1, s, a, comm = duo_case () in
+        let broken = { (comm 0.1) with Sched.cm_hop = 1 } in
+        ( forge ~algorithm:alg ~architecture:arch
+            ~comp:[ cs s p0 0. 0.1; cs a p1 0.5 0.1 ]
+            ~comm:[ broken ],
+          true ));
+    sched_fixture "SCHED007" (fun () ->
+        let alg, arch, p0, p1, s, a, comm = duo_case () in
+        ( forge ~algorithm:alg ~architecture:arch
+            ~comp:[ cs s p0 0. 0.1; cs a p1 0.15 0.1 ]
+            ~comm:[ comm 0.1 ],
+          true ));
+    sched_fixture "SCHED008" (fun () ->
+        (* overruns the period but is structurally sound: make accepts
+           it and the pass only warns *)
+        let alg, arch, p0, s, a = single_case () in
+        ( forge ~algorithm:alg ~architecture:arch
+            ~comp:[ cs s p0 0. 0.7; cs a p0 0.7 0.8 ]
+            ~comm:[],
+          false ));
+    sched_fixture "SCHED009" (fun () ->
+        let alg, arch, p0, p1, s, a, _comm = duo_case () in
+        ignore p1;
+        ( forge ~algorithm:alg ~architecture:arch
+            ~comp:[ cs s p0 0. 0.1; cs a p0 0.1 0.1 ]
+            ~comm:[],
+          false ));
+    sched_fixture "SCHED011" (fun () ->
+        let alg, arch, p0, s, a = single_case () in
+        ( forge ~algorithm:alg ~architecture:arch
+            ~comp:[ cs s p0 (-0.2) 0.1; cs a p0 0.1 0.1 ]
+            ~comm:[],
+          true ));
+    test "SCHED010 reports uncovered single failures" (fun () ->
+        let alg, arch, p0, p1, s, a, _comm = duo_case () in
+        ignore p1;
+        let d = Dur.create () in
+        Dur.set d ~op:"s" ~operator:"P0" 0.1;
+        Dur.set d ~op:"a" ~operator:"P0" 0.1;
+        let sched =
+          forge ~algorithm:alg ~architecture:arch
+            ~comp:[ cs s p0 0. 0.1; cs a p0 0.1 0.1 ]
+            ~comm:[]
+        in
+        let diags = Verify.Sched_rules.failover_coverage ~durations:d sched in
+        check_has_rule "pass" "SCHED010" diags;
+        check_no_errors "warning only" diags);
+    test "failover coverage is silent on a replicable mapping" (fun () ->
+        let alg, arch, p0, p1, s, a, _comm = duo_case () in
+        ignore p1;
+        let d = Dur.create () in
+        Dur.set_everywhere d ~op:"s" ~operators:[ "P0"; "P1" ] 0.1;
+        Dur.set_everywhere d ~op:"a" ~operators:[ "P0"; "P1" ] 0.1;
+        let sched =
+          forge ~algorithm:alg ~architecture:arch
+            ~comp:[ cs s p0 0. 0.1; cs a p0 0.1 0.1 ]
+            ~comm:[]
+        in
+        check_true "no warnings"
+          (Verify.Sched_rules.failover_coverage ~durations:d sched = []));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* temporal-model rules: forged static records *)
+
+let temporal_tests =
+  let static ?(period = 1.) ?(makespan = 0.5) ?(fits = true) ~sampling ~actuation () =
+    {
+      Translator.Temporal_model.period;
+      makespan;
+      fits_period = fits;
+      sampling_offsets = sampling;
+      actuation_offsets = actuation;
+    }
+  in
+  [
+    test "TEMP001 inconsistent static model" (fun () ->
+        let alg, s, a = chain_alg () in
+        check_has_rule "non-positive period" "TEMP001"
+          (Verify.Temporal_rules.check ~algorithm:alg
+             (static ~period:0. ~sampling:[ (s, 0.1) ] ~actuation:[ (a, 0.2) ] ()));
+        check_has_rule "contradictory fits_period" "TEMP001"
+          (Verify.Temporal_rules.check ~algorithm:alg
+             (static ~makespan:2. ~fits:true ~sampling:[ (s, 0.1) ]
+                ~actuation:[ (a, 0.2) ] ())));
+    test "TEMP002 latency beyond the period warns" (fun () ->
+        let alg, s, a = chain_alg () in
+        let diags =
+          Verify.Temporal_rules.check ~algorithm:alg
+            (static ~makespan:0.9 ~sampling:[ (s, 1.5) ] ~actuation:[ (a, 1.6) ] ())
+        in
+        check_has_rule "pass" "TEMP002" diags;
+        check_no_errors "warnings only" diags);
+    test "TEMP003 actuation precedes its sampling" (fun () ->
+        let alg, s, a = chain_alg () in
+        check_has_rule "pass" "TEMP003"
+          (Verify.Temporal_rules.check ~algorithm:alg
+             (static ~sampling:[ (s, 0.5) ] ~actuation:[ (a, 0.2) ] ())));
+    test "temporal pass accepts a real schedule's model" (fun () ->
+        let alg, s, a = chain_alg () in
+        ignore s;
+        ignore a;
+        let d = Dur.create () in
+        Dur.set d ~op:"s" ~operator:"P0" 0.1;
+        Dur.set d ~op:"a" ~operator:"P0" 0.1;
+        let sched =
+          Aaa.Adequation.run ~algorithm:alg ~architecture:(Arch.single ()) ~durations:d ()
+        in
+        check_true "silent"
+          (Verify.Temporal_rules.check ~algorithm:alg
+             (Translator.Temporal_model.of_schedule sched)
+          = []));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* generated-code rules: forged executives *)
+
+let duo_schedule () =
+  let alg, s, a = chain_alg () in
+  let arch = Arch.bus_topology ~latency:0.05 ~time_per_word:0.05 [ "P0"; "P1" ] in
+  let d = Dur.create () in
+  Dur.set d ~op:"s" ~operator:"P0" 0.1;
+  Dur.set d ~op:"a" ~operator:"P1" 0.1;
+  let sched =
+    Aaa.Adequation.run ~pins:[ ("s", "P0"); ("a", "P1") ] ~algorithm:alg ~architecture:arch
+      ~durations:d ()
+  in
+  (sched, s, a)
+
+let cgen_tests =
+  let module Cg = Aaa.Codegen in
+  [
+    test "cgen pass accepts the generated executive" (fun () ->
+        let sched, _, _ = duo_schedule () in
+        check_true "silent" (Verify.Cgen_rules.check (Cg.generate sched) = []));
+    test "CGEN002 dropped send breaks pairing" (fun () ->
+        let sched, _, _ = duo_schedule () in
+        let exe = Cg.generate sched in
+        let programs =
+          List.map
+            (fun (operator, program) ->
+              (operator, List.filter (function Cg.Send _ -> false | _ -> true) program))
+            exe.Cg.programs
+        in
+        check_has_rule "pass" "CGEN002"
+          (Verify.Cgen_rules.check { exe with Cg.programs }));
+    test "CGEN003 media order must match the schedule" (fun () ->
+        let sched, _, _ = duo_schedule () in
+        let exe = Cg.generate sched in
+        check_has_rule "pass" "CGEN003"
+          (Verify.Cgen_rules.check { exe with Cg.media_programs = [] }));
+    test "CGEN004 send hoisted before its producer" (fun () ->
+        let sched, _, _ = duo_schedule () in
+        let exe = Cg.generate sched in
+        let hoist program =
+          let sends = List.filter (function Cg.Send _ -> true | _ -> false) program in
+          let rest = List.filter (function Cg.Send _ -> false | _ -> true) program in
+          match rest with
+          | Cg.Wait_period :: tail -> (Cg.Wait_period :: sends) @ tail
+          | _ -> sends @ rest
+        in
+        let programs =
+          List.map (fun (operator, program) -> (operator, hoist program)) exe.Cg.programs
+        in
+        check_has_rule "pass" "CGEN004"
+          (Verify.Cgen_rules.check { exe with Cg.programs }));
+    test "CGEN001 emitted C references an undeclared buffer" (fun () ->
+        let sched, _, _ = duo_schedule () in
+        let exe = Cg.generate sched in
+        (* strip the consumer's program down to the bare send of remote
+           data: the emitted file then uses the transfer's buffer
+           without any Exec/Recv to declare it *)
+        let transfer = List.hd sched.Sched.comm in
+        let consumer = transfer.Sched.cm_to in
+        let programs =
+          List.map
+            (fun (operator, program) ->
+              if operator = consumer then
+                (operator, [ Cg.Wait_period; Cg.Send transfer ])
+              else (operator, program))
+            exe.Cg.programs
+        in
+        check_has_rule "pass" "CGEN001"
+          (Verify.Cgen_rules.check { exe with Cg.programs }));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* whole-design runs: silent on seeds, staged on broken designs *)
+
+let dc_motor_design () =
+  Lifecycle.Design.pid_loop ~name:"dc"
+    ~plant:(Control.Plants.dc_motor Control.Plants.default_dc_motor)
+    ~x0:[| 0.; 0. |]
+    ~gains:{ Control.Pid.kp = 10.; ki = 5.; kd = 0.5 }
+    ~ts:0.05 ~reference:1. ~horizon:1. ()
+
+let run_all_tests =
+  [
+    test "run_all is error-free on the seed pid loop" (fun () ->
+        check_no_errors "single operator" (Verify.run_all (dc_motor_design ()));
+        let arch = Arch.bus_topology ~time_per_word:0.002 ~latency:0.001 [ "P0"; "P1" ] in
+        let d = Dur.create () in
+        List.iter
+          (fun (op, w) -> Dur.set_everywhere d ~op ~operators:[ "P0"; "P1" ] w)
+          [ ("reference", 0.001); ("sample_y", 0.004); ("pid", 0.012); ("hold_u", 0.004) ];
+        check_no_errors "two operators"
+          (Verify.run_all ~architecture:arch ~durations:d (dc_motor_design ())));
+    test "run_all stops at the first failing stage" (fun () ->
+        (* an unbuildable design reports the dataflow stage only *)
+        let design =
+          Lifecycle.Design.make ~name:"broken" ~ts:0.05 ~horizon:1.
+            ~cost:(fun _ -> 0.)
+            (fun () -> invalid_arg "[GRAPH003] width mismatch somewhere")
+        in
+        let diags = Verify.run_all design in
+        check_int "one diagnostic" 1 (List.length diags);
+        check_has_rule "stage 1" "GRAPH003" diags);
+    test "run_all surfaces infeasible adequation as MAP001" (fun () ->
+        (* durations name an operator the architecture lacks *)
+        let d = Dur.create () in
+        List.iter
+          (fun op -> Dur.set d ~op ~operator:"P7" 0.001)
+          [ "reference"; "sample_y"; "pid"; "hold_u" ];
+        let diags = Verify.run_all ~durations:d (dc_motor_design ()) in
+        check_has_rule "mapping error" "MAP001" diags);
+    test "markdown_section renders the summary and bullets" (fun () ->
+        let section =
+          Verify.markdown_section
+            [ Diag.error ~rule:"ALG001" ~artifact:"algorithm" ~location:"a.0" "unwired" ]
+        in
+        check_true "title" (contains section "## Static verification");
+        check_true "bullet" (contains section "`ALG001`"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* properties: the schedule pass agrees exactly with Schedule.make *)
+
+let random_adequation seed =
+  let rng = Numerics.Rng.create seed in
+  let procs = [ "P0"; "P1"; "P2" ] in
+  let alg, d =
+    Aaa.Workloads.layered ~rng
+      ~layers:(2 + Numerics.Rng.int rng 3)
+      ~width:(1 + Numerics.Rng.int rng 3)
+      ~operators:procs ()
+  in
+  let arch = Arch.bus_topology ~latency:0.0005 ~time_per_word:0.0005 procs in
+  let sched = Aaa.Adequation.run ~algorithm:alg ~architecture:arch ~durations:d () in
+  (rng, sched)
+
+let mutate rng (sched : Sched.t) =
+  let nth_comp i = List.nth sched.Sched.comp i in
+  let n = List.length sched.Sched.comp in
+  match Numerics.Rng.int rng 4 with
+  | 0 ->
+      (* duplicate a computation slot *)
+      let s = nth_comp (Numerics.Rng.int rng n) in
+      (s :: sched.Sched.comp, sched.Sched.comm)
+  | 1 ->
+      (* drop a computation slot *)
+      let k = Numerics.Rng.int rng n in
+      (List.filteri (fun i _ -> i <> k) sched.Sched.comp, sched.Sched.comm)
+  | 2 ->
+      (* negate a slot's start *)
+      let k = Numerics.Rng.int rng n in
+      ( List.mapi
+          (fun i (s : Sched.comp_slot) ->
+            if i = k then { s with Sched.cs_start = -.s.cs_start -. 0.001 } else s)
+          sched.Sched.comp,
+        sched.Sched.comm )
+  | _ ->
+      (* pull a slot to time zero, likely overlapping or outrunning
+         its inputs *)
+      let k = Numerics.Rng.int rng n in
+      ( List.mapi
+          (fun i (s : Sched.comp_slot) -> if i = k then { s with Sched.cs_start = 0. } else s)
+          sched.Sched.comp,
+        sched.Sched.comm )
+
+let property_tests =
+  [
+    qtest "adequation schedules pass the schedule rules with zero errors" ~count:50
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let _, sched = random_adequation seed in
+        not (Diag.has_errors (Verify.Sched_rules.check sched)));
+    qtest "the schedule pass agrees with Schedule.make on mutated schedules" ~count:100
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let rng, sched = random_adequation seed in
+        let comp, comm = mutate rng sched in
+        let forged =
+          forge ~algorithm:sched.Sched.algorithm ~architecture:sched.Sched.architecture
+            ~comp ~comm
+        in
+        let make_accepts =
+          match
+            Sched.make ~algorithm:sched.Sched.algorithm
+              ~architecture:sched.Sched.architecture ~comp ~comm
+          with
+          | _ -> true
+          | exception Invalid_argument _ -> false
+        in
+        make_accepts = not (Diag.has_errors (Verify.Sched_rules.check forged)));
+  ]
+
+let suites =
+  [
+    ("verify.diag", diag_tests);
+    ("verify.graph", graph_tests);
+    ("verify.algo", algo_tests);
+    ("verify.sched", sched_tests);
+    ("verify.temporal", temporal_tests);
+    ("verify.cgen", cgen_tests);
+    ("verify.run_all", run_all_tests);
+    ("verify.props", property_tests);
+  ]
