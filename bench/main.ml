@@ -216,6 +216,45 @@ let bench_injected_machine =
               ~config:{ Exec.Machine.default_config with iterations = 100; injection }
               dc_impl.Lifecycle.Methodology.executive)))
 
+let bench_recovery_retransmission =
+  let injection =
+    Fault.Scenario.injection
+      (Fault.Scenario.make ~name:"loss" ~seed:17
+         [ Fault.Scenario.Message_loss { medium = None; prob = 0.2 } ])
+      ~architecture:two_proc
+  in
+  let recovery = Exec.Recovery.make ~period:0.05 () in
+  Test.make ~name:"recovery_retransmission"
+    (Staged.stage (fun () ->
+         ignore
+           (Exec.Machine.run
+              ~config:
+                { Exec.Machine.default_config with iterations = 100; injection; recovery }
+              dc_impl.Lifecycle.Methodology.executive)))
+
+let bench_recovery_mode_switch =
+  let injection =
+    Fault.Scenario.injection
+      (Fault.Scenario.make ~name:"failstop" ~seed:17
+         [ Fault.Scenario.Processor_failstop { operator = "P1"; at = 1.0 } ])
+      ~architecture:two_proc
+  in
+  let failover =
+    Fault.Degrade.failover_executives
+      (Fault.Degrade.failover_table ~algorithm:dc_impl.Lifecycle.Methodology.algorithm
+         ~architecture:two_proc
+         ~durations:(dc_durations ~operators:[ "P0"; "P1" ] ~frac:0.6 ())
+         ~nominal:dc_impl.Lifecycle.Methodology.schedule ())
+  in
+  let recovery = Exec.Recovery.make ~failover ~period:0.05 () in
+  Test.make ~name:"recovery_mode_switch"
+    (Staged.stage (fun () ->
+         ignore
+           (Exec.Machine.run
+              ~config:
+                { Exec.Machine.default_config with iterations = 100; injection; recovery }
+              dc_impl.Lifecycle.Methodology.executive)))
+
 (* ------------------------------------------------------------------ *)
 (* ablation benches (design choices called out in DESIGN.md) *)
 
@@ -358,6 +397,8 @@ let tests =
     bench_codegen_exec;
     bench_failover_table;
     bench_injected_machine;
+    bench_recovery_retransmission;
+    bench_recovery_mode_switch;
     bench_ablation_strategy_pressure;
     bench_ablation_strategy_eft;
     bench_ablation_refine;

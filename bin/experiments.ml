@@ -962,6 +962,112 @@ let faults () =
   Printf.printf "\n%s" (Fault.Fault_report.markdown_section summary)
 
 (* ------------------------------------------------------------------ *)
+(* recovery: online detection, retransmission and mid-run mode switch *)
+
+let recovery () =
+  header "recovery: online detection, retransmission and mid-run mode switch";
+  let design = dc_design ~horizon:4. () in
+  let architecture = dc_two_proc () in
+  let durations = dc_durations ~operators:[ "P0"; "P1" ] ~frac:0.6 () in
+  let period = design.Lifecycle.Design.ts in
+  let iterations = 80 in
+  (* 1. executive timeline: P1 fail-stops at 1.0 s with the full
+     policy on — watchdog, heartbeats and the precomputed failover *)
+  let nominal = Lifecycle.Methodology.implement ~design ~architecture ~durations () in
+  let table =
+    Fault.Degrade.failover_table ~algorithm:nominal.Lifecycle.Methodology.algorithm
+      ~architecture ~durations ~nominal:nominal.Lifecycle.Methodology.schedule ()
+  in
+  let policy =
+    Exec.Recovery.make ~failover:(Fault.Degrade.failover_executives table) ~period ()
+  in
+  let scenario =
+    Fault.Scenario.make ~name:"failstop_P1" ~seed:500
+      [ Fault.Scenario.Processor_failstop { operator = "P1"; at = 1.0 } ]
+  in
+  let config =
+    {
+      Exec.Machine.default_config with
+      iterations;
+      seed = 500;
+      durations = Some durations;
+      injection = Fault.Scenario.injection scenario ~architecture;
+      recovery = policy;
+    }
+  in
+  let trace = Lifecycle.Methodology.execute ~config design nominal in
+  Printf.printf "fail-stop of P1 at 1.0 s, %d iterations of Ts = %g s:\n" iterations
+    period;
+  let stale, other =
+    List.partition
+      (function Exec.Recovery.Stale_detected _ -> true | _ -> false)
+      trace.Exec.Machine.recovery_events
+  in
+  Printf.printf "  freshness watchdog dated %d stale reads\n" (List.length stale);
+  (match stale with
+  | e :: _ -> Format.printf "  first: %a@." Exec.Recovery.pp_event e
+  | [] -> ());
+  List.iter (fun e -> Format.printf "  %a@." Exec.Recovery.pp_event e) other;
+  (match trace.Exec.Machine.detection_latency with
+  | Some l -> Printf.printf "  detection latency %g s\n" l
+  | None -> ());
+  (match trace.Exec.Machine.switched_at with
+  | Some k ->
+      Printf.printf "  running on the failover executive from iteration %d on\n" k
+  | None -> ());
+  Printf.printf "  order conformant across both phases: %b\n"
+    (Exec.Machine.order_conformant trace);
+  let trace' = Lifecycle.Methodology.execute ~config design nominal in
+  Printf.printf "  re-run reproduces the timeline bit-for-bit: %b\n"
+    (trace.Exec.Machine.recovery_events = trace'.Exec.Machine.recovery_events);
+  (* 2. bounded retransmission under message loss *)
+  let loss =
+    Fault.Scenario.make ~name:"loss_20pct" ~seed:501
+      [ Fault.Scenario.Message_loss { medium = None; prob = 0.2 } ]
+  in
+  let cfg_loss =
+    {
+      config with
+      Exec.Machine.seed = 501;
+      injection = Fault.Scenario.injection loss ~architecture;
+      recovery = { policy with Exec.Recovery.failover = [] };
+    }
+  in
+  let with_r = Lifecycle.Methodology.execute ~config:cfg_loss design nominal in
+  let without_r =
+    Lifecycle.Methodology.execute
+      ~config:{ cfg_loss with Exec.Machine.recovery = Exec.Recovery.disabled }
+      design nominal
+  in
+  Printf.printf
+    "\n\
+     20 %% message loss: %d retries recovered %d transfers; %d stay lost (vs %d \
+     without recovery); stale %d vs %d; overruns %d vs %d\n"
+    with_r.Exec.Machine.retransmissions with_r.Exec.Machine.recovered_transfers
+    with_r.Exec.Machine.lost_transfers without_r.Exec.Machine.lost_transfers
+    with_r.Exec.Machine.stale_reads without_r.Exec.Machine.stale_reads
+    with_r.Exec.Machine.overruns without_r.Exec.Machine.overruns;
+  (* 3. the design-time verdict: robustness with vs without recovery,
+     including the recovered-vs-frozen control cost split *)
+  let scenarios =
+    (* P0 hosts the sensor→controller→actuator chain; failing it at
+       0.05 s — right in the 1.0-step transient — freezes a slewing
+       control value, the case where switching to the failover executive
+       pays.  (P1 only hosts the constant reference: freezing it is a
+       no-op, so its fail-stop carries no recoverable cost.) *)
+    [
+      Fault.Scenario.make ~name:"failstop_P0" ~seed:500
+        [ Fault.Scenario.Processor_failstop { operator = "P0"; at = 0.05 } ];
+    ]
+  in
+  let summary =
+    Fault.Robustness.evaluate ~iterations ~recovery:(Exec.Recovery.make ~period ())
+      ~design ~architecture ~durations ~scenarios ()
+  in
+  Format.printf "@.%a@." Fault.Robustness.pp summary;
+  Printf.printf "\n%s" (Fault.Fault_report.markdown_section summary)
+
+(* ------------------------------------------------------------------ *)
 (* explore: the batch-parallel, cached design-space engine *)
 
 (* seeds per grid cell; set by --runs (the CI smoke run uses 2) *)
@@ -1066,6 +1172,7 @@ let experiments =
     ("lifecycle", lifecycle);
     ("baseline", baseline);
     ("faults", faults);
+    ("recovery", recovery);
     ("exploration", exploration);
     ("explore", explore);
     ("montecarlo", montecarlo);
@@ -1092,7 +1199,10 @@ let lint json_path =
   let results =
     List.map
       (fun (label, design, architecture, durations) ->
-        let diags = Verify.run_all ~architecture ~durations design in
+        let recovery =
+          Exec.Recovery.make ~period:design.Lifecycle.Design.ts ()
+        in
+        let diags = Verify.run_all ~architecture ~durations ~recovery design in
         Printf.printf "== %s ==\n%s%s\n\n" label
           (Verify.Diag.render diags)
           (Verify.Diag.summary diags);

@@ -18,6 +18,50 @@ let integrate f { times; values } =
   done;
   !acc
 
+(* sample at time t by linear interpolation; t must lie inside the
+   trace's span *)
+let value_at { times; values } t =
+  let n = Array.length times in
+  let rec find i = if i < n && times.(i) < t then find (i + 1) else i in
+  let i = find 0 in
+  if i = 0 then values.(0)
+  else if i >= n then values.(n - 1)
+  else
+    let t0 = times.(i - 1) and t1 = times.(i) in
+    if t1 <= t0 then values.(i)
+    else
+      let w = (t -. t0) /. (t1 -. t0) in
+      ((1. -. w) *. values.(i - 1)) +. (w *. values.(i))
+
+let clip ~from_t ~until_t ({ times; values } as tr) =
+  if until_t < from_t then invalid_arg "Metrics.clip: until_t before from_t";
+  let n = Array.length times in
+  if n = 0 then tr
+  else begin
+    (* clamp to the trace's span so windows extending beyond it
+       compose exactly: clip a b + clip b c = clip a c *)
+    let from_t = Float.max from_t times.(0) in
+    let until_t = Float.min until_t times.(n - 1) in
+    if until_t <= from_t then begin
+      let t = Float.min (Float.max from_t times.(0)) times.(n - 1) in
+      { times = [| t |]; values = [| value_at tr t |] }
+    end
+    else begin
+      let inner = ref [] in
+      for i = n - 1 downto 0 do
+        if times.(i) > from_t +. 1e-15 && times.(i) < until_t -. 1e-15 then
+          inner := (times.(i), values.(i)) :: !inner
+      done;
+      let samples =
+        ((from_t, value_at tr from_t) :: !inner) @ [ (until_t, value_at tr until_t) ]
+      in
+      {
+        times = Array.of_list (List.map fst samples);
+        values = Array.of_list (List.map snd samples);
+      }
+    end
+  end
+
 let iae ?(reference = 0.) tr = integrate (fun _ y -> Float.abs (reference -. y)) tr
 
 let ise ?(reference = 0.) tr =

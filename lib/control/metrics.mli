@@ -10,6 +10,21 @@ type trace = { times : float array; values : float array }
 val of_arrays : float array -> float array -> trace
 (** Validates lengths and monotone times. *)
 
+val clip : from_t:float -> until_t:float -> trace -> trace
+(** Restriction of the trace to [\[from_t, until_t\]], with
+    linearly-interpolated samples at the window boundaries so that
+    integral metrics over adjacent windows compose:
+    [iae (clip a b tr) + iae (clip b c tr) = iae (clip a c tr)] — an
+    exact identity when the cut lands on an existing sample, or when
+    the integrand stays linear across the cut segment (for [iae], the
+    error keeps its sign there); otherwise the interpolated cut node
+    only {e refines} the trapezoidal quadrature.  The
+    window is clamped to the trace's span; a window that misses the
+    span entirely degenerates to a single boundary sample (zero
+    integral).  Raises [Invalid_argument] when [until_t < from_t].
+    Used to split a co-simulated response into nominal / transient /
+    degraded phases around a fault. *)
+
 val iae : ?reference:float -> trace -> float
 (** Integral of absolute error [∫|r − y| dt] (default reference 0
     measures [∫|y|]). *)

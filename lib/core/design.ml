@@ -19,13 +19,14 @@ type t = {
   horizon : float;
   build : unit -> built;
   cost : Sim.Engine.t -> float;
+  phase_cost : (Sim.Engine.t -> from_t:float -> until_t:float -> float) option;
   condition_runtime : (iteration:int -> var:string -> int) option;
 }
 
-let make ~name ~ts ~horizon ?condition_runtime ~cost build =
+let make ~name ~ts ~horizon ?condition_runtime ?phase_cost ~cost build =
   if ts <= 0. then invalid_arg "Design.make: non-positive sampling period";
   if horizon <= 0. then invalid_arg "Design.make: non-positive horizon";
-  { name; ts; horizon; build; cost; condition_runtime }
+  { name; ts; horizon; build; cost; phase_cost; condition_runtime }
 
 let pid_loop ~name ~plant ~x0 ~gains ~ts ~reference ~horizon () =
   if Control.Lti.input_dim plant <> 1 || Control.Lti.output_dim plant <> 1 then
@@ -57,7 +58,11 @@ let pid_loop ~name ~plant ~x0 ~gains ~ts ~reference ~horizon () =
   let cost engine =
     Control.Metrics.iae ~reference (Sim.Engine.probe_component engine "y" 0)
   in
-  make ~name ~ts ~horizon ~cost build
+  let phase_cost engine ~from_t ~until_t =
+    Control.Metrics.iae ~reference
+      (Control.Metrics.clip ~from_t ~until_t (Sim.Engine.probe_component engine "y" 0))
+  in
+  make ~name ~ts ~horizon ~cost ~phase_cost build
 
 (* common structure of the two state-feedback designs *)
 let sf_loop ~name ~plant ~x0 ~controller_block ~ts ~horizon ?disturbance
@@ -110,7 +115,12 @@ let sf_loop ~name ~plant ~x0 ~controller_block ~ts ~horizon ?disturbance
   let cost engine =
     Control.Metrics.ise (Sim.Engine.probe_component engine "y" cost_output)
   in
-  make ~name ~ts ~horizon ~cost build
+  let phase_cost engine ~from_t ~until_t =
+    Control.Metrics.ise
+      (Control.Metrics.clip ~from_t ~until_t
+         (Sim.Engine.probe_component engine "y" cost_output))
+  in
+  make ~name ~ts ~horizon ~cost ~phase_cost build
 
 let lqg_loop ~name ~plant ~x0 ~sysd ~k ~kalman ~ts ~horizon ?(noise_sigma = 0.)
     ?(noise_seed = 1) ?disturbance ?(cost_output = 0) () =
@@ -168,7 +178,12 @@ let lqg_loop ~name ~plant ~x0 ~sysd ~k ~kalman ~ts ~horizon ?(noise_sigma = 0.)
   let cost engine =
     Control.Metrics.ise (Sim.Engine.probe_component engine "y" cost_output)
   in
-  make ~name ~ts ~horizon ~cost build
+  let phase_cost engine ~from_t ~until_t =
+    Control.Metrics.ise
+      (Control.Metrics.clip ~from_t ~until_t
+         (Sim.Engine.probe_component engine "y" cost_output))
+  in
+  make ~name ~ts ~horizon ~cost ~phase_cost build
 
 let state_feedback_loop ~name ~plant ~x0 ~k ~ts ~horizon ?disturbance ?cost_output () =
   if M.rows k <> 1 || M.cols k <> Control.Lti.state_dim plant then

@@ -36,6 +36,12 @@ type t = {
   cost : Sim.Engine.t -> float;
       (** performance cost of a completed simulation (lower is
           better) — e.g. IAE of the tracked output *)
+  phase_cost : (Sim.Engine.t -> from_t:float -> until_t:float -> float) option;
+      (** windowed variant of [cost] over [\[from_t, until_t\]]
+          (typically the same integral on a {!Control.Metrics.clip}ped
+          trace, so adjacent windows sum to [cost]) — lets
+          {!Fault.Robustness} split a faulty run into nominal /
+          transient / degraded phases *)
   condition_runtime : (iteration:int -> var:string -> int) option;
       (** run-time condition values for executive simulation *)
 }
@@ -45,11 +51,13 @@ val make :
   ts:float ->
   horizon:float ->
   ?condition_runtime:(iteration:int -> var:string -> int) ->
+  ?phase_cost:(Sim.Engine.t -> from_t:float -> until_t:float -> float) ->
   cost:(Sim.Engine.t -> float) ->
   (unit -> built) ->
   t
 (** Generic constructor for custom diagrams.  Raises on non-positive
-    [ts] or [horizon]. *)
+    [ts] or [horizon].  The [pid_loop] / state-feedback / LQG helpers
+    below all supply a [phase_cost] consistent with their [cost]. *)
 
 val pid_loop :
   name:string ->

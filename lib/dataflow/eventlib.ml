@@ -34,6 +34,18 @@ let event_source ?(name = "event_source") times =
     ~reset:(fun () -> cursor := 0)
     (fun _ -> [||])
 
+let event_window ?name ~from_t ~until_t () =
+  if until_t <= from_t then invalid_arg "Eventlib.event_window: empty window";
+  let name =
+    Option.value name ~default:(Printf.sprintf "event_window[%g,%g)" from_t until_t)
+  in
+  Block.make ~name ~event_inputs:1 ~event_outputs:1
+    ~on_event:(fun ctx ~port:_ ->
+      if ctx.Block.time >= from_t -. 1e-12 && ctx.Block.time < until_t -. 1e-12 then
+        [ Block.Emit { port = 0; delay = 0. } ]
+      else [])
+    (fun _ -> [||])
+
 let event_delay ?name ~delay () =
   if delay < 0. then invalid_arg "Eventlib.event_delay: negative delay";
   let name = Option.value name ~default:(Printf.sprintf "event_delay(%g)" delay) in

@@ -23,6 +23,13 @@ val event_source : ?name:string -> float array -> Block.t
 (** Replays a strictly increasing, non-empty sequence of absolute
     event times on its single event output. *)
 
+val event_window : ?name:string -> from_t:float -> until_t:float -> unit -> Block.t
+(** Gate: forwards incoming events whose occurrence time lies in
+    [\[from_t, until_t)] and swallows the rest — how
+    {!Translator.Cosim} splits one executive's activation taps into
+    nominal / transient / degraded phases.  Raises [Invalid_argument]
+    on an empty window. *)
+
 val event_delay : ?name:string -> delay:float -> unit -> Block.t
 (** Paper's [Event Delay]: each incoming event is re-emitted [delay]
     time units later.  [delay >= 0]. *)

@@ -13,6 +13,7 @@ type config = {
   seed : int;
   condition : iteration:int -> var:string -> int;
   injection : Injection.t;
+  recovery : Recovery.policy;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     seed = 42;
     condition = (fun ~iteration:_ ~var:_ -> 0);
     injection = Injection.none;
+    recovery = Recovery.disabled;
   }
 
 type trace = {
@@ -36,6 +38,9 @@ type trace = {
   actuation_latencies : (Alg.op_id * float array) list;
   overruns : int;
   lost_transfers : int;
+  retransmissions : int;
+  recovered_transfers : int;
+  recovery_events : Recovery.event list;
 }
 
 let slot_key (c : Sched.comm_slot) =
@@ -77,7 +82,16 @@ let run ?(config = default_config) exe =
   let overruns = ref 0 in
   let inj = config.injection in
   let have_inj = not (Injection.is_none inj) in
+  let pol = config.recovery in
+  let retrans_on = have_inj && Recovery.retransmission_enabled pol in
   let lost_transfers = ref 0 in
+  let retransmissions = ref 0 and recovered_transfers = ref 0 in
+  let events = ref [] in
+  let retry_used : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* remember each read slot so phase 3 can name the consumer *)
+  let slot_of_key : (int * int * int * int * int, Sched.comm_slot) Hashtbl.t =
+    Hashtbl.create 32
+  in
   (* phase 1: operators fire every instruction at its static offset
      (or as soon as the previous one finishes, when running late) *)
   List.iter
@@ -140,6 +154,7 @@ let run ?(config = default_config) exe =
                 let planned = base +. c.Sched.cm_start +. c.Sched.cm_duration in
                 let t_read = Float.max !time planned in
                 time := t_read;
+                Hashtbl.replace slot_of_key (slot_key c) c;
                 (table read_at (slot_key c)).(k) <- t_read)
           body
       done)
@@ -176,31 +191,71 @@ let run ?(config = default_config) exe =
     (fun (planned_start, c, k) ->
       let clock = medium_clock ((c.Sched.cm_medium :> int)) in
       let start = Float.max !clock planned_start in
-      (* the slot is consumed whether or not fresh data made it *)
-      clock := start +. c.Sched.cm_duration;
       let ready =
         if c.Sched.cm_hop = 0 then (table posted (slot_key c)).(k)
         else (table arrival (prev_key c)).(k)
       in
+      let data_ready = (not (Float.is_nan ready)) && ready <= start +. 1e-12 in
+      let medium_name = Arch.medium_name sched.Sched.architecture c.Sched.cm_medium in
       let dropped =
         have_inj
-        && (inj.Injection.medium_down
-              ~medium:(Arch.medium_name sched.Sched.architecture c.Sched.cm_medium)
-              ~time:start
+        && (inj.Injection.medium_down ~medium:medium_name ~time:start
            || inj.Injection.transfer_lost ~iteration:k ~slot:c)
       in
-      if dropped then incr lost_transfers;
-      if (not dropped) && (not (Float.is_nan ready)) && ready <= start +. 1e-12 then begin
-        let duration =
-          if config.comm_jitter_frac <= 0. || c.Sched.cm_duration <= 0. then
-            c.Sched.cm_duration
-          else
-            Numerics.Rng.uniform rng
-              ((1. -. Float.min 1. config.comm_jitter_frac) *. c.Sched.cm_duration)
-              c.Sched.cm_duration
-        in
-        (table arrival (slot_key c)).(k) <- start +. duration
-      end)
+      (* the slot is consumed whether or not fresh data made it *)
+      let t_done = ref (start +. c.Sched.cm_duration) in
+      let delivered = ref (not dropped) in
+      let attempts = ref 0 in
+      if dropped && data_ready && retrans_on then begin
+        (* retries extend the slot past its planned end; the table's
+           later transfers on this medium are pushed back — recovery
+           can itself cause overruns *)
+        let mkey = ((c.Sched.cm_medium :> int), k) in
+        let used = ref (Option.value (Hashtbl.find_opt retry_used mkey) ~default:0) in
+        while
+          (not !delivered)
+          && !attempts < pol.Recovery.max_retries
+          && !used < pol.Recovery.retry_budget
+        do
+          incr attempts;
+          incr used;
+          incr retransmissions;
+          let retry_start = !t_done +. Recovery.backoff_delay pol ~attempt:!attempts in
+          t_done := retry_start +. c.Sched.cm_duration;
+          delivered :=
+            not
+              (inj.Injection.medium_down ~medium:medium_name ~time:retry_start
+              || inj.Injection.retry_lost ~attempt:!attempts ~iteration:k ~slot:c)
+        done;
+        Hashtbl.replace retry_used mkey !used;
+        events :=
+          (if !delivered then
+             Recovery.Transfer_recovered
+               { time = !t_done; iteration = k; medium = medium_name; attempts = !attempts }
+           else
+             Recovery.Retries_exhausted
+               { time = !t_done; iteration = k; medium = medium_name; attempts = !attempts })
+          :: !events
+      end;
+      if dropped then
+        if !delivered then incr recovered_transfers else incr lost_transfers;
+      clock := !t_done;
+      if !delivered && data_ready then
+        (table arrival (slot_key c)).(k) <-
+          (if !attempts > 0 then !t_done
+           else begin
+             (* same rng draw as the recovery-free path, so disabling
+                recovery replays the seed's stream exactly *)
+             let duration =
+               if config.comm_jitter_frac <= 0. || c.Sched.cm_duration <= 0. then
+                 c.Sched.cm_duration
+               else
+                 Numerics.Rng.uniform rng
+                   ((1. -. Float.min 1. config.comm_jitter_frac) *. c.Sched.cm_duration)
+                   c.Sched.cm_duration
+             in
+             start +. duration
+           end))
     instances;
   (* phase 3: freshness — iteration k's read is stale when iteration
      k's transfer had not arrived yet *)
@@ -213,7 +268,21 @@ let run ?(config = default_config) exe =
           if not (Float.is_nan t_read) then begin
             incr remote;
             let t_arrive = arrivals.(k) in
-            if Float.is_nan t_arrive || t_arrive > t_read +. 1e-12 then incr violations
+            if Float.is_nan t_arrive || t_arrive > t_read +. 1e-12 then begin
+              incr violations;
+              if pol.Recovery.freshness_watchdog then
+                match Hashtbl.find_opt slot_of_key key with
+                | Some c ->
+                    events :=
+                      Recovery.Stale_detected
+                        {
+                          time = t_read;
+                          iteration = k;
+                          op = Alg.op_name alg (fst c.Sched.cm_dst);
+                        }
+                      :: !events
+                | None -> ()
+            end
           end)
         reads)
     read_at;
@@ -232,4 +301,9 @@ let run ?(config = default_config) exe =
     actuation_latencies;
     overruns = !overruns;
     lost_transfers = !lost_transfers;
+    retransmissions = !retransmissions;
+    recovered_transfers = !recovered_transfers;
+    (* the Hashtbl.iter above enumerates in hash order: sort for a
+       deterministic event list *)
+    recovery_events = List.sort Recovery.compare_event !events;
   }

@@ -31,6 +31,17 @@ type config = {
           (its bus slots depart with the old value), a transfer lost
           on the wire or inside a medium outage never arrives; both
           surface as freshness [violations] *)
+  recovery : Recovery.policy;
+      (** detection & retransmission only: the freshness watchdog dates
+          every violation and dropped transfers are retried within the
+          budget (retries push the medium's later slots back, so
+          recovery can cause overruns).  Reads stay at their planned
+          table offsets, so a retried payload — delivered after backoff
+          — typically lands {e after} this period's read: the transfer
+          counts as recovered in the ledger while the read remains a
+          dated violation.  The heartbeat supervisor / mode switch is
+          {!Machine}-only — a static table cannot re-dispatch online;
+          [failover] is ignored here. *)
 }
 
 val default_config : config
@@ -47,7 +58,15 @@ type trace = {
           operator had fail-stopped *)
   overruns : int;  (** iterations whose work spilled past the release *)
   lost_transfers : int;
-      (** transfer instances the injection dropped on the wire *)
+      (** transfer instances the injection dropped on the wire and the
+          retry chain (if any) failed to save *)
+  retransmissions : int;  (** retry attempts spent by the recovery policy *)
+  recovered_transfers : int;
+      (** dropped transfers a retransmission saved *)
+  recovery_events : Recovery.event list;
+      (** dated {!Recovery.Stale_detected} / retransmission events,
+          sorted under {!Recovery.compare_event} (the internal
+          freshness sweep enumerates in hash order) *)
 }
 
 val run : ?config:config -> Aaa.Codegen.t -> trace

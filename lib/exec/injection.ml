@@ -2,6 +2,7 @@ type t = {
   operator_failed : operator:string -> time:float -> bool;
   medium_down : medium:string -> time:float -> bool;
   transfer_lost : iteration:int -> slot:Aaa.Schedule.comm_slot -> bool;
+  retry_lost : attempt:int -> iteration:int -> slot:Aaa.Schedule.comm_slot -> bool;
   overrun : iteration:int -> op:string -> float option;
 }
 
@@ -10,7 +11,27 @@ let none =
     operator_failed = (fun ~operator:_ ~time:_ -> false);
     medium_down = (fun ~medium:_ ~time:_ -> false);
     transfer_lost = (fun ~iteration:_ ~slot:_ -> false);
+    retry_lost = (fun ~attempt:_ ~iteration:_ ~slot:_ -> false);
     overrun = (fun ~iteration:_ ~op:_ -> None);
   }
 
-let is_none t = t == none
+let make ?operator_failed ?medium_down ?transfer_lost ?retry_lost ?overrun () =
+  {
+    operator_failed = Option.value operator_failed ~default:none.operator_failed;
+    medium_down = Option.value medium_down ~default:none.medium_down;
+    transfer_lost = Option.value transfer_lost ~default:none.transfer_lost;
+    retry_lost = Option.value retry_lost ~default:none.retry_lost;
+    overrun = Option.value overrun ~default:none.overrun;
+  }
+
+(* field-wise physical comparison: catches structurally-empty
+   injections assembled by callers from [none]'s decision functions
+   (e.g. [make ()] or [{ none with ... }] left at the defaults), not
+   just the [none] value itself *)
+let is_none t =
+  t == none
+  || (t.operator_failed == none.operator_failed
+     && t.medium_down == none.medium_down
+     && t.transfer_lost == none.transfer_lost
+     && t.retry_lost == none.retry_lost
+     && t.overrun == none.overrun)

@@ -13,7 +13,12 @@
     consumes its slot (the carrier departs, the payload is stale), a
     dead operator's program runs instantly posting frozen values — so
     the consumer falls back to the previous iteration's value and the
-    trace counts a {e freshness violation} instead of deadlocking. *)
+    trace counts a {e freshness violation} instead of deadlocking.
+    When a {!Recovery.policy} enables retransmission, a dropped
+    transfer is retried and each retry's fate is decided by
+    [retry_lost] (a fresh coordinate per attempt keeps the decision
+    streams independent) plus [medium_down] at the retry's departure
+    time. *)
 
 type t = {
   operator_failed : operator:string -> time:float -> bool;
@@ -26,6 +31,10 @@ type t = {
           payload. *)
   transfer_lost : iteration:int -> slot:Aaa.Schedule.comm_slot -> bool;
       (** per-transfer message loss (decided per iteration and hop). *)
+  retry_lost : attempt:int -> iteration:int -> slot:Aaa.Schedule.comm_slot -> bool;
+      (** whether retransmission [attempt] (1-based) of this transfer
+          instance is lost too — only consulted when a
+          {!Recovery.policy} enables retries. *)
   overrun : iteration:int -> op:string -> float option;
       (** [Some f] stretches the operation's drawn duration by factor
           [f > 1] at that iteration (correlated bursts); [None] leaves
@@ -35,6 +44,21 @@ type t = {
 val none : t
 (** No structural faults — the default of both executors. *)
 
+val make :
+  ?operator_failed:(operator:string -> time:float -> bool) ->
+  ?medium_down:(medium:string -> time:float -> bool) ->
+  ?transfer_lost:(iteration:int -> slot:Aaa.Schedule.comm_slot -> bool) ->
+  ?retry_lost:(attempt:int -> iteration:int -> slot:Aaa.Schedule.comm_slot -> bool) ->
+  ?overrun:(iteration:int -> op:string -> float option) ->
+  unit ->
+  t
+(** Smart constructor: omitted decisions share {!none}'s functions, so
+    a partial injection stays cheap and [make ()] {e is} recognised by
+    {!is_none}. *)
+
 val is_none : t -> bool
-(** Physical identity with {!none}; lets the executors skip the
-    bookkeeping entirely on fault-free runs. *)
+(** Structural check: true for {!none} itself and for any injection
+    whose every decision function is (physically) {!none}'s — lets the
+    executors skip the bookkeeping entirely on fault-free runs,
+    including ones assembled by callers via {!make} or record update
+    of {!none}. *)

@@ -16,6 +16,7 @@ type config = {
   seed : int;
   condition : iteration:int -> var:string -> int;
   injection : Injection.t;
+  recovery : Recovery.policy;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     seed = 42;
     condition = (fun ~iteration:_ ~var:_ -> 0);
     injection = Injection.none;
+    recovery = Recovery.disabled;
   }
 
 type op_exec = {
@@ -59,6 +61,12 @@ type trace = {
   overruns : int;
   lost_transfers : int;
   stale_reads : int;
+  retransmissions : int;
+  recovered_transfers : int;
+  recovery_events : Recovery.event list;
+  detection_latency : float option;
+  switched_at : int option;
+  continuation : trace option;
 }
 
 (* identity of one hop of a transfer within one iteration *)
@@ -84,7 +92,7 @@ type medium_state = {
   mutable ms_time : float;
 }
 
-let run ?(config = default_config) exe =
+let run_single ~(config : config) exe =
   if config.iterations <= 0 then invalid_arg "Machine.run: non-positive iteration count";
   let sched = exe.Cg.schedule in
   let alg = sched.Sched.algorithm in
@@ -118,6 +126,8 @@ let run ?(config = default_config) exe =
   let comms_log = ref [] in
   let inj = config.injection in
   let have_inj = not (Injection.is_none inj) in
+  let pol = config.recovery in
+  let retrans_on = have_inj && Recovery.retransmission_enabled pol in
   (* per hop instance: the payload carried is stale (lost somewhere
      upstream); the slot itself always fires, so injected faults never
      block the executive *)
@@ -131,6 +141,10 @@ let run ?(config = default_config) exe =
         a
   in
   let lost_transfers = ref 0 and stale_reads = ref 0 in
+  let retransmissions = ref 0 and recovered_transfers = ref 0 in
+  let events = ref [] in
+  (* retransmissions already spent, per medium and iteration *)
+  let retry_used : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
   let operator_dead os =
     have_inj
     && inj.Injection.operator_failed ~operator:(Arch.operator_name arch os.os_id)
@@ -230,7 +244,18 @@ let run ?(config = default_config) exe =
           if Float.is_nan t then false
           else begin
             os.os_time <- Float.max os.os_time t;
-            if have_inj && (lost_arr (slot_key c)).(os.os_iter) then incr stale_reads;
+            if have_inj && (lost_arr (slot_key c)).(os.os_iter) then begin
+              incr stale_reads;
+              if pol.Recovery.freshness_watchdog then
+                events :=
+                  Recovery.Stale_detected
+                    {
+                      time = os.os_time;
+                      iteration = os.os_iter;
+                      op = Alg.op_name alg (fst c.Sched.cm_dst);
+                    }
+                  :: !events
+            end;
             os.os_pc <- os.os_pc + 1;
             true
           end
@@ -258,7 +283,7 @@ let run ?(config = default_config) exe =
       if Float.is_nan t_posted then false
       else begin
         let start = Float.max ms.ms_time t_posted in
-        let finish = start +. sample_comm_duration c.Sched.cm_duration in
+        let finish = ref (start +. sample_comm_duration c.Sched.cm_duration) in
         if have_inj then begin
           let inherited =
             let key =
@@ -269,22 +294,75 @@ let run ?(config = default_config) exe =
             in
             (lost_arr key).(ms.ms_iter)
           in
+          let medium_name = Arch.medium_name arch c.Sched.cm_medium in
           let dropped =
-            inj.Injection.medium_down
-              ~medium:(Arch.medium_name arch c.Sched.cm_medium)
-              ~time:start
+            inj.Injection.medium_down ~medium:medium_name ~time:start
             || inj.Injection.transfer_lost ~iteration:ms.ms_iter ~slot:c
           in
-          if inherited || dropped then begin
-            (lost_arr (slot_key c)).(ms.ms_iter) <- true;
-            if dropped && not inherited then incr lost_transfers
+          if inherited then
+            (* stale at the source: a retransmission would resend the
+               same stale payload, so the mark just propagates *)
+            (lost_arr (slot_key c)).(ms.ms_iter) <- true
+          else if dropped then begin
+            (* bounded retransmission with exponential backoff; every
+               retry extends the slot, consuming real medium time *)
+            let delivered = ref false in
+            let attempts = ref 0 in
+            if retrans_on then begin
+              let mkey = ((c.Sched.cm_medium :> int), ms.ms_iter) in
+              let used =
+                ref (Option.value (Hashtbl.find_opt retry_used mkey) ~default:0)
+              in
+              while
+                (not !delivered)
+                && !attempts < pol.Recovery.max_retries
+                && !used < pol.Recovery.retry_budget
+              do
+                incr attempts;
+                incr used;
+                incr retransmissions;
+                let retry_start =
+                  !finish +. Recovery.backoff_delay pol ~attempt:!attempts
+                in
+                finish := retry_start +. sample_comm_duration c.Sched.cm_duration;
+                delivered :=
+                  not
+                    (inj.Injection.medium_down ~medium:medium_name ~time:retry_start
+                    || inj.Injection.retry_lost ~attempt:!attempts
+                         ~iteration:ms.ms_iter ~slot:c)
+              done;
+              Hashtbl.replace retry_used mkey !used;
+              events :=
+                (if !delivered then
+                   Recovery.Transfer_recovered
+                     {
+                       time = !finish;
+                       iteration = ms.ms_iter;
+                       medium = medium_name;
+                       attempts = !attempts;
+                     }
+                 else
+                   Recovery.Retries_exhausted
+                     {
+                       time = !finish;
+                       iteration = ms.ms_iter;
+                       medium = medium_name;
+                       attempts = !attempts;
+                     })
+                :: !events
+            end;
+            if !delivered then incr recovered_transfers
+            else begin
+              (lost_arr (slot_key c)).(ms.ms_iter) <- true;
+              incr lost_transfers
+            end
           end
         end;
         let fin_arr = slot_table `Finished finished (slot_key c) in
-        fin_arr.(ms.ms_iter) <- finish;
-        ms.ms_time <- finish;
+        fin_arr.(ms.ms_iter) <- !finish;
+        ms.ms_time <- !finish;
         comms_log :=
-          { ce_iteration = ms.ms_iter; ce_slot = c; ce_start = start; ce_finish = finish }
+          { ce_iteration = ms.ms_iter; ce_slot = c; ce_start = start; ce_finish = !finish }
           :: !comms_log;
         if ms.ms_index + 1 >= Array.length ms.ms_transfers then begin
           ms.ms_index <- 0;
@@ -354,15 +432,158 @@ let run ?(config = default_config) exe =
     overruns = !overruns;
     lost_transfers = !lost_transfers;
     stale_reads = !stale_reads;
+    retransmissions = !retransmissions;
+    recovered_transfers = !recovered_transfers;
+    recovery_events = List.sort Recovery.compare_event !events;
+    detection_latency = None;
+    switched_at = None;
+    continuation = None;
   }
 
-let instants trace op =
+(* re-express an injection in the failover executive's frame, which
+   starts at iteration [iterations] / absolute time [offset] *)
+let shift_injection (i : Injection.t) ~iterations ~offset =
+  {
+    Injection.operator_failed =
+      (fun ~operator ~time -> i.Injection.operator_failed ~operator ~time:(time +. offset));
+    medium_down =
+      (fun ~medium ~time -> i.Injection.medium_down ~medium ~time:(time +. offset));
+    transfer_lost =
+      (fun ~iteration ~slot ->
+        i.Injection.transfer_lost ~iteration:(iteration + iterations) ~slot);
+    retry_lost =
+      (fun ~attempt ~iteration ~slot ->
+        i.Injection.retry_lost ~attempt ~iteration:(iteration + iterations) ~slot);
+    overrun =
+      (fun ~iteration ~op -> i.Injection.overrun ~iteration:(iteration + iterations) ~op);
+  }
+
+let shift_event ~offset ~k = function
+  | Recovery.Stale_detected e ->
+      Recovery.Stale_detected
+        { e with time = e.time +. offset; iteration = e.iteration + k }
+  | Recovery.Transfer_recovered e ->
+      Recovery.Transfer_recovered
+        { e with time = e.time +. offset; iteration = e.iteration + k }
+  | Recovery.Retries_exhausted e ->
+      Recovery.Retries_exhausted
+        { e with time = e.time +. offset; iteration = e.iteration + k }
+  | Recovery.Failstop_confirmed e ->
+      Recovery.Failstop_confirmed { e with time = e.time +. offset }
+  | Recovery.Mode_switched e ->
+      Recovery.Mode_switched { e with time = e.time +. offset; iteration = e.iteration + k }
+
+let run ?(config = default_config) exe =
+  if config.iterations <= 0 then invalid_arg "Machine.run: non-positive iteration count";
+  let pol = config.recovery in
+  let sched = exe.Cg.schedule in
+  let period = Alg.period sched.Sched.algorithm in
+  let confirmation =
+    if Injection.is_none config.injection then None
+    else
+      Recovery.confirm pol ~operator_failed:config.injection.Injection.operator_failed
+        ~operators:
+          (List.map
+             (Arch.operator_name sched.Sched.architecture)
+             (Arch.operators sched.Sched.architecture))
+        ~period ~iterations:config.iterations
+  in
+  match confirmation with
+  | None -> run_single ~config exe
+  | Some conf -> (
+      let confirmed =
+        Recovery.Failstop_confirmed
+          {
+            time = conf.Recovery.confirm_time;
+            operator = conf.Recovery.operator;
+            fail_time = conf.Recovery.fail_time;
+          }
+      in
+      let latency = Some (conf.Recovery.confirm_time -. conf.Recovery.fail_time) in
+      let k_switch =
+        Recovery.switch_iteration pol ~confirm_time:conf.Recovery.confirm_time ~period
+      in
+      match List.assoc_opt conf.Recovery.operator pol.Recovery.failover with
+      | Some failover_exe when k_switch < config.iterations ->
+          (* two-phase run: the nominal executive up to the switch
+             release, the failover executive — fed the same injection
+             and condition stream re-expressed in its frame — after it.
+             The continuation trace stays in its own (failover) frame
+             so it remains self-consistent; the top-level counters are
+             whole-run totals. *)
+          let offset = float_of_int k_switch *. period in
+          let phase1 = run_single ~config:{ config with iterations = k_switch } exe in
+          let phase2 =
+            run_single
+              ~config:
+                {
+                  config with
+                  iterations = config.iterations - k_switch;
+                  injection = shift_injection config.injection ~iterations:k_switch ~offset;
+                  condition =
+                    (fun ~iteration ~var ->
+                      config.condition ~iteration:(iteration + k_switch) ~var);
+                  recovery = { pol with Recovery.failover = [] };
+                }
+              failover_exe
+          in
+          let iteration_end = Array.make config.iterations 0. in
+          Array.blit phase1.iteration_end 0 iteration_end 0 k_switch;
+          Array.iteri
+            (fun k t -> iteration_end.(k_switch + k) <- t +. offset)
+            phase2.iteration_end;
+          let events =
+            phase1.recovery_events
+            @ [
+                confirmed;
+                Recovery.Mode_switched
+                  { time = offset; iteration = k_switch; operator = conf.Recovery.operator };
+              ]
+            @ List.map (shift_event ~offset ~k:k_switch) phase2.recovery_events
+            |> List.sort Recovery.compare_event
+          in
+          {
+            executive = exe;
+            period;
+            iterations = config.iterations;
+            ops = phase1.ops;
+            comms = phase1.comms;
+            iteration_end;
+            overruns = phase1.overruns + phase2.overruns;
+            lost_transfers = phase1.lost_transfers + phase2.lost_transfers;
+            stale_reads = phase1.stale_reads + phase2.stale_reads;
+            retransmissions = phase1.retransmissions + phase2.retransmissions;
+            recovered_transfers = phase1.recovered_transfers + phase2.recovered_transfers;
+            recovery_events = events;
+            detection_latency = latency;
+            switched_at = Some k_switch;
+            continuation = Some phase2;
+          }
+      | Some _ | None ->
+          (* confirmed, but no failover executive (or none needed
+             within the run): the detection still dates the event *)
+          let t = run_single ~config exe in
+          {
+            t with
+            recovery_events =
+              List.sort Recovery.compare_event (confirmed :: t.recovery_events);
+            detection_latency = latency;
+          })
+
+let rec instants trace op =
   let arr = Array.make trace.iterations Float.nan in
   List.iter
     (fun oe ->
       if oe.oe_op = op && (not oe.oe_skipped) && not oe.oe_failed then
         arr.(oe.oe_iteration) <- oe.oe_finish)
     trace.ops;
+  (match (trace.continuation, trace.switched_at) with
+  | Some cont, Some k_switch ->
+      let offset = float_of_int k_switch *. trace.period in
+      Array.iteri
+        (fun k t -> if not (Float.is_nan t) then arr.(k_switch + k) <- t +. offset)
+        (instants cont op)
+  | _ -> ());
   arr
 
 let latencies_of trace ids =
@@ -386,17 +607,36 @@ let actuation_latencies trace =
 let utilization trace =
   let arch = trace.executive.Cg.schedule.Sched.architecture in
   let horizon = float_of_int trace.iterations *. trace.period in
+  (* busy time per operator *name*: the failover architecture renumbers
+     the surviving operators, so a mode switch is stitched by name *)
+  let rec busy_by_name t =
+    let arch_t = t.executive.Cg.schedule.Sched.architecture in
+    let own =
+      List.map
+        (fun operator ->
+          ( Arch.operator_name arch_t operator,
+            List.fold_left
+              (fun acc oe ->
+                if oe.oe_operator = operator && not oe.oe_skipped then
+                  acc +. (oe.oe_finish -. oe.oe_start)
+                else acc)
+              0. t.ops ))
+        (Arch.operators arch_t)
+    in
+    match t.continuation with
+    | None -> own
+    | Some cont ->
+        let rest = busy_by_name cont in
+        List.map
+          (fun (name, b) ->
+            (name, b +. Option.value (List.assoc_opt name rest) ~default:0.))
+          own
+  in
+  let busy = busy_by_name trace in
   List.map
     (fun operator ->
-      let busy =
-        List.fold_left
-          (fun acc oe ->
-            if oe.oe_operator = operator && not oe.oe_skipped then
-              acc +. (oe.oe_finish -. oe.oe_start)
-            else acc)
-          0. trace.ops
-      in
-      (operator, busy /. horizon))
+      let name = Arch.operator_name arch operator in
+      (operator, Option.value (List.assoc_opt name busy) ~default:0. /. horizon))
     (Arch.operators arch)
 
 let latencies_csv trace =
@@ -419,15 +659,20 @@ let latencies_csv trace =
   done;
   Buffer.contents buf
 
-let order_conformant trace =
+let rec order_conformant trace =
   let sched = trace.executive.Cg.schedule in
+  (* iterations executed by *this* executive: everything before the
+     mode switch when one happened *)
+  let phase_iterations =
+    match trace.switched_at with Some k -> k | None -> trace.iterations
+  in
   (* on every operator, executions must follow the scheduled sequence
      within each iteration, without overlap *)
   let ok = ref true in
   List.iter
     (fun operator ->
       let expected = List.map (fun s -> s.Sched.cs_op) (Sched.on_operator sched operator) in
-      for k = 0 to trace.iterations - 1 do
+      for k = 0 to phase_iterations - 1 do
         let actual =
           List.filter_map
             (fun oe ->
@@ -445,4 +690,4 @@ let order_conformant trace =
         overlap actual
       done)
     (Arch.operators sched.Sched.architecture);
-  !ok
+  !ok && match trace.continuation with Some cont -> order_conformant cont | None -> true

@@ -45,13 +45,17 @@ type config = {
           iteration's value: the trace counts it in [stale_reads]
           rather than deadlocking.  A dead operator's program runs
           instantly, posting frozen (stale) values. *)
+  recovery : Recovery.policy;
+      (** online detection & recovery — see {!Recovery}.  With
+          {!Recovery.disabled} (the default) the executive behaves
+          exactly as before: faults stay silent in the counters. *)
 }
 
 val default_config : config
 (** 100 iterations, {!Timing_law.Uniform}, no comm jitter,
     [bcet_frac = 0.5], no overruns ([overrun_prob = 0.],
     [overrun_factor = 1.5]), seed 42, all conditions = 0, no injected
-    faults. *)
+    faults, recovery disabled. *)
 
 type op_exec = {
   oe_iteration : int;
@@ -87,18 +91,48 @@ type trace = {
   stale_reads : int;
       (** [Recv]s that consumed a previous-iteration value — the
           freshness violations of the injected run *)
+  retransmissions : int;
+      (** retry attempts spent by the recovery policy (whole run) *)
+  recovered_transfers : int;
+      (** dropped transfers whose payload a retransmission saved *)
+  recovery_events : Recovery.event list;
+      (** dated detection / recovery observations, chronological under
+          {!Recovery.compare_event}; whole-run (absolute time) at the
+          top level *)
+  detection_latency : float option;
+      (** [confirm_time − fail_time] when the heartbeat supervisor
+          confirmed a fail-stop *)
+  switched_at : int option;
+      (** iteration index at which the mode switch took effect *)
+  continuation : trace option;
+      (** after a mode switch, the failover phase as its own trace {e in
+          its own frame}: its executive is the failover one (renumbered
+          operators), its times are relative to the switch instant and
+          its iterations count from 0.  The accessor functions below
+          stitch through it; the top-level counters already include
+          it. *)
 }
 
 val run : ?config:config -> Aaa.Codegen.t -> trace
 (** Executes the executive.  Raises {!Deadlock} (never happens for
     executives generated from valid schedules — tests rely on this),
-    or [Invalid_argument] on a non-positive iteration count. *)
+    or [Invalid_argument] on a non-positive iteration count.
+
+    With a {!Recovery} policy whose heartbeat supervisor confirms a
+    fail-stop and whose [failover] table holds an executive for the
+    dead operator, the run switches to that executive at
+    {!Recovery.switch_iteration}: the trace carries [switched_at], the
+    failover phase as [continuation], and the whole-run counters.  The
+    failover phase sees the same injection, condition stream and seed,
+    re-expressed in its frame — the two-phase run is bit-for-bit
+    reproducible. *)
 
 (** {2 Latency extraction (paper §2, eqs. (1)–(2))} *)
 
 val instants : trace -> Aaa.Algorithm.op_id -> float array
 (** Completion instants of one operation across iterations ([nan] at
-    iterations where it was skipped or its operator had failed). *)
+    iterations where it was skipped or its operator had failed),
+    stitched in absolute time across a mode switch. *)
 
 val sampling_latencies : trace -> (Aaa.Algorithm.op_id * float array) list
 (** For each sensor [j], the per-iteration sampling latency
@@ -109,7 +143,10 @@ val actuation_latencies : trace -> (Aaa.Algorithm.op_id * float array) list
 
 val utilization : trace -> (Aaa.Architecture.operator_id * float) list
 (** Per-operator utilisation: busy time (non-skipped executions) over
-    the total simulated time — the architecture-sizing metric. *)
+    the total simulated time — the architecture-sizing metric.  After
+    a mode switch, busy time is merged by operator {e name} (the
+    failover architecture renumbers operators), keyed by the nominal
+    architecture's ids. *)
 
 val latencies_csv : trace -> string
 (** CSV table of the per-iteration latencies: one row per iteration,
@@ -122,4 +159,5 @@ val order_conformant : trace -> bool
     operator (and medium), executions happened in the scheduled
     sequence without overlap.  Always true for generated executives —
     exercised by the test suite as the paper's order-guarantee
-    property. *)
+    property.  After a mode switch, each phase is checked against its
+    own executive's schedule. *)

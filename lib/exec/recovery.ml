@@ -1,0 +1,170 @@
+type policy = {
+  freshness_watchdog : bool;
+  max_retries : int;
+  retry_budget : int;
+  backoff_base : float;
+  backoff_factor : float;
+  heartbeat_timeout : float;
+  heartbeat_k : int;
+  blackout : float;
+  failover : (string * Aaa.Codegen.t) list;
+}
+
+let disabled =
+  {
+    freshness_watchdog = false;
+    max_retries = 0;
+    retry_budget = 0;
+    backoff_base = 0.;
+    backoff_factor = 2.;
+    heartbeat_timeout = 0.;
+    heartbeat_k = 1;
+    blackout = 0.;
+    failover = [];
+  }
+
+let invalid fmt = Printf.ksprintf (fun s -> invalid_arg ("[REC001] Recovery.make: " ^ s)) fmt
+
+let make ?(freshness_watchdog = true) ?(max_retries = 2) ?(retry_budget = 4)
+    ?backoff_base ?(backoff_factor = 2.) ?heartbeat_timeout ?(heartbeat_k = 2)
+    ?blackout ?(failover = []) ~period () =
+  if period <= 0. then invalid "non-positive period %g" period;
+  let backoff_base = Option.value backoff_base ~default:(period /. 50.) in
+  let heartbeat_timeout = Option.value heartbeat_timeout ~default:period in
+  let blackout = Option.value blackout ~default:period in
+  if max_retries < 0 then invalid "negative retry count %d" max_retries;
+  if retry_budget < 0 then invalid "negative retry budget %d" retry_budget;
+  if backoff_base < 0. then invalid "negative backoff %g" backoff_base;
+  if backoff_factor < 1. then invalid "backoff factor %g below 1" backoff_factor;
+  if heartbeat_timeout < 0. then invalid "negative heartbeat timeout %g" heartbeat_timeout;
+  if heartbeat_k < 1 then invalid "heartbeat confirmation count %d below 1" heartbeat_k;
+  if blackout < 0. then invalid "negative blackout %g" blackout;
+  {
+    freshness_watchdog;
+    max_retries;
+    retry_budget;
+    backoff_base;
+    backoff_factor;
+    heartbeat_timeout;
+    heartbeat_k;
+    blackout;
+    failover;
+  }
+
+type event =
+  | Stale_detected of { time : float; iteration : int; op : string }
+  | Transfer_recovered of {
+      time : float;
+      iteration : int;
+      medium : string;
+      attempts : int;
+    }
+  | Retries_exhausted of {
+      time : float;
+      iteration : int;
+      medium : string;
+      attempts : int;
+    }
+  | Failstop_confirmed of { time : float; operator : string; fail_time : float }
+  | Mode_switched of { time : float; iteration : int; operator : string }
+
+let event_time = function
+  | Stale_detected { time; _ }
+  | Transfer_recovered { time; _ }
+  | Retries_exhausted { time; _ }
+  | Failstop_confirmed { time; _ }
+  | Mode_switched { time; _ } ->
+      time
+
+let compare_event a b =
+  let c = Float.compare (event_time a) (event_time b) in
+  if c <> 0 then c else Stdlib.compare a b
+
+let pp_event ppf = function
+  | Stale_detected { time; iteration; op } ->
+      Format.fprintf ppf "t=%g: stale read at %S (iteration %d)" time op iteration
+  | Transfer_recovered { time; iteration; medium; attempts } ->
+      Format.fprintf ppf "t=%g: transfer recovered on %S after %d retr%s (iteration %d)"
+        time medium attempts
+        (if attempts = 1 then "y" else "ies")
+        iteration
+  | Retries_exhausted { time; iteration; medium; attempts } ->
+      Format.fprintf ppf "t=%g: retries exhausted on %S after %d attempt%s (iteration %d)"
+        time medium attempts
+        (if attempts = 1 then "" else "s")
+        iteration
+  | Failstop_confirmed { time; operator; fail_time } ->
+      Format.fprintf ppf "t=%g: fail-stop of %S confirmed (failed at %g)" time operator
+        fail_time
+  | Mode_switched { time; iteration; operator } ->
+      Format.fprintf ppf "t=%g: switched to the %S failover executive (iteration %d)" time
+        operator iteration
+
+let retransmission_enabled p = p.max_retries > 0 && p.retry_budget > 0
+let supervisor_enabled p = p.heartbeat_timeout > 0. && p.heartbeat_k >= 1
+
+let backoff_delay p ~attempt =
+  if attempt < 1 then invalid_arg "Recovery.backoff_delay: attempt below 1";
+  p.backoff_base *. (p.backoff_factor ** float_of_int (attempt - 1))
+
+let worst_case_retry_time p ~transfer_duration =
+  let rec go acc attempt =
+    if attempt > p.max_retries then acc
+    else go (acc +. backoff_delay p ~attempt +. transfer_duration) (attempt + 1)
+  in
+  go 0. 1
+
+let first_failure ~failed ~horizon =
+  if not (failed ~time:horizon) then None
+  else if failed ~time:0. then Some 0.
+  else begin
+    (* monotone predicate: bisect the transition *)
+    let lo = ref 0. and hi = ref horizon in
+    for _ = 1 to 64 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if failed ~time:mid then hi := mid else lo := mid
+    done;
+    Some !hi
+  end
+
+type confirmation = {
+  operator : string;
+  fail_time : float;
+  first_missed : int;
+  confirm_time : float;
+}
+
+let confirm p ~operator_failed ~operators ~period ~iterations =
+  if not (supervisor_enabled p) then None
+  else
+    List.fold_left
+      (fun best operator ->
+        let failed ~time = operator_failed ~operator ~time in
+        let rec find k =
+          if k >= iterations then None
+          else if failed ~time:(float_of_int k *. period) then Some k
+          else find (k + 1)
+        in
+        match find 0 with
+        | None -> best
+        | Some k0 when k0 + p.heartbeat_k - 1 >= iterations -> best
+        | Some k0 ->
+            let confirm_time =
+              (float_of_int (k0 + p.heartbeat_k - 1) *. period) +. p.heartbeat_timeout
+            in
+            let fail_time =
+              (* the failure happened no later than release k0 *)
+              let horizon = float_of_int k0 *. period in
+              match first_failure ~failed ~horizon with
+              | Some t -> t
+              | None -> horizon
+            in
+            let candidate = { operator; fail_time; first_missed = k0; confirm_time } in
+            (match best with
+            | Some b when b.confirm_time <= candidate.confirm_time -> best
+            | Some _ | None -> Some candidate))
+      None operators
+
+let switch_iteration p ~confirm_time ~period =
+  let t = confirm_time +. p.blackout in
+  int_of_float (Float.ceil ((t /. period) -. 1e-9))

@@ -1,0 +1,159 @@
+(** Online fault detection & recovery policies for the simulated
+    executives.
+
+    PR 1 made injected faults {e observable} (stale reads, frozen
+    values); this module makes them {e detectable and recoverable}
+    while the executive runs.  A {!policy} bundles three mechanisms:
+
+    - {e freshness watchdogs}: every [Recv] whose payload went stale
+      under the injection raises a dated {!event} instead of failing
+      silently;
+    - {e bounded retransmission}: a transfer dropped on the wire is
+      retried up to [max_retries] times with deterministic exponential
+      backoff, within a per-medium per-period [retry_budget].  Retries
+      consume real medium time, so recovery can itself cause overruns;
+    - {e heartbeat supervision}: an operator is expected to prove
+      liveness at every periodic release; after [heartbeat_k]
+      consecutive misses the fail-stop is {e confirmed}
+      ([heartbeat_timeout] after the last missed release) and — after a
+      reconfiguration [blackout] — the executive switches to the
+      matching precomputed failover executive from [failover] (see
+      [Fault.Degrade.failover_table]).
+
+    Everything here is pure policy and arithmetic: the module holds no
+    state and never runs anything, so {!Machine} can depend on it
+    without a cycle, and the supervisor's decisions are a pure function
+    of the injection — bit-for-bit reproducible and independent of the
+    run's sampled jitter.
+
+    Determinism contract: heartbeat observation happens at the
+    periodic releases [k·period], so confirmation and switch instants
+    depend only on the injection's [operator_failed] predicate (which
+    must be monotone in time), never on sampled durations.  Retry
+    {e outcomes} are decided by the injection's [retry_lost] hash and
+    the medium clock, both reproducible from the seed. *)
+
+type policy = {
+  freshness_watchdog : bool;
+      (** date stale [Recv]s as {!Stale_detected} events *)
+  max_retries : int;  (** retransmission attempts per lost transfer *)
+  retry_budget : int;
+      (** retransmissions allowed per medium within one period *)
+  backoff_base : float;  (** backoff before the first retry, seconds *)
+  backoff_factor : float;
+      (** geometric growth of the backoff (>= 1) *)
+  heartbeat_timeout : float;
+      (** how long after a periodic release a missing heartbeat is
+          declared missed; [0.] disables the supervisor *)
+  heartbeat_k : int;
+      (** consecutive missed heartbeats that confirm a fail-stop *)
+  blackout : float;
+      (** reconfiguration blackout between confirmation and the
+          earliest switch release, seconds *)
+  failover : (string * Aaa.Codegen.t) list;
+      (** per failed operator, the executive generated from its
+          precomputed failover schedule *)
+}
+
+val disabled : policy
+(** Everything off — the default of both executors. *)
+
+val make :
+  ?freshness_watchdog:bool ->
+  ?max_retries:int ->
+  ?retry_budget:int ->
+  ?backoff_base:float ->
+  ?backoff_factor:float ->
+  ?heartbeat_timeout:float ->
+  ?heartbeat_k:int ->
+  ?blackout:float ->
+  ?failover:(string * Aaa.Codegen.t) list ->
+  period:float ->
+  unit ->
+  policy
+(** A fully enabled policy with period-relative defaults: watchdog on,
+    2 retries within a budget of 4, backoff starting at [period/50]
+    doubling per attempt, heartbeat timeout of one [period] with
+    [k = 2], a blackout of one [period], no failover executives.
+    Raises [Invalid_argument] (with a ["[REC001]"] prefix recovered by
+    the verify catalogue) on non-positive period, negative counts or
+    times, or a backoff factor below 1. *)
+
+(** {2 Events}
+
+    Dated observations of the detection / recovery machinery, in
+    absolute simulation time. *)
+
+type event =
+  | Stale_detected of { time : float; iteration : int; op : string }
+      (** a [Recv] consumed a stale payload — the freshness watchdog
+          fired at the consuming operation *)
+  | Transfer_recovered of {
+      time : float;
+      iteration : int;
+      medium : string;
+      attempts : int;
+    }  (** a retransmission delivered the payload after [attempts] retries *)
+  | Retries_exhausted of {
+      time : float;
+      iteration : int;
+      medium : string;
+      attempts : int;
+    }
+      (** the retry chain gave up ([attempts] may be 0 when the budget
+          was already spent) — the payload stays lost *)
+  | Failstop_confirmed of { time : float; operator : string; fail_time : float }
+      (** [heartbeat_k] consecutive heartbeats missed; [fail_time] is
+          the actual failure instant (recovered by bisection) *)
+  | Mode_switched of { time : float; iteration : int; operator : string }
+      (** the executive switched to [operator]'s failover schedule at
+          release [iteration] *)
+
+val event_time : event -> float
+
+val compare_event : event -> event -> int
+(** Chronological, with a deterministic structural tiebreak — total
+    regardless of the executors' interleaving. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {2 Pure supervisor arithmetic} *)
+
+val retransmission_enabled : policy -> bool
+val supervisor_enabled : policy -> bool
+
+val backoff_delay : policy -> attempt:int -> float
+(** [backoff_base · backoff_factor^(attempt−1)] for [attempt >= 1]. *)
+
+val worst_case_retry_time : policy -> transfer_duration:float -> float
+(** Time one transfer's full retry chain can consume on its medium:
+    [Σ_{a=1..max_retries} (backoff a + transfer_duration)] — the
+    quantity the REC002 verify rule holds against the period. *)
+
+val first_failure : failed:(time:float -> bool) -> horizon:float -> float option
+(** Earliest failure instant of a monotone fail-stop predicate over
+    [\[0, horizon\]], by bisection; [None] if alive at [horizon]. *)
+
+type confirmation = {
+  operator : string;
+  fail_time : float;  (** bisected actual failure instant *)
+  first_missed : int;  (** first release whose heartbeat was missed *)
+  confirm_time : float;
+      (** [(first_missed + heartbeat_k − 1)·period + heartbeat_timeout] *)
+}
+
+val confirm :
+  policy ->
+  operator_failed:(operator:string -> time:float -> bool) ->
+  operators:string list ->
+  period:float ->
+  iterations:int ->
+  confirmation option
+(** The earliest fail-stop the heartbeat supervisor confirms within
+    the run, across [operators] (ties broken by list order).  [None]
+    when the supervisor is disabled or no failure accumulates
+    [heartbeat_k] misses before the run ends. *)
+
+val switch_iteration : policy -> confirm_time:float -> period:float -> int
+(** Index of the first periodic release at or after
+    [confirm_time + blackout] — where the mode switch takes effect. *)

@@ -105,6 +105,14 @@ let failover_table ?strategy ?replicas ~algorithm ~architecture ~durations ~nomi
           { failed_operator; schedule = None; fits = false; makespan = Float.nan })
     (Arch.operators architecture)
 
+let failover_executives table =
+  List.filter_map
+    (fun f ->
+      match f.schedule with
+      | Some sched -> Some (f.failed_operator, Aaa.Codegen.generate sched)
+      | None -> None)
+    table
+
 let pp_failover ppf f =
   match f.schedule with
   | Some _ ->

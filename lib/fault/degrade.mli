@@ -60,4 +60,11 @@ val failover_table :
     survivors cannot run the algorithm, or are disconnected) yield
     [schedule = None] instead of raising. *)
 
+val failover_executives : failover list -> (string * Aaa.Codegen.t) list
+(** Generates one executive per feasible failover schedule, keyed by
+    the failed operator's name — exactly the [failover] table a
+    {!Exec.Recovery.policy} expects.  Infeasible entries are skipped:
+    the online supervisor then confirms the fail-stop but has nowhere
+    to switch. *)
+
 val pp_failover : Format.formatter -> failover -> unit

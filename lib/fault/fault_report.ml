@@ -32,6 +32,72 @@ let markdown_section (s : Robustness.summary) =
      else if s.Robustness.all_feasible then
        "All scenarios are schedulable, but some failover schedules overrun the period."
      else "Some scenarios have no feasible failover on the surviving architecture.");
+  let recovered =
+    List.filter_map
+      (fun (o : Robustness.outcome) ->
+        Option.map (fun r -> (o, r)) o.Robustness.recovery)
+      s.Robustness.outcomes
+  in
+  if recovered <> [] then begin
+    line "";
+    line "### Online recovery";
+    line "";
+    line
+      "Each scenario re-run with the recovery policy enabled (same seed), \
+       against the no-recovery baseline above:";
+    line "";
+    line
+      "| scenario | detected after | switch at | retrans | recovered | stale \
+       (rec/no-rec) | post-switch cost (rec/no-rec) |";
+    line "|---|---|---|---|---|---|---|";
+    List.iter
+      (fun ((o : Robustness.outcome), (r : Robustness.recovery_outcome)) ->
+        let detected =
+          match r.Robustness.detection with
+          | Some c ->
+              Printf.sprintf "%.4g s"
+                (c.Exec.Recovery.confirm_time -. c.Exec.Recovery.fail_time)
+          | None -> "—"
+        in
+        let switch =
+          match r.Robustness.switch_time with
+          | Some t -> Printf.sprintf "%.4g s" t
+          | None -> "—"
+        in
+        let post =
+          match r.Robustness.phases with
+          | Some p ->
+              Printf.sprintf "%.6g / %.6g" p.Robustness.degraded_phase
+                p.Robustness.frozen_phase
+          | None -> "—"
+        in
+        line "| %s | %s | %s | %d | %d | %d / %d | %s |"
+          o.Robustness.scenario.Scenario.name detected switch
+          r.Robustness.retransmissions r.Robustness.recovered_transfers
+          r.Robustness.stale_with r.Robustness.stale_without post)
+      recovered;
+    let improved =
+      List.for_all
+        (fun (_, (r : Robustness.recovery_outcome)) ->
+          match r.Robustness.phases with
+          | Some p -> p.Robustness.degraded_phase < p.Robustness.frozen_phase
+          | None -> true)
+        recovered
+    in
+    let switched =
+      List.exists (fun (_, r) -> r.Robustness.switch_time <> None) recovered
+    in
+    if switched then begin
+      line "";
+      line "%s"
+        (if improved then
+           "Post-switch control cost is strictly lower with recovery on every \
+            switched scenario."
+         else
+           "**Warning**: recovery did not improve the post-switch control cost \
+            on some scenario.")
+    end
+  end;
   Buffer.contents buf
 
 let failover_markdown (table : Degrade.failover list) =

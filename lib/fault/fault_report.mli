@@ -8,7 +8,12 @@
 val markdown_section : Robustness.summary -> string
 (** A ["## Robustness"] markdown section: one table row per scenario
     (cost, degradation vs nominal, failover feasibility, lost
-    transfers, stale reads, overruns) plus the aggregate verdict. *)
+    transfers, stale reads, overruns) plus the aggregate verdict.
+    When the evaluation carried a recovery policy, an ["### Online
+    recovery"] subsection follows with the recovery-vs-no-recovery
+    comparison: detection latency, switch instant, retransmission
+    counts, stale reads and post-switch control cost for each
+    scenario. *)
 
 val failover_markdown : Degrade.failover list -> string
 (** A markdown table of a single-failure failover analysis: one row

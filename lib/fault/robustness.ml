@@ -2,6 +2,27 @@ module Sched = Aaa.Schedule
 module Meth = Lifecycle.Methodology
 module Design = Lifecycle.Design
 
+type recovery_phases = {
+  nominal_phase : float;
+  transient_phase : float;
+  degraded_phase : float;
+  frozen_phase : float;
+}
+
+type recovery_outcome = {
+  retransmissions : int;
+  recovered_transfers : int;
+  stale_with : int;
+  stale_without : int;
+  events : Exec.Recovery.event list;
+  detection : Exec.Recovery.confirmation option;
+  switch_time : float option;
+  post_switch_stale : int option;
+  recovered_cost : float option;
+  frozen_cost : float option;
+  phases : recovery_phases option;
+}
+
 type outcome = {
   scenario : Scenario.t;
   schedule : Sched.t option;
@@ -13,6 +34,7 @@ type outcome = {
   lost_transfers : int;
   stale_reads : int;
   overruns : int;
+  recovery : recovery_outcome option;
 }
 
 type summary = {
@@ -26,8 +48,35 @@ type summary = {
   all_fit : bool;
 }
 
-let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ~design ~architecture
-    ~durations ~scenarios () =
+(* Methodology keeps its probe wiring private; the recovery co-sim
+   rebuilds it the same way *)
+let engine_with_probes (built : Design.built) =
+  let engine = Sim.Engine.create built.Design.graph in
+  List.iter
+    (fun (name, (block, port)) -> Sim.Engine.add_probe engine ~name ~block ~port)
+    built.Design.probes;
+  engine
+
+(* co-simulate the failure of [failed_operator] at [fail_time]: the
+   nominal delay graph gated around the failure, plus — when a switch
+   happened — the failover graph gated after it.  [switch_time =
+   infinity] with no failover is the no-recovery counterfactual: the
+   sample-holds freeze and the plant runs open-loop. *)
+let recovery_engine ~design ~(nominal : Meth.implementation) ?failover ~fail_time
+    ~switch_time ~failed_operator () =
+  let built = design.Design.build () in
+  let _graphs =
+    Translator.Cosim.attach_recovery_delay_graph
+      ?condition_feed:built.Design.condition_feed ~graph:built.Design.graph
+      ~schedule:nominal.Meth.schedule ?failover ~binding:nominal.Meth.binding ~fail_time
+      ~switch_time ~failed_operator ()
+  in
+  let engine = engine_with_probes built in
+  Sim.Engine.run ~t_end:design.Design.horizon engine;
+  engine
+
+let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ?recovery ~design
+    ~architecture ~durations ~scenarios () =
   if scenarios = [] then invalid_arg "Robustness.evaluate: no scenarios";
   let pool = match pool with Some p -> p | None -> Explore.Pool.default () in
   let nominal = Meth.implement ?strategy ~design ~architecture ~durations () in
@@ -86,6 +135,94 @@ let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ~design ~archi
       | None -> config
     in
     let trace = Meth.execute ~config design nominal in
+    (* recovery side: the same seeded run with the online policy on,
+       and — when a fail-stop is confirmed — the recovered vs frozen
+       co-simulation of the same failure *)
+    let recovery_outcome =
+      match recovery with
+      | None -> None
+      | Some pol ->
+          let failed_operator =
+            match Scenario.failed_operators scenario with [ op ] -> Some op | _ -> None
+          in
+          let failover =
+            match (failed_operator, schedule) with
+            | Some op, Some degraded -> [ (op, Aaa.Codegen.generate degraded) ]
+            | _ -> []
+          in
+          let pol = { pol with Exec.Recovery.failover } in
+          let trace_with =
+            Meth.execute ~config:{ config with Exec.Machine.recovery = pol } design
+              nominal
+          in
+          let period = Aaa.Algorithm.period nominal.Meth.algorithm in
+          let detection =
+            Exec.Recovery.confirm pol
+              ~operator_failed:injection.Exec.Injection.operator_failed
+              ~operators:
+                (List.map
+                   (Aaa.Architecture.operator_name architecture)
+                   (Aaa.Architecture.operators architecture))
+              ~period ~iterations
+          in
+          let switch_time =
+            Option.map
+              (fun k -> float_of_int k *. period)
+              trace_with.Exec.Machine.switched_at
+          in
+          let recovered_cost, frozen_cost, phases =
+            match (detection, failed_operator, schedule, switch_time) with
+            | Some conf, Some op, Some degraded, Some t_switch
+              when t_switch < design.Design.horizon ->
+                let fail_time = conf.Exec.Recovery.fail_time in
+                let engine_rec =
+                  recovery_engine ~design ~nominal ~failover:degraded ~fail_time
+                    ~switch_time:t_switch ~failed_operator:op ()
+                in
+                let engine_frozen =
+                  recovery_engine ~design ~nominal ~fail_time
+                    ~switch_time:Float.infinity ~failed_operator:op ()
+                in
+                let recovered_cost = design.Design.cost engine_rec in
+                let frozen_cost = design.Design.cost engine_frozen in
+                let phases =
+                  Option.map
+                    (fun phase_cost ->
+                      {
+                        nominal_phase =
+                          phase_cost engine_rec ~from_t:0. ~until_t:fail_time;
+                        transient_phase =
+                          phase_cost engine_rec ~from_t:fail_time ~until_t:t_switch;
+                        degraded_phase =
+                          phase_cost engine_rec ~from_t:t_switch
+                            ~until_t:design.Design.horizon;
+                        frozen_phase =
+                          phase_cost engine_frozen ~from_t:t_switch
+                            ~until_t:design.Design.horizon;
+                      })
+                    design.Design.phase_cost
+                in
+                (Some recovered_cost, Some frozen_cost, phases)
+            | _ -> (None, None, None)
+          in
+          Some
+            {
+              retransmissions = trace_with.Exec.Machine.retransmissions;
+              recovered_transfers = trace_with.Exec.Machine.recovered_transfers;
+              stale_with = trace_with.Exec.Machine.stale_reads;
+              stale_without = trace.Exec.Machine.stale_reads;
+              events = trace_with.Exec.Machine.recovery_events;
+              detection;
+              switch_time;
+              post_switch_stale =
+                Option.map
+                  (fun (c : Exec.Machine.trace) -> c.Exec.Machine.stale_reads)
+                  trace_with.Exec.Machine.continuation;
+              recovered_cost;
+              frozen_cost;
+              phases;
+            }
+    in
     {
       scenario;
       schedule;
@@ -97,6 +234,7 @@ let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ~design ~archi
       lost_transfers = trace.Exec.Machine.lost_transfers;
       stale_reads = trace.Exec.Machine.stale_reads;
       overruns = trace.Exec.Machine.overruns;
+      recovery = recovery_outcome;
     }
   in
   (* one independent adequation + co-simulation + injected machine run
@@ -131,6 +269,25 @@ let pp ppf s =
           o.cost o.degradation_pct
           (if o.fits_period then "" else " [overruns period]")
           o.lost_transfers o.stale_reads o.overruns;
+      (match o.recovery with
+      | None -> ()
+      | Some r ->
+          Format.fprintf ppf
+            "@,    with recovery: retrans %d, recovered %d, stale %d (vs %d without)"
+            r.retransmissions r.recovered_transfers r.stale_with r.stale_without;
+          (match r.detection with
+          | Some c ->
+              Format.fprintf ppf "@,    fail-stop of %S at %g s confirmed at %g s"
+                c.Exec.Recovery.operator c.Exec.Recovery.fail_time
+                c.Exec.Recovery.confirm_time;
+              Option.iter (fun t -> Format.fprintf ppf ", switched at %g s" t) r.switch_time
+          | None -> ());
+          (match r.phases with
+          | Some p ->
+              Format.fprintf ppf
+                "@,    post-switch cost %.6g recovered vs %.6g without recovery"
+                p.degraded_phase p.frozen_phase
+          | None -> ()));
       Format.fprintf ppf "@,")
     s.outcomes;
   Format.fprintf ppf "  worst degradation %+.2f %%, mean %+.2f %%@]"

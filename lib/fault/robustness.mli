@@ -20,6 +20,41 @@
     Everything is deterministic from the scenario seeds — re-running
     an evaluation reproduces it bit-for-bit. *)
 
+type recovery_phases = {
+  nominal_phase : float;  (** recovered run's cost over [\[0, fail_time\]] *)
+  transient_phase : float;
+      (** recovered run over [\[fail_time, switch_time\]] — failure
+          detected but not yet reconfigured *)
+  degraded_phase : float;
+      (** recovered run over [\[switch_time, horizon\]] — on the
+          failover schedule *)
+  frozen_phase : float;
+      (** the {e no-recovery} run over the same post-switch window
+          (plant open-loop on frozen holds) — the number
+          [degraded_phase] must beat for recovery to pay off *)
+}
+
+type recovery_outcome = {
+  retransmissions : int;  (** retry attempts the policy spent *)
+  recovered_transfers : int;  (** drops a retransmission saved *)
+  stale_with : int;  (** stale reads of the recovered run *)
+  stale_without : int;  (** stale reads of the baseline run (same seed) *)
+  events : Exec.Recovery.event list;
+      (** the recovered run's dated detection / recovery timeline *)
+  detection : Exec.Recovery.confirmation option;
+      (** the heartbeat supervisor's confirmation, when one happened *)
+  switch_time : float option;  (** absolute instant of the mode switch *)
+  post_switch_stale : int option;
+      (** stale reads after the switch (the failover phase's count) *)
+  recovered_cost : float option;
+      (** whole-horizon control cost of the recovered co-simulation *)
+  frozen_cost : float option;
+      (** whole-horizon cost of the no-recovery co-simulation *)
+  phases : recovery_phases option;
+      (** per-phase split, when the design provides
+          {!Lifecycle.Design.t.phase_cost} *)
+}
+
 type outcome = {
   scenario : Scenario.t;
   schedule : Aaa.Schedule.t option;
@@ -34,6 +69,10 @@ type outcome = {
   lost_transfers : int;
   stale_reads : int;
   overruns : int;
+  recovery : recovery_outcome option;
+      (** present when {!evaluate} was given a recovery policy: the
+          same seeded scenario re-run with the policy on, compared
+          against the baseline fields of this record *)
 }
 
 type summary = {
@@ -52,6 +91,7 @@ val evaluate :
   ?strategy:Aaa.Adequation.strategy ->
   ?replicas:(string * string) list ->
   ?pool:Explore.Pool.t ->
+  ?recovery:Exec.Recovery.policy ->
   design:Lifecycle.Design.t ->
   architecture:Aaa.Architecture.t ->
   durations:Aaa.Durations.t ->
@@ -65,6 +105,18 @@ val evaluate :
     identical to the sequential path, in scenario order.  Raises
     {!Aaa.Adequation.Infeasible} only for the {e nominal} mapping —
     per-scenario infeasibility is recorded, not raised.  Raises
-    [Invalid_argument] on an empty scenario list. *)
+    [Invalid_argument] on an empty scenario list.
+
+    With [recovery], each scenario is additionally re-run with the
+    policy enabled (same seed): the policy's [failover] table is
+    completed with the executive generated from the scenario's
+    degraded re-adequation schedule, so a confirmed single-operator
+    fail-stop mode-switches mid-run.  When a switch happens inside the
+    co-simulation horizon, the fault is also co-simulated twice through
+    {!Translator.Cosim.attach_recovery_delay_graph} — recovered
+    (switching to the failover delay graph) and frozen (no recovery,
+    plant open-loop from the failure on) — giving the
+    recovery-vs-no-recovery control costs and, when the design has a
+    [phase_cost], the nominal / transient / degraded split. *)
 
 val pp : Format.formatter -> summary -> unit

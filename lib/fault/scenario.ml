@@ -64,6 +64,7 @@ let string_coord s =
 let tag_loss = 1
 let tag_burst_state = 2
 let tag_burst_overrun = 3
+let tag_retry = 4
 
 let slot_coords (c : Aaa.Schedule.comm_slot) =
   [
@@ -173,6 +174,18 @@ let injection t ~architecture =
           && u01 ~seed:t.seed (tag_loss :: index :: iteration :: slot_coords slot) < prob)
         losses
     in
+    let retry_lost ~attempt ~iteration ~slot =
+      (* each retry attempt draws a fresh coordinate so the retry
+         stream is independent of the original loss decision *)
+      let medium_name = Arch.medium_name architecture slot.Aaa.Schedule.cm_medium in
+      List.exists
+        (fun (index, medium, prob) ->
+          (match medium with None -> true | Some m -> m = medium_name)
+          && u01 ~seed:t.seed
+               (tag_retry :: index :: attempt :: iteration :: slot_coords slot)
+             < prob)
+        losses
+    in
     let overrun ~iteration ~op =
       List.fold_left
         (fun acc (index, in_burst, overrun_prob, factor) ->
@@ -187,7 +200,7 @@ let injection t ~architecture =
               else None)
         None bursts
     in
-    { Exec.Injection.operator_failed; medium_down; transfer_lost; overrun }
+    { Exec.Injection.operator_failed; medium_down; transfer_lost; retry_lost; overrun }
   end
 
 let single_processor_failures ?(at = 0.) ~seed architecture =

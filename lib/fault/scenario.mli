@@ -43,9 +43,12 @@ val nominal : seed:int -> t
 
 val injection : t -> architecture:Aaa.Architecture.t -> Exec.Injection.t
 (** Compiles the scenario for one architecture (needed to resolve
-    medium names on transfer slots).  Raises [Invalid_argument] when
-    an event names an operator or medium the architecture does not
-    have. *)
+    medium names on transfer slots).  [Message_loss] events also drive
+    the injection's [retry_lost]: each retransmission attempt draws
+    from an independent hash stream (same loss probability), so
+    enabling recovery never perturbs the original loss decisions.
+    Raises [Invalid_argument] when an event names an operator or
+    medium the architecture does not have. *)
 
 val failed_operators : t -> string list
 (** Operators fail-stopped by the scenario, in event order (the

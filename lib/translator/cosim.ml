@@ -16,6 +16,52 @@ let attach_delay_graph ?mode ?comm_jitter_frac ?condition_feed ~graph ~schedule 
     dg.Delay_graph.completions;
   dg
 
+let attach_recovery_delay_graph ?mode ?comm_jitter_frac ?condition_feed ~graph ~schedule
+    ?failover ~binding ~fail_time ~switch_time ~failed_operator () =
+  let module Sched = Aaa.Schedule in
+  let module Arch = Aaa.Architecture in
+  (* operations hosted by the failed operator stop producing at the
+     failure; everything else keeps the nominal cadence until the
+     mode switch *)
+  let dead_ops =
+    match Arch.find_operator schedule.Sched.architecture failed_operator with
+    | Some oid -> List.map (fun s -> s.Sched.cs_op) (Sched.on_operator schedule oid)
+    | None -> []
+  in
+  let gate ~from_t ~until_t tap block =
+    if until_t > from_t then begin
+      let w = G.add graph (Dataflow.Eventlib.event_window ~from_t ~until_t ()) in
+      G.connect_event graph ~src:tap ~dst:(w, 0);
+      G.connect_event graph ~src:(w, 0) ~dst:(block, 0)
+    end
+  in
+  let attach_gated ~from_t ~cutoff_of dg =
+    List.iter
+      (fun (op, tap) ->
+        let block = Scicos_to_syndex.block_of_op binding op in
+        let blk = G.block graph block in
+        if blk.B.event_inputs > 0 then gate ~from_t ~until_t:(cutoff_of op) tap block)
+      dg.Delay_graph.completions
+  in
+  let nominal =
+    Delay_graph.build ?mode ?comm_jitter_frac ?condition_feed ~graph ~schedule ()
+  in
+  attach_gated ~from_t:0.
+    ~cutoff_of:(fun op -> if List.mem op dead_ops then fail_time else switch_time)
+    nominal;
+  let failover_dg =
+    Option.map
+      (fun failover_schedule ->
+        let dg =
+          Delay_graph.build ?mode ?comm_jitter_frac ?condition_feed ~graph
+            ~schedule:failover_schedule ()
+        in
+        attach_gated ~from_t:switch_time ~cutoff_of:(fun _ -> Float.infinity) dg;
+        dg)
+      failover
+  in
+  (nominal, failover_dg)
+
 let measured_instants engine ~block =
   Array.of_list (Sim.Engine.activations engine ~block)
 

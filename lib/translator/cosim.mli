@@ -31,6 +31,32 @@ val attach_delay_graph :
     reference sources, are skipped).  The result's taps remain
     available for probing. *)
 
+val attach_recovery_delay_graph :
+  ?mode:Delay_graph.mode ->
+  ?comm_jitter_frac:float ->
+  ?condition_feed:(string -> Dataflow.Graph.block_id * int) ->
+  graph:Dataflow.Graph.t ->
+  schedule:Aaa.Schedule.t ->
+  ?failover:Aaa.Schedule.t ->
+  binding:Scicos_to_syndex.binding ->
+  fail_time:float ->
+  switch_time:float ->
+  failed_operator:string ->
+  unit ->
+  Delay_graph.t * Delay_graph.t option
+(** Like {!attach_delay_graph}, but models a fail-stop of
+    [failed_operator] at [fail_time] followed by an online mode switch
+    to the [failover] schedule at [switch_time]: each completion tap
+    reaches its block through an {!Dataflow.Eventlib.event_window}
+    gate.  Nominal taps of operations hosted by the failed operator
+    are gated to [\[0, fail_time)], the others to [\[0, switch_time)];
+    the failover schedule's taps (when given) are gated to
+    [\[switch_time, ∞)].  Sample-holds whose activations stop simply
+    freeze — the plant runs open-loop over the gap, which is exactly
+    the transient the recovery comparison measures.  Pass
+    [switch_time = infinity] and no [failover] for the no-recovery
+    counterfactual of the same failure. *)
+
 val measured_instants : Sim.Engine.t -> block:Dataflow.Graph.block_id -> float array
 (** Activation instants of one block recorded during a simulation —
     the empirical [I_j(k)] / [O_j(k)] of paper eqs. (1)–(2). *)

@@ -1,0 +1,88 @@
+module Sched = Aaa.Schedule
+module Arch = Aaa.Architecture
+module Recovery = Exec.Recovery
+
+let artifact = "recovery"
+let eps = 1e-9
+
+let check (p : Recovery.policy) (sched : Sched.t) =
+  let arch = sched.Sched.architecture in
+  let period = Aaa.Algorithm.period sched.Sched.algorithm in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (* REC001: the policy record itself *)
+  if
+    p.Recovery.max_retries < 0
+    || p.Recovery.retry_budget < 0
+    || p.Recovery.backoff_base < 0.
+    || p.Recovery.backoff_factor < 1.
+    || p.Recovery.heartbeat_timeout < 0.
+    || p.Recovery.heartbeat_k < 1
+    || p.Recovery.blackout < 0.
+  then
+    emit
+      (Diag.error ~rule:"REC001" ~artifact ~location:"policy"
+         "recovery policy has malformed parameters (negative count, time or \
+          budget, or backoff factor below 1)"
+         ~hint:"construct policies with Exec.Recovery.make");
+  (* REC002: per medium, the worst retransmission load must still fit
+     the period — otherwise recovery itself causes overruns *)
+  if Recovery.retransmission_enabled p && p.Recovery.max_retries >= 1 then
+    List.iter
+      (fun medium ->
+        let own = Sched.on_medium sched medium in
+        if own <> [] then begin
+          let busy = List.fold_left (fun acc c -> acc +. c.Sched.cm_duration) 0. own in
+          let d_max =
+            List.fold_left (fun acc c -> Float.max acc c.Sched.cm_duration) 0. own
+          in
+          let per_attempt =
+            Recovery.backoff_delay p ~attempt:p.Recovery.max_retries +. d_max
+          in
+          let worst = busy +. (float_of_int p.Recovery.retry_budget *. per_attempt) in
+          if worst > period +. eps then
+            emit
+              (Diag.warning ~rule:"REC002" ~artifact
+                 ~location:(Arch.medium_name arch medium)
+                 (Printf.sprintf
+                    "retry budget can stretch medium %S to %.6g s of traffic in a \
+                     %.6g s period"
+                    (Arch.medium_name arch medium) worst period)
+                 ~hint:"lower retry_budget / max_retries or shrink the backoff")
+        end)
+      (Arch.media arch);
+  (* REC003: the heartbeat timeout must cover the worst in-iteration
+     activity of any operator, or a live-but-busy operator can be
+     declared dead *)
+  if Recovery.supervisor_enabled p && p.Recovery.heartbeat_timeout > 0. then begin
+    let latest_activity =
+      List.fold_left
+        (fun acc (s : Sched.comp_slot) -> Float.max acc (s.cs_start +. s.cs_duration))
+        0. sched.Sched.comp
+    in
+    if p.Recovery.heartbeat_timeout < latest_activity -. eps then
+      emit
+        (Diag.warning ~rule:"REC003" ~artifact ~location:"heartbeat"
+           (Printf.sprintf
+              "heartbeat timeout %.6g s is below the schedule's latest planned \
+               activity %.6g s after a release: a busy operator can be declared dead"
+              p.Recovery.heartbeat_timeout latest_activity)
+           ~hint:"raise heartbeat_timeout above the worst in-iteration completion")
+  end;
+  (* REC004: a supervisor that confirms a fail-stop it cannot switch
+     away from only buys detection, not recovery *)
+  if Recovery.supervisor_enabled p then
+    List.iter
+      (fun operator ->
+        let name = Arch.operator_name arch operator in
+        if not (List.mem_assoc name p.Recovery.failover) then
+          emit
+            (Diag.warning ~rule:"REC004" ~artifact ~location:name
+               (Printf.sprintf
+                  "supervisor enabled but no failover executive covers operator %S"
+                  name)
+               ~hint:
+                 "generate one from Fault.Degrade.failover_table via \
+                  failover_executives"))
+      (Arch.operators arch);
+  List.rev !diags

@@ -1,0 +1,20 @@
+(** Design rules for online recovery policies (REC001–REC004).
+
+    A {!Exec.Recovery.policy} is checked {e against the schedule it
+    will supervise}: the rules hold the policy's retry and heartbeat
+    parameters to the schedule's timing so that recovery configured at
+    design time cannot silently break the period or misfire online. *)
+
+val check : Exec.Recovery.policy -> Aaa.Schedule.t -> Diag.t list
+(** - [REC001] (error): malformed policy parameters (negative counts,
+      times or budgets, backoff factor below 1) — normally unreachable
+      when the policy comes from {!Exec.Recovery.make};
+    - [REC002] (warning): on some medium, planned traffic plus the
+      full retry budget at worst-case backoff and transfer duration
+      exceeds the period — recovery can itself cause overruns;
+    - [REC003] (warning): the heartbeat timeout is shorter than the
+      schedule's latest planned in-iteration completion — a live but
+      busy operator can be declared dead (false-positive fail-stop);
+    - [REC004] (warning): the heartbeat supervisor is enabled but some
+      operator has no failover executive — its fail-stop would be
+      confirmed with nowhere to switch. *)

@@ -50,6 +50,13 @@ let all =
     r "TEMP001" Diag.Error "temporal" "non-finite, negative or inconsistent temporal model";
     r "TEMP002" Diag.Warning "temporal" "latency exceeds the period";
     r "TEMP003" Diag.Error "temporal" "actuation scheduled before a sensor it depends on";
+    (* recovery policies *)
+    r "REC001" Diag.Error "recovery" "recovery policy parameters malformed";
+    r "REC002" Diag.Warning "recovery"
+      "retry budget's worst-case retransmission time exceeds the period";
+    r "REC003" Diag.Warning "recovery"
+      "heartbeat timeout below the schedule's worst in-iteration completion";
+    r "REC004" Diag.Warning "recovery" "supervisor without a failover executive for an operator";
     (* generated executive / C *)
     r "CGEN001" Diag.Error "cgen" "generated C uses an undeclared buffer";
     r "CGEN002" Diag.Error "cgen" "send/receive set does not match the schedule's transfers";

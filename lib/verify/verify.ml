@@ -5,6 +5,7 @@ module Algo_rules = Algo_rules
 module Sched_rules = Sched_rules
 module Temporal_rules = Temporal_rules
 module Cgen_rules = Cgen_rules
+module Recovery_rules = Recovery_rules
 
 let default_durations ~algorithm ~architecture =
   let durations = Aaa.Durations.create () in
@@ -24,7 +25,7 @@ let default_durations ~algorithm ~architecture =
     ops;
   durations
 
-let run_all ?architecture ?durations ?strategy ?pins ?(failover = true)
+let run_all ?architecture ?durations ?strategy ?pins ?(failover = true) ?recovery
     (design : Lifecycle.Design.t) =
   let architecture =
     match architecture with Some a -> a | None -> Aaa.Architecture.single ()
@@ -88,6 +89,9 @@ let run_all ?architecture ?durations ?strategy ?pins ?(failover = true)
                   @ (if failover then
                        Sched_rules.failover_coverage ?strategy ~durations sched
                      else [])
+                  @ (match recovery with
+                    | Some policy -> Recovery_rules.check policy sched
+                    | None -> [])
                   @ Temporal_rules.check ~algorithm impl.Lifecycle.Methodology.static
                   @ Cgen_rules.check impl.Lifecycle.Methodology.executive
             end

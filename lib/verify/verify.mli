@@ -24,6 +24,7 @@ module Algo_rules = Algo_rules
 module Sched_rules = Sched_rules
 module Temporal_rules = Temporal_rules
 module Cgen_rules = Cgen_rules
+module Recovery_rules = Recovery_rules
 
 val run_all :
   ?architecture:Aaa.Architecture.t ->
@@ -31,6 +32,7 @@ val run_all :
   ?strategy:Aaa.Adequation.strategy ->
   ?pins:(string * string) list ->
   ?failover:bool ->
+  ?recovery:Exec.Recovery.policy ->
   Lifecycle.Design.t ->
   Diag.t list
 (** All passes over one design, in lifecycle order.
@@ -41,6 +43,8 @@ val run_all :
     comfortably fits the period, so structural findings are not
     drowned by capacity ones); [failover] (default [true]) controls
     the SCHED010 coverage analysis on multi-operator architectures.
+    With [recovery], the policy is checked against the adequation
+    schedule ({!Recovery_rules}, REC001–REC004).
 
     Never raises: failures of the toolchain itself (diagram build,
     extraction, adequation) are reported as diagnostics — with their
