@@ -381,6 +381,93 @@ let bench_explore_seq = explore_bench "explore_seq" explore_pool_seq
 let bench_explore_par = explore_bench "explore_par" explore_pool_par
 
 (* ------------------------------------------------------------------ *)
+(* simulation hot-loop micro-benches: the engine's two inner loops in
+   isolation (event delivery and continuous integration), re-run on a
+   prebuilt engine via reset.  CI tracks these against
+   BENCH_BASELINE.json (scripts/compare_bench.sh). *)
+
+let hot_event_engine =
+  (* event-dense: two incommensurate clocks, a synchronization point, a
+     divider and a discrete PID loop sampled by the fast clock — no
+     continuous state, so the run is pure event-machinery. *)
+  let module G = Dataflow.Graph in
+  let module C = Dataflow.Clib in
+  let module E = Dataflow.Eventlib in
+  let g = G.create () in
+  let clock_fast = G.add g (E.clock ~period:0.01 ()) in
+  let clock_slow = G.add g (E.clock ~period:0.013 ()) in
+  let sync = G.add g (E.synchronization ~inputs:2 ()) in
+  let div3 = G.add g (E.divider ~factor:3 ()) in
+  let counter = G.add g (E.event_counter ()) in
+  let latch = G.add g (E.event_latch_time ()) in
+  let reference = G.add g (C.constant [| 1. |]) in
+  let wave = G.add g (C.sine_source ~freq_hz:0.5 ()) in
+  let sh_y = G.add g (C.sample_hold 1) in
+  let pid =
+    G.add g
+      (C.pid
+         (Control.Pid.create ~gains:{ Control.Pid.kp = 2.; ki = 1.; kd = 0. } ~ts:0.01 ()))
+  in
+  let sh_u = G.add g (C.sample_hold 1) in
+  let delay = G.add g (C.unit_delay [| 0. |]) in
+  G.connect_data g ~src:(wave, 0) ~dst:(sh_y, 0);
+  G.connect_data g ~src:(reference, 0) ~dst:(pid, 0);
+  G.connect_data g ~src:(sh_y, 0) ~dst:(pid, 1);
+  G.connect_data g ~src:(pid, 0) ~dst:(sh_u, 0);
+  G.connect_data g ~src:(sh_u, 0) ~dst:(delay, 0);
+  G.connect_event g ~src:(clock_fast, 0) ~dst:(sync, 0);
+  G.connect_event g ~src:(clock_slow, 0) ~dst:(sync, 1);
+  G.connect_event g ~src:(sync, 0) ~dst:(div3, 0);
+  G.connect_event g ~src:(div3, 0) ~dst:(counter, 0);
+  G.connect_event g ~src:(sync, 0) ~dst:(latch, 0);
+  List.iter (fun b -> G.connect_event g ~src:(clock_fast, 0) ~dst:(b, 0)) [ sh_y; pid; sh_u ];
+  G.connect_event g ~src:(clock_slow, 0) ~dst:(delay, 0);
+  let e = Sim.Engine.create g in
+  Sim.Engine.add_probe e ~name:"u" ~block:sh_u ~port:0;
+  Sim.Engine.add_probe e ~name:"count" ~block:counter ~port:0;
+  e
+
+let bench_sim_hot_loop_events =
+  Test.make ~name:"sim_hot_loop_events"
+    (Staged.stage (fun () ->
+         Sim.Engine.reset hot_event_engine;
+         Sim.Engine.run ~t_end:10. hot_event_engine))
+
+let hot_ode_engine =
+  (* ODE-dense: a closed PID loop on a 2-state DC motor under RKF45 —
+     the run is dominated by right-hand-side evaluations. *)
+  let module G = Dataflow.Graph in
+  let module C = Dataflow.Clib in
+  let module E = Dataflow.Eventlib in
+  let plant = Control.Plants.dc_motor Control.Plants.default_dc_motor in
+  let ts = 0.05 in
+  let g = G.create () in
+  let p = G.add g (C.lti_continuous ~x0:[| 0.; 0. |] plant) in
+  let r = G.add g (C.constant [| 1. |]) in
+  let sh = G.add g (C.sample_hold 1) in
+  let pid =
+    G.add g
+      (C.pid (Control.Pid.create ~gains:{ Control.Pid.kp = 60.; ki = 80.; kd = 0. } ~ts ()))
+  in
+  let hold = G.add g (C.sample_hold 1) in
+  let clock = G.add g (E.clock ~period:ts ()) in
+  G.connect_data g ~src:(p, 0) ~dst:(sh, 0);
+  G.connect_data g ~src:(r, 0) ~dst:(pid, 0);
+  G.connect_data g ~src:(sh, 0) ~dst:(pid, 1);
+  G.connect_data g ~src:(pid, 0) ~dst:(hold, 0);
+  G.connect_data g ~src:(hold, 0) ~dst:(p, 0);
+  List.iter (fun b -> G.connect_event g ~src:(clock, 0) ~dst:(b, 0)) [ sh; pid; hold ];
+  let e = Sim.Engine.create g in
+  Sim.Engine.add_probe e ~name:"y" ~block:p ~port:0;
+  e
+
+let bench_sim_hot_loop_ode =
+  Test.make ~name:"sim_hot_loop_ode"
+    (Staged.stage (fun () ->
+         Sim.Engine.reset hot_ode_engine;
+         Sim.Engine.run ~t_end:5. hot_ode_engine))
+
+(* ------------------------------------------------------------------ *)
 
 let tests =
   [
@@ -409,17 +496,36 @@ let tests =
     bench_ablation_delay_jittered;
     bench_explore_seq;
     bench_explore_par;
+    bench_sim_hot_loop_events;
+    bench_sim_hot_loop_ode;
   ]
 
 (* --json FILE: also dump [{"name": ..., "time_ns": ...}, ...] so CI
-   and scripts can track the numbers without scraping the table *)
-let json_path =
+   and scripts can track the numbers without scraping the table.
+   --only SUBSTRING: run only the benches whose name contains
+   SUBSTRING (e.g. --only sim_hot_loop for the CI regression gate). *)
+let find_flag flag =
   let rec find = function
-    | "--json" :: path :: _ -> Some path
+    | f :: value :: _ when f = flag -> Some value
     | _ :: rest -> find rest
     | [] -> None
   in
   find (Array.to_list Sys.argv)
+
+let json_path = find_flag "--json"
+
+let tests =
+  match find_flag "--only" with
+  | None -> tests
+  | Some fragment ->
+      let contains name =
+        let nh = String.length name and nn = String.length fragment in
+        let rec go i = i + nn <= nh && (String.sub name i nn = fragment || go (i + 1)) in
+        nn = 0 || go 0
+      in
+      List.filter
+        (fun t -> contains (Test.Elt.name (List.hd (Test.elements t))))
+        tests
 
 let dump_json results =
   match json_path with

@@ -3,7 +3,11 @@ type action =
   | Self of { port : int; delay : float }
   | Set_cstate of float array
 
-type context = { time : float; inputs : float array array; cstate : float array }
+type context = {
+  mutable time : float;
+  mutable inputs : float array array;
+  mutable cstate : float array;
+}
 
 type t = {
   name : string;

@@ -32,10 +32,25 @@ type action =
           one integration sub-step would be missed. *)
 
 type context = {
-  time : float;  (** current simulation time *)
-  inputs : float array array;  (** one vector per regular input port *)
-  cstate : float array;  (** this block's continuous state (may be [[||]]) *)
+  mutable time : float;  (** current simulation time *)
+  mutable inputs : float array array;  (** one vector per regular input port *)
+  mutable cstate : float array;  (** this block's continuous state (may be [[||]]) *)
 }
+(** The fields are mutable so the simulation engine can reuse one
+    context record (and its [inputs]/[cstate] arrays) per block across
+    calls instead of allocating in its inner loop.  Consequences for
+    block authors:
+    - a callback must read what it needs {e during} the call; retaining
+      [ctx], [ctx.inputs] or [ctx.cstate] for later use is invalid
+      (their contents are overwritten before the next call);
+    - [outputs] must be a pure function of [ctx], the block's internal
+      state and its captured constants — the engine only re-evaluates a
+      block when one of those may have changed (dirty-set propagation),
+      so side effects or hidden call-count dependence in [outputs] are
+      unsupported;
+    - an [outputs] callback that depends on [ctx.time] must declare
+      [always_active], otherwise the engine may serve a stale value
+      recorded at an earlier instant. *)
 
 type t = {
   name : string;

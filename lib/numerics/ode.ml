@@ -130,6 +130,196 @@ let integrate_rkf45 ~rtol ~atol ?max_step ?observer f ~t0 ~t1 x0 =
   done;
   !x
 
+(* ------------------------------------------------------------------ *)
+(* In-place integration: same tableaus and the same floating-point
+   evaluation order as the allocating steppers above (bit-for-bit
+   identical trajectories), but every stage writes into a preallocated
+   workspace so the steady state allocates nothing. *)
+
+type rhs_inplace = float -> float array -> dx:float array -> unit
+
+type workspace = {
+  dim : int;
+  k1 : float array;
+  k2 : float array;
+  k3 : float array;
+  k4 : float array;
+  k5 : float array;
+  k6 : float array;
+  xtmp : float array;
+  x4 : float array;
+  x5 : float array;
+}
+
+let workspace dim =
+  if dim < 0 then invalid_arg "Ode.workspace: negative dimension";
+  let mk () = Array.make dim 0. in
+  {
+    dim;
+    k1 = mk ();
+    k2 = mk ();
+    k3 = mk ();
+    k4 = mk ();
+    k5 = mk ();
+    k6 = mk ();
+    xtmp = mk ();
+    x4 = mk ();
+    x5 = mk ();
+  }
+
+let workspace_dim ws = ws.dim
+
+let check_dim name ws x =
+  if Array.length x <> ws.dim then
+    invalid_arg (Printf.sprintf "Ode.%s: state dimension %d, workspace dimension %d" name (Array.length x) ws.dim)
+
+(* one step of each method, advancing [x] in place; float operations
+   associate exactly as in step_euler/step_rk2/step_rk4/rkf45_step *)
+
+let step_euler_ip ws f t x h =
+  f t x ~dx:ws.k1;
+  for i = 0 to ws.dim - 1 do
+    x.(i) <- (h *. ws.k1.(i)) +. x.(i)
+  done
+
+let step_rk2_ip ws f t x h =
+  f t x ~dx:ws.k1;
+  for i = 0 to ws.dim - 1 do
+    ws.xtmp.(i) <- (h *. ws.k1.(i)) +. x.(i)
+  done;
+  f (t +. h) ws.xtmp ~dx:ws.k2;
+  for i = 0 to ws.dim - 1 do
+    x.(i) <- ((h /. 2.) *. (ws.k1.(i) +. ws.k2.(i))) +. x.(i)
+  done
+
+let step_rk4_ip ws f t x h =
+  f t x ~dx:ws.k1;
+  for i = 0 to ws.dim - 1 do
+    ws.xtmp.(i) <- ((h /. 2.) *. ws.k1.(i)) +. x.(i)
+  done;
+  f (t +. (h /. 2.)) ws.xtmp ~dx:ws.k2;
+  for i = 0 to ws.dim - 1 do
+    ws.xtmp.(i) <- ((h /. 2.) *. ws.k2.(i)) +. x.(i)
+  done;
+  f (t +. (h /. 2.)) ws.xtmp ~dx:ws.k3;
+  for i = 0 to ws.dim - 1 do
+    ws.xtmp.(i) <- (h *. ws.k3.(i)) +. x.(i)
+  done;
+  f (t +. h) ws.xtmp ~dx:ws.k4;
+  for i = 0 to ws.dim - 1 do
+    let sum = ws.k1.(i) +. ((2. *. ws.k2.(i)) +. ((2. *. ws.k3.(i)) +. ws.k4.(i))) in
+    x.(i) <- ((h /. 6.) *. sum) +. x.(i)
+  done
+
+let rkf45_step_ip ws f t x h =
+  let { k1; k2; k3; k4; k5; k6; xtmp; x4; x5; dim } = ws in
+  f t x ~dx:k1;
+  for i = 0 to dim - 1 do
+    xtmp.(i) <- ((h /. 4.) *. k1.(i)) +. x.(i)
+  done;
+  f (t +. (h /. 4.)) xtmp ~dx:k2;
+  for i = 0 to dim - 1 do
+    xtmp.(i) <- x.(i) +. (h *. (((3. /. 32.) *. k1.(i)) +. ((9. /. 32.) *. k2.(i))))
+  done;
+  f (t +. (3. *. h /. 8.)) xtmp ~dx:k3;
+  for i = 0 to dim - 1 do
+    xtmp.(i) <-
+      x.(i)
+      +. (h
+          *. (((1932. /. 2197.) *. k1.(i))
+              +. (((-7200. /. 2197.) *. k2.(i)) +. ((7296. /. 2197.) *. k3.(i)))))
+  done;
+  f (t +. (12. *. h /. 13.)) xtmp ~dx:k4;
+  for i = 0 to dim - 1 do
+    xtmp.(i) <-
+      x.(i)
+      +. (h
+          *. (((439. /. 216.) *. k1.(i))
+              +. ((-8. *. k2.(i))
+                  +. (((3680. /. 513.) *. k3.(i)) +. ((-845. /. 4104.) *. k4.(i))))))
+  done;
+  f (t +. h) xtmp ~dx:k5;
+  for i = 0 to dim - 1 do
+    xtmp.(i) <-
+      x.(i)
+      +. (h
+          *. (((-8. /. 27.) *. k1.(i))
+              +. ((2. *. k2.(i))
+                  +. (((-3544. /. 2565.) *. k3.(i))
+                      +. (((1859. /. 4104.) *. k4.(i)) +. ((-11. /. 40.) *. k5.(i)))))))
+  done;
+  f (t +. (h /. 2.)) xtmp ~dx:k6;
+  for i = 0 to dim - 1 do
+    x4.(i) <-
+      x.(i)
+      +. (h
+          *. (((25. /. 216.) *. k1.(i))
+              +. (((1408. /. 2565.) *. k3.(i))
+                  +. (((2197. /. 4104.) *. k4.(i)) +. ((-1. /. 5.) *. k5.(i))))))
+  done;
+  for i = 0 to dim - 1 do
+    x5.(i) <-
+      x.(i)
+      +. (h
+          *. (((16. /. 135.) *. k1.(i))
+              +. (((6656. /. 12825.) *. k3.(i))
+                  +. (((28561. /. 56430.) *. k4.(i))
+                      +. (((-9. /. 50.) *. k5.(i)) +. ((2. /. 55.) *. k6.(i)))))))
+  done
+
+let integrate_fixed_ip step ws ?observer f ~t0 ~t1 x ~h =
+  let t = ref t0 in
+  (match observer with Some g -> g t0 x | None -> ());
+  while t1 -. !t > 1e-15 *. (1. +. Float.abs t1) do
+    let h = Float.min h (t1 -. !t) in
+    step ws f !t x h;
+    t := !t +. h;
+    (match observer with Some g -> g !t x | None -> ())
+  done
+
+let integrate_rkf45_ip ws ~rtol ~atol ?max_step ?observer f ~t0 ~t1 x =
+  let t = ref t0 in
+  let span = t1 -. t0 in
+  let hmax = match max_step with Some h -> h | None -> span in
+  let h = ref (Float.min hmax (span /. 10.)) in
+  let hmin = 1e-12 *. (1. +. Float.abs t1) in
+  (match observer with Some g -> g t0 x | None -> ());
+  while t1 -. !t > 1e-15 *. (1. +. Float.abs t1) do
+    let hcur = Float.min !h (t1 -. !t) in
+    rkf45_step_ip ws f !t x hcur;
+    let err =
+      let e = ref 0. in
+      for i = 0 to ws.dim - 1 do
+        let a = ws.x4.(i) in
+        let scale = atol +. (rtol *. Float.max (Float.abs a) (Float.abs ws.x5.(i))) in
+        e := Float.max !e (Float.abs (a -. ws.x5.(i)) /. scale)
+      done;
+      !e
+    in
+    if err <= 1. || hcur <= hmin then begin
+      t := !t +. hcur;
+      Array.blit ws.x5 0 x 0 ws.dim;
+      (match observer with Some g -> g !t x | None -> ())
+    end;
+    let factor =
+      if err = 0. then 4. else Float.min 4. (Float.max 0.1 (0.9 *. (err ** (-0.2))))
+    in
+    h := Float.min hmax (Float.max hmin (hcur *. factor))
+  done
+
+let integrate_inplace ?(meth = default_method) ?max_step ?observer ~ws f ~t0 ~t1 x =
+  check_dim "integrate_inplace" ws x;
+  if t1 < t0 then invalid_arg "Ode.integrate_inplace: t1 < t0";
+  if t1 = t0 then (match observer with Some g -> g t0 x | None -> ())
+  else
+    let default_h = match max_step with Some h -> h | None -> (t1 -. t0) /. 10. in
+    match meth with
+    | Euler -> integrate_fixed_ip step_euler_ip ws ?observer f ~t0 ~t1 x ~h:default_h
+    | Rk2 -> integrate_fixed_ip step_rk2_ip ws ?observer f ~t0 ~t1 x ~h:default_h
+    | Rk4 -> integrate_fixed_ip step_rk4_ip ws ?observer f ~t0 ~t1 x ~h:default_h
+    | Rkf45 { rtol; atol } ->
+        integrate_rkf45_ip ws ~rtol ~atol ?max_step ?observer f ~t0 ~t1 x
+
 let integrate ?(meth = default_method) ?max_step ?observer f ~t0 ~t1 x0 =
   if t1 < t0 then invalid_arg "Ode.integrate: t1 < t0";
   if t1 = t0 then begin

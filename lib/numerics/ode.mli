@@ -40,3 +40,42 @@ val integrate :
     [observer] is called after each accepted internal step (and on the
     initial state).  Requires [t1 >= t0]; [t1 = t0] returns a copy of
     [x0]. *)
+
+(** {2 Allocation-free variant}
+
+    The simulation engine's hot path calls the integrator between
+    every pair of event instants, so the entry points below avoid the
+    per-stage state-vector allocations of {!integrate}: all Runge–Kutta
+    stages write into a caller-supplied {!workspace} and the state is
+    advanced in place.  The arithmetic (tableaus, evaluation order,
+    step-size control) is {e identical} to {!integrate} — the two
+    produce bit-for-bit equal trajectories. *)
+
+type rhs_inplace = float -> float array -> dx:float array -> unit
+(** [f t x ~dx] writes [dx/dt] into [dx] (fully overwriting it).  The
+    callback must not retain [x] or [dx]. *)
+
+type workspace
+(** Preallocated stage buffers for one state dimension. *)
+
+val workspace : int -> workspace
+(** [workspace dim] allocates buffers for a [dim]-dimensional state. *)
+
+val workspace_dim : workspace -> int
+
+val integrate_inplace :
+  ?meth:method_ ->
+  ?max_step:float ->
+  ?observer:(float -> float array -> unit) ->
+  ws:workspace ->
+  rhs_inplace ->
+  t0:float ->
+  t1:float ->
+  float array ->
+  unit
+(** [integrate_inplace ~ws f ~t0 ~t1 x] advances [x] in place from
+    [t0] to [t1].  The [observer] receives the live state array — it
+    must copy what it wants to keep.  Raises [Invalid_argument] when
+    [t1 < t0] or when [x] does not match the workspace dimension.
+    Steady-state behaviour allocates nothing beyond what [f] itself
+    allocates. *)

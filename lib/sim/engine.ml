@@ -5,11 +5,37 @@ type delivery = { target : int; port : int }
 
 type probe_rec = { pr_block : int; pr_port : int; trace : Trace.t }
 
+(* The simulation is *compiled* at [create] time into flat runtime
+   tables so the two inner loops (event delivery and the ODE
+   right-hand side) run without graph lookups and without steady-state
+   allocation:
+
+   - wiring is resolved once into int arrays ([in_src_block] /
+     [in_src_port]) and precomputed delivery arrays ([listeners] /
+     [self_deliv]), replacing the per-call [G.data_source] /
+     [G.event_listeners] queries;
+   - every block gets one reusable {!B.context} whose [inputs] and
+     [cstate] arrays are refreshed in place before each callback;
+   - output re-evaluation is incremental: delivering an event marks the
+     target block (and its feedthrough closure) dirty, and only dirty
+     blocks are re-evaluated, in topological order — always-active
+     blocks stay fresh through the integration observers, and blocks
+     whose outputs can drift with continuous state or time without
+     being always-active ([drift_ids]) are re-marked at every instant;
+   - integration uses {!Numerics.Ode.integrate_inplace} with a
+     persistent workspace and scratch state vectors.
+
+   [debug = true] restores the seed semantics — a full output sweep at
+   every delivery, the allocating integrator and per-call output-shape
+   validation — and is the reference the golden-equivalence tests
+   compare against. *)
+
 type t = {
   graph : G.t;
   blocks : B.t array;
   meth : Numerics.Ode.method_;
   max_step : float option;
+  debug : bool;
   order : int array; (* output-evaluation order (feedthrough topo) *)
   priority : int array; (* static activation priority per block *)
   cs_offset : int array; (* continuous-state layout *)
@@ -18,8 +44,38 @@ type t = {
   cstate : float array;
   outputs : float array array array;
   queue : delivery Event_queue.t;
+  (* compiled wiring *)
+  in_src_block : int array array; (* per block, per input port *)
+  in_src_port : int array array;
+  listeners : delivery array array array; (* block, event-out port *)
+  self_deliv : delivery array array; (* block, event-in port *)
+  (* reusable per-block callback state *)
+  in_refs : float array array array; (* ctx.inputs backing stores *)
+  cs_buf : float array array; (* ctx.cstate backing stores *)
+  ctxs : B.context array;
+  (* incremental re-evaluation *)
+  dirty : bool array;
+  dirty_succs : int array array; (* feedthrough data successors *)
+  drift_ids : int array; (* re-marked dirty at every instant *)
+  mutable any_dirty : bool;
+  validated : bool array; (* output shapes checked once *)
+  (* integration scratch *)
+  active_ids : int array; (* always-active blocks, in eval order *)
+  deriv_ids : int array; (* blocks with continuous state, by id *)
+  surf_ids : int array; (* blocks with surfaces, by id *)
+  with_surfaces : bool;
+  ws : Numerics.Ode.workspace;
+  x_buf : float array; (* state vector handed to the integrator *)
+  xa_buf : float array; (* segment start state (surface marching) *)
+  xw_buf : float array; (* segment work state (surface marching) *)
+  surf_a : float array array; (* surface-value scratch (3 snapshots) *)
+  surf_b : float array array;
+  surf_m : float array array;
+  mutable rhs_ip : Numerics.Ode.rhs_inplace;
+  mutable obs_record : float -> float array -> unit;
   mutable time : float;
-  mutable probes : (string * probe_rec) list;
+  mutable probes : (string * probe_rec) list; (* newest first *)
+  mutable probe_arr : probe_rec array; (* frozen at start, registration order *)
   mutable log : (float * int * int) list; (* (time, block id, port), reversed *)
   mutable nsteps : int;
   mutable started : bool;
@@ -59,7 +115,9 @@ let activation_priorities graph n =
   done;
   priority
 
-let create ?(meth = Numerics.Ode.default_method) ?max_step graph =
+let empty_floats : float array = [||]
+
+let create ?(meth = Numerics.Ode.default_method) ?max_step ?(debug = false) graph =
   G.validate graph;
   let n = G.block_count graph in
   let blocks = Array.of_list (List.map (G.block graph) (G.block_ids graph)) in
@@ -76,12 +134,97 @@ let create ?(meth = Numerics.Ode.default_method) ?max_step graph =
   let outputs =
     Array.map (fun b -> Array.map (fun w -> Array.make w 0.) b.B.out_widths) blocks
   in
+  (* wiring tables: validate guarantees every input port is wired *)
+  let in_src_block =
+    Array.init n (fun id -> Array.make (Array.length blocks.(id).B.in_widths) 0)
+  in
+  let in_src_port =
+    Array.init n (fun id -> Array.make (Array.length blocks.(id).B.in_widths) 0)
+  in
+  Array.iteri
+    (fun id b ->
+      for p = 0 to Array.length b.B.in_widths - 1 do
+        match G.data_source graph (G.id_of_int graph id) p with
+        | Some (sb, sp) ->
+            in_src_block.(id).(p) <- (sb :> int);
+            in_src_port.(id).(p) <- sp
+        | None -> assert false
+      done)
+    blocks;
+  let listeners =
+    Array.init n (fun id ->
+        Array.init blocks.(id).B.event_outputs (fun p ->
+            Array.of_list
+              (List.map
+                 (fun ((db : G.block_id), dp) -> { target = (db :> int); port = dp })
+                 (G.event_listeners graph (G.id_of_int graph id) p))))
+  in
+  let self_deliv =
+    Array.init n (fun id ->
+        Array.init blocks.(id).B.event_inputs (fun p -> { target = id; port = p }))
+  in
+  let in_refs =
+    Array.init n (fun id ->
+        Array.make (Array.length blocks.(id).B.in_widths) empty_floats)
+  in
+  let cs_buf =
+    Array.init n (fun id -> if cs_len.(id) = 0 then empty_floats else Array.make cs_len.(id) 0.)
+  in
+  let ctxs =
+    Array.init n (fun id -> { B.time = 0.; inputs = in_refs.(id); cstate = cs_buf.(id) })
+  in
+  (* feedthrough data successors, for dirty propagation *)
+  let dirty_succs =
+    let seen = Array.make n (-1) in
+    Array.init n (fun sb ->
+        let acc = ref [] in
+        List.iter
+          (fun (((sb' : G.block_id), _), ((db : G.block_id), _)) ->
+            let sb' = (sb' :> int) and db = (db :> int) in
+            if sb' = sb && db <> sb && blocks.(db).B.feedthrough && seen.(db) <> sb
+            then begin
+              seen.(db) <- sb;
+              acc := db :: !acc
+            end)
+          (G.data_links graph);
+        Array.of_list !acc)
+  in
+  (* blocks whose stored outputs can go stale without any event: a
+     non-always-active block that either carries continuous state or is
+     feedthrough (its inputs may drift continuously).  The seed
+     semantics re-evaluated every block at every instant; these are the
+     ones for which that sweep could observe a change. *)
+  let drift_ids =
+    Array.of_list
+      (List.filter
+         (fun id ->
+           (not blocks.(id).B.always_active)
+           && (blocks.(id).B.feedthrough || cs_len.(id) > 0))
+         (List.init n Fun.id))
+  in
+  let active_ids =
+    Array.of_list
+      (List.filter (fun id -> blocks.(id).B.always_active) (Array.to_list order))
+  in
+  let deriv_ids =
+    Array.of_list (List.filter (fun id -> cs_len.(id) > 0) (List.init n Fun.id))
+  in
+  let surf_ids =
+    Array.of_list
+      (List.filter (fun id -> blocks.(id).B.surfaces > 0) (List.init n Fun.id))
+  in
+  let surf_scratch () =
+    Array.init n (fun id ->
+        if blocks.(id).B.surfaces = 0 then empty_floats
+        else Array.make blocks.(id).B.surfaces 0.)
+  in
   let engine =
     {
       graph;
       blocks;
       meth;
       max_step;
+      debug;
       order;
       priority;
       cs_offset;
@@ -90,8 +233,34 @@ let create ?(meth = Numerics.Ode.default_method) ?max_step graph =
       cstate = Array.make !total 0.;
       outputs;
       queue = Event_queue.create ();
+      in_src_block;
+      in_src_port;
+      listeners;
+      self_deliv;
+      in_refs;
+      cs_buf;
+      ctxs;
+      dirty = Array.make n false;
+      dirty_succs;
+      drift_ids;
+      any_dirty = false;
+      validated = Array.make n false;
+      active_ids;
+      deriv_ids;
+      surf_ids;
+      with_surfaces = Array.length surf_ids > 0;
+      ws = Numerics.Ode.workspace !total;
+      x_buf = Array.make !total 0.;
+      xa_buf = Array.make !total 0.;
+      xw_buf = Array.make !total 0.;
+      surf_a = surf_scratch ();
+      surf_b = surf_scratch ();
+      surf_m = surf_scratch ();
+      rhs_ip = (fun _ _ ~dx:_ -> ());
+      obs_record = (fun _ _ -> ());
       time = 0.;
       probes = [];
+      probe_arr = [||];
       log = [];
       nsteps = 0;
       started = false;
@@ -99,41 +268,104 @@ let create ?(meth = Numerics.Ode.default_method) ?max_step graph =
   in
   engine
 
-let slice_cstate e id = Array.sub e.cstate e.cs_offset.(id) e.cs_len.(id)
+(* ------------------------------------------------------------------ *)
+(* reusable callback contexts *)
 
-let gather_inputs e id =
-  let b = e.blocks.(id) in
-  Array.init (Array.length b.B.in_widths) (fun p ->
-      match G.data_source e.graph (G.id_of_int e.graph id) p with
-      | Some (sb, sp) -> e.outputs.((sb :> int)).(sp)
-      | None -> assert false (* validate guarantees wiring *))
+let refresh_inputs e id =
+  let refs = e.in_refs.(id) in
+  let sb = e.in_src_block.(id) and sp = e.in_src_port.(id) in
+  for p = 0 to Array.length refs - 1 do
+    refs.(p) <- e.outputs.(sb.(p)).(sp.(p))
+  done
+
+(* Prepares block [id]'s context for a callback at [time]: input
+   references refreshed, continuous-state slice copied in.  All
+   callbacks receive the same context record. *)
+let load_ctx e id time =
+  refresh_inputs e id;
+  let len = e.cs_len.(id) in
+  if len > 0 then Array.blit e.cstate e.cs_offset.(id) e.cs_buf.(id) 0 len;
+  let ctx = e.ctxs.(id) in
+  ctx.B.time <- time;
+  ctx
+
+(* ------------------------------------------------------------------ *)
+(* output evaluation: full sweep (debug / start) and dirty-set *)
 
 let eval_block e time id =
   let b = e.blocks.(id) in
-  let ctx =
-    { B.time; inputs = gather_inputs e id; cstate = slice_cstate e id }
-  in
+  let ctx = load_ctx e id time in
   let out = b.B.outputs ctx in
-  if Array.length out <> Array.length b.B.out_widths then
-    failwith (Printf.sprintf "Block %S returned wrong output port count" b.B.name);
-  Array.iteri
-    (fun p v ->
-      if Array.length v <> b.B.out_widths.(p) then
-        failwith (Printf.sprintf "Block %S output %d has wrong width" b.B.name p);
-      e.outputs.(id).(p) <- v)
-    out
+  let outs = e.outputs.(id) in
+  if e.debug || not e.validated.(id) then begin
+    if Array.length out <> Array.length b.B.out_widths then
+      failwith (Printf.sprintf "Block %S returned wrong output port count" b.B.name);
+    Array.iteri
+      (fun p v ->
+        if Array.length v <> b.B.out_widths.(p) then
+          failwith (Printf.sprintf "Block %S output %d has wrong width" b.B.name p))
+      out;
+    e.validated.(id) <- true
+  end;
+  for p = 0 to Array.length outs - 1 do
+    outs.(p) <- out.(p)
+  done
 
-let eval_outputs e time = Array.iter (fun id -> eval_block e time id) e.order
+let eval_outputs e time =
+  for i = 0 to Array.length e.order - 1 do
+    eval_block e time e.order.(i)
+  done;
+  Array.fill e.dirty 0 (Array.length e.dirty) false;
+  e.any_dirty <- false
+
+let rec mark_dirty e id =
+  if not e.dirty.(id) then begin
+    e.dirty.(id) <- true;
+    e.any_dirty <- true;
+    let succs = e.dirty_succs.(id) in
+    for i = 0 to Array.length succs - 1 do
+      mark_dirty e succs.(i)
+    done
+  end
+
+let mark_drift e =
+  let d = e.drift_ids in
+  for i = 0 to Array.length d - 1 do
+    mark_dirty e d.(i)
+  done
+
+(* Re-evaluates exactly the dirty blocks, in topological order (an
+   upstream dirty block is refreshed before a downstream one reads
+   it).  In debug mode this degenerates to the seed's full sweep. *)
+let refresh_dirty e time =
+  if e.debug then eval_outputs e time
+  else if e.any_dirty then begin
+    let order = e.order in
+    for i = 0 to Array.length order - 1 do
+      let id = order.(i) in
+      if e.dirty.(id) then begin
+        eval_block e time id;
+        e.dirty.(id) <- false
+      end
+    done;
+    e.any_dirty <- false
+  end
 
 let eval_always_active e time =
-  Array.iter
-    (fun id -> if e.blocks.(id).B.always_active then eval_block e time id)
-    e.order
+  let ids = e.active_ids in
+  for i = 0 to Array.length ids - 1 do
+    eval_block e time ids.(i)
+  done
 
 let record_probes e time =
-  List.iter
-    (fun (_, p) -> Trace.record p.trace time e.outputs.(p.pr_block).(p.pr_port))
-    e.probes
+  let ps = e.probe_arr in
+  for i = 0 to Array.length ps - 1 do
+    let p = ps.(i) in
+    Trace.record p.trace time e.outputs.(p.pr_block).(p.pr_port)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* event scheduling *)
 
 let schedule_actions e id time actions =
   List.iter
@@ -142,22 +374,23 @@ let schedule_actions e id time actions =
       | B.Emit { port; delay } ->
           if delay < 0. then
             failwith (Printf.sprintf "Block %S emitted a negative delay" e.blocks.(id).B.name);
-          List.iter
-            (fun ((db : G.block_id), dp) ->
-              let db = (db :> int) in
-              Event_queue.push e.queue ~time:(time +. delay) ~priority:e.priority.(db)
-                { target = db; port = dp })
-            (G.event_listeners e.graph (G.id_of_int e.graph id) port)
+          let ds = e.listeners.(id).(port) in
+          let t = time +. delay in
+          for i = 0 to Array.length ds - 1 do
+            let d = ds.(i) in
+            Event_queue.push e.queue ~time:t ~priority:e.priority.(d.target) d
+          done
       | B.Self { port; delay } ->
           if delay < 0. then
             failwith (Printf.sprintf "Block %S scheduled a negative self delay" e.blocks.(id).B.name);
           Event_queue.push e.queue ~time:(time +. delay) ~priority:e.priority.(id)
-            { target = id; port }
+            e.self_deliv.(id).(port)
       | B.Set_cstate x ->
           if Array.length x <> e.cs_len.(id) then
             failwith
               (Printf.sprintf "Block %S: Set_cstate dimension mismatch" e.blocks.(id).B.name);
-          Array.blit x 0 e.cstate e.cs_offset.(id) e.cs_len.(id))
+          Array.blit x 0 e.cstate e.cs_offset.(id) e.cs_len.(id);
+          mark_dirty e id)
     actions
 
 let prime e =
@@ -172,75 +405,97 @@ let add_probe e ~name ~block ~port =
   if port < 0 || port >= Array.length b.B.out_widths then
     invalid_arg (Printf.sprintf "Engine.add_probe: %S has no output port %d" b.B.name port);
   let trace = Trace.create ~width:b.B.out_widths.(port) in
-  e.probes <- e.probes @ [ (name, { pr_block = id; pr_port = port; trace }) ]
+  e.probes <- (name, { pr_block = id; pr_port = port; trace }) :: e.probes
 
 let time_eps t = 1e-9 *. (1. +. Float.abs t)
 
 (* Deliver every event pending at instant [t] (within float tolerance),
-   including zero-delay events emitted during the instant itself. *)
+   including zero-delay events emitted during the instant itself.
+   Only blocks whose outputs may have changed are re-evaluated. *)
 let process_instant e t =
+  mark_drift e;
+  let eps = time_eps t in
   let continue_ = ref true in
   while !continue_ do
-    match Event_queue.peek_time e.queue with
-    | Some tt when tt <= t +. time_eps t -> begin
-        match Event_queue.pop e.queue with
-        | None -> continue_ := false
-        | Some (_, { target; port }) ->
-            let b = e.blocks.(target) in
-            eval_outputs e t;
-            let ctx =
-              { B.time = t; inputs = gather_inputs e target; cstate = slice_cstate e target }
-            in
-            let handler =
-              match b.B.on_event with
-              | Some h -> h
-              | None ->
-                  failwith (Printf.sprintf "Block %S received an event but has no handler" b.B.name)
-            in
-            let actions = handler ctx ~port in
-            e.log <- (t, target, port) :: e.log;
-            e.nsteps <- e.nsteps + 1;
-            schedule_actions e target t actions
-      end
-    | Some _ | None -> continue_ := false
+    if Event_queue.next_time e.queue ~default:infinity <= t +. eps then begin
+      let { target; port } = Event_queue.pop_exn e.queue in
+      let b = e.blocks.(target) in
+      refresh_dirty e t;
+      let handler =
+        match b.B.on_event with
+        | Some h -> h
+        | None ->
+            failwith (Printf.sprintf "Block %S received an event but has no handler" b.B.name)
+      in
+      let ctx = load_ctx e target t in
+      let actions = handler ctx ~port in
+      e.log <- (t, target, port) :: e.log;
+      e.nsteps <- e.nsteps + 1;
+      mark_dirty e target;
+      schedule_actions e target t actions
+    end
+    else continue_ := false
   done;
-  eval_outputs e t;
+  refresh_dirty e t;
   record_probes e t
 
-let make_rhs e =
+(* ------------------------------------------------------------------ *)
+(* continuous integration *)
+
+(* allocating right-hand side, as in the seed engine (debug mode) *)
+let make_rhs_alloc e =
   fun tt x ->
     Array.blit x 0 e.cstate 0 e.total_cs;
     eval_always_active e tt;
     let dx = Array.make e.total_cs 0. in
-    Array.iteri
-      (fun id b ->
-        if e.cs_len.(id) > 0 then begin
-          let deriv = match b.B.derivatives with Some d -> d | None -> assert false in
-          let ctx =
-            { B.time = tt; inputs = gather_inputs e id; cstate = slice_cstate e id }
-          in
-          let d = deriv ctx in
-          Array.blit d 0 dx e.cs_offset.(id) e.cs_len.(id)
-        end)
-      e.blocks;
+    let ids = e.deriv_ids in
+    for i = 0 to Array.length ids - 1 do
+      let id = ids.(i) in
+      let b = e.blocks.(id) in
+      let deriv = match b.B.derivatives with Some d -> d | None -> assert false in
+      let ctx = load_ctx e id tt in
+      let d = deriv ctx in
+      Array.blit d 0 dx e.cs_offset.(id) e.cs_len.(id)
+    done;
     dx
 
-(* values of every declared surface at the engine's current state
-   (assumes [e.cstate] and [e.time] are current) *)
-let surface_values e time =
+(* persistent closures for the compiled path, installed once *)
+let install_hot_closures e =
+  e.rhs_ip <-
+    (fun tt x ~dx ->
+      Array.blit x 0 e.cstate 0 e.total_cs;
+      eval_always_active e tt;
+      let ids = e.deriv_ids in
+      for i = 0 to Array.length ids - 1 do
+        let id = ids.(i) in
+        let b = e.blocks.(id) in
+        let deriv = match b.B.derivatives with Some d -> d | None -> assert false in
+        let ctx = load_ctx e id tt in
+        let d = deriv ctx in
+        Array.blit d 0 dx e.cs_offset.(id) e.cs_len.(id)
+      done);
+  e.obs_record <-
+    (fun tt x ->
+      Array.blit x 0 e.cstate 0 e.total_cs;
+      eval_always_active e tt;
+      record_probes e tt)
+
+(* values of every declared surface at the engine's current state,
+   written into the caller's scratch snapshot (assumes [e.cstate] and
+   the target time are current) *)
+let surface_values e time ~into =
   eval_always_active e time;
-  Array.mapi
-    (fun id b ->
-      if b.B.surfaces = 0 then [||]
-      else begin
-        let crossings = match b.B.crossings with Some c -> c | None -> assert false in
-        let ctx = { B.time; inputs = gather_inputs e id; cstate = slice_cstate e id } in
-        let v = crossings ctx in
-        if Array.length v <> b.B.surfaces then
-          failwith (Printf.sprintf "Block %S returned wrong surface count" b.B.name);
-        v
-      end)
-    e.blocks
+  let ids = e.surf_ids in
+  for i = 0 to Array.length ids - 1 do
+    let id = ids.(i) in
+    let b = e.blocks.(id) in
+    let crossings = match b.B.crossings with Some c -> c | None -> assert false in
+    let ctx = load_ctx e id time in
+    let v = crossings ctx in
+    if Array.length v <> b.B.surfaces then
+      failwith (Printf.sprintf "Block %S returned wrong surface count" b.B.name);
+    Array.blit v 0 into.(id) 0 b.B.surfaces
+  done
 
 let sign v = if v > 0. then 1 else if v < 0. then -1 else 0
 
@@ -249,15 +504,17 @@ let sign v = if v > 0. then 1 else if v < 0. then -1 else 0
    resets its surface to zero is not re-triggered immediately. *)
 let surface_fired va vb = sign va <> 0 && sign vb <> sign va
 
-let crossed before after =
+let crossed e before after =
   let hit = ref false in
-  Array.iteri
-    (fun id vb ->
-      Array.iteri (fun s b -> if surface_fired b after.(id).(s) then hit := true) vb)
-    before;
+  let ids = e.surf_ids in
+  for i = 0 to Array.length ids - 1 do
+    let id = ids.(i) in
+    let vb = before.(id) and va = after.(id) in
+    for s = 0 to Array.length vb - 1 do
+      if surface_fired vb.(s) va.(s) then hit := true
+    done
+  done;
   !hit
-
-let has_surfaces e = Array.exists (fun b -> b.B.surfaces > 0) e.blocks
 
 (* Integrate from the current time toward [t1].  Returns [`Reached]
    when [t1] was attained, or [`Interrupted] when a zero-crossing was
@@ -265,55 +522,69 @@ let has_surfaces e = Array.exists (fun b -> b.B.surfaces > 0) e.blocks
    instant (crossing handlers may have emitted events) and re-enter. *)
 let integrate_to e t1 =
   if t1 <= e.time then `Reached
-  else if (not (has_surfaces e)) && e.total_cs = 0 then begin
+  else if (not e.with_surfaces) && e.total_cs = 0 then begin
     e.time <- t1;
     eval_always_active e t1;
     record_probes e t1;
     `Reached
   end
-  else if not (has_surfaces e) then begin
-    let rhs = make_rhs e in
-    let observer tt x =
-      Array.blit x 0 e.cstate 0 e.total_cs;
-      eval_always_active e tt;
-      record_probes e tt
-    in
-    let x0 = Array.copy e.cstate in
-    let xf =
-      Numerics.Ode.integrate ~meth:e.meth ?max_step:e.max_step ~observer rhs ~t0:e.time ~t1
-        x0
-    in
-    Array.blit xf 0 e.cstate 0 e.total_cs;
+  else if not e.with_surfaces then begin
+    (if e.debug then begin
+       let rhs = make_rhs_alloc e in
+       let observer tt x =
+         Array.blit x 0 e.cstate 0 e.total_cs;
+         eval_always_active e tt;
+         record_probes e tt
+       in
+       let x0 = Array.copy e.cstate in
+       let xf =
+         Numerics.Ode.integrate ~meth:e.meth ?max_step:e.max_step ~observer rhs ~t0:e.time
+           ~t1 x0
+       in
+       Array.blit xf 0 e.cstate 0 e.total_cs
+     end
+     else begin
+       Array.blit e.cstate 0 e.x_buf 0 e.total_cs;
+       Numerics.Ode.integrate_inplace ~meth:e.meth ?max_step:e.max_step
+         ~observer:e.obs_record ~ws:e.ws e.rhs_ip ~t0:e.time ~t1 e.x_buf;
+       Array.blit e.x_buf 0 e.cstate 0 e.total_cs
+     end);
     e.time <- t1;
     `Reached
   end
   else begin
     (* surface-monitored integration: march in sub-steps, bisect on a
        sign change, deliver the crossing and stop *)
-    let rhs = make_rhs e in
+    let rhs_alloc = if e.debug then Some (make_rhs_alloc e) else None in
     let span = t1 -. e.time in
     let sub_step =
       match e.max_step with Some h -> Float.min h (span /. 4.) | None -> span /. 32.
     in
-    let integrate_segment ~t0 ~t1 x0 =
-      if e.total_cs = 0 then Array.copy x0
-      else Numerics.Ode.integrate ~meth:e.meth rhs ~t0 ~t1 x0
+    (* integrate the segment [t0, t1] from [xa_buf] into [xw_buf] *)
+    let integrate_segment ~t0 ~t1 =
+      Array.blit e.xa_buf 0 e.xw_buf 0 e.total_cs;
+      if e.total_cs > 0 then
+        match rhs_alloc with
+        | Some rhs ->
+            let xf = Numerics.Ode.integrate ~meth:e.meth rhs ~t0 ~t1 (Array.copy e.xa_buf) in
+            Array.blit xf 0 e.xw_buf 0 e.total_cs
+        | None -> Numerics.Ode.integrate_inplace ~meth:e.meth ~ws:e.ws e.rhs_ip ~t0 ~t1 e.xw_buf
     in
-    let restore tt x =
-      Array.blit x 0 e.cstate 0 e.total_cs;
+    let restore tt =
+      Array.blit e.xw_buf 0 e.cstate 0 e.total_cs;
       eval_always_active e tt
     in
     let result = ref `Reached in
     let continue_ = ref true in
     while !continue_ && t1 -. e.time > 1e-15 *. (1. +. Float.abs t1) do
       let ta = e.time in
-      let xa = Array.copy e.cstate in
-      let values_a = surface_values e ta in
+      Array.blit e.cstate 0 e.xa_buf 0 e.total_cs;
+      surface_values e ta ~into:e.surf_a;
       let tb = Float.min t1 (ta +. sub_step) in
-      let xb = integrate_segment ~t0:ta ~t1:tb xa in
-      restore tb xb;
-      let values_b = surface_values e tb in
-      if not (crossed values_a values_b) then begin
+      integrate_segment ~t0:ta ~t1:tb;
+      restore tb;
+      surface_values e tb ~into:e.surf_b;
+      if not (crossed e e.surf_a e.surf_b) then begin
         e.time <- tb;
         record_probes e tb
       end
@@ -322,40 +593,37 @@ let integrate_to e t1 =
         let lo = ref ta and hi = ref tb in
         for _ = 1 to 50 do
           let mid = (!lo +. !hi) /. 2. in
-          let xm = integrate_segment ~t0:ta ~t1:mid xa in
-          restore mid xm;
-          let values_m = surface_values e mid in
-          if crossed values_a values_m then hi := mid else lo := mid
+          integrate_segment ~t0:ta ~t1:mid;
+          restore mid;
+          surface_values e mid ~into:e.surf_m;
+          if crossed e e.surf_a e.surf_m then hi := mid else lo := mid
         done;
         let t_star = !hi in
-        let x_star = integrate_segment ~t0:ta ~t1:t_star xa in
-        restore t_star x_star;
-        let values_star = surface_values e t_star in
+        integrate_segment ~t0:ta ~t1:t_star;
+        restore t_star;
+        (* [surf_b] is free once a crossing is detected; reuse it for
+           the located crossing snapshot *)
+        surface_values e t_star ~into:e.surf_b;
         e.time <- t_star;
         record_probes e t_star;
         (* fire every surface that changed sign over [ta, t*] *)
-        Array.iteri
-          (fun id b ->
-            if b.B.surfaces > 0 then
-              Array.iteri
-                (fun s va ->
-                  let vs = values_star.(id).(s) in
-                  if surface_fired va vs then begin
-                    let handler =
-                      match b.B.on_crossing with Some h -> h | None -> assert false
-                    in
-                    let ctx =
-                      {
-                        B.time = t_star;
-                        inputs = gather_inputs e id;
-                        cstate = slice_cstate e id;
-                      }
-                    in
-                    let actions = handler ctx ~surface:s ~rising:(vs > va) in
-                    schedule_actions e id t_star actions
-                  end)
-                values_a.(id))
-          e.blocks;
+        let ids = e.surf_ids in
+        for i = 0 to Array.length ids - 1 do
+          let id = ids.(i) in
+          let b = e.blocks.(id) in
+          let va = e.surf_a.(id) and vs = e.surf_b.(id) in
+          for s = 0 to Array.length va - 1 do
+            if surface_fired va.(s) vs.(s) then begin
+              let handler =
+                match b.B.on_crossing with Some h -> h | None -> assert false
+              in
+              let ctx = load_ctx e id t_star in
+              let actions = handler ctx ~surface:s ~rising:(vs.(s) > va.(s)) in
+              mark_dirty e id;
+              schedule_actions e id t_star actions
+            end
+          done
+        done;
         result := `Interrupted;
         continue_ := false
       end
@@ -365,6 +633,8 @@ let integrate_to e t1 =
 
 let start_if_needed e =
   if not e.started then begin
+    install_hot_closures e;
+    e.probe_arr <- Array.of_list (List.rev_map snd e.probes);
     Array.iter (fun b -> b.B.reset ()) e.blocks;
     Array.iteri
       (fun id b -> Array.blit b.B.cstate0 0 e.cstate e.cs_offset.(id) e.cs_len.(id))
@@ -379,19 +649,20 @@ let run ?(t_end = 1.) e =
   start_if_needed e;
   let continue_ = ref true in
   while !continue_ do
-    match Event_queue.peek_time e.queue with
-    | Some tt when tt <= t_end +. time_eps t_end -> (
-        let tt = Float.max tt e.time in
-        match integrate_to e tt with
-        | `Reached -> process_instant e tt
-        | `Interrupted ->
-            (* a zero-crossing fired before [tt]; deliver whatever it
-               emitted at the crossing instant, then re-examine *)
-            process_instant e e.time)
-    | Some _ | None -> (
-        match integrate_to e t_end with
-        | `Reached -> continue_ := false
-        | `Interrupted -> process_instant e e.time)
+    let tt = Event_queue.next_time e.queue ~default:infinity in
+    if tt <= t_end +. time_eps t_end then begin
+      let tt = Float.max tt e.time in
+      match integrate_to e tt with
+      | `Reached -> process_instant e tt
+      | `Interrupted ->
+          (* a zero-crossing fired before [tt]; deliver whatever it
+             emitted at the crossing instant, then re-examine *)
+          process_instant e e.time
+    end
+    else
+      match integrate_to e t_end with
+      | `Reached -> continue_ := false
+      | `Interrupted -> process_instant e e.time
   done
 
 let reset e =

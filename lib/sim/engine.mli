@@ -17,17 +17,47 @@
     within the same instant, which is how chains of
     {!Dataflow.Eventlib.event_delay} blocks with zero latency and the
     {!Dataflow.Eventlib.synchronization} block behave like their
-    Scicos counterparts. *)
+    Scicos counterparts.
+
+    {2 Compiled hot path}
+
+    {!create} compiles the diagram into flat runtime tables so the
+    steady-state loops run without graph lookups or allocation:
+
+    - wiring is resolved once into per-block integer source tables and
+      precomputed event-delivery arrays;
+    - every block owns one reusable mutable {!Dataflow.Block.context}
+      whose [inputs] / [cstate] arrays are refreshed in place before
+      each callback (callbacks must not retain them — see
+      {!Dataflow.Block.context});
+    - event delivery re-evaluates only the blocks whose outputs may
+      have changed (the activated block plus its feedthrough closure,
+      in topological order) instead of sweeping the whole diagram —
+      this relies on [outputs] callbacks being pure functions of the
+      context and internal state, part of the {!Dataflow.Block}
+      contract;
+    - integration between events runs through
+      {!Numerics.Ode.integrate_inplace} with persistent workspaces.
+
+    All of this is observationally equivalent to the straightforward
+    interpretation: traces, event logs and step counts are bit-for-bit
+    identical (the [test/test_sim_perf.ml] suite enforces this). *)
 
 type t
 
-val create : ?meth:Numerics.Ode.method_ -> ?max_step:float -> Dataflow.Graph.t -> t
+val create :
+  ?meth:Numerics.Ode.method_ -> ?max_step:float -> ?debug:bool -> Dataflow.Graph.t -> t
 (** Prepares a simulation: validates the graph, computes evaluation
-    order, activation priorities and continuous-state layout, resets
-    all blocks and queues their initial actions.  [max_step] bounds
-    the integrator step between events (useful when a source block is
-    time-varying between events).  Raises [Invalid_argument] on an
-    invalid graph. *)
+    order, activation priorities, continuous-state layout and the
+    compiled wiring/delivery tables, resets all blocks and queues
+    their initial actions.  [max_step] bounds the integrator step
+    between events (useful when a source block is time-varying between
+    events).  [debug] (default [false]) disables the compiled hot
+    path: every event delivery re-evaluates all outputs, integration
+    uses the allocating {!Numerics.Ode.integrate}, and output shapes
+    are validated at every call instead of only the first — the
+    reference semantics the golden-equivalence tests compare against.
+    Raises [Invalid_argument] on an invalid graph. *)
 
 val add_probe : t -> name:string -> block:Dataflow.Graph.block_id -> port:int -> unit
 (** Registers a recorder on a regular output port.  Must be called

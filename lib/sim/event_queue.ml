@@ -1,4 +1,9 @@
-type 'a entry = { time : float; priority : int; seq : int; payload : 'a }
+(* [payload] is cleared when the entry is popped: heap slots beyond
+   [size] keep stale entry references (the array is not shrunk), and
+   without the [option] indirection those slots would retain arbitrary
+   popped payloads until overwritten — a space leak when payloads are
+   large (closures, arrays). *)
+type 'a entry = { time : float; priority : int; seq : int; mutable payload : 'a option }
 
 type 'a t = {
   mutable heap : 'a entry array;
@@ -38,7 +43,7 @@ let rec sift_down q i =
   end
 
 let push q ~time ~priority payload =
-  let entry = { time; priority; seq = q.next_seq; payload } in
+  let entry = { time; priority; seq = q.next_seq; payload = Some payload } in
   q.next_seq <- q.next_seq + 1;
   if q.size = Array.length q.heap then begin
     let capacity = Int.max 16 (2 * Array.length q.heap) in
@@ -52,21 +57,36 @@ let push q ~time ~priority payload =
 
 let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
 
+let next_time q ~default = if q.size = 0 then default else q.heap.(0).time
+
+exception Empty
+
+let pop_exn q =
+  if q.size = 0 then raise Empty;
+  let top = q.heap.(0) in
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    q.heap.(0) <- q.heap.(q.size);
+    sift_down q 0
+  end;
+  match top.payload with
+  | Some p ->
+      top.payload <- None;
+      p
+  | None -> assert false
+
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      sift_down q 0
-    end;
-    Some (top.time, top.payload)
+    let time = q.heap.(0).time in
+    let payload = pop_exn q in
+    Some (time, payload)
   end
 
 let is_empty q = q.size = 0
 let length q = q.size
 
 let clear q =
+  q.heap <- [||];
   q.size <- 0;
   q.next_seq <- 0

@@ -18,9 +18,28 @@ val push : 'a t -> time:float -> priority:int -> 'a -> unit
 val peek_time : 'a t -> float option
 (** Time of the earliest event, if any. *)
 
+val next_time : 'a t -> default:float -> float
+(** Allocation-free {!peek_time}: the time of the earliest event, or
+    [default] when the queue is empty (the simulation engine passes
+    [infinity]). *)
+
 val pop : 'a t -> (float * 'a) option
 (** Removes and returns the earliest event. *)
 
+exception Empty
+
+val pop_exn : 'a t -> 'a
+(** Allocation-free {!pop}: removes and returns the earliest event's
+    payload.  @raise Empty when the queue is empty. *)
+
 val is_empty : 'a t -> bool
 val length : 'a t -> int
+
 val clear : 'a t -> unit
+(** Empties the queue and drops the backing array, so previously
+    queued payloads can be collected.
+
+    Popping never leaks payloads: the payload reference is cleared
+    from the popped entry, so the stale copies the binary heap leaves
+    in its backing array keep only a small entry record alive, never
+    the payload itself. *)

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Compare a bench --json dump against a checked-in baseline.
+#
+#   scripts/compare_bench.sh NEW.json [BASELINE.json] [TOLERANCE]
+#
+# BASELINE defaults to BENCH_BASELINE.json, TOLERANCE to 0.5 (a bench
+# may be up to 50% slower than its baseline before it is flagged —
+# shared CI runners are noisy, so the gate warns rather than fails).
+# Benches present on only one side are reported and skipped.
+# Always exits 0; regressions are surfaced as GitHub ::warning lines.
+set -eu
+
+new=${1:?usage: compare_bench.sh NEW.json [BASELINE.json] [TOLERANCE]}
+baseline=${2:-BENCH_BASELINE.json}
+tol=${3:-0.5}
+
+[ -f "$new" ] || { echo "compare_bench: $new not found" >&2; exit 1; }
+[ -f "$baseline" ] || { echo "compare_bench: $baseline not found" >&2; exit 1; }
+
+# The dump is one {"name": ..., "time_ns": ...} object per line.
+extract() {
+  sed -n 's/.*"name": *"\([^"]*\)", *"time_ns": *\([0-9.eE+-]*\).*/\1 \2/p' "$1"
+}
+
+extract "$new" | sort > /tmp/bench_new.$$
+extract "$baseline" | sort > /tmp/bench_base.$$
+trap 'rm -f /tmp/bench_new.$$ /tmp/bench_base.$$' EXIT
+
+join /tmp/bench_base.$$ /tmp/bench_new.$$ | awk -v tol="$tol" '
+  {
+    name = $1; base = $2; new = $3
+    ratio = (base > 0) ? new / base : 0
+    status = "ok"
+    if (new > base * (1 + tol)) { status = "REGRESSION"; bad++ }
+    printf "%-30s baseline %12.1f ns   now %12.1f ns   x%.2f   %s\n", \
+           name, base, new, ratio, status
+    if (status == "REGRESSION")
+      printf "::warning title=bench regression::%s is %.2fx its baseline (%.0f ns vs %.0f ns)\n", \
+             name, ratio, new, base
+  }
+  END { if (bad) printf "%d bench(es) above tolerance %.0f%%\n", bad, tol * 100
+        else print "all benches within tolerance" }'
+
+only_base=$(join -v1 /tmp/bench_base.$$ /tmp/bench_new.$$ | cut -d' ' -f1)
+only_new=$(join -v2 /tmp/bench_base.$$ /tmp/bench_new.$$ | cut -d' ' -f1)
+[ -z "$only_base" ] || echo "in baseline only (not run): $only_base"
+[ -z "$only_new" ] || echo "new benches (no baseline): $only_new"
+
+exit 0

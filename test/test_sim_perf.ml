@@ -1,0 +1,392 @@
+open Helpers
+module G = Dataflow.Graph
+module C = Dataflow.Clib
+module E = Dataflow.Eventlib
+module B = Dataflow.Block
+
+(* The compiled hot path (precompiled wiring, reusable contexts,
+   dirty-set re-evaluation, in-place integration) must be
+   observationally *identical* to the straightforward interpretation
+   that [Engine.create ~debug:true] preserves: same probe samples to
+   the last bit, same event log, same step count.  Every fixture below
+   is built twice — once per mode — and the two runs are compared
+   structurally ([compare ... = 0], so NaN samples compare equal). *)
+
+(* ------------------------------------------------------------------ *)
+(* golden-equivalence machinery *)
+
+let check_same_trace name e_ref e_new =
+  let tr_r = Sim.Engine.probe e_ref name and tr_n = Sim.Engine.probe e_new name in
+  check_int (name ^ ": sample count") (Sim.Trace.length tr_r) (Sim.Trace.length tr_n);
+  let times_r = Sim.Trace.times tr_r and times_n = Sim.Trace.times tr_n in
+  let vals_r = Sim.Trace.values tr_r and vals_n = Sim.Trace.values tr_n in
+  Array.iteri
+    (fun i t ->
+      if compare t times_n.(i) <> 0 then
+        Alcotest.failf "%s: sample %d at t=%.17g (debug) vs t=%.17g (compiled)" name i t
+          times_n.(i);
+      if compare vals_r.(i) vals_n.(i) <> 0 then
+        Alcotest.failf "%s: values differ at sample %d (t=%.17g)" name i t)
+    times_r
+
+(* [build ~debug] must construct a fresh graph + engine (blocks are
+   stateful, so the two engines cannot share instances). *)
+let check_golden ?(t_end = [ 1. ]) ~probes build =
+  let run debug =
+    let e = build ~debug in
+    List.iter (fun t -> Sim.Engine.run ~t_end:t e) t_end;
+    e
+  in
+  let e_ref = run true in
+  let e_new = run false in
+  check_true "event logs identical"
+    (Sim.Engine.event_log e_ref = Sim.Engine.event_log e_new);
+  check_int "step counts identical" (Sim.Engine.steps e_ref) (Sim.Engine.steps e_new);
+  check_true "final times identical"
+    (compare (Sim.Engine.now e_ref) (Sim.Engine.now e_new) = 0);
+  List.iter (fun name -> check_same_trace name e_ref e_new) probes
+
+(* ------------------------------------------------------------------ *)
+(* fixtures *)
+
+(* event-dense: two incommensurate clocks, synchronization, divider,
+   latch (NaN until the first event) and a discrete PID loop — the
+   bench's sim_hot_loop_events diagram *)
+let build_event_dense ~debug =
+  let g = G.create () in
+  let clock_fast = G.add g (E.clock ~period:0.01 ()) in
+  let clock_slow = G.add g (E.clock ~period:0.013 ()) in
+  let sync = G.add g (E.synchronization ~inputs:2 ()) in
+  let div3 = G.add g (E.divider ~factor:3 ()) in
+  let counter = G.add g (E.event_counter ()) in
+  let latch = G.add g (E.event_latch_time ()) in
+  let reference = G.add g (C.constant [| 1. |]) in
+  let wave = G.add g (C.sine_source ~freq_hz:0.5 ()) in
+  let sh_y = G.add g (C.sample_hold 1) in
+  let pid =
+    G.add g
+      (C.pid
+         (Control.Pid.create ~gains:{ Control.Pid.kp = 2.; ki = 1.; kd = 0. } ~ts:0.01 ()))
+  in
+  let sh_u = G.add g (C.sample_hold 1) in
+  let delay = G.add g (C.unit_delay [| 0. |]) in
+  G.connect_data g ~src:(wave, 0) ~dst:(sh_y, 0);
+  G.connect_data g ~src:(reference, 0) ~dst:(pid, 0);
+  G.connect_data g ~src:(sh_y, 0) ~dst:(pid, 1);
+  G.connect_data g ~src:(pid, 0) ~dst:(sh_u, 0);
+  G.connect_data g ~src:(sh_u, 0) ~dst:(delay, 0);
+  G.connect_event g ~src:(clock_fast, 0) ~dst:(sync, 0);
+  G.connect_event g ~src:(clock_slow, 0) ~dst:(sync, 1);
+  G.connect_event g ~src:(sync, 0) ~dst:(div3, 0);
+  G.connect_event g ~src:(div3, 0) ~dst:(counter, 0);
+  G.connect_event g ~src:(sync, 0) ~dst:(latch, 0);
+  List.iter
+    (fun b -> G.connect_event g ~src:(clock_fast, 0) ~dst:(b, 0))
+    [ sh_y; pid; sh_u ];
+  G.connect_event g ~src:(clock_slow, 0) ~dst:(delay, 0);
+  let e = Sim.Engine.create ~debug g in
+  Sim.Engine.add_probe e ~name:"u" ~block:sh_u ~port:0;
+  Sim.Engine.add_probe e ~name:"count" ~block:counter ~port:0;
+  Sim.Engine.add_probe e ~name:"latch" ~block:latch ~port:0;
+  e
+
+(* ODE-dense: sampled PID on a continuous 2-state DC motor (RKF45) *)
+let build_ode_loop ~debug =
+  let plant = Control.Plants.dc_motor Control.Plants.default_dc_motor in
+  let ts = 0.05 in
+  let g = G.create () in
+  let p = G.add g (C.lti_continuous ~x0:[| 0.; 0. |] plant) in
+  let r = G.add g (C.constant [| 1. |]) in
+  let sh = G.add g (C.sample_hold 1) in
+  let pid =
+    G.add g
+      (C.pid (Control.Pid.create ~gains:{ Control.Pid.kp = 60.; ki = 80.; kd = 0. } ~ts ()))
+  in
+  let hold = G.add g (C.sample_hold 1) in
+  let clock = G.add g (E.clock ~period:ts ()) in
+  G.connect_data g ~src:(p, 0) ~dst:(sh, 0);
+  G.connect_data g ~src:(r, 0) ~dst:(pid, 0);
+  G.connect_data g ~src:(sh, 0) ~dst:(pid, 1);
+  G.connect_data g ~src:(pid, 0) ~dst:(hold, 0);
+  G.connect_data g ~src:(hold, 0) ~dst:(p, 0);
+  List.iter (fun b -> G.connect_event g ~src:(clock, 0) ~dst:(b, 0)) [ sh; pid; hold ];
+  let e = Sim.Engine.create ~debug g in
+  Sim.Engine.add_probe e ~name:"y" ~block:p ~port:0;
+  e
+
+(* zero-crossing: the canonical bouncing ball *)
+let bouncing_ball ~h0 ~restitution =
+  let rest = ref false in
+  B.make ~name:"ball" ~out_widths:[| 1 |] ~cstate0:[| h0; 0. |] ~always_active:true
+    ~derivatives:(fun ctx -> if !rest then [| 0.; 0. |] else [| ctx.B.cstate.(1); -9.81 |])
+    ~surfaces:1
+    ~crossings:(fun ctx -> if !rest then [| 1. |] else [| ctx.B.cstate.(0) |])
+    ~on_crossing:(fun ctx ~surface:_ ~rising ->
+      if rising then []
+      else begin
+        let v = ctx.B.cstate.(1) in
+        let v' = -.restitution *. v in
+        if v' < 0.05 then begin
+          rest := true;
+          [ B.Set_cstate [| 0.; 0. |] ]
+        end
+        else [ B.Set_cstate [| 1e-9; v' |] ]
+      end)
+    ~reset:(fun () -> rest := false)
+    (fun ctx -> [| [| ctx.B.cstate.(0) |] |])
+
+let build_bouncing_ball ~debug =
+  let g = G.create () in
+  let ball = G.add g (bouncing_ball ~h0:1. ~restitution:0.8) in
+  let counter = G.add g (E.event_counter ()) in
+  let zc = G.add g (E.zero_cross ~direction:`Falling ()) in
+  G.connect_data g ~src:(ball, 0) ~dst:(zc, 0);
+  G.connect_event g ~src:(zc, 0) ~dst:(counter, 0);
+  let e = Sim.Engine.create ~debug g in
+  Sim.Engine.add_probe e ~name:"h" ~block:ball ~port:0;
+  Sim.Engine.add_probe e ~name:"bounces" ~block:counter ~port:0;
+  e
+
+(* drift regression: the output of a feedthrough block that is *not*
+   always-active (the gain) drifts between events because its input is
+   an integrator state.  The sampler must see the fresh value at each
+   tick even though no event ever targets the gain. *)
+let build_drift_chain ~debug =
+  let g = G.create () in
+  let src = G.add g (C.constant [| 1. |]) in
+  let integ = G.add g (C.integrator [| 0. |]) in
+  let gain = G.add g (C.gain 2.) in
+  let sh = G.add g (C.sample_hold 1) in
+  let clock = G.add g (E.clock ~period:0.25 ()) in
+  G.connect_data g ~src:(src, 0) ~dst:(integ, 0);
+  G.connect_data g ~src:(integ, 0) ~dst:(gain, 0);
+  G.connect_data g ~src:(gain, 0) ~dst:(sh, 0);
+  G.connect_event g ~src:(clock, 0) ~dst:(sh, 0);
+  let e = Sim.Engine.create ~debug g in
+  Sim.Engine.add_probe e ~name:"held" ~block:sh ~port:0;
+  e
+
+(* randomised event graphs: parameters drawn by QCheck, diagram built
+   deterministically from them (twice — once per engine mode) *)
+let build_random (p1, p2, factor, freq, fanout) ~debug =
+  let g = G.create () in
+  let c1 = G.add g (E.clock ~period:p1 ()) in
+  let c2 = G.add g (E.clock ~period:p2 ()) in
+  let sync = G.add g (E.synchronization ~inputs:2 ()) in
+  let div_ = G.add g (E.divider ~factor ()) in
+  let counter = G.add g (E.event_counter ()) in
+  let latch = G.add g (E.event_latch_time ()) in
+  let wave = G.add g (C.sine_source ~freq_hz:freq ()) in
+  let sh = G.add g (C.sample_hold 1) in
+  let delay = G.add g (C.unit_delay [| 0. |]) in
+  G.connect_data g ~src:(wave, 0) ~dst:(sh, 0);
+  G.connect_data g ~src:(sh, 0) ~dst:(delay, 0);
+  G.connect_event g ~src:(c1, 0) ~dst:(sync, 0);
+  G.connect_event g ~src:(c2, 0) ~dst:(sync, 1);
+  G.connect_event g ~src:(sync, 0) ~dst:(div_, 0);
+  G.connect_event g ~src:(div_, 0) ~dst:(counter, 0);
+  G.connect_event g ~src:((if fanout then sync else div_), 0) ~dst:(latch, 0);
+  G.connect_event g ~src:(c1, 0) ~dst:(sh, 0);
+  G.connect_event g ~src:(c2, 0) ~dst:(delay, 0);
+  let e = Sim.Engine.create ~debug g in
+  Sim.Engine.add_probe e ~name:"sh" ~block:sh ~port:0;
+  Sim.Engine.add_probe e ~name:"count" ~block:counter ~port:0;
+  e
+
+let golden_tests =
+  [
+    test "event-dense diagram matches debug engine bit-for-bit" (fun () ->
+        check_golden ~t_end:[ 10. ] ~probes:[ "u"; "count"; "latch" ] build_event_dense);
+    test "sampled PID / DC-motor loop matches debug engine bit-for-bit" (fun () ->
+        check_golden ~t_end:[ 5. ] ~probes:[ "y" ] build_ode_loop);
+    test "continuation runs (two horizons) match debug engine" (fun () ->
+        check_golden ~t_end:[ 2.; 4. ] ~probes:[ "y" ] build_ode_loop);
+    test "bouncing ball (zero-crossings) matches debug engine bit-for-bit" (fun () ->
+        check_golden ~t_end:[ 3. ] ~probes:[ "h"; "bounces" ] build_bouncing_ball);
+    test "reset + rerun matches a fresh debug run" (fun () ->
+        let e_new = build_event_dense ~debug:false in
+        Sim.Engine.run ~t_end:3. e_new;
+        Sim.Engine.reset e_new;
+        Sim.Engine.run ~t_end:3. e_new;
+        let e_ref = build_event_dense ~debug:true in
+        Sim.Engine.run ~t_end:3. e_ref;
+        check_true "event logs identical"
+          (Sim.Engine.event_log e_ref = Sim.Engine.event_log e_new);
+        List.iter
+          (fun name -> check_same_trace name e_ref e_new)
+          [ "u"; "count"; "latch" ]);
+    test "drifting feedthrough chain is re-sampled correctly" (fun () ->
+        check_golden ~t_end:[ 1. ] ~probes:[ "held" ] build_drift_chain;
+        (* and the absolute values are right: x(t)=t, gain 2, tick 0.25 *)
+        let e = build_drift_chain ~debug:false in
+        Sim.Engine.run ~t_end:1. e;
+        match Sim.Trace.last (Sim.Engine.probe e "held") with
+        | Some (_, v) -> check_float ~eps:1e-6 "held = 2 t" 2. v.(0)
+        | None -> Alcotest.fail "no samples");
+    qtest "random event diagrams match debug engine bit-for-bit" ~count:30
+      QCheck2.Gen.(
+        tup5 (float_range 0.004 0.05) (float_range 0.004 0.05) (int_range 1 4)
+          (float_range 0.1 2.) bool)
+      (fun params ->
+        check_golden ~t_end:[ 0.5 ] ~probes:[ "sh"; "count" ] (build_random params);
+        true);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* in-place integrator vs allocating integrator, directly *)
+
+let vdp t x =
+  ignore t;
+  [| x.(1); (0.8 *. (1. -. (x.(0) *. x.(0))) *. x.(1)) -. x.(0) |]
+
+let vdp_ip t x ~dx =
+  ignore t;
+  dx.(0) <- x.(1);
+  dx.(1) <- (0.8 *. (1. -. (x.(0) *. x.(0))) *. x.(1)) -. x.(0)
+
+let ode_tests =
+  let check_method name meth =
+    test (name ^ ": integrate_inplace is bit-for-bit integrate") (fun () ->
+        let x0 = [| 2.; 0. |] in
+        let obs_a = ref [] and obs_b = ref [] in
+        let xa =
+          Numerics.Ode.integrate ~meth
+            ~observer:(fun t x -> obs_a := (t, Array.copy x) :: !obs_a)
+            vdp ~t0:0. ~t1:2. x0
+        in
+        let xb = Array.copy x0 in
+        let ws = Numerics.Ode.workspace 2 in
+        Numerics.Ode.integrate_inplace ~meth
+          ~observer:(fun t x -> obs_b := (t, Array.copy x) :: !obs_b)
+          ~ws vdp_ip ~t0:0. ~t1:2. xb;
+        check_true "final states identical" (compare xa xb = 0);
+        check_true "observed trajectories identical" (compare !obs_a !obs_b = 0))
+  in
+  [
+    check_method "euler" Numerics.Ode.Euler;
+    check_method "rk2" Numerics.Ode.Rk2;
+    check_method "rk4" Numerics.Ode.Rk4;
+    check_method "rkf45" Numerics.Ode.default_method;
+    test "workspace dimension is checked" (fun () ->
+        let ws = Numerics.Ode.workspace 3 in
+        check_int "dim" 3 (Numerics.Ode.workspace_dim ws);
+        check_raises_invalid "mismatch" (fun () ->
+            Numerics.Ode.integrate_inplace ~ws vdp_ip ~t0:0. ~t1:1. [| 1.; 0. |]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* steady-state allocation budget *)
+
+let alloc_tests =
+  [
+    test "event loop allocates below budget per delivered event" (fun () ->
+        let e = build_event_dense ~debug:false in
+        (* warm up: first-eval validation, trace growth, queue sizing *)
+        Sim.Engine.run ~t_end:10. e;
+        let s0 = Sim.Engine.steps e in
+        let w0 = Gc.minor_words () in
+        Sim.Engine.run ~t_end:20. e;
+        let dw = Gc.minor_words () -. w0 in
+        let ds = Sim.Engine.steps e - s0 in
+        check_true "progress" (ds > 500);
+        let per_step = dw /. float_of_int ds in
+        (* a delivered event costs the handler's action list, the trace
+           samples of the instant and a handful of boxed floats — the
+           seed engine's full sweep was an order of magnitude above
+           this bound *)
+        if per_step > 200. then
+          Alcotest.failf "%.1f minor words per event delivery (budget 200)" per_step);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* event queue space behaviour (satellite: pop leak fix, clear) *)
+
+let weak_live w =
+  let live = ref 0 in
+  for i = 0 to Weak.length w - 1 do
+    if Weak.check w i then incr live
+  done;
+  !live
+
+let queue_space_tests =
+  [
+    test "pop does not retain churned payloads" (fun () ->
+        let q = Sim.Event_queue.create () in
+        let w = Weak.create 64 in
+        (* a far-future sentinel keeps the queue non-empty throughout *)
+        Sim.Event_queue.push q ~time:1e9 ~priority:0 [| -1. |];
+        let fill () =
+          for i = 0 to 63 do
+            let payload = Array.make 3 (float_of_int i) in
+            Weak.set w i (Some payload);
+            Sim.Event_queue.push q ~time:(float_of_int i) ~priority:0 payload
+          done
+        in
+        fill ();
+        for _ = 1 to 64 do
+          ignore (Sim.Event_queue.pop q)
+        done;
+        Gc.full_major ();
+        check_int "popped payloads collected" 0 (weak_live w);
+        check_int "sentinel still queued" 1 (Sim.Event_queue.length q));
+    test "clear drops the backing array" (fun () ->
+        let q = Sim.Event_queue.create () in
+        let w = Weak.create 32 in
+        let fill () =
+          for i = 0 to 31 do
+            let payload = Array.make 3 (float_of_int i) in
+            Weak.set w i (Some payload);
+            Sim.Event_queue.push q ~time:(float_of_int i) ~priority:0 payload
+          done
+        in
+        fill ();
+        Sim.Event_queue.clear q;
+        Gc.full_major ();
+        check_int "cleared payloads collected" 0 (weak_live w);
+        check_true "queue empty" (Sim.Event_queue.is_empty q));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* validation hoisting (satellite: shapes checked once, debug always) *)
+
+(* returns the right shape twice, then a wrong width *)
+let flaky_block () =
+  let calls = ref 0 in
+  B.make ~name:"flaky" ~out_widths:[| 1 |] ~event_inputs:1
+    ~on_event:(fun _ ~port:_ -> [])
+    ~reset:(fun () -> calls := 0)
+    (fun _ ->
+      incr calls;
+      if !calls >= 3 then [| [| 9.; 9. |] |] else [| [| 1. |] |])
+
+let build_flaky ~debug =
+  let g = G.create () in
+  let flaky = G.add g (flaky_block ()) in
+  let clock = G.add g (E.clock ~period:0.1 ()) in
+  G.connect_event g ~src:(clock, 0) ~dst:(flaky, 0);
+  Sim.Engine.create ~debug g
+
+let validation_tests =
+  [
+    test "debug mode validates output shapes at every call" (fun () ->
+        let e = build_flaky ~debug:true in
+        match Sim.Engine.run ~t_end:1. e with
+        | exception Failure msg ->
+            check_true "mentions the block" (Helpers.contains msg "flaky")
+        | () -> Alcotest.fail "expected a width failure");
+    test "compiled mode validates output shapes once" (fun () ->
+        let e = build_flaky ~debug:false in
+        (* the wrong-width call happens only on re-evaluation after the
+           first validated one — the compiled engine trusts the block *)
+        Sim.Engine.run ~t_end:1. e;
+        check_true "ran to completion" (Sim.Engine.steps e > 5));
+  ]
+
+let suites =
+  [
+    ("sim_perf.golden", golden_tests);
+    ("sim_perf.ode_inplace", ode_tests);
+    ("sim_perf.alloc", alloc_tests);
+    ("sim_perf.queue_space", queue_space_tests);
+    ("sim_perf.validation", validation_tests);
+  ]
