@@ -381,6 +381,42 @@ let bench_explore_seq = explore_bench "explore_seq" explore_pool_seq
 let bench_explore_par = explore_bench "explore_par" explore_pool_par
 
 (* ------------------------------------------------------------------ *)
+(* serve-batch benches: the same 32-scenario Monte-Carlo batch through
+   one shared compiled engine (Serve.Batch: reseed + reset between
+   scenarios) and through the per-scenario rebuild path the rest of
+   the toolchain uses.  The gap is the compilation amortisation the
+   batch service exists for; results are bit-for-bit equal
+   (test/test_serve.ml enforces it). *)
+
+let serve_impl =
+  Lifecycle.Methodology.implement ~design:explore_design ~architecture:(Arch.single ())
+    ~durations:(dc_durations ~frac:0.6 ())
+    ()
+
+let serve_seeds = List.init 32 (fun i -> 1000 + i)
+
+let bench_serve_batch_shared =
+  Test.make ~name:"serve_batch_shared"
+    (Staged.stage (fun () ->
+         let b = Serve.Batch.create ~design:explore_design ~implementation:serve_impl () in
+         List.iter (fun seed -> ignore (Serve.Batch.cost b ~seed)) serve_seeds))
+
+let bench_serve_batch_rebuild =
+  Test.make ~name:"serve_batch_rebuild"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun seed ->
+             let engine =
+               Lifecycle.Methodology.simulate_implemented
+                 ~mode:
+                   (Translator.Delay_graph.Jittered
+                      { law = Exec.Timing_law.Uniform; bcet_frac = 0.4; seed })
+                 explore_design serve_impl
+             in
+             ignore (explore_design.Lifecycle.Design.cost engine))
+           serve_seeds))
+
+(* ------------------------------------------------------------------ *)
 (* simulation hot-loop micro-benches: the engine's two inner loops in
    isolation (event delivery and continuous integration), re-run on a
    prebuilt engine via reset.  CI tracks these against
@@ -496,6 +532,8 @@ let tests =
     bench_ablation_delay_jittered;
     bench_explore_seq;
     bench_explore_par;
+    bench_serve_batch_shared;
+    bench_serve_batch_rebuild;
     bench_sim_hot_loop_events;
     bench_sim_hot_loop_ode;
   ]

@@ -361,7 +361,121 @@ let lifecycle_cmd =
           co-simulation) from a lifecycle diagram file")
     Term.(const action $ file_arg $ gantt $ montecarlo $ report $ sweep)
 
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at PATH instead of serving \
+             stdin/stdout; clients are accepted one at a time and share the \
+             service (cache, stats) until one sends a shutdown request.")
+  in
+  let montecarlo =
+    Arg.(
+      value
+      & opt int Serve.Service.default_config.Serve.Service.montecarlo_runs
+      & info [ "montecarlo" ] ~docv:"N"
+          ~doc:"Monte-Carlo scenarios per submission (0 = off).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Serve.Service.default_config.Serve.Service.base_seed
+      & info [ "seed" ] ~docv:"SEED" ~doc:"First Monte-Carlo seed.")
+  in
+  let law =
+    Arg.(
+      value
+      & opt law_conv Exec.Timing_law.Uniform
+      & info [ "law" ] ~docv:"LAW" ~doc:"Execution-time jitter law.")
+  in
+  let no_robustness =
+    Arg.(
+      value & flag
+      & info [ "no-robustness" ] ~doc:"Skip the single-failure robustness scenarios.")
+  in
+  let cache_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:"Persist the evaluation memo table to FILE across restarts.")
+  in
+  let cache_capacity =
+    Arg.(
+      value
+      & opt int Serve.Service.default_config.Serve.Service.cache_capacity
+      & info [ "cache-capacity" ] ~docv:"N" ~doc:"Memo entries kept in memory.")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt int Serve.Service.default_config.Serve.Service.max_submission_bytes
+      & info [ "max-bytes" ] ~docv:"N" ~doc:"Submission size limit in bytes.")
+  in
+  let pending =
+    Arg.(
+      value
+      & opt int Serve.Service.default_config.Serve.Service.max_pending
+      & info [ "pending" ] ~docv:"N"
+          ~doc:"Received-request queue bound before the client blocks.")
+  in
+  let action socket montecarlo seed law no_robustness cache_path cache_capacity
+      max_bytes pending =
+    if montecarlo < 0 || cache_capacity <= 0 || max_bytes <= 0 || pending <= 0 then begin
+      Printf.eprintf "error: --montecarlo must be >= 0 and --cache-capacity, --max-bytes, --pending > 0\n";
+      1
+    end
+    else begin
+      let config =
+        {
+          Serve.Service.default_config with
+          Serve.Service.montecarlo_runs = montecarlo;
+          base_seed = seed;
+          law;
+          robustness = not no_robustness;
+          max_submission_bytes = max_bytes;
+          max_pending = pending;
+          cache_capacity;
+          cache_path;
+        }
+      in
+      match Serve.Service.create config with
+      | exception (Sys_error msg | Invalid_argument msg | Failure msg) ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | service ->
+          Fun.protect
+            ~finally:(fun () -> Serve.Service.close service)
+            (fun () ->
+              match socket with
+              | Some path ->
+                  Serve.Server.serve_unix_socket ~service ~path;
+                  0
+              | None -> (
+                  match
+                    Serve.Server.serve ~service ~input:Unix.stdin ~output:Unix.stdout
+                  with
+                  | `Shutdown | `Eof -> 0
+                  | `Disconnect -> 1))
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batch co-simulation service: line-delimited JSON requests \
+          (evaluate, stats, ping, shutdown) on stdin/stdout or a Unix socket, \
+          each evaluate running the full methodology pipeline with memoized, \
+          shared-engine Monte-Carlo batches")
+    Term.(
+      const action $ socket $ montecarlo $ seed $ law $ no_robustness $ cache_path
+      $ cache_capacity $ max_bytes $ pending)
+
 let () =
   let doc = "system-level CAD for distributed real-time embedded control (SynDEx-style)" in
   let info = Cmd.info "syndex" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ show_cmd; adequation_cmd; execute_cmd; lifecycle_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ show_cmd; adequation_cmd; execute_cmd; lifecycle_cmd; serve_cmd ]))

@@ -1,3 +1,10 @@
+type 'a backing = {
+  path : string;
+  encode : 'a -> string;
+  mutable oc : out_channel;
+  mutable closed : bool;
+}
+
 type 'a t = {
   capacity : int;
   table : (string, 'a) Hashtbl.t;
@@ -6,6 +13,7 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable backing : 'a backing option;
 }
 
 type stats = {
@@ -26,16 +34,31 @@ let create ?(capacity = 4096) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    backing = None;
   }
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* Append one record to the log.  Always called with the cache lock
+   held, which is the lost-write fix: a write interleaved with another
+   domain's would corrupt the length-prefixed framing, and an insert
+   that reached the table but not the log (or vice versa) would
+   desynchronise memory and disk. *)
+let append_locked t key v =
+  match t.backing with
+  | None -> ()
+  | Some b when b.closed -> ()
+  | Some b ->
+      let s = b.encode v in
+      Printf.fprintf b.oc "%d %d\n%s%s\n" (String.length key) (String.length s) key s
+
 let insert_locked t key v =
   if not (Hashtbl.mem t.table key) then begin
     Hashtbl.replace t.table key v;
     Queue.add key t.order;
+    append_locked t key v;
     while Hashtbl.length t.table > t.capacity do
       let oldest = Queue.pop t.order in
       Hashtbl.remove t.table oldest;
@@ -73,8 +96,85 @@ let find_opt t ~key =
 
 let add t ~key v =
   locked t (fun () ->
-      if Hashtbl.mem t.table key then Hashtbl.replace t.table key v
+      if Hashtbl.mem t.table key then begin
+        Hashtbl.replace t.table key v;
+        append_locked t key v
+      end
       else insert_locked t key v)
+
+(* ------------------------------------------------------------------ *)
+(* persistence *)
+
+let log_flags = [ Open_wronly; Open_creat; Open_append; Open_binary ]
+
+(* Replay one log file into the table (lock held).  Records are
+   length-prefixed, so values may contain newlines; a truncated tail
+   record — a crash mid-append — is silently dropped.  Replaying the
+   insert sequence through the same FIFO eviction reproduces the live
+   window the writing process ended with. *)
+let replay_locked t ~path ~decode =
+  let loaded = ref 0 in
+  (* byte offset just past the last complete record: everything beyond
+     it is a record torn by a crash and must be cut before appending,
+     or the garbage would hide every later record from the next
+     replay *)
+  let good = ref 0 in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        (try
+           while true do
+             let header = input_line ic in
+             let klen, vlen = Scanf.sscanf header " %d %d" (fun a b -> (a, b)) in
+             if klen < 0 || vlen < 0 then raise Exit;
+             let key = really_input_string ic klen in
+             let v = really_input_string ic vlen in
+             (match input_char ic with '\n' -> () | _ -> raise Exit);
+             let v = decode v in
+             (* replace existing entries like [add]; fresh keys go
+                through the eviction path *)
+             if Hashtbl.mem t.table key then Hashtbl.replace t.table key v
+             else begin
+               Hashtbl.replace t.table key v;
+               Queue.add key t.order;
+               while Hashtbl.length t.table > t.capacity do
+                 Hashtbl.remove t.table (Queue.pop t.order)
+               done
+             end;
+             incr loaded;
+             good := pos_in ic
+           done
+         with End_of_file | Exit | Scanf.Scan_failure _ | Failure _ -> ());
+        if !good < in_channel_length ic then Unix.truncate path !good)
+  end;
+  !loaded
+
+let open_backing t ~path ~encode ~decode =
+  locked t (fun () ->
+      if t.backing <> None then invalid_arg "Cache.open_backing: already backed";
+      if Hashtbl.length t.table > 0 then
+        invalid_arg "Cache.open_backing: cache already holds entries";
+      let loaded = replay_locked t ~path ~decode in
+      let oc = open_out_gen log_flags 0o644 path in
+      t.backing <- Some { path; encode; oc; closed = false };
+      loaded)
+
+let flush t =
+  locked t (fun () ->
+      match t.backing with
+      | Some b when not b.closed -> Stdlib.flush b.oc
+      | Some _ | None -> ())
+
+let close t =
+  locked t (fun () ->
+      match t.backing with
+      | Some b when not b.closed ->
+          Stdlib.flush b.oc;
+          close_out b.oc;
+          b.closed <- true
+      | Some _ | None -> ())
 
 let stats t =
   locked t (fun () ->
@@ -96,7 +196,13 @@ let reset t =
       Queue.clear t.order;
       t.hits <- 0;
       t.misses <- 0;
-      t.evictions <- 0)
+      t.evictions <- 0;
+      match t.backing with
+      | Some b when not b.closed ->
+          (* truncate the log so a reload does not resurrect entries *)
+          close_out b.oc;
+          b.oc <- open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 b.path
+      | Some _ | None -> ())
 
 let pp_stats ppf s =
   let lookups = s.hits + s.misses in

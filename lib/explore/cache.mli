@@ -13,7 +13,22 @@
     are computed {e outside} the lock, so two domains missing the same
     key concurrently may both compute it (both count as misses, one
     insertion wins) — harmless, since values are deterministic.
-    Eviction is insertion-order (FIFO) once [capacity] is exceeded. *)
+    Eviction is insertion-order (FIFO) once [capacity] is exceeded.
+
+    {2 Persistence}
+
+    A cache can be backed by an append-only log file
+    ({!open_backing}), so a long-lived service — [syndex serve] — can
+    persist its memo table across restarts.  Every insertion is
+    appended as a length-prefixed record {e while the cache lock is
+    held}: concurrent writers can neither interleave partial records
+    nor insert into the table without the matching log write (the
+    lost-write window an unlocked append would open).  Reloading
+    replays the insert sequence through the same FIFO eviction, so the
+    table converges to the live window the writing process ended with;
+    a trailing record truncated by a crash is dropped.  The log is
+    never compacted — evicted or replaced entries keep their old
+    records, which replay harmlessly. *)
 
 type 'a t
 
@@ -41,12 +56,35 @@ val add : 'a t -> key:string -> 'a -> unit
 (** Unconditional insertion (replaces an existing entry); does not
     touch the hit/miss counters. *)
 
+val open_backing :
+  'a t -> path:string -> encode:('a -> string) -> decode:(string -> 'a) -> int
+(** Attaches [path] as the cache's append-only log: existing records
+    are replayed into the (necessarily empty) cache — the returned
+    count — and every subsequent insertion is appended.  [encode] /
+    [decode] must round-trip; values may contain any bytes including
+    newlines.  A record torn by a crash is dropped and the file is
+    trimmed back to the last complete record, so post-crash appends
+    stay replayable.  Raises [Invalid_argument] when the cache already
+    holds entries or is already backed, [Sys_error] when the path
+    cannot be opened. *)
+
+val flush : 'a t -> unit
+(** Flushes buffered log appends to the file.  No-op on an unbacked or
+    closed cache. *)
+
+val close : 'a t -> unit
+(** Flushes and closes the backing log (idempotent; no-op when
+    unbacked).  The cache remains usable in memory; further insertions
+    are simply no longer persisted.  Call before process exit — only
+    flushed records survive a restart. *)
+
 val stats : 'a t -> stats
 val hit_rate : stats -> float
 (** Hits over lookups, [nan] before the first lookup. *)
 
 val reset : 'a t -> unit
-(** Drops all entries and zeroes the counters. *)
+(** Drops all entries and zeroes the counters; a backing log is
+    truncated so a reload cannot resurrect the dropped entries. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 (** e.g. ["42 hits / 18 misses (70.0 % hit rate), 18 entries, 0 evictions"]. *)

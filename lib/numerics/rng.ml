@@ -19,6 +19,13 @@ let create seed =
 
 let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
 
+let reseed g seed =
+  let state = ref (Int64.of_int seed) in
+  g.s0 <- splitmix64 state;
+  g.s1 <- splitmix64 state;
+  g.s2 <- splitmix64 state;
+  g.s3 <- splitmix64 state
+
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let bits64 g =

@@ -14,6 +14,13 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy continuing from the same state. *)
 
+val reseed : t -> int -> unit
+(** [reseed g seed] resets [g] in place to the exact state of
+    [create seed] — the generator has no hidden state beyond its four
+    words, so closures capturing [g] (e.g. the jittered delay blocks
+    of a compiled co-simulation engine) replay a seed's draw sequence
+    bit-for-bit after a reseed. *)
+
 val split : t -> t
 (** Derives a statistically independent generator; the parent state
     advances. *)

@@ -1,0 +1,43 @@
+(** Minimal JSON codec for the wire protocol of the batch
+    co-simulation service.
+
+    Self-contained (the repository deliberately has no JSON
+    dependency): a plain value type, a strict recursive-descent parser
+    and a printer whose output never contains raw newlines — so every
+    rendered value is safe as one line of the line-delimited
+    protocol. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Strict JSON: one value, optionally surrounded by whitespace;
+    trailing garbage, unterminated literals, control characters inside
+    strings and nesting beyond 128 levels are errors.  Error messages
+    carry the byte offset. *)
+
+val to_string : t -> string
+(** Compact rendering.  Strings are escaped (including control
+    characters, so no raw newline can appear); non-finite numbers
+    render as [null] (JSON has no IEEE specials); integral values
+    within 2{^53} render without a decimal point. *)
+
+(** {2 Accessors} — tolerant lookups for protocol fields *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] on missing field or non-object). *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** Integral numbers only ([Num 3.7] is [None]). *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+
+val num_of : float -> t
+(** [Num], mapping non-finite floats to {!Null} at construction. *)

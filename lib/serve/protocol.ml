@@ -1,0 +1,95 @@
+type submission = Inline of string | Path of string
+
+type evaluate_opts = {
+  montecarlo : int option;
+  base_seed : int option;
+  robustness : bool option;
+}
+
+type request =
+  | Evaluate of { id : Json.t option; submission : submission; opts : evaluate_opts }
+  | Stats of { id : Json.t option }
+  | Ping of { id : Json.t option }
+  | Shutdown of { id : Json.t option }
+
+type error_code = Parse | Protocol | Oversized | Submission | Infeasible | Internal
+
+let error_code_to_string = function
+  | Parse -> "parse"
+  | Protocol -> "protocol"
+  | Oversized -> "oversized"
+  | Submission -> "submission"
+  | Infeasible -> "infeasible"
+  | Internal -> "internal"
+
+let request_id = function
+  | Evaluate { id; _ } | Stats { id } | Ping { id } | Shutdown { id } -> id
+
+(* typed field access: [Ok None] when absent, [Error _] when present
+   but ill-typed — absent and broken are different protocol situations *)
+let field name convert what json =
+  match Json.member name json with
+  | None -> Ok None
+  | Some v -> (
+      match convert v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Protocol, Printf.sprintf "field %S must be %s" name what))
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let request_of_line line =
+  match Json.parse line with
+  | Error msg -> Error (Parse, msg)
+  | Ok json -> (
+      let id = Json.member "id" json in
+      match Json.member "kind" json with
+      | None -> Error (Protocol, "request object has no \"kind\" field")
+      | Some kind -> (
+          match Json.to_str kind with
+          | None -> Error (Protocol, "field \"kind\" must be a string")
+          | Some "stats" -> Ok (Stats { id })
+          | Some "ping" -> Ok (Ping { id })
+          | Some "shutdown" -> Ok (Shutdown { id })
+          | Some "evaluate" ->
+              let* source = field "source" Json.to_str "a string" json in
+              let* path = field "path" Json.to_str "a string" json in
+              let* submission =
+                match (source, path) with
+                | Some s, None -> Ok (Some (Inline s))
+                | None, Some p -> Ok (Some (Path p))
+                | Some _, Some _ ->
+                    Error (Protocol, "evaluate takes \"source\" or \"path\", not both")
+                | None, None ->
+                    Error (Protocol, "evaluate needs a \"source\" or \"path\" field")
+              in
+              let submission = Option.get submission in
+              let* montecarlo = field "montecarlo" Json.to_int "an integer" json in
+              let* montecarlo =
+                match montecarlo with
+                | Some m when m < 0 ->
+                    Error (Protocol, "field \"montecarlo\" must be non-negative")
+                | m -> Ok m
+              in
+              let* base_seed = field "seed" Json.to_int "an integer" json in
+              let* robustness = field "robustness" Json.to_bool "a boolean" json in
+              Ok (Evaluate { id; submission; opts = { montecarlo; base_seed; robustness } })
+          | Some k -> Error (Protocol, Printf.sprintf "unknown request kind %S" k)))
+
+let with_id id fields =
+  match id with None -> fields | Some id -> ("id", id) :: fields
+
+let error_response ?id ~code message =
+  Json.Obj
+    (with_id id
+       [
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("code", Json.Str (error_code_to_string code));
+               ("message", Json.Str message);
+             ] );
+       ])
+
+let ok_response ?id ~kind fields =
+  Json.Obj (with_id id (("ok", Json.Bool true) :: ("kind", Json.Str kind) :: fields))

@@ -1,0 +1,62 @@
+(** Wire protocol of the batch co-simulation service.
+
+    One request per line, one response per line, both JSON objects
+    (the printer guarantees no raw newlines).  Requests:
+
+    {v
+    {"kind": "evaluate", "id": 1, "source": "(lifecycle ...)"}
+    {"kind": "evaluate", "path": "examples/data/dc_motor.lcs",
+     "montecarlo": 50, "seed": 1000, "robustness": true}
+    {"kind": "stats"}
+    {"kind": "ping"}
+    {"kind": "shutdown"}
+    v}
+
+    An [evaluate] submission is a lifecycle document, either inline
+    ([source]) or loaded server-side from [path]; the optional knobs
+    override the service defaults.  [id] is any JSON value and is
+    echoed verbatim in the response, so pipelined clients can match
+    replies to requests.
+
+    Responses always carry ["ok"]: [true] with a ["kind"] of
+    ["report"] / ["stats"] / ["pong"] / ["bye"], or [false] with an
+    ["error"] object [{ "code", "message" }].  A failed request never
+    terminates the server — errors are data. *)
+
+type submission = Inline of string | Path of string
+
+type evaluate_opts = {
+  montecarlo : int option;  (** Monte-Carlo scenario count override *)
+  base_seed : int option;
+  robustness : bool option;  (** evaluate single-failure scenarios *)
+}
+
+type request =
+  | Evaluate of { id : Json.t option; submission : submission; opts : evaluate_opts }
+  | Stats of { id : Json.t option }
+  | Ping of { id : Json.t option }
+  | Shutdown of { id : Json.t option }
+
+type error_code =
+  | Parse  (** the line is not valid JSON *)
+  | Protocol  (** valid JSON but not a valid request (unknown kind, ...) *)
+  | Oversized  (** request line or submission above the size limit *)
+  | Submission  (** the lifecycle document failed to parse/load *)
+  | Infeasible  (** the adequation found no feasible mapping *)
+  | Internal  (** unexpected server-side failure (isolated per request) *)
+
+val error_code_to_string : error_code -> string
+
+val request_of_line : string -> (request, error_code * string) result
+(** Parses one request line.  Unknown object fields are ignored
+    (forward compatibility); a missing/unknown ["kind"], a submission
+    with both or neither of [source]/[path], and ill-typed option
+    fields are [Protocol] errors. *)
+
+val request_id : request -> Json.t option
+
+val error_response : ?id:Json.t -> code:error_code -> string -> Json.t
+(** [{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}] *)
+
+val ok_response : ?id:Json.t -> kind:string -> (string * Json.t) list -> Json.t
+(** [{"id": ..., "ok": true, "kind": ..., <extra fields>}] *)

@@ -1,0 +1,192 @@
+(* fd-level buffered line reader: no in_channel, so [Unix.select] on
+   the raw fd stays truthful about what has not been consumed yet *)
+
+type event = Line of string | Oversized | Eof | Eof_mid_line
+
+type reader = {
+  fd : Unix.file_descr;
+  chunk : bytes;
+  mutable pos : int;
+  mutable len : int;
+  acc : Buffer.t;
+  max_line : int;
+  mutable dropping : bool;  (* inside an oversized line: discard to newline *)
+}
+
+let reader ~max_line fd =
+  {
+    fd;
+    chunk = Bytes.create 65536;
+    pos = 0;
+    len = 0;
+    acc = Buffer.create 256;
+    max_line;
+    dropping = false;
+  }
+
+let refill r =
+  let rec read () =
+    match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+  in
+  let n = read () in
+  r.pos <- 0;
+  r.len <- n;
+  n > 0
+
+(* data we can consume without blocking: buffered bytes or a readable fd *)
+let data_available r =
+  r.pos < r.len
+  ||
+  match Unix.select [ r.fd ] [] [] 0. with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error _ -> false
+
+let find_newline chunk pos len =
+  let i = ref pos in
+  while !i < len && Bytes.get chunk !i <> '\n' do
+    incr i
+  done;
+  if !i < len then Some !i else None
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let rec next r =
+  if r.pos >= r.len then
+    if refill r then next r
+    else if r.dropping || Buffer.length r.acc > 0 then begin
+      r.dropping <- false;
+      Buffer.clear r.acc;
+      Eof_mid_line
+    end
+    else Eof
+  else
+    match find_newline r.chunk r.pos r.len with
+    | Some j ->
+        let segment = Bytes.sub_string r.chunk r.pos (j - r.pos) in
+        r.pos <- j + 1;
+        if r.dropping then begin
+          r.dropping <- false;
+          Buffer.clear r.acc;
+          Oversized
+        end
+        else begin
+          Buffer.add_string r.acc segment;
+          if Buffer.length r.acc > r.max_line then begin
+            Buffer.clear r.acc;
+            Oversized
+          end
+          else begin
+            let line = strip_cr (Buffer.contents r.acc) in
+            Buffer.clear r.acc;
+            Line line
+          end
+        end
+    | None ->
+        if not r.dropping then begin
+          Buffer.add_subbytes r.acc r.chunk r.pos (r.len - r.pos);
+          if Buffer.length r.acc > r.max_line then begin
+            Buffer.clear r.acc;
+            r.dropping <- true
+          end
+        end;
+        r.pos <- r.len;
+        next r
+
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  match go 0 with
+  | () -> true
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      false
+
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ()
+
+let serve ~service ~input ~output =
+  ignore_sigpipe ();
+  let cfg = Service.config service in
+  (* a line holds one JSON-escaped submission plus protocol fields:
+     escaping at most doubles the text, so 2x + slack never rejects a
+     submission the service itself would accept *)
+  let max_line = (2 * cfg.Service.max_submission_bytes) + 65536 in
+  let r = reader ~max_line input in
+  let queue = Queue.create () in
+  let send json = write_all output (Json.to_string json ^ "\n") in
+  (* pull whatever is already waiting, up to the queue bound: past it
+     we simply stop reading and the client blocks on the pipe buffer *)
+  let rec pump () =
+    if Queue.length queue < cfg.Service.max_pending && data_available r then begin
+      let ev = next r in
+      Queue.push ev queue;
+      match ev with Line _ | Oversized -> pump () | Eof | Eof_mid_line -> ()
+    end
+  in
+  let rec loop () =
+    if Queue.is_empty queue then Queue.push (next r) queue;
+    pump ();
+    match Queue.pop queue with
+    | Eof -> `Eof
+    | Eof_mid_line ->
+        ignore
+          (send
+             (Protocol.error_response ~code:Protocol.Parse
+                "input ended in the middle of a request"));
+        `Disconnect
+    | Oversized ->
+        if
+          send
+            (Protocol.error_response ~code:Protocol.Oversized
+               (Printf.sprintf "request line exceeds %d bytes" max_line))
+        then loop ()
+        else `Disconnect
+    | Line l when String.trim l = "" -> loop ()
+    | Line l ->
+        let request = Protocol.request_of_line l in
+        let sent = send (Service.respond service request) in
+        if (match request with Ok (Protocol.Shutdown _) -> true | _ -> false) then
+          `Shutdown
+        else if sent then loop ()
+        else `Disconnect
+  in
+  loop ()
+
+let serve_unix_socket ~service ~path =
+  ignore_sigpipe ();
+  if Sys.file_exists path then Unix.unlink path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        let client, _ = Unix.accept sock in
+        let outcome =
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close client with Unix.Unix_error _ -> ())
+            (fun () -> serve ~service ~input:client ~output:client)
+        in
+        match outcome with
+        | `Shutdown -> ()
+        | `Eof | `Disconnect -> accept_loop ()
+      in
+      accept_loop ())

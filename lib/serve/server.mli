@@ -1,0 +1,34 @@
+(** The wire loop of [syndex serve]: line-delimited JSON requests in,
+    line-delimited JSON responses out, one {!Service.t} behind them.
+
+    Framing: each request is one JSON object on one line; each
+    response is one JSON object on one line ({!Json.to_string} never
+    emits raw newlines).  Requests are answered in order.  Up to
+    [max_pending] already-received lines are queued while one request
+    evaluates; beyond that the server stops reading and the client
+    blocks on the kernel pipe/socket buffer — backpressure without an
+    unbounded queue.
+
+    Isolation: a malformed line, an oversized line or an input that
+    ends mid-request produces a structured [ok: false] response; only
+    a [shutdown] request, end of input or a broken client connection
+    ends a session. *)
+
+val serve :
+  service:Service.t ->
+  input:Unix.file_descr ->
+  output:Unix.file_descr ->
+  [ `Shutdown | `Eof | `Disconnect ]
+(** Serves one session until [shutdown] (acknowledged with a ["bye"]
+    response), end of input, or a write failure / input ending in the
+    middle of a request ([`Disconnect]).  Ignores [SIGPIPE].  A line
+    longer than [max_submission_bytes] plus protocol slack is
+    discarded as it streams in and answered with an [oversized]
+    error. *)
+
+val serve_unix_socket : service:Service.t -> path:string -> unit
+(** Binds a Unix-domain socket at [path] (replacing a stale file),
+    then accepts clients one at a time — each served with {!serve},
+    all sharing the one service (and thus its cache and stats) — until
+    a client sends [shutdown].  The socket file is removed on
+    return. *)

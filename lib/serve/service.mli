@@ -1,0 +1,54 @@
+(** The evaluation service behind [syndex serve]: one submission in,
+    one structured report out, with memoization and service statistics.
+
+    Each [evaluate] request runs the full deterministic pipeline —
+    lifecycle document parse, adequation, ideal + implemented
+    co-simulation, static design-rule lint, a shared-engine
+    Monte-Carlo batch ({!Batch}) and single-failure robustness
+    scenarios — and renders the result as one JSON report.  Responses
+    are memoized in an {!Explore.Cache} keyed by the canonical digest
+    of the submission text and every evaluation knob, so a repeated
+    submission is a cache hit that skips the pipeline entirely;
+    with [cache_path] the memo table persists across restarts
+    ({!Explore.Cache.open_backing}).
+
+    Per-request isolation: {!respond} never raises — malformed
+    documents, infeasible mappings and unexpected exceptions become
+    [ok: false] responses with a structured error code, and the
+    service keeps serving. *)
+
+type config = {
+  montecarlo_runs : int;  (** scenarios per submission (default 100) *)
+  base_seed : int;  (** first Monte-Carlo seed (default 1000) *)
+  law : Exec.Timing_law.t;  (** jitter law (default [Uniform]) *)
+  bcet_frac : float;  (** BCET as a fraction of WCET (default 0.4) *)
+  robustness : bool;  (** evaluate single-failure scenarios (default true) *)
+  robustness_iterations : int;  (** injected machine iterations (default 50) *)
+  max_submission_bytes : int;  (** submission size limit (default 1 MiB) *)
+  max_pending : int;  (** server queue bound (default 64) *)
+  cache_capacity : int;  (** memo entries kept (default 4096) *)
+  cache_path : string option;  (** persistent memo log (default none) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?pool:Explore.Pool.t -> config -> t
+(** [pool] (default {!Explore.Pool.default}) runs the Monte-Carlo
+    chunks and robustness scenarios.  With [cache_path], existing memo
+    records are replayed (warm start). *)
+
+val config : t -> config
+
+val respond : t -> (Protocol.request, Protocol.error_code * string) result -> Json.t
+(** Dispatches one request (or renders the given parse/protocol
+    error), updating the stats counters.  Never raises. *)
+
+val stats_json : t -> Json.t
+(** The ["stats"] payload: requests served, errors, cache
+    hits/misses/hit-rate, scenarios evaluated, scenarios/sec through
+    the pipeline, and evaluate-latency min/mean/max. *)
+
+val close : t -> unit
+(** Flushes and closes the persistent memo log (idempotent). *)

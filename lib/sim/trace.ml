@@ -1,52 +1,79 @@
+(* Samples live in fixed-size chunks referenced from a small pointer
+   directory: appending allocates a fresh chunk every [chunk_size]
+   samples and only ever copies the directory (pointers), never the
+   recorded data — so long batch runs stop re-copying large probe
+   arrays the way the previous doubling scheme did. *)
+
+let chunk_size = 1024
+
 type t = {
   w : int;
-  mutable ts : float array;
-  mutable vs : float array array;
+  mutable tdir : float array array;  (* tdir.(c).(i) = time of sample c·N+i *)
+  mutable vdir : float array array array;  (* vdir.(c).(i) = its row *)
   mutable n : int;
 }
 
 let create ~width =
   if width <= 0 then invalid_arg "Trace.create: non-positive width";
-  { w = width; ts = [||]; vs = [||]; n = 0 }
+  { w = width; tdir = [||]; vdir = [||]; n = 0 }
 
 let width tr = tr.w
 let length tr = tr.n
 
+(* the chunk holding sample [i]; only called for i < n or i = n right
+   after [ensure_capacity], so the slot is always allocated *)
+let[@inline] chunk i = i / chunk_size
+let[@inline] offset i = i mod chunk_size
+
 let ensure_capacity tr =
-  if tr.n = Array.length tr.ts then begin
-    let capacity = Int.max 64 (2 * Array.length tr.ts) in
-    let ts = Array.make capacity 0. in
-    let vs = Array.make capacity [||] in
-    Array.blit tr.ts 0 ts 0 tr.n;
-    Array.blit tr.vs 0 vs 0 tr.n;
-    tr.ts <- ts;
-    tr.vs <- vs
+  let c = chunk tr.n in
+  if c >= Array.length tr.tdir then begin
+    (* grow the directory (pointer copy only) *)
+    let cap = Int.max 4 (2 * Array.length tr.tdir) in
+    let tdir = Array.make cap [||] in
+    let vdir = Array.make cap [||] in
+    Array.blit tr.tdir 0 tdir 0 (Array.length tr.tdir);
+    Array.blit tr.vdir 0 vdir 0 (Array.length tr.vdir);
+    tr.tdir <- tdir;
+    tr.vdir <- vdir
+  end;
+  (* chunks survive [clear] for reuse, hence the emptiness test *)
+  if Array.length tr.tdir.(c) = 0 then begin
+    tr.tdir.(c) <- Array.make chunk_size 0.;
+    tr.vdir.(c) <- Array.make chunk_size [||]
   end
 
 let record tr time v =
   if Array.length v <> tr.w then invalid_arg "Trace.record: width mismatch";
-  if tr.n > 0 && tr.ts.(tr.n - 1) = time then tr.vs.(tr.n - 1) <- Array.copy v
+  if tr.n > 0 && tr.tdir.(chunk (tr.n - 1)).(offset (tr.n - 1)) = time then
+    tr.vdir.(chunk (tr.n - 1)).(offset (tr.n - 1)) <- Array.copy v
   else begin
     ensure_capacity tr;
-    tr.ts.(tr.n) <- time;
-    tr.vs.(tr.n) <- Array.copy v;
+    tr.tdir.(chunk tr.n).(offset tr.n) <- time;
+    tr.vdir.(chunk tr.n).(offset tr.n) <- Array.copy v;
     tr.n <- tr.n + 1
   end
 
-let times tr = Array.sub tr.ts 0 tr.n
-let values tr = Array.init tr.n (fun i -> Array.copy tr.vs.(i))
+let times tr = Array.init tr.n (fun i -> tr.tdir.(chunk i).(offset i))
+let values tr = Array.init tr.n (fun i -> Array.copy tr.vdir.(chunk i).(offset i))
 
 let component tr j =
   if j < 0 || j >= tr.w then invalid_arg "Trace.component: out of range";
-  Control.Metrics.of_arrays (times tr) (Array.init tr.n (fun i -> tr.vs.(i).(j)))
+  Control.Metrics.of_arrays (times tr)
+    (Array.init tr.n (fun i -> tr.vdir.(chunk i).(offset i).(j)))
 
-let last tr = if tr.n = 0 then None else Some (tr.ts.(tr.n - 1), Array.copy tr.vs.(tr.n - 1))
+let last tr =
+  if tr.n = 0 then None
+  else
+    Some
+      ( tr.tdir.(chunk (tr.n - 1)).(offset (tr.n - 1)),
+        Array.copy tr.vdir.(chunk (tr.n - 1)).(offset (tr.n - 1)) )
 
 let clear tr = tr.n <- 0
 
 let iter f tr =
   for i = 0 to tr.n - 1 do
-    f tr.ts.(i) tr.vs.(i)
+    f tr.tdir.(chunk i).(offset i) tr.vdir.(chunk i).(offset i)
   done
 
 let to_csv ?labels tr =

@@ -1,4 +1,10 @@
-(** Growable time-series recorder used by simulation probes. *)
+(** Growable time-series recorder used by simulation probes.
+
+    Storage grows in fixed-size chunks behind a pointer directory:
+    appending a sample never copies previously recorded data (only the
+    directory of chunk pointers doubles), so long batch runs — many
+    scenarios re-recorded through one engine — avoid the repeated
+    large-array copies of a doubling buffer. *)
 
 type t
 

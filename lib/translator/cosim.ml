@@ -6,8 +6,11 @@ let ideal_clock ~graph ~period ~blocks =
   List.iter (fun b -> G.connect_event graph ~src:(clock, 0) ~dst:(b, 0)) blocks;
   clock
 
-let attach_delay_graph ?mode ?comm_jitter_frac ?condition_feed ~graph ~schedule ~binding () =
-  let dg = Delay_graph.build ?mode ?comm_jitter_frac ?condition_feed ~graph ~schedule () in
+let attach_delay_graph ?mode ?comm_jitter_frac ?condition_feed ?rng ~graph ~schedule
+    ~binding () =
+  let dg =
+    Delay_graph.build ?mode ?comm_jitter_frac ?condition_feed ?rng ~graph ~schedule ()
+  in
   List.iter
     (fun (op, tap) ->
       let block = Scicos_to_syndex.block_of_op binding op in

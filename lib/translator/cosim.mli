@@ -20,6 +20,7 @@ val attach_delay_graph :
   ?mode:Delay_graph.mode ->
   ?comm_jitter_frac:float ->
   ?condition_feed:(string -> Dataflow.Graph.block_id * int) ->
+  ?rng:Numerics.Rng.t ->
   graph:Dataflow.Graph.t ->
   schedule:Aaa.Schedule.t ->
   binding:Scicos_to_syndex.binding ->
@@ -29,7 +30,8 @@ val attach_delay_graph :
     each operation's completion tap to event input 0 of its bound
     diagram block (blocks without event inputs, such as constant
     reference sources, are skipped).  The result's taps remain
-    available for probing. *)
+    available for probing.  [rng] is forwarded to {!Delay_graph.build}
+    so batch evaluators can reseed one compiled engine between runs. *)
 
 val attach_recovery_delay_graph :
   ?mode:Delay_graph.mode ->

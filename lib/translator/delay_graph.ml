@@ -47,13 +47,15 @@ let slot_key (c : Sched.comm_slot) =
     snd c.Sched.cm_dst,
     c.Sched.cm_hop )
 
-let build ?(mode = Static_wcet) ?(comm_jitter_frac = 0.) ?condition_feed ~graph ~schedule () =
+let build ?(mode = Static_wcet) ?(comm_jitter_frac = 0.) ?condition_feed ?rng ~graph
+    ~schedule () =
   let algorithm = schedule.Sched.algorithm in
   let period = Alg.period algorithm in
   let rng =
-    match mode with
-    | Static_wcet -> Numerics.Rng.create 0
-    | Jittered { seed; _ } -> Numerics.Rng.create seed
+    match (rng, mode) with
+    | Some rng, _ -> rng
+    | None, Static_wcet -> Numerics.Rng.create 0
+    | None, Jittered { seed; _ } -> Numerics.Rng.create seed
   in
   let delay_block ~name wcet =
     match mode with

@@ -49,11 +49,18 @@ val build :
   ?mode:mode ->
   ?comm_jitter_frac:float ->
   ?condition_feed:(string -> Dataflow.Graph.block_id * int) ->
+  ?rng:Numerics.Rng.t ->
   graph:Dataflow.Graph.t ->
   schedule:Aaa.Schedule.t ->
   unit ->
   t
 (** Adds the graph of delays to [graph] and returns the taps.
+    [rng] overrides the generator the jittered delay blocks draw from
+    (by default a fresh one from the mode's seed): a caller keeping the
+    handle can {!Numerics.Rng.reseed} it between engine resets and run
+    many Monte-Carlo scenarios through {e one} compiled engine, each
+    bit-for-bit identical to a freshly built graph with that seed
+    (see [Serve.Batch]).
     In {!Jittered} mode, [comm_jitter_frac] (default [0.]) additionally
     redraws each transfer's duration uniformly over
     [\[(1−f)·planned, planned\]] — the same knob as

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Smoke-test the batch co-simulation service end to end:
+#
+#   scripts/serve_smoke.sh [STATS_OUT]
+#
+# Drives one scripted session through `syndex serve` — a DC-motor
+# submission, the identical submission again (must be answered from
+# the memo cache), a malformed request (must get a structured error
+# without killing the session) and a clean shutdown — then asserts
+# the response shapes and writes the final stats payload to STATS_OUT
+# (default serve-stats.json) for CI to archive.
+set -eu
+
+stats_out=${1:-serve-stats.json}
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+dune exec bin/syndex.exe -- serve --montecarlo 20 > "$out" <<'EOF'
+{"kind":"evaluate","id":1,"path":"examples/data/dc_motor.lcs"}
+{"kind":"evaluate","id":2,"path":"examples/data/dc_motor.lcs"}
+{this is not json}
+{"kind":"stats","id":3}
+{"kind":"shutdown","id":4}
+EOF
+
+fail() { echo "serve_smoke: $1" >&2; echo "--- session output ---" >&2; cat "$out" >&2; exit 1; }
+
+[ "$(wc -l < "$out")" -eq 5 ] || fail "expected 5 response lines"
+
+line() { sed -n "${1}p" "$out"; }
+
+case "$(line 1)" in
+  *'"ok":true'*'"cached":false'*'"design":"dc_motor_file"'*) ;;
+  *) fail "first evaluation should be fresh and report the design" ;;
+esac
+
+case "$(line 2)" in
+  *'"ok":true'*'"cached":true'*) ;;
+  *) fail "duplicate submission should be a cache hit" ;;
+esac
+
+case "$(line 3)" in
+  *'"ok":false'*'"code":"parse"'*) ;;
+  *) fail "malformed request should get a structured parse error" ;;
+esac
+
+case "$(line 4)" in
+  *'"ok":true'*'"kind":"stats"'*'"hits":1'*) ;;
+  *) fail "stats should show exactly one cache hit" ;;
+esac
+
+case "$(line 5)" in
+  *'"ok":true'*'"kind":"bye"'*) ;;
+  *) fail "shutdown should be acknowledged with a bye" ;;
+esac
+
+# archive the stats payload for the CI artifact
+line 4 > "$stats_out"
+echo "serve_smoke: OK (stats in $stats_out)"

@@ -136,6 +136,134 @@ let cache_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* cache persistence: the append-only backing log *)
+
+let with_log f =
+  let path = Filename.temp_file "scilife_cache" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let open_str ?(capacity = 16) path =
+  let c = Cache.create ~capacity () in
+  let n = Cache.open_backing c ~path ~encode:Fun.id ~decode:Fun.id in
+  (c, n)
+
+let persist_tests =
+  [
+    test "entries written before close survive a reload" (fun () ->
+        with_log (fun path ->
+            let c, loaded = open_str path in
+            check_int "fresh log" 0 loaded;
+            Cache.add c ~key:"a" "1";
+            Cache.add c ~key:"b" "value with\nnewlines and \x00 bytes";
+            Cache.close c;
+            let c2, loaded = open_str path in
+            check_int "replayed" 2 loaded;
+            check_true "a" (Cache.find_opt c2 ~key:"a" = Some "1");
+            check_true "binary-safe"
+              (Cache.find_opt c2 ~key:"b" = Some "value with\nnewlines and \x00 bytes");
+            Cache.close c2));
+    test "a replaced key reloads with its latest value" (fun () ->
+        with_log (fun path ->
+            let c, _ = open_str path in
+            Cache.add c ~key:"k" "old";
+            Cache.add c ~key:"k" "new";
+            Cache.close c;
+            let c2, _ = open_str path in
+            check_true "latest wins" (Cache.find_opt c2 ~key:"k" = Some "new");
+            check_int "one live entry" 1 (Cache.stats c2).Cache.size;
+            Cache.close c2));
+    test "replay honours FIFO eviction, converging to the live window" (fun () ->
+        with_log (fun path ->
+            let c, _ = open_str ~capacity:2 path in
+            List.iter (fun k -> Cache.add c ~key:k k) [ "a"; "b"; "c" ];
+            Cache.close c;
+            let c2, _ = open_str ~capacity:2 path in
+            check_true "oldest gone" (Cache.find_opt c2 ~key:"a" = None);
+            check_true "window kept"
+              (Cache.find_opt c2 ~key:"b" = Some "b"
+              && Cache.find_opt c2 ~key:"c" = Some "c");
+            Cache.close c2));
+    test "a truncated tail record is dropped, earlier records kept" (fun () ->
+        with_log (fun path ->
+            let c, _ = open_str path in
+            Cache.add c ~key:"good" "kept";
+            Cache.add c ~key:"casualty" "of the crash";
+            Cache.close c;
+            (* chop mid-record, as a crash would *)
+            let full = In_channel.with_open_bin path In_channel.input_all in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc
+                  (String.sub full 0 (String.length full - 7)));
+            let c2, loaded = open_str path in
+            check_int "one survivor" 1 loaded;
+            check_true "kept" (Cache.find_opt c2 ~key:"good" = Some "kept");
+            check_true "dropped" (Cache.find_opt c2 ~key:"casualty" = None);
+            (* the next write after a truncated reload still round-trips *)
+            Cache.add c2 ~key:"after" "crash";
+            Cache.close c2;
+            let c3, _ = open_str path in
+            check_true "appended post-crash" (Cache.find_opt c3 ~key:"after" = Some "crash");
+            Cache.close c3));
+    test "open_backing refuses a non-empty or already-backed cache" (fun () ->
+        with_log (fun path ->
+            let dirty = Cache.create () in
+            Cache.add dirty ~key:"k" "v";
+            check_raises_invalid "non-empty" (fun () ->
+                ignore (Cache.open_backing dirty ~path ~encode:Fun.id ~decode:Fun.id));
+            let c, _ = open_str path in
+            check_raises_invalid "double open" (fun () ->
+                ignore (Cache.open_backing c ~path ~encode:Fun.id ~decode:Fun.id));
+            Cache.close c));
+    test "close is idempotent and the cache stays usable in memory" (fun () ->
+        with_log (fun path ->
+            let c, _ = open_str path in
+            Cache.add c ~key:"a" "1";
+            Cache.close c;
+            Cache.close c;
+            Cache.add c ~key:"b" "2";
+            check_true "in-memory add works" (Cache.find_opt c ~key:"b" = Some "2");
+            let c2, loaded = open_str path in
+            check_int "post-close add not persisted" 1 loaded;
+            Cache.close c2));
+    test "reset truncates the log" (fun () ->
+        with_log (fun path ->
+            let c, _ = open_str path in
+            Cache.add c ~key:"a" "1";
+            Cache.reset c;
+            Cache.add c ~key:"b" "2";
+            Cache.close c;
+            let c2, loaded = open_str path in
+            check_int "only post-reset entries" 1 loaded;
+            check_true "reset entry gone" (Cache.find_opt c2 ~key:"a" = None);
+            check_true "kept" (Cache.find_opt c2 ~key:"b" = Some "2");
+            Cache.close c2));
+    test "flush makes entries durable without closing" (fun () ->
+        with_log (fun path ->
+            let c, _ = open_str path in
+            Cache.add c ~key:"a" "1";
+            Cache.flush c;
+            (* read the file while the writer still has it open *)
+            let c2, loaded = open_str ~capacity:16 path in
+            check_int "visible after flush" 1 loaded;
+            Cache.close c2;
+            Cache.close c));
+    test "concurrent writers lose no appends" (fun () ->
+        with_log (fun path ->
+            let c, _ = open_str ~capacity:512 path in
+            let keys = List.init 200 (fun i -> Printf.sprintf "k%03d" i) in
+            ignore (Pool.map pools.(3) (fun k -> Cache.add c ~key:k k) keys);
+            Cache.close c;
+            let c2, loaded = open_str ~capacity:512 path in
+            check_int "all 200 records" 200 loaded;
+            List.iter
+              (fun k -> check_true k (Cache.find_opt c2 ~key:k = Some k))
+              keys;
+            Cache.close c2));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* key: canonical digests *)
 
 let key_tests =
@@ -440,6 +568,7 @@ let suites =
   [
     ("explore.pool", pool_tests);
     ("explore.cache", cache_tests);
+    ("explore.cache_persist", persist_tests);
     ("explore.key", key_tests);
     ("explore.pareto", pareto_tests);
     ("explore.grid", grid_tests);

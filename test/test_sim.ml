@@ -82,6 +82,61 @@ let trace_tests =
         Sim.Trace.record tr 0. [| 1. |];
         Sim.Trace.clear tr;
         check_int "empty" 0 (Sim.Trace.length tr));
+    test "recording across chunk boundaries keeps every sample" (fun () ->
+        (* storage grows in 1024-sample chunks: straddle several *)
+        let n = (2 * 1024) + 5 in
+        let tr = Sim.Trace.create ~width:1 in
+        for i = 0 to n - 1 do
+          Sim.Trace.record tr (float_of_int i) [| float_of_int (2 * i) |]
+        done;
+        check_int "length" n (Sim.Trace.length tr);
+        let times = Sim.Trace.times tr in
+        let values = Sim.Trace.values tr in
+        List.iter
+          (fun i ->
+            check_float (Printf.sprintf "time %d" i) (float_of_int i) times.(i);
+            check_float (Printf.sprintf "value %d" i) (float_of_int (2 * i)) values.(i).(0))
+          [ 0; 1023; 1024; 1025; 2047; 2048; n - 1 ];
+        let seen = ref 0 in
+        Sim.Trace.iter
+          (fun t v ->
+            check_float "iter order" (float_of_int !seen) t;
+            check_float "iter value" (float_of_int (2 * !seen)) v.(0);
+            incr seen)
+          tr;
+        check_int "iter count" n !seen);
+    test "same-time replacement works on the first slot of a chunk" (fun () ->
+        let tr = Sim.Trace.create ~width:1 in
+        for i = 0 to 1024 do
+          Sim.Trace.record tr (float_of_int i) [| 0. |]
+        done;
+        (* sample 1024 opened a fresh chunk; overwrite it in place *)
+        Sim.Trace.record tr 1024. [| 9. |];
+        check_int "length" 1025 (Sim.Trace.length tr);
+        (match Sim.Trace.last tr with
+        | Some (t, v) ->
+            check_float "time" 1024. t;
+            check_float "replaced" 9. v.(0)
+        | None -> Alcotest.fail "expected sample"));
+    test "clear then refill reuses chunks without stale data" (fun () ->
+        let tr = Sim.Trace.create ~width:2 in
+        for i = 0 to 1499 do
+          Sim.Trace.record tr (float_of_int i) [| 1.; 2. |]
+        done;
+        Sim.Trace.clear tr;
+        check_int "cleared" 0 (Sim.Trace.length tr);
+        Sim.Trace.record tr 0.5 [| 7.; 8. |];
+        check_int "one sample" 1 (Sim.Trace.length tr);
+        check_vec "times" [| 0.5 |] (Sim.Trace.times tr);
+        let m = Sim.Trace.component tr 1 in
+        check_vec "fresh values" [| 8. |] m.Control.Metrics.values);
+    test "to_csv spans chunks" (fun () ->
+        let tr = Sim.Trace.create ~width:1 in
+        for i = 0 to 1100 do
+          Sim.Trace.record tr (float_of_int i) [| float_of_int i |]
+        done;
+        let csv = Sim.Trace.to_csv tr in
+        check_int "rows" (1101 + 1) (List.length (String.split_on_char '\n' (String.trim csv))));
   ]
 
 (* ------------------------------------------------------------------ *)
