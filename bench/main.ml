@@ -504,6 +504,66 @@ let bench_sim_hot_loop_ode =
          Sim.Engine.run ~t_end:5. hot_ode_engine))
 
 (* ------------------------------------------------------------------ *)
+(* media benches: CAN-like arbitration in isolation (hundreds of
+   nodes) and through the executive.  CI tracks both against
+   BENCH_BASELINE.json (scripts/compare_bench.sh). *)
+
+let media_bus_cfg =
+  (* 200 background nodes, mixed priorities and payloads, ~20 %
+     aggregate utilization *)
+  let nodes = 200 in
+  let load =
+    List.init nodes (fun i ->
+        Media.Load.periodic ~jitter_frac:0.2 ~node:i
+          ~ident:(if i mod 7 = 0 then i else 256 + i)
+          ~words:(1 + (i mod 8))
+          ~period:(0.5 *. float_of_int nodes /. 64.)
+          ())
+  in
+  Media.Bus.make ~name:"bus" ~time_per_word:0.0001 ~frame_overhead:0.001 ~seed:42
+    ~load ()
+
+let bench_media_arbitration =
+  Test.make ~name:"media_arbitration"
+    (Staged.stage (fun () ->
+         let b = Media.Bus.create media_bus_cfg in
+         for k = 0 to 99 do
+           ignore
+             (Media.Bus.transmit b ~ident:300 ~node:(k mod 200)
+                ~release:(0.01 *. float_of_int k)
+                ~duration:0.0005)
+         done;
+         Media.Bus.drain b ~until:1.0))
+
+let fj8_sched =
+  Aaa.Adequation.run ~algorithm:fj8 ~architecture:fj8_arch ~durations:fj8_dur ()
+
+let fj8_exe = Aaa.Codegen.generate fj8_sched
+
+let contention_bus =
+  Media.Bus.make ~name:"bus" ~time_per_word:0.002 ~frame_overhead:0.004 ~seed:11
+    ~load:
+      [
+        Media.Load.periodic ~jitter_frac:0.3 ~node:0 ~ident:8 ~words:2
+          ~period:0.05 ();
+      ]
+    ()
+
+let bench_exec_bus_contention =
+  Test.make ~name:"exec_bus_contention"
+    (Staged.stage (fun () ->
+         ignore
+           (Exec.Machine.run
+              ~config:
+                {
+                  Exec.Machine.default_config with
+                  iterations = 20;
+                  durations = Some fj8_dur;
+                  bus_models = [ ("bus", contention_bus) ];
+                }
+              fj8_exe)))
+
+(* ------------------------------------------------------------------ *)
 
 let tests =
   [
@@ -536,6 +596,8 @@ let tests =
     bench_serve_batch_rebuild;
     bench_sim_hot_loop_events;
     bench_sim_hot_loop_ode;
+    bench_media_arbitration;
+    bench_exec_bus_contention;
   ]
 
 (* --json FILE: also dump [{"name": ..., "time_ns": ...}, ...] so CI

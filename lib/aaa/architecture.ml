@@ -78,7 +78,13 @@ let add_medium a ~name ~kind ?(latency = 0.) ~time_per_word endpoints =
         invalid_arg "[ARCH002] Architecture.add_medium: point-to-point medium needs exactly two operators"
   | Bus ->
       if List.length endpoints < 2 then
-        invalid_arg "[ARCH002] Architecture.add_medium: bus needs at least two operators");
+        invalid_arg "[ARCH002] Architecture.add_medium: bus needs at least two operators";
+      (* a shared bus with a zero word time has infinite capacity: every
+         arbitration/utilization analysis on it divides by zero.  The
+         point-to-point kind keeps accepting 0 (an idealised wire). *)
+      if time_per_word = 0. then
+        invalid_arg
+          "[ARCH002] Architecture.add_medium: zero-capacity bus (time_per_word must be > 0)");
   let m =
     { m_name = name; m_kind = kind; m_latency = latency; m_time_per_word = time_per_word;
       m_endpoints = endpoints }

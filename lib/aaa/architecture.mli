@@ -29,8 +29,11 @@ val add_medium :
 (** Adds a medium connecting the given operators.  Transferring a
     message of [w] words takes [latency + w·time_per_word]
     (default latency [0.]).  A point-to-point medium must connect
-    exactly two distinct operators; a bus at least two.  Raises
-    [Invalid_argument]. *)
+    exactly two distinct operators; a bus at least two, and a bus must
+    have [time_per_word > 0] — a zero word time would give it infinite
+    capacity, which the shared-bus analyses (media utilization,
+    arbitration) cannot price.  Raises [Invalid_argument] with an
+    ["[ARCH002]"] prefix on violated timing/topology constraints. *)
 
 val operator_count : t -> int
 val medium_count : t -> int
@@ -83,7 +86,9 @@ val bus_topology :
   string list ->
   t
 (** Processors named by the list, all on one shared bus — the typical
-    automotive CAN architecture of the paper's target domain. *)
+    automotive CAN architecture of the paper's target domain.  Same
+    constraints as {!add_medium} with [~kind:Bus]: at least two
+    processors and [time_per_word > 0]. *)
 
 val fully_connected :
   ?name:string -> ?latency:float -> time_per_word:float -> string list -> t

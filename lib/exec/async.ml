@@ -14,6 +14,7 @@ type config = {
   condition : iteration:int -> var:string -> int;
   injection : Injection.t;
   recovery : Recovery.policy;
+  bus_models : (string * Media.Bus.config) list;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     condition = (fun ~iteration:_ ~var:_ -> 0);
     injection = Injection.none;
     recovery = Recovery.disabled;
+    bus_models = [];
   }
 
 type trace = {
@@ -41,6 +43,7 @@ type trace = {
   retransmissions : int;
   recovered_transfers : int;
   recovery_events : Recovery.event list;
+  bus_log : (string * Media.Bus.completion list) list;
 }
 
 let slot_key (c : Sched.comm_slot) =
@@ -82,6 +85,32 @@ let run ?(config = default_config) exe =
   let overruns = ref 0 in
   let inj = config.injection in
   let have_inj = not (Injection.is_none inj) in
+  (* shared-bus models, one fresh Media.Bus.t per modeled medium *)
+  let buses =
+    if config.bus_models = [] then [||]
+    else begin
+      let arch = sched.Sched.architecture in
+      let arr = Array.make (Arch.medium_count arch) None in
+      List.iter
+        (fun (bname, bcfg) ->
+          match Arch.find_medium arch bname with
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "[MEDIA004] Async.run: bus model %S names no medium of architecture %S"
+                   bname (Arch.name arch))
+          | Some mid ->
+              if Arch.medium_kind arch mid <> Arch.Bus then
+                invalid_arg
+                  (Printf.sprintf
+                     "[MEDIA004] Async.run: medium %S is not a shared bus"
+                     bname);
+              arr.((mid :> int)) <- Some (Media.Bus.create bcfg))
+        config.bus_models;
+      arr
+    end
+  in
+  let bus_of mid = if Array.length buses = 0 then None else buses.(mid) in
   let pol = config.recovery in
   let retrans_on = have_inj && Recovery.retransmission_enabled pol in
   let lost_transfers = ref 0 in
@@ -190,7 +219,37 @@ let run ?(config = default_config) exe =
   List.iter
     (fun (planned_start, c, k) ->
       let clock = medium_clock ((c.Sched.cm_medium :> int)) in
-      let start = Float.max !clock planned_start in
+      let bus = bus_of (c.Sched.cm_medium :> int) in
+      let release = Float.max !clock planned_start in
+      (* with a bus model, the slot's frame is enqueued at its planned
+         offset and arbitrates against the bus's other traffic; the
+         fixed-duration path below is bit-for-bit the original *)
+      let start, t_done0, bus_dropped =
+        match bus with
+        | None -> (release, release +. c.Sched.cm_duration, false)
+        | Some b ->
+            let node = (c.Sched.cm_from :> int) in
+            let duration =
+              if config.comm_jitter_frac <= 0. || c.Sched.cm_duration <= 0. then
+                c.Sched.cm_duration
+              else
+                Numerics.Rng.uniform rng
+                  ((1. -. Float.min 1. config.comm_jitter_frac)
+                  *. c.Sched.cm_duration)
+                  c.Sched.cm_duration
+            in
+            if Media.Bus.node_off b ~node ~time:release then
+              (* a bus-off interface posts nothing and occupies no bus *)
+              (release, release, true)
+            else
+              let comp =
+                Media.Bus.transmit b ~ident:(Media.Bus.slot_identifier c)
+                  ~node ~release ~duration
+              in
+              ( comp.Media.Bus.c_start,
+                comp.Media.Bus.c_finish,
+                comp.Media.Bus.c_dropped )
+      in
       let ready =
         if c.Sched.cm_hop = 0 then (table posted (slot_key c)).(k)
         else (table arrival (prev_key c)).(k)
@@ -203,10 +262,10 @@ let run ?(config = default_config) exe =
            || inj.Injection.transfer_lost ~iteration:k ~slot:c)
       in
       (* the slot is consumed whether or not fresh data made it *)
-      let t_done = ref (start +. c.Sched.cm_duration) in
-      let delivered = ref (not dropped) in
+      let t_done = ref t_done0 in
+      let delivered = ref (not (dropped || bus_dropped)) in
       let attempts = ref 0 in
-      if dropped && data_ready && retrans_on then begin
+      if dropped && (not bus_dropped) && data_ready && retrans_on then begin
         (* retries extend the slot past its planned end; the table's
            later transfers on this medium are pushed back — recovery
            can itself cause overruns *)
@@ -221,10 +280,24 @@ let run ?(config = default_config) exe =
           incr used;
           incr retransmissions;
           let retry_start = !t_done +. Recovery.backoff_delay pol ~attempt:!attempts in
-          t_done := retry_start +. c.Sched.cm_duration;
+          let retry_bus_dropped =
+            match bus with
+            | None ->
+                t_done := retry_start +. c.Sched.cm_duration;
+                false
+            | Some b ->
+                let comp =
+                  Media.Bus.transmit b ~ident:(Media.Bus.slot_identifier c)
+                    ~node:(c.Sched.cm_from :> int)
+                    ~release:retry_start ~duration:c.Sched.cm_duration
+                in
+                t_done := comp.Media.Bus.c_finish;
+                comp.Media.Bus.c_dropped
+          in
           delivered :=
             not
-              (inj.Injection.medium_down ~medium:medium_name ~time:retry_start
+              (retry_bus_dropped
+              || inj.Injection.medium_down ~medium:medium_name ~time:retry_start
               || inj.Injection.retry_lost ~attempt:!attempts ~iteration:k ~slot:c)
         done;
         Hashtbl.replace retry_used mkey !used;
@@ -237,25 +310,31 @@ let run ?(config = default_config) exe =
                { time = !t_done; iteration = k; medium = medium_name; attempts = !attempts })
           :: !events
       end;
-      if dropped then
+      if bus_dropped then incr lost_transfers
+      else if dropped then
         if !delivered then incr recovered_transfers else incr lost_transfers;
       clock := !t_done;
       if !delivered && data_ready then
         (table arrival (slot_key c)).(k) <-
-          (if !attempts > 0 then !t_done
-           else begin
-             (* same rng draw as the recovery-free path, so disabling
-                recovery replays the seed's stream exactly *)
-             let duration =
-               if config.comm_jitter_frac <= 0. || c.Sched.cm_duration <= 0. then
-                 c.Sched.cm_duration
-               else
-                 Numerics.Rng.uniform rng
-                   ((1. -. Float.min 1. config.comm_jitter_frac) *. c.Sched.cm_duration)
-                   c.Sched.cm_duration
-             in
-             start +. duration
-           end))
+          (match bus with
+          | Some _ ->
+              (* bus timing already includes the jittered frame time *)
+              !t_done
+          | None ->
+              if !attempts > 0 then !t_done
+              else begin
+                (* same rng draw as the recovery-free path, so disabling
+                   recovery replays the seed's stream exactly *)
+                let duration =
+                  if config.comm_jitter_frac <= 0. || c.Sched.cm_duration <= 0. then
+                    c.Sched.cm_duration
+                  else
+                    Numerics.Rng.uniform rng
+                      ((1. -. Float.min 1. config.comm_jitter_frac) *. c.Sched.cm_duration)
+                      c.Sched.cm_duration
+                in
+                start +. duration
+              end))
     instances;
   (* phase 3: freshness — iteration k's read is stale when iteration
      k's transfer had not arrived yet *)
@@ -293,6 +372,21 @@ let run ?(config = default_config) exe =
         (op, Array.mapi (fun k t -> t -. (float_of_int k *. period)) f))
       (Alg.actuators alg)
   in
+  let bus_log =
+    if Array.length buses = 0 then []
+    else begin
+      let arch = sched.Sched.architecture in
+      let horizon = float_of_int config.iterations *. period in
+      List.filter_map
+        (fun (mid : Arch.medium_id) ->
+          match buses.((mid :> int)) with
+          | None -> None
+          | Some b ->
+              Media.Bus.drain b ~until:horizon;
+              Some (Arch.medium_name arch mid, Media.Bus.log b))
+        (Arch.media arch)
+    end
+  in
   {
     period;
     iterations = config.iterations;
@@ -306,4 +400,5 @@ let run ?(config = default_config) exe =
     (* the Hashtbl.iter above enumerates in hash order: sort for a
        deterministic event list *)
     recovery_events = List.sort Recovery.compare_event !events;
+    bus_log;
   }

@@ -42,6 +42,14 @@ type config = {
           dated violation.  The heartbeat supervisor / mode switch is
           {!Machine}-only — a static table cannot re-dispatch online;
           [failover] is ignored here. *)
+  bus_models : (string * Media.Bus.config) list;
+      (** shared-bus network models, keyed by medium name — same
+          contract as {!Machine.config}.  Each listed medium's slots
+          become frames enqueued at their planned table offsets,
+          arbitrating against the bus's background traffic; since reads
+          stay at their planned offsets, arbitration delay surfaces
+          directly as freshness [violations].  Default [\[\]]: fixed
+          planned durations, bit-for-bit as before. *)
 }
 
 val default_config : config
@@ -67,6 +75,10 @@ type trace = {
       (** dated {!Recovery.Stale_detected} / retransmission events,
           sorted under {!Recovery.compare_event} (the internal
           freshness sweep enumerates in hash order) *)
+  bus_log : (string * Media.Bus.completion list) list;
+      (** per modeled bus, every frame completion in chronological
+          order, drained to the run horizon — empty without
+          [bus_models] *)
 }
 
 val run : ?config:config -> Aaa.Codegen.t -> trace

@@ -17,6 +17,7 @@ type config = {
   condition : iteration:int -> var:string -> int;
   injection : Injection.t;
   recovery : Recovery.policy;
+  bus_models : (string * Media.Bus.config) list;
 }
 
 let default_config =
@@ -32,6 +33,7 @@ let default_config =
     condition = (fun ~iteration:_ ~var:_ -> 0);
     injection = Injection.none;
     recovery = Recovery.disabled;
+    bus_models = [];
   }
 
 type op_exec = {
@@ -66,6 +68,7 @@ type trace = {
   recovery_events : Recovery.event list;
   detection_latency : float option;
   switched_at : int option;
+  bus_log : (string * Media.Bus.completion list) list;
   continuation : trace option;
 }
 
@@ -126,6 +129,33 @@ let run_single ~(config : config) exe =
   let comms_log = ref [] in
   let inj = config.injection in
   let have_inj = not (Injection.is_none inj) in
+  (* shared-bus models: one fresh Media.Bus.t per modeled medium per
+     run (each phase of a failover run gets its own, in its own frame) *)
+  let buses =
+    if config.bus_models = [] then [||]
+    else begin
+      let arr = Array.make (Arch.medium_count arch) None in
+      List.iter
+        (fun (bname, bcfg) ->
+          match Arch.find_medium arch bname with
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "[MEDIA004] Machine.run: bus model %S names no medium of architecture %S"
+                   bname (Arch.name arch))
+          | Some mid ->
+              if Arch.medium_kind arch mid <> Arch.Bus then
+                invalid_arg
+                  (Printf.sprintf
+                     "[MEDIA004] Machine.run: medium %S is not a shared bus"
+                     bname);
+              arr.((mid :> int)) <- Some (Media.Bus.create bcfg))
+        config.bus_models;
+      arr
+    end
+  in
+  let have_bus = Array.length buses > 0 in
+  let bus_of mid = if have_bus then buses.(mid) else None in
   let pol = config.recovery in
   let retrans_on = have_inj && Recovery.retransmission_enabled pol in
   (* per hop instance: the payload carried is stale (lost somewhere
@@ -244,7 +274,7 @@ let run_single ~(config : config) exe =
           if Float.is_nan t then false
           else begin
             os.os_time <- Float.max os.os_time t;
-            if have_inj && (lost_arr (slot_key c)).(os.os_iter) then begin
+            if (have_inj || have_bus) && (lost_arr (slot_key c)).(os.os_iter) then begin
               incr stale_reads;
               if pol.Recovery.freshness_watchdog then
                 events :=
@@ -282,9 +312,41 @@ let run_single ~(config : config) exe =
       let t_posted = posted_arr.(ms.ms_iter) in
       if Float.is_nan t_posted then false
       else begin
-        let start = Float.max ms.ms_time t_posted in
-        let finish = ref (start +. sample_comm_duration c.Sched.cm_duration) in
-        if have_inj then begin
+        let bus = bus_of (c.Sched.cm_medium :> int) in
+        (* with a bus model attached, the transfer becomes a frame
+           arbitrating against the bus's other traffic; without one,
+           the fixed-duration path below is bit-for-bit the original *)
+        let start, finish0, bus_dropped =
+          match bus with
+          | None ->
+              let start = Float.max ms.ms_time t_posted in
+              (start, start +. sample_comm_duration c.Sched.cm_duration, false)
+          | Some b ->
+              let release = Float.max ms.ms_time t_posted in
+              let node = (c.Sched.cm_from :> int) in
+              let duration = sample_comm_duration c.Sched.cm_duration in
+              if Media.Bus.node_off b ~node ~time:release then
+                (* a bus-off interface posts nothing: the slot still
+                   elapses (no bus occupancy) so the Recv unblocks *)
+                (release, release +. duration, true)
+              else
+                let comp =
+                  Media.Bus.transmit b ~ident:(Media.Bus.slot_identifier c)
+                    ~node ~release ~duration
+                in
+                ( comp.Media.Bus.c_start,
+                  comp.Media.Bus.c_finish,
+                  comp.Media.Bus.c_dropped )
+        in
+        let finish = ref finish0 in
+        if bus_dropped then begin
+          let la = lost_arr (slot_key c) in
+          if not la.(ms.ms_iter) then begin
+            la.(ms.ms_iter) <- true;
+            incr lost_transfers
+          end
+        end;
+        if have_inj || have_bus then begin
           let inherited =
             let key =
               if c.Sched.cm_hop = 0 then slot_key c
@@ -296,12 +358,14 @@ let run_single ~(config : config) exe =
           in
           let medium_name = Arch.medium_name arch c.Sched.cm_medium in
           let dropped =
-            inj.Injection.medium_down ~medium:medium_name ~time:start
-            || inj.Injection.transfer_lost ~iteration:ms.ms_iter ~slot:c
+            have_inj
+            && (inj.Injection.medium_down ~medium:medium_name ~time:start
+               || inj.Injection.transfer_lost ~iteration:ms.ms_iter ~slot:c)
           in
           if inherited then
-            (* stale at the source: a retransmission would resend the
-               same stale payload, so the mark just propagates *)
+            (* stale at the source (or already dropped by the bus): a
+               retransmission would resend the same stale payload, so
+               the mark just propagates *)
             (lost_arr (slot_key c)).(ms.ms_iter) <- true
           else if dropped then begin
             (* bounded retransmission with exponential backoff; every
@@ -324,10 +388,30 @@ let run_single ~(config : config) exe =
                 let retry_start =
                   !finish +. Recovery.backoff_delay pol ~attempt:!attempts
                 in
-                finish := retry_start +. sample_comm_duration c.Sched.cm_duration;
+                (* a retransmission re-arbitrates like any other frame
+                   when a bus model is attached *)
+                let retry_bus_dropped =
+                  match bus with
+                  | None ->
+                      finish :=
+                        retry_start +. sample_comm_duration c.Sched.cm_duration;
+                      false
+                  | Some b ->
+                      let comp =
+                        Media.Bus.transmit b
+                          ~ident:(Media.Bus.slot_identifier c)
+                          ~node:(c.Sched.cm_from :> int)
+                          ~release:retry_start
+                          ~duration:(sample_comm_duration c.Sched.cm_duration)
+                      in
+                      finish := comp.Media.Bus.c_finish;
+                      comp.Media.Bus.c_dropped
+                in
                 delivered :=
                   not
-                    (inj.Injection.medium_down ~medium:medium_name ~time:retry_start
+                    (retry_bus_dropped
+                    || inj.Injection.medium_down ~medium:medium_name
+                         ~time:retry_start
                     || inj.Injection.retry_lost ~attempt:!attempts
                          ~iteration:ms.ms_iter ~slot:c)
               done;
@@ -422,6 +506,20 @@ let run_single ~(config : config) exe =
   Array.iteri
     (fun k t_end -> if t_end > (float_of_int (k + 1) *. period) +. 1e-9 then incr overruns)
     iteration_end;
+  let bus_log =
+    if not have_bus then []
+    else begin
+      let horizon = float_of_int config.iterations *. period in
+      List.filter_map
+        (fun (mid : Arch.medium_id) ->
+          match buses.((mid :> int)) with
+          | None -> None
+          | Some b ->
+              Media.Bus.drain b ~until:horizon;
+              Some (Arch.medium_name arch mid, Media.Bus.log b))
+        (Arch.media arch)
+    end
+  in
   {
     executive = exe;
     period;
@@ -437,6 +535,7 @@ let run_single ~(config : config) exe =
     recovery_events = List.sort Recovery.compare_event !events;
     detection_latency = None;
     switched_at = None;
+    bus_log;
     continuation = None;
   }
 
@@ -557,6 +656,7 @@ let run ?(config = default_config) exe =
             recovery_events = events;
             detection_latency = latency;
             switched_at = Some k_switch;
+            bus_log = phase1.bus_log;
             continuation = Some phase2;
           }
       | Some _ | None ->

@@ -49,6 +49,19 @@ type config = {
       (** online detection & recovery — see {!Recovery}.  With
           {!Recovery.disabled} (the default) the executive behaves
           exactly as before: faults stay silent in the counters. *)
+  bus_models : (string * Media.Bus.config) list;
+      (** shared-bus network models, keyed by medium name.  A listed
+          medium's transfers become frames on a fresh {!Media.Bus.t}
+          (one per run; a failover run's phases each get their own, in
+          their own frame): the completion instant comes from CAN-like
+          arbitration against the bus's background traffic, corrupted
+          frames consume bus time and retry up to the bus's limit
+          before the payload goes stale, and a bus-off source loses its
+          frames without occupying the bus.  Recovery retransmissions
+          re-arbitrate like any other frame.  With the default [\[\]]
+          every transfer keeps its fixed planned duration, bit-for-bit.
+          Raises [Invalid_argument] (["[MEDIA004]"]) when a name
+          matches no medium or a point-to-point one. *)
 }
 
 val default_config : config
@@ -104,6 +117,12 @@ type trace = {
           confirmed a fail-stop *)
   switched_at : int option;
       (** iteration index at which the mode switch took effect *)
+  bus_log : (string * Media.Bus.completion list) list;
+      (** per modeled bus, every frame completion (executive transfers
+          and background traffic) in chronological order, drained to
+          the run horizon — empty without [bus_models].  After a mode
+          switch this is the nominal phase's log; the failover phase's
+          log lives in its [continuation]. *)
   continuation : trace option;
       (** after a mode switch, the failover phase as its own trace {e in
           its own frame}: its executive is the failover one (renumbered

@@ -75,8 +75,8 @@ let recovery_engine ~design ~(nominal : Meth.implementation) ?failover ~fail_tim
   Sim.Engine.run ~t_end:design.Design.horizon engine;
   engine
 
-let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ?recovery ~design
-    ~architecture ~durations ~scenarios () =
+let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ?recovery
+    ?(bus_models = []) ~design ~architecture ~durations ~scenarios () =
   if scenarios = [] then invalid_arg "Robustness.evaluate: no scenarios";
   let pool = match pool with Some p -> p | None -> Explore.Pool.default () in
   let nominal = Meth.implement ?strategy ~design ~architecture ~durations () in
@@ -118,7 +118,10 @@ let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ?recovery ~des
           design.Design.cost (Meth.simulate_implemented ~mode design nominal) )
       end
     in
-    (* executive side: the nominal deployment with the faults injected *)
+    (* executive side: the nominal deployment with the faults injected;
+       bus-level events fold into the attached bus models (the control
+       cost above stays bus-blind — the delay graph prices transfers
+       with the temporal model, documented in the mli) *)
     let injection = Scenario.injection scenario ~architecture in
     let config =
       {
@@ -127,6 +130,7 @@ let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ?recovery ~des
         seed = scenario.Scenario.seed;
         durations = Some durations;
         injection;
+        bus_models = Scenario.apply_bus scenario ~architecture bus_models;
       }
     in
     let config =

@@ -92,6 +92,7 @@ val evaluate :
   ?replicas:(string * string) list ->
   ?pool:Explore.Pool.t ->
   ?recovery:Exec.Recovery.policy ->
+  ?bus_models:(string * Media.Bus.config) list ->
   design:Lifecycle.Design.t ->
   architecture:Aaa.Architecture.t ->
   durations:Aaa.Durations.t ->
@@ -117,6 +118,16 @@ val evaluate :
     (switching to the failover delay graph) and frozen (no recovery,
     plant open-loop from the failure on) — giving the
     recovery-vs-no-recovery control costs and, when the design has a
-    [phase_cost], the nominal / transient / degraded split. *)
+    [phase_cost], the nominal / transient / degraded split.
+
+    With [bus_models] (default [\[\]]), every injected machine run
+    routes its transfers through the shared-bus network models, with
+    each scenario's bus-level events ([Bus_corruption],
+    [Babbling_idiot], [Bus_off]) folded in via {!Scenario.apply_bus} —
+    contention, corruption retries and starvation then show up in the
+    per-scenario [lost_transfers] / [stale_reads] / [overruns]
+    counters.  The control-cost co-simulation stays bus-blind: the
+    delay graph prices transfers with the temporal model's fixed
+    durations. *)
 
 val pp : Format.formatter -> summary -> unit

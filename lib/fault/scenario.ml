@@ -8,6 +8,16 @@ type event =
       overrun_prob : float;
       factor : float;
     }
+  | Bus_corruption of { medium : string option; prob : float }
+  | Babbling_idiot of {
+      medium : string;
+      ident : int;
+      words : int;
+      period : float;
+      from_t : float;
+      until_t : float;
+    }
+  | Bus_off of { operator : string; at : float }
 
 type t = { name : string; seed : int; events : event list }
 
@@ -32,6 +42,27 @@ let validate_event = function
       check_prob "burst overrun" overrun_prob;
       if factor <= 1. then
         invalid_arg (Printf.sprintf "Scenario.make: overrun factor %g must exceed 1" factor)
+  | Bus_corruption { prob; _ } -> check_prob "bus-corruption" prob
+  | Babbling_idiot { medium; ident; words; period; from_t; until_t } ->
+      if ident < 0 then
+        invalid_arg
+          (Printf.sprintf "Scenario.make: babbling identifier %d on %S is negative" ident
+             medium);
+      if words < 0 then
+        invalid_arg
+          (Printf.sprintf "Scenario.make: babbling payload of %d words is negative" words);
+      if period <= 0. then
+        invalid_arg
+          (Printf.sprintf "Scenario.make: babbling period %g on %S is not positive" period
+             medium);
+      if from_t < 0. || until_t <= from_t then
+        invalid_arg
+          (Printf.sprintf "Scenario.make: babbling window [%g, %g) on %S is empty" from_t
+             until_t medium)
+  | Bus_off { operator; at } ->
+      if at < 0. then
+        invalid_arg
+          (Printf.sprintf "Scenario.make: bus-off of %S at negative time %g" operator at)
 
 let make ~name ~seed events =
   List.iter validate_event events;
@@ -65,6 +96,7 @@ let tag_loss = 1
 let tag_burst_state = 2
 let tag_burst_overrun = 3
 let tag_retry = 4
+let tag_bus_corrupt = 5
 
 let slot_coords (c : Aaa.Schedule.comm_slot) =
   [
@@ -123,9 +155,22 @@ let injection t ~architecture =
       | Processor_failstop { operator; _ } -> check_operator operator
       | Medium_outage { medium; _ } -> check_medium medium
       | Message_loss { medium = Some m; _ } -> check_medium m
-      | Message_loss { medium = None; _ } | Overrun_burst _ -> ())
+      | Bus_corruption { medium = Some m; _ } -> check_medium m
+      | Babbling_idiot { medium; _ } -> check_medium medium
+      | Bus_off { operator; _ } -> check_operator operator
+      | Message_loss { medium = None; _ }
+      | Bus_corruption { medium = None; _ }
+      | Overrun_burst _ -> ())
     t.events;
-  if t.events = [] then Exec.Injection.none
+  let is_bus_event = function
+    | Bus_corruption _ | Babbling_idiot _ | Bus_off _ -> true
+    | _ -> false
+  in
+  (* bus-level events act through [apply_bus] on the attached bus
+     models, not through the structural injection: a scenario with only
+     bus events compiles to [Injection.none] so the executives keep
+     their fast no-fault path *)
+  if List.for_all is_bus_event t.events then Exec.Injection.none
   else begin
     let fail_times =
       List.filter_map
@@ -203,6 +248,84 @@ let injection t ~architecture =
     { Exec.Injection.operator_failed; medium_down; transfer_lost; retry_lost; overrun }
   end
 
+(* synthetic node ids for babbling-idiot streams: far above any
+   operator id, so a Bus_off on an operator never silences them *)
+let babbling_node index = 1000 + index
+
+let apply_bus t ~architecture models =
+  let module Arch = Aaa.Architecture in
+  List.iter
+    (function
+      | Bus_corruption { medium = Some m; _ } | Babbling_idiot { medium = m; _ } ->
+          if Arch.find_medium architecture m = None then
+            invalid_arg (Printf.sprintf "Scenario.apply_bus: unknown medium %S" m)
+      | Bus_off { operator; _ } ->
+          if Arch.find_operator architecture operator = None then
+            invalid_arg (Printf.sprintf "Scenario.apply_bus: unknown operator %S" operator)
+      | _ -> ())
+    t.events;
+  let indexed = List.mapi (fun i e -> (i, e)) t.events in
+  let offs =
+    List.filter_map
+      (function
+        | _, Bus_off { operator; at } ->
+            Option.map
+              (fun (op : Arch.operator_id) -> ((op :> int), at))
+              (Arch.find_operator architecture operator)
+        | _ -> None)
+      indexed
+  in
+  List.map
+    (fun (bus_name, (cfg : Media.Bus.config)) ->
+      let corrupts =
+        List.filter_map
+          (function
+            | i, Bus_corruption { medium; prob }
+              when medium = None || medium = Some bus_name ->
+                Some (i, prob)
+            | _ -> None)
+          indexed
+      in
+      let babbles =
+        List.filter_map
+          (function
+            | i, Babbling_idiot { medium; ident; words; period; from_t; until_t }
+              when medium = bus_name ->
+                Some
+                  (Media.Load.periodic ~node:(babbling_node i) ~ident ~words ~period
+                     ~from_t ~until_t ())
+            | _ -> None)
+          indexed
+      in
+      if corrupts = [] && babbles = [] && offs = [] then (bus_name, cfg)
+      else begin
+        let base = cfg.Media.Bus.b_faults in
+        let faults =
+          {
+            Media.Bus.f_corrupted =
+              (fun ~ident ~node ~attempt ~seq ->
+                base.Media.Bus.f_corrupted ~ident ~node ~attempt ~seq
+                || List.exists
+                     (fun (index, prob) ->
+                       (* decisions hash the *scenario* seed, so the
+                          same scenario corrupts the same frames on any
+                          bus configuration *)
+                       u01 ~seed:t.seed
+                         [ tag_bus_corrupt; index; ident; node; attempt; seq ]
+                       < prob)
+                     corrupts);
+            f_node_off =
+              (fun ~node ~time ->
+                base.Media.Bus.f_node_off ~node ~time
+                || List.exists
+                     (fun (op, at) -> op = node && time >= at -. 1e-12)
+                     offs);
+          }
+        in
+        (bus_name, { cfg with Media.Bus.b_faults = faults; b_load = cfg.Media.Bus.b_load @ babbles })
+      end)
+    models
+
 let single_processor_failures ?(at = 0.) ~seed architecture =
   let module Arch = Aaa.Architecture in
   List.mapi
@@ -225,6 +348,14 @@ let pp_event ppf = function
   | Overrun_burst { start_prob; stop_prob; overrun_prob; factor } ->
       Format.fprintf ppf "overrun bursts (start %g, stop %g, p %g, x%g)" start_prob
         stop_prob overrun_prob factor
+  | Bus_corruption { medium; prob } ->
+      Format.fprintf ppf "frame corruption p=%g on %s" prob
+        (match medium with Some m -> m | None -> "all buses")
+  | Babbling_idiot { medium; ident; words; period; from_t; until_t } ->
+      Format.fprintf ppf "babbling idiot on %s (id %d, %d words every %g s, [%g, %g) s)"
+        medium ident words period from_t until_t
+  | Bus_off { operator; at } ->
+      Format.fprintf ppf "bus-off of %s at %g s" operator at
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>scenario %S (seed %d):" t.name t.seed;

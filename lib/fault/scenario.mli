@@ -30,6 +30,34 @@ type event =
       (** a two-state (Gilbert-style) burst process: interference
           arrives in correlated windows rather than i.i.d. — the
           structural version of {!Exec.Machine.config.overrun_prob}. *)
+  | Bus_corruption of { medium : string option; prob : float }
+      (** every frame transmission attempt on the modeled bus [medium]
+          (all modeled buses when [None]) is independently corrupted
+          with probability [prob]: the attempt occupies the bus and the
+          frame retries up to the bus's limit before its payload is
+          dropped — CAN's automatic retransmission under EMI.  Acts
+          through {!apply_bus} on the attached bus models (no effect
+          without one). *)
+  | Babbling_idiot of {
+      medium : string;
+      ident : int;  (** identifier the babbler transmits at — pick < 256
+          to outrank every executive frame *)
+      words : int;
+      period : float;  (** inter-frame gap — pick close to the frame
+          time to starve the bus *)
+      from_t : float;
+      until_t : float;
+    }
+      (** a faulty node streaming high-priority frames over a window —
+          the classic CAN failure mode arbitration cannot defend
+          against.  Compiled by {!apply_bus} into an extra background
+          stream on the named bus's model. *)
+  | Bus_off of { operator : string; at : float }
+      (** [operator]'s bus interface goes silent from [at] on: the
+          operator keeps computing, but its frames on modeled buses are
+          lost without occupying the bus (unlike
+          {!Processor_failstop}, which stops the computations too).
+          Acts through {!apply_bus}. *)
 
 type t = private { name : string; seed : int; events : event list }
 
@@ -48,7 +76,28 @@ val injection : t -> architecture:Aaa.Architecture.t -> Exec.Injection.t
     from an independent hash stream (same loss probability), so
     enabling recovery never perturbs the original loss decisions.
     Raises [Invalid_argument] when an event names an operator or
-    medium the architecture does not have. *)
+    medium the architecture does not have.
+
+    Bus-level events ([Bus_corruption], [Babbling_idiot], [Bus_off])
+    are {e not} part of the structural injection — they act on the
+    executives' attached bus models through {!apply_bus}.  A scenario
+    holding only bus events compiles to {!Exec.Injection.none}, keeping
+    the executives' fast no-fault path. *)
+
+val apply_bus :
+  t ->
+  architecture:Aaa.Architecture.t ->
+  (string * Media.Bus.config) list ->
+  (string * Media.Bus.config) list
+(** Folds the scenario's bus-level events into the given bus models
+    (the [bus_models] the executives take): [Bus_corruption] composes a
+    per-attempt corruption decision (a pure hash of the {e scenario}
+    seed and the frame's coordinates, independent of the bus's own
+    seed), [Babbling_idiot] appends a high-priority background stream
+    (on a synthetic node id ≥ 1000), and [Bus_off] silences the named
+    operator's node id on every modeled bus.  Models the scenario does
+    not touch pass through unchanged.  Raises [Invalid_argument] when
+    an event names an unknown operator or medium. *)
 
 val failed_operators : t -> string list
 (** Operators fail-stopped by the scenario, in event order (the

@@ -1,0 +1,151 @@
+(** Deterministic discrete-event model of a CAN-like shared bus.
+
+    Frames carry an identifier (lower wins), a transmitting node and a
+    payload; arbitration is fixed-priority and non-preemptive: whenever
+    the bus goes idle, the pending frame with the lowest identifier
+    starts transmitting and occupies the bus for its whole frame time.
+    A corrupted attempt still occupies the bus (error frames are folded
+    into the frame time) and the frame re-enters arbitration at the end
+    of the attempt, up to [retry_limit] retransmissions before it is
+    dropped — CAN's automatic retransmission.
+
+    Two kinds of traffic share the bus:
+
+    - {b foreground} frames submitted one at a time through {!transmit}
+      — the executives' inter-operator transfers.  The caller supplies
+      the transmission duration (the schedule's [cm_duration], possibly
+      jittered), so an empty bus reproduces the fixed-duration timing
+      bit-for-bit: with no background load and {!no_faults},
+      [transmit] returns [start = max (bus idle) release] and
+      [finish = start + duration], exactly the fixed path, and consumes
+      no randomness.
+    - {b background} frames generated lazily from the configured
+      {!Load.stream}s; their frame time is
+      [frame_overhead + words·time_per_word].
+
+    All probabilistic behaviour (release jitter, fault decisions) is a
+    pure function of the seed and the frame's coordinates, so the whole
+    bus replays bit-for-bit under a fixed seed. *)
+
+type faults = {
+  f_corrupted : ident:int -> node:int -> attempt:int -> seq:int -> bool;
+      (** true corrupts transmission attempt [attempt] (1-based) of the
+          frame; the attempt occupies the bus, then the frame re-enters
+          arbitration.  Must be pure. *)
+  f_node_off : node:int -> time:float -> bool;
+      (** true silences [node] at [time]: its frames are never released
+          (bus-off).  Must be pure and, for a given node, monotone in
+          time. *)
+}
+
+val no_faults : faults
+(** Never corrupts, never silences.  Recognised physically: a config
+    carrying [no_faults] skips fault consultation entirely. *)
+
+type config = {
+  b_name : string;  (** medium name this model attaches to *)
+  b_time_per_word : float;  (** seconds per payload word, > 0 *)
+  b_frame_overhead : float;
+      (** per-frame framing/arbitration overhead in seconds, >= 0 —
+          applied to background frames (foreground durations come from
+          the schedule, which already prices the whole transfer) *)
+  b_retry_limit : int;
+      (** automatic retransmissions of a corrupted frame before it is
+          dropped, >= 0 *)
+  b_max_wait : float;
+      (** transmit abort: a foreground frame that has not won
+          arbitration within this many seconds of its release is
+          dropped as starved, > 0 (default [infinity]: wait forever).
+          On an {e overloaded} bus — background utilization at or above
+          1, flagged statically by rule MEDIA001 — higher-priority
+          traffic starves executive frames indefinitely; a finite bound
+          keeps such a simulation terminating. *)
+  b_seed : int;  (** drives background release jitter *)
+  b_load : Load.stream list;  (** background traffic *)
+  b_faults : faults;
+}
+
+val make :
+  ?frame_overhead:float ->
+  ?retry_limit:int ->
+  ?max_wait:float ->
+  ?seed:int ->
+  ?load:Load.stream list ->
+  ?faults:faults ->
+  name:string ->
+  time_per_word:float ->
+  unit ->
+  config
+(** Validating constructor (defaults: no overhead, 3 retries, unbounded
+    wait, seed 0, no load, {!no_faults}).  Raises [Invalid_argument]
+    with a ["[MEDIA004]"] prefix on a non-positive word time or max
+    wait, negative overhead or retry limit, or an invalid stream. *)
+
+val validate : config -> unit
+(** The constructor checks, re-runnable on a hand-forged record. *)
+
+val frame_time : config -> words:int -> float
+(** [frame_overhead + words·time_per_word] — the bus occupancy of one
+    background frame attempt. *)
+
+val slot_identifier : Aaa.Schedule.comm_slot -> int
+(** Canonical CAN-style identifier of a schedule transfer, hashed from
+    its coordinates (source/destination operation and port, hop) into
+    [\[256, 1023\]].  Background streams below 256 outrank every
+    executive frame; streams at 1024 and above always yield to it.
+    Collisions across slots are possible (arbitration stays
+    deterministic via tie-breaking) and are flagged by rule MEDIA003. *)
+
+type completion = {
+  c_ident : int;
+  c_node : int;
+  c_release : float;  (** first enqueue instant *)
+  c_start : float;  (** start of the final transmission attempt *)
+  c_finish : float;  (** bus release instant of the final attempt *)
+  c_attempts : int;  (** 1 + retransmissions consumed *)
+  c_dropped : bool;
+      (** retry limit exhausted, or the sender aborted after waiting
+          [b_max_wait] (then [c_start = c_finish], the give-up
+          instant): payload never delivered *)
+  c_background : bool;
+}
+
+type t
+(** Mutable run state of one bus.  Create one per simulation run: the
+    executives instantiate a fresh [t] from the attached config for
+    every run (and for each phase of a failover run), which is what
+    makes runs independent and reproducible. *)
+
+val create : config -> t
+val config : t -> config
+
+val transmit :
+  t -> ident:int -> node:int -> release:float -> duration:float -> completion
+(** Submit one foreground frame and simulate the bus until its final
+    attempt completes (delivered or dropped).  Background frames that
+    win arbitration in between are transmitted and logged.  [release]
+    may lie before the bus's current idle instant — the frame then
+    queues.  Foreground frames are serialised by the caller in schedule
+    order (the executives' static medium order guarantees this). *)
+
+val node_off : t -> node:int -> time:float -> bool
+(** Consult the fault model: is [node] bus-off at [time]?  The
+    executives use this to lose a silenced operator's transfers without
+    occupying the bus. *)
+
+val drain : t -> until:float -> unit
+(** Transmit every background frame released before [until] (final
+    attempts may finish after it).  Call at end of run so the log and
+    utilization cover the whole horizon. *)
+
+val log : t -> completion list
+(** Every completion so far, foreground and background, in
+    chronological transmission order. *)
+
+val busy_time : t -> float
+(** Total bus occupancy of all attempts so far, seconds. *)
+
+val utilization : t -> at:float -> float
+(** [busy_time / at] — fraction of the horizon the bus was busy
+    (slightly above the true value when a final attempt overruns
+    [at]). *)

@@ -1,0 +1,72 @@
+(* Seeded background traffic: release instants are pure hashes of
+   (seed, stream index, frame number), so the generator consumes no
+   stateful RNG — interleaving bus queries cannot perturb the traffic,
+   and an unloaded bus draws nothing at all.  Same machinery as
+   Fault.Scenario's decision sampler. *)
+
+type stream = {
+  l_node : int;
+  l_ident : int;
+  l_words : int;
+  l_period : float;
+  l_jitter_frac : float;
+  l_from : float;
+  l_until : float;
+}
+
+let bad fmt = Printf.ksprintf invalid_arg ("[MEDIA004] " ^^ fmt)
+
+let validate s =
+  if s.l_node < 0 then bad "stream node %d is negative" s.l_node;
+  if s.l_ident < 0 then bad "stream identifier %d is negative" s.l_ident;
+  if s.l_words < 0 then bad "stream payload of %d words is negative" s.l_words;
+  if not (s.l_period > 0.) then
+    bad "stream period %g is not positive" s.l_period;
+  if not (s.l_jitter_frac >= 0. && s.l_jitter_frac <= 1.) then
+    bad "stream jitter fraction %g is outside [0, 1]" s.l_jitter_frac;
+  if not (s.l_from >= 0.) then bad "stream start %g is negative" s.l_from;
+  if not (s.l_until > s.l_from) then
+    bad "stream window [%g, %g) is empty" s.l_from s.l_until
+
+let periodic ?(jitter_frac = 0.) ?(from_t = 0.) ?(until_t = infinity) ~node
+    ~ident ~words ~period () =
+  let s =
+    {
+      l_node = node;
+      l_ident = ident;
+      l_words = words;
+      l_period = period;
+      l_jitter_frac = jitter_frac;
+      l_from = from_t;
+      l_until = until_t;
+    }
+  in
+  validate s;
+  s
+
+let babbling ?(ident = 0) ?(words = 1) ~node ~period ~from_t ~until_t () =
+  periodic ~node ~ident ~words ~period ~from_t ~until_t ()
+
+(* SplitMix64 finalizer, as in Fault.Scenario. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let feed acc i =
+  mix Int64.(add (mul acc 0x9e3779b97f4a7c15L) (of_int (i + 1)))
+
+let hash01 ~seed coords =
+  let h = List.fold_left feed (mix (Int64.of_int seed)) coords in
+  let bits = Int64.(to_int (shift_right_logical h 11)) land ((1 lsl 53) - 1) in
+  float_of_int bits /. 9007199254740992.0 (* 2^53 *)
+
+(* stream-separating tag, kept clear of Fault.Scenario's tags 1-4 so a
+   shared seed never correlates bus jitter with injection decisions *)
+let tag_release = 11
+
+let release ~seed ~index s k =
+  let base = s.l_from +. (float_of_int k *. s.l_period) in
+  if s.l_jitter_frac = 0. then base
+  else base +. (s.l_jitter_frac *. s.l_period *. hash01 ~seed [ tag_release; index; k ])

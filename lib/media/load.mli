@@ -1,0 +1,73 @@
+(** Seeded background-traffic generators for the shared-bus model.
+
+    A {!stream} describes one source of background frames on a bus: a
+    node transmitting a fixed-identifier, fixed-size frame roughly
+    periodically over a window.  Release instants are pure hashes of
+    the bus seed and the frame's coordinates (stream index, frame
+    number), so a bus replays its background traffic bit-for-bit under
+    a fixed seed regardless of how the simulation interleaves its
+    queries — the same determinism contract as [Fault.Scenario]. *)
+
+type stream = {
+  l_node : int;
+      (** transmitting node.  Executive frames use operator ids
+          (0-based); synthetic background nodes conventionally start at
+          1000 so a [Bus_off] on an operator never silences them by
+          accident. *)
+  l_ident : int;
+      (** CAN-style identifier of the stream's frames: lower values win
+          arbitration.  Executive frames occupy [\[256, 1023\]]
+          ({!Bus.slot_identifier}); identifiers below 256 outrank the
+          executive, identifiers from 1024 up always yield to it. *)
+  l_words : int;  (** payload words per frame *)
+  l_period : float;  (** nominal inter-release time, > 0 *)
+  l_jitter_frac : float;
+      (** per-release jitter as a fraction of the period, in [\[0, 1\]]:
+          release k is [from + k·period + u·jitter·period] with [u]
+          hashed from the seed — releases stay monotone *)
+  l_from : float;  (** first nominal release *)
+  l_until : float;
+      (** releases strictly before this instant; [infinity] keeps the
+          stream alive for the whole run *)
+}
+
+val periodic :
+  ?jitter_frac:float ->
+  ?from_t:float ->
+  ?until_t:float ->
+  node:int ->
+  ident:int ->
+  words:int ->
+  period:float ->
+  unit ->
+  stream
+(** A periodic stream (defaults: no jitter, from 0, forever).  Raises
+    [Invalid_argument] with a ["[MEDIA004]"] prefix on a non-positive
+    period, negative words/node/ident, jitter outside [\[0, 1\]] or an
+    empty window. *)
+
+val babbling :
+  ?ident:int ->
+  ?words:int ->
+  node:int ->
+  period:float ->
+  from_t:float ->
+  until_t:float ->
+  unit ->
+  stream
+(** A babbling-idiot node: back-to-back frames at the highest priority
+    (default identifier 0, 1 word) over the fault window — pick
+    [period] close to the frame time to starve the bus. *)
+
+val validate : stream -> unit
+(** The constructor checks, re-runnable on a hand-forged record.
+    Raises [Invalid_argument] with a ["[MEDIA004]"] prefix. *)
+
+val release : seed:int -> index:int -> stream -> int -> float
+(** [release ~seed ~index s k] is the k-th release instant of stream
+    [index] — a pure function of the seed and coordinates. *)
+
+val hash01 : seed:int -> int list -> float
+(** The underlying SplitMix64-style hash, mapped to [\[0, 1)] — exposed
+    for callers building their own deterministic per-frame decisions
+    (e.g. [Fault.Scenario]'s bus-corruption events). *)

@@ -8,6 +8,12 @@ type evaluate_opts = {
 
 type request =
   | Evaluate of { id : Json.t option; submission : submission; opts : evaluate_opts }
+  | Montecarlo of {
+      id : Json.t option;
+      submission : submission;
+      runs : int option;
+      base_seed : int option;
+    }
   | Stats of { id : Json.t option }
   | Ping of { id : Json.t option }
   | Shutdown of { id : Json.t option }
@@ -23,7 +29,9 @@ let error_code_to_string = function
   | Internal -> "internal"
 
 let request_id = function
-  | Evaluate { id; _ } | Stats { id } | Ping { id } | Shutdown { id } -> id
+  | Evaluate { id; _ } | Montecarlo { id; _ } | Stats { id } | Ping { id }
+  | Shutdown { id } ->
+      id
 
 (* typed field access: [Ok None] when absent, [Error _] when present
    but ill-typed — absent and broken are different protocol situations *)
@@ -36,6 +44,23 @@ let field name convert what json =
       | None -> Error (Protocol, Printf.sprintf "field %S must be %s" name what))
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* the [source] xor [path] submission shared by evaluate and montecarlo *)
+let submission_of ~kind json =
+  let* source = field "source" Json.to_str "a string" json in
+  let* path = field "path" Json.to_str "a string" json in
+  match (source, path) with
+  | Some s, None -> Ok (Inline s)
+  | None, Some p -> Ok (Path p)
+  | Some _, Some _ ->
+      Error (Protocol, Printf.sprintf "%s takes \"source\" or \"path\", not both" kind)
+  | None, None ->
+      Error (Protocol, Printf.sprintf "%s needs a \"source\" or \"path\" field" kind)
+
+let non_negative name = function
+  | Some m when m < 0 ->
+      Error (Protocol, Printf.sprintf "field %S must be non-negative" name)
+  | m -> Ok m
 
 let request_of_line line =
   match Json.parse line with
@@ -51,28 +76,18 @@ let request_of_line line =
           | Some "ping" -> Ok (Ping { id })
           | Some "shutdown" -> Ok (Shutdown { id })
           | Some "evaluate" ->
-              let* source = field "source" Json.to_str "a string" json in
-              let* path = field "path" Json.to_str "a string" json in
-              let* submission =
-                match (source, path) with
-                | Some s, None -> Ok (Some (Inline s))
-                | None, Some p -> Ok (Some (Path p))
-                | Some _, Some _ ->
-                    Error (Protocol, "evaluate takes \"source\" or \"path\", not both")
-                | None, None ->
-                    Error (Protocol, "evaluate needs a \"source\" or \"path\" field")
-              in
-              let submission = Option.get submission in
+              let* submission = submission_of ~kind:"evaluate" json in
               let* montecarlo = field "montecarlo" Json.to_int "an integer" json in
-              let* montecarlo =
-                match montecarlo with
-                | Some m when m < 0 ->
-                    Error (Protocol, "field \"montecarlo\" must be non-negative")
-                | m -> Ok m
-              in
+              let* montecarlo = non_negative "montecarlo" montecarlo in
               let* base_seed = field "seed" Json.to_int "an integer" json in
               let* robustness = field "robustness" Json.to_bool "a boolean" json in
               Ok (Evaluate { id; submission; opts = { montecarlo; base_seed; robustness } })
+          | Some "montecarlo" ->
+              let* submission = submission_of ~kind:"montecarlo" json in
+              let* runs = field "runs" Json.to_int "an integer" json in
+              let* runs = non_negative "runs" runs in
+              let* base_seed = field "seed" Json.to_int "an integer" json in
+              Ok (Montecarlo { id; submission; runs; base_seed })
           | Some k -> Error (Protocol, Printf.sprintf "unknown request kind %S" k)))
 
 let with_id id fields =

@@ -7,6 +7,8 @@
     {"kind": "evaluate", "id": 1, "source": "(lifecycle ...)"}
     {"kind": "evaluate", "path": "examples/data/dc_motor.lcs",
      "montecarlo": 50, "seed": 1000, "robustness": true}
+    {"kind": "montecarlo", "path": "examples/data/dc_motor.lcs",
+     "runs": 200, "seed": 1000}
     {"kind": "stats"}
     {"kind": "ping"}
     {"kind": "shutdown"}
@@ -14,12 +16,16 @@
 
     An [evaluate] submission is a lifecycle document, either inline
     ([source]) or loaded server-side from [path]; the optional knobs
-    override the service defaults.  [id] is any JSON value and is
-    echoed verbatim in the response, so pipelined clients can match
-    replies to requests.
+    override the service defaults.  [montecarlo] is the same pipeline
+    cut down to the shared-engine Monte-Carlo batch alone: it skips
+    lint and robustness and answers with the {e raw} per-scenario cost
+    list ({!Service}'s [Batch.costs] output) instead of the aggregated
+    report — for clients doing their own statistics.  [id] is any JSON
+    value and is echoed verbatim in the response, so pipelined clients
+    can match replies to requests.
 
     Responses always carry ["ok"]: [true] with a ["kind"] of
-    ["report"] / ["stats"] / ["pong"] / ["bye"], or [false] with an
+    ["report"] / ["costs"] / ["stats"] / ["pong"] / ["bye"], or [false] with an
     ["error"] object [{ "code", "message" }].  A failed request never
     terminates the server — errors are data. *)
 
@@ -33,6 +39,12 @@ type evaluate_opts = {
 
 type request =
   | Evaluate of { id : Json.t option; submission : submission; opts : evaluate_opts }
+  | Montecarlo of {
+      id : Json.t option;
+      submission : submission;
+      runs : int option;  (** scenario count (default: service config) *)
+      base_seed : int option;  (** first seed; seeds are consecutive *)
+    }
   | Stats of { id : Json.t option }
   | Ping of { id : Json.t option }
   | Shutdown of { id : Json.t option }

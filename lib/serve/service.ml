@@ -227,10 +227,8 @@ let compute t ~source ~runs ~seed ~robustness =
           in
           Ok (report_json file comparison ~lint ~mc ~rob, scenario_count))
 
-let evaluate t ~submission (opts : P.evaluate_opts) =
-  let runs = Option.value opts.P.montecarlo ~default:t.cfg.montecarlo_runs in
-  let seed = Option.value opts.P.base_seed ~default:t.cfg.base_seed in
-  let robustness = Option.value opts.P.robustness ~default:t.cfg.robustness in
+(* resolve a submission to its text, enforcing the size limit *)
+let load_submission t submission =
   let source =
     match submission with
     | P.Inline s -> Ok s
@@ -246,7 +244,16 @@ let evaluate t ~submission (opts : P.evaluate_opts) =
           ( P.Oversized,
             Printf.sprintf "submission is %d bytes (limit %d)" (String.length source)
               t.cfg.max_submission_bytes )
-      else begin
+      else Ok source
+
+let evaluate t ~submission (opts : P.evaluate_opts) =
+  let runs = Option.value opts.P.montecarlo ~default:t.cfg.montecarlo_runs in
+  let seed = Option.value opts.P.base_seed ~default:t.cfg.base_seed in
+  let robustness = Option.value opts.P.robustness ~default:t.cfg.robustness in
+  match load_submission t submission with
+  | Error e -> Error e
+  | Ok source ->
+      begin
         let key = submission_key t source ~runs ~seed ~robustness in
         match Explore.Cache.find_opt t.cache ~key with
         | Some report -> Ok (report, true)
@@ -264,6 +271,70 @@ let evaluate t ~submission (opts : P.evaluate_opts) =
                 t.busy_s <- t.busy_s +. (Unix.gettimeofday () -. t0);
                 Error e)
       end
+
+(* ------------------------------------------------------------------ *)
+(* raw Monte-Carlo batches *)
+
+let montecarlo_key t source ~runs ~seed =
+  Explore.Key.digest
+    [
+      "scilife.serve.montecarlo";
+      Explore.Key.string source;
+      Explore.Key.int runs;
+      Explore.Key.int seed;
+      Explore.Key.law t.cfg.law;
+      Explore.Key.float t.cfg.bcet_frac;
+    ]
+
+(* the pipeline cut down to the shared-engine batch: parse, adequate,
+   run every seed through [Batch.costs] and hand the list back raw *)
+let compute_montecarlo t ~source ~runs ~seed =
+  match Lifecycle.Diagram.parse source with
+  | exception Failure msg -> Error (P.Submission, msg)
+  | exception Invalid_argument msg -> Error (P.Submission, msg)
+  | file -> (
+      let { Lifecycle.Diagram.design; architecture; durations; pins } = file in
+      match M.implement ~pins ~design ~architecture ~durations () with
+      | exception Aaa.Adequation.Infeasible msg -> Error (P.Infeasible, msg)
+      | exception Invalid_argument msg -> Error (P.Submission, msg)
+      | exception Failure msg -> Error (P.Submission, msg)
+      | implementation ->
+          let seeds = List.init runs (fun k -> seed + k) in
+          let costs =
+            Batch.costs ~pool:t.pool ~law:t.cfg.law ~bcet_frac:t.cfg.bcet_frac
+              ~design ~implementation seeds
+          in
+          Ok
+            (Json.Obj
+               [
+                 ("design", Json.Str design.D.name);
+                 ("runs", Json.Num (float_of_int runs));
+                 ("seed", Json.Num (float_of_int seed));
+                 ("seeds", Json.Arr (List.map (fun s -> Json.Num (float_of_int s)) seeds));
+                 ("costs", Json.Arr (List.map Json.num_of costs));
+               ]))
+
+let montecarlo t ~submission ~runs ~base_seed =
+  let runs = Option.value runs ~default:t.cfg.montecarlo_runs in
+  let seed = Option.value base_seed ~default:t.cfg.base_seed in
+  match load_submission t submission with
+  | Error e -> Error e
+  | Ok source -> (
+      let key = montecarlo_key t source ~runs ~seed in
+      match Explore.Cache.find_opt t.cache ~key with
+      | Some payload -> Ok (payload, true)
+      | None -> (
+          let t0 = Unix.gettimeofday () in
+          match compute_montecarlo t ~source ~runs ~seed with
+          | Ok payload ->
+              t.scenarios <- t.scenarios + runs;
+              t.busy_s <- t.busy_s +. (Unix.gettimeofday () -. t0);
+              Explore.Cache.add t.cache ~key payload;
+              Explore.Cache.flush t.cache;
+              Ok (payload, false)
+          | Error e ->
+              t.busy_s <- t.busy_s +. (Unix.gettimeofday () -. t0);
+              Error e))
 
 (* ------------------------------------------------------------------ *)
 (* stats & dispatch *)
@@ -338,6 +409,26 @@ let respond t request =
                   ("cached", Json.Bool cached);
                   ("elapsed_ms", Json.num_of (1000. *. elapsed));
                   ("report", report);
+                ]
+          | Error (code, msg) ->
+              t.errors <- t.errors + 1;
+              P.error_response ?id ~code msg)
+      | P.Montecarlo { submission; runs; base_seed; _ } -> (
+          t.evaluations <- t.evaluations + 1;
+          let t0 = Unix.gettimeofday () in
+          let result =
+            try montecarlo t ~submission ~runs ~base_seed
+            with e -> Error (P.Internal, Printexc.to_string e)
+          in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          record_latency t elapsed;
+          match result with
+          | Ok (payload, cached) ->
+              P.ok_response ?id ~kind:"costs"
+                [
+                  ("cached", Json.Bool cached);
+                  ("elapsed_ms", Json.num_of (1000. *. elapsed));
+                  ("batch", payload);
                 ]
           | Error (code, msg) ->
               t.errors <- t.errors + 1;

@@ -5,7 +5,10 @@
     lifecycle document parse, adequation, ideal + implemented
     co-simulation, static design-rule lint, a shared-engine
     Monte-Carlo batch ({!Batch}) and single-failure robustness
-    scenarios — and renders the result as one JSON report.  Responses
+    scenarios — and renders the result as one JSON report.  A
+    [montecarlo] request runs only the batch and answers with the raw
+    per-seed cost list ([kind: "costs"], fields [seeds]/[costs]), for
+    clients doing their own statistics.  Responses
     are memoized in an {!Explore.Cache} keyed by the canonical digest
     of the submission text and every evaluation knob, so a repeated
     submission is a cache hit that skips the pipeline entirely;

@@ -1,0 +1,207 @@
+module Algorithm = Aaa.Algorithm
+module Architecture = Aaa.Architecture
+module Schedule = Aaa.Schedule
+
+let artifact = "media"
+let eps = 1e-9
+
+(* one frame competing on a bus: a schedule transfer (period = the
+   algorithm period) or a background stream (period = its own) *)
+type frame = {
+  f_ident : int;
+  f_time : float;  (* bus occupancy of one attempt *)
+  f_period : float;
+  f_what : string;  (* for messages *)
+}
+
+let schedule_frames sched ~medium =
+  let alg = sched.Schedule.algorithm in
+  List.filter_map
+    (fun (c : Schedule.comm_slot) ->
+      if c.Schedule.cm_medium <> medium then None
+      else
+        Some
+          ( c,
+            {
+              f_ident = Media.Bus.slot_identifier c;
+              f_time = c.Schedule.cm_duration;
+              f_period = Algorithm.period alg;
+              f_what =
+                Printf.sprintf "transfer %S -> %S (hop %d)"
+                  (Algorithm.op_name alg (fst c.Schedule.cm_src))
+                  (Algorithm.op_name alg (fst c.Schedule.cm_dst))
+                  c.Schedule.cm_hop;
+            } ))
+    sched.Schedule.comm
+
+let stream_frames (cfg : Media.Bus.config) =
+  List.map
+    (fun (s : Media.Load.stream) ->
+      {
+        f_ident = s.Media.Load.l_ident;
+        f_time = Media.Bus.frame_time cfg ~words:s.Media.Load.l_words;
+        f_period = s.Media.Load.l_period;
+        f_what =
+          Printf.sprintf "background stream id %d on node %d" s.Media.Load.l_ident
+            s.Media.Load.l_node;
+      })
+    cfg.Media.Bus.b_load
+
+(* classic non-preemptive fixed-priority response time: the longest
+   lower-priority attempt blocks, higher-priority frames interfere —
+   w = B + Σ_{hp} ceil((w + ε)/T_j)·C_j, R = w + C.  Returns None when
+   the fixed point diverges (overload). *)
+let wcrt ~blocking ~hp ~own ~horizon =
+  let rec fix w iters =
+    if iters > 256 || w > horizon then None
+    else begin
+      let w' =
+        List.fold_left
+          (fun acc f -> acc +. (Float.of_int (int_of_float ((w +. eps) /. f.f_period) + 1) *. f.f_time))
+          blocking hp
+      in
+      if Float.abs (w' -. w) <= eps then Some (w' +. own) else fix w' (iters + 1)
+    end
+  in
+  fix blocking 0
+
+(* planned availability of a transfer's payload and the instant its
+   consumer reads it: hop 0 departs when the producer's computation
+   ends; hop h feeds hop h+1's planned start, the final hop feeds the
+   destination operation's planned start *)
+let release_and_deadline sched (c : Schedule.comm_slot) =
+  let release =
+    if c.Schedule.cm_hop = 0 then
+      match
+        List.find_opt
+          (fun (s : Schedule.comp_slot) -> s.Schedule.cs_op = fst c.Schedule.cm_src)
+          sched.Schedule.comp
+      with
+      | Some s -> s.Schedule.cs_start +. s.Schedule.cs_duration
+      | None -> c.Schedule.cm_start
+    else c.Schedule.cm_start
+  in
+  let next_hop =
+    List.find_opt
+      (fun (c' : Schedule.comm_slot) ->
+        c'.Schedule.cm_src = c.Schedule.cm_src
+        && c'.Schedule.cm_dst = c.Schedule.cm_dst
+        && c'.Schedule.cm_hop = c.Schedule.cm_hop + 1)
+      sched.Schedule.comm
+  in
+  let deadline =
+    match next_hop with
+    | Some c' -> Some c'.Schedule.cm_start
+    | None ->
+        Option.map
+          (fun (s : Schedule.comp_slot) -> s.Schedule.cs_start)
+          (List.find_opt
+             (fun (s : Schedule.comp_slot) ->
+               s.Schedule.cs_op = fst c.Schedule.cm_dst)
+             sched.Schedule.comp)
+  in
+  (release, deadline)
+
+let check ?(util_bound = 0.8) ~schedule models =
+  let sched = schedule in
+  let arch = sched.Schedule.architecture in
+  let period = Algorithm.period sched.Schedule.algorithm in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  List.iter
+    (fun (name, (cfg : Media.Bus.config)) ->
+      match Architecture.find_medium arch name with
+      | None ->
+          emit
+            (Diag.error ~rule:"MEDIA004" ~artifact ~location:name
+               (Printf.sprintf "bus model %S names no medium of architecture %S" name
+                  (Architecture.name arch))
+               ~hint:"attach the model to a medium the architecture declares")
+      | Some medium when Architecture.medium_kind arch medium <> Architecture.Bus ->
+          emit
+            (Diag.error ~rule:"MEDIA004" ~artifact ~location:name
+               (Printf.sprintf "medium %S is a point-to-point link, not a shared bus"
+                  name)
+               ~hint:"bus models only apply to Bus media")
+      | Some medium -> (
+          match Media.Bus.validate cfg with
+          | exception Invalid_argument msg ->
+              emit (Diag.of_invalid_arg ~artifact ~location:name msg)
+          | () ->
+              let sframes = schedule_frames sched ~medium in
+              let frames = List.map snd sframes @ stream_frames cfg in
+              (* utilization: each frame's rate while it is active —
+                 the worst-case instantaneous load *)
+              let util =
+                List.fold_left (fun acc f -> acc +. (f.f_time /. f.f_period)) 0. frames
+              in
+              let overloaded = util >= 1. -. eps in
+              if overloaded then
+                emit
+                  (Diag.error ~rule:"MEDIA001" ~artifact ~location:name
+                     (Printf.sprintf
+                        "bus %S is overloaded: utilization %.2f >= 1 (schedule + background)"
+                        name util)
+                     ~hint:
+                       "shed background load, shorten frames or raise the bus bit-rate")
+              else if util > util_bound then
+                emit
+                  (Diag.warning ~rule:"MEDIA002" ~artifact ~location:name
+                     (Printf.sprintf "bus %S utilization %.2f exceeds the %.2f bound"
+                        name util util_bound));
+              (* identifier uniqueness: equal identifiers arbitrate by
+                 node index — deterministic, but priorities stop being
+                 meaningful *)
+              let seen = Hashtbl.create 16 in
+              List.iter
+                (fun f ->
+                  match Hashtbl.find_opt seen f.f_ident with
+                  | Some other ->
+                      emit
+                        (Diag.warning ~rule:"MEDIA003" ~artifact ~location:name
+                           (Printf.sprintf "duplicate frame identifier %d on %S: %s and %s"
+                              f.f_ident name other f.f_what)
+                           ~hint:"give every frame on one bus a unique identifier")
+                  | None -> Hashtbl.replace seen f.f_ident f.f_what)
+                frames;
+              (* worst-case response time of every schedule frame vs the
+                 instant its consumer reads it *)
+              if not overloaded then
+                List.iter
+                  (fun ((c : Schedule.comm_slot), f) ->
+                    let release, deadline = release_and_deadline sched c in
+                    match deadline with
+                    | None -> ()
+                    | Some deadline ->
+                        let blocking =
+                          List.fold_left
+                            (fun acc f' ->
+                              if f'.f_ident >= f.f_ident && f' != f then
+                                Float.max acc f'.f_time
+                              else acc)
+                            0. frames
+                        in
+                        let hp =
+                          List.filter (fun f' -> f'.f_ident < f.f_ident) frames
+                        in
+                        let horizon = 100. *. period in
+                        let slack = deadline -. release in
+                        (match wcrt ~blocking ~hp ~own:f.f_time ~horizon with
+                        | None ->
+                            emit
+                              (Diag.warning ~rule:"MEDIA005" ~artifact ~location:name
+                                 (Printf.sprintf
+                                    "%s on %S: response-time analysis diverges under the declared load"
+                                    f.f_what name))
+                        | Some r ->
+                            if r > slack +. eps then
+                              emit
+                                (Diag.warning ~rule:"MEDIA005" ~artifact ~location:name
+                                   (Printf.sprintf
+                                      "%s on %S: worst-case response %.6g s exceeds the %.6g s to its consumer's read offset"
+                                      f.f_what name r slack)
+                                   ~hint:
+                                     "lower the frame's identifier, shed interfering load or move the consumer's read later")))
+                  sframes))
+    models;
+  List.rev !diags

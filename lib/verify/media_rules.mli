@@ -1,0 +1,33 @@
+(** Static bus-schedulability checks on shared-bus network models —
+    the {!Sched_rules} counterpart for the media layer.
+
+    Given the bus models a deployment would attach to its executives
+    ({!Exec.Machine.config.bus_models}), {!check} audits each against
+    the timed schedule without simulating anything: total utilization
+    (schedule transfers at the algorithm period plus the declared
+    background streams at their own rates), identifier uniqueness, and
+    a classic non-preemptive fixed-priority response-time analysis
+    (max lower-priority blocking + own frame time + higher-priority
+    interference, iterated to a fixed point) compared against the
+    instant each transfer's consumer reads it.  It never raises, so it
+    can audit forged models no constructor validated. *)
+
+val check :
+  ?util_bound:float ->
+  schedule:Aaa.Schedule.t ->
+  (string * Media.Bus.config) list ->
+  Diag.t list
+(** Emits, per model: MEDIA004 (error — model names no medium / a
+    point-to-point link, or the config is malformed; construction-time
+    ["[MEDIA004]"] raises from {!Media.Bus.make} recover to the same
+    rule via {!Diag.of_invalid_arg}), MEDIA001 (error — utilization at
+    or above 1: the bus cannot carry the declared traffic and the
+    executives' low-priority frames starve), MEDIA002 (warning —
+    utilization above [util_bound], default 0.8), MEDIA003 (warning —
+    duplicate frame identifiers on one bus: arbitration stays
+    deterministic but priority stops being meaningful), and MEDIA005
+    (warning — a schedule frame's worst-case response time from its
+    planned availability exceeds the slack to its consumer's read
+    offset, or the analysis diverges under the declared load).
+    Response times are only analysed on buses below utilization 1
+    (MEDIA001 subsumes the divergence). *)

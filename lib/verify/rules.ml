@@ -57,6 +57,13 @@ let all =
     r "REC003" Diag.Warning "recovery"
       "heartbeat timeout below the schedule's worst in-iteration completion";
     r "REC004" Diag.Warning "recovery" "supervisor without a failover executive for an operator";
+    (* shared-bus network models *)
+    r "MEDIA001" Diag.Error "media" "bus overloaded: utilization at or above 1";
+    r "MEDIA002" Diag.Warning "media" "bus utilization above the configured bound";
+    r "MEDIA003" Diag.Warning "media" "duplicate frame identifiers on one bus";
+    r "MEDIA004" Diag.Error "media" "bus model malformed or attached to no shared bus";
+    r "MEDIA005" Diag.Warning "media"
+      "worst-case frame response time misses its consumer's read offset";
     (* generated executive / C *)
     r "CGEN001" Diag.Error "cgen" "generated C uses an undeclared buffer";
     r "CGEN002" Diag.Error "cgen" "send/receive set does not match the schedule's transfers";

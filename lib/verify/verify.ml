@@ -6,6 +6,7 @@ module Sched_rules = Sched_rules
 module Temporal_rules = Temporal_rules
 module Cgen_rules = Cgen_rules
 module Recovery_rules = Recovery_rules
+module Media_rules = Media_rules
 
 let default_durations ~algorithm ~architecture =
   let durations = Aaa.Durations.create () in
@@ -26,7 +27,7 @@ let default_durations ~algorithm ~architecture =
   durations
 
 let run_all ?architecture ?durations ?strategy ?pins ?(failover = true) ?recovery
-    (design : Lifecycle.Design.t) =
+    ?bus_models (design : Lifecycle.Design.t) =
   let architecture =
     match architecture with Some a -> a | None -> Aaa.Architecture.single ()
   in
@@ -91,6 +92,9 @@ let run_all ?architecture ?durations ?strategy ?pins ?(failover = true) ?recover
                      else [])
                   @ (match recovery with
                     | Some policy -> Recovery_rules.check policy sched
+                    | None -> [])
+                  @ (match bus_models with
+                    | Some models -> Media_rules.check ~schedule:sched models
                     | None -> [])
                   @ Temporal_rules.check ~algorithm impl.Lifecycle.Methodology.static
                   @ Cgen_rules.check impl.Lifecycle.Methodology.executive

@@ -25,6 +25,7 @@ module Sched_rules = Sched_rules
 module Temporal_rules = Temporal_rules
 module Cgen_rules = Cgen_rules
 module Recovery_rules = Recovery_rules
+module Media_rules = Media_rules
 
 val run_all :
   ?architecture:Aaa.Architecture.t ->
@@ -33,6 +34,7 @@ val run_all :
   ?pins:(string * string) list ->
   ?failover:bool ->
   ?recovery:Exec.Recovery.policy ->
+  ?bus_models:(string * Media.Bus.config) list ->
   Lifecycle.Design.t ->
   Diag.t list
 (** All passes over one design, in lifecycle order.
@@ -44,7 +46,11 @@ val run_all :
     drowned by capacity ones); [failover] (default [true]) controls
     the SCHED010 coverage analysis on multi-operator architectures.
     With [recovery], the policy is checked against the adequation
-    schedule ({!Recovery_rules}, REC001–REC004).
+    schedule ({!Recovery_rules}, REC001–REC004).  With [bus_models],
+    the shared-bus network models are audited against the adequation
+    schedule ({!Media_rules}, MEDIA001–MEDIA005: utilization bound,
+    identifier uniqueness, worst-case frame response times vs the
+    consumers' read offsets).
 
     Never raises: failures of the toolchain itself (diagram build,
     extraction, adequation) are reported as diagnostics — with their

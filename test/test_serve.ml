@@ -121,6 +121,26 @@ let protocol_tests =
         check_true "ping" (match req_ok {|{"kind":"ping"}|} with P.Ping _ -> true | _ -> false);
         check_true "shutdown"
           (match req_ok {|{"kind":"shutdown"}|} with P.Shutdown _ -> true | _ -> false));
+    test "montecarlo with inline source parses" (fun () ->
+        match req_ok {|{"kind":"montecarlo","id":3,"source":"(x)","runs":8,"seed":100}|} with
+        | P.Montecarlo { id; submission = P.Inline "(x)"; runs; base_seed } ->
+            check_true "id" (id = Some (Json.Num 3.));
+            check_true "runs" (runs = Some 8);
+            check_true "seed" (base_seed = Some 100)
+        | _ -> Alcotest.fail "expected Montecarlo");
+    test "montecarlo defaults runs and seed to the service's" (fun () ->
+        match req_ok {|{"kind":"montecarlo","path":"f.lcs"}|} with
+        | P.Montecarlo { submission = P.Path "f.lcs"; runs = None; base_seed = None; _ } ->
+            ()
+        | _ -> Alcotest.fail "expected Montecarlo with defaults");
+    test "montecarlo violations are typed" (fun () ->
+        check_true "no submission" (req_err {|{"kind":"montecarlo"}|} = P.Protocol);
+        check_true "both submissions"
+          (req_err {|{"kind":"montecarlo","source":"a","path":"b"}|} = P.Protocol);
+        check_true "negative runs"
+          (req_err {|{"kind":"montecarlo","source":"a","runs":-1}|} = P.Protocol);
+        check_true "ill-typed seed"
+          (req_err {|{"kind":"montecarlo","source":"a","seed":"x"}|} = P.Protocol));
     test "protocol violations are typed" (fun () ->
         check_true "not json" (req_err "nope" = P.Parse);
         check_true "no kind" (req_err "{}" = P.Protocol);
@@ -296,6 +316,52 @@ let service_tests =
         in
         expect_error P.Oversized
           (Serve.Service.respond s (evaluate_req (String.make 100 'x')));
+        Serve.Service.close s);
+    test "a montecarlo request returns the raw batch" (fun () ->
+        let s = service () in
+        let req =
+          P.request_of_line
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("kind", Json.Str "montecarlo");
+                    ("source", Json.Str sample);
+                    ("runs", Json.Num 5.);
+                    ("seed", Json.Num 40.);
+                  ]))
+        in
+        let resp = Serve.Service.respond s req in
+        check_true "ok" (Json.member "ok" resp = Some (Json.Bool true));
+        check_true "kind" (Json.member "kind" resp = Some (Json.Str "costs"));
+        check_true "fresh" (Json.member "cached" resp = Some (Json.Bool false));
+        (match Json.member "batch" resp with
+        | Some batch ->
+            check_true "design" (Json.member "design" batch = Some (Json.Str "serve_loop"));
+            check_true "runs" (Json.member "runs" batch = Some (Json.Num 5.));
+            (match Json.member "costs" batch with
+            | Some (Json.Arr costs) ->
+                check_int "one cost per run" 5 (List.length costs);
+                check_true "all positive"
+                  (List.for_all
+                     (function Json.Num c -> c > 0. | _ -> false)
+                     costs)
+            | _ -> Alcotest.fail "no costs array");
+            (match Json.member "seeds" batch with
+            | Some (Json.Arr seeds) ->
+                check_true "consecutive from the base seed"
+                  (seeds = List.init 5 (fun k -> Json.Num (float_of_int (40 + k))))
+            | _ -> Alcotest.fail "no seeds array")
+        | None -> Alcotest.fail "no batch payload");
+        (* a repeat is a cache hit with the identical payload *)
+        let second = Serve.Service.respond s req in
+        check_true "cached" (Json.member "cached" second = Some (Json.Bool true));
+        check_true "same batch" (Json.member "batch" resp = Json.member "batch" second);
+        Serve.Service.close s);
+    test "a malformed montecarlo submission is a structured error" (fun () ->
+        let s = service () in
+        expect_error P.Submission
+          (Serve.Service.respond s
+             (P.request_of_line {|{"kind":"montecarlo","source":"(lifecycle"}|}));
         Serve.Service.close s);
     test "robustness scenarios appear when enabled" (fun () ->
         let s =
