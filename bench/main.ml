@@ -563,6 +563,33 @@ let bench_exec_bus_contention =
                 }
               fj8_exe)))
 
+(* a large multi-loop diagram for the value-flow analysis: each loop
+   is source → sum → saturation → quantizer → delay → gain → back to
+   the sum, so every cycle forces the fixpoint through widening and
+   narrowing at the delay *)
+let absint_graph =
+  let g = Dataflow.Graph.create () in
+  for i = 0 to 33 do
+    let amplitude = 1. +. (0.1 *. float_of_int i) in
+    let src = Dataflow.Graph.add g (Dataflow.Clib.constant [| amplitude |]) in
+    let sum = Dataflow.Graph.add g (Dataflow.Clib.sum [| 1.; 1. |]) in
+    let sat = Dataflow.Graph.add g (Dataflow.Clib.saturation ~lo:(-10.) ~hi:10. ()) in
+    let quant = Dataflow.Graph.add g (Dataflow.Clib.quantizer ~step:0.01 ()) in
+    let delay = Dataflow.Graph.add g (Dataflow.Clib.unit_delay [| 0. |]) in
+    let fb = Dataflow.Graph.add g (Dataflow.Clib.gain 0.9) in
+    Dataflow.Graph.connect_data g ~src:(src, 0) ~dst:(sum, 0);
+    Dataflow.Graph.connect_data g ~src:(sum, 0) ~dst:(sat, 0);
+    Dataflow.Graph.connect_data g ~src:(sat, 0) ~dst:(quant, 0);
+    Dataflow.Graph.connect_data g ~src:(quant, 0) ~dst:(delay, 0);
+    Dataflow.Graph.connect_data g ~src:(delay, 0) ~dst:(fb, 0);
+    Dataflow.Graph.connect_data g ~src:(fb, 0) ~dst:(sum, 1)
+  done;
+  g
+
+let bench_absint_fixpoint =
+  Test.make ~name:"absint_fixpoint"
+    (Staged.stage (fun () -> ignore (Verify.Absint.analyze absint_graph)))
+
 (* ------------------------------------------------------------------ *)
 
 let tests =
@@ -598,6 +625,7 @@ let tests =
     bench_sim_hot_loop_ode;
     bench_media_arbitration;
     bench_exec_bus_contention;
+    bench_absint_fixpoint;
   ]
 
 (* --json FILE: also dump [{"name": ..., "time_ns": ...}, ...] so CI

@@ -342,9 +342,17 @@ let lifecycle_cmd =
                        ~durations:file.Lifecycle.Diagram.durations
                        file.Lifecycle.Diagram.design)
                 in
+                let bounds =
+                  match file.Lifecycle.Diagram.design.Lifecycle.Design.build () with
+                  | exception Invalid_argument _ -> None
+                  | built ->
+                      Some
+                        (Verify.Absint.markdown_table
+                           (Verify.Absint.analyze built.Lifecycle.Design.graph))
+                in
                 let doc =
-                  Lifecycle.Report.markdown ?montecarlo:montecarlo_summary ~trace ~lint
-                    file.Lifecycle.Diagram.design comparison
+                  Lifecycle.Report.markdown ?montecarlo:montecarlo_summary ~trace ?bounds
+                    ~lint file.Lifecycle.Diagram.design comparison
                 in
                 let oc = open_out out in
                 Fun.protect
@@ -360,6 +368,108 @@ let lifecycle_cmd =
          "Run the whole methodology (ideal sim, extraction, adequation, delay-aware \
           co-simulation) from a lifecycle diagram file")
     Term.(const action $ file_arg $ gantt $ montecarlo $ report $ sweep)
+
+let rules_cmd =
+  let action () =
+    print_string (Verify.Rules.markdown_table ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "rules"
+       ~doc:
+         "Print the design-rule catalogue: every identifier the static checker can emit, \
+          with its severity, owning pass and meaning")
+    Term.(const action $ const ())
+
+let lint_cmd =
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Lifecycle diagram (.lcs) or application (.sdx) files.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero on warnings too, not only on errors (for CI gates).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write all diagnostics as a JSON array.")
+  in
+  let no_failover =
+    Arg.(
+      value & flag
+      & info [ "no-failover" ]
+          ~doc:
+            "Skip the single-failure failover coverage pass (SCHED010) — e.g. for \
+             single-operator architectures where failover is impossible by construction.")
+  in
+  let lint_file ~failover path =
+    if Filename.check_suffix path ".sdx" then
+      match (try Ok (Aaa.Sdx.load path) with Failure m | Sys_error m -> Error m) with
+      | Error msg -> Error msg
+      | Ok app -> Ok (Verify.run_app ~failover app)
+    else
+      match
+        (try Ok (Lifecycle.Diagram.load path) with Failure m | Sys_error m -> Error m)
+      with
+      | Error msg -> Error msg
+      | Ok file ->
+          Ok
+            (Verify.run_all ~pins:file.Lifecycle.Diagram.pins
+               ~architecture:file.Lifecycle.Diagram.architecture
+               ~durations:file.Lifecycle.Diagram.durations ~failover
+               file.Lifecycle.Diagram.design)
+  in
+  let action files strict json no_failover =
+    let lint_file = lint_file ~failover:(not no_failover) in
+    let load_failed = ref false in
+    let all =
+      List.concat_map
+        (fun path ->
+          Printf.printf "== %s ==\n" path;
+          match lint_file path with
+          | Error msg ->
+              Printf.printf "error: %s\n\n" msg;
+              load_failed := true;
+              []
+          | Ok diags ->
+              let rendered = Verify.Diag.render diags in
+              if rendered <> "" then print_string rendered;
+              Printf.printf "%s\n\n" (Verify.Diag.summary diags);
+              diags)
+        files
+    in
+    Printf.printf "lint total: %s\n" (Verify.Diag.summary all);
+    (match json with
+    | Some out ->
+        let oc = open_out out in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Verify.Diag.to_json all));
+        Printf.printf "wrote %s\n" out
+    | None -> ());
+    let gating =
+      if strict then
+        List.exists
+          (fun (d : Verify.Diag.t) ->
+            match d.Verify.Diag.severity with
+            | Verify.Diag.Error | Verify.Diag.Warning -> true
+            | Verify.Diag.Info -> false)
+          all
+      else Verify.Diag.has_errors all
+    in
+    if !load_failed || gating then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run every static design-rule pass (including the value-flow FLOW rules) over \
+          lifecycle diagrams and application files; with --strict, warnings fail the run")
+    Term.(const action $ files $ strict $ json $ no_failover)
 
 let serve_cmd =
   let socket =
@@ -478,4 +588,13 @@ let () =
   let info = Cmd.info "syndex" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ show_cmd; adequation_cmd; execute_cmd; lifecycle_cmd; serve_cmd ]))
+       (Cmd.group info
+          [
+            show_cmd;
+            adequation_cmd;
+            execute_cmd;
+            lifecycle_cmd;
+            lint_cmd;
+            rules_cmd;
+            serve_cmd;
+          ]))

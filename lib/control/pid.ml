@@ -41,6 +41,8 @@ let reset c =
 
 let gains c = c.gains
 let ts c = c.ts
+let limits c = (c.umin, c.umax)
+let windup c = c.windup
 
 let clamp lo hi x =
   let x = match hi with Some h -> Float.min h x | None -> x in

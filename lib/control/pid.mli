@@ -35,6 +35,14 @@ val reset : t -> unit
 val gains : t -> gains
 val ts : t -> float
 
+val limits : t -> float option * float option
+(** The [(umin, umax)] output clamp, when configured — with both
+    bounds set the control value is provably confined to
+    [\[umin, umax\]], which the value-flow analysis exploits. *)
+
+val windup : t -> float option
+(** The integral anti-windup clamp, when configured. *)
+
 val step : t -> r:float -> y:float -> float
 (** One control-period update; returns the new control value. *)
 

@@ -31,7 +31,7 @@ let comparison (design : Design.t) (c : Methodology.comparison) =
     static.Translator.Temporal_model.actuation_offsets;
   Buffer.contents buf
 
-let markdown ?montecarlo ?trace ?robustness ?exploration ?lint (design : Design.t)
+let markdown ?montecarlo ?trace ?robustness ?exploration ?bounds ?lint (design : Design.t)
     (c : Methodology.comparison) =
   let impl = c.Methodology.implementation in
   let static = impl.Methodology.static in
@@ -121,6 +121,13 @@ let markdown ?montecarlo ?trace ?robustness ?exploration ?lint (design : Design.
   | Some section ->
       line "";
       Buffer.add_string buf section
+  | None -> ());
+  (match bounds with
+  | Some table ->
+      line "";
+      line "## Inferred signal bounds";
+      line "";
+      Buffer.add_string buf table
   | None -> ());
   (match lint with
   | Some section ->

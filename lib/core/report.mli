@@ -14,6 +14,7 @@ val markdown :
   ?trace:Exec.Machine.trace ->
   ?robustness:string ->
   ?exploration:string ->
+  ?bounds:string ->
   ?lint:string ->
   Design.t ->
   Methodology.comparison ->
@@ -27,7 +28,11 @@ val markdown :
     core library independent of [fault], which builds on top of it).
     [exploration] appends a pre-rendered design-space exploration
     section with the Pareto front and cache statistics (see
-    {!Explorer.markdown_section}).  [lint] appends a pre-rendered
+    {!Explorer.markdown_section}).  [bounds] appends, under an
+    "Inferred signal bounds" heading, a pre-rendered table of the
+    value-flow analysis ranges (see [Verify.Absint.markdown_table];
+    a plain string, [verify] sits above this library).  [lint]
+    appends a pre-rendered
     static-verification section listing the design-rule diagnostics
     (see [Verify.markdown_section]; again a plain string, [verify]
     sits above this library).  Written for humans reviewing a

@@ -9,6 +9,22 @@ type context = {
   mutable cstate : float array;
 }
 
+type transfer =
+  | Opaque
+  | Static of Interval.t array
+  | Map of (Interval.t array -> Interval.t array)
+  | Update of {
+      init : Interval.t array;
+      step : prev:Interval.t array -> Interval.t array -> Interval.t array;
+      tracks_input : bool;
+    }
+
+type guard = Nonzero of int | Nonnegative of int | Positive of int
+
+type format = Float32 | Q of { int_bits : int; frac_bits : int }
+
+type machine = { format : format; tolerance : float option }
+
 type t = {
   name : string;
   in_widths : int array;
@@ -26,6 +42,10 @@ type t = {
   on_crossing : (context -> surface:int -> rising:bool -> action list) option;
   reset : unit -> unit;
   initial_actions : action list;
+  transfer : transfer;
+  guards : guard list;
+  clamp : (float * float) option;
+  machine : machine option;
 }
 
 let validate b =
@@ -59,12 +79,34 @@ let validate b =
       | Set_cstate x ->
           if Array.length x <> Array.length b.cstate0 then
             fail "initial Set_cstate dimension mismatch")
-    b.initial_actions
+    b.initial_actions;
+  let nout = Array.length b.out_widths in
+  (match b.transfer with
+  | Static r when Array.length r <> nout -> fail "Static transfer port-count mismatch"
+  | Update { init; _ } when Array.length init <> nout ->
+      fail "Update transfer init port-count mismatch"
+  | Opaque | Static _ | Map _ | Update _ -> ());
+  let nin = Array.length b.in_widths in
+  List.iter
+    (fun guard ->
+      let port = match guard with Nonzero p | Nonnegative p | Positive p -> p in
+      if port < 0 || port >= nin then fail "guard references a non-existent input port")
+    b.guards;
+  (match b.clamp with
+  | Some (lo, hi) when not (lo < hi) -> fail "clamp bounds not ordered"
+  | Some _ | None -> ());
+  match b.machine with
+  | Some { format = Q { int_bits; frac_bits }; _ } when int_bits < 0 || frac_bits < 0 ->
+      fail "negative fixed-point field width"
+  | Some { tolerance = Some tol; _ } when not (tol > 0.) ->
+      fail "non-positive quantization tolerance"
+  | Some _ | None -> ()
 
 let make ~name ?(in_widths = [||]) ?(out_widths = [||]) ?(event_inputs = 0)
     ?(event_outputs = 0) ?(cstate0 = [||]) ?(feedthrough = false) ?(always_active = false)
     ?derivatives ?on_event ?(surfaces = 0) ?crossings ?on_crossing
-    ?(reset = fun () -> ()) ?(initial_actions = []) outputs =
+    ?(reset = fun () -> ()) ?(initial_actions = []) ?(transfer = Opaque) ?(guards = [])
+    ?clamp ?machine outputs =
   let b =
     {
       name;
@@ -83,7 +125,29 @@ let make ~name ?(in_widths = [||]) ?(out_widths = [||]) ?(event_inputs = 0)
       on_crossing;
       reset;
       initial_actions;
+      transfer;
+      guards;
+      clamp;
+      machine;
     }
   in
   validate b;
   b
+
+let with_format ?tolerance format b =
+  let b = { b with machine = Some { format; tolerance } } in
+  validate b;
+  b
+
+let format_range = function
+  | Float32 -> Interval.v (-3.40282347e38) 3.40282347e38
+  | Q { int_bits; frac_bits } ->
+      let span = Float.ldexp 1. int_bits in
+      Interval.v (-.span) (span -. Float.ldexp 1. (-frac_bits))
+
+let format_quantum format (range : Interval.t) =
+  match format with
+  | Q { frac_bits; _ } -> Float.ldexp 1. (-(frac_bits + 1))
+  | Float32 ->
+      let mag = Float.max (Float.abs range.Interval.lo) (Float.abs range.Interval.hi) in
+      if Float.is_finite mag then Float.ldexp mag (-24) else infinity

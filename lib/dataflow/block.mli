@@ -52,6 +52,60 @@ type context = {
       [always_active], otherwise the engine may serve a stale value
       recorded at an earlier instant. *)
 
+(** {2 Abstract transfer metadata}
+
+    Blocks optionally carry a sound {e abstract} counterpart of their
+    concrete semantics, consumed by the whole-design value-flow
+    analysis ({!Verify.Absint}).  The abstraction is per {e port}: one
+    {!Interval.t} covers every element of a vector-valued port. *)
+
+type transfer =
+  | Opaque
+      (** nothing is known; every output is {!Interval.top} (the sound
+          default for black-box blocks — continuous plants, observers,
+          user closures) *)
+  | Static of Interval.t array
+      (** outputs lie in these intervals at every instant, inputs and
+          state notwithstanding (sources, relays) *)
+  | Map of (Interval.t array -> Interval.t array)
+      (** memoryless: an inclusion-monotone function from input-port
+          intervals to output-port intervals covering the concrete
+          outputs (gains, sums, saturations) *)
+  | Update of {
+      init : Interval.t array;
+          (** output intervals before the first activation *)
+      step : prev:Interval.t array -> Interval.t array -> Interval.t array;
+          (** [step ~prev ins] covers the outputs after one activation,
+              given that the current outputs lie in [prev] and the
+              inputs in [ins]; must be inclusion-monotone in both *)
+      tracks_input : bool;
+          (** the held output is a copy of input port 0 (sample-holds,
+              delays) — lets the analysis relate initial conditions to
+              the stored signal *)
+    }  (** event-driven blocks holding internal state *)
+
+type guard =
+  | Nonzero of int  (** input port that must never contain zero (divisors) *)
+  | Nonnegative of int  (** input port that must stay ≥ 0 (sqrt) *)
+  | Positive of int  (** input port that must stay > 0 (log) *)
+(** Domain preconditions on regular input ports; violations produce
+    infinities or NaN at run time and are reported by the FLOW rules. *)
+
+type format =
+  | Float32  (** IEEE-754 binary32 target storage *)
+  | Q of { int_bits : int; frac_bits : int }
+      (** signed fixed point: one sign bit, [int_bits] integer bits,
+          [frac_bits] fractional bits — representable range
+          [\[-2^int_bits, 2^int_bits - 2^-frac_bits\]] *)
+(** Machine formats a target may impose on a signal (the AD/DA and
+    quantized-synthesis word widths of the roadmap). *)
+
+type machine = {
+  format : format;
+  tolerance : float option;
+      (** stated bound on the acceptable quantization error *)
+}
+
 type t = {
   name : string;
   in_widths : int array;  (** regular input port widths *)
@@ -88,6 +142,13 @@ type t = {
   initial_actions : action list;
       (** actions applied at simulation start (e.g. a clock priming
           itself); [Self] delays are measured from the start time *)
+  transfer : transfer;
+      (** abstract counterpart of [outputs] for value-flow analysis *)
+  guards : guard list;  (** input-domain preconditions *)
+  clamp : (float * float) option;
+      (** declared output saturation bounds (saturation blocks) *)
+  machine : machine option;
+      (** declared machine format of the outputs, if any *)
 }
 
 val validate : t -> unit
@@ -111,8 +172,28 @@ val make :
   ?on_crossing:(context -> surface:int -> rising:bool -> action list) ->
   ?reset:(unit -> unit) ->
   ?initial_actions:action list ->
+  ?transfer:transfer ->
+  ?guards:guard list ->
+  ?clamp:float * float ->
+  ?machine:machine ->
   (context -> float array array) ->
   t
 (** Convenience constructor; the positional argument is [outputs].
     Defaults: no ports, no events, no continuous state, no surfaces,
-    not feedthrough, not always active.  Runs {!validate}. *)
+    not feedthrough, not always active, [Opaque] transfer, no guards,
+    no clamp, no machine format.  Runs {!validate}. *)
+
+val with_format : ?tolerance:float -> format -> t -> t
+(** Declares the machine format (and optionally a quantization-error
+    tolerance) of a block's outputs — the annotation the FLOW002 and
+    FLOW008 rules check inferred ranges against. *)
+
+val format_range : format -> Interval.t
+(** Representable range of a machine format. *)
+
+val format_quantum : format -> Interval.t -> float
+(** Worst-case round-to-nearest quantization error of values in the
+    given interval when stored in the format: [2^-(frac_bits+1)] for
+    fixed point, relative [2^-24] at the interval's largest magnitude
+    for [Float32]; [+∞] when an unbounded interval meets a relative
+    format. *)

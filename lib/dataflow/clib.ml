@@ -1,49 +1,110 @@
 module M = Numerics.Matrix
+module I = Interval
+
+(* interval image of an affine row Σ scale·port (+ extra terms),
+   hulled over the rows of a gain matrix — shared by the matrix-gain
+   and state-feedback transfers *)
+let rows_hull ~rows row =
+  let acc = ref (row 0) in
+  for r = 1 to rows - 1 do
+    acc := I.join !acc (row r)
+  done;
+  [| !acc |]
 
 let constant ?(name = "const") v =
   let v = Array.copy v in
-  Block.make ~name ~out_widths:[| Array.length v |] (fun _ -> [| Array.copy v |])
+  Block.make ~name ~out_widths:[| Array.length v |]
+    ~transfer:(Block.Static [| I.hull v |])
+    (fun _ -> [| Array.copy v |])
 
 let gain ?(name = "gain") k =
   Block.make ~name ~in_widths:[| 1 |] ~out_widths:[| 1 |] ~feedthrough:true
-    ~always_active:true (fun ctx -> [| [| k *. ctx.Block.inputs.(0).(0) |] |])
+    ~always_active:true
+    ~transfer:(Block.Map (fun ins -> [| I.scale k ins.(0) |]))
+    (fun ctx -> [| [| k *. ctx.Block.inputs.(0).(0) |] |])
 
 let matrix_gain ?(name = "matrix_gain") k =
+  let transfer ins =
+    rows_hull ~rows:(M.rows k) (fun r ->
+        let acc = ref (I.point 0.) in
+        for j = 0 to M.cols k - 1 do
+          acc := I.add !acc (I.scale (M.get k r j) ins.(0))
+        done;
+        !acc)
+  in
   Block.make ~name ~in_widths:[| M.cols k |] ~out_widths:[| M.rows k |] ~feedthrough:true
-    ~always_active:true (fun ctx -> [| M.mul_vec k ctx.Block.inputs.(0) |])
+    ~always_active:true ~transfer:(Block.Map transfer) (fun ctx ->
+      [| M.mul_vec k ctx.Block.inputs.(0) |])
 
 let sum ?(name = "sum") signs =
   if Array.length signs = 0 then invalid_arg "Clib.sum: no inputs";
+  let transfer ins =
+    let acc = ref (I.point 0.) in
+    Array.iteri (fun i s -> acc := I.add !acc (I.scale s ins.(i))) signs;
+    [| !acc |]
+  in
   Block.make ~name
     ~in_widths:(Array.map (fun _ -> 1) signs)
-    ~out_widths:[| 1 |] ~feedthrough:true ~always_active:true (fun ctx ->
+    ~out_widths:[| 1 |] ~feedthrough:true ~always_active:true
+    ~transfer:(Block.Map transfer) (fun ctx ->
       let acc = ref 0. in
       Array.iteri (fun i s -> acc := !acc +. (s *. ctx.Block.inputs.(i).(0))) signs;
       [| [| !acc |] |])
 
 let product ?(name = "product") n =
   if n <= 0 then invalid_arg "Clib.product: need at least one input";
+  let transfer ins = [| Array.fold_left I.mul (I.point 1.) ins |] in
   Block.make ~name ~in_widths:(Array.make n 1) ~out_widths:[| 1 |] ~feedthrough:true
-    ~always_active:true (fun ctx ->
+    ~always_active:true ~transfer:(Block.Map transfer) (fun ctx ->
       let acc = ref 1. in
       Array.iter (fun u -> acc := !acc *. u.(0)) ctx.Block.inputs;
       [| [| !acc |] |])
 
+let divide ?(name = "divide") () =
+  Block.make ~name ~in_widths:[| 1; 1 |] ~out_widths:[| 1 |] ~feedthrough:true
+    ~always_active:true
+    ~transfer:(Block.Map (fun ins -> [| I.div ins.(0) ins.(1) |]))
+    ~guards:[ Block.Nonzero 1 ]
+    (fun ctx -> [| [| ctx.Block.inputs.(0).(0) /. ctx.Block.inputs.(1).(0) |] |])
+
+let sqrt_op ?(name = "sqrt") () =
+  Block.make ~name ~in_widths:[| 1 |] ~out_widths:[| 1 |] ~feedthrough:true
+    ~always_active:true
+    ~transfer:(Block.Map (fun ins -> [| I.sqrt_ ins.(0) |]))
+    ~guards:[ Block.Nonnegative 0 ]
+    (fun ctx -> [| [| sqrt ctx.Block.inputs.(0).(0) |] |])
+
+let log_op ?(name = "log") () =
+  Block.make ~name ~in_widths:[| 1 |] ~out_widths:[| 1 |] ~feedthrough:true
+    ~always_active:true
+    ~transfer:(Block.Map (fun ins -> [| I.log_ ins.(0) |]))
+    ~guards:[ Block.Positive 0 ]
+    (fun ctx -> [| [| log ctx.Block.inputs.(0).(0) |] |])
+
 let saturation ?(name = "saturation") ~lo ~hi () =
   if lo >= hi then invalid_arg "Clib.saturation: lo >= hi";
   Block.make ~name ~in_widths:[| 1 |] ~out_widths:[| 1 |] ~feedthrough:true
-    ~always_active:true (fun ctx ->
-      [| [| Float.max lo (Float.min hi ctx.Block.inputs.(0).(0)) |] |])
+    ~always_active:true
+    ~transfer:(Block.Map (fun ins -> [| I.clamp ~lo ~hi ins.(0) |]))
+    ~clamp:(lo, hi)
+    (fun ctx -> [| [| Float.max lo (Float.min hi ctx.Block.inputs.(0).(0)) |] |])
 
 let mux ?(name = "mux") widths =
   let total = Array.fold_left ( + ) 0 widths in
+  let transfer ins =
+    if Array.length ins = 0 then [| I.point 0. |]
+    else [| Array.fold_left I.join ins.(0) ins |]
+  in
   Block.make ~name ~in_widths:widths ~out_widths:[| total |] ~feedthrough:true
-    ~always_active:true (fun ctx -> [| Array.concat (Array.to_list ctx.Block.inputs) |])
+    ~always_active:true ~transfer:(Block.Map transfer) (fun ctx ->
+      [| Array.concat (Array.to_list ctx.Block.inputs) |])
 
 let demux ?(name = "demux") widths =
   let total = Array.fold_left ( + ) 0 widths in
   Block.make ~name ~in_widths:[| total |] ~out_widths:widths ~feedthrough:true
-    ~always_active:true (fun ctx ->
+    ~always_active:true
+    ~transfer:(Block.Map (fun ins -> Array.map (fun _ -> ins.(0)) widths))
+    (fun ctx ->
       let v = ctx.Block.inputs.(0) in
       let offset = ref 0 in
       Array.map
@@ -54,17 +115,33 @@ let demux ?(name = "demux") widths =
         widths)
 
 let step_source ?(name = "step") ?(at = 0.) ?(before = 0.) ~after () =
-  Block.make ~name ~out_widths:[| 1 |] ~always_active:true (fun ctx ->
-      [| [| (if ctx.Block.time >= at then after else before) |] |])
+  Block.make ~name ~out_widths:[| 1 |] ~always_active:true
+    ~transfer:(Block.Static [| I.join (I.point before) (I.point after) |])
+    (fun ctx -> [| [| (if ctx.Block.time >= at then after else before) |] |])
 
 let sine_source ?(name = "sine") ?(amplitude = 1.) ?(phase = 0.) ~freq_hz () =
-  Block.make ~name ~out_widths:[| 1 |] ~always_active:true (fun ctx ->
+  let a = Float.abs amplitude in
+  Block.make ~name ~out_widths:[| 1 |] ~always_active:true
+    ~transfer:(Block.Static [| I.v (-.a) a |])
+    (fun ctx ->
       [| [| amplitude *. sin ((2. *. Float.pi *. freq_hz *. ctx.Block.time) +. phase) |] |])
 
 let integrator ?(name = "integrator") x0 =
   let n = Array.length x0 in
+  (* the state drifts monotonically in the direction the derivative
+     sign allows: a one-signed input keeps one bound at its initial
+     value, a zero input freezes the state entirely *)
+  let step ~prev ins =
+    let d = ins.(0) and p = prev.(0) in
+    [|
+      I.v
+        (if d.I.lo < 0. then neg_infinity else p.I.lo)
+        (if d.I.hi > 0. then infinity else p.I.hi);
+    |]
+  in
   Block.make ~name ~in_widths:[| n |] ~out_widths:[| n |] ~cstate0:(Array.copy x0)
     ~always_active:true
+    ~transfer:(Block.Update { init = [| I.hull x0 |]; step; tracks_input = false })
     ~derivatives:(fun ctx -> Array.copy ctx.Block.inputs.(0))
     (fun ctx -> [| Array.copy ctx.Block.cstate |])
 
@@ -90,7 +167,16 @@ let lti_continuous ?name ?(split_inputs = false) ?(split_outputs = false) ~x0
 let state_feedback ?(name = "state_feedback") k =
   let n = M.cols k and m = M.rows k in
   let held = ref (Array.make m 0.) in
+  let step ~prev:_ ins =
+    rows_hull ~rows:m (fun r ->
+        let acc = ref (I.point 0.) in
+        for j = 0 to n - 1 do
+          acc := I.add !acc (I.scale (-.M.get k r j) ins.(j))
+        done;
+        !acc)
+  in
   Block.make ~name ~in_widths:(Array.make n 1) ~out_widths:[| m |] ~event_inputs:1
+    ~transfer:(Block.Update { init = [| I.point 0. |]; step; tracks_input = false })
     ~on_event:(fun ctx ~port:_ ->
       let x = Array.map (fun v -> v.(0)) ctx.Block.inputs in
       held := Array.map (fun u -> -.u) (M.mul_vec k x);
@@ -136,7 +222,21 @@ let delayed_state_feedback ?(name = "delayed_state_feedback") k =
   if n <= 0 then invalid_arg "Clib.delayed_state_feedback: K must have n + m columns";
   let u_prev = ref (Array.make m 0.) in
   let held = ref (Array.make m 0.) in
+  (* the augmented state feeds the previous output back through the
+     last m columns of K, so the abstract step reads prev.(0) there *)
+  let step ~prev ins =
+    rows_hull ~rows:m (fun r ->
+        let acc = ref (I.point 0.) in
+        for j = 0 to n - 1 do
+          acc := I.add !acc (I.scale (-.M.get k r j) ins.(j))
+        done;
+        for j = n to n + m - 1 do
+          acc := I.add !acc (I.scale (-.M.get k r j) prev.(0))
+        done;
+        !acc)
+  in
   Block.make ~name ~in_widths:(Array.make n 1) ~out_widths:[| m |] ~event_inputs:1
+    ~transfer:(Block.Update { init = [| I.point 0. |]; step; tracks_input = false })
     ~on_event:(fun ctx ~port:_ ->
       let x = Array.map (fun v -> v.(0)) ctx.Block.inputs in
       let aug = Array.append x !u_prev in
@@ -182,6 +282,13 @@ let sample_hold ?(name = "sample_hold") ?initial width =
   in
   let held = ref (Array.copy initial) in
   Block.make ~name ~in_widths:[| width |] ~out_widths:[| width |] ~event_inputs:1
+    ~transfer:
+      (Block.Update
+         {
+           init = [| I.hull initial |];
+           step = (fun ~prev:_ ins -> [| ins.(0) |]);
+           tracks_input = true;
+         })
     ~on_event:(fun ctx ~port:_ ->
       held := Array.copy ctx.Block.inputs.(0);
       [])
@@ -193,6 +300,13 @@ let unit_delay ?(name = "unit_delay") y0 =
   let held = ref (Array.copy y0) in
   let next = ref (Array.copy y0) in
   Block.make ~name ~in_widths:[| width |] ~out_widths:[| width |] ~event_inputs:1
+    ~transfer:
+      (Block.Update
+         {
+           init = [| I.hull y0 |];
+           step = (fun ~prev:_ ins -> [| ins.(0) |]);
+           tracks_input = true;
+         })
     ~on_event:(fun ctx ~port:_ ->
       held := !next;
       next := Array.copy ctx.Block.inputs.(0);
@@ -204,7 +318,32 @@ let unit_delay ?(name = "unit_delay") y0 =
 
 let pid ?(name = "pid") controller =
   let held = ref 0. in
+  let g = Control.Pid.gains controller in
+  let ts = Control.Pid.ts controller in
+  let umin, umax = Control.Pid.limits controller in
+  (* abstract image of one Pid.step: u = clamp(P + I + D).  The
+     integral is bounded only by the anti-windup clamp; the filtered
+     derivative is a convex combination of raw slopes, so its hull
+     with the zero initial state covers every filter state. *)
+  let step ~prev:_ ins =
+    let e = I.sub ins.(0) ins.(1) in
+    let p = I.scale g.Control.Pid.kp e in
+    let i =
+      if g.Control.Pid.ki = 0. then I.point 0.
+      else
+        match Control.Pid.windup controller with
+        | Some w -> I.v (-.Float.abs w) (Float.abs w)
+        | None -> I.top
+    in
+    let d =
+      if g.Control.Pid.kd = 0. then I.point 0.
+      else I.join (I.point 0.) (I.scale (g.Control.Pid.kd /. ts) (I.sub e e))
+    in
+    let u = I.add (I.add p i) d in
+    [| I.clamp ?lo:umin ?hi:umax u |]
+  in
   Block.make ~name ~in_widths:[| 1; 1 |] ~out_widths:[| 1 |] ~event_inputs:1
+    ~transfer:(Block.Update { init = [| I.point 0. |]; step; tracks_input = false })
     ~on_event:(fun ctx ~port:_ ->
       let r = ctx.Block.inputs.(0).(0) and y = ctx.Block.inputs.(1).(0) in
       held := Control.Pid.step controller ~r ~y;
@@ -214,10 +353,10 @@ let pid ?(name = "pid") controller =
       held := 0.)
     (fun _ -> [| [| !held |] |])
 
-let stateful ~name ~in_widths ~out_widths ?(reset = fun () -> ()) step =
+let stateful ~name ~in_widths ~out_widths ?(reset = fun () -> ()) ?transfer step =
   let zero () = Array.map (fun w -> Array.make w 0.) out_widths in
   let held = ref (zero ()) in
-  Block.make ~name ~in_widths ~out_widths ~event_inputs:1
+  Block.make ~name ~in_widths ~out_widths ~event_inputs:1 ?transfer
     ~on_event:(fun ctx ~port:_ ->
       let out = step ctx.Block.inputs in
       if Array.length out <> Array.length out_widths then
@@ -229,8 +368,8 @@ let stateful ~name ~in_widths ~out_widths ?(reset = fun () -> ()) step =
       held := zero ())
     (fun _ -> Array.map Array.copy !held)
 
-let pure_fn ~name ~in_widths ~out_widths f =
-  Block.make ~name ~in_widths ~out_widths ~feedthrough:true ~always_active:true
+let pure_fn ~name ~in_widths ~out_widths ?transfer f =
+  Block.make ~name ~in_widths ~out_widths ~feedthrough:true ~always_active:true ?transfer
     (fun ctx -> f ctx.Block.inputs)
 
 let relay ?(name = "relay") ?(initially_on = false) ~on_above ~off_below ~out_on ~out_off
@@ -239,6 +378,7 @@ let relay ?(name = "relay") ?(initially_on = false) ~on_above ~off_below ~out_on
   let on = ref initially_on in
   Block.make ~name ~in_widths:[| 1 |] ~out_widths:[| 1 |] ~event_outputs:1 ~surfaces:2
     ~always_active:true
+    ~transfer:(Block.Static [| I.join (I.point out_on) (I.point out_off) |])
     ~crossings:(fun ctx ->
       let u = ctx.Block.inputs.(0).(0) in
       [| u -. on_above; u -. off_below |])
@@ -259,15 +399,27 @@ let relay ?(name = "relay") ?(initially_on = false) ~on_above ~off_below ~out_on
 
 let quantizer ?(name = "quantizer") ~step () =
   if step <= 0. then invalid_arg "Clib.quantizer: non-positive step";
+  let half = step /. 2. in
   Block.make ~name ~in_widths:[| 1 |] ~out_widths:[| 1 |] ~feedthrough:true
-    ~always_active:true (fun ctx ->
-      [| [| step *. Float.round (ctx.Block.inputs.(0).(0) /. step) |] |])
+    ~always_active:true
+    ~transfer:
+      (Block.Map (fun ins -> [| I.add ins.(0) (I.v (-.half) half) |]))
+    (fun ctx -> [| [| step *. Float.round (ctx.Block.inputs.(0).(0) /. step) |] |])
 
 let rate_limiter ?(name = "rate_limiter") ~rising ~falling () =
   if rising <= 0. || falling <= 0. then invalid_arg "Clib.rate_limiter: non-positive rate";
   let held = ref 0. in
   let last_time = ref Float.nan in
   Block.make ~name ~in_widths:[| 1 |] ~out_widths:[| 1 |] ~event_inputs:1
+    ~transfer:
+      (* the output chases the input and never overshoots it, so the
+         reachable set is the hull of the initial state and the input *)
+      (Block.Update
+         {
+           init = [| I.point 0. |];
+           step = (fun ~prev:_ ins -> [| ins.(0) |]);
+           tracks_input = true;
+         })
     ~on_event:(fun ctx ~port:_ ->
       let u = ctx.Block.inputs.(0).(0) in
       (if Float.is_nan !last_time then held := u
@@ -286,16 +438,20 @@ let rate_limiter ?(name = "rate_limiter") ~rising ~falling () =
 
 let dead_zone ?(name = "dead_zone") ~width () =
   if width < 0. then invalid_arg "Clib.dead_zone: negative width";
+  let dz u = if u > width then u -. width else if u < -.width then u +. width else 0. in
   Block.make ~name ~in_widths:[| 1 |] ~out_widths:[| 1 |] ~feedthrough:true
-    ~always_active:true (fun ctx ->
-      let u = ctx.Block.inputs.(0).(0) in
-      let y = if u > width then u -. width else if u < -.width then u +. width else 0. in
-      [| [| y |] |])
+    ~always_active:true
+    (* dz is monotone, so the image of an interval is the interval of
+       the endpoint images *)
+    ~transfer:(Block.Map (fun ins -> [| I.v (dz ins.(0).I.lo) (dz ins.(0).I.hi) |]))
+    (fun ctx -> [| [| dz ctx.Block.inputs.(0).(0) |] |])
 
 let lookup_table ?(name = "lookup_table") table =
+  let lo, hi = Numerics.Interp.codomain table in
   Block.make ~name ~in_widths:[| 1 |] ~out_widths:[| 1 |] ~feedthrough:true
-    ~always_active:true (fun ctx ->
-      [| [| Numerics.Interp.eval table ctx.Block.inputs.(0).(0) |] |])
+    ~always_active:true
+    ~transfer:(Block.Static [| I.v lo hi |])
+    (fun ctx -> [| [| Numerics.Interp.eval table ctx.Block.inputs.(0).(0) |] |])
 
 let biquad ?(name = "biquad") ~b ~a () =
   if Array.length a = 0 || Array.length a > 3 || Array.length b = 0 || Array.length b > 3

@@ -2,7 +2,11 @@
 
     Every function returns a {e fresh} block instance: internal state
     lives in closures, so each call may be added to a graph exactly
-    once.  Event-processing blocks live in {!Eventlib}. *)
+    once.  Event-processing blocks live in {!Eventlib}.
+
+    Blocks here also declare their {!Block.transfer} abstract
+    semantics, so {!Verify.Absint} can bound every signal in a design
+    built from this library without executing it. *)
 
 val constant : ?name:string -> float array -> Block.t
 (** Constant source of the given vector. *)
@@ -19,6 +23,19 @@ val sum : ?name:string -> float array -> Block.t
 
 val product : ?name:string -> int -> Block.t
 (** Pointwise product of [n] width-1 inputs. *)
+
+val divide : ?name:string -> unit -> Block.t
+(** [u₀ / u₁] on width-1 inputs.  Declares a {!Block.Nonzero} guard on
+    the divisor port: the value-flow analysis raises FLOW001 when the
+    inferred divisor range straddles zero. *)
+
+val sqrt_op : ?name:string -> unit -> Block.t
+(** [√u] on a width-1 input; guarded {!Block.Nonnegative} (FLOW006 on
+    possibly-negative arguments). *)
+
+val log_op : ?name:string -> unit -> Block.t
+(** [ln u] on a width-1 input; guarded {!Block.Positive} (FLOW006 on
+    possibly-nonpositive arguments). *)
 
 val saturation : ?name:string -> lo:float -> hi:float -> unit -> Block.t
 (** Clamps a width-1 signal. *)
@@ -103,20 +120,26 @@ val stateful :
   in_widths:int array ->
   out_widths:int array ->
   ?reset:(unit -> unit) ->
+  ?transfer:Block.transfer ->
   (float array array -> float array array) ->
   Block.t
 (** Generic event-activated block: on each activation applies the
     step function to current inputs and holds the result.  The step
     function may close over arbitrary state; supply [reset] to restore
-    it.  Output is zero before the first activation. *)
+    it.  Output is zero before the first activation.  [transfer]
+    (default {!Block.Opaque}) declares abstract semantics for the
+    value-flow analysis. *)
 
 val pure_fn :
   name:string ->
   in_widths:int array ->
   out_widths:int array ->
+  ?transfer:Block.transfer ->
   (float array array -> float array array) ->
   Block.t
-(** Memoryless always-active function block (feedthrough). *)
+(** Memoryless always-active function block (feedthrough).
+    [transfer] (default {!Block.Opaque}) declares abstract semantics
+    for the value-flow analysis. *)
 
 val noise_sample_hold :
   ?name:string -> rng:Numerics.Rng.t -> sigma:float -> int -> Block.t

@@ -113,6 +113,13 @@ let divider ?(name = "divider") ?(phase = 0) ~factor () =
 let event_counter ?(name = "event_counter") () =
   let count = ref 0 in
   Block.make ~name ~out_widths:[| 1 |] ~event_inputs:1
+    ~transfer:
+      (Block.Update
+         {
+           init = [| Interval.point 0. |];
+           step = (fun ~prev:_ _ -> [| Interval.v 0. infinity |]);
+           tracks_input = false;
+         })
     ~on_event:(fun _ ~port:_ ->
       incr count;
       [])

@@ -1,0 +1,86 @@
+type t = { lo : float; hi : float }
+
+let top = { lo = neg_infinity; hi = infinity }
+
+let make ~lo ~hi =
+  if Float.is_nan lo || Float.is_nan hi then invalid_arg "Interval.make: NaN endpoint";
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+(* Total: a NaN endpoint means the computation escaped the reals on
+   that side, so it degrades to the matching infinity. *)
+let v lo hi =
+  let lo = if Float.is_nan lo then neg_infinity else lo in
+  let hi = if Float.is_nan hi then infinity else hi in
+  if lo <= hi then { lo; hi } else { lo = hi; hi = lo }
+
+let point x = if Float.is_nan x then top else { lo = x; hi = x }
+
+let hull xs =
+  if Array.length xs = 0 then point 0.
+  else
+    Array.fold_left
+      (fun acc x ->
+        if Float.is_nan x then top else v (Float.min acc.lo x) (Float.max acc.hi x))
+      (point xs.(0)) xs
+
+let is_top a = a.lo = neg_infinity && a.hi = infinity
+let is_point a = a.lo = a.hi
+let bounded a = Float.is_finite a.lo && Float.is_finite a.hi
+let contains a x = if Float.is_nan x then is_top a else a.lo <= x && x <= a.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let join a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let meet a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+let add a b = v (a.lo +. b.lo) (a.hi +. b.hi)
+let sub a b = add a (neg b)
+
+let scale k a =
+  if Float.is_nan k then top
+  else if k = 0. then point 0.
+  else if k > 0. then v (k *. a.lo) (k *. a.hi)
+  else v (k *. a.hi) (k *. a.lo)
+
+(* Moore corner product with the 0·∞ = 0 convention (sound: the zero
+   endpoint contributes the value 0, reached in the limit). *)
+let mulc x y = if x = 0. || y = 0. then 0. else x *. y
+
+let mul a b =
+  let p1 = mulc a.lo b.lo and p2 = mulc a.lo b.hi in
+  let p3 = mulc a.hi b.lo and p4 = mulc a.hi b.hi in
+  v
+    (Float.min (Float.min p1 p2) (Float.min p3 p4))
+    (Float.max (Float.max p1 p2) (Float.max p3 p4))
+
+let div a b =
+  if b.lo <= 0. && b.hi >= 0. then top
+  else
+    let q1 = a.lo /. b.lo and q2 = a.lo /. b.hi in
+    let q3 = a.hi /. b.lo and q4 = a.hi /. b.hi in
+    v
+      (Float.min (Float.min q1 q2) (Float.min q3 q4))
+      (Float.max (Float.max q1 q2) (Float.max q3 q4))
+
+let abs a =
+  if a.lo >= 0. then a
+  else if a.hi <= 0. then neg a
+  else { lo = 0.; hi = Float.max (-.a.lo) a.hi }
+
+let clamp ?(lo = neg_infinity) ?(hi = infinity) a =
+  let c x = Float.max lo (Float.min hi x) in
+  v (c a.lo) (c a.hi)
+
+let sqrt_ a = if a.hi < 0. then top else v (sqrt (Float.max 0. a.lo)) (sqrt a.hi)
+
+let log_ a =
+  if a.hi <= 0. then top
+  else v (if a.lo <= 0. then neg_infinity else log a.lo) (log a.hi)
+
+let width a = a.hi -. a.lo
+let to_string a = Printf.sprintf "[%g, %g]" a.lo a.hi
+let pp ppf a = Format.pp_print_string ppf (to_string a)

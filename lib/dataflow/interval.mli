@@ -1,0 +1,81 @@
+(** Closed real intervals with infinite endpoints — the abstract value
+    domain of the signal-range analysis ({!Verify.Absint}).
+
+    An interval [{lo; hi}] stands for every real in [\[lo, hi\]]; the
+    endpoints may be [-∞]/[+∞] but never NaN (operations whose IEEE
+    result would be NaN widen the endpoint to the matching infinity
+    instead, so every operation is total and sound).  The full line
+    [⊤ = \[-∞, +∞\]] additionally stands for {e any} float, NaN
+    included — an opaque block about which nothing is known. *)
+
+type t = private { lo : float; hi : float }
+
+val make : lo:float -> hi:float -> t
+(** Raises [Invalid_argument] on NaN endpoints or [lo > hi]. *)
+
+val v : float -> float -> t
+(** Total constructor: NaN endpoints become the matching infinity,
+    reversed endpoints are swapped. *)
+
+val point : float -> t
+(** The singleton [\[x, x\]]; {!top} when [x] is NaN. *)
+
+val top : t
+(** [\[-∞, +∞\]] — no information. *)
+
+val hull : float array -> t
+(** Smallest interval containing every element (⊤ if any is NaN);
+    {!point}[ 0.] for the empty array. *)
+
+val is_top : t -> bool
+val is_point : t -> bool
+val bounded : t -> bool
+(** Both endpoints finite. *)
+
+val contains : t -> float -> bool
+(** Membership.  NaN is a member of {!top} only (an opaque signal may
+    be NaN; a bounded one provably is not). *)
+
+val subset : t -> t -> bool
+(** [subset a b] — every value of [a] is a value of [b]. *)
+
+val equal : t -> t -> bool
+
+val join : t -> t -> t
+(** Convex hull (least upper bound). *)
+
+val meet : t -> t -> t option
+(** Intersection; [None] when disjoint. *)
+
+(** {2 Arithmetic}  All operations are inclusion-monotone and map
+    abstract values to a superset of the concrete image. *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+(** [scale 0.] is {!point}[ 0.] even on unbounded arguments. *)
+
+val mul : t -> t -> t
+val div : t -> t -> t
+(** ⊤ when the divisor may be zero (the concrete quotient may be
+    ±∞ or NaN). *)
+
+val abs : t -> t
+val clamp : ?lo:float -> ?hi:float -> t -> t
+(** Image under [x ↦ max lo (min hi x)] (missing bounds are ±∞). *)
+
+val sqrt_ : t -> t
+(** Image under [sqrt] of the non-negative part; ⊤ when the argument
+    may be entirely negative (NaN). *)
+
+val log_ : t -> t
+(** Image under [log]; ⊤ when the argument may be non-positive. *)
+
+val width : t -> float
+(** [hi -. lo] (may be [+∞]). *)
+
+val to_string : t -> string
+(** ["[lo, hi]"] with [%g] endpoints. *)
+
+val pp : Format.formatter -> t -> unit

@@ -40,6 +40,11 @@ let eval_extrapolate = lerp
 
 let domain t = (t.xs.(0), t.xs.(Array.length t.xs - 1))
 
+let codomain t =
+  Array.fold_left
+    (fun (lo, hi) y -> (Float.min lo y, Float.max hi y))
+    (t.ys.(0), t.ys.(0)) t.ys
+
 let of_function ?(n = 32) f ~lo ~hi =
   if n < 2 then invalid_arg "Interp.of_function: need at least two samples";
   if hi <= lo then invalid_arg "Interp.of_function: empty domain";

@@ -18,6 +18,11 @@ val eval_extrapolate : t -> float -> float
 
 val domain : t -> float * float
 
+val codomain : t -> float * float
+(** [(min, max)] over the table values — bounds of {!eval}, whose
+    clamped extrapolation and piecewise-linear interior never leave
+    the hull of the breakpoint values. *)
+
 val of_function : ?n:int -> (float -> float) -> lo:float -> hi:float -> t
 (** Samples a function on [n] (default 32) evenly spaced breakpoints
     over [\[lo, hi\]]. *)

@@ -1,0 +1,201 @@
+module Graph = Dataflow.Graph
+module Block = Dataflow.Block
+module I = Dataflow.Interval
+
+type t = {
+  graph : Graph.t;
+  ranges : I.t array array; (* ranges.(block).(output port) *)
+  iterations : int;
+  converged : bool;
+}
+
+(* Widening thresholds: powers of four up to beyond any physical
+   signal magnitude, then infinity.  Jumping an escaping bound to the
+   next rung instead of straight to ±∞ keeps contractive loops finite
+   (k·[-T,T] + u fits back inside [-T,T] once T is large enough) while
+   still guaranteeing a finite ascending chain for divergent ones. *)
+let thresholds =
+  Array.init 66 (fun i -> Float.ldexp 1. (2 * i)) |> fun pos ->
+  Array.concat [ [| 0. |]; pos; [| infinity |] ]
+
+(* smallest value of the symmetric ladder {±thresholds} that is >= x *)
+let up_threshold x =
+  if x <= 0. then begin
+    (* largest rung t with -t >= x *)
+    let best = ref 0. in
+    Array.iter (fun t -> if t <= -.x then best := t) thresholds;
+    -. !best
+  end
+  else
+    let rec find i = if thresholds.(i) >= x then thresholds.(i) else find (i + 1) in
+    find 0
+
+(* largest ladder value <= x *)
+let down_threshold x = -.up_threshold (-.x)
+
+(* widen old toward new_: keep stable bounds, jump escaping ones to
+   the next threshold rung *)
+let widen (old : I.t) (new_ : I.t) =
+  let j = I.join old new_ in
+  let lo = if j.I.lo < old.I.lo then down_threshold j.I.lo else old.I.lo in
+  let hi = if j.I.hi > old.I.hi then up_threshold j.I.hi else old.I.hi in
+  I.v lo hi
+
+(* plain joins first give the threshold ladder a chance to be skipped
+   entirely on designs that stabilise quickly *)
+let widen_after = 12
+
+(* port p of a declared interval array, defensively top when the
+   declaration is shorter than the port list *)
+let port_or_top arr p = if p < Array.length arr then arr.(p) else I.top
+
+let init_ranges g =
+  Array.of_list
+    (List.map
+       (fun id ->
+         let b = Graph.block g id in
+         let n = Array.length b.Block.out_widths in
+         match b.Block.transfer with
+         | Block.Static a -> Array.init n (port_or_top a)
+         | Block.Update { init; _ } -> Array.init n (port_or_top init)
+         | Block.Opaque | Block.Map _ -> Array.make n I.top)
+       (Graph.block_ids g))
+
+let inputs_of ranges g id =
+  let b = Graph.block g id in
+  Array.init (Array.length b.Block.in_widths) (fun p ->
+      match Graph.data_source g id p with
+      | Some (src, op) -> ranges.((src : Graph.block_id :> int)).(op)
+      | None -> I.top)
+
+(* one full-graph sweep; returns whether anything changed.
+   [mode] selects the treatment of stateful blocks:
+   [`Prime] skip them entirely (they keep their init values while the
+   memoryless part is seeded), [`Join] plain ascending join, [`Widen]
+   threshold widening, [`Narrow] descending refinement (meet with the
+   recomputed step). *)
+let sweep ~mode g ranges =
+  let changed = ref false in
+  List.iter
+    (fun id ->
+      let i = (id : Graph.block_id :> int) in
+      let b = Graph.block g id in
+      let n = Array.length b.Block.out_widths in
+      let set p v =
+        if not (I.equal ranges.(i).(p) v) then begin
+          ranges.(i).(p) <- v;
+          changed := true
+        end
+      in
+      match b.Block.transfer with
+      | Block.Opaque | Block.Static _ -> ()
+      | Block.Map f ->
+          let out = f (inputs_of ranges g id) in
+          for p = 0 to n - 1 do
+            set p (port_or_top out p)
+          done
+      | Block.Update _ when mode = `Prime -> ()
+      | Block.Update { init; step; _ } ->
+          let out = step ~prev:ranges.(i) (inputs_of ranges g id) in
+          for p = 0 to n - 1 do
+            let stepped = I.join (port_or_top init p) (port_or_top out p) in
+            let next =
+              match mode with
+              | `Prime -> assert false
+              | `Join -> I.join ranges.(i).(p) stepped
+              | `Widen -> widen ranges.(i).(p) stepped
+              | `Narrow ->
+                  (* both operands over-approximate the reachable set,
+                     so they intersect; defensively keep the current
+                     value if numeric drift ever made them disjoint *)
+                  Option.value (I.meet ranges.(i).(p) stepped) ~default:ranges.(i).(p)
+            in
+            set p next
+          done)
+    (Graph.block_ids g);
+  !changed
+
+let default_max_sweeps g =
+  (* ascending phase: widen_after plain sweeps, then at most one
+     ladder climb per bound per stateful block, propagated across the
+     graph — block_count sweeps per rung is a loose upper envelope *)
+  widen_after + ((Array.length thresholds + 2) * 2) + Graph.block_count g + 8
+
+let analyze ?max_sweeps g =
+  let max_sweeps = Option.value max_sweeps ~default:(default_max_sweeps g) in
+  let ranges = init_ranges g in
+  let iterations = ref 0 in
+  let converged = ref false in
+  (* prime the memoryless part: propagate static and initial values
+     through Map chains so feedback cycles are entered from their
+     time-zero valuation rather than from ⊤ (Map ports start at ⊤,
+     and a ⊤ once joined into a stateful block can never come back
+     down during the ascending phase).  Cycles all pass through
+     stateful blocks — which priming leaves at their init values — so
+     the Map-only dependency graph is acyclic and this settles within
+     block_count sweeps. *)
+  (let cap = Graph.block_count g + 1 in
+   let n = ref 0 in
+   while !n < cap && sweep ~mode:`Prime g ranges do
+     incr n;
+     incr iterations
+   done);
+  (* ascending iteration to a post-fixpoint *)
+  (try
+     while not !converged do
+       if !iterations >= max_sweeps then raise Exit;
+       let mode = if !iterations < widen_after then `Join else `Widen in
+       let changed = sweep ~mode g ranges in
+       incr iterations;
+       if not changed then converged := true
+     done
+   with Exit ->
+     (* cap hit: force every non-static port to top — trivially a
+        post-fixpoint, so the result stays sound *)
+     Array.iteri
+       (fun i row ->
+         let b = Graph.block g (Graph.id_of_int g i) in
+         match b.Block.transfer with
+         | Block.Static _ -> ()
+         | _ -> Array.iteri (fun p _ -> row.(p) <- I.top) row)
+       ranges);
+  (* two narrowing sweeps recover precision widening threw away;
+     each recomputation stays above the concrete reachable set *)
+  if !converged then
+    for _ = 1 to 2 do
+      ignore (sweep ~mode:`Narrow g ranges);
+      incr iterations
+    done;
+  { graph = g; ranges; iterations = !iterations; converged = !converged }
+
+let range t (id, port) =
+  let row = t.ranges.((id : Graph.block_id :> int)) in
+  if port < 0 || port >= Array.length row then
+    invalid_arg (Printf.sprintf "Absint.range: output port %d out of range" port);
+  row.(port)
+
+let input_range t (id, port) =
+  match Graph.data_source t.graph id port with
+  | Some (src, op) -> range t (src, op)
+  | None -> I.top
+
+let ports t =
+  List.concat_map
+    (fun id ->
+      let b = Graph.block t.graph id in
+      List.init (Array.length b.Block.out_widths) (fun p -> (id, p, range t (id, p))))
+    (Graph.block_ids t.graph)
+
+let iterations t = t.iterations
+let converged t = t.converged
+
+let markdown_table t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "| block | port | range |\n|---|---|---|\n";
+  List.iter
+    (fun (id, p, iv) ->
+      let b = Graph.block t.graph id in
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %d | %s |\n" b.Block.name p (I.to_string iv)))
+    (ports t);
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** Whole-design abstract interpretation over {!Dataflow.Graph}.
+
+    Computes, without executing the design, a sound interval for every
+    regular output port: every value the simulator can ever produce on
+    that port lies inside the inferred interval.  The analysis is a
+    Kleene fixpoint iteration over the {!Dataflow.Block.transfer}
+    abstract semantics declared by the block libraries, with
+    threshold widening at stateful ([Update]) blocks to force
+    termination on feedback loops and two narrowing sweeps to recover
+    precision lost to widening.
+
+    Soundness argument, in brief: every transfer function is
+    inclusion-monotone and covers the block's concrete step, the
+    iteration only ever joins (ascending chain), and widening
+    over-approximates the join — so the final map is a post-fixpoint
+    of the abstract system and therefore contains every reachable
+    concrete valuation.  Blocks with [Opaque] transfer contribute
+    {!Dataflow.Interval.top}, which is trivially sound. *)
+
+type t
+(** The result of analysing one graph. *)
+
+val analyze : ?max_sweeps:int -> Dataflow.Graph.t -> t
+(** Runs the fixpoint.  [max_sweeps] caps the number of full-graph
+    sweeps (the default is generous: the widening ladder guarantees
+    convergence well below it on any graph whose cycles all pass
+    through a stateful or source block, which graph validation
+    enforces).  If the cap is hit anyway, all non-static ports are
+    forced to {!Dataflow.Interval.top} — still sound — and
+    {!converged} reports [false]. *)
+
+val range : t -> Dataflow.Graph.block_id * int -> Dataflow.Interval.t
+(** Inferred interval of an output port.  Raises [Invalid_argument] on
+    an out-of-range port index. *)
+
+val input_range : t -> Dataflow.Graph.block_id * int -> Dataflow.Interval.t
+(** Interval flowing into an input port: the range of the source port
+    feeding it, or {!Dataflow.Interval.top} when the port is not
+    wired. *)
+
+val ports : t -> (Dataflow.Graph.block_id * int * Dataflow.Interval.t) list
+(** All [(block, output-port, interval)] triples, in block order. *)
+
+val iterations : t -> int
+(** Number of full-graph sweeps performed (ascending + narrowing). *)
+
+val converged : t -> bool
+(** Whether a fixpoint was reached before [max_sweeps]. *)
+
+val markdown_table : t -> string
+(** A [| block | port | range |] table of the inferred bounds, for
+    design reports. *)

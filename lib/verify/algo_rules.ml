@@ -234,3 +234,13 @@ let check_mapping ~algorithm ~architecture ~durations =
       (Algorithm.dependencies algorithm)
   in
   per_op @ per_dep
+
+(* ALG004 and the DUR family are raised by construction validators
+   and surface via [Diag.of_invalid_arg] *)
+let ids =
+  [
+    "ALG001"; "ALG002"; "ALG003"; "ALG004"; "ALG005";
+    "ARCH001"; "ARCH002";
+    "DUR001"; "DUR002";
+    "MAP001"; "MAP002"; "MAP003";
+  ]

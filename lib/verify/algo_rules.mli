@@ -21,3 +21,7 @@ val check_mapping :
     (dependency whose producer/consumer placements are never routable)
     and MAP003 (operation whose WCET exceeds the period on every
     operator able to run it). *)
+
+val ids : string list
+(** Every rule identifier attributable to this pass, including those
+    raised by the construction-time validators of its artifacts. *)

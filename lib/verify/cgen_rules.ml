@@ -219,3 +219,5 @@ let emitted_c exe =
       [ Diag.of_invalid_arg ~artifact ~location:"emit" msg ]
 
 let check exe = structural exe @ media_order exe @ data_order exe @ emitted_c exe
+
+let ids = [ "CGEN001"; "CGEN002"; "CGEN003"; "CGEN004" ]

@@ -13,3 +13,6 @@ val check : Aaa.Codegen.t -> Diag.t list
     producing it, or a send posted before its local producer ran) and
     CGEN001 (an emitted C file referencing a [buf_*] array it never
     declares). *)
+
+val ids : string list
+(** Every rule identifier this pass can raise. *)

@@ -1,0 +1,305 @@
+(* Value-flow design rules over the inferred signal ranges — the
+   FLOW family.  Every rule compares the sound interval bounds from
+   {!Absint} against a declared constraint (guard, machine format,
+   clamp, initial condition), so a silent run means "no reachable
+   value can violate the constraint", not "no test hit it". *)
+
+module Graph = Dataflow.Graph
+module Block = Dataflow.Block
+module I = Dataflow.Interval
+
+let artifact = "dataflow"
+
+let ids =
+  [
+    "FLOW001";
+    "FLOW002";
+    "FLOW003";
+    "FLOW004";
+    "FLOW005";
+    "FLOW006";
+    "FLOW007";
+    "FLOW008";
+  ]
+
+let loc (b : Block.t) port = Printf.sprintf "%s.%d" b.Block.name port
+
+(* FLOW001 / FLOW006: input-domain guards (division, sqrt, log) *)
+let guard_rules result g =
+  List.concat_map
+    (fun id ->
+      let b = Graph.block g id in
+      List.filter_map
+        (fun guard ->
+          let check port rule violated what hint =
+            let iv = Absint.input_range result (id, port) in
+            if violated iv then
+              Some
+                (Diag.warning ~rule ~artifact ~location:(loc b port)
+                   (Printf.sprintf "%s of block %S may be %s: inferred range %s" what
+                      b.Block.name
+                      (match rule with "FLOW001" -> "zero" | _ -> "outside the domain")
+                      (I.to_string iv))
+                   ~hint)
+            else None
+          in
+          match guard with
+          | Block.Nonzero port ->
+              check port "FLOW001"
+                (fun iv -> I.contains iv 0.)
+                "divisor input"
+                "bound the divisor away from zero (offset, clamp or guard upstream)"
+          | Block.Nonnegative port ->
+              check port "FLOW006"
+                (fun iv -> iv.I.lo < 0.)
+                "sqrt argument"
+                "clamp or rectify the argument so it stays non-negative"
+          | Block.Positive port ->
+              check port "FLOW006"
+                (fun iv -> iv.I.lo <= 0.)
+                "log argument"
+                "bound the argument strictly above zero")
+        b.Block.guards)
+    (Graph.block_ids g)
+
+(* FLOW002 / FLOW008: declared machine formats *)
+let format_rules result g =
+  List.concat_map
+    (fun id ->
+      let b = Graph.block g id in
+      match b.Block.machine with
+      | None -> []
+      | Some { format; tolerance } ->
+          let repr = Block.format_range format in
+          List.concat_map
+            (fun port ->
+              let iv = Absint.range result (id, port) in
+              let overflow =
+                if not (I.subset iv repr) then
+                  [
+                    Diag.warning ~rule:"FLOW002" ~artifact ~location:(loc b port)
+                      (Printf.sprintf
+                         "output of %S may overflow its machine format: inferred %s, \
+                          representable %s"
+                         b.Block.name (I.to_string iv) (I.to_string repr))
+                      ~hint:
+                        "widen the format, rescale the signal or saturate before the \
+                         conversion";
+                  ]
+                else []
+              in
+              let quant =
+                match tolerance with
+                | Some tol when Block.format_quantum format iv > tol ->
+                    [
+                      Diag.warning ~rule:"FLOW008" ~artifact ~location:(loc b port)
+                        (Printf.sprintf
+                           "quantization error of %S exceeds its tolerance: worst-case \
+                            %.3g > %.3g over %s"
+                           b.Block.name
+                           (Block.format_quantum format iv)
+                           tol (I.to_string iv))
+                        ~hint:"add fractional bits or relax the stated tolerance";
+                    ]
+                | _ -> []
+              in
+              overflow @ quant)
+            (List.init (Array.length b.Block.out_widths) Fun.id))
+    (Graph.block_ids g)
+
+(* strongly connected components of the data-link graph (iterative
+   Tarjan), as int lists *)
+let sccs g =
+  let n = Graph.block_count g in
+  let succs = Array.make n [] in
+  List.iter
+    (fun ((sb, _), (db, _)) ->
+      let sb = (sb : Graph.block_id :> int) and db = (db : Graph.block_id :> int) in
+      succs.(sb) <- db :: succs.(sb))
+    (Graph.data_links g);
+  let index = Array.make n (-1) and lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      succs.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  let self_loop v = List.mem v succs.(v) in
+  List.filter (fun c -> List.length c > 1 || self_loop (List.hd c)) !components
+
+(* FLOW003: a feedback loop whose abstract semantics are fully known
+   yet whose fixpoint is unbounded — the loop genuinely diverges (or
+   nothing in it limits growth), as opposed to loops through opaque
+   blocks where top merely reflects ignorance *)
+let feedback_rules result g =
+  List.filter_map
+    (fun component ->
+      let blocks = List.map (fun i -> Graph.block g (Graph.id_of_int g i)) component in
+      let all_known =
+        List.for_all
+          (fun (b : Block.t) ->
+            match b.Block.transfer with Block.Opaque -> false | _ -> true)
+          blocks
+      in
+      let unbounded =
+        List.exists
+          (fun i ->
+            let id = Graph.id_of_int g i in
+            let b = Graph.block g id in
+            List.exists
+              (fun p -> not (I.bounded (Absint.range result (id, p))))
+              (List.init (Array.length b.Block.out_widths) Fun.id))
+          component
+      in
+      if all_known && unbounded then
+        let names = String.concat ", " (List.map (fun b -> b.Block.name) blocks) in
+        Some
+          (Diag.warning ~rule:"FLOW003" ~artifact ~location:names
+             (Printf.sprintf "feedback loop through %s has no finite signal bound" names)
+             ~hint:
+               "reduce the loop gain below one or insert a saturation to bound the \
+                accumulated signal")
+      else None)
+    (sccs g)
+
+(* FLOW004: outputs nobody reads and blocks that compute a constant *)
+let dead_rules ?(probes = []) result g =
+  let consumed = Hashtbl.create 64 in
+  List.iter
+    (fun (((sb : Graph.block_id), sp), _) ->
+      Hashtbl.replace consumed ((sb :> int), sp) ())
+    (Graph.data_links g);
+  List.iter
+    (fun (_, ((id : Graph.block_id), port)) -> Hashtbl.replace consumed ((id :> int), port) ())
+    probes;
+  List.concat_map
+    (fun id ->
+      let b = Graph.block g id in
+      let nports = Array.length b.Block.out_widths in
+      let dead =
+        List.filter_map
+          (fun p ->
+            if Hashtbl.mem consumed ((id : Graph.block_id :> int), p) then None
+            else
+              Some
+                (Diag.info ~rule:"FLOW004" ~artifact ~location:(loc b p)
+                   (Printf.sprintf "output %s is never consumed nor probed" (loc b p))
+                   ~hint:"wire it, probe it, or drop the block"))
+          (List.init nports Fun.id)
+      in
+      let constant =
+        let is_static =
+          match b.Block.transfer with Block.Static _ -> true | _ -> false
+        in
+        if
+          Array.length b.Block.in_widths > 0
+          && (not is_static)
+          && nports > 0
+          && List.for_all
+               (fun p ->
+                 let iv = Absint.range result (id, p) in
+                 I.is_point iv && I.bounded iv)
+               (List.init nports Fun.id)
+        then
+          [
+            Diag.info ~rule:"FLOW004" ~artifact ~location:b.Block.name
+              (Printf.sprintf "block %S computes a constant despite having inputs"
+                 b.Block.name)
+              ~hint:"replace it with a constant source or check its wiring";
+          ]
+        else []
+      in
+      dead @ constant)
+    (Graph.block_ids g)
+
+(* FLOW005: a saturation whose input always sits beyond one bound *)
+let clamp_rules result g =
+  List.filter_map
+    (fun id ->
+      let b = Graph.block g id in
+      match b.Block.clamp with
+      | Some (lo, hi) when Array.length b.Block.in_widths > 0 ->
+          let iv = Absint.input_range result (id, 0) in
+          let pinned =
+            if iv.I.hi <= lo then Some lo else if iv.I.lo >= hi then Some hi else None
+          in
+          Option.map
+            (fun bound ->
+              Diag.warning ~rule:"FLOW005" ~artifact ~location:b.Block.name
+                (Printf.sprintf
+                   "saturation %S is always active: input range %s pins the output at %g"
+                   b.Block.name (I.to_string iv) bound)
+                ~hint:
+                  "the limiter masks the signal entirely — rescale upstream or widen \
+                   the limits")
+            pinned
+      | _ -> None)
+    (Graph.block_ids g)
+
+(* FLOW007: a hold/delay whose initial output escapes the range of the
+   signal it stores — the transient can reach values steady-state
+   analysis of the stored signal would never show *)
+let init_rules result g =
+  List.concat_map
+    (fun id ->
+      let b = Graph.block g id in
+      match b.Block.transfer with
+      | Block.Update { init; tracks_input = true; _ } when Array.length b.Block.in_widths > 0
+        ->
+          let stored = Absint.input_range result (id, 0) in
+          if
+            Array.length init > 0
+            && (not (I.subset init.(0) stored))
+            && I.bounded stored
+          then
+            [
+              Diag.warning ~rule:"FLOW007" ~artifact ~location:b.Block.name
+                (Printf.sprintf
+                   "initial output %s of %S lies outside the held signal's range %s"
+                   (I.to_string init.(0)) b.Block.name (I.to_string stored))
+                ~hint:"initialise the hold inside the signal's operating range";
+            ]
+          else []
+      | _ -> [])
+    (Graph.block_ids g)
+
+let check ?probes ?result g =
+  let result = match result with Some r -> r | None -> Absint.analyze g in
+  let diags =
+    guard_rules result g @ format_rules result g @ feedback_rules result g
+    @ dead_rules ?probes result g @ clamp_rules result g @ init_rules result g
+  in
+  let diags =
+    if Absint.converged result then diags
+    else
+      Diag.warning ~rule:"FLOW003" ~artifact ~location:"absint"
+        "value-flow fixpoint hit its sweep cap; every non-static range was widened to top"
+        ~hint:"the graph likely contains a loop with no stateful block"
+      :: diags
+  in
+  (result, diags)

@@ -1,0 +1,19 @@
+(** Value-flow design rules (the FLOW family): checks of the interval
+    bounds inferred by {!Absint} against the constraints blocks
+    declare — domain guards (FLOW001 division, FLOW006 sqrt/log),
+    machine formats (FLOW002 overflow, FLOW008 quantization error),
+    unbounded feedback loops (FLOW003), dead or constant outputs
+    (FLOW004), permanently active saturations (FLOW005) and escaping
+    initial conditions (FLOW007). *)
+
+val ids : string list
+(** The rule identifiers this pass can raise. *)
+
+val check :
+  ?probes:(string * (Dataflow.Graph.block_id * int)) list ->
+  ?result:Absint.t ->
+  Dataflow.Graph.t ->
+  Absint.t * Diag.t list
+(** Runs every FLOW rule.  [probes] marks output ports as observed so
+    FLOW004 does not flag recorded signals; [result] reuses an
+    existing analysis instead of running {!Absint.analyze} again. *)

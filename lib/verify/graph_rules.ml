@@ -139,3 +139,8 @@ let check ?expect_activated g =
   unwired_inputs g @ algebraic_loops g
   @ unreachable_events ?expect_activated g
   @ shared_stateful g
+
+(* the full GRAPH family: 002-004 are raised by the construction
+   validators of [Dataflow.Graph] and surface via [Diag.of_invalid_arg] *)
+let ids =
+  [ "GRAPH001"; "GRAPH002"; "GRAPH003"; "GRAPH004"; "GRAPH005"; "GRAPH006"; "GRAPH007" ]

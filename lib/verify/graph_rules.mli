@@ -20,3 +20,7 @@ val check :
     the diagram is built (the lifecycle wires the stroboscopic clock
     post-[build]); they and their event-reachable successors are
     exempt from GRAPH006. *)
+
+val ids : string list
+(** Every rule identifier attributable to this pass, including those
+    raised by the construction-time validators of its artifacts. *)

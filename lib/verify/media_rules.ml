@@ -205,3 +205,5 @@ let check ?(util_bound = 0.8) ~schedule models =
                   sframes))
     models;
   List.rev !diags
+
+let ids = [ "MEDIA001"; "MEDIA002"; "MEDIA003"; "MEDIA004"; "MEDIA005" ]

@@ -31,3 +31,6 @@ val check :
     offset, or the analysis diverges under the declared load).
     Response times are only analysed on buses below utilization 1
     (MEDIA001 subsumes the divergence). *)
+
+val ids : string list
+(** Every rule identifier this pass can raise. *)

@@ -86,3 +86,5 @@ let check (p : Recovery.policy) (sched : Sched.t) =
                   failover_executives"))
       (Arch.operators arch);
   List.rev !diags
+
+let ids = [ "REC001"; "REC002"; "REC003"; "REC004" ]

@@ -18,3 +18,6 @@ val check : Exec.Recovery.policy -> Aaa.Schedule.t -> Diag.t list
     - [REC004] (warning): the heartbeat supervisor is enabled but some
       operator has no failover executive — its fail-stop would be
       confirmed with nowhere to switch. *)
+
+val ids : string list
+(** Every rule identifier this pass can raise. *)

@@ -18,6 +18,15 @@ let all =
     r "GRAPH006" Diag.Warning "graph"
       "event-driven block unreachable from any activation source";
     r "GRAPH007" Diag.Warning "graph" "stateful block instance added to the graph twice";
+    (* value-flow analysis over dataflow graphs *)
+    r "FLOW001" Diag.Warning "flow" "divisor range may contain zero";
+    r "FLOW002" Diag.Warning "flow" "inferred range overflows the declared machine format";
+    r "FLOW003" Diag.Warning "flow" "feedback loop with no finite signal bound";
+    r "FLOW004" Diag.Info "flow" "output never consumed, or block computes a constant";
+    r "FLOW005" Diag.Warning "flow" "saturation always active: input pinned beyond a bound";
+    r "FLOW006" Diag.Warning "flow" "sqrt/log argument range leaves the function's domain";
+    r "FLOW007" Diag.Warning "flow" "hold/delay initial output escapes the held signal's range";
+    r "FLOW008" Diag.Warning "flow" "worst-case quantization error exceeds the stated tolerance";
     (* algorithm graphs *)
     r "ALG001" Diag.Error "algorithm" "operation input port is not wired";
     r "ALG002" Diag.Error "algorithm" "intra-iteration dependency cycle";
@@ -71,6 +80,7 @@ let all =
     r "CGEN004" Diag.Error "cgen" "operation or send ordered before its data is available";
     (* catch-all *)
     r "VER001" Diag.Error "core" "uncategorised construction failure";
+    r "VER002" Diag.Info "core" "durations table defaulted from assumed WCETs";
   ]
 
 let () =

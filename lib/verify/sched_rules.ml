@@ -277,3 +277,9 @@ let failover_coverage ?strategy ?replicas ~durations sched =
           table
     | exception Invalid_argument msg ->
         [ Diag.of_invalid_arg ~artifact ~location:"failover" msg ]
+
+let ids =
+  [
+    "SCHED001"; "SCHED002"; "SCHED003"; "SCHED004"; "SCHED005"; "SCHED006";
+    "SCHED007"; "SCHED008"; "SCHED009"; "SCHED010"; "SCHED011";
+  ]

@@ -29,3 +29,6 @@ val failover_coverage :
     after each single-operator failure with {!Fault.Degrade} and
     reports the failures whose failover is infeasible or misses the
     period.  Empty on single-operator architectures. *)
+
+val ids : string list
+(** Every rule identifier this pass can raise. *)

@@ -74,3 +74,5 @@ let check ~algorithm (static : Temporal_model.static) =
           static.actuation_offsets)
     static.sampling_offsets;
   List.rev !diags
+
+let ids = [ "TEMP001"; "TEMP002"; "TEMP003" ]

@@ -9,3 +9,6 @@ val check : algorithm:Aaa.Algorithm.t -> Translator.Temporal_model.static -> Dia
     (latency beyond the period, warning) and TEMP003 (an actuation
     instant earlier than the sampling instant of a sensor it depends
     on through intra-iteration dependencies). *)
+
+val ids : string list
+(** Every rule identifier this pass can raise. *)

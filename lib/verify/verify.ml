@@ -7,6 +7,8 @@ module Temporal_rules = Temporal_rules
 module Cgen_rules = Cgen_rules
 module Recovery_rules = Recovery_rules
 module Media_rules = Media_rules
+module Absint = Absint
+module Flow_rules = Flow_rules
 
 let default_durations ~algorithm ~architecture =
   let durations = Aaa.Durations.create () in
@@ -42,6 +44,13 @@ let run_all ?architecture ?durations ?strategy ?pins ?(failover = true) ?recover
       in
       if Diag.has_errors graph_diags then graph_diags
       else begin
+        (* stage 1b: value-flow analysis — only on structurally sound
+           graphs, so every input port has a source interval *)
+        let _absint, flow_diags =
+          Flow_rules.check ~probes:built.Lifecycle.Design.probes
+            built.Lifecycle.Design.graph
+        in
+        let graph_diags = graph_diags @ flow_diags in
         (* stage 2: extraction and the SynDEx-side artifacts *)
         match Lifecycle.Methodology.extract design with
         | exception Invalid_argument msg ->
@@ -51,13 +60,21 @@ let run_all ?architecture ?durations ?strategy ?pins ?(failover = true) ?recover
                   ~location:design.Lifecycle.Design.name msg;
               ]
         | _built, algorithm, _binding ->
-            let durations =
+            let durations, duration_diags =
               match durations with
-              | Some d -> d
-              | None -> default_durations ~algorithm ~architecture
+              | Some d -> (d, [])
+              | None ->
+                  ( default_durations ~algorithm ~architecture,
+                    [
+                      Diag.info ~rule:"VER002" ~artifact:"mapping"
+                        ~location:design.Lifecycle.Design.name
+                        "no durations table given: every operation assumed a uniform \
+                         WCET of period / (4 · operation count)"
+                        ~hint:"measure or estimate real WCETs and pass a durations table";
+                    ] )
             in
             let design_diags =
-              graph_diags
+              graph_diags @ duration_diags
               @ Algo_rules.check_algorithm algorithm
               @ Algo_rules.check_architecture architecture
               @ Algo_rules.check_mapping ~algorithm ~architecture ~durations
@@ -100,6 +117,51 @@ let run_all ?architecture ?durations ?strategy ?pins ?(failover = true) ?recover
                   @ Cgen_rules.check impl.Lifecycle.Methodology.executive
             end
       end
+
+(* The SynDEx-side passes over a parsed [.sdx] application: the same
+   stages 2–3 as {!run_all}, without a Scicos diagram to analyse. *)
+let run_app ?strategy ?(failover = true) ?recovery ?bus_models (app : Aaa.Sdx.t) =
+  let algorithm = app.Aaa.Sdx.algorithm in
+  let architecture = app.Aaa.Sdx.architecture in
+  let durations = app.Aaa.Sdx.durations in
+  let design_diags =
+    Algo_rules.check_algorithm algorithm
+    @ Algo_rules.check_architecture architecture
+    @ Algo_rules.check_mapping ~algorithm ~architecture ~durations
+  in
+  if Diag.has_errors design_diags then design_diags
+  else
+    match
+      Aaa.Adequation.run ?strategy ~pins:app.Aaa.Sdx.pins ~algorithm ~architecture
+        ~durations ()
+    with
+    | exception Aaa.Adequation.Infeasible msg ->
+        design_diags
+        @ [
+            Diag.error ~rule:"MAP001" ~artifact:"mapping"
+              ~location:(Aaa.Algorithm.name algorithm)
+              ("adequation infeasible: " ^ msg)
+              ~hint:"widen the durations table or the architecture";
+          ]
+    | exception Invalid_argument msg ->
+        design_diags
+        @ [
+            Diag.of_invalid_arg ~artifact:"schedule"
+              ~location:(Aaa.Algorithm.name algorithm) msg;
+          ]
+    | sched ->
+        design_diags
+        @ Sched_rules.check sched
+        @ (if failover then Sched_rules.failover_coverage ?strategy ~durations sched
+           else [])
+        @ (match recovery with
+          | Some policy -> Recovery_rules.check policy sched
+          | None -> [])
+        @ (match bus_models with
+          | Some models -> Media_rules.check ~schedule:sched models
+          | None -> [])
+        @ Temporal_rules.check ~algorithm (Translator.Temporal_model.of_schedule sched)
+        @ Cgen_rules.check (Aaa.Codegen.generate sched)
 
 let markdown_section ?(title = "Static verification") diags =
   let buf = Buffer.create 512 in

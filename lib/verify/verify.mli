@@ -26,6 +26,8 @@ module Temporal_rules = Temporal_rules
 module Cgen_rules = Cgen_rules
 module Recovery_rules = Recovery_rules
 module Media_rules = Media_rules
+module Absint = Absint
+module Flow_rules = Flow_rules
 
 val run_all :
   ?architecture:Aaa.Architecture.t ->
@@ -55,7 +57,24 @@ val run_all :
     Never raises: failures of the toolchain itself (diagram build,
     extraction, adequation) are reported as diagnostics — with their
     rule identifier when the raise message carries a ["[RULE]"]
-    prefix, as VER001 otherwise. *)
+    prefix, as VER001 otherwise.
+
+    On a structurally sound graph the value-flow pass ({!Flow_rules},
+    FLOW001–FLOW008) runs over the inferred {!Absint} signal ranges;
+    when no durations table is given, the assumed-WCET substitution is
+    reported as a VER002 info. *)
+
+val run_app :
+  ?strategy:Aaa.Adequation.strategy ->
+  ?failover:bool ->
+  ?recovery:Exec.Recovery.policy ->
+  ?bus_models:(string * Media.Bus.config) list ->
+  Aaa.Sdx.t ->
+  Diag.t list
+(** The SynDEx-side passes (algorithm → architecture → mapping →
+    adequation → schedule, temporal model, executive) over a parsed
+    [.sdx] application — {!run_all} minus the dataflow stages, for
+    designs that exist only as algorithm graphs.  Never raises. *)
 
 val markdown_section : ?title:string -> Diag.t list -> string
 (** A markdown section (default title ["Static verification"]) with

@@ -1,0 +1,344 @@
+(* The value-flow analysis: interval-domain algebra, fixpoint
+   behaviour on feedback loops (finite bounds for contractions,
+   honest top for divergence), and the soundness property the whole
+   subsystem rests on — every simulated sample lies inside the
+   statically inferred interval of its port. *)
+
+open Helpers
+module I = Dataflow.Interval
+module B = Dataflow.Block
+module G = Dataflow.Graph
+module C = Dataflow.Clib
+module E = Dataflow.Eventlib
+module A = Verify.Absint
+
+let check_in msg iv x =
+  if not (I.contains iv x) then
+    Alcotest.failf "%s: %g not in %s" msg x (I.to_string iv)
+
+let check_subset msg a b =
+  if not (I.subset a b) then
+    Alcotest.failf "%s: %s not within %s" msg (I.to_string a) (I.to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* the interval domain *)
+
+let interval_tests =
+  [
+    test "construction normalises NaN and reversed bounds" (fun () ->
+        check_true "nan lo becomes -inf" (I.is_top (I.v Float.nan Float.nan));
+        let r = I.v 3. 1. in
+        check_float "reversed lo" 1. r.I.lo;
+        check_float "reversed hi" 3. r.I.hi);
+    test "NaN is a member of top only" (fun () ->
+        check_true "top has nan" (I.contains I.top Float.nan);
+        check_false "bounded has no nan" (I.contains (I.v (-1.) 1.) Float.nan);
+        check_false "half-bounded has no nan" (I.contains (I.v 0. infinity) Float.nan));
+    test "affine arithmetic covers the endpoints" (fun () ->
+        let a = I.v (-1.) 2. and b = I.v 3. 5. in
+        check_subset "add" (I.v 2. 7.) (I.add a b);
+        check_subset "sub" (I.v (-6.) (-1.)) (I.sub a b);
+        let n = I.neg a in
+        check_float "neg lo" (-2.) n.I.lo;
+        check_float "neg hi" 1. n.I.hi;
+        let s = I.scale (-2.) a in
+        check_float "scale lo" (-4.) s.I.lo;
+        check_float "scale hi" 2. s.I.hi);
+    test "scale by zero collapses even infinite intervals" (fun () ->
+        check_true "0 * top = {0}" (I.equal (I.point 0.) (I.scale 0. I.top)));
+    test "multiplication uses Moore corners with 0 * inf = 0" (fun () ->
+        let m = I.mul (I.v (-2.) 3.) (I.v (-1.) 4.) in
+        check_float "mul lo" (-8.) m.I.lo;
+        check_float "mul hi" 12. m.I.hi;
+        let z = I.mul (I.point 0.) I.top in
+        check_true "0 * top = {0}" (I.equal (I.point 0.) z));
+    test "division by a zero-straddling interval is top" (fun () ->
+        check_true "straddling" (I.is_top (I.div (I.point 1.) (I.v (-1.) 1.)));
+        check_true "zero endpoint" (I.is_top (I.div (I.point 1.) (I.v 0. 2.)));
+        let q = I.div (I.v 1. 2.) (I.v 2. 4.) in
+        check_float "quotient lo" 0.25 q.I.lo;
+        check_float "quotient hi" 1. q.I.hi);
+    test "clamp, sqrt and log respect their domains" (fun () ->
+        let c = I.clamp ~lo:(-1.) ~hi:1. (I.v (-5.) 0.5) in
+        check_float "clamp lo" (-1.) c.I.lo;
+        check_float "clamp hi" 0.5 c.I.hi;
+        let s = I.sqrt_ (I.v (-4.) 9.) in
+        check_float "sqrt lo clamps to 0" 0. s.I.lo;
+        check_float "sqrt hi" 3. s.I.hi;
+        check_true "sqrt of all-negative is top" (I.is_top (I.sqrt_ (I.v (-2.) (-1.))));
+        let l = I.log_ (I.v 0. 1.) in
+        check_true "log touches -inf" (l.I.lo = neg_infinity);
+        check_float "log hi" 0. l.I.hi;
+        check_true "log of nonpositive is top" (I.is_top (I.log_ (I.v (-2.) 0.))));
+    test "join, meet, hull and subset agree" (fun () ->
+        let a = I.v 0. 2. and b = I.v 1. 5. in
+        check_true "join" (I.equal (I.v 0. 5.) (I.join a b));
+        (match I.meet a b with
+        | Some m -> check_true "meet" (I.equal (I.v 1. 2.) m)
+        | None -> Alcotest.fail "meet of overlapping intervals");
+        check_true "disjoint meet is None" (I.meet (I.v 0. 1.) (I.v 2. 3.) = None);
+        check_true "hull covers" (I.equal (I.v (-3.) 7.) (I.hull [| 7.; -3.; 0. |]));
+        check_true "subset" (I.subset a (I.v (-1.) 3.));
+        check_false "not subset" (I.subset b a));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* fixtures: clocked feedback loops x' = k.x + u through a delay *)
+
+let feedback_graph ?(init = 0.) ?(saturate = None) ~k ~u () =
+  let g = G.create () in
+  let clock = G.add g (E.clock ~period:0.1 ()) in
+  let src = G.add g (C.constant [| u |]) in
+  let sum = G.add g (C.sum [| 1.; 1. |]) in
+  let delay = G.add g (C.unit_delay [| init |]) in
+  let fb = G.add g (C.gain k) in
+  G.connect_data g ~src:(src, 0) ~dst:(sum, 0);
+  let loop_out =
+    match saturate with
+    | Some (lo, hi) ->
+        let sat = G.add g (C.saturation ~lo ~hi ()) in
+        G.connect_data g ~src:(sum, 0) ~dst:(sat, 0);
+        (sat, 0)
+    | None -> (sum, 0)
+  in
+  G.connect_data g ~src:loop_out ~dst:(delay, 0);
+  G.connect_data g ~src:(delay, 0) ~dst:(fb, 0);
+  G.connect_data g ~src:(fb, 0) ~dst:(sum, 1);
+  G.connect_event g ~src:(clock, 0) ~dst:(delay, 0);
+  (g, delay, sum)
+
+let fixpoint_tests =
+  [
+    test "contractive loop gets a finite bound covering the limit" (fun () ->
+        let g, delay, sum = feedback_graph ~k:0.9 ~u:1. () in
+        let r = A.analyze g in
+        check_true "converged" (A.converged r);
+        let d = A.range r (delay, 0) in
+        check_true "delay output bounded" (I.bounded d);
+        (* the trajectory climbs from 0 toward u/(1-k) = 10 *)
+        check_in "limit covered" d 10.;
+        check_in "start covered" d 0.;
+        check_true "sum bounded too" (I.bounded (A.range r (sum, 0))));
+    test "divergent loop is honestly unbounded and flagged FLOW003" (fun () ->
+        let g, delay, _ = feedback_graph ~k:1.5 ~u:1. () in
+        let r = A.analyze g in
+        check_true "converged" (A.converged r);
+        check_false "unbounded" (I.bounded (A.range r (delay, 0)));
+        let _, diags = Verify.Flow_rules.check ~result:r g in
+        check_true "FLOW003 raised"
+          (List.exists (fun (d : Verify.Diag.t) -> d.Verify.Diag.rule = "FLOW003") diags));
+    test "a saturation inside the loop restores the bound" (fun () ->
+        let g, delay, _ = feedback_graph ~saturate:(Some (-2., 2.)) ~k:1.5 ~u:1. () in
+        let r = A.analyze g in
+        check_subset "delay confined" (A.range r (delay, 0)) (I.v (-2.) 2.);
+        let _, diags = Verify.Flow_rules.check ~result:r g in
+        check_false "no FLOW003"
+          (List.exists (fun (d : Verify.Diag.t) -> d.Verify.Diag.rule = "FLOW003") diags));
+    test "integrator bounds follow the derivative's sign" (fun () ->
+        let g = G.create () in
+        let src = G.add g (C.constant [| 0.5 |]) in
+        let integ = G.add g (C.integrator [| 1. |]) in
+        G.connect_data g ~src:(src, 0) ~dst:(integ, 0);
+        let r = A.analyze g in
+        let iv = A.range r (integ, 0) in
+        check_float "lower bound stays at x0" 1. iv.I.lo;
+        check_true "upper bound open" (iv.I.hi = infinity));
+    test "opaque blocks yield top, statics their declared range" (fun () ->
+        let g = G.create () in
+        let plant =
+          G.add g
+            (C.lti_continuous ~x0:[| 0.; 0. |]
+               (Control.Plants.dc_motor Control.Plants.default_dc_motor))
+        in
+        let sine = G.add g (C.sine_source ~amplitude:2.5 ~freq_hz:1. ()) in
+        G.connect_data g ~src:(sine, 0) ~dst:(plant, 0);
+        let r = A.analyze g in
+        check_true "plant output is top" (I.is_top (A.range r (plant, 0)));
+        check_true "sine is its amplitude"
+          (I.equal (I.v (-2.5) 2.5) (A.range r (sine, 0))));
+    test "fixpoint reached on every example design" (fun () ->
+        List.iter
+          (fun (design : Lifecycle.Design.t) ->
+            let built = design.Lifecycle.Design.build () in
+            let r = A.analyze built.Lifecycle.Design.graph in
+            check_true (design.Lifecycle.Design.name ^ " converged") (A.converged r))
+          [
+            Lifecycle.Design.pid_loop ~name:"dc_motor"
+              ~plant:(Control.Plants.dc_motor Control.Plants.default_dc_motor)
+              ~x0:[| 0.; 0. |]
+              ~gains:{ Control.Pid.kp = 60.; ki = 80.; kd = 0. }
+              ~ts:0.05 ~reference:1. ~horizon:2.0 ();
+          ]);
+    test "markdown table lists every port" (fun () ->
+        let g, _, _ = feedback_graph ~k:0.5 ~u:1. () in
+        let table = A.markdown_table (A.analyze g) in
+        check_true "header" (contains table "| block | port | range |");
+        check_true "delay row" (contains table "unit_delay"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* the FLOW rules, one seeded defect each *)
+
+let flow_check ?probes g = snd (Verify.Flow_rules.check ?probes g)
+
+let flow_has rule diags =
+  List.exists (fun (d : Verify.Diag.t) -> d.Verify.Diag.rule = rule) diags
+
+let consume g port =
+  (* park the signal in a probe-free sink so FLOW004 stays quiet *)
+  let sink = G.add g (C.gain 1.) in
+  G.connect_data g ~src:port ~dst:(sink, 0)
+
+let flow_tests =
+  [
+    test "FLOW001: divisor interval straddling zero" (fun () ->
+        let g = G.create () in
+        let num = G.add g (C.constant [| 1. |]) in
+        let den = G.add g (C.sine_source ~amplitude:2. ~freq_hz:1. ()) in
+        let div = G.add g (C.divide ()) in
+        G.connect_data g ~src:(num, 0) ~dst:(div, 0);
+        G.connect_data g ~src:(den, 0) ~dst:(div, 1);
+        consume g (div, 0);
+        check_true "flagged" (flow_has "FLOW001" (flow_check g));
+        let g2 = G.create () in
+        let num = G.add g2 (C.constant [| 1. |]) in
+        let den = G.add g2 (C.constant [| 4. |]) in
+        let div = G.add g2 (C.divide ()) in
+        G.connect_data g2 ~src:(num, 0) ~dst:(div, 0);
+        G.connect_data g2 ~src:(den, 0) ~dst:(div, 1);
+        consume g2 (div, 0);
+        check_false "nonzero divisor is clean" (flow_has "FLOW001" (flow_check g2)));
+    test "FLOW002: range exceeds the declared machine format" (fun () ->
+        let g = G.create () in
+        let big = G.add g (B.with_format B.Float32 (C.constant [| 1e39 |])) in
+        consume g (big, 0);
+        check_true "flagged" (flow_has "FLOW002" (flow_check g));
+        let g2 = G.create () in
+        let ok = G.add g2 (B.with_format B.Float32 (C.constant [| 1e3 |])) in
+        consume g2 (ok, 0);
+        check_false "in-range is clean" (flow_has "FLOW002" (flow_check g2)));
+    test "FLOW004: unconsumed output is info, probed output is not" (fun () ->
+        let g = G.create () in
+        let dangling = G.add g (C.constant [| 1. |]) in
+        let diags = flow_check g in
+        check_true "flagged" (flow_has "FLOW004" diags);
+        check_true "as info"
+          (List.for_all
+             (fun (d : Verify.Diag.t) ->
+               d.Verify.Diag.rule <> "FLOW004"
+               || d.Verify.Diag.severity = Verify.Diag.Info)
+             diags);
+        check_false "probed is clean"
+          (flow_has "FLOW004" (flow_check ~probes:[ ("y", (dangling, 0)) ] g)));
+    test "FLOW005: saturation pinned by its input range" (fun () ->
+        let g = G.create () in
+        let src = G.add g (C.constant [| 5. |]) in
+        let sat = G.add g (C.saturation ~lo:(-1.) ~hi:1. ()) in
+        G.connect_data g ~src:(src, 0) ~dst:(sat, 0);
+        consume g (sat, 0);
+        check_true "flagged" (flow_has "FLOW005" (flow_check g)));
+    test "FLOW006: sqrt and log fed possibly-invalid domains" (fun () ->
+        let g = G.create () in
+        let sine = G.add g (C.sine_source ~amplitude:2. ~freq_hz:1. ()) in
+        let sq = G.add g (C.sqrt_op ()) in
+        G.connect_data g ~src:(sine, 0) ~dst:(sq, 0);
+        consume g (sq, 0);
+        check_true "sqrt flagged" (flow_has "FLOW006" (flow_check g));
+        let g2 = G.create () in
+        let zero = G.add g2 (C.constant [| 0. |]) in
+        let lg = G.add g2 (C.log_op ()) in
+        G.connect_data g2 ~src:(zero, 0) ~dst:(lg, 0);
+        consume g2 (lg, 0);
+        check_true "log flagged" (flow_has "FLOW006" (flow_check g2));
+        let g3 = G.create () in
+        let pos = G.add g3 (C.constant [| 4. |]) in
+        let sq3 = G.add g3 (C.sqrt_op ()) in
+        G.connect_data g3 ~src:(pos, 0) ~dst:(sq3, 0);
+        consume g3 (sq3, 0);
+        check_false "positive domain is clean" (flow_has "FLOW006" (flow_check g3)));
+    test "FLOW007: initial condition outside the steady input range" (fun () ->
+        let g = G.create () in
+        let clock = G.add g (E.clock ~period:0.1 ()) in
+        let src = G.add g (C.constant [| 0.5 |]) in
+        let delay = G.add g (C.unit_delay [| 5. |]) in
+        G.connect_data g ~src:(src, 0) ~dst:(delay, 0);
+        G.connect_event g ~src:(clock, 0) ~dst:(delay, 0);
+        consume g (delay, 0);
+        check_true "flagged" (flow_has "FLOW007" (flow_check g)));
+    test "FLOW008: quantization error above the stated tolerance" (fun () ->
+        let g = G.create () in
+        let q =
+          G.add g
+            (B.with_format ~tolerance:0.01
+               (B.Q { int_bits = 3; frac_bits = 2 })
+               (C.constant [| 1.5 |]))
+        in
+        consume g (q, 0);
+        check_true "flagged" (flow_has "FLOW008" (flow_check g));
+        let g2 = G.create () in
+        let fine =
+          G.add g2
+            (B.with_format ~tolerance:0.01
+               (B.Q { int_bits = 3; frac_bits = 12 })
+               (C.constant [| 1.5 |]))
+        in
+        consume g2 (fine, 0);
+        check_false "tight format is clean" (flow_has "FLOW008" (flow_check g2)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* soundness: simulated trajectories stay inside the inferred ranges *)
+
+let containment_tests =
+  [
+    qtest ~count:25 "feedback-loop samples lie inside the inferred intervals"
+      QCheck2.Gen.(triple (float_range (-0.95) 0.95) (float_range (-5.) 5.)
+          (float_range (-3.) 3.))
+      (fun (k, u, init) ->
+        let g, _, _ = feedback_graph ~init ~k ~u () in
+        let r = A.analyze g in
+        let ranges = A.ports r in
+        let eng = Sim.Engine.create g in
+        List.iteri
+          (fun i (id, p, _) ->
+            Sim.Engine.add_probe eng ~name:(Printf.sprintf "p%d" i) ~block:id ~port:p)
+          ranges;
+        Sim.Engine.run ~t_end:10. eng;
+        List.for_all
+          (fun (i, (_, _, iv)) ->
+            let tr = Sim.Engine.probe eng (Printf.sprintf "p%d" i) in
+            Array.for_all
+              (fun row -> Array.for_all (I.contains iv) row)
+              (Sim.Trace.values tr))
+          (List.mapi (fun i x -> (i, x)) ranges));
+    qtest ~count:10 "DC-motor probes stay inside the inferred intervals"
+      QCheck2.Gen.(pair (float_range 10. 100.) (float_range (-2.) 2.))
+      (fun (kp, reference) ->
+        let design =
+          Lifecycle.Design.pid_loop ~name:"dc_motor"
+            ~plant:(Control.Plants.dc_motor Control.Plants.default_dc_motor)
+            ~x0:[| 0.; 0. |]
+            ~gains:{ Control.Pid.kp; ki = 20.; kd = 0. }
+            ~ts:0.05 ~reference ~horizon:1.0 ()
+        in
+        (* builds are deterministic, so block ids carry over from the
+           analysed build to the simulated one *)
+        let built = design.Lifecycle.Design.build () in
+        let r = A.analyze built.Lifecycle.Design.graph in
+        let eng = Lifecycle.Methodology.simulate_ideal design in
+        List.for_all
+          (fun (name, port) ->
+            let iv = A.range r port in
+            let tr = Sim.Engine.probe eng name in
+            Array.for_all
+              (fun row -> Array.for_all (I.contains iv) row)
+              (Sim.Trace.values tr))
+          built.Lifecycle.Design.probes);
+  ]
+
+let suites =
+  [
+    ("absint.interval", interval_tests);
+    ("absint.fixpoint", fixpoint_tests);
+    ("absint.soundness", containment_tests);
+  ]

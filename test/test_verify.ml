@@ -71,6 +71,23 @@ let diag_tests =
         check_int "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
         check_true "markdown table header"
           (contains (Verify.Rules.markdown_table ()) "| ID | Severity |"));
+    test "catalogue matches the ids declared by every pass (no drift)" (fun () ->
+        let declared =
+          List.sort_uniq compare
+            (Verify.Graph_rules.ids @ Verify.Flow_rules.ids @ Verify.Algo_rules.ids
+           @ Verify.Sched_rules.ids @ Verify.Temporal_rules.ids @ Verify.Cgen_rules.ids
+           @ Verify.Recovery_rules.ids @ Verify.Media_rules.ids
+            @ [ "VER001"; "VER002" ])
+        in
+        let catalogued =
+          List.sort_uniq compare
+            (List.map (fun (r : Verify.Rules.rule) -> r.Verify.Rules.id) Verify.Rules.all)
+        in
+        let missing = List.filter (fun id -> not (List.mem id catalogued)) declared in
+        let stale = List.filter (fun id -> not (List.mem id declared)) catalogued in
+        if missing <> [] || stale <> [] then
+          Alcotest.failf "catalogue drift: missing [%s], stale [%s]"
+            (String.concat "; " missing) (String.concat "; " stale));
   ]
 
 (* ------------------------------------------------------------------ *)
