@@ -255,6 +255,37 @@ let bench_recovery_mode_switch =
                 { Exec.Machine.default_config with iterations = 100; injection; recovery }
               dc_impl.Lifecycle.Methodology.executive)))
 
+let bench_standby_vote =
+  let injection =
+    Fault.Scenario.injection
+      (Fault.Scenario.make ~name:"failstop" ~seed:17
+         [ Fault.Scenario.Processor_failstop { operator = "P1"; at = 1.0 } ])
+      ~architecture:two_proc
+  in
+  let table =
+    Fault.Degrade.failover_table ~algorithm:dc_impl.Lifecycle.Methodology.algorithm
+      ~architecture:two_proc
+      ~durations:(dc_durations ~operators:[ "P0"; "P1" ] ~frac:0.6 ())
+      ~nominal:dc_impl.Lifecycle.Methodology.schedule ()
+  in
+  let plan =
+    match
+      Fault.Degrade.standby_plan_for table
+        ~nominal:dc_impl.Lifecycle.Methodology.schedule ~operator:"P1"
+    with
+    | Some p -> p
+    | None -> failwith "standby_vote bench: no standby plan for P1"
+  in
+  let recovery = Exec.Recovery.make ~period:0.05 () in
+  Test.make ~name:"standby_vote"
+    (Staged.stage (fun () ->
+         ignore
+           (Exec.Standby.run
+              ~config:
+                { Exec.Machine.default_config with iterations = 100; injection; recovery }
+              ~protects:"P1" ~standby:plan.Fault.Degrade.executive
+              dc_impl.Lifecycle.Methodology.executive)))
+
 (* ------------------------------------------------------------------ *)
 (* ablation benches (design choices called out in DESIGN.md) *)
 
@@ -609,6 +640,7 @@ let tests =
     bench_injected_machine;
     bench_recovery_retransmission;
     bench_recovery_mode_switch;
+    bench_standby_vote;
     bench_ablation_strategy_pressure;
     bench_ablation_strategy_eft;
     bench_ablation_refine;

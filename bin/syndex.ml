@@ -407,25 +407,59 @@ let lint_cmd =
             "Skip the single-failure failover coverage pass (SCHED010) — e.g. for \
              single-operator architectures where failover is impossible by construction.")
   in
-  let lint_file ~failover path =
+  let recovery =
+    Arg.(
+      value & flag
+      & info [ "recovery" ]
+          ~doc:
+            "Also audit each schedule under a retransmission-only recovery policy \
+             (REC rules: retry budgets vs the period, worst-case retried completions \
+             vs the consumers' planned read offsets).")
+  in
+  let retry_slack =
+    Arg.(
+      value & flag
+      & info [ "retry-slack" ]
+          ~doc:
+            "With --recovery, retime the consumer read offsets through schedule-time \
+             slack insertion before auditing — checks the schedule as it would deploy, \
+             so REC005 stays silent when the reserved retry windows fit.")
+  in
+  (* a retransmission-only policy (supervisor off, so REC003/REC004
+     stay silent): what the --recovery audit sizes retry windows for *)
+  let lint_policy ~period = Exec.Recovery.make ~heartbeat_timeout:0. ~period () in
+  let lint_file ~failover ~recovery ~retry_slack path =
     if Filename.check_suffix path ".sdx" then
       match (try Ok (Aaa.Sdx.load path) with Failure m | Sys_error m -> Error m) with
       | Error msg -> Error msg
-      | Ok app -> Ok (Verify.run_app ~failover app)
+      | Ok app ->
+          let recovery =
+            if recovery then
+              Some (lint_policy ~period:(Aaa.Algorithm.period app.Aaa.Sdx.algorithm))
+            else None
+          in
+          Ok (Verify.run_app ~failover ?recovery ~retry_slack app)
     else
       match
         (try Ok (Lifecycle.Diagram.load path) with Failure m | Sys_error m -> Error m)
       with
       | Error msg -> Error msg
       | Ok file ->
+          let recovery =
+            if recovery then
+              Some
+                (lint_policy
+                   ~period:file.Lifecycle.Diagram.design.Lifecycle.Design.ts)
+            else None
+          in
           Ok
             (Verify.run_all ~pins:file.Lifecycle.Diagram.pins
                ~architecture:file.Lifecycle.Diagram.architecture
-               ~durations:file.Lifecycle.Diagram.durations ~failover
-               file.Lifecycle.Diagram.design)
+               ~durations:file.Lifecycle.Diagram.durations ~failover ?recovery
+               ~retry_slack file.Lifecycle.Diagram.design)
   in
-  let action files strict json no_failover =
-    let lint_file = lint_file ~failover:(not no_failover) in
+  let action files strict json no_failover recovery retry_slack =
+    let lint_file = lint_file ~failover:(not no_failover) ~recovery ~retry_slack in
     let load_failed = ref false in
     let all =
       List.concat_map
@@ -469,7 +503,7 @@ let lint_cmd =
        ~doc:
          "Run every static design-rule pass (including the value-flow FLOW rules) over \
           lifecycle diagrams and application files; with --strict, warnings fail the run")
-    Term.(const action $ files $ strict $ json $ no_failover)
+    Term.(const action $ files $ strict $ json $ no_failover $ recovery $ retry_slack)
 
 let serve_cmd =
   let socket =
@@ -506,6 +540,15 @@ let serve_cmd =
       value & flag
       & info [ "no-robustness" ] ~doc:"Skip the single-failure robustness scenarios.")
   in
+  let standby =
+    Arg.(
+      value & flag
+      & info [ "standby" ]
+          ~doc:
+            "Score each robustness scenario's hot-standby replica run too: voted \
+             takeover and the three-way (hot-standby / blackout-then-switch / frozen) \
+             post-failure costs appear in the report.")
+  in
   let cache_path =
     Arg.(
       value
@@ -532,7 +575,7 @@ let serve_cmd =
       & info [ "pending" ] ~docv:"N"
           ~doc:"Received-request queue bound before the client blocks.")
   in
-  let action socket montecarlo seed law no_robustness cache_path cache_capacity
+  let action socket montecarlo seed law no_robustness standby cache_path cache_capacity
       max_bytes pending =
     if montecarlo < 0 || cache_capacity <= 0 || max_bytes <= 0 || pending <= 0 then begin
       Printf.eprintf "error: --montecarlo must be >= 0 and --cache-capacity, --max-bytes, --pending > 0\n";
@@ -546,6 +589,7 @@ let serve_cmd =
           base_seed = seed;
           law;
           robustness = not no_robustness;
+          standby;
           max_submission_bytes = max_bytes;
           max_pending = pending;
           cache_capacity;
@@ -580,8 +624,8 @@ let serve_cmd =
           each evaluate running the full methodology pipeline with memoized, \
           shared-engine Monte-Carlo batches")
     Term.(
-      const action $ socket $ montecarlo $ seed $ law $ no_robustness $ cache_path
-      $ cache_capacity $ max_bytes $ pending)
+      const action $ socket $ montecarlo $ seed $ law $ no_robustness $ standby
+      $ cache_path $ cache_capacity $ max_bytes $ pending)
 
 let () =
   let doc = "system-level CAD for distributed real-time embedded control (SynDEx-style)" in

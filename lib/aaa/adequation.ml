@@ -186,6 +186,7 @@ let run ?(strategy = Pressure) ?(pins = []) ~algorithm ~architecture ~durations 
                   cm_hop = hop;
                   cm_start = start;
                   cm_duration = duration;
+                  cm_read = start +. duration;
                 }
                 :: !comm_slots)
             hops;

@@ -43,7 +43,7 @@ let generate sched =
               if
                 c.Schedule.cm_to = operator
                 && Schedule.operator_of sched (fst c.Schedule.cm_dst) = operator
-              then Some (c.Schedule.cm_start +. c.Schedule.cm_duration, 0, Recv c)
+              then Some (c.Schedule.cm_read, 0, Recv c)
               else None)
             sched.Schedule.comm
         in

@@ -14,7 +14,11 @@ type comm_slot = {
   cm_hop : int;
   cm_start : float;
   cm_duration : float;
+  cm_read : float;
 }
+
+let read_offset c = c.cm_read
+let retry_slack c = c.cm_read -. (c.cm_start +. c.cm_duration)
 
 type t = {
   algorithm : Algorithm.t;
@@ -149,7 +153,7 @@ let arrival sched ((src, sp), (dst, dp)) =
     if is_memory then 0.
     else
       let last = List.nth hops (List.length hops - 1) in
-      last.cm_start +. last.cm_duration
+      last.cm_read
   end
 
 let validate sched =
@@ -173,6 +177,18 @@ let validate sched =
              (Algorithm.op_name sched.algorithm (fst c.cm_src))
              (Algorithm.op_name sched.algorithm (fst c.cm_dst))
              c.cm_start c.cm_duration))
+    sched.comm;
+  (* read offsets never precede the transfer's completion *)
+  List.iter
+    (fun c ->
+      if c.cm_read +. eps < c.cm_start +. c.cm_duration then
+        invalid_arg
+          (Printf.sprintf
+             "[SCHED012] transfer %S -> %S reads at %g before its completion at %g"
+             (Algorithm.op_name sched.algorithm (fst c.cm_src))
+             (Algorithm.op_name sched.algorithm (fst c.cm_dst))
+             c.cm_read
+             (c.cm_start +. c.cm_duration)))
     sched.comm;
   (* every operation exactly once *)
   let seen = Hashtbl.create 64 in
@@ -244,6 +260,119 @@ let sensor_completions sched = completions_of_kind sched (Algorithm.sensors sche
 let actuator_completions sched = completions_of_kind sched (Algorithm.actuators sched.algorithm)
 
 let fits_period sched = sched.makespan <= Algorithm.period sched.algorithm +. eps
+
+(* Schedule-time slack insertion: reserve a retry window after each
+   transfer by moving its consumer's read offset to completion + slack,
+   then retime every downstream slot so the schedule stays valid.  The
+   retimed schedule keeps the original total order on every operator
+   and medium; only start times move (monotonically later), so the
+   fixpoint below converges.  The reserved window is kept free on the
+   medium (the next transfer starts no earlier than the previous read
+   offset) and across hops of one route, so a bounded number of
+   retransmissions fits before the consumer's planned read. *)
+let insert_slack ~slack_of sched =
+  let comp = Array.of_list sched.comp in
+  let comm = Array.of_list sched.comm in
+  let slack = Array.map (fun c -> Float.max 0. (slack_of c)) comm in
+  let read i = comm.(i).cm_start +. comm.(i).cm_duration +. slack.(i) in
+  let comp_idx = Hashtbl.create 64 in
+  Array.iteri (fun i s -> Hashtbl.replace comp_idx s.cs_op i) comp;
+  (* previous slot sharing the same resource, in the original order *)
+  let prev_sharing key_of n =
+    let last = Hashtbl.create 8 in
+    Array.init n (fun i ->
+        let k = key_of i in
+        let p = Hashtbl.find_opt last k in
+        Hashtbl.replace last k i;
+        p)
+  in
+  let comp_prev = prev_sharing (fun i -> comp.(i).cs_operator) (Array.length comp) in
+  let comm_prev = prev_sharing (fun i -> comm.(i).cm_medium) (Array.length comm) in
+  let find_hop c hop =
+    let r = ref None in
+    Array.iteri
+      (fun j c' ->
+        if c'.cm_src = c.cm_src && c'.cm_dst = c.cm_dst && c'.cm_hop = hop then r := Some j)
+      comm;
+    !r
+  in
+  let hop_prev =
+    Array.map (fun c -> if c.cm_hop = 0 then None else find_hop c (c.cm_hop - 1)) comm
+  in
+  (* per-consumer data lower bounds: producer finish when co-located,
+     final-hop read offset otherwise; memory sources are free *)
+  let dep_bounds = Hashtbl.create 64 in
+  List.iter
+    (fun ((src, sp), (dst, dp)) ->
+      if Algorithm.op_kind sched.algorithm src <> Algorithm.Memory then begin
+        let si = Hashtbl.find comp_idx src and di = Hashtbl.find comp_idx dst in
+        let bound =
+          if comp.(si).cs_operator = comp.(di).cs_operator then `Finish si
+          else begin
+            let hops = ref [] in
+            Array.iteri
+              (fun j c -> if c.cm_src = (src, sp) && c.cm_dst = (dst, dp) then hops := j :: !hops)
+              comm;
+            let last =
+              List.fold_left
+                (fun acc j ->
+                  match acc with
+                  | None -> Some j
+                  | Some a -> if comm.(j).cm_hop > comm.(a).cm_hop then Some j else acc)
+                None !hops
+            in
+            match last with None -> `Finish si | Some j -> `Read j
+          end
+        in
+        Hashtbl.add dep_bounds di bound
+      end)
+    (Algorithm.dependencies sched.algorithm);
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 10_000 do
+    incr rounds;
+    changed := false;
+    Array.iteri
+      (fun i c ->
+        let lb = ref c.cm_start in
+        (match Hashtbl.find_opt comp_idx (fst c.cm_src) with
+        | Some si when c.cm_hop = 0 ->
+            let s = comp.(si) in
+            lb := Float.max !lb (s.cs_start +. s.cs_duration)
+        | _ -> ());
+        (match hop_prev.(i) with Some j -> lb := Float.max !lb (read j) | None -> ());
+        (match comm_prev.(i) with Some j -> lb := Float.max !lb (read j) | None -> ());
+        if !lb > c.cm_start +. eps then begin
+          comm.(i) <- { c with cm_start = !lb };
+          changed := true
+        end)
+      comm;
+    Array.iteri
+      (fun i s ->
+        let lb = ref s.cs_start in
+        (match comp_prev.(i) with
+        | Some j ->
+            let p = comp.(j) in
+            lb := Float.max !lb (p.cs_start +. p.cs_duration)
+        | None -> ());
+        List.iter
+          (function
+            | `Finish j ->
+                let p = comp.(j) in
+                lb := Float.max !lb (p.cs_start +. p.cs_duration)
+            | `Read j -> lb := Float.max !lb (read j))
+          (Hashtbl.find_all dep_bounds i);
+        if !lb > s.cs_start +. eps then begin
+          comp.(i) <- { s with cs_start = !lb };
+          changed := true
+        end)
+      comp
+  done;
+  if !changed then
+    invalid_arg "[SCHED012] slack insertion did not converge (cyclic retiming constraints)";
+  let comm = Array.to_list (Array.mapi (fun i c -> { c with cm_read = read i }) comm) in
+  make ~algorithm:sched.algorithm ~architecture:sched.architecture
+    ~comp:(Array.to_list comp) ~comm
 
 let pp ppf sched =
   Format.fprintf ppf "@[<v>schedule of %S on %S (makespan %.6g, period %g)@,"

@@ -27,7 +27,20 @@ type comm_slot = {
           transfers have a single hop [0]. *)
   cm_start : float;
   cm_duration : float;
+  cm_read : float;
+      (** planned read offset of the consumer: the instant the
+          time-triggered executive samples the transferred value.
+          Defaults to [cm_start +. cm_duration] (read at completion);
+          {!insert_slack} moves it later to reserve a retransmission
+          window.  Never earlier than completion (rule SCHED012). *)
 }
+
+val read_offset : comm_slot -> float
+(** [cm_read], the planned read offset. *)
+
+val retry_slack : comm_slot -> float
+(** [cm_read - (cm_start + cm_duration)]: the slack reserved between a
+    transfer's completion and its planned read. *)
 
 type t = {
   algorithm : Algorithm.t;
@@ -81,6 +94,19 @@ val actuator_completions : t -> (Algorithm.op_id * float) list
 val fits_period : t -> bool
 (** Whether [makespan <= period]: the real-time constraint of the
     implementation. *)
+
+val insert_slack : slack_of:(comm_slot -> float) -> t -> t
+(** Schedule-time slack insertion (closing the retransmission/read gap
+    of the time-triggered executive): for every transfer [c], move its
+    planned read offset to [completion +. slack_of c] and retime all
+    downstream slots — consumers start no earlier than their inputs'
+    read offsets, later transfers on the same medium (and later hops of
+    the same route) start no earlier than the previous read offset, so
+    the reserved window stays free for retries.  Start times only move
+    later; the total order on every operator and medium is preserved.
+    The makespan may grow — check {!fits_period} (or Verify's REC
+    rules) afterwards.  Raises [Invalid_argument] with a rule id if the
+    retimed schedule is infeasible. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable listing, one line per slot. *)

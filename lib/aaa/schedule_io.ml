@@ -29,6 +29,7 @@ let to_sexp (sched : Schedule.t) =
         Sexp.Atom (string_of_int c.Schedule.cm_hop);
         fl c.Schedule.cm_start;
         fl c.Schedule.cm_duration;
+        fl c.Schedule.cm_read;
       ]
   in
   Sexp.List
@@ -98,11 +99,18 @@ let parse ~algorithm ~architecture text =
         List.map
           (fun row ->
             match row with
-            | [
-             Sexp.Atom src; Sexp.Atom sp; Sexp.Atom dst; Sexp.Atom dp; Sexp.Atom medium;
-             Sexp.Atom from_; Sexp.Atom to_; Sexp.Atom hop; Sexp.Atom start;
-             Sexp.Atom duration;
-            ] ->
+            | Sexp.Atom src :: Sexp.Atom sp :: Sexp.Atom dst :: Sexp.Atom dp
+              :: Sexp.Atom medium :: Sexp.Atom from_ :: Sexp.Atom to_ :: Sexp.Atom hop
+              :: Sexp.Atom start :: Sexp.Atom duration :: rest ->
+                let start = float_atom start and duration = float_atom duration in
+                (* the read-offset atom is optional: rows saved before
+                   slack insertion read at completion *)
+                let read =
+                  match rest with
+                  | [] -> start +. duration
+                  | [ Sexp.Atom read ] -> float_atom read
+                  | _ -> fail "Schedule_io: malformed (transfer ...) row"
+                in
                 {
                   Schedule.cm_src = (op_of src, int_atom sp);
                   cm_dst = (op_of dst, int_atom dp);
@@ -110,8 +118,9 @@ let parse ~algorithm ~architecture text =
                   cm_from = operator_of from_;
                   cm_to = operator_of to_;
                   cm_hop = int_atom hop;
-                  cm_start = float_atom start;
-                  cm_duration = float_atom duration;
+                  cm_start = start;
+                  cm_duration = duration;
+                  cm_read = read;
                 }
             | _ -> fail "Schedule_io: malformed (transfer ...) row")
           (Sexp.keyed_all "transfer" items)

@@ -179,8 +179,10 @@ let run ?(config = default_config) exe =
                     (have_inj && inj.Injection.operator_failed ~operator ~time:!time)
                 then (table posted (slot_key c)).(k) <- !time
             | Cg.Recv c ->
-                (* time-triggered read at the planned arrival offset *)
-                let planned = base +. c.Sched.cm_start +. c.Sched.cm_duration in
+                (* time-triggered read at the planned read offset —
+                   completion plus any slack the schedule inserted for
+                   retransmissions (Schedule.insert_slack) *)
+                let planned = base +. c.Sched.cm_read in
                 let t_read = Float.max !time planned in
                 time := t_read;
                 Hashtbl.replace slot_of_key (slot_key c) c;

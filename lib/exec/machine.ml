@@ -571,6 +571,8 @@ let shift_event ~offset ~k = function
       Recovery.Failstop_confirmed { e with time = e.time +. offset }
   | Recovery.Mode_switched e ->
       Recovery.Mode_switched { e with time = e.time +. offset; iteration = e.iteration + k }
+  | Recovery.Voter_switched e ->
+      Recovery.Voter_switched { e with time = e.time +. offset; iteration = e.iteration + k }
 
 let run ?(config = default_config) exe =
   if config.iterations <= 0 then invalid_arg "Machine.run: non-positive iteration count";
@@ -703,6 +705,25 @@ let sampling_latencies trace =
 
 let actuation_latencies trace =
   latencies_of trace (Alg.actuators trace.executive.Cg.schedule.Sched.algorithm)
+
+(* Per-iteration freshness of the actuated outputs: every actuator ran
+   to completion this release (not skipped, not failed) and the
+   watchdog dated no stale read during the iteration.  This is the
+   evidence stream Standby's output voter consumes. *)
+let fresh_actuations trace =
+  let fresh = Array.make trace.iterations true in
+  List.iter
+    (fun op ->
+      Array.iteri (fun k t -> if Float.is_nan t then fresh.(k) <- false) (instants trace op))
+    (Alg.actuators trace.executive.Cg.schedule.Sched.algorithm);
+  List.iter
+    (function
+      | Recovery.Stale_detected { iteration; _ }
+        when iteration >= 0 && iteration < trace.iterations ->
+          fresh.(iteration) <- false
+      | _ -> ())
+    trace.recovery_events;
+  fresh
 
 let utilization trace =
   let arch = trace.executive.Cg.schedule.Sched.architecture in

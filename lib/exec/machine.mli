@@ -160,6 +160,12 @@ val sampling_latencies : trace -> (Aaa.Algorithm.op_id * float array) list
 val actuation_latencies : trace -> (Aaa.Algorithm.op_id * float array) list
 (** For each actuator [j], [La_j(k) = O_j(k) − k·Ts]. *)
 
+val fresh_actuations : trace -> bool array
+(** Per-iteration freshness of the actuated outputs: [true] at release
+    [k] iff every actuator completed (not skipped, operator alive) and
+    the freshness watchdog dated no stale read during iteration [k].
+    The evidence stream {!Standby}'s output voter consumes. *)
+
 val utilization : trace -> (Aaa.Architecture.operator_id * float) list
 (** Per-operator utilisation: busy time (non-skipped executions) over
     the total simulated time — the architecture-sizing metric.  After

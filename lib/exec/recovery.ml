@@ -67,13 +67,15 @@ type event =
     }
   | Failstop_confirmed of { time : float; operator : string; fail_time : float }
   | Mode_switched of { time : float; iteration : int; operator : string }
+  | Voter_switched of { time : float; iteration : int; operator : string }
 
 let event_time = function
   | Stale_detected { time; _ }
   | Transfer_recovered { time; _ }
   | Retries_exhausted { time; _ }
   | Failstop_confirmed { time; _ }
-  | Mode_switched { time; _ } ->
+  | Mode_switched { time; _ }
+  | Voter_switched { time; _ } ->
       time
 
 let compare_event a b =
@@ -98,6 +100,10 @@ let pp_event ppf = function
         fail_time
   | Mode_switched { time; iteration; operator } ->
       Format.fprintf ppf "t=%g: switched to the %S failover executive (iteration %d)" time
+        operator iteration
+  | Voter_switched { time; iteration; operator } ->
+      Format.fprintf ppf
+        "t=%g: voter pinned the %S hot-standby stream (iteration %d, zero blackout)" time
         operator iteration
 
 let retransmission_enabled p = p.max_retries > 0 && p.retry_budget > 0

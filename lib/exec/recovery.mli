@@ -108,6 +108,10 @@ type event =
   | Mode_switched of { time : float; iteration : int; operator : string }
       (** the executive switched to [operator]'s failover schedule at
           release [iteration] *)
+  | Voter_switched of { time : float; iteration : int; operator : string }
+      (** {!Standby}'s output voter pinned the hot-standby stream of
+          failed [operator] from release [iteration] on — zero
+          blackout, since the replica was already live *)
 
 val event_time : event -> float
 

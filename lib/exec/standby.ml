@@ -1,0 +1,172 @@
+module Alg = Aaa.Algorithm
+module Arch = Aaa.Architecture
+module Cg = Aaa.Codegen
+module Sched = Aaa.Schedule
+
+type vote = Primary | Standby | Held
+
+let vote_name = function Primary -> "primary" | Standby -> "standby" | Held -> "held"
+
+type decision = {
+  d_iteration : int;
+  d_vote : vote;
+  d_time : float;
+  d_diverged : bool;
+}
+
+type trace = {
+  protects : string;
+  primary : Machine.trace;
+  replica : Machine.trace;
+  decisions : decision array;
+  takeover : (int * float) option;
+  divergences : int list;
+  events : Recovery.event list;
+}
+
+(* per-iteration instant the last actuator of [tr] settles (the
+   stream's actuation date); nan where no actuator completed *)
+let last_actuation tr =
+  let out = Array.make tr.Machine.iterations Float.nan in
+  List.iter
+    (fun op ->
+      Array.iteri
+        (fun k t ->
+          if not (Float.is_nan t) then
+            if Float.is_nan out.(k) || t > out.(k) then out.(k) <- t)
+        (Machine.instants tr op))
+    (Alg.actuators tr.Machine.executive.Cg.schedule.Sched.algorithm);
+  out
+
+let eps = 1e-9
+
+let run ?(config = Machine.default_config) ~protects ~standby exe =
+  let pol = config.Machine.recovery in
+  let sched = exe.Cg.schedule in
+  let period = Alg.period sched.Sched.algorithm in
+  if Arch.find_operator sched.Sched.architecture protects = None then
+    invalid_arg (Printf.sprintf "Standby.run: unknown operator %S" protects);
+  (* neither stream mode-switches: the replica IS the failover copy,
+     already live — degradation happens in the voter, not by swapping
+     executives mid-run *)
+  let stream_config =
+    { config with Machine.recovery = { pol with Recovery.failover = [] } }
+  in
+  let primary = Machine.run ~config:stream_config exe in
+  let replica = Machine.run ~config:stream_config standby in
+  let n = min primary.Machine.iterations replica.Machine.iterations in
+  let fresh_p = Machine.fresh_actuations primary in
+  let fresh_s = Machine.fresh_actuations replica in
+  let inst_p = last_actuation primary in
+  let inst_s = last_actuation replica in
+  (* the same heartbeat evidence the mode-switch path consumes: once
+     the protected operator's fail-stop is confirmed, the voter pins
+     the standby stream permanently *)
+  let confirmation =
+    if Injection.is_none config.Machine.injection then None
+    else
+      match
+        Recovery.confirm pol
+          ~operator_failed:config.Machine.injection.Injection.operator_failed
+          ~operators:
+            (List.map
+               (Arch.operator_name sched.Sched.architecture)
+               (Arch.operators sched.Sched.architecture))
+          ~period ~iterations:n
+      with
+      | Some c when c.Recovery.operator = protects -> Some c
+      | Some _ | None -> None
+  in
+  let pin_k =
+    match confirmation with
+    | Some c -> int_of_float (Float.ceil ((c.Recovery.confirm_time /. period) -. eps))
+    | None -> max_int
+  in
+  let decisions =
+    Array.init n (fun k ->
+        let vote =
+          if k >= pin_k then
+            if fresh_s.(k) then Standby else if fresh_p.(k) then Primary else Held
+          else if fresh_p.(k) then Primary
+          else if fresh_s.(k) then Standby
+          else Held
+        in
+        let time =
+          match vote with
+          | Primary -> inst_p.(k)
+          | Standby -> inst_s.(k)
+          | Held -> Float.nan
+        in
+        let diverged =
+          fresh_p.(k) && fresh_s.(k) && Float.abs (inst_p.(k) -. inst_s.(k)) > eps
+        in
+        { d_iteration = k; d_vote = vote; d_time = time; d_diverged = diverged })
+  in
+  let takeover =
+    let rec find k =
+      if k >= n then None
+      else if decisions.(k).d_vote = Standby then Some (k, decisions.(k).d_time)
+      else find (k + 1)
+    in
+    find 0
+  in
+  let events =
+    let voter =
+      match (confirmation, takeover) with
+      | Some _, Some (k, t) ->
+          [ Recovery.Voter_switched { time = t; iteration = k; operator = protects } ]
+      | _ -> []
+    in
+    List.sort Recovery.compare_event (voter @ primary.Machine.recovery_events)
+  in
+  let divergences =
+    Array.to_list decisions
+    |> List.filter_map (fun d -> if d.d_diverged then Some d.d_iteration else None)
+  in
+  { protects; primary; replica; decisions; takeover; divergences; events }
+
+let votes tr = Array.map (fun d -> d.d_vote) tr.decisions
+
+let tally tr =
+  Array.fold_left
+    (fun (p, s, h) d ->
+      match d.d_vote with
+      | Primary -> (p + 1, s, h)
+      | Standby -> (p, s + 1, h)
+      | Held -> (p, s, h + 1))
+    (0, 0, 0) tr.decisions
+
+let actuated_instants tr =
+  let n = Array.length tr.decisions in
+  let alg_p = tr.primary.Machine.executive.Cg.schedule.Sched.algorithm in
+  let alg_s = tr.replica.Machine.executive.Cg.schedule.Sched.algorithm in
+  List.map
+    (fun op ->
+      let inst_p = Machine.instants tr.primary op in
+      let inst_s =
+        match Alg.find_op alg_s (Alg.op_name alg_p op) with
+        | Some op' -> Machine.instants tr.replica op'
+        | None -> Array.make n Float.nan
+      in
+      ( op,
+        Array.init n (fun k ->
+            match tr.decisions.(k).d_vote with
+            | Primary -> inst_p.(k)
+            | Standby -> inst_s.(k)
+            | Held -> Float.nan) ))
+    (Alg.actuators alg_p)
+
+let pp_decision ppf d =
+  Format.fprintf ppf "k=%d: %s%s%s" d.d_iteration (vote_name d.d_vote)
+    (if Float.is_nan d.d_time then "" else Printf.sprintf " at %g" d.d_time)
+    (if d.d_diverged then " [diverged]" else "")
+
+let pp ppf tr =
+  let p, s, h = tally tr in
+  Format.fprintf ppf "@[<v>hot standby for %S: %d primary / %d standby / %d held votes@,"
+    tr.protects p s h;
+  (match tr.takeover with
+  | Some (k, t) ->
+      Format.fprintf ppf "takeover at iteration %d (t=%g, zero blackout)@," k t
+  | None -> Format.fprintf ppf "no takeover: primary stayed fresh@,");
+  Format.fprintf ppf "%d divergence(s)@]" (List.length tr.divergences)

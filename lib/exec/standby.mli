@@ -1,0 +1,86 @@
+(** Hot-standby replica execution with deterministic output voting.
+
+    PR 4's recovery path tolerates a fail-stop by blackout-then-switch:
+    the plant runs open-loop from the failure until
+    [confirm_time + blackout], then the failover executive takes over.
+    This module removes the blackout entirely: the failover copy of the
+    protected operator's work (the replica-pinned degraded schedule
+    from [Fault.Degrade]) runs {e concurrently} on the surviving
+    processors every period, publishing its outputs through the same
+    media model, and a deterministic {e output voter} selects the
+    actuated stream each period:
+
+    - {e primary-preferred}: while the primary's actuations are fresh
+      (every actuator completed, no stale read dated by the watchdog —
+      {!Machine.fresh_actuations}), its value is actuated;
+    - {e freshness tie-break}: the period the primary goes stale the
+      voter falls through to the standby stream, which is already live
+      — zero blackout;
+    - {e pinning on heartbeat evidence}: once the same supervisor
+      arithmetic that drives the mode switch ({!Recovery.confirm})
+      confirms the protected operator's fail-stop, the standby stream
+      is pinned permanently and a {!Recovery.Voter_switched} event is
+      dated.
+
+    The voter is a pure function of the two traces' dated values, so
+    the whole construction inherits the executives' bit-for-bit
+    determinism contract.  With zero injected faults every vote is
+    [Primary] and the voted actuation stream equals the plain
+    executive's — the no-fault path is unchanged (QCheck-verified). *)
+
+type vote = Primary | Standby | Held
+
+val vote_name : vote -> string
+
+type decision = {
+  d_iteration : int;
+  d_vote : vote;
+  d_time : float;
+      (** actuation instant of the voted stream ([nan] when [Held]) *)
+  d_diverged : bool;
+      (** both streams fresh but their actuation dates differ *)
+}
+
+type trace = {
+  protects : string;  (** the operator whose fail-stop is covered *)
+  primary : Machine.trace;
+  replica : Machine.trace;
+  decisions : decision array;  (** one per iteration *)
+  takeover : (int * float) option;
+      (** first standby-voted release and its actuation instant *)
+  divergences : int list;  (** iterations with [d_diverged] *)
+  events : Recovery.event list;
+      (** primary stream events plus the voter's, chronological *)
+}
+
+val run :
+  ?config:Machine.config ->
+  protects:string ->
+  standby:Aaa.Codegen.t ->
+  Aaa.Codegen.t ->
+  trace
+(** [run ~protects ~standby exe] executes the primary executive [exe]
+    and the replica executive [standby] (the failover copy for
+    operator [protects], from [Fault.Degrade.failover_executives])
+    concurrently under the same config — same seed, same injection —
+    and votes per period.  Neither stream mode-switches mid-run; the
+    replica's architecture excludes [protects], so the injected
+    fail-stop only silences the primary.  The freshness tie-break
+    needs [config.recovery.freshness_watchdog] on to see stale reads.
+    Raises [Invalid_argument] when [protects] is not an operator of
+    [exe]'s architecture. *)
+
+val votes : trace -> vote array
+
+val tally : trace -> int * int * int
+(** [(primary, standby, held)] vote counts. *)
+
+val actuated_instants : trace -> (Aaa.Algorithm.op_id * float array) list
+(** Per actuator of the primary algorithm, the voted per-iteration
+    actuation instants: the primary's where the vote is [Primary], the
+    replica's where [Standby] (matched by operation name), [nan] where
+    [Held].  With zero faults this equals [Machine.instants] of the
+    plain run. *)
+
+val pp_decision : Format.formatter -> decision -> unit
+val pp : Format.formatter -> trace -> unit

@@ -3,6 +3,11 @@ type 'a backing = {
   encode : 'a -> string;
   mutable oc : out_channel;
   mutable closed : bool;
+  threshold : int;  (* auto-compaction trigger in bytes; 0 = never *)
+  mutable floor : int;
+      (* log size right after the last rewrite: re-trigger only past
+         max(threshold, 2·floor), so a live set that genuinely needs
+         the space cannot thrash the rewriter *)
 }
 
 type 'a t = {
@@ -41,18 +46,63 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let log_flags = [ Open_wronly; Open_creat; Open_append; Open_binary ]
+
+let record key s =
+  Printf.sprintf "%d %d\n%s%s\n" (String.length key) (String.length s) key s
+
+(* Rewrite the log with one record per live entry, in insertion order
+   (lock held).  The replacement is written complete and flushed to a
+   sibling file, then renamed over the log: a crash anywhere leaves
+   either the old log or the fully-written new one, so the
+   truncated-tail replay contract is untouched. *)
+let compact_locked t =
+  match t.backing with
+  | None -> 0
+  | Some b when b.closed -> 0
+  | Some b ->
+      let tmp = b.path ^ ".compact" in
+      let oc =
+        open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp
+      in
+      let written = ref 0 in
+      (try
+         Queue.iter
+           (fun key ->
+             match Hashtbl.find_opt t.table key with
+             | Some v ->
+                 output_string oc (record key (b.encode v));
+                 incr written
+             | None -> ())
+           t.order;
+         Stdlib.flush oc;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      close_out b.oc;
+      Sys.rename tmp b.path;
+      b.oc <- open_out_gen log_flags 0o644 b.path;
+      b.floor <- pos_out b.oc;
+      !written
+
 (* Append one record to the log.  Always called with the cache lock
    held, which is the lost-write fix: a write interleaved with another
    domain's would corrupt the length-prefixed framing, and an insert
    that reached the table but not the log (or vice versa) would
-   desynchronise memory and disk. *)
+   desynchronise memory and disk.  Once the log outgrows the
+   compaction threshold — dead records from replaced or evicted
+   entries pile up forever otherwise — it is rewritten in place with
+   only the live entries. *)
 let append_locked t key v =
   match t.backing with
   | None -> ()
   | Some b when b.closed -> ()
   | Some b ->
-      let s = b.encode v in
-      Printf.fprintf b.oc "%d %d\n%s%s\n" (String.length key) (String.length s) key s
+      output_string b.oc (record key (b.encode v));
+      if b.threshold > 0 && pos_out b.oc > max b.threshold (2 * b.floor) then
+        ignore (compact_locked t)
 
 let insert_locked t key v =
   if not (Hashtbl.mem t.table key) then begin
@@ -105,8 +155,6 @@ let add t ~key v =
 (* ------------------------------------------------------------------ *)
 (* persistence *)
 
-let log_flags = [ Open_wronly; Open_creat; Open_append; Open_binary ]
-
 (* Replay one log file into the table (lock held).  Records are
    length-prefixed, so values may contain newlines; a truncated tail
    record — a crash mid-append — is silently dropped.  Replaying the
@@ -151,15 +199,28 @@ let replay_locked t ~path ~decode =
   end;
   !loaded
 
-let open_backing t ~path ~encode ~decode =
+let open_backing ?(compact_threshold = 1 lsl 20) t ~path ~encode ~decode =
+  if compact_threshold < 0 then
+    invalid_arg "Cache.open_backing: negative compaction threshold";
   locked t (fun () ->
       if t.backing <> None then invalid_arg "Cache.open_backing: already backed";
       if Hashtbl.length t.table > 0 then
         invalid_arg "Cache.open_backing: cache already holds entries";
       let loaded = replay_locked t ~path ~decode in
       let oc = open_out_gen log_flags 0o644 path in
-      t.backing <- Some { path; encode; oc; closed = false };
+      t.backing <-
+        Some
+          {
+            path;
+            encode;
+            oc;
+            closed = false;
+            threshold = compact_threshold;
+            floor = pos_out oc;
+          };
       loaded)
+
+let compact t = locked t (fun () -> compact_locked t)
 
 let flush t =
   locked t (fun () ->
@@ -201,7 +262,8 @@ let reset t =
       | Some b when not b.closed ->
           (* truncate the log so a reload does not resurrect entries *)
           close_out b.oc;
-          b.oc <- open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 b.path
+          b.oc <- open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 b.path;
+          b.floor <- 0
       | Some _ | None -> ())
 
 let pp_stats ppf s =

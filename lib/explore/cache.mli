@@ -26,9 +26,13 @@
     lost-write window an unlocked append would open).  Reloading
     replays the insert sequence through the same FIFO eviction, so the
     table converges to the live window the writing process ended with;
-    a trailing record truncated by a crash is dropped.  The log is
-    never compacted — evicted or replaced entries keep their old
-    records, which replay harmlessly. *)
+    a trailing record truncated by a crash is dropped.  Evicted or
+    replaced entries keep their old records (which replay harmlessly)
+    until the log outgrows its compaction threshold, at which point it
+    is rewritten with only the live entries — written complete to a
+    sibling file and atomically renamed over the log, so a crash
+    mid-compaction leaves either the old log or the new one and the
+    truncated-tail replay contract is untouched ({!compact}). *)
 
 type 'a t
 
@@ -57,16 +61,33 @@ val add : 'a t -> key:string -> 'a -> unit
     touch the hit/miss counters. *)
 
 val open_backing :
-  'a t -> path:string -> encode:('a -> string) -> decode:(string -> 'a) -> int
+  ?compact_threshold:int ->
+  'a t ->
+  path:string ->
+  encode:('a -> string) ->
+  decode:(string -> 'a) ->
+  int
 (** Attaches [path] as the cache's append-only log: existing records
     are replayed into the (necessarily empty) cache — the returned
     count — and every subsequent insertion is appended.  [encode] /
     [decode] must round-trip; values may contain any bytes including
     newlines.  A record torn by a crash is dropped and the file is
     trimmed back to the last complete record, so post-crash appends
-    stay replayable.  Raises [Invalid_argument] when the cache already
-    holds entries or is already backed, [Sys_error] when the path
-    cannot be opened. *)
+    stay replayable.  Once the log grows past [compact_threshold]
+    bytes (default 1 MiB; [0] disables) an append triggers a
+    live-entries rewrite; to avoid thrashing when the live set itself
+    is large, re-compaction waits until the log doubles the size the
+    last rewrite left it at.  Raises [Invalid_argument] when the cache
+    already holds entries or is already backed, or on a negative
+    threshold; [Sys_error] when the path cannot be opened. *)
+
+val compact : 'a t -> int
+(** Rewrites the backing log with one record per live entry, in
+    insertion order, and returns the number written — the explicit
+    form of the automatic threshold-triggered rewrite.  The
+    replacement is fully written and flushed to a sibling file, then
+    atomically renamed over the log.  Returns [0] on an unbacked or
+    closed cache. *)
 
 val flush : 'a t -> unit
 (** Flushes buffered log appends to the file.  No-op on an unbacked or

@@ -113,6 +113,45 @@ let failover_executives table =
       | None -> None)
     table
 
+type standby_plan = {
+  protects : string;
+  executive : Aaa.Codegen.t;
+  replicated : string list;
+}
+
+let standby_plans ~nominal table =
+  let alg = nominal.Sched.algorithm in
+  List.filter_map
+    (fun f ->
+      match f.schedule with
+      | None -> None
+      | Some sched ->
+          let replicated =
+            List.filter_map
+              (fun op ->
+                let operator =
+                  Arch.operator_name nominal.Sched.architecture
+                    (Sched.operator_of nominal op)
+                in
+                if operator = f.failed_operator then Some (Aaa.Algorithm.op_name alg op)
+                else None)
+              (Aaa.Algorithm.ops alg)
+          in
+          Some
+            {
+              protects = f.failed_operator;
+              executive = Aaa.Codegen.generate sched;
+              replicated;
+            })
+    table
+
+let standby_plan_for table ~nominal ~operator =
+  List.find_opt (fun p -> p.protects = operator) (standby_plans ~nominal table)
+
+let pp_standby_plan ppf p =
+  Format.fprintf ppf "standby for %s: re-hosts %s" p.protects
+    (match p.replicated with [] -> "nothing" | ops -> String.concat ", " ops)
+
 let pp_failover ppf f =
   match f.schedule with
   | Some _ ->

@@ -68,3 +68,29 @@ val failover_executives : failover list -> (string * Aaa.Codegen.t) list
     to switch. *)
 
 val pp_failover : Format.formatter -> failover -> unit
+
+(** {2 Hot-standby plans}
+
+    A standby plan turns a failover entry into the replica executive
+    {!Exec.Standby} runs {e concurrently} with the nominal one: the
+    failover copy of every operation the nominal schedule places on
+    the protected operator runs on its backup every period, and the
+    output voter switches streams with zero blackout. *)
+
+type standby_plan = {
+  protects : string;  (** the operator whose fail-stop is covered *)
+  executive : Aaa.Codegen.t;
+      (** the replica executive — the failover schedule, generated *)
+  replicated : string list;
+      (** operations the nominal schedule placed on [protects], i.e.
+          the work the standby re-hosts *)
+}
+
+val standby_plans : nominal:Aaa.Schedule.t -> failover list -> standby_plan list
+(** One plan per feasible failover entry. *)
+
+val standby_plan_for :
+  failover list -> nominal:Aaa.Schedule.t -> operator:string -> standby_plan option
+(** The plan covering one operator, if its failover is feasible. *)
+
+val pp_standby_plan : Format.formatter -> standby_plan -> unit

@@ -96,6 +96,112 @@ let markdown_section (s : Robustness.summary) =
          else
            "**Warning**: recovery did not improve the post-switch control cost \
             on some scenario.")
+    end;
+    let standbys =
+      List.filter_map
+        (fun ((o : Robustness.outcome), (r : Robustness.recovery_outcome)) ->
+          Option.map (fun sb -> (o, sb)) r.Robustness.standby)
+        recovered
+    in
+    if standbys <> [] then begin
+      line "";
+      line "### Hot standby";
+      line "";
+      line
+        "The failover copy ran concurrently on the backup processors; the output \
+         voter selected the actuated stream each period:";
+      line "";
+      line
+        "| scenario | votes P/S/H | takeover | divergences | post-failure cost \
+         (standby / switch / frozen) |";
+      line "|---|---|---|---|---|";
+      List.iter
+        (fun ((o : Robustness.outcome), (sb : Robustness.standby_outcome)) ->
+          let takeover =
+            match sb.Robustness.takeover with
+            | Some (k, t) -> Printf.sprintf "iter %d (t=%.4g s)" k t
+            | None -> "—"
+          in
+          let post =
+            match
+              ( sb.Robustness.standby_post_cost,
+                sb.Robustness.switch_post_cost,
+                sb.Robustness.frozen_post_cost )
+            with
+            | Some s, Some w, Some f -> Printf.sprintf "%.6g / %.6g / %.6g" s w f
+            | _ -> "—"
+          in
+          line "| %s | %d/%d/%d | %s | %d | %s |" o.Robustness.scenario.Scenario.name
+            sb.Robustness.vote_primary sb.Robustness.vote_standby
+            sb.Robustness.vote_held takeover
+            (List.length sb.Robustness.divergences)
+            post)
+        standbys;
+      (* the vote log: per-period decisions with divergence marks and
+         the voter's switch evidence, next to the watchdog/retry
+         ledger above *)
+      List.iter
+        (fun ((o : Robustness.outcome), (sb : Robustness.standby_outcome)) ->
+          line "";
+          line "Vote log — %s:" o.Robustness.scenario.Scenario.name;
+          line "";
+          let shown, elided =
+            (* keep the vote-change boundaries, divergences and the two
+               endpoints; elide the interior of every same-vote run *)
+            let d = sb.Robustness.decisions in
+            let rec interesting prev acc = function
+              | [] -> List.rev acc
+              | (x : Exec.Standby.decision) :: rest ->
+                  let keep =
+                    x.Exec.Standby.d_diverged
+                    || x.Exec.Standby.d_iteration = 0
+                    || rest = []
+                    || (match prev with
+                       | Some (p : Exec.Standby.decision) ->
+                           p.Exec.Standby.d_vote <> x.Exec.Standby.d_vote
+                       | None -> true)
+                  in
+                  interesting (Some x) (if keep then x :: acc else acc) rest
+            in
+            let kept = interesting None [] d in
+            (kept, List.length d - List.length kept)
+          in
+          List.iter
+            (fun x -> line "- %s" (Format.asprintf "%a" Exec.Standby.pp_decision x))
+            shown;
+          if elided > 0 then line "- … %d further same-vote periods elided" elided;
+          List.iter
+            (fun e ->
+              match e with
+              | Exec.Recovery.Voter_switched _ | Exec.Recovery.Failstop_confirmed _ ->
+                  line "- evidence: %s" (Format.asprintf "%a" Exec.Recovery.pp_event e)
+              | _ -> ())
+            sb.Robustness.standby_events)
+        standbys;
+      let zero_blackout =
+        List.for_all
+          (fun (_, (sb : Robustness.standby_outcome)) ->
+            match (sb.Robustness.standby_post_cost, sb.Robustness.switch_post_cost) with
+            | Some s, Some w -> s < w
+            | _ -> true)
+          standbys
+      in
+      if
+        List.exists
+          (fun (_, (sb : Robustness.standby_outcome)) ->
+            sb.Robustness.standby_post_cost <> None)
+          standbys
+      then begin
+        line "";
+        line "%s"
+          (if zero_blackout then
+             "Hot-standby post-failure cost is strictly below blackout-then-switch \
+              on every compared scenario: the voter's zero-blackout takeover skips \
+              the open-loop transient."
+           else
+             "**Warning**: hot standby did not beat blackout-then-switch on some \
+              scenario.")
+      end
     end
   end;
   Buffer.contents buf

@@ -9,6 +9,20 @@ type recovery_phases = {
   frozen_phase : float;
 }
 
+type standby_outcome = {
+  takeover : (int * float) option;
+  vote_primary : int;
+  vote_standby : int;
+  vote_held : int;
+  divergences : int list;
+  standby_events : Exec.Recovery.event list;
+  decisions : Exec.Standby.decision list;
+  standby_cost : float option;
+  standby_post_cost : float option;
+  switch_post_cost : float option;
+  frozen_post_cost : float option;
+}
+
 type recovery_outcome = {
   retransmissions : int;
   recovered_transfers : int;
@@ -21,6 +35,7 @@ type recovery_outcome = {
   recovered_cost : float option;
   frozen_cost : float option;
   phases : recovery_phases option;
+  standby : standby_outcome option;
 }
 
 type outcome = {
@@ -76,7 +91,7 @@ let recovery_engine ~design ~(nominal : Meth.implementation) ?failover ~fail_tim
   engine
 
 let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ?recovery
-    ?(bus_models = []) ~design ~architecture ~durations ~scenarios () =
+    ?(standby = false) ?(bus_models = []) ~design ~architecture ~durations ~scenarios () =
   if scenarios = [] then invalid_arg "Robustness.evaluate: no scenarios";
   let pool = match pool with Some p -> p | None -> Explore.Pool.default () in
   let nominal = Meth.implement ?strategy ~design ~architecture ~durations () in
@@ -174,7 +189,23 @@ let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ?recovery
               (fun k -> float_of_int k *. period)
               trace_with.Exec.Machine.switched_at
           in
-          let recovered_cost, frozen_cost, phases =
+          (* hot standby: the replica executive (the failover copy)
+             runs concurrently under the same seeded config; the voter
+             takes over with zero blackout *)
+          let standby_run =
+            if not standby then None
+            else
+              match (failed_operator, failover) with
+              | Some op, (op', sexe) :: _ when op' = op -> (
+                  try
+                    Some
+                      (Exec.Standby.run
+                         ~config:{ config with Exec.Machine.recovery = pol }
+                         ~protects:op ~standby:sexe nominal.Meth.executive)
+                  with Invalid_argument _ -> None)
+              | _ -> None
+          in
+          let recovered_cost, frozen_cost, phases, standby_costs =
             match (detection, failed_operator, schedule, switch_time) with
             | Some conf, Some op, Some degraded, Some t_switch
               when t_switch < design.Design.horizon ->
@@ -206,8 +237,63 @@ let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ?recovery
                       })
                     design.Design.phase_cost
                 in
-                (Some recovered_cost, Some frozen_cost, phases)
-            | _ -> (None, None, None)
+                (* the three-way comparison shares one post-failure
+                   window [fail_time, horizon]: frozen (no recovery)
+                   vs blackout-then-switch vs hot standby switching at
+                   the voter's takeover instant *)
+                let standby_costs =
+                  match standby_run with
+                  | None -> None
+                  | Some st -> (
+                      match st.Exec.Standby.takeover with
+                      | Some (_, t_take) when t_take < design.Design.horizon ->
+                          let engine_sb =
+                            recovery_engine ~design ~nominal ~failover:degraded
+                              ~fail_time ~switch_time:t_take ~failed_operator:op ()
+                          in
+                          let sb_cost = design.Design.cost engine_sb in
+                          let posts =
+                            Option.map
+                              (fun phase_cost ->
+                                ( phase_cost engine_sb ~from_t:fail_time
+                                    ~until_t:design.Design.horizon,
+                                  phase_cost engine_rec ~from_t:fail_time
+                                    ~until_t:design.Design.horizon,
+                                  phase_cost engine_frozen ~from_t:fail_time
+                                    ~until_t:design.Design.horizon ))
+                              design.Design.phase_cost
+                          in
+                          Some (Some sb_cost, posts)
+                      | _ -> Some (None, None))
+                in
+                (Some recovered_cost, Some frozen_cost, phases, standby_costs)
+            | _ ->
+                ( None,
+                  None,
+                  None,
+                  match standby_run with Some _ -> Some (None, None) | None -> None )
+          in
+          let standby_outcome =
+            Option.map
+              (fun st ->
+                let p, s, h = Exec.Standby.tally st in
+                let sb_cost, posts =
+                  match standby_costs with Some (c, ps) -> (c, ps) | None -> (None, None)
+                in
+                {
+                  takeover = st.Exec.Standby.takeover;
+                  vote_primary = p;
+                  vote_standby = s;
+                  vote_held = h;
+                  divergences = st.Exec.Standby.divergences;
+                  standby_events = st.Exec.Standby.events;
+                  decisions = Array.to_list st.Exec.Standby.decisions;
+                  standby_cost = sb_cost;
+                  standby_post_cost = Option.map (fun (a, _, _) -> a) posts;
+                  switch_post_cost = Option.map (fun (_, b, _) -> b) posts;
+                  frozen_post_cost = Option.map (fun (_, _, c) -> c) posts;
+                })
+              standby_run
           in
           Some
             {
@@ -225,6 +311,7 @@ let evaluate ?(iterations = 200) ?strategy ?(replicas = []) ?pool ?recovery
               recovered_cost;
               frozen_cost;
               phases;
+              standby = standby_outcome;
             }
     in
     {
@@ -291,6 +378,22 @@ let pp ppf s =
               Format.fprintf ppf
                 "@,    post-switch cost %.6g recovered vs %.6g without recovery"
                 p.degraded_phase p.frozen_phase
+          | None -> ());
+          (match r.standby with
+          | Some sb ->
+              Format.fprintf ppf "@,    hot standby: %d/%d/%d primary/standby/held votes"
+                sb.vote_primary sb.vote_standby sb.vote_held;
+              (match sb.takeover with
+              | Some (k, t) ->
+                  Format.fprintf ppf ", takeover at iteration %d (t=%g, zero blackout)" k t
+              | None -> Format.fprintf ppf ", no takeover");
+              (match (sb.standby_post_cost, sb.switch_post_cost, sb.frozen_post_cost) with
+              | Some sbc, Some swc, Some frc ->
+                  Format.fprintf ppf
+                    "@,    post-failure cost: %.6g hot-standby vs %.6g switch vs %.6g \
+                     frozen"
+                    sbc swc frc
+              | _ -> ())
           | None -> ()));
       Format.fprintf ppf "@,")
     s.outcomes;

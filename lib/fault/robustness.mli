@@ -34,6 +34,28 @@ type recovery_phases = {
           [degraded_phase] must beat for recovery to pay off *)
 }
 
+type standby_outcome = {
+  takeover : (int * float) option;
+      (** first standby-voted release and its actuation instant —
+          effectively zero blackout after the failure *)
+  vote_primary : int;
+  vote_standby : int;
+  vote_held : int;  (** per-period voter decision counts *)
+  divergences : int list;
+      (** iterations where both streams were fresh but dated their
+          actuations differently *)
+  standby_events : Exec.Recovery.event list;
+      (** the standby run's timeline, including [Voter_switched] *)
+  decisions : Exec.Standby.decision list;  (** the full vote log *)
+  standby_cost : float option;
+      (** whole-horizon co-simulated cost switching at the takeover *)
+  standby_post_cost : float option;
+      (** cost over [\[fail_time, horizon\]] for the hot-standby run *)
+  switch_post_cost : float option;
+      (** same window, blackout-then-switch (PR 4's path) *)
+  frozen_post_cost : float option;  (** same window, no recovery *)
+}
+
 type recovery_outcome = {
   retransmissions : int;  (** retry attempts the policy spent *)
   recovered_transfers : int;  (** drops a retransmission saved *)
@@ -53,6 +75,11 @@ type recovery_outcome = {
   phases : recovery_phases option;
       (** per-phase split, when the design provides
           {!Lifecycle.Design.t.phase_cost} *)
+  standby : standby_outcome option;
+      (** present when {!evaluate} ran with [~standby:true] and the
+          scenario is a single-operator fail-stop with a feasible
+          failover: the hot-standby replica run and its three-way
+          post-failure cost comparison *)
 }
 
 type outcome = {
@@ -92,6 +119,7 @@ val evaluate :
   ?replicas:(string * string) list ->
   ?pool:Explore.Pool.t ->
   ?recovery:Exec.Recovery.policy ->
+  ?standby:bool ->
   ?bus_models:(string * Media.Bus.config) list ->
   design:Lifecycle.Design.t ->
   architecture:Aaa.Architecture.t ->
@@ -119,6 +147,17 @@ val evaluate :
     plant open-loop from the failure on) — giving the
     recovery-vs-no-recovery control costs and, when the design has a
     [phase_cost], the nominal / transient / degraded split.
+
+    With [~standby:true] (requires [recovery]), every single-operator
+    fail-stop scenario whose failover is feasible is additionally run
+    hot-standby ({!Exec.Standby.run}): the failover executive runs
+    concurrently under the same seed and the output voter switches
+    streams on freshness/heartbeat evidence.  The outcome records the
+    vote log and — when the blackout-then-switch path also completed —
+    the three-way post-failure cost over [\[fail_time, horizon\]]:
+    frozen vs switch vs hot-standby (the hot-standby co-simulation
+    switches to the failover delay graph at the voter's takeover
+    instant instead of [confirm_time + blackout]).
 
     With [bus_models] (default [\[\]]), every injected machine run
     routes its transfers through the shared-bus network models, with

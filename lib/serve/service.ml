@@ -9,6 +9,9 @@ type config = {
   bcet_frac : float;
   robustness : bool;
   robustness_iterations : int;
+  standby : bool;
+      (** score each robustness scenario's hot-standby replica run
+          (voted takeover, three-way post-failure costs) too *)
   max_submission_bytes : int;
   max_pending : int;
   cache_capacity : int;
@@ -23,6 +26,7 @@ let default_config =
     bcet_frac = 0.4;
     robustness = true;
     robustness_iterations = 50;
+    standby = false;
     max_submission_bytes = 1 lsl 20;
     max_pending = 64;
     cache_capacity = 4096;
@@ -111,6 +115,28 @@ let montecarlo_json (s : Lifecycle.Montecarlo.summary) =
       ("static_cost", Json.num_of s.Lifecycle.Montecarlo.static_cost);
     ]
 
+let standby_json (sb : Fault.Robustness.standby_outcome) =
+  let opt = function Some v -> Json.num_of v | None -> Json.Null in
+  Json.Obj
+    [
+      ("vote_primary", Json.Num (float_of_int sb.Fault.Robustness.vote_primary));
+      ("vote_standby", Json.Num (float_of_int sb.Fault.Robustness.vote_standby));
+      ("vote_held", Json.Num (float_of_int sb.Fault.Robustness.vote_held));
+      ( "takeover",
+        match sb.Fault.Robustness.takeover with
+        | Some (k, t) ->
+            Json.Obj [ ("iteration", Json.Num (float_of_int k)); ("time", Json.num_of t) ]
+        | None -> Json.Null );
+      ( "divergences",
+        Json.Arr
+          (List.map
+             (fun i -> Json.Num (float_of_int i))
+             sb.Fault.Robustness.divergences) );
+      ("standby_post_cost", opt sb.Fault.Robustness.standby_post_cost);
+      ("switch_post_cost", opt sb.Fault.Robustness.switch_post_cost);
+      ("frozen_post_cost", opt sb.Fault.Robustness.frozen_post_cost);
+    ]
+
 let robustness_json (s : Fault.Robustness.summary) =
   let outcome (o : Fault.Robustness.outcome) =
     Json.Obj
@@ -124,6 +150,10 @@ let robustness_json (s : Fault.Robustness.summary) =
         ("lost_transfers", Json.Num (float_of_int o.Fault.Robustness.lost_transfers));
         ("stale_reads", Json.Num (float_of_int o.Fault.Robustness.stale_reads));
         ("overruns", Json.Num (float_of_int o.Fault.Robustness.overruns));
+        ( "standby",
+          match o.Fault.Robustness.recovery with
+          | Some { Fault.Robustness.standby = Some sb; _ } -> standby_json sb
+          | _ -> Json.Null );
       ]
   in
   Json.Obj
@@ -181,6 +211,7 @@ let submission_key t source ~runs ~seed ~robustness =
       Explore.Key.float t.cfg.bcet_frac;
       Explore.Key.int (if robustness then 1 else 0);
       Explore.Key.int t.cfg.robustness_iterations;
+      Explore.Key.int (if t.cfg.standby then 1 else 0);
     ]
 
 (* run the full pipeline on one parsed-from-[source] submission;
@@ -210,12 +241,24 @@ let compute t ~source ~runs ~seed ~robustness =
               let scenarios =
                 Fault.Scenario.single_processor_failures ~seed architecture
               in
+              (* hot-standby scoring needs a recovery policy so the
+                 supervisor confirms the fail-stop the voter pins on *)
+              let recovery =
+                if t.cfg.standby then
+                  Some
+                    (Exec.Recovery.make
+                       ~period:
+                         (Aaa.Algorithm.period comparison.M.implementation.M.algorithm)
+                       ())
+                else None
+              in
               Some
                 (try
                    Ok
                      (Fault.Robustness.evaluate
-                        ~iterations:t.cfg.robustness_iterations ~pool:t.pool ~design
-                        ~architecture ~durations ~scenarios ())
+                        ~iterations:t.cfg.robustness_iterations ~pool:t.pool ?recovery
+                        ~standby:t.cfg.standby ~design ~architecture ~durations
+                        ~scenarios ())
                  with e -> Error (Printexc.to_string e))
             else None
           in

@@ -27,6 +27,11 @@ type config = {
   bcet_frac : float;  (** BCET as a fraction of WCET (default 0.4) *)
   robustness : bool;  (** evaluate single-failure scenarios (default true) *)
   robustness_iterations : int;  (** injected machine iterations (default 50) *)
+  standby : bool;
+      (** score each robustness scenario's hot-standby replica run too:
+          voted takeover and the three-way (hot-standby / blackout-then-
+          switch / frozen) post-failure costs in the report (default
+          false) *)
   max_submission_bytes : int;  (** submission size limit (default 1 MiB) *)
   max_pending : int;  (** server queue bound (default 64) *)
   cache_capacity : int;  (** memo entries kept (default 4096) *)

@@ -65,6 +65,29 @@ let wcrt ~blocking ~hp ~own ~horizon =
   in
   fix blocking 0
 
+(* worst-case response time of one attempt of [c] on [medium] under
+   the schedule's other transfers plus the model's background load —
+   the per-attempt duration the REC006 retry-window check must assume
+   on a contended bus *)
+let frame_wcrt ~schedule ~medium (cfg : Media.Bus.config) (c : Schedule.comm_slot) =
+  let sframes = schedule_frames schedule ~medium in
+  let mine = List.find_opt (fun (c', _) -> c' = c) sframes in
+  let others =
+    List.filter_map (fun (c', f) -> if c' = c then None else Some f) sframes
+    @ stream_frames cfg
+  in
+  match mine with
+  | None -> None
+  | Some (_, f) ->
+      let blocking =
+        List.fold_left
+          (fun acc f' -> if f'.f_ident >= f.f_ident then Float.max acc f'.f_time else acc)
+          0. others
+      in
+      let hp = List.filter (fun f' -> f'.f_ident < f.f_ident) others in
+      let horizon = 100. *. Algorithm.period schedule.Schedule.algorithm in
+      wcrt ~blocking ~hp ~own:f.f_time ~horizon
+
 (* planned availability of a transfer's payload and the instant its
    consumer reads it: hop 0 departs when the producer's computation
    ends; hop h feeds hop h+1's planned start, the final hop feeds the

@@ -32,5 +32,18 @@ val check :
     Response times are only analysed on buses below utilization 1
     (MEDIA001 subsumes the divergence). *)
 
+val frame_wcrt :
+  schedule:Aaa.Schedule.t ->
+  medium:Aaa.Architecture.medium_id ->
+  Media.Bus.config ->
+  Aaa.Schedule.comm_slot ->
+  float option
+(** Worst-case response time of {e one attempt} of the given transfer
+    on [medium] under the schedule's other transfers plus the model's
+    background streams ([None] when the slot is not on the medium or
+    the fixed point diverges).  {!Recovery_rules} uses this as the
+    per-attempt duration when sizing retry windows on a contended
+    bus (rule REC006). *)
+
 val ids : string list
 (** Every rule identifier this pass can raise. *)

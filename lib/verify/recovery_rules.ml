@@ -5,7 +5,7 @@ module Recovery = Exec.Recovery
 let artifact = "recovery"
 let eps = 1e-9
 
-let check (p : Recovery.policy) (sched : Sched.t) =
+let check ?(bus_models = []) (p : Recovery.policy) (sched : Sched.t) =
   let arch = sched.Sched.architecture in
   let period = Aaa.Algorithm.period sched.Sched.algorithm in
   let diags = ref [] in
@@ -85,6 +85,62 @@ let check (p : Recovery.policy) (sched : Sched.t) =
                  "generate one from Fault.Degrade.failover_table via \
                   failover_executives"))
       (Arch.operators arch);
+  (* REC005/REC006: every retried transfer's worst-case completion —
+     planned completion plus the full retry chain, each attempt priced
+     at its media WCRT when a bus model covers the medium — must land
+     before the planned read offset the consumer samples at.  Without
+     inserted slack the read sits at the completion and any retry
+     lands after it: the documented reads-stay-at-planned-offsets gap
+     of the time-triggered executive (warning).  A schedule that DOES
+     declare a retry window (Aaa.Schedule.insert_slack) but sizes it
+     below the worst case is lying to the verifier: error. *)
+  if Recovery.retransmission_enabled p then
+    List.iter
+      (fun (c : Sched.comm_slot) ->
+        let completion = c.Sched.cm_start +. c.Sched.cm_duration in
+        let declared = Sched.retry_slack c in
+        let medium_name = Arch.medium_name arch c.Sched.cm_medium in
+        let attempt =
+          match List.assoc_opt medium_name bus_models with
+          | Some cfg -> (
+              match
+                Media_rules.frame_wcrt ~schedule:sched ~medium:c.Sched.cm_medium cfg c
+              with
+              | Some r -> Float.max r c.Sched.cm_duration
+              | None -> c.Sched.cm_duration)
+          | None -> c.Sched.cm_duration
+        in
+        let retry_time = Recovery.worst_case_retry_time p ~transfer_duration:attempt in
+        let worst = completion +. retry_time in
+        let what =
+          Printf.sprintf "transfer %S -> %S (hop %d) on %S"
+            (Aaa.Algorithm.op_name sched.Sched.algorithm (fst c.Sched.cm_src))
+            (Aaa.Algorithm.op_name sched.Sched.algorithm (fst c.Sched.cm_dst))
+            c.Sched.cm_hop medium_name
+        in
+        if worst > c.Sched.cm_read +. eps then
+          if declared <= eps then
+            emit
+              (Diag.warning ~rule:"REC005" ~artifact ~location:medium_name
+                 (Printf.sprintf
+                    "%s: a retried payload can land at %.6g s, after its planned read \
+                     at %.6g s — the time-triggered consumer reads the stale value"
+                    what worst c.Sched.cm_read)
+                 ~hint:
+                   "insert a retry window at schedule time with \
+                    Aaa.Schedule.insert_slack (or disable retransmission)")
+          else
+            emit
+              (Diag.error ~rule:"REC006" ~artifact ~location:medium_name
+                 (Printf.sprintf
+                    "%s: declares a %.6g s retry window but the worst-case retried \
+                     completion %.6g s (media WCRT included) overruns the read at \
+                     %.6g s"
+                    what declared worst c.Sched.cm_read)
+                 ~hint:
+                   "widen the window (insert_slack with the policy's \
+                    worst_case_retry_time) or cut max_retries"))
+      sched.Sched.comm;
   List.rev !diags
 
-let ids = [ "REC001"; "REC002"; "REC003"; "REC004" ]
+let ids = [ "REC001"; "REC002"; "REC003"; "REC004"; "REC005"; "REC006" ]

@@ -1,11 +1,15 @@
-(** Design rules for online recovery policies (REC001–REC004).
+(** Design rules for online recovery policies (REC001–REC006).
 
     A {!Exec.Recovery.policy} is checked {e against the schedule it
     will supervise}: the rules hold the policy's retry and heartbeat
     parameters to the schedule's timing so that recovery configured at
     design time cannot silently break the period or misfire online. *)
 
-val check : Exec.Recovery.policy -> Aaa.Schedule.t -> Diag.t list
+val check :
+  ?bus_models:(string * Media.Bus.config) list ->
+  Exec.Recovery.policy ->
+  Aaa.Schedule.t ->
+  Diag.t list
 (** - [REC001] (error): malformed policy parameters (negative counts,
       times or budgets, backoff factor below 1) — normally unreachable
       when the policy comes from {!Exec.Recovery.make};
@@ -17,7 +21,16 @@ val check : Exec.Recovery.policy -> Aaa.Schedule.t -> Diag.t list
       busy operator can be declared dead (false-positive fail-stop);
     - [REC004] (warning): the heartbeat supervisor is enabled but some
       operator has no failover executive — its fail-stop would be
-      confirmed with nowhere to switch. *)
+      confirmed with nowhere to switch;
+    - [REC005] (warning): retransmission is enabled but some
+      transfer's worst-case retried completion lands after its planned
+      read offset — the time-triggered consumer reads the stale value
+      (close it with {!Aaa.Schedule.insert_slack});
+    - [REC006] (error): a transfer {e declares} a retry window
+      ([cm_read] past its completion) that is smaller than the
+      worst-case retry chain — each attempt priced at its media
+      worst-case response time ({!Media_rules.frame_wcrt}) when
+      [bus_models] covers the medium. *)
 
 val ids : string list
 (** Every rule identifier this pass can raise. *)

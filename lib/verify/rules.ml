@@ -55,6 +55,7 @@ let all =
     r "SCHED009" Diag.Info "schedule" "operator idle over the whole iteration";
     r "SCHED010" Diag.Warning "schedule" "single-operator failure without a fitting failover";
     r "SCHED011" Diag.Error "schedule" "slot with negative start or duration";
+    r "SCHED012" Diag.Error "schedule" "read offset before the transfer's completion";
     (* temporal model *)
     r "TEMP001" Diag.Error "temporal" "non-finite, negative or inconsistent temporal model";
     r "TEMP002" Diag.Warning "temporal" "latency exceeds the period";
@@ -66,6 +67,10 @@ let all =
     r "REC003" Diag.Warning "recovery"
       "heartbeat timeout below the schedule's worst in-iteration completion";
     r "REC004" Diag.Warning "recovery" "supervisor without a failover executive for an operator";
+    r "REC005" Diag.Warning "recovery"
+      "retried transfer's worst-case completion lands after its planned read";
+    r "REC006" Diag.Error "recovery"
+      "declared retry window smaller than the worst-case retry chain (media WCRT included)";
     (* shared-bus network models *)
     r "MEDIA001" Diag.Error "media" "bus overloaded: utilization at or above 1";
     r "MEDIA002" Diag.Warning "media" "bus utilization above the configured bound";

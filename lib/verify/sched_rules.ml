@@ -31,6 +31,20 @@ let check sched =
                 (op_n (fst c.cm_dst))
                 c.cm_start c.cm_duration)))
     sched.Schedule.comm;
+  (* read offsets never precede the transfer's completion *)
+  List.iter
+    (fun (c : Schedule.comm_slot) ->
+      if c.cm_read +. eps < c.cm_start +. c.cm_duration then
+        emit
+          (Diag.error ~rule:"SCHED012" ~artifact
+             ~location:(Architecture.medium_name arch c.cm_medium)
+             (Printf.sprintf "transfer %S -> %S reads at %g before its completion at %g"
+                (op_n (fst c.cm_src))
+                (op_n (fst c.cm_dst))
+                c.cm_read
+                (c.cm_start +. c.cm_duration))
+             ~hint:"read offsets sit at completion or later (insert_slack moves them)"))
+    sched.Schedule.comm;
   (* every operation scheduled exactly once *)
   let slots = Hashtbl.create 64 in
   List.iter
@@ -204,7 +218,7 @@ let check sched =
                             first.Schedule.cm_start (op_n src) produced));
                   if not is_memory then begin
                     let last = List.nth hops (List.length hops - 1) in
-                    let arrival = last.Schedule.cm_start +. last.Schedule.cm_duration in
+                    let arrival = last.Schedule.cm_read in
                     if dst_slot.Schedule.cs_start +. eps < arrival then
                       emit
                         (Diag.error ~rule:"SCHED007" ~artifact ~location:(op_n dst)
@@ -281,5 +295,5 @@ let failover_coverage ?strategy ?replicas ~durations sched =
 let ids =
   [
     "SCHED001"; "SCHED002"; "SCHED003"; "SCHED004"; "SCHED005"; "SCHED006";
-    "SCHED007"; "SCHED008"; "SCHED009"; "SCHED010"; "SCHED011";
+    "SCHED007"; "SCHED008"; "SCHED009"; "SCHED010"; "SCHED011"; "SCHED012";
   ]

@@ -28,8 +28,22 @@ let default_durations ~algorithm ~architecture =
     ops;
   durations
 
+(* retime the consumer read offsets so every transfer's worst-case
+   retry chain fits before its planned read — the lint-side mirror of
+   deploying a schedule through [Aaa.Schedule.insert_slack].  Identity
+   when no policy retransmits or [retry_slack] is off. *)
+let retry_slacked ~retry_slack ~recovery sched =
+  match recovery with
+  | Some policy when retry_slack && Exec.Recovery.retransmission_enabled policy ->
+      Aaa.Schedule.insert_slack
+        ~slack_of:(fun c ->
+          Exec.Recovery.worst_case_retry_time policy
+            ~transfer_duration:c.Aaa.Schedule.cm_duration)
+        sched
+  | _ -> sched
+
 let run_all ?architecture ?durations ?strategy ?pins ?(failover = true) ?recovery
-    ?bus_models (design : Lifecycle.Design.t) =
+    ?bus_models ?(retry_slack = false) (design : Lifecycle.Design.t) =
   let architecture =
     match architecture with Some a -> a | None -> Aaa.Architecture.single ()
   in
@@ -100,27 +114,44 @@ let run_all ?architecture ?durations ?strategy ?pins ?(failover = true) ?recover
                       Diag.of_invalid_arg ~artifact:"schedule"
                         ~location:design.Lifecycle.Design.name msg;
                     ]
-              | impl ->
-                  let sched = impl.Lifecycle.Methodology.schedule in
-                  design_diags
-                  @ Sched_rules.check sched
-                  @ (if failover then
-                       Sched_rules.failover_coverage ?strategy ~durations sched
-                     else [])
-                  @ (match recovery with
-                    | Some policy -> Recovery_rules.check policy sched
-                    | None -> [])
-                  @ (match bus_models with
-                    | Some models -> Media_rules.check ~schedule:sched models
-                    | None -> [])
-                  @ Temporal_rules.check ~algorithm impl.Lifecycle.Methodology.static
-                  @ Cgen_rules.check impl.Lifecycle.Methodology.executive
+              | impl -> (
+                  let base = impl.Lifecycle.Methodology.schedule in
+                  match retry_slacked ~retry_slack ~recovery base with
+                  | exception Invalid_argument msg ->
+                      design_diags
+                      @ [
+                          Diag.of_invalid_arg ~artifact:"schedule"
+                            ~location:design.Lifecycle.Design.name msg;
+                        ]
+                  | sched ->
+                      let static, executive =
+                        if sched == base then
+                          ( impl.Lifecycle.Methodology.static,
+                            impl.Lifecycle.Methodology.executive )
+                        else
+                          ( Translator.Temporal_model.of_schedule sched,
+                            Aaa.Codegen.generate sched )
+                      in
+                      design_diags
+                      @ Sched_rules.check sched
+                      @ (if failover then
+                           Sched_rules.failover_coverage ?strategy ~durations sched
+                         else [])
+                      @ (match recovery with
+                        | Some policy -> Recovery_rules.check ?bus_models policy sched
+                        | None -> [])
+                      @ (match bus_models with
+                        | Some models -> Media_rules.check ~schedule:sched models
+                        | None -> [])
+                      @ Temporal_rules.check ~algorithm static
+                      @ Cgen_rules.check executive)
             end
       end
 
 (* The SynDEx-side passes over a parsed [.sdx] application: the same
    stages 2–3 as {!run_all}, without a Scicos diagram to analyse. *)
-let run_app ?strategy ?(failover = true) ?recovery ?bus_models (app : Aaa.Sdx.t) =
+let run_app ?strategy ?(failover = true) ?recovery ?bus_models ?(retry_slack = false)
+    (app : Aaa.Sdx.t) =
   let algorithm = app.Aaa.Sdx.algorithm in
   let architecture = app.Aaa.Sdx.architecture in
   let durations = app.Aaa.Sdx.durations in
@@ -149,19 +180,28 @@ let run_app ?strategy ?(failover = true) ?recovery ?bus_models (app : Aaa.Sdx.t)
             Diag.of_invalid_arg ~artifact:"schedule"
               ~location:(Aaa.Algorithm.name algorithm) msg;
           ]
-    | sched ->
-        design_diags
-        @ Sched_rules.check sched
-        @ (if failover then Sched_rules.failover_coverage ?strategy ~durations sched
-           else [])
-        @ (match recovery with
-          | Some policy -> Recovery_rules.check policy sched
-          | None -> [])
-        @ (match bus_models with
-          | Some models -> Media_rules.check ~schedule:sched models
-          | None -> [])
-        @ Temporal_rules.check ~algorithm (Translator.Temporal_model.of_schedule sched)
-        @ Cgen_rules.check (Aaa.Codegen.generate sched)
+    | sched -> (
+        match retry_slacked ~retry_slack ~recovery sched with
+        | exception Invalid_argument msg ->
+            design_diags
+            @ [
+                Diag.of_invalid_arg ~artifact:"schedule"
+                  ~location:(Aaa.Algorithm.name algorithm) msg;
+              ]
+        | sched ->
+            design_diags
+            @ Sched_rules.check sched
+            @ (if failover then Sched_rules.failover_coverage ?strategy ~durations sched
+               else [])
+            @ (match recovery with
+              | Some policy -> Recovery_rules.check ?bus_models policy sched
+              | None -> [])
+            @ (match bus_models with
+              | Some models -> Media_rules.check ~schedule:sched models
+              | None -> [])
+            @ Temporal_rules.check ~algorithm
+                (Translator.Temporal_model.of_schedule sched)
+            @ Cgen_rules.check (Aaa.Codegen.generate sched))
 
 let markdown_section ?(title = "Static verification") diags =
   let buf = Buffer.create 512 in

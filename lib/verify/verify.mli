@@ -37,6 +37,7 @@ val run_all :
   ?failover:bool ->
   ?recovery:Exec.Recovery.policy ->
   ?bus_models:(string * Media.Bus.config) list ->
+  ?retry_slack:bool ->
   Lifecycle.Design.t ->
   Diag.t list
 (** All passes over one design, in lifecycle order.
@@ -48,11 +49,17 @@ val run_all :
     drowned by capacity ones); [failover] (default [true]) controls
     the SCHED010 coverage analysis on multi-operator architectures.
     With [recovery], the policy is checked against the adequation
-    schedule ({!Recovery_rules}, REC001–REC004).  With [bus_models],
-    the shared-bus network models are audited against the adequation
+    schedule ({!Recovery_rules}, REC001–REC006; [bus_models] prices
+    each retry attempt at its media WCRT).  With [bus_models], the
+    shared-bus network models are audited against the adequation
     schedule ({!Media_rules}, MEDIA001–MEDIA005: utilization bound,
     identifier uniqueness, worst-case frame response times vs the
-    consumers' read offsets).
+    consumers' read offsets).  With [retry_slack] (default [false])
+    and a retransmitting [recovery] policy, the adequation schedule is
+    first retimed through {!Aaa.Schedule.insert_slack} sized by
+    {!Exec.Recovery.worst_case_retry_time} — auditing the schedule as
+    it would actually deploy, so REC005 stays silent when the reserved
+    windows fit.
 
     Never raises: failures of the toolchain itself (diagram build,
     extraction, adequation) are reported as diagnostics — with their
@@ -69,6 +76,7 @@ val run_app :
   ?failover:bool ->
   ?recovery:Exec.Recovery.policy ->
   ?bus_models:(string * Media.Bus.config) list ->
+  ?retry_slack:bool ->
   Aaa.Sdx.t ->
   Diag.t list
 (** The SynDEx-side passes (algorithm → architecture → mapping →

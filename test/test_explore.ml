@@ -261,6 +261,73 @@ let persist_tests =
               (fun k -> check_true k (Cache.find_opt c2 ~key:k = Some k))
               keys;
             Cache.close c2));
+    test "compact rewrites only the live entries and a reload agrees" (fun () ->
+        with_log (fun path ->
+            let c, _ = open_str ~capacity:4 path in
+            (* bloat the log: replacements and evictions leave dead records *)
+            List.iter (fun k -> Cache.add c ~key:k k) [ "a"; "b"; "c"; "d" ];
+            List.iter (fun k -> Cache.add c ~key:k (k ^ "2")) [ "a"; "b"; "c"; "d" ];
+            List.iter (fun k -> Cache.add c ~key:k k) [ "e"; "f" ];
+            Cache.flush c;
+            let before = (Unix.stat path).Unix.st_size in
+            let written = Cache.compact c in
+            check_int "one record per live entry" (Cache.stats c).Cache.size written;
+            let after = (Unix.stat path).Unix.st_size in
+            check_true "log shrank" (after < before);
+            Cache.close c;
+            let c2, loaded = open_str ~capacity:4 path in
+            check_int "reload sees exactly the live set" written loaded;
+            check_true "evicted entries stayed gone"
+              (Cache.find_opt c2 ~key:"a" = None && Cache.find_opt c2 ~key:"b" = None);
+            check_true "window kept, latest values"
+              (Cache.find_opt c2 ~key:"c" = Some "c2"
+              && Cache.find_opt c2 ~key:"d" = Some "d2"
+              && Cache.find_opt c2 ~key:"e" = Some "e"
+              && Cache.find_opt c2 ~key:"f" = Some "f");
+            (* appends after a compaction still round-trip *)
+            Cache.add c2 ~key:"g" "after";
+            Cache.close c2;
+            let c3, _ = open_str ~capacity:8 path in
+            check_true "post-compaction append survives"
+              (Cache.find_opt c3 ~key:"g" = Some "after");
+            Cache.close c3));
+    test "the threshold triggers compaction on its own" (fun () ->
+        with_log (fun path ->
+            let c = Cache.create ~capacity:2 () in
+            ignore
+              (Cache.open_backing ~compact_threshold:64 c ~path ~encode:Fun.id
+                 ~decode:Fun.id);
+            (* with a 2-entry window every insertion past the threshold
+               evicts, so the log would grow without bound uncompacted *)
+            for i = 1 to 200 do
+              Cache.add c ~key:(Printf.sprintf "k%03d" i) (String.make 8 'x')
+            done;
+            Cache.flush c;
+            let size = (Unix.stat path).Unix.st_size in
+            check_true "log stays near the live window, not 200 records"
+              (size < 1024);
+            Cache.close c;
+            let c2, loaded = open_str ~capacity:2 path in
+            (* the log holds the last rewrite's live records plus the
+               few appends since — far from the 200 inserted *)
+            check_true "replay stays near the live window" (loaded < 20);
+            check_int "table converges to the window" 2 (Cache.stats c2).Cache.size;
+            check_true "newest kept" (Cache.find_opt c2 ~key:"k200" <> None);
+            Cache.close c2);
+        check_raises_invalid "negative threshold" (fun () ->
+            with_log (fun path ->
+                ignore
+                  (Cache.open_backing ~compact_threshold:(-1) (Cache.create ())
+                     ~path ~encode:Fun.id ~decode:Fun.id))));
+    test "compact is a no-op on an unbacked or closed cache" (fun () ->
+        let c = Cache.create () in
+        Cache.add c ~key:"k" "v";
+        check_int "unbacked" 0 (Cache.compact c);
+        with_log (fun path ->
+            let c2, _ = open_str path in
+            Cache.add c2 ~key:"k" "v";
+            Cache.close c2;
+            check_int "closed" 0 (Cache.compact c2)));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -554,6 +554,265 @@ let robustness_tests =
         check_true "cost column" (contains md "post-switch cost"));
   ]
 
+(* ------------------------------------------------------------------ *)
+
+module Standby = Exec.Standby
+
+(* the fork/join fixture again: every single-operator failover is
+   feasible there, so P0 has a standby plan to run concurrently *)
+let standby_fj =
+  lazy
+    (let alg, arch, d, nominal, exe = fj () in
+     let table =
+       Degrade.failover_table ~algorithm:alg ~architecture:arch ~durations:d ~nominal ()
+     in
+     match Degrade.standby_plan_for table ~nominal ~operator:"P0" with
+     | Some plan -> (arch, d, exe, plan)
+     | None -> failwith "expected a feasible standby plan for P0")
+
+let standby_config ?(injection = Injection.none) ?(iterations = 12) d =
+  {
+    Machine.default_config with
+    law = TL.Wcet;
+    iterations;
+    durations = Some d;
+    injection;
+    recovery = Recovery.make ~period:0.5 ();
+  }
+
+let standby_tests =
+  [
+    test "zero faults: every vote is primary and nothing takes over" (fun () ->
+        let _, d, exe, plan = Lazy.force standby_fj in
+        let config = standby_config ~iterations:10 d in
+        let tr = Standby.run ~config ~protects:"P0" ~standby:plan.Degrade.executive exe in
+        let p, s, h = Standby.tally tr in
+        check_int "all primary" 10 p;
+        check_int "no standby votes" 0 s;
+        check_int "no held votes" 0 h;
+        check_true "no takeover" (tr.Standby.takeover = None);
+        let plain = Machine.run ~config exe in
+        List.iter
+          (fun (op, voted) ->
+            check_true "voted instants equal the plain executive's"
+              (compare voted (Machine.instants plain op) = 0))
+          (Standby.actuated_instants tr));
+    test "a fail-stop takes over with zero blackout and pins on confirmation" (fun () ->
+        let arch, d, exe, plan = Lazy.force standby_fj in
+        let inj =
+          Scenario.injection
+            (Scenario.make ~name:"kill_P0" ~seed:9
+               [ Scenario.Processor_failstop { operator = "P0"; at = 0.9 } ])
+            ~architecture:arch
+        in
+        let config = standby_config ~injection:inj d in
+        let tr = Standby.run ~config ~protects:"P0" ~standby:plan.Degrade.executive exe in
+        let k =
+          match tr.Standby.takeover with
+          | None -> Alcotest.fail "expected a takeover"
+          | Some (k, t) ->
+              (* the release spanning the 0.9 failure already votes
+                 standby: no blackout period between the streams *)
+              check_true "takeover at the failing release" (k <= 2);
+              check_true "actuation instant dated" (Float.is_finite t);
+              k
+        in
+        let votes = Standby.votes tr in
+        Array.iteri
+          (fun i v ->
+            if i < k then check_true "primary before the failure" (v = Standby.Primary)
+            else check_true "standby from the takeover on" (v = Standby.Standby))
+          votes;
+        check_int "one decision per iteration" config.Machine.iterations
+          (Array.length tr.Standby.decisions);
+        check_true "the voter's pin is dated on heartbeat evidence"
+          (List.exists
+             (function
+               | Recovery.Voter_switched { operator = "P0"; _ } -> true | _ -> false)
+             tr.Standby.events);
+        check_true "confirmation precedes it in the same timeline"
+          (List.exists
+             (function
+               | Recovery.Failstop_confirmed { operator = "P0"; _ } -> true
+               | _ -> false)
+             tr.Standby.events);
+        check_true "events chronological"
+          (List.sort Recovery.compare_event tr.Standby.events = tr.Standby.events);
+        (* the whole construction reproduces bit-for-bit (structural
+           compare: Held decisions date their instant nan) *)
+        let again =
+          Standby.run ~config ~protects:"P0" ~standby:plan.Degrade.executive exe
+        in
+        check_true "decisions reproduce" (compare tr.Standby.decisions again.Standby.decisions = 0);
+        check_true "events reproduce" (compare tr.Standby.events again.Standby.events = 0));
+    test "protects must name an operator of the primary architecture" (fun () ->
+        let _, d, exe, plan = Lazy.force standby_fj in
+        check_raises_invalid "unknown operator" (fun () ->
+            ignore
+              (Standby.run ~config:(standby_config d) ~protects:"P9"
+                 ~standby:plan.Degrade.executive exe)));
+    qtest "zero faults: the voted stream is the plain executive's, bit for bit" ~count:30
+      QCheck2.Gen.(pair (int_range 0 100_000) (int_range 1 12))
+      (fun (seed, iterations) ->
+        let _, d, exe, plan = Lazy.force standby_fj in
+        let config =
+          {
+            Machine.default_config with
+            iterations;
+            seed;
+            durations = Some d;
+            recovery = Recovery.make ~period:0.5 ();
+          }
+        in
+        let tr = Standby.run ~config ~protects:"P0" ~standby:plan.Degrade.executive exe in
+        let plain = Machine.run ~config exe in
+        let p, s, h = Standby.tally tr in
+        p = iterations && s = 0 && h = 0
+        && tr.Standby.takeover = None
+        && List.for_all
+             (fun (op, voted) -> compare voted (Machine.instants plain op) = 0)
+             (Standby.actuated_instants tr));
+  ]
+
+let standby_summary =
+  lazy
+    (let architecture = dc_arch () in
+     let scenarios =
+       [
+         Scenario.make ~name:"failstop_P0" ~seed:42
+           [ Scenario.Processor_failstop { operator = "P0"; at = 0.2 } ];
+       ]
+     in
+     Robustness.evaluate ~iterations:40 ~standby:true
+       ~recovery:(Recovery.make ~period:0.05 ())
+       ~design:(dc_design ()) ~architecture ~durations:(dc_durations ()) ~scenarios ())
+
+let standby_robustness_tests =
+  [
+    test "the three-way comparison favours the hot standby" (fun () ->
+        let s = Lazy.force standby_summary in
+        let o = List.hd s.Robustness.outcomes in
+        match o.Robustness.recovery with
+        | Some { Robustness.standby = Some sb; _ } ->
+            check_int "every period voted" 40
+              (sb.Robustness.vote_primary + sb.Robustness.vote_standby
+             + sb.Robustness.vote_held);
+            check_true "takeover happened" (sb.Robustness.takeover <> None);
+            (match
+               ( sb.Robustness.standby_post_cost,
+                 sb.Robustness.switch_post_cost,
+                 sb.Robustness.frozen_post_cost )
+             with
+            | Some st, Some sw, Some fr ->
+                check_true "hot standby strictly below blackout-then-switch" (st < sw);
+                (* freezing can win on a short window (the held u happens
+                   to park the plant near the reference); the acceptance
+                   bar is only standby vs switch *)
+                check_true "frozen cost finite" (Float.is_finite fr)
+            | _ -> Alcotest.fail "expected all three post-failure costs");
+            check_int "full vote log kept" 40 (List.length sb.Robustness.decisions)
+        | _ -> Alcotest.fail "expected a standby outcome");
+    test "the markdown report renders the standby table and vote log" (fun () ->
+        let s = Lazy.force standby_summary in
+        let md = Fault.Fault_report.markdown_section s in
+        check_true "section present" (contains md "### Hot standby");
+        check_true "vote log present" (contains md "Vote log — failstop_P0");
+        check_true "switch evidence listed" (contains md "evidence:");
+        check_true "three-way cost column"
+          (contains md "post-failure cost (standby / switch / frozen)"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let slack_of_policy p (c : Sched.comm_slot) =
+  Recovery.worst_case_retry_time p ~transfer_duration:c.Sched.cm_duration
+
+let slack_tests =
+  [
+    test "insert_slack reserves the retry window on every transfer" (fun () ->
+        let _, _, _, sched, _ = dist_chain () in
+        let p = Recovery.make ~heartbeat_timeout:0. ~period:0.1 () in
+        let slacked = Sched.insert_slack ~slack_of:(slack_of_policy p) sched in
+        List.iter
+          (fun (c : Sched.comm_slot) ->
+            check_true "window at least the worst retry time"
+              (Sched.retry_slack c +. 1e-9 >= slack_of_policy p c);
+            check_true "reads never precede completion"
+              (Sched.read_offset c +. 1e-9 >= c.Sched.cm_start +. c.Sched.cm_duration))
+          slacked.Sched.comm;
+        check_true "starts only move later" (slacked.Sched.makespan >= sched.Sched.makespan);
+        check_true "still fits the period" (Sched.fits_period slacked);
+        check_false "the retimed schedule revalidates"
+          (Verify.Diag.has_errors (Verify.Sched_rules.check slacked)));
+    test "SCHED012 rejects a read planned before the transfer completes" (fun () ->
+        let _, _, _, sched, _ = dist_chain () in
+        let early =
+          List.map
+            (fun (c : Sched.comm_slot) -> { c with Sched.cm_read = c.Sched.cm_start })
+            sched.Sched.comm
+        in
+        let forged = { sched with Sched.comm = early } in
+        let diags = Verify.Sched_rules.check forged in
+        check_true "SCHED012 raised" (has "SCHED012" diags);
+        check_true "as an error" (Verify.Diag.has_errors diags);
+        check_raises_invalid "make refuses the forged fixture" (fun () ->
+            ignore
+              (Sched.make ~algorithm:sched.Sched.algorithm
+                 ~architecture:sched.Sched.architecture ~comp:sched.Sched.comp
+                 ~comm:early)));
+    test "the static-table executor samples at the slacked read offsets" (fun () ->
+        let _, _, _, sched, _ = dist_chain () in
+        let p = Recovery.make ~heartbeat_timeout:0. ~period:0.1 () in
+        let slacked = Sched.insert_slack ~slack_of:(slack_of_policy p) sched in
+        let exe = Aaa.Codegen.generate slacked in
+        let inj = Injection.make ~transfer_lost:always_lost () in
+        let tr =
+          Async.run
+            ~config:{ Async.default_config with iterations = 20; injection = inj;
+                      Async.recovery = p }
+            exe
+        in
+        check_int "every drop recovered" 40 tr.Async.recovered_transfers;
+        (* the reserved window absorbs the retry: unlike the unslacked
+           schedule, the planned reads now land after the retried
+           payload, so freshness holds *)
+        check_int "no freshness violations" 0 tr.Async.violations);
+    test "REC005 fires on the unslacked schedule and insert_slack silences it" (fun () ->
+        let _, _, _, sched, _ = dist_chain () in
+        let p = Recovery.make ~heartbeat_timeout:0. ~period:0.1 () in
+        let before = Verify.Recovery_rules.check p sched in
+        check_true "REC005 before" (has "REC005" before);
+        check_false "a missing declaration is only a warning" (has "REC006" before);
+        let slacked = Sched.insert_slack ~slack_of:(slack_of_policy p) sched in
+        let after = Verify.Recovery_rules.check p slacked in
+        check_false "REC005 silenced" (has "REC005" after);
+        check_false "no REC006 either" (has "REC006" after));
+    test "REC006 rejects a declared-but-insufficient window (forged fixture)" (fun () ->
+        let _, _, _, sched, _ = dist_chain () in
+        (* declare a 0.1 ms window, then verify against a policy whose
+           worst-case retry time dwarfs it *)
+        let tiny = Sched.insert_slack ~slack_of:(fun _ -> 1e-4) sched in
+        let greedy = Recovery.make ~max_retries:5 ~backoff_base:0.01 ~period:0.1 () in
+        let diags = Verify.Recovery_rules.check greedy tiny in
+        check_true "REC006 raised" (has "REC006" diags);
+        check_true "as an error" (Verify.Diag.has_errors diags);
+        check_false "not the undeclared warning" (has "REC005" diags));
+    test "run_all ~retry_slack audits the slacked deployment" (fun () ->
+        let design = dc_design () in
+        (* the two-processor deployment: transfers exist, so the
+           default policy's retries overrun the planned reads *)
+        let architecture = dc_arch () and durations = dc_durations () in
+        let p = Recovery.make ~period:0.05 () in
+        let plain = Verify.run_all ~architecture ~durations ~recovery:p design in
+        check_true "REC005 on the unslacked deployment" (has "REC005" plain);
+        let slacked =
+          Verify.run_all ~architecture ~durations ~recovery:p ~retry_slack:true design
+        in
+        check_false "retry_slack closes the gap" (has "REC005" slacked);
+        check_false "and declares enough" (has "REC006" slacked);
+        check_false "no errors introduced" (Verify.Diag.has_errors slacked));
+  ]
+
 let suites =
   [
     ("recovery.policy", policy_tests);
@@ -562,4 +821,7 @@ let suites =
     ("recovery.clip", clip_tests);
     ("recovery.verify", verify_tests);
     ("recovery.robustness", robustness_tests);
+    ("recovery.standby", standby_tests);
+    ("recovery.standby_robustness", standby_robustness_tests);
+    ("recovery.slack", slack_tests);
   ]

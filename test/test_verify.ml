@@ -290,6 +290,7 @@ let duo_case () =
       cm_hop = 0;
       cm_start = start;
       cm_duration = 0.1;
+      cm_read = start +. 0.1;
     }
   in
   (alg, arch, p0, p1, s, a, comm)
