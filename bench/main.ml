@@ -354,9 +354,23 @@ let bench_ablation_delay_jittered =
               dc_design single_impl)))
 
 (* ------------------------------------------------------------------ *)
-(* exploration-engine benches: the same >= 32-candidate grid through a
-   1-domain pool and a multi-domain pool (identical results; the gap
-   is the engine's parallel speedup on multi-core hosts) *)
+(* exploration-engine benches: one irregular-duration 32-candidate
+   grid (seeds axis innermost, so cache hits and engine reuse both
+   apply) through three paths:
+
+   - explore_throughput: the streamed work-stealing map-reduce with
+     per-domain engine reuse and a fresh cache per run (cold) — the
+     headline candidates/sec number;
+   - explore_throughput_warm: same pipeline against a shared
+     pre-filled cache (every candidate replays, measuring the
+     memo/reduce overhead floor);
+   - explore_chunked_rebuild: the pre-map-reduce path — eager list,
+     static chunks, adequation + diagram + engine rebuilt for every
+     candidate (engine_reuse:false) — the speedup baseline.
+
+   All three produce bit-for-bit identical points
+   (test/test_explore.ml enforces it); candidates/sec lands in the
+   JSON dump via [explore_candidates]. *)
 
 let explore_design =
   Lifecycle.Design.pid_loop ~name:"bench_dc"
@@ -365,7 +379,17 @@ let explore_design =
     ~gains:{ Control.Pid.kp = 60.; ki = 80.; kd = 0. }
     ~ts:0.05 ~reference:1. ~horizon:1.0 ()
 
-let explore_grid =
+(* screening variant: design-space sweeps triage large grids with a
+   short horizon, where per-candidate cost is build-dominated rather
+   than run-dominated — the regime the engine-reuse path targets *)
+let explore_screen_design =
+  Lifecycle.Design.pid_loop ~name:"bench_dc_screen"
+    ~plant:(Control.Plants.dc_motor Control.Plants.default_dc_motor)
+    ~x0:[| 0.; 0. |]
+    ~gains:{ Control.Pid.kp = 60.; ki = 80.; kd = 0. }
+    ~ts:0.05 ~reference:1. ~horizon:0.25 ()
+
+let explore_platforms =
   let platform label price architecture operators =
     let durations_of frac =
       let ts = 0.05 in
@@ -385,31 +409,70 @@ let explore_grid =
     in
     { Explore.Grid.label; price; architecture; durations_of }
   in
-  Explore.Grid.candidates
-    ~fractions:[ 0.2; 0.4; 0.6; 0.8 ]
-    ~seeds:[ 41; 42; 43; 44 ]
-    ~platforms:
-      [
-        platform "mcu" 1.0 (Arch.single ()) [ "P0" ];
-        platform "duo" 2.2 two_proc [ "P0"; "P1" ];
-      ]
-    ()
+  [
+    platform "mcu" 1.0 (Arch.single ()) [ "P0" ];
+    platform "duo" 2.2 two_proc [ "P0"; "P1" ];
+  ]
 
-let explore_pool_seq = Explore.Pool.create ~domains:1 ()
+let explore_fractions = [ 0.2; 0.4; 0.6; 0.8 ]
+let explore_seeds = List.init 16 (fun i -> 41 + i)
+
+let explore_grid =
+  Explore.Grid.candidates ~fractions:explore_fractions ~seeds:explore_seeds
+    ~platforms:explore_platforms ()
+
+let explore_grid_seq () =
+  Explore.Grid.seq ~fractions:explore_fractions ~seeds:explore_seeds
+    ~platforms:explore_platforms ()
+
+(* the number of evaluations each explore bench performs per run —
+   dump_json derives candidates/sec from it *)
+let explore_candidates =
+  let n = List.length explore_grid in
+  [
+    ("explore_throughput", n);
+    ("explore_throughput_warm", n);
+    ("explore_chunked_rebuild", n);
+  ]
+
 let explore_pool_par =
   Explore.Pool.create ~domains:(max 2 (Domain.recommended_domain_count ())) ()
 
-let explore_bench name pool =
-  Test.make ~name
+let bench_explore_throughput =
+  Test.make ~name:"explore_throughput"
     (Staged.stage (fun () ->
          (* fresh cache each run: the bench measures evaluation, not replay *)
          let cache = Explore.Cache.create () in
          ignore
-           (Lifecycle.Explorer.evaluate ~pool ~cache ~designs:[ explore_design ]
-              ~candidates:explore_grid ())))
+           (Lifecycle.Explorer.evaluate_seq ~pool:explore_pool_par ~cache
+              ~designs:[ explore_screen_design ]
+              ~candidates:(explore_grid_seq ()) ())))
 
-let bench_explore_seq = explore_bench "explore_seq" explore_pool_seq
-let bench_explore_par = explore_bench "explore_par" explore_pool_par
+let explore_warm_cache = lazy (
+  let cache = Explore.Cache.create () in
+  ignore
+    (Lifecycle.Explorer.evaluate_seq ~pool:explore_pool_par ~cache
+       ~designs:[ explore_screen_design ]
+       ~candidates:(explore_grid_seq ()) ());
+  cache)
+
+let bench_explore_throughput_warm =
+  Test.make ~name:"explore_throughput_warm"
+    (Staged.stage (fun () ->
+         let cache = Lazy.force explore_warm_cache in
+         ignore
+           (Lifecycle.Explorer.evaluate_seq ~pool:explore_pool_par ~cache
+              ~designs:[ explore_screen_design ]
+              ~candidates:(explore_grid_seq ()) ())))
+
+let bench_explore_chunked_rebuild =
+  Test.make ~name:"explore_chunked_rebuild"
+    (Staged.stage (fun () ->
+         let cache = Explore.Cache.create () in
+         ignore
+           (Lifecycle.Explorer.evaluate ~pool:explore_pool_par ~cache
+              ~engine_reuse:false ~designs:[ explore_screen_design ]
+              ~candidates:explore_grid ())))
 
 (* ------------------------------------------------------------------ *)
 (* serve-batch benches: the same 32-scenario Monte-Carlo batch through
@@ -649,8 +712,9 @@ let tests =
     bench_ablation_ode_rkf45;
     bench_ablation_delay_static;
     bench_ablation_delay_jittered;
-    bench_explore_seq;
-    bench_explore_par;
+    bench_explore_throughput;
+    bench_explore_throughput_warm;
+    bench_explore_chunked_rebuild;
     bench_serve_batch_shared;
     bench_serve_batch_rebuild;
     bench_sim_hot_loop_events;
@@ -692,7 +756,17 @@ let dump_json results =
   | None -> ()
   | Some path ->
       let oc = open_out path in
-      let row (name, t_ns) = Printf.sprintf "  {\"name\": %S, \"time_ns\": %.1f}" name t_ns in
+      let row (name, t_ns) =
+        (* explore benches also report throughput; extra fields after
+           time_ns are ignored by scripts/compare_bench.sh *)
+        match List.assoc_opt name explore_candidates with
+        | Some n when t_ns > 0. ->
+            Printf.sprintf
+              "  {\"name\": %S, \"time_ns\": %.1f, \"candidates_per_sec\": %.1f}"
+              name t_ns
+              (float_of_int n /. (t_ns /. 1e9))
+        | _ -> Printf.sprintf "  {\"name\": %S, \"time_ns\": %.1f}" name t_ns
+      in
       output_string oc
         ("[\n" ^ String.concat ",\n" (List.map row (List.rev results)) ^ "\n]\n");
       close_out oc;

@@ -1263,12 +1263,132 @@ let explore () =
   in
   Printf.printf "pass 1 (cold cache): %.3f s; pass 2 (warm cache): %.3f s (%s)\n" t1 t2
     (if points = points2 then "identical points" else "POINTS DIFFER");
+  let n_evals = List.length points in
+  Printf.printf
+    "throughput: %.0f candidates/sec cold, %.0f candidates/sec cache-warm\n"
+    (float_of_int n_evals /. t1)
+    (float_of_int n_evals /. t2);
+  let st = Explore.Cache.stats cache in
+  Printf.printf "cache: %d hits, %d misses over both passes\n" st.Explore.Cache.hits
+    st.Explore.Cache.misses;
   Format.printf "cache after both passes: %a@." Explore.Cache.pp_stats
     (Explore.Cache.stats cache);
   print_string (Lifecycle.Explorer.markdown_section ~cache points);
   let front = Lifecycle.Explorer.pareto points in
   Printf.printf "\nCSV export: %d rows (Explorer.csv); front holds %d of %d points\n"
     (List.length points) (List.length front) (List.length points)
+
+(* ------------------------------------------------------------------ *)
+(* explore-scale: the streamed map-reduce sweep at grid sizes no
+   eager candidate list could hold — anytime Pareto snapshots while
+   it runs, then a subsampled bit-for-bit check of the streamed
+   work-stealing engine-reuse pipeline against the
+   rebuild-per-candidate reference *)
+
+(* total candidate count; set by --candidates (CI smoke uses 10^4,
+   the EXPERIMENTS.md entry is recorded at 10^5) *)
+let explore_scale_target = ref 10_000
+
+let explore_scale () =
+  header "explore-scale: streamed sweep — work stealing, anytime front, subsample check";
+  (* short screening horizon: triaging a huge grid is the regime the
+     streamed engine-reuse pipeline targets *)
+  let design =
+    Lifecycle.Design.pid_loop ~name:"dc_motor_scale"
+      ~plant:(Control.Plants.dc_motor Control.Plants.default_dc_motor)
+      ~x0:[| 0.; 0. |] ~gains:snappy_gains ~ts:0.05 ~reference:1. ~horizon:0.5 ()
+  in
+  let shares = [ ("reference", 0.05); ("sample_y", 0.2); ("pid", 0.6); ("hold_u", 0.15) ] in
+  let durations_for operators scale =
+    let d = Dur.create () in
+    List.iter
+      (fun (op, share) ->
+        List.iter
+          (fun operator ->
+            Dur.set d ~op ~operator (share *. scale *. 0.05);
+            Dur.set_bcet d ~op ~operator (0.4 *. share *. scale *. 0.05))
+          operators)
+      shares;
+    d
+  in
+  let platforms =
+    [
+      {
+        Explore.Grid.label = "mcu";
+        price = 1.0;
+        architecture = Arch.single ~proc_name:"mcu" ();
+        durations_of = (fun scale -> durations_for [ "mcu" ] scale);
+      };
+      {
+        Explore.Grid.label = "duo";
+        price = 2.2;
+        architecture = dc_two_proc ();
+        durations_of = (fun scale -> durations_for [ "P0"; "P1" ] scale);
+      };
+    ]
+  in
+  let fractions = [ 0.3; 0.6; 0.9 ] in
+  let cells = List.length platforms * List.length fractions in
+  let n_seeds = max 1 ((max 1 !explore_scale_target + cells - 1) / cells) in
+  let seeds = List.init n_seeds (fun i -> 900 + i) in
+  let candidates () = Explore.Grid.seq ~fractions ~seeds ~platforms () in
+  let total = Explore.Grid.count ~fractions ~seeds ~platforms () in
+  let pool = Explore.Pool.default () in
+  Printf.printf
+    "grid: %d cells x %d seeds = %d candidates, streamed (never materialized), pool of %d domain(s)\n"
+    cells n_seeds total
+    (Explore.Pool.domains pool);
+  let snapshot_every = max 1 (total / 8) in
+  let sample_every = max 1 (total / 16) in
+  let t0 = Unix.gettimeofday () in
+  let summary =
+    Lifecycle.Explorer.evaluate_seq ~pool ~snapshot_every
+      ~snapshot:(fun p ->
+        Printf.printf "anytime snapshot: evaluated=%d feasible=%d front=%d\n%!"
+          p.Lifecycle.Explorer.p_evaluated p.Lifecycle.Explorer.p_feasible
+          (List.length p.Lifecycle.Explorer.p_front))
+      ~sample_every ~designs:[ design ]
+      ~candidates:(candidates ()) ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "evaluated %d candidates in %.2f s: %.0f candidates/sec (feasible %d, infeasible %d, front %d)\n"
+    summary.Lifecycle.Explorer.s_evaluated dt
+    (float_of_int summary.Lifecycle.Explorer.s_evaluated /. dt)
+    summary.Lifecycle.Explorer.s_feasible summary.Lifecycle.Explorer.s_infeasible
+    (List.length summary.Lifecycle.Explorer.s_front);
+  if summary.Lifecycle.Explorer.s_front = [] then begin
+    Printf.printf "FAIL: empty Pareto front\n";
+    exit 1
+  end;
+  (* bit-for-bit subsample check: re-evaluate every retained sample
+     through the rebuild-per-candidate reference path *)
+  let nth i =
+    match Seq.uncons (Seq.drop i (candidates ())) with
+    | Some (c, _) -> c
+    | None -> assert false
+  in
+  let checked =
+    List.map
+      (fun (i, p) ->
+        let reference =
+          Lifecycle.Explorer.evaluate ~pool ~engine_reuse:false
+            ~designs:[ design ]
+            ~candidates:[ nth i ] ()
+        in
+        (i, compare reference [ p ] = 0))
+      summary.Lifecycle.Explorer.s_samples
+  in
+  let ok = List.for_all snd checked in
+  Printf.printf
+    "subsample check (%d points vs rebuild-per-candidate reference): %b\n"
+    (List.length checked) ok;
+  if not ok then begin
+    List.iter
+      (fun (i, good) -> if not good then Printf.printf "  MISMATCH at candidate %d\n" i)
+      checked;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* networked: N nodes sharing one CAN-like bus, arbitration jitter *)
@@ -1461,6 +1581,7 @@ let experiments =
     ("standby", standby);
     ("exploration", exploration);
     ("explore", explore);
+    ("explore-scale", explore_scale);
     ("montecarlo", montecarlo);
     ("codegen-exec", codegen_exec);
     ("networked", networked);
@@ -1541,9 +1662,14 @@ let nodes_arg =
   let doc = "Processor count for the $(b,networked) experiment." in
   Arg.(value & opt int 8 & info [ "nodes" ] ~docv:"N" ~doc)
 
-let run_all_experiments runs nodes =
+let candidates_arg =
+  let doc = "Grid size for the $(b,explore-scale) experiment." in
+  Arg.(value & opt int 10_000 & info [ "candidates" ] ~docv:"N" ~doc)
+
+let run_all_experiments runs nodes candidates =
   explore_runs := runs;
   networked_nodes := nodes;
+  explore_scale_target := candidates;
   List.iter (fun (_, f) -> f ()) experiments
 
 let experiment_cmds =
@@ -1552,17 +1678,18 @@ let experiment_cmds =
       let doc = Printf.sprintf "Run the %s experiment." name in
       Cmd.v (Cmd.info name ~doc)
         Term.(
-          const (fun runs nodes ->
+          const (fun runs nodes candidates ->
               explore_runs := runs;
               networked_nodes := nodes;
+              explore_scale_target := candidates;
               f ())
-          $ runs_arg $ nodes_arg))
+          $ runs_arg $ nodes_arg $ candidates_arg))
     experiments
 
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in sequence.")
-    Term.(const run_all_experiments $ runs_arg $ nodes_arg)
+    Term.(const run_all_experiments $ runs_arg $ nodes_arg $ candidates_arg)
 
 let json_arg =
   let doc = "Also write the diagnostics as a JSON array to $(docv)." in
@@ -1578,7 +1705,7 @@ let lint_cmd =
 
 let cmd =
   let doc = "Regenerate the paper's figures as measured experiments" in
-  let default = Term.(const run_all_experiments $ runs_arg $ nodes_arg) in
+  let default = Term.(const run_all_experiments $ runs_arg $ nodes_arg $ candidates_arg) in
   Cmd.group ~default
     (Cmd.info "experiments" ~doc)
     (lint_cmd :: all_cmd :: experiment_cmds)

@@ -46,86 +46,257 @@ let candidate_key ?strategy design alg_key (c : Grid.candidate) durations =
         Key.strategy strategy;
       ])
 
-let evaluate ?pool ?cache ?strategy ~designs ~candidates () =
-  if designs = [] then invalid_arg "Explorer.evaluate: no designs";
-  if candidates = [] then invalid_arg "Explorer.evaluate: no candidates";
+(* ------------------------------------------------------------------ *)
+(* per-domain implementation reuse
+
+   Along the seeds axis of a grid, consecutive candidates share the
+   (architecture, durations, strategy) cell and differ only in the
+   jitter seed — so the adequation can be done once per cell per
+   domain, and the co-simulation engine compiled once per schedule
+   ([Session]) and reseeded per candidate.  One slot per domain is
+   enough because the grid's row-major order keeps seeds innermost. *)
+
+type mapping = Mapped of Methodology.implementation | Unmappable
+
+let impl_slot : (string * mapping) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let impl_key ?strategy design alg_key (c : Grid.candidate) durations =
+  Key.digest
+    ("scilife.mapping"
+     :: design_fields design alg_key
+    @ [
+        Key.architecture c.Grid.platform.Grid.architecture;
+        Key.durations durations;
+        Key.strategy strategy;
+      ])
+
+let obtain_mapping ?strategy design alg_key (c : Grid.candidate) durations =
+  let k = impl_key ?strategy design alg_key c durations in
+  let r = Domain.DLS.get impl_slot in
+  match !r with
+  | Some (k', m) when String.equal k' k -> m
+  | _ ->
+      let m =
+        match
+          Methodology.implement ?strategy ~design
+            ~architecture:c.Grid.platform.Grid.architecture ~durations ()
+        with
+        | impl -> Mapped impl
+        | exception Aaa.Adequation.Infeasible _ -> Unmappable
+      in
+      r := Some (k, m);
+      m
+
+let infeasible_outcome =
+  {
+    o_cost = Float.infinity;
+    o_io_latency = Float.infinity;
+    o_makespan = Float.infinity;
+    o_fits_period = false;
+    o_infeasible = true;
+  }
+
+let outcome_of_impl design mode (impl : Methodology.implementation) ~engine_reuse =
+  let static = impl.Methodology.static in
+  let cost =
+    match mode with
+    | Translator.Delay_graph.Jittered { law; bcet_frac; seed } when engine_reuse ->
+        (* reseed + reset one compiled session instead of rebuilding
+           the diagram and delay graph — bit-for-bit equal to the
+           rebuild by the [Session] determinism contract *)
+        let skey = Session.key ~law ~bcet_frac ~design ~implementation:impl () in
+        let s =
+          Session.obtain ~key:skey ~create:(fun () ->
+              Session.create ~law ~bcet_frac ~design ~implementation:impl ())
+        in
+        Session.cost s ~seed
+    | mode ->
+        (design : Design.t).Design.cost
+          (Methodology.simulate_implemented ~mode design impl)
+  in
+  {
+    o_cost = cost;
+    o_io_latency = Translator.Temporal_model.io_latency static;
+    o_makespan = static.Translator.Temporal_model.makespan;
+    o_fits_period = static.Translator.Temporal_model.fits_period;
+    o_infeasible = false;
+  }
+
+let eval_job ?cache ?strategy ~engine_reuse
+    ((design : Design.t), alg_key, ideal_cost, (c : Grid.candidate)) =
+  let memo key f =
+    match cache with None -> f () | Some ca -> Explore.Cache.find_or_add ca ~key f
+  in
+  let durations = c.Grid.platform.Grid.durations_of c.Grid.fraction in
+  let o =
+    memo (candidate_key ?strategy design alg_key c durations) (fun () ->
+        if engine_reuse then
+          match obtain_mapping ?strategy design alg_key c durations with
+          | Unmappable -> infeasible_outcome
+          | Mapped impl -> outcome_of_impl design c.Grid.mode impl ~engine_reuse
+        else
+          match
+            Methodology.implement ?strategy ~design
+              ~architecture:c.Grid.platform.Grid.architecture ~durations ()
+          with
+          | impl -> outcome_of_impl design c.Grid.mode impl ~engine_reuse
+          | exception Aaa.Adequation.Infeasible _ -> infeasible_outcome)
+  in
+  {
+    design_name = design.Design.name;
+    ts = design.Design.ts;
+    platform = c.Grid.platform.Grid.label;
+    price = c.Grid.platform.Grid.price;
+    fraction = c.Grid.fraction;
+    mode = c.Grid.mode;
+    ideal_cost;
+    cost = o.o_cost;
+    degradation_pct =
+      Control.Metrics.degradation_pct ~ideal:ideal_cost ~actual:o.o_cost;
+    io_latency = o.o_io_latency;
+    makespan = o.o_makespan;
+    fits_period = o.o_fits_period;
+    infeasible = o.o_infeasible;
+  }
+
+let prepare ?pool ?cache designs =
   let pool = match pool with Some p -> p | None -> Explore.Pool.default () in
   let memo key f =
     match cache with None -> f () | Some c -> Explore.Cache.find_or_add c ~key f
   in
   (* one extraction + ideal co-simulation per design (the periods axis) *)
-  let prepared =
-    Explore.Pool.map pool
-      (fun (design : Design.t) ->
-        let _, algorithm, _ = Methodology.extract design in
-        let alg_key = Key.algorithm algorithm in
-        let ideal =
-          memo (ideal_key design alg_key) (fun () ->
-              {
-                o_cost = design.Design.cost (Methodology.simulate_ideal design);
-                o_io_latency = 0.;
-                o_makespan = 0.;
-                o_fits_period = true;
-                o_infeasible = false;
-              })
-        in
-        (design, alg_key, ideal.o_cost))
-      designs
-  in
+  Explore.Pool.map pool
+    (fun (design : Design.t) ->
+      let _, algorithm, _ = Methodology.extract design in
+      let alg_key = Key.algorithm algorithm in
+      let ideal =
+        memo (ideal_key design alg_key) (fun () ->
+            {
+              o_cost = design.Design.cost (Methodology.simulate_ideal design);
+              o_io_latency = 0.;
+              o_makespan = 0.;
+              o_fits_period = true;
+              o_infeasible = false;
+            })
+      in
+      (design, alg_key, ideal.o_cost))
+    designs
+
+let evaluate ?pool ?cache ?strategy ?(engine_reuse = true) ?chunk ~designs
+    ~candidates () =
+  if designs = [] then invalid_arg "Explorer.evaluate: no designs";
+  if candidates = [] then invalid_arg "Explorer.evaluate: no candidates";
+  let pool = match pool with Some p -> p | None -> Explore.Pool.default () in
+  let prepared = prepare ~pool ?cache designs in
   let jobs =
     List.concat_map
       (fun (design, alg_key, ideal_cost) ->
         List.map (fun c -> (design, alg_key, ideal_cost, c)) candidates)
       prepared
   in
-  Explore.Pool.map pool
-    (fun ((design : Design.t), alg_key, ideal_cost, (c : Grid.candidate)) ->
-      let durations = c.Grid.platform.Grid.durations_of c.Grid.fraction in
-      let o =
-        memo (candidate_key ?strategy design alg_key c durations) (fun () ->
-            match
-              Methodology.implement ?strategy ~design
-                ~architecture:c.Grid.platform.Grid.architecture ~durations ()
-            with
-            | impl ->
-                let static = impl.Methodology.static in
-                let cost =
-                  design.Design.cost
-                    (Methodology.simulate_implemented ~mode:c.Grid.mode design impl)
-                in
-                {
-                  o_cost = cost;
-                  o_io_latency = Translator.Temporal_model.io_latency static;
-                  o_makespan = static.Translator.Temporal_model.makespan;
-                  o_fits_period = static.Translator.Temporal_model.fits_period;
-                  o_infeasible = false;
-                }
-            | exception Aaa.Adequation.Infeasible _ ->
-                {
-                  o_cost = Float.infinity;
-                  o_io_latency = Float.infinity;
-                  o_makespan = Float.infinity;
-                  o_fits_period = false;
-                  o_infeasible = true;
-                })
-      in
-      {
-        design_name = design.Design.name;
-        ts = design.Design.ts;
-        platform = c.Grid.platform.Grid.label;
-        price = c.Grid.platform.Grid.price;
-        fraction = c.Grid.fraction;
-        mode = c.Grid.mode;
-        ideal_cost;
-        cost = o.o_cost;
-        degradation_pct =
-          Control.Metrics.degradation_pct ~ideal:ideal_cost ~actual:o.o_cost;
-        io_latency = o.o_io_latency;
-        makespan = o.o_makespan;
-        fits_period = o.o_fits_period;
-        infeasible = o.o_infeasible;
-      })
-    jobs
+  Explore.Pool.map ?chunk pool (eval_job ?cache ?strategy ~engine_reuse) jobs
+
+(* ------------------------------------------------------------------ *)
+(* streaming evaluation *)
+
+type progress = {
+  p_evaluated : int;
+  p_feasible : int;
+  p_infeasible : int;
+  p_front : point list;
+}
+
+type summary = {
+  s_evaluated : int;
+  s_feasible : int;
+  s_infeasible : int;
+  s_front : point list;
+  s_samples : (int * point) list;
+}
+
+type acc = {
+  a_count : int;
+  a_feasible : int;
+  a_infeasible : int;
+  a_front : point Explore.Pareto.Front.t;
+  a_samples : (int * point) list;  (* newest first *)
+}
+
+let point_feasible p = (not p.infeasible) && p.fits_period && Float.is_finite p.cost
+
+let front_points f =
+  Explore.Pareto.sort_by ~objective:(fun p -> p.price)
+    (Explore.Pareto.Front.elements f)
+
+let evaluate_seq ?pool ?cache ?strategy ?(engine_reuse = true) ?chunk
+    ?snapshot_every ?snapshot ?(sample_every = 0) ~designs ~candidates () =
+  if designs = [] then invalid_arg "Explorer.evaluate_seq: no designs";
+  let pool = match pool with Some p -> p | None -> Explore.Pool.default () in
+  let prepared = prepare ~pool ?cache designs in
+  let jobs =
+    Seq.concat_map
+      (fun (design, alg_key, ideal_cost) ->
+        Seq.map (fun c -> (design, alg_key, ideal_cost, c)) candidates)
+      (List.to_seq prepared)
+  in
+  let reduce a p =
+    (* runs strictly in input order on the submitting domain, so
+       [a_count] is the point's global index *)
+    let n = a.a_count in
+    let a =
+      if point_feasible p then
+        {
+          a with
+          a_count = n + 1;
+          a_feasible = a.a_feasible + 1;
+          a_front =
+            Explore.Pareto.Front.insert a.a_front [| p.price; p.cost |] p;
+        }
+      else
+        {
+          a with
+          a_count = n + 1;
+          a_infeasible = (a.a_infeasible + if p.infeasible then 1 else 0);
+        }
+    in
+    if sample_every > 0 && n mod sample_every = 0 then
+      { a with a_samples = (n, p) :: a.a_samples }
+    else a
+  in
+  let snapshot =
+    Option.map
+      (fun cb ~evaluated a ->
+        cb
+          {
+            p_evaluated = evaluated;
+            p_feasible = a.a_feasible;
+            p_infeasible = a.a_infeasible;
+            p_front = front_points a.a_front;
+          })
+      snapshot
+  in
+  let a =
+    Explore.Pool.map_reduce_seq ?chunk ?snapshot_every ?snapshot pool
+      ~map:(eval_job ?cache ?strategy ~engine_reuse)
+      ~reduce
+      ~init:
+        {
+          a_count = 0;
+          a_feasible = 0;
+          a_infeasible = 0;
+          a_front = Explore.Pareto.Front.empty;
+          a_samples = [];
+        }
+      jobs
+  in
+  {
+    s_evaluated = a.a_count;
+    s_feasible = a.a_feasible;
+    s_infeasible = a.a_infeasible;
+    s_front = front_points a.a_front;
+    s_samples = List.rev a.a_samples;
+  }
 
 let feasible points =
   List.filter (fun p -> (not p.infeasible) && p.fits_period && Float.is_finite p.cost) points

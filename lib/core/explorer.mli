@@ -41,6 +41,8 @@ val evaluate :
   ?pool:Explore.Pool.t ->
   ?cache:outcome Explore.Cache.t ->
   ?strategy:Aaa.Adequation.strategy ->
+  ?engine_reuse:bool ->
+  ?chunk:int ->
   designs:Design.t list ->
   candidates:Explore.Grid.candidate list ->
   unit ->
@@ -51,10 +53,68 @@ val evaluate :
     sub-problem is keyed by its canonical digest ({!Explore.Key}) and
     replayed on a hit.  Raises [Invalid_argument] on empty inputs.
 
+    With [engine_reuse] (the default) each domain reuses its last
+    adequation across the seeds axis of the grid and evaluates
+    jittered candidates by reseed + reset of one compiled
+    {!Session} per schedule, instead of re-implementing and
+    re-compiling per candidate — bit-for-bit the same points by the
+    Session determinism contract ([engine_reuse:false] restores the
+    rebuild-per-candidate path, as a reference and for benchmarks).
+    [chunk] overrides the pool's work-stealing chunk size.
+
     The cache key identifies the design by name, period, horizon and
     extracted algorithm graph — designs differing only inside their
     diagram-builder or cost closures must carry different names to
     share a cache soundly. *)
+
+type progress = {
+  p_evaluated : int;  (** candidates reduced so far *)
+  p_feasible : int;
+  p_infeasible : int;
+  p_front : point list;  (** current front, price-ascending *)
+}
+(** Anytime snapshot of a streaming sweep. *)
+
+type summary = {
+  s_evaluated : int;
+  s_feasible : int;
+  s_infeasible : int;  (** adequation found no mapping *)
+  s_front : point list;  (** final front, price-ascending *)
+  s_samples : (int * point) list;
+      (** every [sample_every]-th point with its global input index —
+          for bit-for-bit subsampled checks against a sequential
+          reference *)
+}
+(** Result of a streaming sweep.  The full point list is {e not}
+    retained — that is the point. *)
+
+val evaluate_seq :
+  ?pool:Explore.Pool.t ->
+  ?cache:outcome Explore.Cache.t ->
+  ?strategy:Aaa.Adequation.strategy ->
+  ?engine_reuse:bool ->
+  ?chunk:int ->
+  ?snapshot_every:int ->
+  ?snapshot:(progress -> unit) ->
+  ?sample_every:int ->
+  designs:Design.t list ->
+  candidates:Explore.Grid.candidate Seq.t ->
+  unit ->
+  summary
+(** Streaming map-reduce form of {!evaluate} for candidate spaces too
+    large to materialize: candidates are pulled from the (persistent,
+    replayable — e.g. {!Explore.Grid.seq}) sequence as domains run
+    dry, evaluated points are folded in input order into running
+    counters and an incremental Pareto front
+    ({!Explore.Pareto.Front}), and [snapshot] — when given — receives
+    an anytime {!progress} every [snapshot_every] evaluations
+    (default 4096).  With [sample_every > 0] every such point is
+    retained with its global index in [s_samples].  Deterministic:
+    counters, front, samples and snapshot cadence are bit-for-bit
+    identical to the sequential fold whatever the pool size.  The
+    candidate sequence is replayed once per design.  Raises
+    [Invalid_argument] on empty [designs]; an empty sequence yields
+    an empty summary. *)
 
 val feasible : point list -> point list
 (** Points that adequated, fit the period and have a finite cost. *)

@@ -36,14 +36,24 @@ let run ?(runs = 20) ?(base_seed = 1000) ?(law = Exec.Timing_law.Uniform)
               Explore.Key.float bcet_frac;
             ])
   in
+  (* per-seed evaluation reuses the calling domain's compiled session
+     (reseed + reset, bit-for-bit equal to the rebuild [cost_with]
+     did here before — the Session determinism contract) *)
+  let skey = lazy (Session.key ~law ~bcet_frac ~design ~implementation ()) in
+  let session_cost seed =
+    let s =
+      Session.obtain ~key:(Lazy.force skey) ~create:(fun () ->
+          Session.create ~law ~bcet_frac ~design ~implementation ())
+    in
+    Session.cost s ~seed
+  in
   let cost_of seed =
-    let mode = Translator.Delay_graph.Jittered { law; bcet_frac; seed } in
     match cache with
-    | None -> cost_with mode
+    | None -> session_cost seed
     | Some c ->
         Explore.Cache.find_or_add c
           ~key:(Explore.Key.digest [ Lazy.force problem_key; Explore.Key.int seed ])
-          (fun () -> cost_with mode)
+          (fun () -> session_cost seed)
   in
   let costs = Array.of_list (Explore.Pool.map pool cost_of (Array.to_list seeds)) in
   let static_cost = cost_with Translator.Delay_graph.Static_wcet in

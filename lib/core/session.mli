@@ -1,0 +1,68 @@
+(** Reusable compiled co-simulation sessions — one built diagram,
+    jittered graph of delays and compiled {!Sim.Engine} evaluated for
+    many seeds by reseed + reset instead of a rebuild per scenario.
+
+    This is the engine-reuse core shared by the serve layer's batches
+    ([Serve.Batch]) and the design-space explorer: compilation
+    dominates a single candidate evaluation (~ms vs ~100µs of actual
+    simulation on small designs), so sweeping seeds through one
+    session is the difference between rebuild-bound and
+    simulation-bound throughput.
+
+    Determinism contract: [cost s ~seed] is bit-for-bit equal to
+    evaluating the same design on a freshly built engine with
+    [Jittered { law; bcet_frac; seed }] — the jitter generator's whole
+    state is the reseeded four words, the diagram builder is
+    deterministic, and {!Sim.Engine.reset} restores the compiled
+    engine's initial state exactly ([test/test_serve.ml] and
+    [test/test_explore.ml] enforce the equality). *)
+
+type t
+(** One compiled engine plus its reseedable jitter source. *)
+
+val key :
+  ?meth:Numerics.Ode.method_ ->
+  ?law:Exec.Timing_law.t ->
+  ?bcet_frac:float ->
+  ?comm_jitter_frac:float ->
+  design:Design.t ->
+  implementation:Methodology.implementation ->
+  unit ->
+  string
+(** Canonical digest of everything {!create} compiles in: two calls
+    with equal keys (same defaults applied) build interchangeable
+    sessions.  Drives the per-domain reuse slot of {!obtain}. *)
+
+val create :
+  ?meth:Numerics.Ode.method_ ->
+  ?law:Exec.Timing_law.t ->
+  ?bcet_frac:float ->
+  ?comm_jitter_frac:float ->
+  design:Design.t ->
+  implementation:Methodology.implementation ->
+  unit ->
+  t
+(** Builds the implemented co-simulation (diagram + jittered graph of
+    delays + probes) and compiles it once.  Defaults match
+    {!Montecarlo.run}: uniform law over [\[bcet_frac·WCET, WCET\]]
+    with [bcet_frac] 0.4. *)
+
+val cost : t -> seed:int -> float
+(** Reseeds, resets, runs to the design's horizon and returns the
+    design's cost.  Any number of calls, any seed order. *)
+
+val engine : t -> Sim.Engine.t
+(** The compiled engine, as left by the last {!cost} run (probes
+    recorded) — for callers needing more than the scalar cost. *)
+
+val obtain : key:string -> create:(unit -> t) -> t
+(** [obtain ~key ~create] returns the calling {e domain}'s cached
+    session when its key matches, else calls [create] and caches the
+    result (one slot per domain — the scheduler keeps a design's
+    candidates mostly contiguous, so one slot captures nearly all
+    reuse while holding at most one compiled engine per domain).
+    Sessions are mutable and must not cross domains; this is the only
+    supported way to share them across evaluations. *)
+
+val clear_cached : unit -> unit
+(** Drops the calling domain's cached session (tests / memory). *)

@@ -11,32 +11,56 @@ type candidate = {
   mode : Translator.Delay_graph.mode;
 }
 
-let candidates ?(fractions = [ 0.3; 0.6; 0.9 ]) ?(seeds = [])
-    ?(law = Exec.Timing_law.Uniform) ?(bcet_frac = 0.4) ~platforms () =
+let validate ~platforms ~fractions =
   if platforms = [] then invalid_arg "Grid.candidates: no platforms";
   if fractions = [] then invalid_arg "Grid.candidates: no fractions";
   List.iter
     (fun f ->
       if not (f > 0. && f <= 1.) then
         invalid_arg (Printf.sprintf "Grid.candidates: fraction %g outside (0, 1]" f))
-    fractions;
-  List.concat_map
+    fractions
+
+let seq ?(fractions = [ 0.3; 0.6; 0.9 ]) ?(seeds = [])
+    ?(law = Exec.Timing_law.Uniform) ?(bcet_frac = 0.4) ~platforms () =
+  validate ~platforms ~fractions;
+  (* lazy row-major cross-product: nothing is materialized until the
+     consumer pulls, so a million-candidate space costs nothing to
+     describe *)
+  Seq.concat_map
     (fun platform ->
-      List.concat_map
+      Seq.concat_map
         (fun fraction ->
           match seeds with
-          | [] -> [ { platform; fraction; mode = Translator.Delay_graph.Static_wcet } ]
+          | [] ->
+              Seq.return
+                { platform; fraction; mode = Translator.Delay_graph.Static_wcet }
           | seeds ->
-              List.map
+              Seq.map
                 (fun seed ->
                   {
                     platform;
                     fraction;
                     mode = Translator.Delay_graph.Jittered { law; bcet_frac; seed };
                   })
-                seeds)
-        fractions)
-    platforms
+                (List.to_seq seeds))
+        (List.to_seq fractions))
+    (List.to_seq platforms)
+
+let count ?(fractions = [ 0.3; 0.6; 0.9 ]) ?(seeds = []) ~platforms () =
+  validate ~platforms ~fractions;
+  List.length platforms * List.length fractions * max 1 (List.length seeds)
+
+let materialize_guard = 100_000
+let warned = Atomic.make false
+
+let candidates ?fractions ?seeds ?law ?bcet_frac ~platforms () =
+  let n = count ?fractions ?seeds ~platforms () in
+  if n > materialize_guard && not (Atomic.exchange warned true) then
+    Printf.eprintf
+      "grid: materializing %d candidates as a list; use Grid.seq and \
+       Explorer.evaluate_seq to stream spaces past %d\n%!"
+      n materialize_guard;
+  List.of_seq (seq ?fractions ?seeds ?law ?bcet_frac ~platforms ())
 
 let size = List.length
 

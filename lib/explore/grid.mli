@@ -25,6 +25,34 @@ type candidate = {
   mode : Translator.Delay_graph.mode;
 }
 
+val seq :
+  ?fractions:float list ->
+  ?seeds:int list ->
+  ?law:Exec.Timing_law.t ->
+  ?bcet_frac:float ->
+  platforms:platform list ->
+  unit ->
+  candidate Seq.t
+(** The grid as a lazy stream in deterministic row-major order
+    (platform, then fraction, then seed) — the producer the streaming
+    sweep ([Pool.map_reduce_seq] / [Lifecycle.Explorer.evaluate_seq])
+    pulls from, so million-candidate spaces are never materialized.
+    Default fractions [0.3; 0.6; 0.9].  With [seeds = []] (the
+    default) each cell is costed once under the static WCET model;
+    otherwise once per seed under [Jittered { law; bcet_frac; seed }]
+    (defaults: uniform law, BCET fraction 0.4).  The argument lists
+    are validated eagerly: raises [Invalid_argument] on an empty
+    platform or fraction list, or fractions outside (0, 1]. *)
+
+val count :
+  ?fractions:float list ->
+  ?seeds:int list ->
+  platforms:platform list ->
+  unit ->
+  int
+(** Number of candidates {!seq} yields for the same arguments, without
+    materializing anything. *)
+
 val candidates :
   ?fractions:float list ->
   ?seeds:int list ->
@@ -33,13 +61,9 @@ val candidates :
   platforms:platform list ->
   unit ->
   candidate list
-(** The grid in deterministic row-major order (platform, then
-    fraction, then seed).  Default fractions [0.3; 0.6; 0.9].  With
-    [seeds = []] (the default) each cell is costed once under the
-    static WCET model; otherwise once per seed under
-    [Jittered { law; bcet_frac; seed }] (defaults: uniform law,
-    BCET fraction 0.4).  Raises [Invalid_argument] on an empty
-    platform or fraction list, or fractions outside (0, 1]. *)
+(** [List.of_seq] of {!seq} — the eager form the list-based engine
+    uses.  Warns once on stderr when asked to materialize more than
+    10⁵ candidates (stream instead). *)
 
 val size : candidate list -> int
 val tag : candidate -> string

@@ -12,24 +12,124 @@ let dominates a b =
     a;
   !no_worse && !better
 
+module Front = struct
+  module Fmap = Map.Make (Float)
+
+  type 'a entry = { objs : float array; stamp : int; item : 'a }
+
+  (* The two-objective case — price × cost, every front the engine
+     builds — keeps the staircase invariant: keys (objective 0)
+     strictly increasing, objective 1 strictly decreasing, so one
+     insert is a predecessor lookup (the only possible dominator has
+     minimal obj1 among keys <= x0) plus removal of a contiguous run
+     of dominated successors: O(log n) amortised instead of the list
+     scan the old fold did.  Buckets hold full-vector ties, which all
+     survive.  Other dimensions fall back to a linear scan of the
+     (small) surviving front. *)
+  type 'a repr =
+    | Empty
+    | Two of 'a entry list Fmap.t  (* key = objs.(0); bucket shares objs *)
+    | Any of int * 'a entry list  (* dimension, survivors *)
+
+  type 'a t = { next : int; repr : 'a repr }
+
+  let empty = { next = 0; repr = Empty }
+
+  let size t =
+    match t.repr with
+    | Empty -> 0
+    | Two m -> Fmap.fold (fun _ b n -> n + List.length b) m 0
+    | Any (_, es) -> List.length es
+
+  let bucket_obj1 = function
+    | { objs; _ } :: _ -> objs.(1)
+    | [] -> assert false
+
+  let insert_two m (e : _ entry) =
+    let x0 = e.objs.(0) and x1 = e.objs.(1) in
+    match Fmap.find_last_opt (fun k -> k <= x0) m with
+    | Some (k0, bucket) when k0 = x0 && bucket_obj1 bucket = x1 ->
+        (* full-vector tie: everyone survives *)
+        Some (Fmap.add x0 (bucket @ [ e ]) m)
+    | Some (_, bucket) when bucket_obj1 bucket <= x1 ->
+        (* the predecessor is no worse on both axes and not equal *)
+        None
+    | _ ->
+        (* remove the contiguous run of dominated successors *)
+        let rec strip m =
+          match Fmap.find_first_opt (fun k -> k >= x0) m with
+          | Some (k0, bucket) when bucket_obj1 bucket >= x1 ->
+              strip (Fmap.remove k0 m)
+          | _ -> m
+        in
+        Some (Fmap.add x0 [ e ] (strip m))
+
+  let insert_any dim es (e : _ entry) =
+    if List.exists (fun o -> dominates o.objs e.objs) es then None
+    else Some (dim, List.filter (fun o -> not (dominates e.objs o.objs)) es @ [ e ])
+
+  let insert_entry t (e : _ entry) =
+    let d = Array.length e.objs in
+    if d = 0 then invalid_arg "Pareto.Front.insert: empty objective vector";
+    match t.repr with
+    | Empty ->
+        if d = 2 then { next = t.next + 1; repr = Two (Fmap.add e.objs.(0) [ e ] Fmap.empty) }
+        else { next = t.next + 1; repr = Any (d, [ e ]) }
+    | Two m ->
+        if d <> 2 then invalid_arg "Pareto.Front.insert: mismatched objective counts";
+        let m = match insert_two m e with Some m -> m | None -> m in
+        { next = t.next + 1; repr = Two m }
+    | Any (dim, es) ->
+        if d <> dim then invalid_arg "Pareto.Front.insert: mismatched objective counts";
+        let repr =
+          match insert_any dim es e with
+          | Some (dim, es) -> Any (dim, es)
+          | None -> Any (dim, es)
+        in
+        { next = t.next + 1; repr }
+
+  let insert t objs item =
+    let objs = Array.map norm objs in
+    insert_entry t { objs; stamp = t.next; item }
+
+  let entries t =
+    let es =
+      match t.repr with
+      | Empty -> []
+      | Two m -> Fmap.fold (fun _ b acc -> List.rev_append b acc) m []
+      | Any (_, es) -> es
+    in
+    List.sort (fun a b -> compare a.stamp b.stamp) es
+
+  let elements t = List.map (fun e -> e.item) (entries t)
+  let points t = List.map (fun e -> (e.objs, e.item)) (entries t)
+
+  let merge a b =
+    (* b's survivors join after all of a's, keeping b's relative
+       order — the reduce step folds partial fronts left to right, so
+       merged insertion order is deterministic *)
+    List.fold_left (fun t e -> insert_entry t { e with stamp = t.next }) a (entries b)
+end
+
 let front ~objectives items =
-  let objs = Array.of_list (List.map objectives items) in
-  (match items with
+  let objs = List.map objectives items in
+  (match objs with
   | [] -> ()
-  | _ ->
-      let d = Array.length objs.(0) in
-      Array.iter
+  | o0 :: rest ->
+      let d = Array.length o0 in
+      List.iter
         (fun o ->
           if Array.length o <> d then
             invalid_arg "Pareto.front: mismatched objective counts")
-        objs);
-  List.filteri
-    (fun i it ->
-      ignore it;
-      let dominated = ref false in
-      Array.iteri (fun j oj -> if j <> i && dominates oj objs.(i) then dominated := true) objs;
-      not !dominated)
-    items
+        rest);
+  let f, _ =
+    List.fold_left
+      (fun (f, i) o -> (Front.insert f o i, i + 1))
+      (Front.empty, 0) objs
+  in
+  let surviving = Hashtbl.create 64 in
+  List.iter (fun i -> Hashtbl.replace surviving i ()) (Front.elements f);
+  List.filteri (fun i _ -> Hashtbl.mem surviving i) items
 
 let sort_by ~objective items =
   List.stable_sort (fun a b -> Float.compare (norm (objective a)) (norm (objective b))) items

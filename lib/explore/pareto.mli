@@ -13,11 +13,52 @@ val dominates : float array -> float array -> bool
     objectives compare as [+inf].  Raises [Invalid_argument] on
     mismatched lengths. *)
 
+module Front : sig
+  (** Incremental non-dominated front — the accumulator of the
+      streaming sweep's reduce step.  Functional (inserts share
+      structure), so a snapshot is just the current value.
+
+      The two-objective case — price × cost, every front the engine
+      builds — is kept as a staircase (objective 0 strictly
+      increasing, objective 1 strictly decreasing) in a float-keyed
+      map: one insert costs a predecessor dominance lookup plus
+      removal of a contiguous dominated run, O(log n) amortised,
+      instead of the O(front) scan per point the post-hoc fold paid.
+      Full-vector ties all survive.  Other objective counts fall back
+      to a linear scan of the surviving front. *)
+
+  type 'a t
+
+  val empty : 'a t
+
+  val insert : 'a t -> float array -> 'a -> 'a t
+  (** [insert t objs x] adds [x] with objective vector [objs] (all
+      minimised, NaN as [+inf]): dropped if dominated, otherwise
+      kept, evicting the points it dominates.  Raises
+      [Invalid_argument] on an empty vector or a length differing
+      from earlier inserts. *)
+
+  val merge : 'a t -> 'a t -> 'a t
+  (** [merge a b] inserts [b]'s survivors into [a] ([b]'s elements
+      rank after all of [a]'s in insertion order) — the reduce step
+      for per-shard partial fronts. *)
+
+  val elements : 'a t -> 'a list
+  (** Survivors in insertion order. *)
+
+  val points : 'a t -> (float array * 'a) list
+  (** Survivors with their (NaN-normalized) objective vectors, in
+      insertion order. *)
+
+  val size : 'a t -> int
+end
+
 val front : objectives:('a -> float array) -> 'a list -> 'a list
 (** The elements dominated by no other element, in their original
     order.  Elements with identical objective vectors all survive
-    (none strictly dominates the other).  O(n²) pairwise scan —
-    candidate grids are thousands of points at most. *)
+    (none strictly dominates the other).  Folds through {!Front}, so
+    large point sets cost O(n log f) for a surviving front of size
+    [f] instead of the old O(n²) pairwise scan. *)
 
 val sort_by : objective:('a -> float) -> 'a list -> 'a list
 (** Stable ascending sort by one objective — for rendering fronts. *)

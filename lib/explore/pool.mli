@@ -1,4 +1,5 @@
-(** Fixed-size domain worker pool with deterministic chunked mapping.
+(** Fixed-size domain worker pool with work-stealing deques and
+    deterministic mapping.
 
     The design-space engine's unit of parallelism is one candidate
     evaluation — an adequation plus a co-simulation, milliseconds to
@@ -7,13 +8,22 @@
     near-linearly (cf. the map-reduce synthesis of Alimguzhin et al.,
     arXiv:1210.2276).
 
+    Scheduling: each participating domain owns a deque of work chunks;
+    the owner works off the front, and a domain that runs dry steals
+    the {e back half} of the fullest other deque in one grab.  Compared
+    to the static chunk assignment this replaces, irregular
+    per-element costs (a cache hit is ~µs, a cold co-simulation ~ms)
+    no longer leave domains idle at chunk barriers.  Chunks carry
+    their result placement with them, so stealing never shows in the
+    output.
+
     Determinism contract: {!map} applies a {e pure} function to every
     element and places each result by its input index, so the output
     equals [List.map f xs] {e bit for bit} whatever the domain count,
-    chunking or scheduling — the same discipline as the fault model's
-    pure-hash sampler.  Functions must not rely on shared mutable
-    state; everything in scilife's evaluation path builds fresh graphs
-    per call and qualifies.
+    chunking, stealing or scheduling — the same discipline as the
+    fault model's pure-hash sampler.  Functions must not rely on
+    shared mutable state; everything in scilife's evaluation path
+    builds fresh graphs per call and qualifies.
 
     When the pool has a single domain (the default on a single-core
     host, where [Domain.recommended_domain_count () = 1]) no domain is
@@ -56,6 +66,41 @@ val map_reduce :
     in input order: identical to
     [List.fold_left reduce init (List.map map xs)] whatever the domain
     count.  Only the map runs in parallel. *)
+
+val map_reduce_seq :
+  ?chunk:int ->
+  ?snapshot_every:int ->
+  ?snapshot:(evaluated:int -> 'acc -> unit) ->
+  t ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a Seq.t ->
+  'acc
+(** [map_reduce_seq pool ~map ~reduce ~init xs] is the streaming form
+    of {!map_reduce}: the input sequence is pulled in small batches of
+    [chunk]-element chunks (default 8) as domains run dry, so spaces
+    of millions of candidates are swept without ever materializing a
+    list.  The mapped results are folded {e strictly in input order}
+    on the submitting domain (which interleaves reducing with chunk
+    evaluation of its own), so the result equals
+    [Seq.fold_left reduce init (Seq.map map xs)] bit for bit whatever
+    the domain count.
+
+    [snapshot] is an anytime callback: after every [snapshot_every]
+    elements reduced (default 4096) it receives the running
+    accumulator and the exact count reduced so far — same cadence on
+    the sequential path, so snapshot-observable behaviour is
+    deterministic too.  The callback runs on the submitting domain;
+    it must not mutate the accumulator.
+
+    Exceptions: the first raising element {e in input order} wins —
+    its exception is re-raised and the remaining stream is abandoned
+    (chunks already in flight still complete).  A producer ([Seq])
+    exception is re-raised after everything yielded before it has
+    been reduced, exactly where the sequential fold would raise.
+    Raises [Invalid_argument] on [chunk < 1] or
+    [snapshot_every < 1]. *)
 
 val shutdown : t -> unit
 (** Terminates and joins the worker domains.  Idempotent.  A pool must

@@ -1,60 +1,38 @@
 module D = Lifecycle.Design
 module M = Lifecycle.Methodology
+module S = Lifecycle.Session
 
-type t = {
-  design : D.t;
-  engine : Sim.Engine.t;
-  rng : Numerics.Rng.t;
-}
+(* a batch IS a lifecycle session; this module keeps the serve-layer
+   API and adds the pooled seed sweep *)
+type t = S.t
 
-let create ?meth ?(law = Exec.Timing_law.Uniform) ?(bcet_frac = 0.4) ?comm_jitter_frac
-    ~design ~implementation () =
-  (* [D.build] is deterministic, so the binding's block ids recorded at
-     extraction are valid in this fresh instance — the same invariant
-     [Methodology.simulate_implemented] relies on *)
-  let built = (design : D.t).D.build () in
-  let rng = Numerics.Rng.create 0 in
-  let _dg =
-    Translator.Cosim.attach_delay_graph
-      ~mode:(Translator.Delay_graph.Jittered { law; bcet_frac; seed = 0 })
-      ?comm_jitter_frac ?condition_feed:built.D.condition_feed ~graph:built.D.graph
-      ~schedule:implementation.M.schedule ~binding:implementation.M.binding ~rng ()
-  in
-  let engine = Sim.Engine.create ?meth built.D.graph in
-  List.iter
-    (fun (name, (block, port)) -> Sim.Engine.add_probe engine ~name ~block ~port)
-    built.D.probes;
-  { design; engine; rng }
+let create ?meth ?law ?bcet_frac ?comm_jitter_frac ~design ~implementation () =
+  S.create ?meth ?law ?bcet_frac ?comm_jitter_frac ~design ~implementation ()
 
-let cost t ~seed =
-  Numerics.Rng.reseed t.rng seed;
-  Sim.Engine.reset t.engine;
-  Sim.Engine.run ~t_end:t.design.D.horizon t.engine;
-  t.design.D.cost t.engine
+let cost = S.cost
 
-(* contiguous chunks preserving order: [chunks 3 [1;2;3;4;5;6;7]] is
-   [[1;2;3];[4;5;6];[7]] *)
-let chunks size xs =
-  let rec go acc current k = function
-    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
-    | x :: rest ->
-        if k = size then go (List.rev current :: acc) [ x ] 1 rest
-        else go acc (x :: current) (k + 1) rest
-  in
-  go [] [] 0 xs
-
-let costs ?pool ?meth ?law ?bcet_frac ?comm_jitter_frac ~design ~implementation seeds =
+let costs ?pool ?meth ?law ?bcet_frac ?comm_jitter_frac ~design ~implementation
+    seeds =
   match seeds with
   | [] -> []
   | seeds ->
       let pool = match pool with Some p -> p | None -> Explore.Pool.default () in
-      let n = List.length seeds in
-      let chunk_size = max 1 ((n + Explore.Pool.domains pool - 1) / Explore.Pool.domains pool) in
-      let evaluate_chunk chunk_seeds =
-        let b = create ?meth ?law ?bcet_frac ?comm_jitter_frac ~design ~implementation () in
-        List.map (fun seed -> cost b ~seed) chunk_seeds
+      let skey =
+        S.key ?meth ?law ?bcet_frac ?comm_jitter_frac ~design ~implementation ()
       in
-      List.concat (Explore.Pool.map pool evaluate_chunk (chunks chunk_size seeds))
+      (* each domain compiles (at most) one engine via the per-domain
+         session slot and sweeps its share of the seeds through it;
+         with work-stealing chunks the amortisation no longer depends
+         on a static one-chunk-per-domain split *)
+      Explore.Pool.map pool
+        (fun seed ->
+          let s =
+            S.obtain ~key:skey ~create:(fun () ->
+                S.create ?meth ?law ?bcet_frac ?comm_jitter_frac ~design
+                  ~implementation ())
+          in
+          S.cost s ~seed)
+        seeds
 
 let montecarlo ?(runs = 20) ?(base_seed = 1000) ?law ?bcet_frac ?pool ~design
     ~implementation () =

@@ -16,9 +16,13 @@
     is the reseeded four words, the diagram builder is deterministic
     and {!Sim.Engine.reset} restores the compiled engine's initial
     state exactly.  [test/test_serve.ml] enforces the equality against
-    {!Lifecycle.Montecarlo.run}. *)
+    {!Lifecycle.Montecarlo.run}.
 
-type t
+    The engine-reuse core lives in {!Lifecycle.Session} (shared with
+    the design-space explorer); this module keeps the serve-layer API
+    and the pooled seed sweep. *)
+
+type t = Lifecycle.Session.t
 (** One compiled engine plus its reseedable jitter source. *)
 
 val create :
@@ -49,12 +53,14 @@ val costs :
   implementation:Lifecycle.Methodology.implementation ->
   int list ->
   float list
-(** [costs ~pool ... seeds] evaluates every seed, in order.  The seed
-    list is split into one contiguous chunk per pool domain and each
-    chunk shares one freshly compiled engine, so compilation is
-    amortised [⌈n/domains⌉]-fold while results stay bit-for-bit equal
-    to the sequential (and to the per-seed rebuilding) evaluation.
-    Default pool: {!Explore.Pool.default}. *)
+(** [costs ~pool ... seeds] evaluates every seed, in order.  Each
+    domain obtains one compiled engine through the per-domain session
+    slot ({!Lifecycle.Session.obtain}) and sweeps its share of the
+    seeds through it, so compilation is amortised [⌈n/domains⌉]-fold
+    while results stay bit-for-bit equal to the sequential (and to
+    the per-seed rebuilding) evaluation — now independent of how the
+    work-stealing scheduler splits the list.  Default pool:
+    {!Explore.Pool.default}. *)
 
 val montecarlo :
   ?runs:int ->

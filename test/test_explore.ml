@@ -70,6 +70,121 @@ let pool_tests =
         let p = Pool.create ~domains:2 () in
         Pool.shutdown p;
         Pool.shutdown p);
+    qtest ~count:50 "irregular per-element costs do not disturb determinism"
+      QCheck2.Gen.(
+        triple (list_size (0 -- 60) (int_bound 500)) (1 -- 4) (1 -- 5))
+      (fun (xs, domains, chunk) ->
+        (* per-element work varies by orders of magnitude, so chunks
+           finish far apart and stealing actually happens *)
+        let f x =
+          let spin = x mod 7 * 400 in
+          let r = ref 0 in
+          for i = 1 to spin do
+            r := (!r + i) land 0xffff
+          done;
+          (x * 13) + !r
+        in
+        Pool.map ~chunk pools.(domains - 1) f xs = List.map f xs);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* pool: streamed map-reduce *)
+
+let stream_tests =
+  [
+    qtest ~count:80
+      "map_reduce_seq equals the sequential fold for every domain count and \
+       chunking"
+      QCheck2.Gen.(
+        triple (list_size (0 -- 60) (int_bound 1000)) (1 -- 4) (1 -- 5))
+      (fun (xs, domains, chunk) ->
+        (* string concat is not commutative nor associative-with-init:
+           any reordering or re-chunking of the fold would show *)
+        let fm x = string_of_int (x * 3) in
+        let reduce acc s = acc ^ "|" ^ s in
+        Pool.map_reduce_seq ~chunk pools.(domains - 1) ~map:fm ~reduce ~init:""
+          (List.to_seq xs)
+        = List.fold_left reduce "" (List.map fm xs));
+    test "snapshot cadence and contents are pool-invariant" (fun () ->
+        let xs = List.init 23 string_of_int in
+        let observe pool =
+          let seen = ref [] in
+          let acc =
+            Pool.map_reduce_seq ~chunk:2 ~snapshot_every:5
+              ~snapshot:(fun ~evaluated acc -> seen := (evaluated, acc) :: !seen)
+              pool
+              ~map:(fun s -> s)
+              ~reduce:(fun acc s -> acc ^ s)
+              ~init:"" (List.to_seq xs)
+          in
+          (acc, List.rev !seen)
+        in
+        let seq = observe pools.(0) and par = observe pools.(2) in
+        check_true "same final accumulator" (fst seq = fst par);
+        check_true "same snapshots" (snd seq = snd par);
+        check_int "four snapshots over 23 elements" 4 (List.length (snd seq));
+        check_true "snapshot counts are the cadence"
+          (List.map fst (snd seq) = [ 5; 10; 15; 20 ]));
+    test "the first raising element in input order wins on the stream path"
+      (fun () ->
+        let xs = List.init 30 (fun i -> i) in
+        Array.iter
+          (fun pool ->
+            match
+              Pool.map_reduce_seq ~chunk:2 pool
+                ~map:(fun i -> if i >= 7 then raise (Boom i) else i)
+                ~reduce:( + ) ~init:0 (List.to_seq xs)
+            with
+            | exception Boom i -> check_int "smallest index" 7 i
+            | _ -> Alcotest.fail "expected Boom")
+          pools);
+    test "a 100k-element stream reduces correctly without materialization"
+      (fun () ->
+        let n = 100_000 in
+        let expected = n * (n - 1) / 2 in
+        Array.iter
+          (fun pool ->
+            check_int
+              (Printf.sprintf "%d domain(s)" (Pool.domains pool))
+              expected
+              (Pool.map_reduce_seq ~chunk:64 pool
+                 ~map:(fun i -> i)
+                 ~reduce:( + ) ~init:0
+                 (Seq.take n (Seq.ints 0))))
+          [| pools.(0); pools.(1) |]);
+    test "an empty sequence yields the init" (fun () ->
+        check_int "init" 17
+          (Pool.map_reduce_seq pools.(2) ~map:(fun x -> x) ~reduce:( + ) ~init:17
+             Seq.empty));
+    test "a raising producer is re-raised after the yielded prefix" (fun () ->
+        let bad =
+          Seq.append (List.to_seq [ 1; 2; 3 ]) (fun () -> raise (Boom 99))
+        in
+        Array.iter
+          (fun pool ->
+            let reduced = ref 0 in
+            (match
+               Pool.map_reduce_seq ~chunk:1 pool
+                 ~map:(fun x -> x)
+                 ~reduce:(fun acc x ->
+                   reduced := !reduced + 1;
+                   acc + x)
+                 ~init:0 bad
+             with
+            | exception Boom 99 -> ()
+            | exception e -> raise e
+            | _ -> Alcotest.fail "expected Boom 99");
+            check_int "whole prefix reduced first" 3 !reduced)
+          [| pools.(0); pools.(3) |]);
+    test "map_reduce_seq validates chunk and snapshot_every" (fun () ->
+        check_raises_invalid "chunk:0" (fun () ->
+            ignore
+              (Pool.map_reduce_seq ~chunk:0 pools.(1) ~map:Fun.id ~reduce:( + )
+                 ~init:0 Seq.empty));
+        check_raises_invalid "snapshot_every:0" (fun () ->
+            ignore
+              (Pool.map_reduce_seq ~snapshot_every:0 pools.(1) ~map:Fun.id
+                 ~reduce:( + ) ~init:0 Seq.empty)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -427,6 +542,82 @@ let pareto_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* pareto: incremental front *)
+
+let front_of_list points =
+  List.fold_left
+    (fun f (a, b) -> Pareto.Front.insert f [| a; b |] (a, b))
+    Pareto.Front.empty points
+
+(* reference oracle: the pairwise dominance scan the old front used *)
+let oracle_front objectives points =
+  List.filter
+    (fun p ->
+      not
+        (List.exists (fun q -> Pareto.dominates (objectives q) (objectives p)) points))
+    points
+
+let front_tests =
+  [
+    test "insert keeps the staircase and evicts dominated points" (fun () ->
+        let f =
+          front_of_list [ (2., 4.); (1., 5.); (3., 3.); (2., 6.); (1.5, 4.5) ]
+        in
+        Alcotest.(check (list (pair (float 0.) (float 0.))))
+          "survivors in insertion order"
+          [ (2., 4.); (1., 5.); (3., 3.); (1.5, 4.5) ]
+          (Pareto.Front.elements f);
+        check_int "size" 4 (Pareto.Front.size f));
+    test "full-vector ties all survive, later dominator evicts the bucket"
+      (fun () ->
+        let f = front_of_list [ (1., 1.); (1., 1.) ] in
+        check_int "both kept" 2 (Pareto.Front.size f);
+        let f = Pareto.Front.insert f [| 1.; 0.5 |] (1., 0.5) in
+        Alcotest.(check (list (pair (float 0.) (float 0.))))
+          "bucket evicted" [ (1., 0.5) ]
+          (Pareto.Front.elements f));
+    test "NaN objectives are normalized to +inf" (fun () ->
+        let f = front_of_list [ (Float.nan, 0.); (0., 0.) ] in
+        check_int "finite point only" 1 (Pareto.Front.size f);
+        match Pareto.Front.points f with
+        | [ (objs, _) ] ->
+            check_float "normalized first objective" 0. objs.(0)
+        | _ -> Alcotest.fail "expected one survivor");
+    test "dimensions other than two fall back to the scan" (fun () ->
+        let f =
+          List.fold_left
+            (fun f v -> Pareto.Front.insert f v v)
+            Pareto.Front.empty
+            [ [| 1.; 2.; 3. |]; [| 2.; 1.; 3. |]; [| 2.; 2.; 4. |]; [| 1.; 2.; 3. |] ]
+        in
+        check_int "dominated dropped, tie kept" 3 (Pareto.Front.size f));
+    test "insert validates the objective count" (fun () ->
+        let f = front_of_list [ (1., 1.) ] in
+        check_raises_invalid "3 objectives into a 2-objective front" (fun () ->
+            ignore (Pareto.Front.insert f [| 1.; 2.; 3. |] (0., 0.)));
+        check_raises_invalid "empty vector" (fun () ->
+            ignore (Pareto.Front.insert Pareto.Front.empty [||] ())));
+    qtest ~count:300 "incremental front equals the pairwise oracle"
+      QCheck2.Gen.(list_size (0 -- 40) (pair (0 -- 8) (0 -- 8)))
+      (fun points ->
+        let points = List.map (fun (a, b) -> (float_of_int a, float_of_int b)) points in
+        let objectives (a, b) = [| a; b |] in
+        Pareto.Front.elements (front_of_list points)
+        = oracle_front objectives points);
+    qtest ~count:200 "merge of split halves equals the front of the whole"
+      QCheck2.Gen.(
+        pair
+          (list_size (0 -- 25) (pair (0 -- 6) (0 -- 6)))
+          (list_size (0 -- 25) (pair (0 -- 6) (0 -- 6))))
+      (fun (xs, ys) ->
+        let fl = List.map (fun (a, b) -> (float_of_int a, float_of_int b)) in
+        let xs = fl xs and ys = fl ys in
+        Pareto.Front.elements
+          (Pareto.Front.merge (front_of_list xs) (front_of_list ys))
+        = Pareto.Front.elements (front_of_list (xs @ ys)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* grid: declarative candidate spaces *)
 
 let grid_platform ?(label = "mcu") ?(price = 1.) () =
@@ -470,6 +661,30 @@ let grid_tests =
             ignore (Grid.candidates ~fractions:[] ~platforms:[ grid_platform () ] ()));
         check_raises_invalid "fraction > 1" (fun () ->
             ignore (Grid.candidates ~fractions:[ 1.5 ] ~platforms:[ grid_platform () ] ())));
+    test "seq streams the same candidates the list materializes" (fun () ->
+        let fractions = [ 0.4; 0.7 ] and seeds = [ 3; 4; 5 ] in
+        let platforms = [ grid_platform (); grid_platform ~label:"duo" ~price:2. () ] in
+        check_true "same tags"
+          (List.of_seq (Seq.map Grid.tag (Grid.seq ~fractions ~seeds ~platforms ()))
+          = List.map Grid.tag (Grid.candidates ~fractions ~seeds ~platforms ())));
+    test "count sizes the grid without materializing it" (fun () ->
+        let platforms = [ grid_platform () ] in
+        check_int "static grid" 3 (Grid.count ~platforms ());
+        check_int "seeded"
+          (2 * 4)
+          (Grid.count ~fractions:[ 0.4; 0.7 ] ~seeds:[ 1; 2; 3; 4 ] ~platforms ());
+        check_raises_invalid "validated eagerly" (fun () ->
+            ignore (Grid.count ~platforms:[] ())));
+    test "a million-candidate seq is lazy" (fun () ->
+        let platforms = [ grid_platform () ] in
+        let seeds = List.init 1_000_000 (fun i -> i) in
+        let s = Grid.seq ~fractions:[ 0.5 ] ~seeds ~platforms () in
+        check_int "count" 1_000_000 (Grid.count ~fractions:[ 0.5 ] ~seeds ~platforms ());
+        (* forcing three elements must not walk the rest *)
+        Alcotest.(check (list string))
+          "first three"
+          [ "mcu f=0.5 seed=0"; "mcu f=0.5 seed=1"; "mcu f=0.5 seed=2" ]
+          (List.of_seq (Seq.map Grid.tag (Seq.take 3 s))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -631,13 +846,110 @@ let engine_tests =
           par.Fault.Robustness.worst_degradation_pct);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* streaming evaluation and engine reuse *)
+
+let seeded_grid ?(fractions = [ 0.3; 0.8 ]) ?(seeds = [ 11; 12; 13 ]) () =
+  Grid.candidates ~fractions ~seeds
+    ~platforms:[ grid_platform (); grid_platform ~label:"fast" ~price:2. () ]
+    ()
+
+let engine_seq_tests =
+  [
+    test "engine reuse is bit-for-bit equal to rebuild-per-candidate" (fun () ->
+        let designs = [ dc_design () ] and candidates = seeded_grid () in
+        let eval ~engine_reuse domains =
+          Pool.with_pool ~domains (fun pool ->
+              Explorer.evaluate ~pool ~engine_reuse ~designs ~candidates ())
+        in
+        let rebuilt = eval ~engine_reuse:false 1 in
+        check_true "reused sequential" (eval ~engine_reuse:true 1 = rebuilt);
+        check_true "reused parallel" (eval ~engine_reuse:true 2 = rebuilt));
+    qtest ~count:4 "engine reuse equals rebuild on random small grids"
+      QCheck2.Gen.(
+        triple (1 -- 3) (list_size (1 -- 3) (100 -- 999)) (1 -- 2))
+      (fun (nfrac, seeds, domains) ->
+        let fractions = List.init nfrac (fun i -> 0.3 +. (0.2 *. float_of_int i)) in
+        let candidates = seeded_grid ~fractions ~seeds () in
+        let designs = [ dc_design ~ts:0.06 () ] in
+        let eval engine_reuse =
+          Pool.with_pool ~domains (fun pool ->
+              Explorer.evaluate ~pool ~engine_reuse ~designs ~candidates ())
+        in
+        eval true = eval false);
+    test "evaluate_seq agrees with evaluate and samples bit-for-bit" (fun () ->
+        let designs = [ dc_design () ] and candidates = seeded_grid () in
+        let points =
+          Explorer.evaluate ~pool:pools.(0) ~designs ~candidates ()
+        in
+        let summary =
+          Explorer.evaluate_seq ~pool:pools.(0) ~sample_every:2 ~designs
+            ~candidates:(List.to_seq candidates) ()
+        in
+        check_int "evaluated" (List.length points) summary.Explorer.s_evaluated;
+        check_int "feasible" (List.length (Explorer.feasible points))
+          summary.Explorer.s_feasible;
+        check_true "front equals the sorted batch front"
+          (summary.Explorer.s_front
+          = Pareto.sort_by
+              ~objective:(fun (p : Explorer.point) -> p.Explorer.price)
+              (Explorer.pareto points));
+        let expected_samples =
+          List.filteri (fun i _ -> i mod 2 = 0) points
+          |> List.mapi (fun k p -> (2 * k, p))
+        in
+        check_true "samples are the even-indexed points"
+          (summary.Explorer.s_samples = expected_samples));
+    test "evaluate_seq is pool-invariant including snapshots" (fun () ->
+        let designs = [ dc_design () ] and candidates = seeded_grid () in
+        let observe pool =
+          let snaps = ref [] in
+          let s =
+            Explorer.evaluate_seq ~pool ~chunk:2 ~snapshot_every:4
+              ~snapshot:(fun p -> snaps := p :: !snaps)
+              ~sample_every:5 ~designs ~candidates:(List.to_seq candidates) ()
+          in
+          (s, List.rev !snaps)
+        in
+        let seq = Pool.with_pool ~domains:1 observe in
+        let par = Pool.with_pool ~domains:2 observe in
+        check_true "same summary" (fst seq = fst par);
+        check_true "same snapshots" (snd seq = snd par);
+        check_true "snapshots carry a non-empty running front"
+          (match snd seq with
+          | p :: _ -> p.Explorer.p_front <> [] && p.Explorer.p_evaluated = 4
+          | [] -> false));
+    test "a raising candidate stream surfaces the producer exception" (fun () ->
+        let candidates =
+          Seq.append
+            (List.to_seq (seeded_grid ~seeds:[ 7 ] ()))
+            (fun () -> failwith "stream torn")
+        in
+        Array.iter
+          (fun pool ->
+            match
+              Explorer.evaluate_seq ~pool ~designs:[ dc_design () ] ~candidates ()
+            with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.fail "expected the producer failure to surface")
+          [| pools.(0); pools.(1) |]);
+    test "evaluate_seq rejects empty designs" (fun () ->
+        check_raises_invalid "no designs" (fun () ->
+            ignore
+              (Explorer.evaluate_seq ~pool:pools.(0) ~designs:[]
+                 ~candidates:Seq.empty ())));
+  ]
+
 let suites =
   [
     ("explore.pool", pool_tests);
+    ("explore.stream", stream_tests);
     ("explore.cache", cache_tests);
     ("explore.cache_persist", persist_tests);
     ("explore.key", key_tests);
     ("explore.pareto", pareto_tests);
+    ("explore.front", front_tests);
     ("explore.grid", grid_tests);
     ("explore.engine", engine_tests);
+    ("explore.engine_seq", engine_seq_tests);
   ]
